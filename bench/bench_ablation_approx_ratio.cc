@@ -1,0 +1,147 @@
+// Empirical approximation ratios against the brute-force optimum (the DP of
+// eval/optimal_dp.h) on exhaustive families of small instances — an
+// experimental companion to Theorems 1, 2 and 4. The paper's bounds are
+// (1+√5)/2 ≈ 1.618 on trees and 2(1+3 ln n) on DAGs; measured ratios are
+// far smaller, and the worst observed tree ratio must stay under the golden
+// ratio.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "eval/optimal_dp.h"
+#include "graph/generators.h"
+#include "util/ascii_table.h"
+#include "util/rng.h"
+
+namespace aigs::bench {
+namespace {
+
+struct RatioStats {
+  double worst = 0;
+  double sum = 0;
+  std::size_t count = 0;
+
+  void Add(double ratio) {
+    worst = std::max(worst, ratio);
+    sum += ratio;
+    ++count;
+  }
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+int Main() {
+  std::printf("== Empirical approximation ratios vs brute-force optimum ==\n");
+  const std::size_t rounds = static_cast<std::size_t>(
+      EnvInt("AIGS_APPROX_ROUNDS", EnvBool("AIGS_FULL", false) ? 400 : 120));
+  std::printf("config: %zu random instances per family "
+              "(AIGS_APPROX_ROUNDS)\n\n", rounds);
+
+  Rng rng(2022);
+  RatioStats tree_stats;
+  RatioStats dag_stats;
+  RatioStats equal_stats;
+  RatioStats caigs_stats;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t n = 2 + rng.UniformInt(13);
+
+    // Tree family: GreedyTree vs optimum.
+    {
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomTree(n, g));
+      AIGS_CHECK(h.ok());
+      std::vector<Weight> weights(h->NumNodes());
+      for (auto& x : weights) {
+        x = 1 + g.UniformInt(99);
+      }
+      auto dist = Distribution::FromWeights(weights);
+      AIGS_CHECK(dist.ok());
+      auto opt = OptimalExpectedCost(*h, *dist);
+      AIGS_CHECK(opt.ok());
+      GreedyTreePolicy greedy(*h, *dist);
+      if (*opt > 0) {
+        tree_stats.Add(Cost(greedy, *h, *dist) / *opt);
+      }
+    }
+
+    // DAG family: GreedyDAG (rounded) vs optimum.
+    {
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomDag(std::max<std::size_t>(n, 3), g, 0.5));
+      AIGS_CHECK(h.ok());
+      std::vector<Weight> weights(h->NumNodes());
+      for (auto& x : weights) {
+        x = 1 + g.UniformInt(99);
+      }
+      auto dist = Distribution::FromWeights(weights);
+      AIGS_CHECK(dist.ok());
+      auto opt = OptimalExpectedCost(*h, *dist);
+      AIGS_CHECK(opt.ok());
+      GreedyDagPolicy greedy(*h, *dist);
+      if (*opt > 0) {
+        dag_stats.Add(Cost(greedy, *h, *dist) / *opt);
+      }
+    }
+
+    // Equal-probability family (Theorem 3's O(log n / log log n) setting).
+    {
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomDag(std::max<std::size_t>(n, 3), g, 0.4));
+      AIGS_CHECK(h.ok());
+      const Distribution dist = EqualDistribution(h->NumNodes());
+      auto opt = OptimalExpectedCost(*h, dist);
+      AIGS_CHECK(opt.ok());
+      GreedyDagPolicy greedy(*h, dist);
+      if (*opt > 0) {
+        equal_stats.Add(Cost(greedy, *h, dist) / *opt);
+      }
+    }
+
+    // CAIGS family: cost-sensitive greedy vs priced optimum.
+    {
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomTree(n, g));
+      AIGS_CHECK(h.ok());
+      std::vector<Weight> weights(h->NumNodes());
+      for (auto& x : weights) {
+        x = 1 + g.UniformInt(30);
+      }
+      auto dist = Distribution::FromWeights(weights);
+      AIGS_CHECK(dist.ok());
+      const CostModel costs =
+          CostModel::UniformRandom(h->NumNodes(), 1, 8, g);
+      auto opt = OptimalExpectedCost(*h, *dist, &costs);
+      AIGS_CHECK(opt.ok());
+      CostSensitiveGreedyPolicy greedy(*h, *dist, costs);
+      EvalOptions options;
+      options.cost_model = &costs;
+      const double cost =
+          EvaluateExact(greedy, *h, *dist, options).expected_priced_cost;
+      if (*opt > 0) {
+        caigs_stats.Add(cost / *opt);
+      }
+    }
+  }
+
+  AsciiTable table({"Family", "Mean ratio", "Worst ratio", "Theorem bound"});
+  table.AddRow({"GreedyTree on trees (Thm 2)",
+                FormatDouble(tree_stats.Mean(), 4),
+                FormatDouble(tree_stats.worst, 4), "1.618 ((1+sqrt(5))/2)"});
+  table.AddRow({"GreedyDAG on DAGs (Thm 1)",
+                FormatDouble(dag_stats.Mean(), 4),
+                FormatDouble(dag_stats.worst, 4), "2(1+3 ln n)"});
+  table.AddRow({"GreedyDAG, equal probs (Thm 3)",
+                FormatDouble(equal_stats.Mean(), 4),
+                FormatDouble(equal_stats.worst, 4), "O(log n / log log n)"});
+  table.AddRow({"Cost-sensitive on CAIGS (Thm 4)",
+                FormatDouble(caigs_stats.Mean(), 4),
+                FormatDouble(caigs_stats.worst, 4), "2(1+3 ln n)"});
+  std::printf("%s\n", table.ToString().c_str());
+  AIGS_CHECK(tree_stats.worst <= 1.6180339887498949 + 1e-9);
+  std::printf("tree worst ratio within the golden-ratio bound: OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

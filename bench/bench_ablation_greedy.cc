@@ -1,0 +1,142 @@
+// Ablations over the design choices behind the efficient greedy
+// instantiations (§IV):
+//  * rounding (Eq. 1) on/off — cost impact of the Theorem 1 configuration;
+//  * linear child scan vs lazy-heap child scan in GreedyTree — selection
+//    time (the footnote's O(nhd) vs O(nh log d));
+//  * dominance pruning on/off in GreedyDAG — selection time at equal cost;
+//  * session overlays vs naive recomputation — GreedyTree/DAG vs
+//    GreedyNaive per-search time.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "oracle/oracle.h"
+#include "prob/alias_table.h"
+#include "util/ascii_table.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace aigs::bench {
+namespace {
+
+/// Average per-search wall time over targets sampled from the distribution.
+double AvgSearchMillis(const Policy& policy, const Hierarchy& h,
+                       const Distribution& dist, std::size_t samples) {
+  const AliasTable sampler(dist);
+  Rng rng(17);
+  WallTimer timer;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const NodeId target = sampler.Sample(rng);
+    ExactOracle oracle(h.reach(), target);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle);
+    AIGS_CHECK(r.target == target);
+  }
+  return timer.ElapsedMillis() / static_cast<double>(samples);
+}
+
+void RoundingAblation(const Dataset& dataset) {
+  const Hierarchy& h = dataset.hierarchy;
+  const Distribution& dist = dataset.real_distribution;
+  AsciiTable table({"Policy", "Raw weights", "Rounded weights (Eq. 1)"});
+  if (h.is_tree()) {
+    GreedyTreePolicy raw(h, dist);
+    GreedyTreeOptions rounded_options;
+    rounded_options.use_rounded_weights = true;
+    GreedyTreePolicy rounded(h, dist, rounded_options);
+    table.AddRow({"GreedyTree", FormatDouble(Cost(raw, h, dist)),
+                  FormatDouble(Cost(rounded, h, dist))});
+  } else {
+    GreedyDagOptions raw_options;
+    raw_options.use_rounded_weights = false;
+    GreedyDagPolicy raw(h, dist, raw_options);
+    GreedyDagPolicy rounded(h, dist);
+    table.AddRow({"GreedyDAG", FormatDouble(Cost(raw, h, dist)),
+                  FormatDouble(Cost(rounded, h, dist))});
+  }
+  std::printf("[rounding, %s]\n%s\n", dataset.name.c_str(),
+              table.ToString().c_str());
+}
+
+void ChildScanAblation(const Dataset& dataset) {
+  const Hierarchy& h = dataset.hierarchy;
+  if (!h.is_tree()) {
+    return;
+  }
+  const Distribution& dist = dataset.real_distribution;
+  GreedyTreePolicy linear(h, dist);
+  GreedyTreeOptions heap_options;
+  heap_options.child_scan = GreedyTreeOptions::ChildScan::kLazyHeap;
+  GreedyTreePolicy heap(h, dist, heap_options);
+  const std::size_t samples = 2000;
+  AsciiTable table({"Child scan", "Avg search (ms)", "Expected cost"});
+  table.AddRow({"linear  O(nhd)",
+                FormatDouble(AvgSearchMillis(linear, h, dist, samples), 4),
+                FormatDouble(Cost(linear, h, dist))});
+  table.AddRow({"lazy heap O(nh log d)",
+                FormatDouble(AvgSearchMillis(heap, h, dist, samples), 4),
+                FormatDouble(Cost(heap, h, dist))});
+  std::printf("[child scan, %s]\n%s\n", dataset.name.c_str(),
+              table.ToString().c_str());
+}
+
+void PruningAblation(const Dataset& dataset) {
+  const Hierarchy& h = dataset.hierarchy;
+  if (h.is_tree()) {
+    return;
+  }
+  const Distribution& dist = dataset.real_distribution;
+  GreedyDagPolicy pruned(h, dist);
+  GreedyDagOptions exhaustive_options;
+  exhaustive_options.disable_dominance_pruning = true;
+  GreedyDagPolicy exhaustive(h, dist, exhaustive_options);
+  const std::size_t samples = 500;
+  AsciiTable table({"Selection BFS", "Avg search (ms)", "Expected cost"});
+  table.AddRow({"dominance-pruned (Alg. 6)",
+                FormatDouble(AvgSearchMillis(pruned, h, dist, samples), 4),
+                FormatDouble(Cost(pruned, h, dist))});
+  table.AddRow(
+      {"exhaustive",
+       FormatDouble(AvgSearchMillis(exhaustive, h, dist, samples), 4),
+       FormatDouble(Cost(exhaustive, h, dist))});
+  std::printf("[dominance pruning, %s]\n%s\n", dataset.name.c_str(),
+              table.ToString().c_str());
+}
+
+void OverlayAblation(const Dataset& dataset) {
+  const Hierarchy& h = dataset.hierarchy;
+  const Distribution& dist = dataset.real_distribution;
+  const auto fast = MakeGreedyPolicy(h, dist);
+  GreedyNaivePolicy naive(h, dist);
+  const std::size_t fast_samples = 1000;
+  const std::size_t naive_samples = 10;
+  AsciiTable table({"Implementation", "Avg search (ms)"});
+  table.AddRow({fast->name() + " (incremental index + session overlay)",
+                FormatDouble(AvgSearchMillis(*fast, h, dist, fast_samples),
+                             4)});
+  table.AddRow({"GreedyNaive (Algorithm 2, full rescans)",
+                FormatDouble(
+                    AvgSearchMillis(naive, h, dist, naive_samples), 3)});
+  std::printf("[overlay vs naive, %s]\n%s\n", dataset.name.c_str(),
+              table.ToString().c_str());
+}
+
+int Main() {
+  PrintBanner("Ablations: greedy design choices (§IV)");
+  // Keep the naive comparisons tractable.
+  const double scale = std::min(DatasetScale(), 0.1);
+  const Dataset amazon = MakeAmazonDataset(scale);
+  const Dataset imagenet = MakeImageNetDataset(scale);
+  RoundingAblation(amazon);
+  RoundingAblation(imagenet);
+  ChildScanAblation(amazon);
+  PruningAblation(imagenet);
+  OverlayAblation(amazon);
+  OverlayAblation(imagenet);
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

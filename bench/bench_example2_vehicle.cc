@@ -1,0 +1,59 @@
+// Example 2 reproduction: on the Fig. 1 vehicle hierarchy with 100 objects,
+// the worst-case-optimal policy (WIGS objective) costs 260 total while the
+// average-aware query order costs 204 — and the greedy policy matches the
+// latter.
+#include "bench/bench_common.h"
+#include "data/builtin.h"
+#include "eval/decision_tree.h"
+#include "eval/scripted_policy.h"
+#include "util/ascii_table.h"
+
+namespace aigs::bench {
+namespace {
+
+int Main() {
+  std::printf("== Example 2: vehicle hierarchy, 100 objects ==\n\n");
+  VehicleNodes nodes;
+  auto h = Hierarchy::Build(BuildVehicleHierarchy(&nodes));
+  AIGS_CHECK(h.ok());
+  const Distribution dist = VehicleDistribution();
+
+  const ScriptedPolicy wigs_optimal(
+      *h,
+      {nodes.nissan, nodes.maxima, nodes.sentra, nodes.car, nodes.honda,
+       nodes.mercedes},
+      "WIGS-optimal");
+  const ScriptedPolicy average_aware(
+      *h,
+      {nodes.maxima, nodes.sentra, nodes.nissan, nodes.car, nodes.honda,
+       nodes.mercedes},
+      "average-aware");
+  GreedyTreePolicy greedy(*h, dist);
+
+  AsciiTable table({"Policy", "Total cost (100 objects)", "Average cost",
+                    "Worst case"});
+  for (const Policy* policy :
+       {static_cast<const Policy*>(&wigs_optimal),
+        static_cast<const Policy*>(&average_aware),
+        static_cast<const Policy*>(&greedy)}) {
+    const EvalStats stats = EvaluateExact(*policy, *h, dist);
+    table.AddRow({policy->name(),
+                  FormatDouble(stats.expected_cost * 100, 0),
+                  FormatDouble(stats.expected_cost),
+                  std::to_string(stats.max_cost)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper: WIGS-optimal total 260 (worst case 4); average-aware "
+              "total 204 (worst case 6).\n\n");
+
+  auto tree = DecisionTree::Build(greedy, *h);
+  AIGS_CHECK(tree.ok());
+  std::printf("greedy decision tree (Definition 6):\n%s\n",
+              tree->ToDot(*h).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

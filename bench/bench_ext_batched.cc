@@ -1,0 +1,78 @@
+// §III-E extension: batched questions. Crowd platforms answer a batch of k
+// questions in one round trip; batching trades extra questions (money) for
+// fewer rounds (latency). This bench quantifies the trade-off on the
+// Amazon-like catalog under the real distribution.
+#include "bench/bench_common.h"
+#include "core/batched_greedy.h"
+#include "eval/runner.h"
+#include "oracle/oracle.h"
+#include "util/ascii_table.h"
+
+namespace aigs::bench {
+namespace {
+
+struct BatchStats {
+  double questions = 0;
+  double rounds = 0;
+};
+
+BatchStats Evaluate(const Policy& policy, const Hierarchy& h,
+                    const Distribution& dist) {
+  long double questions = 0;
+  long double rounds = 0;
+  for (NodeId target = 0; target < h.NumNodes(); ++target) {
+    ExactOracle oracle(h.reach(), target);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle);
+    AIGS_CHECK(r.target == target);
+    questions += static_cast<long double>(dist.WeightOf(target)) *
+                 static_cast<long double>(r.reach_queries);
+    rounds += static_cast<long double>(dist.WeightOf(target)) *
+              static_cast<long double>(r.interaction_rounds);
+  }
+  const auto total = static_cast<long double>(dist.Total());
+  return {static_cast<double>(questions / total),
+          static_cast<double>(rounds / total)};
+}
+
+int Main() {
+  PrintBanner("Extension: batched questions (§III-E)");
+  // Batched selection rescans candidates per pick; keep the scale modest.
+  const double scale = std::min(DatasetScale(), 0.05);
+  const Dataset dataset = MakeAmazonDataset(scale);
+  const Hierarchy& h = dataset.hierarchy;
+  const Distribution& dist = dataset.real_distribution;
+  std::printf("dataset: %s\n\n", DescribeDataset(dataset).c_str());
+
+  AsciiTable table({"k (questions/round)", "E[questions]", "E[rounds]",
+                    "latency saving", "question overhead"});
+  BatchStats base;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    BatchedGreedyPolicy policy(h, dist,
+                               BatchedGreedyOptions{.questions_per_round = k});
+    const BatchStats stats = Evaluate(policy, h, dist);
+    if (k == 1) {
+      base = stats;
+    }
+    table.AddRow({std::to_string(k), FormatDouble(stats.questions),
+                  FormatDouble(stats.rounds),
+                  FormatDouble((1 - stats.rounds / base.rounds) * 100, 1) +
+                      "%",
+                  FormatDouble((stats.questions / base.questions - 1) * 100,
+                               1) +
+                      "%"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("shape: latency (rounds) keeps improving with k but saturates "
+              "— later questions in a batch\ncannot adapt to earlier answers "
+              "— while the question bill grows super-linearly.\n(The paper "
+              "leaves bounded guarantees for batched DAG search as an open "
+              "problem.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

@@ -1,0 +1,81 @@
+// §VII extension: noisy crowd answers. Sweeps the per-answer flip
+// probability and reports the greedy policy's labeling accuracy and cost,
+// with and without majority voting — quantifying the trade-off the paper
+// flags as future work ("dealing with the negative influence of noise").
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "oracle/noisy_oracle.h"
+#include "prob/alias_table.h"
+#include "util/ascii_table.h"
+#include "util/rng.h"
+
+namespace aigs::bench {
+namespace {
+
+struct NoiseOutcome {
+  double accuracy = 0;
+  double avg_crowd_answers = 0;  // total crowd answers incl. vote repeats
+};
+
+NoiseOutcome Measure(const Policy& policy, const Hierarchy& h,
+                     const Distribution& dist, double flip_prob, int votes,
+                     bool persistent, std::size_t trials, Rng& rng) {
+  const AliasTable sampler(dist);
+  std::size_t correct = 0;
+  std::uint64_t crowd_answers = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const NodeId target = sampler.Sample(rng);
+    ExactOracle exact(h.reach(), target);
+    NoisyOracle transient(exact, flip_prob, rng.Fork());
+    PersistentNoisyOracle sticky(exact, flip_prob, rng.Fork());
+    Oracle& noisy = persistent ? static_cast<Oracle&>(sticky)
+                               : static_cast<Oracle&>(transient);
+    MajorityVoteOracle voted(noisy, votes);
+    auto session = policy.NewSession();
+    RunOptions options;
+    options.max_questions = 1 << 20;
+    const SearchResult r = RunSearch(*session, voted, options);
+    correct += r.target == target ? 1 : 0;
+    crowd_answers += r.reach_queries * static_cast<std::uint64_t>(votes);
+  }
+  return {static_cast<double>(correct) / static_cast<double>(trials),
+          static_cast<double>(crowd_answers) / static_cast<double>(trials)};
+}
+
+int Main() {
+  PrintBanner("Extension: noisy crowd answers (§VII future work)");
+  const Dataset dataset = MakeAmazonDataset(std::min(DatasetScale(), 0.15));
+  const Hierarchy& h = dataset.hierarchy;
+  const Distribution& dist = dataset.real_distribution;
+  const auto greedy = MakeGreedyPolicy(h, dist);
+  const std::size_t trials = static_cast<std::size_t>(
+      EnvInt("AIGS_NOISE_TRIALS", EnvBool("AIGS_FULL", false) ? 2000 : 300));
+
+  AsciiTable table({"Flip prob", "Acc (1 vote)", "Acc (5 votes)",
+                    "Acc (5 votes, persistent)", "Answers (5 votes)"});
+  Rng rng(77);
+  for (const double flip : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const NoiseOutcome single =
+        Measure(*greedy, h, dist, flip, 1, /*persistent=*/false, trials, rng);
+    const NoiseOutcome voted =
+        Measure(*greedy, h, dist, flip, 5, /*persistent=*/false, trials, rng);
+    const NoiseOutcome sticky =
+        Measure(*greedy, h, dist, flip, 5, /*persistent=*/true, trials, rng);
+    table.AddRow({FormatDouble(flip, 2),
+                  FormatDouble(single.accuracy * 100, 1) + "%",
+                  FormatDouble(voted.accuracy * 100, 1) + "%",
+                  FormatDouble(sticky.accuracy * 100, 1) + "%",
+                  FormatDouble(voted.avg_crowd_answers, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("takeaway: majority voting buys back accuracy under transient "
+              "noise at ~5x crowd answers\nper object — but is powerless "
+              "against persistent noise (the same wrong answer repeats),\n"
+              "exactly the challenge §VII flags as future work.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

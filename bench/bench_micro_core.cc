@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) for the hot building blocks:
+// transitive-closure construction, subtree-weight initialization, middle
+// point selection, oracle answering and session overlays.
+#include <benchmark/benchmark.h>
+
+#include "core/aigs.h"
+#include "core/middle_point.h"
+#include "core/reach_weight_index.h"
+#include "core/tree_weight_index.h"
+#include "data/synthetic_catalog.h"
+#include "eval/runner.h"
+#include "graph/candidate_set.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+CatalogParams SmallTreeParams() {
+  CatalogParams p;
+  p.num_nodes = 4000;
+  p.height = 10;
+  p.max_out_degree = 64;
+  p.seed = 5;
+  return p;
+}
+
+CatalogParams SmallDagParams() {
+  CatalogParams p = SmallTreeParams();
+  p.extra_parent_frac = 0.05;
+  p.seed = 6;
+  return p;
+}
+
+const Hierarchy& TreeHierarchy() {
+  static const Hierarchy* h = [] {
+    auto built = Hierarchy::Build(GenerateCatalogTree(SmallTreeParams()));
+    AIGS_CHECK(built.ok());
+    return new Hierarchy(*std::move(built));
+  }();
+  return *h;
+}
+
+const Hierarchy& DagHierarchy() {
+  static const Hierarchy* h = [] {
+    auto built = Hierarchy::Build(GenerateCatalogDag(SmallDagParams()));
+    AIGS_CHECK(built.ok());
+    return new Hierarchy(*std::move(built));
+  }();
+  return *h;
+}
+
+const Distribution& TreeDist() {
+  static const Distribution* d = new Distribution(
+      AssignZipfObjectCounts(TreeHierarchy().NumNodes(), 1'000'000, 1.0, 9));
+  return *d;
+}
+
+const Distribution& DagDist() {
+  static const Distribution* d = new Distribution(
+      AssignZipfObjectCounts(DagHierarchy().NumNodes(), 1'000'000, 1.0, 9));
+  return *d;
+}
+
+void BM_ClosureConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  CatalogParams p = SmallDagParams();
+  p.num_nodes = n;
+  const Digraph g = GenerateCatalogDag(p);
+  for (auto _ : state) {
+    ReachabilityIndex index(g);
+    benchmark::DoNotOptimize(index.ReachableCount(g.root()));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ClosureConstruction)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Complexity();
+
+void BM_SubtreeWeightInit(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  for (auto _ : state) {
+    TreeWeightBase base(h.tree(), TreeDist().weights());
+    benchmark::DoNotOptimize(base.Total());
+  }
+}
+BENCHMARK(BM_SubtreeWeightInit);
+
+void BM_ReachWeightInit(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  for (auto _ : state) {
+    ReachWeightBase base(h, DagDist().weights());
+    benchmark::DoNotOptimize(base.Total());
+  }
+}
+BENCHMARK(BM_ReachWeightInit);
+
+void BM_MiddlePointNaiveScan(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  const auto& weights = DagDist().weights();
+  CandidateSet candidates(h.graph());
+  Weight total = 0;
+  for (const Weight w : weights) {
+    total += w;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindMiddlePointNaive(h.graph(), candidates,
+                                                  h.root(), weights, total));
+  }
+}
+BENCHMARK(BM_MiddlePointNaiveScan);
+
+void BM_OracleReach(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  ExactOracle oracle(h.reach(), static_cast<NodeId>(h.NumNodes() - 1));
+  NodeId q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Reach(q));
+    q = (q + 1) % static_cast<NodeId>(h.NumNodes());
+  }
+}
+BENCHMARK(BM_OracleReach);
+
+void BM_GreedyTreeSearch(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  GreedyTreePolicy policy(h, TreeDist());
+  Rng rng(3);
+  for (auto _ : state) {
+    const NodeId target =
+        static_cast<NodeId>(rng.UniformInt(h.NumNodes()));
+    ExactOracle oracle(h.reach(), target);
+    auto session = policy.NewSession();
+    benchmark::DoNotOptimize(RunSearch(*session, oracle).target);
+  }
+}
+BENCHMARK(BM_GreedyTreeSearch);
+
+void BM_GreedyDagSearch(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  GreedyDagPolicy policy(h, DagDist());
+  Rng rng(4);
+  for (auto _ : state) {
+    const NodeId target =
+        static_cast<NodeId>(rng.UniformInt(h.NumNodes()));
+    ExactOracle oracle(h.reach(), target);
+    auto session = policy.NewSession();
+    benchmark::DoNotOptimize(RunSearch(*session, oracle).target);
+  }
+}
+BENCHMARK(BM_GreedyDagSearch);
+
+void BM_TreeSessionCreation(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  GreedyTreePolicy policy(h, TreeDist());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.NewSession());
+  }
+}
+BENCHMARK(BM_TreeSessionCreation);
+
+void BM_OnlineWeightUpdate(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  GreedyTreePolicy policy(h, TreeDist());
+  Rng rng(5);
+  for (auto _ : state) {
+    policy.mutable_base()->AddWeight(
+        static_cast<NodeId>(rng.UniformInt(h.NumNodes())), 1);
+  }
+}
+BENCHMARK(BM_OnlineWeightUpdate);
+
+}  // namespace
+}  // namespace aigs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table II reproduction: statistics of the evaluation datasets.
+//
+// Paper values:
+//   Amazon   | 29,240 nodes | height 10 | max deg 225 | Tree | 13,886,889
+//   ImageNet | 27,714 nodes | height 13 | max deg 402 | DAG  | 12,656,970
+#include "bench/bench_common.h"
+#include "util/ascii_table.h"
+
+namespace aigs::bench {
+namespace {
+
+void AddRow(AsciiTable& table, const Dataset& d) {
+  table.AddRow({d.name, FormatWithCommas(d.hierarchy.NumNodes()),
+                std::to_string(d.hierarchy.Height()),
+                std::to_string(d.hierarchy.MaxOutDegree()),
+                d.hierarchy.is_tree() ? "Tree" : "DAG",
+                FormatWithCommas(d.num_objects)});
+}
+
+int Main() {
+  PrintBanner("Table II: statistics of datasets");
+  const double scale = DatasetScale();
+  AsciiTable table(
+      {"Dataset", "#nodes", "Height", "Max Deg.", "Type", "#objects"});
+  AddRow(table, MakeAmazonDataset(scale));
+  AddRow(table, MakeImageNetDataset(scale));
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper (full scale): Amazon 29,240/10/225/Tree/13,886,889 ; "
+      "ImageNet 27,714/13/402/DAG/12,656,970\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

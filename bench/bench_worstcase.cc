@@ -1,0 +1,51 @@
+// Average-vs-worst-case tension at dataset scale — Example 2's point writ
+// large: WIGS optimizes the maximum number of questions any single object
+// can need, the greedy policy the expected number; each wins its own
+// objective.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/cost_profile.h"
+#include "util/ascii_table.h"
+
+namespace aigs::bench {
+namespace {
+
+void RunDataset(const Dataset& dataset) {
+  const Hierarchy& h = dataset.hierarchy;
+  const Distribution& dist = dataset.real_distribution;
+
+  AsciiTable table({"Algorithm", "E[questions]", "median", "p90", "p99",
+                    "max (WIGS objective)"});
+  TopDownPolicy top_down(h);
+  const auto wigs = MakeWigsPolicy(h);
+  const auto greedy = MakeGreedyPolicy(h, dist);
+  const std::vector<const Policy*> policies{&top_down, wigs.get(),
+                                            greedy.get()};
+  for (const Policy* policy : policies) {
+    const EvalStats stats = EvaluateExact(*policy, h, dist);
+    const CostProfile profile(stats.per_target_cost, dist);
+    table.AddRow({policy->name(), FormatDouble(profile.Mean()),
+                  std::to_string(profile.Median()),
+                  std::to_string(profile.P90()),
+                  std::to_string(profile.P99()),
+                  std::to_string(stats.max_cost)});
+  }
+  std::printf("%s\n%s\n", dataset.name.c_str(), table.ToString().c_str());
+}
+
+int Main() {
+  PrintBanner("Average-case vs worst-case objectives (Example 2 at scale)");
+  const double scale = DatasetScale();
+  RunDataset(MakeAmazonDataset(scale));
+  RunDataset(MakeImageNetDataset(scale));
+  std::printf("shape: greedy wins the expectation by a wide margin while "
+              "WIGS stays competitive on\nthe worst case — the trade-off "
+              "that motivates AIGS (§I, Example 2).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aigs::bench
+
+int main() { return aigs::bench::Main(); }

@@ -1,0 +1,93 @@
+// Interactive demo: YOU are the crowd. Think of one node in the vehicle
+// hierarchy (or pass a hierarchy file as argv[1]) and answer the greedy
+// policy's reachability questions with y/n; it identifies your node in a
+// handful of questions.
+//
+// Usage:  interactive_demo [hierarchy.txt]
+// Answers: y / n / q (quit). Non-interactive stdin ends the demo gracefully.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "graph/graph_io.h"
+
+using namespace aigs;  // NOLINT — example brevity
+
+namespace {
+
+const char* NodeName(const Hierarchy& h, NodeId v, std::string& storage) {
+  if (!h.graph().Label(v).empty()) {
+    return h.graph().Label(v).c_str();
+  }
+  storage = "node #" + std::to_string(v);
+  return storage.c_str();
+}
+
+int ReadAnswer() {
+  char buffer[64];
+  if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr) {
+    return -1;  // EOF — e.g. piped input exhausted
+  }
+  switch (buffer[0]) {
+    case 'y':
+    case 'Y':
+      return 1;
+    case 'n':
+    case 'N':
+      return 0;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StatusOr<Digraph> graph =
+      argc > 1 ? LoadHierarchy(argv[1])
+               : StatusOr<Digraph>(BuildVehicleHierarchy());
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto hierarchy = Hierarchy::Build(*std::move(graph));
+  if (!hierarchy.ok()) {
+    std::fprintf(stderr, "%s\n", hierarchy.status().ToString().c_str());
+    return 1;
+  }
+  const Hierarchy& h = *hierarchy;
+
+  std::printf("Think of one of the %zu categories. I will ask yes/no "
+              "questions.\n",
+              h.NumNodes());
+  std::string storage;
+  if (argc <= 1) {
+    std::printf("(categories: Vehicle, Car, Nissan, Honda, Mercedes, "
+                "Maxima, Sentra)\n");
+  }
+
+  // Without better knowledge, assume all categories equally likely.
+  const Distribution dist = EqualDistribution(h.NumNodes());
+  const auto policy = MakeGreedyPolicy(h, dist);
+  auto session = policy->NewSession();
+  int questions = 0;
+  for (;;) {
+    const Query q = session->Next();
+    if (q.kind == Query::Kind::kDone) {
+      std::printf("=> you were thinking of: %s (%d questions)\n",
+                  NodeName(h, q.node, storage), questions);
+      return 0;
+    }
+    std::printf("Q%d: is your category '%s' or below it? [y/n] ",
+                ++questions, NodeName(h, q.node, storage));
+    std::fflush(stdout);
+    const int answer = ReadAnswer();
+    if (answer < 0) {
+      std::printf("\n(no answer — bye)\n");
+      return 0;
+    }
+    session->OnReach(q.node, answer == 1);
+  }
+}

@@ -1,0 +1,53 @@
+// Product categorization on an Amazon-like tree: the paper's headline
+// scenario. Compares all four competitors on a synthetic catalog and shows
+// the crowdsourcing bill for a labeling campaign.
+#include <cstdio>
+
+#include "baselines/migs.h"
+#include "baselines/top_down.h"
+#include "baselines/wigs.h"
+#include "core/aigs.h"
+#include "data/datasets.h"
+#include "eval/evaluator.h"
+#include "util/ascii_table.h"
+#include "util/string_util.h"
+
+using namespace aigs;  // NOLINT — example brevity
+
+int main() {
+  // A 10%-scale catalog keeps this example under a few seconds.
+  const Dataset dataset = MakeAmazonDataset(0.10);
+  const Hierarchy& h = dataset.hierarchy;
+  std::printf("catalog: %s\n\n", DescribeDataset(dataset).c_str());
+
+  TopDownPolicy top_down(h);
+  MigsPolicy migs(h);
+  WigsTreePolicy wigs(h);
+  GreedyTreePolicy greedy(h, dataset.real_distribution);
+
+  AsciiTable table({"Algorithm", "E[questions/object]",
+                    "Cost to label all objects ($1/question)"});
+  double greedy_cost = 0;
+  double top_down_cost = 0;
+  for (const Policy* policy :
+       {static_cast<const Policy*>(&top_down),
+        static_cast<const Policy*>(&migs),
+        static_cast<const Policy*>(&wigs),
+        static_cast<const Policy*>(&greedy)}) {
+    const double cost =
+        EvaluateExact(*policy, h, dataset.real_distribution).expected_cost;
+    if (policy == &greedy) {
+      greedy_cost = cost;
+    }
+    if (policy == &top_down) {
+      top_down_cost = cost;
+    }
+    table.AddRow({policy->name(), FormatDouble(cost),
+                  "$" + FormatWithCommas(static_cast<std::uint64_t>(
+                            cost * static_cast<double>(dataset.num_objects)))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("greedy saves %.1f%% of the crowdsourcing bill vs TopDown.\n",
+              (1 - greedy_cost / top_down_cost) * 100);
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "baselines/migs.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aigs {
+namespace {
+
+class MigsSession final : public SearchSession {
+ public:
+  MigsSession(const Digraph& g,
+              const std::vector<std::vector<NodeId>>* ordered_children,
+              std::size_t max_choices)
+      : graph_(&g),
+        ordered_children_(ordered_children),
+        max_choices_(max_choices),
+        node_(g.root()) {}
+
+  Query Next() override {
+    const std::vector<NodeId>& children = ChildrenOf(node_);
+    if (offset_ >= children.size()) {
+      return Query::Done(node_);
+    }
+    const std::size_t batch =
+        max_choices_ == 0
+            ? children.size() - offset_
+            : std::min(max_choices_, children.size() - offset_);
+    std::vector<NodeId> choices(
+        children.begin() + static_cast<std::ptrdiff_t>(offset_),
+        children.begin() + static_cast<std::ptrdiff_t>(offset_ + batch));
+    return Query::ChoiceQuery(std::move(choices));
+  }
+
+  void OnChoice(std::span<const NodeId> choices, int answer) override {
+    AIGS_CHECK(!choices.empty());
+    if (answer < 0) {
+      offset_ += choices.size();  // none of this batch; next batch (or done)
+      return;
+    }
+    AIGS_CHECK(static_cast<std::size_t>(answer) < choices.size());
+    node_ = choices[static_cast<std::size_t>(answer)];
+    offset_ = 0;
+  }
+
+  void OnReach(NodeId, bool) override {
+    AIGS_CHECK(false && "MIGS only asks choice questions");
+  }
+
+ private:
+  const std::vector<NodeId>& ChildrenOf(NodeId v) {
+    if (!ordered_children_->empty()) {
+      return (*ordered_children_)[v];
+    }
+    // Insertion order; materialize once per visited node.
+    scratch_.assign(graph_->Children(v).begin(), graph_->Children(v).end());
+    return scratch_;
+  }
+
+  const Digraph* graph_;
+  const std::vector<std::vector<NodeId>>* ordered_children_;
+  std::size_t max_choices_;
+  NodeId node_;
+  std::size_t offset_ = 0;
+  std::vector<NodeId> scratch_;
+};
+
+}  // namespace
+
+MigsPolicy::MigsPolicy(const Hierarchy& hierarchy, MigsOptions options)
+    : hierarchy_(&hierarchy), options_(options) {}
+
+MigsPolicy::MigsPolicy(const Hierarchy& hierarchy, const Distribution& dist,
+                       MigsOptions options)
+    : hierarchy_(&hierarchy), options_(options) {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+  const std::vector<Weight> reach_weight =
+      hierarchy.reach().AllReachableSetWeights(dist.weights());
+  ordered_children_.resize(hierarchy.NumNodes());
+  for (NodeId v = 0; v < hierarchy.NumNodes(); ++v) {
+    const auto children = hierarchy.graph().Children(v);
+    ordered_children_[v].assign(children.begin(), children.end());
+    std::stable_sort(
+        ordered_children_[v].begin(), ordered_children_[v].end(),
+        [&reach_weight](NodeId a, NodeId b) {
+          return reach_weight[a] > reach_weight[b];
+        });
+  }
+}
+
+std::unique_ptr<SearchSession> MigsPolicy::NewSession() const {
+  return std::make_unique<MigsSession>(hierarchy_->graph(),
+                                       &ordered_children_,
+                                       options_.max_choices_per_question);
+}
+
+}  // namespace aigs

@@ -1,0 +1,41 @@
+#include "baselines/top_down.h"
+
+namespace aigs {
+namespace {
+
+class TopDownSession final : public SearchSession {
+ public:
+  explicit TopDownSession(const Digraph& g) : graph_(&g), node_(g.root()) {}
+
+  Query Next() override {
+    const auto children = graph_->Children(node_);
+    if (child_idx_ >= children.size()) {
+      return Query::Done(node_);
+    }
+    return Query::ReachQuery(children[child_idx_]);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(child_idx_ < graph_->Children(node_).size());
+    AIGS_CHECK(q == graph_->Children(node_)[child_idx_]);
+    if (yes) {
+      node_ = q;
+      child_idx_ = 0;
+    } else {
+      ++child_idx_;
+    }
+  }
+
+ private:
+  const Digraph* graph_;
+  NodeId node_;
+  std::size_t child_idx_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchSession> TopDownPolicy::NewSession() const {
+  return std::make_unique<TopDownSession>(hierarchy_->graph());
+}
+
+}  // namespace aigs

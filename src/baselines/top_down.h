@@ -1,0 +1,32 @@
+// TopDown: the naive strategy from the paper's introduction — starting at
+// the root, query each child in order until one answers yes, descend, and
+// repeat; when every child answers no, the current node is the target.
+// Distribution-oblivious, hence its flat cost across probability settings
+// (Tables IV/V).
+#ifndef AIGS_BASELINES_TOP_DOWN_H_
+#define AIGS_BASELINES_TOP_DOWN_H_
+
+#include <memory>
+#include <string>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+
+namespace aigs {
+
+/// Naive top-down baseline (works on trees and DAGs).
+class TopDownPolicy : public Policy {
+ public:
+  explicit TopDownPolicy(const Hierarchy& hierarchy)
+      : hierarchy_(&hierarchy) {}
+
+  std::string name() const override { return "TopDown"; }
+  std::unique_ptr<SearchSession> NewSession() const override;
+
+ private:
+  const Hierarchy* hierarchy_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_BASELINES_TOP_DOWN_H_

@@ -1,0 +1,254 @@
+#include "baselines/wigs.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aigs {
+namespace {
+
+// ---- Tree variant ----------------------------------------------------------
+
+class WigsTreeSession final : public SearchSession {
+ public:
+  WigsTreeSession(const Tree& tree, const HeavyPathDecomposition& hpd,
+                  const std::vector<std::vector<NodeId>>& ordered_children)
+      : tree_(&tree), hpd_(&hpd), ordered_children_(&ordered_children),
+        root_(tree.root()) {}
+
+  Query Next() override {
+    for (;;) {
+      switch (phase_) {
+        case Phase::kStartPath: {
+          if (tree_->Children(root_).empty()) {
+            return Query::Done(root_);
+          }
+          path_ = hpd_->PathFrom(root_);
+          lo_ = 0;
+          hi_ = path_.size() - 1;
+          phase_ = Phase::kBinarySearch;
+          break;
+        }
+        case Phase::kBinarySearch: {
+          if (lo_ < hi_) {
+            const std::size_t mid = (lo_ + hi_ + 1) / 2;
+            pending_ = path_[mid];
+            return Query::ReachQuery(pending_);
+          }
+          // Deepest yes node found; scan its light children.
+          anchor_ = path_[lo_];
+          heavy_child_ =
+              lo_ + 1 < path_.size() ? path_[lo_ + 1] : kInvalidNode;
+          scan_idx_ = 0;
+          phase_ = Phase::kLightScan;
+          break;
+        }
+        case Phase::kLightScan: {
+          const auto& children = (*ordered_children_)[anchor_];
+          while (scan_idx_ < children.size() &&
+                 children[scan_idx_] == heavy_child_) {
+            ++scan_idx_;  // the heavy child already answered no
+          }
+          if (scan_idx_ >= children.size()) {
+            return Query::Done(anchor_);
+          }
+          pending_ = children[scan_idx_];
+          return Query::ReachQuery(pending_);
+        }
+      }
+    }
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (phase_ == Phase::kBinarySearch) {
+      const std::size_t mid = (lo_ + hi_ + 1) / 2;
+      AIGS_DCHECK(path_[mid] == q);
+      if (yes) {
+        lo_ = mid;
+      } else {
+        hi_ = mid - 1;
+      }
+      return;
+    }
+    AIGS_CHECK(phase_ == Phase::kLightScan);
+    if (yes) {
+      root_ = q;
+      phase_ = Phase::kStartPath;
+    } else {
+      ++scan_idx_;
+    }
+  }
+
+ private:
+  enum class Phase { kStartPath, kBinarySearch, kLightScan };
+
+  const Tree* tree_;
+  const HeavyPathDecomposition* hpd_;
+  const std::vector<std::vector<NodeId>>* ordered_children_;
+
+  NodeId root_;
+  Phase phase_ = Phase::kStartPath;
+  std::vector<NodeId> path_;
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 0;
+  NodeId anchor_ = kInvalidNode;
+  NodeId heavy_child_ = kInvalidNode;
+  std::size_t scan_idx_ = 0;
+  NodeId pending_ = kInvalidNode;
+};
+
+// ---- DAG variant -----------------------------------------------------------
+
+// Generalizes the tree strategy to DAGs with the candidate counts maintained
+// by DagSearchState (unit weights):
+//  * kChildScan — probe the current anchor's children in decreasing
+//    alive-count order, one question each (the light-children scan);
+//  * kBinarySearch — once a child answers yes, build the count-heaviest
+//    chain below it and binary-search for the deepest yes. Chains are
+//    directed paths, so reach() answers along them are prefix-monotone.
+// Answers update the candidate sub-DAG eagerly in both phases.
+class WigsDagSession final : public SearchSession {
+ public:
+  explicit WigsDagSession(const ReachWeightBase& unit_base)
+      : state_(unit_base), anchor_(state_.root()) {}
+
+  Query Next() override {
+    if (state_.AliveCount() == 1) {
+      return Query::Done(state_.Target());
+    }
+    if (phase_ == Phase::kBinarySearch && lo_ < hi_) {
+      const std::size_t mid = Mid();
+      pending_ = chain_[mid];
+      return Query::ReachQuery(pending_);
+    }
+    phase_ = Phase::kChildScan;
+    pending_ = MaxCountAliveChild(anchor_);
+    // AliveCount() > 1 plus the downward-closure invariant guarantee the
+    // anchor still has an alive child.
+    AIGS_CHECK(pending_ != kInvalidNode);
+    return Query::ReachQuery(pending_);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (phase_ == Phase::kChildScan) {
+      if (yes) {
+        state_.ApplyYes(q);
+        anchor_ = q;
+        StartBinarySearch();
+      } else {
+        state_.ApplyNo(q);  // next Next() probes the next-best child
+      }
+      return;
+    }
+    AIGS_CHECK(phase_ == Phase::kBinarySearch);
+    const std::ptrdiff_t mid = static_cast<std::ptrdiff_t>(Mid());
+    AIGS_DCHECK(chain_[static_cast<std::size_t>(mid)] == q);
+    if (yes) {
+      state_.ApplyYes(q);
+      anchor_ = q;
+      lo_ = mid;
+    } else {
+      state_.ApplyNo(q);
+      hi_ = mid - 1;
+    }
+    if (lo_ >= hi_) {
+      phase_ = Phase::kChildScan;  // anchor found; scan its children
+    }
+  }
+
+ private:
+  enum class Phase { kChildScan, kBinarySearch };
+
+  std::size_t Mid() const {
+    return static_cast<std::size_t>((lo_ + hi_ + 1) / 2);
+  }
+
+  NodeId MaxCountAliveChild(NodeId v) const {
+    NodeId best = kInvalidNode;
+    Weight best_count = 0;
+    for (const NodeId c : state_.graph().Children(v)) {
+      if (!state_.IsAlive(c)) {
+        continue;
+      }
+      const Weight count = state_.ReachWeight(c);
+      if (best == kInvalidNode || count > best_count) {
+        best = c;
+        best_count = count;
+      }
+    }
+    return best;
+  }
+
+  // The anchor just answered yes: binary-search the count-heaviest chain
+  // below it (anchor excluded; chain[0] is its heaviest alive child).
+  void StartBinarySearch() {
+    chain_.clear();
+    for (NodeId v = MaxCountAliveChild(anchor_); v != kInvalidNode;
+         v = MaxCountAliveChild(v)) {
+      chain_.push_back(v);
+    }
+    if (chain_.empty()) {
+      phase_ = Phase::kChildScan;
+      return;
+    }
+    lo_ = -1;  // -1 encodes "even chain[0] may be a no"
+    hi_ = static_cast<std::ptrdiff_t>(chain_.size()) - 1;
+    phase_ = Phase::kBinarySearch;
+  }
+
+  DagSearchState state_;
+  NodeId anchor_ = kInvalidNode;
+  Phase phase_ = Phase::kChildScan;
+  std::vector<NodeId> chain_;
+  std::ptrdiff_t lo_ = 0;
+  std::ptrdiff_t hi_ = 0;
+  NodeId pending_ = kInvalidNode;
+};
+
+}  // namespace
+
+WigsTreePolicy::WigsTreePolicy(const Hierarchy& hierarchy)
+    : hierarchy_(&hierarchy),
+      hpd_(HeavyPathDecomposition::BySize(hierarchy.tree())) {
+  AIGS_CHECK(hierarchy.is_tree());
+  const Tree& tree = hierarchy.tree();
+  std::vector<std::uint32_t> sizes(tree.NumNodes());
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    sizes[v] = static_cast<std::uint32_t>(tree.SubtreeSize(v));
+  }
+  subtree_size_ = std::move(sizes);
+  ordered_children_.resize(tree.NumNodes());
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    const auto children = tree.Children(v);
+    ordered_children_[v].assign(children.begin(), children.end());
+    std::stable_sort(ordered_children_[v].begin(), ordered_children_[v].end(),
+                     [this](NodeId a, NodeId b) {
+                       return subtree_size_[a] > subtree_size_[b];
+                     });
+  }
+}
+
+std::unique_ptr<SearchSession> WigsTreePolicy::NewSession() const {
+  return std::make_unique<WigsTreeSession>(hierarchy_->tree(), hpd_,
+                                           ordered_children_);
+}
+
+WigsDagPolicy::WigsDagPolicy(const Hierarchy& hierarchy)
+    : unit_base_(hierarchy,
+                 std::vector<Weight>(hierarchy.NumNodes(), Weight{1})) {}
+
+std::unique_ptr<SearchSession> WigsDagPolicy::NewSession() const {
+  return std::make_unique<WigsDagSession>(unit_base_);
+}
+
+std::unique_ptr<Policy> MakeWigsPolicy(const Hierarchy& hierarchy) {
+  if (hierarchy.is_tree()) {
+    return std::make_unique<WigsTreePolicy>(hierarchy);
+  }
+  return std::make_unique<WigsDagPolicy>(hierarchy);
+}
+
+}  // namespace aigs

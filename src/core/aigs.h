@@ -1,0 +1,26 @@
+// Umbrella header: the public API of the aigs library.
+//
+// Quickstart:
+//   #include "core/aigs.h"
+//   Hierarchy h = *Hierarchy::Build(std::move(my_digraph));
+//   Distribution dist = *Distribution::FromWeights(object_counts);
+//   auto policy = MakeGreedyPolicy(h, dist);
+//   ExactOracle oracle(h.reach(), hidden_target);
+//   SearchResult r = RunSearch(*policy->NewSession(), oracle);
+#ifndef AIGS_CORE_AIGS_H_
+#define AIGS_CORE_AIGS_H_
+
+#include "core/batched_greedy.h"   // IWYU pragma: export
+#include "core/cost_sensitive.h"   // IWYU pragma: export
+#include "core/greedy.h"           // IWYU pragma: export
+#include "core/greedy_dag.h"       // IWYU pragma: export
+#include "core/greedy_naive.h"     // IWYU pragma: export
+#include "core/greedy_tree.h"      // IWYU pragma: export
+#include "core/hierarchy.h"        // IWYU pragma: export
+#include "core/policy.h"           // IWYU pragma: export
+#include "oracle/noisy_oracle.h"   // IWYU pragma: export
+#include "oracle/oracle.h"         // IWYU pragma: export
+#include "prob/distribution.h"     // IWYU pragma: export
+#include "prob/rounding.h"         // IWYU pragma: export
+
+#endif  // AIGS_CORE_AIGS_H_

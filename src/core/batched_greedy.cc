@@ -1,0 +1,136 @@
+#include "core/batched_greedy.h"
+
+#include <vector>
+
+#include "graph/candidate_set.h"
+
+namespace aigs {
+namespace {
+
+class BatchedGreedySession final : public SearchSession {
+ public:
+  BatchedGreedySession(const Hierarchy& h, const std::vector<Weight>& weights,
+                       std::size_t questions_per_round)
+      : hierarchy_(&h),
+        weights_(&weights),
+        questions_per_round_(questions_per_round),
+        candidates_(h.graph()),
+        scratch_(h.NumNodes()) {}
+
+  Query Next() override {
+    if (candidates_.alive_count() == 1) {
+      return Query::Done(candidates_.SoleCandidate());
+    }
+    if (pending_.empty()) {
+      SelectBatch();
+    }
+    return Query::ReachBatch(pending_);
+  }
+
+  void OnReachBatch(std::span<const NodeId> nodes,
+                    const std::vector<bool>& answers) override {
+    AIGS_CHECK(nodes.size() == pending_.size());
+    AIGS_CHECK(answers.size() == nodes.size());
+    const ReachabilityIndex& reach = hierarchy_->reach();
+    // Intersect all answers: t survives iff Reaches(q_i, t) == answers[i]
+    // for every question of the round. (Answers may reference nodes already
+    // excluded by other answers of the same round — intersection handles
+    // every combination uniformly.)
+    std::vector<NodeId> to_kill;
+    candidates_.bits().ForEachSetBit([&](std::size_t raw) {
+      const NodeId t = static_cast<NodeId>(raw);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (reach.Reaches(nodes[i], t) != answers[i]) {
+          to_kill.push_back(t);
+          return;
+        }
+      }
+    });
+    // Kill via single-node removals on the bitset; counts stay consistent.
+    for (const NodeId t : to_kill) {
+      candidates_.KillOne(t);
+    }
+    AIGS_CHECK(candidates_.alive_count() >= 1);
+    pending_.clear();
+  }
+
+  void OnReach(NodeId, bool) override {
+    AIGS_CHECK(false && "batched sessions only ask batch questions");
+  }
+
+ private:
+  // Picks up to k questions: each is the middle point of the region that
+  // remains after assuming "no" to the round's earlier picks.
+  void SelectBatch() {
+    pending_.clear();
+    CandidateSet simulated = candidates_;
+    while (pending_.size() < questions_per_round_ &&
+           simulated.alive_count() > 1) {
+      const NodeId q = MiddlePointOf(simulated);
+      if (q == kInvalidNode) {
+        break;
+      }
+      pending_.push_back(q);
+      simulated.RemoveReachable(q);
+    }
+    AIGS_CHECK(!pending_.empty());
+  }
+
+  // Middle point over `set`: minimizes |2·w(R(v) ∩ set) − w(set)| among
+  // nodes that actually split the set (0 < |R(v) ∩ set| < |set| by count),
+  // so progress never stalls on zero-weight regions.
+  NodeId MiddlePointOf(CandidateSet& set) {
+    const Digraph& g = hierarchy_->graph();
+    Weight total = 0;
+    set.bits().ForEachSetBit(
+        [&](std::size_t v) { total += (*weights_)[v]; });
+    NodeId best = kInvalidNode;
+    Weight best_diff = 0;
+    const std::size_t set_count = set.alive_count();
+    set.bits().ForEachSetBit([&](std::size_t raw) {
+      const NodeId v = static_cast<NodeId>(raw);
+      Weight reach_weight = 0;
+      std::size_t reach_count = 0;
+      scratch_.ForwardBfs(
+          g, v, [&set](NodeId x) { return set.IsAlive(x); },
+          [&](NodeId x) {
+            reach_weight += (*weights_)[x];
+            ++reach_count;
+          });
+      if (reach_count == set_count) {
+        return;  // "yes" is certain; the question is wasted
+      }
+      const Weight twice = 2 * reach_weight;
+      const Weight diff = twice > total ? twice - total : total - twice;
+      if (best == kInvalidNode || diff < best_diff) {
+        best = v;
+        best_diff = diff;
+      }
+    });
+    return best;
+  }
+
+  const Hierarchy* hierarchy_;
+  const std::vector<Weight>* weights_;
+  std::size_t questions_per_round_;
+  CandidateSet candidates_;
+  BfsScratch scratch_;
+  std::vector<NodeId> pending_;
+};
+
+}  // namespace
+
+BatchedGreedyPolicy::BatchedGreedyPolicy(const Hierarchy& hierarchy,
+                                         const Distribution& dist,
+                                         BatchedGreedyOptions options)
+    : hierarchy_(&hierarchy), weights_(dist.weights()), options_(options) {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+  AIGS_CHECK(options.questions_per_round >= 1);
+}
+
+std::unique_ptr<SearchSession> BatchedGreedyPolicy::NewSession() const {
+  return std::make_unique<BatchedGreedySession>(
+      *hierarchy_, weights_, options_.questions_per_round);
+}
+
+}  // namespace aigs

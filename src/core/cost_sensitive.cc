@@ -1,0 +1,82 @@
+#include "core/cost_sensitive.h"
+
+namespace aigs {
+namespace {
+
+class CostSensitiveSession final : public SearchSession {
+ public:
+  CostSensitiveSession(const ReachWeightBase& base, const CostModel& costs)
+      : state_(base), costs_(&costs) {}
+
+  Query Next() override {
+    if (state_.AliveCount() == 1) {
+      return Query::Done(state_.Target());
+    }
+    if (pending_ == kInvalidNode) {
+      pending_ = SelectQueryNode();
+    }
+    return Query::ReachQuery(pending_);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (yes) {
+      state_.ApplyYes(q);
+    } else {
+      state_.ApplyNo(q);
+    }
+  }
+
+ private:
+  // argmax over alive v != root of p(G_v∩C)·p(C\G_v)/c(v), compared by exact
+  // 128-bit cross multiplication: a/ca > b/cb  <=>  a·cb > b·ca.
+  NodeId SelectQueryNode() {
+    const NodeId r = state_.root();
+    const Weight total = state_.TotalAlive();
+    NodeId best = kInvalidNode;
+    U128 best_product = 0;       // p(G_v∩C)·p(C\G_v)
+    std::uint32_t best_cost = 1;  // c(best)
+    state_.candidates().bits().ForEachSetBit([&](std::size_t raw) {
+      const NodeId v = static_cast<NodeId>(raw);
+      if (v == r) {
+        return;
+      }
+      const Weight inside = state_.ReachWeight(v);
+      const U128 product =
+          static_cast<U128>(inside) * static_cast<U128>(total - inside);
+      const std::uint32_t cost = costs_->CostOf(v);
+      if (best == kInvalidNode ||
+          product * best_cost > best_product * cost) {
+        best = v;
+        best_product = product;
+        best_cost = cost;
+      }
+    });
+    AIGS_CHECK(best != kInvalidNode);
+    return best;
+  }
+
+  DagSearchState state_;
+  const CostModel* costs_;
+  NodeId pending_ = kInvalidNode;
+};
+
+}  // namespace
+
+CostSensitiveGreedyPolicy::CostSensitiveGreedyPolicy(
+    const Hierarchy& hierarchy, const Distribution& dist,
+    const CostModel& costs, CostSensitiveOptions options)
+    : base_(hierarchy, options.use_rounded_weights
+                           ? RoundWeights(dist, options.rounding)
+                           : dist.weights()),
+      costs_(&costs) {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+  AIGS_CHECK(costs.size() == hierarchy.NumNodes());
+}
+
+std::unique_ptr<SearchSession> CostSensitiveGreedyPolicy::NewSession() const {
+  return std::make_unique<CostSensitiveSession>(base_, *costs_);
+}
+
+}  // namespace aigs

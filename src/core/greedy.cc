@@ -1,0 +1,13 @@
+#include "core/greedy.h"
+
+namespace aigs {
+
+std::unique_ptr<Policy> MakeGreedyPolicy(const Hierarchy& hierarchy,
+                                         const Distribution& dist) {
+  if (hierarchy.is_tree()) {
+    return std::make_unique<GreedyTreePolicy>(hierarchy, dist);
+  }
+  return std::make_unique<GreedyDagPolicy>(hierarchy, dist);
+}
+
+}  // namespace aigs

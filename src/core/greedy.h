@@ -1,0 +1,23 @@
+// Convenience factory: picks the right efficient greedy instantiation for a
+// hierarchy (GreedyTree on trees, GreedyDAG otherwise) — what the paper
+// reports as "GreedyTree / GreedyDAG".
+#ifndef AIGS_CORE_GREEDY_H_
+#define AIGS_CORE_GREEDY_H_
+
+#include <memory>
+
+#include "core/greedy_dag.h"
+#include "core/greedy_tree.h"
+#include "core/hierarchy.h"
+#include "prob/distribution.h"
+
+namespace aigs {
+
+/// Returns GreedyTreePolicy when the hierarchy is a tree, GreedyDagPolicy
+/// otherwise (with each policy's paper-default options).
+std::unique_ptr<Policy> MakeGreedyPolicy(const Hierarchy& hierarchy,
+                                         const Distribution& dist);
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_GREEDY_H_

@@ -1,0 +1,101 @@
+#include "core/greedy_dag.h"
+
+#include <vector>
+
+#include "util/epoch_marker.h"
+
+namespace aigs {
+namespace {
+
+class GreedyDagSession final : public SearchSession {
+ public:
+  GreedyDagSession(const ReachWeightBase& base, bool disable_pruning)
+      : state_(base),
+        disable_pruning_(disable_pruning),
+        visited_(base.hierarchy().NumNodes()) {}
+
+  Query Next() override {
+    if (state_.AliveCount() == 1) {
+      return Query::Done(state_.Target());
+    }
+    if (pending_ == kInvalidNode) {
+      pending_ = SelectQueryNode();
+    }
+    return Query::ReachQuery(pending_);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (yes) {
+      state_.ApplyYes(q);
+    } else {
+      state_.ApplyNo(q);
+    }
+  }
+
+ private:
+  // Algorithm 6 lines 4–11: BFS from the root over alive nodes; consider
+  // every discovered child as a middle-point candidate, but only descend
+  // below children that still dominate half the remaining weight.
+  NodeId SelectQueryNode() {
+    const Digraph& g = state_.graph();
+    const NodeId r = state_.root();
+    const Weight total = state_.TotalAlive();
+    NodeId best = kInvalidNode;
+    Weight best_diff = 0;
+
+    visited_.NewEpoch();
+    queue_.clear();
+    queue_.push_back(r);
+    visited_.Visit(r);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId u = queue_[head];
+      for (const NodeId v : g.Children(u)) {
+        if (visited_.IsVisited(v) || !state_.IsAlive(v)) {
+          continue;
+        }
+        visited_.Visit(v);
+        const Weight w = state_.ReachWeight(v);
+        const Weight twice = 2 * w;
+        const Weight diff = twice > total ? twice - total : total - twice;
+        if (best == kInvalidNode || diff < best_diff) {
+          best = v;
+          best_diff = diff;
+        }
+        if (disable_pruning_ || twice > total) {
+          queue_.push_back(v);
+        }
+      }
+    }
+    // AliveCount() > 1 plus the downward-closure invariant guarantee the
+    // root has at least one alive child.
+    AIGS_CHECK(best != kInvalidNode);
+    return best;
+  }
+
+  DagSearchState state_;
+  bool disable_pruning_;
+  NodeId pending_ = kInvalidNode;
+  EpochMarker visited_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace
+
+GreedyDagPolicy::GreedyDagPolicy(const Hierarchy& hierarchy,
+                                 const Distribution& dist,
+                                 GreedyDagOptions options)
+    : options_(options),
+      base_(hierarchy, options.use_rounded_weights
+                           ? RoundWeights(dist, options.rounding)
+                           : dist.weights()) {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+}
+
+std::unique_ptr<SearchSession> GreedyDagPolicy::NewSession() const {
+  return std::make_unique<GreedyDagSession>(
+      base_, options_.disable_dominance_pruning);
+}
+
+}  // namespace aigs

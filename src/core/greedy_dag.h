@@ -1,0 +1,59 @@
+// GreedyDAG (Algorithm 6): the efficient instantiation of the rounded greedy
+// policy on general DAG hierarchies, 2(1+3 ln n)-approximate (Theorem 1).
+//
+// Query selection walks the candidate DAG from the root by BFS, expanding
+// only nodes v with 2·w̃(v) > w̃(r): any v with 2·w̃(v) ≤ w̃(r) dominates all
+// of its descendants (its split difference is no worse), so the search
+// prunes below it while still considering v itself — exactly the paper's
+// lines 4–11. Candidate updates use DagSearchState (corrected Algorithm 7).
+#ifndef AIGS_CORE_GREEDY_DAG_H_
+#define AIGS_CORE_GREEDY_DAG_H_
+
+#include <memory>
+#include <string>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+#include "core/reach_weight_index.h"
+#include "prob/distribution.h"
+#include "prob/rounding.h"
+
+namespace aigs {
+
+/// Tuning knobs for GreedyDAG.
+struct GreedyDagOptions {
+  /// Apply Eq. (1) rounding (the paper's default for DAGs — Theorem 1).
+  /// Disable for online learning, where raw empirical counts are already
+  /// integers >= 1.
+  bool use_rounded_weights = true;
+  RoundingOptions rounding;
+
+  /// Expand the selection BFS below dominated nodes anyway (ablation knob:
+  /// turns selection into an exhaustive scan of the alive sub-DAG; the
+  /// chosen node is identical, selection just costs more).
+  bool disable_dominance_pruning = false;
+};
+
+/// Greedy policy on DAGs (works on trees too; GreedyTree is the faster
+/// specialization there).
+class GreedyDagPolicy : public Policy {
+ public:
+  GreedyDagPolicy(const Hierarchy& hierarchy, const Distribution& dist,
+                  GreedyDagOptions options = {});
+
+  std::string name() const override { return "GreedyDAG"; }
+  std::unique_ptr<SearchSession> NewSession() const override;
+
+  /// Live weight access for the online-learning harness (raw-weight mode
+  /// only; do not mutate while sessions are in flight).
+  ReachWeightBase* mutable_base() { return &base_; }
+  const ReachWeightBase& base() const { return base_; }
+
+ private:
+  GreedyDagOptions options_;
+  ReachWeightBase base_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_GREEDY_DAG_H_

@@ -1,0 +1,74 @@
+#include "core/greedy_naive.h"
+
+#include "core/middle_point.h"
+#include "graph/candidate_set.h"
+
+namespace aigs {
+namespace {
+
+class GreedyNaiveSession final : public SearchSession {
+ public:
+  GreedyNaiveSession(const Hierarchy& h, const std::vector<Weight>& weights)
+      : graph_(&h.graph()),
+        weights_(&weights),
+        candidates_(h.graph()),
+        root_(h.root()) {
+    total_weight_ = 0;
+    for (const Weight w : weights) {
+      total_weight_ += w;
+    }
+  }
+
+  Query Next() override {
+    if (candidates_.alive_count() == 1) {
+      return Query::Done(candidates_.SoleCandidate());
+    }
+    if (pending_ == kInvalidNode) {
+      const MiddlePoint mp = FindMiddlePointNaive(
+          *graph_, candidates_, root_, *weights_, total_weight_);
+      AIGS_CHECK(mp.node != kInvalidNode);
+      pending_ = mp.node;
+      pending_reach_weight_ = mp.reach_weight;
+    }
+    return Query::ReachQuery(pending_);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (yes) {
+      candidates_.RestrictToReachable(q);
+      root_ = q;
+      total_weight_ = pending_reach_weight_;
+    } else {
+      candidates_.RemoveReachable(q);
+      total_weight_ -= pending_reach_weight_;
+    }
+  }
+
+ private:
+  const Digraph* graph_;
+  const std::vector<Weight>* weights_;
+  CandidateSet candidates_;
+  NodeId root_;
+  Weight total_weight_ = 0;
+  NodeId pending_ = kInvalidNode;
+  Weight pending_reach_weight_ = 0;
+};
+
+}  // namespace
+
+GreedyNaivePolicy::GreedyNaivePolicy(const Hierarchy& hierarchy,
+                                     const Distribution& dist,
+                                     GreedyNaiveOptions options)
+    : hierarchy_(&hierarchy),
+      weights_(options.use_rounded_weights ? RoundWeights(dist, options.rounding)
+                                           : dist.weights()) {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+}
+
+std::unique_ptr<SearchSession> GreedyNaivePolicy::NewSession() const {
+  return std::make_unique<GreedyNaiveSession>(*hierarchy_, weights_);
+}
+
+}  // namespace aigs

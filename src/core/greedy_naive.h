@@ -1,0 +1,42 @@
+// GreedyNaive (Algorithm 2): the baseline instantiation of the greedy
+// policy. Every round it recomputes p(G_v ∩ C) from scratch for every
+// candidate v (Algorithm 3) — O(n·m) per query, O(n²·m) per search — which
+// is exactly the inefficiency Fig. 6 measures GreedyTree/GreedyDAG against.
+#ifndef AIGS_CORE_GREEDY_NAIVE_H_
+#define AIGS_CORE_GREEDY_NAIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+#include "prob/distribution.h"
+#include "prob/rounding.h"
+
+namespace aigs {
+
+/// Tuning knobs for GreedyNaive.
+struct GreedyNaiveOptions {
+  /// Round weights per Eq. (1) first. Off by default (Algorithm 2 uses raw
+  /// probabilities); enable to mirror a GreedyDAG configuration exactly.
+  bool use_rounded_weights = false;
+  RoundingOptions rounding;
+};
+
+/// Naive greedy policy; works on any hierarchy (tree or DAG).
+class GreedyNaivePolicy : public Policy {
+ public:
+  GreedyNaivePolicy(const Hierarchy& hierarchy, const Distribution& dist,
+                    GreedyNaiveOptions options = {});
+
+  std::string name() const override { return "GreedyNaive"; }
+  std::unique_ptr<SearchSession> NewSession() const override;
+
+ private:
+  const Hierarchy* hierarchy_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_GREEDY_NAIVE_H_

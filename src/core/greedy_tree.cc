@@ -1,0 +1,169 @@
+#include "core/greedy_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/node_map.h"
+
+namespace aigs {
+namespace {
+
+/// |2a - b| in unsigned arithmetic (a <= b, 2a cannot overflow: weights are
+/// bounded by n·(n²+1) for rounded weights and by n·10⁹ for raw ones).
+Weight SplitDiff(Weight subtree, Weight total) {
+  const Weight twice = 2 * subtree;
+  return twice > total ? twice - total : total - twice;
+}
+
+/// One search session implementing the Algorithm 4 descent over a
+/// TreeSearchState overlay.
+class GreedyTreeSession final : public SearchSession {
+ public:
+  GreedyTreeSession(const TreeWeightBase& base,
+                    GreedyTreeOptions::ChildScan child_scan)
+      : state_(base), child_scan_(child_scan) {}
+
+  Query Next() override {
+    if (state_.CandidateCount() == 1) {
+      return Query::Done(state_.Target());
+    }
+    if (pending_ == kInvalidNode) {
+      pending_ = SelectQueryNode();
+    }
+    return Query::ReachQuery(pending_);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (yes) {
+      state_.ApplyYes(q);
+    } else {
+      state_.ApplyNo(q);
+      // Removal invalidates cached heap entries along the ancestor path;
+      // the lazy heap self-heals by re-checking weights on pop.
+    }
+  }
+
+ private:
+  // Algorithm 4 lines 4–9: walk down the weighted heavy path while the
+  // current node still dominates half the remaining weight; return the
+  // better of the last two nodes visited. Never returns the current root
+  // (its answer is known to be yes).
+  NodeId SelectQueryNode() {
+    const NodeId r = state_.root();
+    const Weight total = state_.SubtreeWeight(r);
+    NodeId u = kInvalidNode;
+    NodeId v = r;
+    NodeId first_child = kInvalidNode;
+    while (2 * state_.SubtreeWeight(v) > total && !IsSessionLeaf(v)) {
+      u = v;
+      v = MaxWeightAliveChild(v);
+      AIGS_DCHECK(v != kInvalidNode);
+      if (first_child == kInvalidNode) {
+        first_child = v;
+      }
+    }
+    if (u == kInvalidNode) {
+      // Zero-weight remainder (possible only when the distribution assigns
+      // no mass to the surviving candidates): any alive child keeps the
+      // search progressing and costs nothing in expectation.
+      return MaxWeightAliveChild(r);
+    }
+    const NodeId q =
+        SplitDiff(state_.SubtreeWeight(u), total) <=
+                SplitDiff(state_.SubtreeWeight(v), total)
+            ? u
+            : v;
+    // Querying the root is a wasted question; fall to its heavy child.
+    return q == r ? first_child : q;
+  }
+
+  // A node is a leaf of the candidate tree when no descendant survives.
+  bool IsSessionLeaf(NodeId v) const { return state_.SubtreeSize(v) == 1; }
+
+  NodeId MaxWeightAliveChild(NodeId v) {
+    return child_scan_ == GreedyTreeOptions::ChildScan::kLinear
+               ? MaxChildLinear(v)
+               : MaxChildHeap(v);
+  }
+
+  NodeId MaxChildLinear(NodeId v) const {
+    const Tree& tree = state_.base().tree();
+    NodeId best = kInvalidNode;
+    Weight best_weight = 0;
+    for (const NodeId c : tree.Children(v)) {
+      if (state_.IsRemovedTop(c)) {
+        continue;
+      }
+      const Weight w = state_.SubtreeWeight(c);
+      if (best == kInvalidNode || w > best_weight) {
+        best = c;
+        best_weight = w;
+      }
+    }
+    return best;
+  }
+
+  // Lazy max-heap per visited node: entries carry the weight observed at
+  // push time; stale tops (weights only ever decrease) are re-pushed with
+  // their current weight until the top is fresh.
+  NodeId MaxChildHeap(NodeId v) {
+    auto& heap = heaps_[v];
+    if (!heap.initialized) {
+      const Tree& tree = state_.base().tree();
+      for (const NodeId c : tree.Children(v)) {
+        heap.entries.push_back({state_.SubtreeWeight(c), c});
+      }
+      std::make_heap(heap.entries.begin(), heap.entries.end());
+      heap.initialized = true;
+    }
+    auto& entries = heap.entries;
+    while (!entries.empty()) {
+      const auto [cached_weight, c] = entries.front();
+      if (state_.IsRemovedTop(c)) {
+        std::pop_heap(entries.begin(), entries.end());
+        entries.pop_back();
+        continue;
+      }
+      const Weight current = state_.SubtreeWeight(c);
+      if (current == cached_weight) {
+        return c;
+      }
+      std::pop_heap(entries.begin(), entries.end());
+      entries.back() = {current, c};
+      std::push_heap(entries.begin(), entries.end());
+    }
+    return kInvalidNode;
+  }
+
+  struct LazyHeap {
+    bool initialized = false;
+    std::vector<std::pair<Weight, NodeId>> entries;
+  };
+
+  TreeSearchState state_;
+  GreedyTreeOptions::ChildScan child_scan_;
+  NodeId pending_ = kInvalidNode;
+  NodeMap<LazyHeap> heaps_;
+};
+
+}  // namespace
+
+GreedyTreePolicy::GreedyTreePolicy(const Hierarchy& hierarchy,
+                                   const Distribution& dist,
+                                   GreedyTreeOptions options)
+    : hierarchy_(&hierarchy),
+      options_(options),
+      base_(hierarchy.tree(), options.use_rounded_weights
+                                  ? RoundWeights(dist, options.rounding)
+                                  : dist.weights()) {
+  AIGS_CHECK(hierarchy.is_tree());
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+}
+
+std::unique_ptr<SearchSession> GreedyTreePolicy::NewSession() const {
+  return std::make_unique<GreedyTreeSession>(base_, options_.child_scan);
+}
+
+}  // namespace aigs

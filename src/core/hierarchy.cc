@@ -1,0 +1,21 @@
+#include "core/hierarchy.h"
+
+#include <utility>
+
+namespace aigs {
+
+StatusOr<Hierarchy> Hierarchy::Build(Digraph g) {
+  if (!g.finalized()) {
+    AIGS_RETURN_NOT_OK(g.Finalize());
+  }
+  Hierarchy h;
+  h.graph_ = std::make_unique<Digraph>(std::move(g));
+  if (h.graph_->IsTree()) {
+    AIGS_ASSIGN_OR_RETURN(Tree t, Tree::Build(*h.graph_));
+    h.tree_ = std::make_unique<Tree>(std::move(t));
+  }
+  h.reach_ = std::make_unique<ReachabilityIndex>(*h.graph_);
+  return h;
+}
+
+}  // namespace aigs

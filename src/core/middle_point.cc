@@ -1,0 +1,41 @@
+#include "core/middle_point.h"
+
+namespace aigs {
+
+Weight GetReachableSetWeight(const Digraph& g, const CandidateSet& candidates,
+                             NodeId v, const std::vector<Weight>& weights,
+                             BfsScratch& scratch) {
+  Weight total = 0;
+  scratch.ForwardBfs(
+      g, v, [&candidates](NodeId x) { return candidates.IsAlive(x); },
+      [&](NodeId x) { total += weights[x]; });
+  return total;
+}
+
+MiddlePoint FindMiddlePointNaive(const Digraph& g,
+                                 const CandidateSet& candidates, NodeId root,
+                                 const std::vector<Weight>& weights,
+                                 Weight total_alive_weight) {
+  MiddlePoint best;
+  BfsScratch scratch(g.NumNodes());
+  candidates.bits().ForEachSetBit([&](std::size_t raw) {
+    const NodeId v = static_cast<NodeId>(raw);
+    if (v == root) {
+      return;
+    }
+    const Weight reach =
+        GetReachableSetWeight(g, candidates, v, weights, scratch);
+    const Weight twice = 2 * reach;
+    const Weight diff = twice > total_alive_weight
+                            ? twice - total_alive_weight
+                            : total_alive_weight - twice;
+    if (best.node == kInvalidNode || diff < best.split_diff) {
+      best.node = v;
+      best.split_diff = diff;
+      best.reach_weight = reach;
+    }
+  });
+  return best;
+}
+
+}  // namespace aigs

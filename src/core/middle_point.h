@@ -1,0 +1,43 @@
+// Reference middle-point computation (Definition 4) by brute force:
+// evaluates p(G_v ∩ C) for every alive candidate with a fresh BFS
+// (Algorithm 3, GetReachableSetWeight). GreedyNaive queries this every
+// round; the efficient policies are property-tested against it.
+#ifndef AIGS_CORE_MIDDLE_POINT_H_
+#define AIGS_CORE_MIDDLE_POINT_H_
+
+#include <vector>
+
+#include "graph/candidate_set.h"
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Result of a middle-point scan.
+struct MiddlePoint {
+  /// The argmin node (kInvalidNode when no candidate other than the root
+  /// exists).
+  NodeId node = kInvalidNode;
+  /// |2·p(G_node ∩ C) − p(C)| at the argmin.
+  Weight split_diff = 0;
+  /// p(G_node ∩ C) at the argmin.
+  Weight reach_weight = 0;
+};
+
+/// Σ weights over R(v) ∩ C via BFS among alive nodes (Algorithm 3).
+Weight GetReachableSetWeight(const Digraph& g, const CandidateSet& candidates,
+                             NodeId v, const std::vector<Weight>& weights,
+                             BfsScratch& scratch);
+
+/// Scans every alive candidate except `root` (querying the current root is
+/// a wasted question — its answer is known) and returns the node minimizing
+/// |2·p(G_v ∩ C) − p(C)|; ties break toward the smaller node id.
+/// `total_alive_weight` must equal Σ weights over C.
+MiddlePoint FindMiddlePointNaive(const Digraph& g,
+                                 const CandidateSet& candidates, NodeId root,
+                                 const std::vector<Weight>& weights,
+                                 Weight total_alive_weight);
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_MIDDLE_POINT_H_

@@ -1,0 +1,18 @@
+#include "core/policy.h"
+
+namespace aigs {
+
+void SearchSession::OnChoice(std::span<const NodeId> choices, int answer) {
+  (void)choices;
+  (void)answer;
+  AIGS_CHECK(false && "this policy does not ask multiple-choice questions");
+}
+
+void SearchSession::OnReachBatch(std::span<const NodeId> nodes,
+                                 const std::vector<bool>& answers) {
+  (void)nodes;
+  (void)answers;
+  AIGS_CHECK(false && "this policy does not ask batched questions");
+}
+
+}  // namespace aigs

@@ -1,0 +1,90 @@
+// Policy / SearchSession interfaces — the contract between question-asking
+// strategies (the paper's "policies") and the harness that relays answers
+// from an oracle (FrameworkIGS, Algorithm 1).
+//
+// A Policy is an immutable strategy bound to a (hierarchy, distribution)
+// pair; NewSession() starts one search for one hidden target. Sessions are
+// cheap (small overlays over shared base state) so evaluating the expected
+// cost over all n possible targets stays fast.
+#ifndef AIGS_CORE_POLICY_H_
+#define AIGS_CORE_POLICY_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace aigs {
+
+/// What a session wants next.
+struct Query {
+  enum class Kind {
+    kReach,       ///< boolean reachability question on `node`
+    kReachBatch,  ///< several reachability questions asked in one round
+                  ///< (§III-E batched extension); nodes in `choices`
+    kChoice,      ///< multiple-choice question over `choices` (MIGS)
+    kDone,        ///< search finished; `node` holds the identified target
+  };
+
+  static Query ReachQuery(NodeId node) {
+    return Query{Kind::kReach, node, {}};
+  }
+  static Query ReachBatch(std::vector<NodeId> nodes) {
+    return Query{Kind::kReachBatch, kInvalidNode, std::move(nodes)};
+  }
+  static Query ChoiceQuery(std::vector<NodeId> choices) {
+    return Query{Kind::kChoice, kInvalidNode, std::move(choices)};
+  }
+  static Query Done(NodeId target) {
+    return Query{Kind::kDone, target, {}};
+  }
+
+  Kind kind = Kind::kDone;
+  /// Query node (kReach) or identified target (kDone).
+  NodeId node = kInvalidNode;
+  /// Presented categories (kChoice) or batched query nodes (kReachBatch).
+  std::vector<NodeId> choices;
+};
+
+/// One interactive search for one hidden target. Implementations must be
+/// deterministic: the same answer sequence always produces the same queries
+/// (this is what makes a policy a decision tree, Definition 6).
+class SearchSession {
+ public:
+  virtual ~SearchSession() = default;
+
+  /// The pending question, or Done. Idempotent until an answer arrives.
+  virtual Query Next() = 0;
+
+  /// Delivers the answer to the pending kReach query on `q`.
+  virtual void OnReach(NodeId q, bool yes) = 0;
+
+  /// Delivers the answer to the pending kChoice query: `answer` is an index
+  /// into `choices`, or -1 for "none of these". Default: fatal (policies
+  /// that never ask choice questions).
+  virtual void OnChoice(std::span<const NodeId> choices, int answer);
+
+  /// Delivers the answers to the pending kReachBatch query; answers[i]
+  /// corresponds to nodes[i]. Default: fatal (policies that never batch).
+  virtual void OnReachBatch(std::span<const NodeId> nodes,
+                            const std::vector<bool>& answers);
+};
+
+/// A search strategy factory. Thread-safe for concurrent NewSession() calls
+/// as long as the policy's shared base state is not mutated concurrently.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Human-readable name ("GreedyTree", "TopDown", ...).
+  virtual std::string name() const = 0;
+
+  /// Starts a fresh search.
+  virtual std::unique_ptr<SearchSession> NewSession() const = 0;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_POLICY_H_

@@ -1,0 +1,91 @@
+#include "core/reach_weight_index.h"
+
+namespace aigs {
+
+ReachWeightBase::ReachWeightBase(const Hierarchy& hierarchy,
+                                 std::vector<Weight> node_weights)
+    : hierarchy_(&hierarchy), scratch_(hierarchy.NumNodes()) {
+  SetWeights(std::move(node_weights));
+}
+
+void ReachWeightBase::SetWeights(std::vector<Weight> node_weights) {
+  AIGS_CHECK(node_weights.size() == hierarchy_->NumNodes());
+  node_weight_ = std::move(node_weights);
+  reach_weight_ = hierarchy_->reach().AllReachableSetWeights(node_weight_);
+}
+
+void ReachWeightBase::AddWeight(NodeId v, Weight delta) {
+  node_weight_[v] += delta;
+  scratch_.BackwardBfs(
+      hierarchy_->graph(), v, [](NodeId) { return true; },
+      [this, delta](NodeId a) { reach_weight_[a] += delta; });
+}
+
+DagSearchState::DagSearchState(const ReachWeightBase& base)
+    : base_(&base),
+      candidates_(base.hierarchy().graph()),
+      root_(base.hierarchy().root()),
+      total_alive_(base.Total()),
+      in_removal_(base.hierarchy().NumNodes()),
+      reverse_visited_(base.hierarchy().NumNodes()) {}
+
+void DagSearchState::ApplyYes(NodeId q) {
+  AIGS_DCHECK(IsAlive(q));
+  AIGS_DCHECK(q != root_);
+  // New total is the session reach weight of q *before* restriction (the
+  // restriction itself removes only nodes outside R(q), which w̃(q) never
+  // counted).
+  total_alive_ = ReachWeight(q);
+  candidates_.RestrictToReachable(q);
+  root_ = q;
+}
+
+void DagSearchState::ApplyNo(NodeId q) {
+  AIGS_DCHECK(IsAlive(q));
+  AIGS_DCHECK(q != root_);
+  const Weight removed_total = ReachWeight(q);
+
+  // Collect and kill D = R(q) ∩ C.
+  removed_buffer_.clear();
+  candidates_.RemoveReachable(q, &removed_buffer_);
+  total_alive_ -= removed_total;
+
+  // Corrected Algorithm 7: for every removed x, subtract w(x) from w̃(a) of
+  // each surviving ancestor a. Ancestor paths may run through other removed
+  // nodes (they were alive until this very removal), so the reverse BFS
+  // traverses alive ∪ D but only adjusts alive nodes.
+  in_removal_.NewEpoch();
+  for (const NodeId x : removed_buffer_) {
+    in_removal_.Visit(x);
+  }
+  const Digraph& g = graph();
+  for (const NodeId x : removed_buffer_) {
+    const Weight wx = base_->NodeWeight(x);
+    if (wx == 0) {
+      continue;  // nothing to subtract
+    }
+    reverse_visited_.NewEpoch();
+    reverse_queue_.clear();
+    reverse_queue_.push_back(x);
+    reverse_visited_.Visit(x);
+    for (std::size_t head = 0; head < reverse_queue_.size(); ++head) {
+      const NodeId u = reverse_queue_[head];
+      for (const NodeId p : g.Parents(u)) {
+        if (reverse_visited_.IsVisited(p)) {
+          continue;
+        }
+        const bool alive = candidates_.IsAlive(p);
+        if (!alive && !in_removal_.IsVisited(p)) {
+          continue;  // ancestor left the candidate set long ago
+        }
+        reverse_visited_.Visit(p);
+        reverse_queue_.push_back(p);
+        if (alive) {
+          removed_weight_[p] += wx;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aigs

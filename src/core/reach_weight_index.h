@@ -1,0 +1,111 @@
+// Reachable-set-weight bookkeeping for DAG policies (GreedyDAG, WIGS-DAG,
+// cost-sensitive greedy).
+//
+// ReachWeightBase stores w̃(v) = w(G_v) for the full hierarchy (Algorithm 6
+// line 2, computed once from the reachability index) plus the raw node
+// weights; it supports incremental single-node weight updates for online
+// learning (reverse BFS over ancestors).
+//
+// DagSearchState is one session's view of the candidate sub-DAG:
+//  * a "yes" on q restricts candidates to R(q) ∩ C — by the downward-closure
+//    invariant (DESIGN.md §2) no weight changes are needed;
+//  * a "no" on q removes D = R(q) ∩ C and, per the corrected Algorithm 7,
+//    subtracts w(x) of every removed x from w̃(a) of each alive ancestor a
+//    (reverse BFS per removed node), recorded in a small delta overlay.
+#ifndef AIGS_CORE_REACH_WEIGHT_INDEX_H_
+#define AIGS_CORE_REACH_WEIGHT_INDEX_H_
+
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "graph/candidate_set.h"
+#include "graph/traversal.h"
+#include "util/common.h"
+#include "util/epoch_marker.h"
+#include "util/node_map.h"
+
+namespace aigs {
+
+/// Shared base weights for a DAG hierarchy.
+class ReachWeightBase {
+ public:
+  /// `node_weights` must have one entry per node; the hierarchy must outlive
+  /// the base.
+  ReachWeightBase(const Hierarchy& hierarchy,
+                  std::vector<Weight> node_weights);
+
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+  /// w(v): the node's own weight.
+  Weight NodeWeight(NodeId v) const { return node_weight_[v]; }
+
+  /// w̃(v) = Σ_{x ∈ R(v)} w(x) over the full hierarchy.
+  Weight ReachWeight(NodeId v) const { return reach_weight_[v]; }
+
+  /// Σ w over all nodes (= w̃(root)).
+  Weight Total() const { return reach_weight_[hierarchy_->root()]; }
+
+  /// Adds `delta` to w(v) and to w̃(a) for every ancestor a of v (O(m) worst
+  /// case, O(depth) for tree-like DAGs). Not thread-safe with concurrent
+  /// sessions.
+  void AddWeight(NodeId v, Weight delta);
+
+  /// Replaces all node weights and recomputes w̃ (O(closure)).
+  void SetWeights(std::vector<Weight> node_weights);
+
+ private:
+  const Hierarchy* hierarchy_;
+  std::vector<Weight> node_weight_;
+  std::vector<Weight> reach_weight_;
+  BfsScratch scratch_;
+};
+
+/// Per-search overlay over a ReachWeightBase.
+class DagSearchState {
+ public:
+  explicit DagSearchState(const ReachWeightBase& base);
+
+  const ReachWeightBase& base() const { return *base_; }
+  const Digraph& graph() const { return base_->hierarchy().graph(); }
+
+  /// Current search root (reaches every candidate).
+  NodeId root() const { return root_; }
+
+  std::size_t AliveCount() const { return candidates_.alive_count(); }
+  bool IsAlive(NodeId v) const { return candidates_.IsAlive(v); }
+  const CandidateSet& candidates() const { return candidates_; }
+
+  /// Session w̃(v) = Σ_{x ∈ R(v) ∩ C} w(x). Only meaningful for alive v.
+  Weight ReachWeight(NodeId v) const {
+    AIGS_DCHECK(IsAlive(v));
+    return base_->ReachWeight(v) - removed_weight_.GetOr(v, 0);
+  }
+
+  /// Σ w over alive candidates (= session w̃(root)).
+  Weight TotalAlive() const { return total_alive_; }
+
+  /// Applies reach(q) = yes: candidates ← R(q) ∩ C, root ← q.
+  void ApplyYes(NodeId q);
+
+  /// Applies reach(q) = no: candidates ← C \ R(q) with weight adjustment.
+  void ApplyNo(NodeId q);
+
+  /// The identified target; requires AliveCount() == 1.
+  NodeId Target() const { return candidates_.SoleCandidate(); }
+
+ private:
+  const ReachWeightBase* base_;
+  CandidateSet candidates_;
+  NodeId root_;
+  Weight total_alive_;
+  NodeMap<Weight> removed_weight_;
+  // Scratch for the removal reverse BFS.
+  std::vector<NodeId> removed_buffer_;
+  EpochMarker in_removal_;
+  EpochMarker reverse_visited_;
+  std::vector<NodeId> reverse_queue_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_REACH_WEIGHT_INDEX_H_

@@ -1,0 +1,67 @@
+#include "data/builtin.h"
+
+namespace aigs {
+
+Digraph BuildVehicleHierarchy(VehicleNodes* nodes) {
+  Digraph g;
+  VehicleNodes ids;
+  ids.vehicle = g.AddNode("Vehicle");
+  ids.car = g.AddNode("Car");
+  ids.nissan = g.AddNode("Nissan");
+  ids.honda = g.AddNode("Honda");
+  ids.mercedes = g.AddNode("Mercedes");
+  ids.maxima = g.AddNode("Maxima");
+  ids.sentra = g.AddNode("Sentra");
+  g.AddEdge(ids.vehicle, ids.car);
+  // Child order fixes the deterministic TopDown narration of Example 1.
+  g.AddEdge(ids.car, ids.nissan);
+  g.AddEdge(ids.car, ids.honda);
+  g.AddEdge(ids.car, ids.mercedes);
+  g.AddEdge(ids.nissan, ids.maxima);
+  g.AddEdge(ids.nissan, ids.sentra);
+  AIGS_CHECK(g.Finalize().ok());
+  if (nodes != nullptr) {
+    *nodes = ids;
+  }
+  return g;
+}
+
+Distribution VehicleDistribution() {
+  // Order matches BuildVehicleHierarchy's node creation order.
+  auto d = Distribution::FromWeights({4, 2, 8, 4, 2, 40, 40});
+  AIGS_CHECK(d.ok());
+  return *std::move(d);
+}
+
+Digraph BuildFig2Hierarchy() {
+  Digraph g;
+  for (int label = 1; label <= 7; ++label) {
+    g.AddNode(std::to_string(label));
+  }
+  g.AddEdge(0, 1);  // 1 -> 2
+  g.AddEdge(1, 2);  // 2 -> 3
+  g.AddEdge(1, 3);  // 2 -> 4
+  g.AddEdge(1, 4);  // 2 -> 5
+  g.AddEdge(2, 5);  // 3 -> 6
+  g.AddEdge(2, 6);  // 3 -> 7
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+Digraph BuildFig3Hierarchy() {
+  Digraph g;
+  for (int label = 1; label <= 4; ++label) {
+    g.AddNode(std::to_string(label));
+  }
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+CostModel Fig3CostModel() {
+  return CostModel({1, 1, 5, 1});
+}
+
+}  // namespace aigs

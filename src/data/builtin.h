@@ -1,0 +1,42 @@
+// The paper's worked-example hierarchies, reproduced node-for-node:
+//  * Fig. 1 — the vehicle categorization hierarchy with its probability
+//    annotations (Examples 1 and 2);
+//  * Fig. 2(a) — the 7-node hierarchy of Example 3 (greedy cost 3 under
+//    equal weights);
+//  * Fig. 3(a) — the 4-node chain of Example 4 with heterogeneous prices
+//    (cost-sensitive greedy 4.25 vs cost-blind 6).
+#ifndef AIGS_DATA_BUILTIN_H_
+#define AIGS_DATA_BUILTIN_H_
+
+#include "graph/digraph.h"
+#include "oracle/cost_model.h"
+#include "prob/distribution.h"
+
+namespace aigs {
+
+/// Node indexes of the vehicle hierarchy (Fig. 1).
+struct VehicleNodes {
+  NodeId vehicle, car, nissan, honda, mercedes, maxima, sentra;
+};
+
+/// Fig. 1: labeled hierarchy; child order matches the paper's narration
+/// (TopDown asks Car, then Nissan, Maxima, Sentra for a Sentra image).
+Digraph BuildVehicleHierarchy(VehicleNodes* nodes = nullptr);
+
+/// Fig. 1's probability annotations as object counts per 100 images:
+/// Vehicle 4, Car 2, Nissan 8, Honda 4, Mercedes 2, Maxima 40, Sentra 40.
+Distribution VehicleDistribution();
+
+/// Fig. 2(a): root 1 with child 2; 2 → {3,4,5}; 3 → {6,7}. Node ids are the
+/// paper's labels minus one.
+Digraph BuildFig2Hierarchy();
+
+/// Fig. 3(a): the chain 1 → 2 → 3 → 4 (ids 0..3).
+Digraph BuildFig3Hierarchy();
+
+/// Fig. 3's prices: c(1)=c(2)=c(4)=1, c(3)=5.
+CostModel Fig3CostModel();
+
+}  // namespace aigs
+
+#endif  // AIGS_DATA_BUILTIN_H_

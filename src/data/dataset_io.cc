@@ -1,0 +1,38 @@
+#include "data/dataset_io.h"
+
+#include "graph/graph_io.h"
+#include "prob/weight_io.h"
+
+namespace aigs {
+
+Status SaveDatasetFiles(const Dataset& dataset, const std::string& prefix) {
+  AIGS_RETURN_NOT_OK(
+      SaveHierarchy(dataset.hierarchy.graph(), prefix + ".hierarchy.txt"));
+  AIGS_RETURN_NOT_OK(
+      SaveDistribution(dataset.real_distribution, prefix + ".counts.txt"));
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDatasetFiles(const std::string& name,
+                                   const std::string& prefix) {
+  AIGS_ASSIGN_OR_RETURN(Digraph graph,
+                        LoadHierarchy(prefix + ".hierarchy.txt"));
+  AIGS_ASSIGN_OR_RETURN(Hierarchy hierarchy,
+                        Hierarchy::Build(std::move(graph)));
+  AIGS_ASSIGN_OR_RETURN(Distribution counts,
+                        LoadDistribution(prefix + ".counts.txt"));
+  if (counts.size() != hierarchy.NumNodes()) {
+    return Status::InvalidArgument(
+        "count file covers " + std::to_string(counts.size()) +
+        " nodes but the hierarchy has " +
+        std::to_string(hierarchy.NumNodes()));
+  }
+  Dataset dataset{.name = name,
+                  .hierarchy = std::move(hierarchy),
+                  .real_distribution = std::move(counts),
+                  .num_objects = 0};
+  dataset.num_objects = dataset.real_distribution.Total();
+  return dataset;
+}
+
+}  // namespace aigs

@@ -1,0 +1,26 @@
+// Combined dataset persistence: a hierarchy file plus an object-count file.
+// LoadDatasetFiles is the hook for plugging the real Amazon/ImageNet data
+// into every bench and example in place of the synthetic stand-ins
+// (DESIGN.md "Substitutions").
+#ifndef AIGS_DATA_DATASET_IO_H_
+#define AIGS_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/datasets.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Writes `<prefix>.hierarchy.txt` and `<prefix>.counts.txt`.
+Status SaveDatasetFiles(const Dataset& dataset, const std::string& prefix);
+
+/// Loads a dataset saved by SaveDatasetFiles (or hand-converted real data).
+/// `name` is carried into reports. Validates that the count file matches
+/// the hierarchy's node count.
+StatusOr<Dataset> LoadDatasetFiles(const std::string& name,
+                                   const std::string& prefix);
+
+}  // namespace aigs
+
+#endif  // AIGS_DATA_DATASET_IO_H_

@@ -1,0 +1,58 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Table II). The
+// real Amazon product hierarchy and the ImageNet/WordNet category DAG are
+// not redistributable; these generators reproduce the statistics the paper
+// reports — node count, height, maximum out-degree, tree/DAG type — with a
+// preferential-attachment shape (heavy-tailed fan-out, shallow depth) that
+// mirrors real catalog hierarchies. See DESIGN.md "Substitutions".
+#ifndef AIGS_DATA_SYNTHETIC_CATALOG_H_
+#define AIGS_DATA_SYNTHETIC_CATALOG_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "prob/distribution.h"
+#include "util/rng.h"
+
+namespace aigs {
+
+/// Generation parameters; defaults reproduce Table II.
+struct CatalogParams {
+  std::size_t num_nodes = 0;
+  int height = 0;
+  std::size_t max_out_degree = 0;
+  /// Fraction of nodes receiving one extra parent (DAG generator only).
+  double extra_parent_frac = 0.05;
+  std::uint64_t seed = 2022;
+};
+
+/// Table II row "Amazon": tree, 29,240 nodes, height 10, max degree 225.
+CatalogParams AmazonParams();
+
+/// Table II row "ImageNet": DAG, 27,714 nodes, height 13, max degree 402.
+CatalogParams ImageNetParams();
+
+/// Number of labeled objects in the paper's datasets.
+inline constexpr std::uint64_t kAmazonNumObjects = 13'886'889;
+inline constexpr std::uint64_t kImageNetNumObjects = 12'656'970;
+
+/// Generates a tree with exactly the requested node count, height, and
+/// maximum out-degree (preferential attachment with a depth cap, a spine
+/// pinning the height and one hub pinning the maximum degree).
+Digraph GenerateCatalogTree(const CatalogParams& params);
+
+/// Generates a DAG: a catalog tree plus `extra_parent_frac·n` extra parent
+/// edges that always point from a shallower to a deeper node, preserving the
+/// exact height.
+Digraph GenerateCatalogDag(const CatalogParams& params);
+
+/// The paper's "real data distribution" stand-in: Zipf(s) object counts over
+/// a random permutation of categories, scaled to exactly `total_objects`
+/// (largest-remainder rounding; tail categories may hold zero objects).
+Distribution AssignZipfObjectCounts(std::size_t num_nodes,
+                                    std::uint64_t total_objects,
+                                    double s = 1.0,
+                                    std::uint64_t seed = 2022);
+
+}  // namespace aigs
+
+#endif  // AIGS_DATA_SYNTHETIC_CATALOG_H_

@@ -1,0 +1,53 @@
+#include "eval/cost_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aigs {
+
+CostProfile::CostProfile(const std::vector<std::uint32_t>& per_target_cost,
+                         const Distribution& dist) {
+  AIGS_CHECK(per_target_cost.size() == dist.size());
+  std::vector<std::pair<std::uint32_t, Weight>> entries;
+  long double weighted_sum = 0;
+  for (NodeId v = 0; v < dist.size(); ++v) {
+    const Weight w = dist.WeightOf(v);
+    if (w == 0) {
+      continue;
+    }
+    entries.emplace_back(per_target_cost[v], w);
+    total_ += w;
+    weighted_sum += static_cast<long double>(w) *
+                    static_cast<long double>(per_target_cost[v]);
+    max_ = std::max(max_, per_target_cost[v]);
+  }
+  AIGS_CHECK(total_ > 0);
+  mean_ = static_cast<double>(weighted_sum / static_cast<long double>(total_));
+
+  std::sort(entries.begin(), entries.end());
+  cumulative_.reserve(entries.size());
+  Weight running = 0;
+  for (const auto& [cost, weight] : entries) {
+    running += weight;
+    if (!cumulative_.empty() && cumulative_.back().first == cost) {
+      cumulative_.back().second = running;
+    } else {
+      cumulative_.emplace_back(cost, running);
+    }
+  }
+}
+
+std::uint32_t CostProfile::Quantile(double q) const {
+  AIGS_CHECK(q > 0 && q <= 1);
+  // Threshold weight: the smallest cost whose cumulative weight reaches
+  // ceil(q * total).
+  const auto threshold = static_cast<Weight>(
+      std::ceil(q * static_cast<double>(total_)));
+  const auto it = std::lower_bound(
+      cumulative_.begin(), cumulative_.end(), threshold,
+      [](const auto& entry, Weight t) { return entry.second < t; });
+  AIGS_CHECK(it != cumulative_.end());
+  return it->first;
+}
+
+}  // namespace aigs

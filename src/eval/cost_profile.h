@@ -1,0 +1,49 @@
+// Weighted cost profiles: beyond the expectation (AIGS objective) and the
+// maximum (WIGS objective), operators budgeting a labeling campaign care
+// about the tail — "how many questions will the 99th-percentile object
+// need?". Computes weighted quantiles of per-target costs.
+#ifndef AIGS_EVAL_COST_PROFILE_H_
+#define AIGS_EVAL_COST_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "prob/distribution.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Weighted summary of per-target costs.
+class CostProfile {
+ public:
+  /// `per_target_cost[v]` = cost of identifying target v (as produced by
+  /// EvaluateExact); weights come from the distribution. Zero-weight targets
+  /// are excluded from quantiles (they never occur).
+  CostProfile(const std::vector<std::uint32_t>& per_target_cost,
+              const Distribution& dist);
+
+  /// Weighted mean (the AIGS objective).
+  double Mean() const { return mean_; }
+
+  /// Maximum cost over positive-weight targets (the WIGS objective).
+  std::uint32_t Max() const { return max_; }
+
+  /// Smallest cost c such that P(cost ≤ c) >= q, for q ∈ (0, 1].
+  std::uint32_t Quantile(double q) const;
+
+  /// Convenience accessors.
+  std::uint32_t Median() const { return Quantile(0.5); }
+  std::uint32_t P90() const { return Quantile(0.9); }
+  std::uint32_t P99() const { return Quantile(0.99); }
+
+ private:
+  // (cost, cumulative weight) sorted by cost.
+  std::vector<std::pair<std::uint32_t, Weight>> cumulative_;
+  Weight total_ = 0;
+  double mean_ = 0;
+  std::uint32_t max_ = 0;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_EVAL_COST_PROFILE_H_

@@ -1,0 +1,207 @@
+#include "eval/decision_tree.h"
+
+#include <utility>
+
+namespace aigs {
+namespace {
+
+/// Replays a fresh session through a fixed prefix of (query, answer) pairs
+/// and returns the next query. Prefixes are only generated for answer
+/// sequences consistent with at least one target, so the session must accept
+/// them.
+Query ReplayPrefix(const Policy& policy,
+                   const std::vector<std::pair<NodeId, bool>>& prefix) {
+  auto session = policy.NewSession();
+  for (const auto& [node, yes] : prefix) {
+    const Query q = session->Next();
+    AIGS_CHECK(q.kind == Query::Kind::kReach);
+    AIGS_CHECK(q.node == node &&
+               "policy is not deterministic across sessions");
+    session->OnReach(node, yes);
+  }
+  return session->Next();
+}
+
+}  // namespace
+
+StatusOr<DecisionTree> DecisionTree::Build(const Policy& policy,
+                                           const Hierarchy& hierarchy,
+                                           std::size_t max_nodes) {
+  DecisionTree tree;
+  tree.leaf_of_target_.assign(hierarchy.NumNodes(), -1);
+
+  // Iterative DFS over answer prefixes. Each frame tracks the set of targets
+  // consistent with its prefix; branches with no consistent target are never
+  // taken by a truthful oracle and are not expanded (policies that discard
+  // information, like TopDown on DAGs, do have such branches).
+  struct Frame {
+    std::vector<std::pair<NodeId, bool>> prefix;
+    std::vector<NodeId> consistent;
+    int parent = -1;
+    bool via_yes = false;
+  };
+  std::vector<Frame> stack;
+  {
+    Frame root;
+    root.consistent.resize(hierarchy.NumNodes());
+    for (NodeId v = 0; v < hierarchy.NumNodes(); ++v) {
+      root.consistent[v] = v;
+    }
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const Query q = ReplayPrefix(policy, frame.prefix);
+    if (q.kind == Query::Kind::kChoice ||
+        q.kind == Query::Kind::kReachBatch) {
+      return Status::InvalidArgument(
+          "decision trees cover sequential boolean-query policies only");
+    }
+    if (tree.nodes_.size() >= max_nodes) {
+      return Status::OutOfRange("decision tree exceeds max_nodes");
+    }
+    Node node;
+    node.depth = static_cast<std::uint32_t>(frame.prefix.size());
+    const int index = static_cast<int>(tree.nodes_.size());
+    if (frame.parent >= 0) {
+      Node& parent = tree.nodes_[static_cast<std::size_t>(frame.parent)];
+      (frame.via_yes ? parent.yes_child : parent.no_child) = index;
+    }
+    if (q.kind == Query::Kind::kDone) {
+      node.is_leaf = true;
+      node.hierarchy_node = q.node;
+      if (frame.consistent.size() != 1 || frame.consistent[0] != q.node) {
+        return Status::Internal(
+            "policy declared a target inconsistent with the answers");
+      }
+      if (tree.leaf_of_target_[q.node] != -1) {
+        return Status::Internal("two leaves identify the same target");
+      }
+      tree.leaf_of_target_[q.node] = index;
+      ++tree.num_leaves_;
+      tree.nodes_.push_back(node);
+      continue;
+    }
+    node.is_leaf = false;
+    node.hierarchy_node = q.node;
+    tree.nodes_.push_back(node);
+
+    Frame yes_frame;
+    Frame no_frame;
+    for (const NodeId t : frame.consistent) {
+      (hierarchy.reach().Reaches(q.node, t) ? yes_frame : no_frame)
+          .consistent.push_back(t);
+    }
+    if (!yes_frame.consistent.empty()) {
+      yes_frame.prefix = frame.prefix;
+      yes_frame.prefix.emplace_back(q.node, true);
+      yes_frame.parent = index;
+      yes_frame.via_yes = true;
+      stack.push_back(std::move(yes_frame));
+    }
+    if (!no_frame.consistent.empty()) {
+      no_frame.prefix = std::move(frame.prefix);
+      no_frame.prefix.emplace_back(q.node, false);
+      no_frame.parent = index;
+      no_frame.via_yes = false;
+      stack.push_back(std::move(no_frame));
+    }
+  }
+
+  for (NodeId v = 0; v < hierarchy.NumNodes(); ++v) {
+    if (tree.leaf_of_target_[v] < 0) {
+      return Status::Internal("target " + std::to_string(v) +
+                              " has no leaf in the decision tree");
+    }
+  }
+  return tree;
+}
+
+double DecisionTree::ExpectedCost(const Distribution& dist) const {
+  long double weighted = 0;
+  for (NodeId target = 0; target < leaf_of_target_.size(); ++target) {
+    const int leaf = leaf_of_target_[target];
+    AIGS_CHECK(leaf >= 0);
+    weighted += static_cast<long double>(dist.WeightOf(target)) *
+                nodes_[static_cast<std::size_t>(leaf)].depth;
+  }
+  return static_cast<double>(weighted /
+                             static_cast<long double>(dist.Total()));
+}
+
+double DecisionTree::ExpectedPricedCost(const Distribution& dist,
+                                        const CostModel& costs) const {
+  // ℓ̂(leaf) = sum of c(query) along the root path, accumulated by DFS.
+  std::vector<long double> price_at(nodes_.size(), 0);
+  std::vector<long double> acc(nodes_.size(), 0);
+  std::vector<int> order;
+  order.push_back(root_index());
+  while (!order.empty()) {
+    const int i = order.back();
+    order.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(i)];
+    price_at[static_cast<std::size_t>(i)] = acc[static_cast<std::size_t>(i)];
+    if (node.is_leaf) {
+      continue;
+    }
+    const long double below =
+        acc[static_cast<std::size_t>(i)] + costs.CostOf(node.hierarchy_node);
+    for (const int child : {node.yes_child, node.no_child}) {
+      if (child < 0) {
+        continue;  // branch inconsistent with every target
+      }
+      acc[static_cast<std::size_t>(child)] = below;
+      order.push_back(child);
+    }
+  }
+  long double weighted = 0;
+  for (NodeId target = 0; target < leaf_of_target_.size(); ++target) {
+    const int leaf = leaf_of_target_[target];
+    AIGS_CHECK(leaf >= 0);
+    weighted += static_cast<long double>(dist.WeightOf(target)) *
+                price_at[static_cast<std::size_t>(leaf)];
+  }
+  return static_cast<double>(weighted /
+                             static_cast<long double>(dist.Total()));
+}
+
+std::uint32_t DecisionTree::LeafDepth(NodeId target) const {
+  AIGS_CHECK(target < leaf_of_target_.size());
+  const int leaf = leaf_of_target_[target];
+  AIGS_CHECK(leaf >= 0);
+  return nodes_[static_cast<std::size_t>(leaf)].depth;
+}
+
+std::string DecisionTree::ToDot(const Hierarchy& hierarchy) const {
+  auto label_of = [&hierarchy](NodeId v) {
+    return hierarchy.graph().Label(v).empty() ? std::to_string(v)
+                                              : hierarchy.graph().Label(v);
+  };
+  std::string out = "digraph decision_tree {\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    out += "  d" + std::to_string(i) + " [label=\"" +
+           label_of(node.hierarchy_node) +
+           (node.is_leaf ? "\", shape=ellipse];\n" : "?\"];\n");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.is_leaf) {
+      continue;
+    }
+    for (const auto& [child, tag] :
+         {std::pair<int, const char*>{node.yes_child, "Y"},
+          std::pair<int, const char*>{node.no_child, "N"}}) {
+      if (child >= 0) {
+        out += "  d" + std::to_string(i) + " -> d" + std::to_string(child) +
+               " [label=\"" + tag + "\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace aigs

@@ -1,0 +1,73 @@
+// Explicit decision-tree materialization of a policy (Definition 6) and its
+// cost functional (Definition 7 / Definition 8). Deterministic policies are
+// decision trees; building the tree explicitly lets tests cross-validate the
+// evaluator, reproduces the paper's worked examples (Examples 2–4) and
+// supports DOT visualization.
+//
+// Construction replays the policy from scratch down every answer path, so it
+// is intended for small hierarchies (bounded by `max_nodes`).
+#ifndef AIGS_EVAL_DECISION_TREE_H_
+#define AIGS_EVAL_DECISION_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+#include "oracle/cost_model.h"
+#include "prob/distribution.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Materialized binary decision tree of a reach-query policy.
+class DecisionTree {
+ public:
+  /// One node: internal (query) or leaf (identified target).
+  struct Node {
+    bool is_leaf = false;
+    /// Query node (internal) or target (leaf).
+    NodeId hierarchy_node = kInvalidNode;
+    /// Child indexes into nodes(); -1 when absent (leaves).
+    int yes_child = -1;
+    int no_child = -1;
+    /// Depth in reach-queries from the decision-tree root.
+    std::uint32_t depth = 0;
+  };
+
+  /// Builds the decision tree by exhaustively replaying `policy`. Fails if
+  /// the policy asks choice questions or the tree exceeds `max_nodes`
+  /// decision nodes.
+  static StatusOr<DecisionTree> Build(const Policy& policy,
+                                      const Hierarchy& hierarchy,
+                                      std::size_t max_nodes = 1 << 16);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// Index of the root node in nodes().
+  int root_index() const { return 0; }
+  std::size_t NumLeaves() const { return num_leaves_; }
+
+  /// Expected cost Σ p(v)·ℓ(v) (Definition 7) — ℓ counts queries on the
+  /// root→leaf path.
+  double ExpectedCost(const Distribution& dist) const;
+
+  /// Expected priced cost Σ p(v)·ℓ̂(v) (Definition 8) — ℓ̂ sums c(q) over
+  /// query nodes on the root→leaf path.
+  double ExpectedPricedCost(const Distribution& dist,
+                            const CostModel& costs) const;
+
+  /// Depth of the leaf identifying `target` (number of queries asked).
+  std::uint32_t LeafDepth(NodeId target) const;
+
+  /// Graphviz rendering; `labeler` maps hierarchy nodes to display names.
+  std::string ToDot(const Hierarchy& hierarchy) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<int> leaf_of_target_;  // node index per hierarchy target
+  std::size_t num_leaves_ = 0;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_EVAL_DECISION_TREE_H_

@@ -1,0 +1,115 @@
+#include "eval/evaluator.h"
+
+#include <atomic>
+
+#include "eval/runner.h"
+#include "oracle/oracle.h"
+#include "prob/alias_table.h"
+
+namespace aigs {
+
+EvalStats EvaluateExact(const Policy& policy, const Hierarchy& hierarchy,
+                        const Distribution& dist, const EvalOptions& options) {
+  const std::size_t n = hierarchy.NumNodes();
+  AIGS_CHECK(dist.size() == n);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+
+  std::vector<std::uint32_t> unit_cost(n, 0);
+  std::vector<std::uint64_t> priced_cost(n, 0);
+  std::atomic<bool> all_correct{true};
+
+  RunOptions run_options;
+  run_options.cost_model = options.cost_model;
+
+  pool.ParallelFor(n, [&](std::size_t i) {
+    const NodeId target = static_cast<NodeId>(i);
+    if (!options.include_zero_weight_targets && dist.WeightOf(target) == 0) {
+      return;
+    }
+    ExactOracle oracle(hierarchy.reach(), target);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle, run_options);
+    if (r.target != target) {
+      all_correct.store(false, std::memory_order_relaxed);
+    }
+    unit_cost[i] = static_cast<std::uint32_t>(r.UnitCost());
+    priced_cost[i] = r.priced_cost + r.choices_read;
+  });
+  AIGS_CHECK(all_correct.load() && "policy misidentified a target");
+
+  EvalStats stats;
+  stats.per_target_cost = std::move(unit_cost);
+  long double weighted = 0;
+  long double weighted_priced = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Weight w = dist.WeightOf(static_cast<NodeId>(i));
+    weighted += static_cast<long double>(w) *
+                static_cast<long double>(stats.per_target_cost[i]);
+    weighted_priced += static_cast<long double>(w) *
+                       static_cast<long double>(priced_cost[i]);
+    if (w > 0 || options.include_zero_weight_targets) {
+      stats.max_cost =
+          std::max<std::uint64_t>(stats.max_cost, stats.per_target_cost[i]);
+      ++stats.num_searches;
+    }
+  }
+  stats.expected_cost =
+      static_cast<double>(weighted / static_cast<long double>(dist.Total()));
+  stats.expected_priced_cost = static_cast<double>(
+      weighted_priced / static_cast<long double>(dist.Total()));
+  return stats;
+}
+
+EvalStats EvaluateSampled(const Policy& policy, const Hierarchy& hierarchy,
+                          const Distribution& dist, std::size_t num_samples,
+                          Rng& rng, const EvalOptions& options) {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+  const AliasTable sampler(dist);
+
+  // Pre-draw targets so the parallel fan-out stays deterministic.
+  std::vector<NodeId> targets(num_samples);
+  for (auto& t : targets) {
+    t = sampler.Sample(rng);
+  }
+
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+  std::vector<std::uint32_t> unit_cost(num_samples, 0);
+  std::vector<std::uint64_t> priced_cost(num_samples, 0);
+  std::atomic<bool> all_correct{true};
+
+  RunOptions run_options;
+  run_options.cost_model = options.cost_model;
+
+  pool.ParallelFor(num_samples, [&](std::size_t i) {
+    ExactOracle oracle(hierarchy.reach(), targets[i]);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle, run_options);
+    if (r.target != targets[i]) {
+      all_correct.store(false, std::memory_order_relaxed);
+    }
+    unit_cost[i] = static_cast<std::uint32_t>(r.UnitCost());
+    priced_cost[i] = r.priced_cost + r.choices_read;
+  });
+  AIGS_CHECK(all_correct.load() && "policy misidentified a target");
+
+  EvalStats stats;
+  stats.num_searches = num_samples;
+  long double total = 0;
+  long double total_priced = 0;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    total += unit_cost[i];
+    total_priced += static_cast<long double>(priced_cost[i]);
+    stats.max_cost = std::max<std::uint64_t>(stats.max_cost, unit_cost[i]);
+  }
+  if (num_samples > 0) {
+    stats.expected_cost =
+        static_cast<double>(total / static_cast<long double>(num_samples));
+    stats.expected_priced_cost = static_cast<double>(
+        total_priced / static_cast<long double>(num_samples));
+  }
+  return stats;
+}
+
+}  // namespace aigs

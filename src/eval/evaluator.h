@@ -1,0 +1,62 @@
+// Expected-cost evaluation of a policy under a target distribution
+// (Definition 7: cost(D) = Σ_v p(v)·ℓ(v)).
+//
+// EvaluateExact enumerates every node as the hidden target (weighting by its
+// probability) — the search-session overlays make one search cheap, and
+// targets fan out across a thread pool. EvaluateSampled draws targets from
+// the distribution instead, for policies too slow to enumerate (GreedyNaive).
+#ifndef AIGS_EVAL_EVALUATOR_H_
+#define AIGS_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+#include "oracle/cost_model.h"
+#include "prob/distribution.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aigs {
+
+/// Aggregated evaluation results.
+struct EvalStats {
+  /// Expected unit cost E[#queries] (reach queries + choices read).
+  double expected_cost = 0;
+  /// Expected priced cost (CAIGS; equals expected_cost for unit prices).
+  double expected_priced_cost = 0;
+  /// Worst-case unit cost over evaluated targets (the WIGS objective).
+  std::uint64_t max_cost = 0;
+  /// Number of (target, search) runs performed.
+  std::uint64_t num_searches = 0;
+  /// Per-target unit costs, indexed by node id (exact mode only; empty in
+  /// sampled mode). Zero-weight targets are included — they are verified for
+  /// correctness but carry no weight in expected_cost.
+  std::vector<std::uint32_t> per_target_cost;
+};
+
+/// Evaluation options.
+struct EvalOptions {
+  /// Prices for reach queries (null = unit).
+  const CostModel* cost_model = nullptr;
+  /// Thread pool (null = ThreadPool::Default()).
+  ThreadPool* pool = nullptr;
+  /// Also run zero-probability targets to verify the policy identifies them
+  /// (they contribute 0 to the expectation either way).
+  bool include_zero_weight_targets = true;
+};
+
+/// Exact expectation: one search per node, weighted by dist. Fatally checks
+/// that every search identifies its true target.
+EvalStats EvaluateExact(const Policy& policy, const Hierarchy& hierarchy,
+                        const Distribution& dist, const EvalOptions& options = {});
+
+/// Monte-Carlo estimate over `num_samples` targets drawn from dist.
+EvalStats EvaluateSampled(const Policy& policy, const Hierarchy& hierarchy,
+                          const Distribution& dist, std::size_t num_samples,
+                          Rng& rng, const EvalOptions& options = {});
+
+}  // namespace aigs
+
+#endif  // AIGS_EVAL_EVALUATOR_H_

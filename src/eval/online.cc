@@ -1,0 +1,102 @@
+#include "eval/online.h"
+
+#include <memory>
+
+#include "core/greedy_dag.h"
+#include "core/greedy_tree.h"
+#include "eval/runner.h"
+#include "oracle/oracle.h"
+#include "prob/alias_table.h"
+#include "prob/empirical.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+/// Uniform adapter over the two greedy policies' live weight bases.
+class OnlineGreedy {
+ public:
+  OnlineGreedy(const Hierarchy& h, const Distribution& initial) {
+    if (h.is_tree()) {
+      GreedyTreeOptions options;
+      options.use_rounded_weights = false;  // live counts, already integers
+      tree_ = std::make_unique<GreedyTreePolicy>(h, initial, options);
+    } else {
+      GreedyDagOptions options;
+      options.use_rounded_weights = false;
+      dag_ = std::make_unique<GreedyDagPolicy>(h, initial, options);
+    }
+  }
+
+  Policy& policy() { return tree_ ? static_cast<Policy&>(*tree_)
+                                  : static_cast<Policy&>(*dag_); }
+
+  void Observe(NodeId category) {
+    if (tree_) {
+      tree_->mutable_base()->AddWeight(category, 1);
+    } else {
+      dag_->mutable_base()->AddWeight(category, 1);
+    }
+  }
+
+ private:
+  std::unique_ptr<GreedyTreePolicy> tree_;
+  std::unique_ptr<GreedyDagPolicy> dag_;
+};
+
+}  // namespace
+
+StatusOr<OnlineSeries> RunOnlineLearning(const Hierarchy& hierarchy,
+                                         const Distribution& real_dist,
+                                         const OnlineOptions& options) {
+  if (real_dist.size() != hierarchy.NumNodes()) {
+    return Status::InvalidArgument("distribution size mismatch");
+  }
+  if (options.num_objects == 0 || options.block_size == 0 ||
+      options.num_traces == 0 ||
+      options.num_objects % options.block_size != 0) {
+    return Status::InvalidArgument(
+        "num_objects must be a positive multiple of block_size");
+  }
+  const std::size_t num_blocks = options.num_objects / options.block_size;
+  const AliasTable sampler(real_dist);
+
+  std::vector<long double> block_cost_sum(num_blocks, 0);
+  long double grand_sum = 0;
+
+  for (std::size_t trace = 0; trace < options.num_traces; ++trace) {
+    Rng rng(options.seed + trace);
+    EmpiricalCounts counts(hierarchy.NumNodes(), options.prior);
+    OnlineGreedy greedy(hierarchy, counts.ToDistribution());
+
+    for (std::size_t block = 0; block < num_blocks; ++block) {
+      std::uint64_t block_queries = 0;
+      for (std::size_t i = 0; i < options.block_size; ++i) {
+        const NodeId target = sampler.Sample(rng);
+        ExactOracle oracle(hierarchy.reach(), target);
+        auto session = greedy.policy().NewSession();
+        const SearchResult r = RunSearch(*session, oracle);
+        AIGS_CHECK(r.target == target);
+        block_queries += r.UnitCost();
+        counts.Observe(target);
+        greedy.Observe(target);
+      }
+      block_cost_sum[block] += static_cast<long double>(block_queries) /
+                               static_cast<long double>(options.block_size);
+      grand_sum += static_cast<long double>(block_queries);
+    }
+  }
+
+  OnlineSeries series;
+  series.avg_cost_per_block.resize(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    series.avg_cost_per_block[b] = static_cast<double>(
+        block_cost_sum[b] / static_cast<long double>(options.num_traces));
+  }
+  series.overall_avg_cost = static_cast<double>(
+      grand_sum / static_cast<long double>(options.num_traces *
+                                           options.num_objects));
+  return series;
+}
+
+}  // namespace aigs

@@ -1,0 +1,76 @@
+#include "eval/optimal_dp.h"
+
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+namespace aigs {
+namespace {
+
+using Mask = std::uint32_t;
+
+struct DpContext {
+  std::vector<Mask> reach_mask;       // R(v) as a bitmask
+  std::vector<Weight> weight;         // w(v)
+  std::vector<std::uint32_t> price;   // c(v)
+  std::unordered_map<Mask, std::uint64_t> memo;
+};
+
+std::uint64_t Solve(DpContext& ctx, Mask candidates) {
+  if (std::popcount(candidates) <= 1) {
+    return 0;
+  }
+  const auto it = ctx.memo.find(candidates);
+  if (it != ctx.memo.end()) {
+    return it->second;
+  }
+  std::uint64_t total_weight = 0;
+  for (Mask m = candidates; m != 0; m &= m - 1) {
+    total_weight += ctx.weight[static_cast<std::size_t>(std::countr_zero(m))];
+  }
+  std::uint64_t best = ~std::uint64_t{0};
+  for (Mask m = candidates; m != 0; m &= m - 1) {
+    const auto q = static_cast<std::size_t>(std::countr_zero(m));
+    const Mask yes = candidates & ctx.reach_mask[q];
+    const Mask no = candidates & ~ctx.reach_mask[q];
+    if (no == 0) {
+      continue;  // question cannot distinguish anything
+    }
+    const std::uint64_t cost = ctx.price[q] * total_weight +
+                               Solve(ctx, yes) + Solve(ctx, no);
+    best = std::min(best, cost);
+  }
+  AIGS_CHECK(best != ~std::uint64_t{0});
+  ctx.memo.emplace(candidates, best);
+  return best;
+}
+
+}  // namespace
+
+StatusOr<double> OptimalExpectedCost(const Hierarchy& hierarchy,
+                                     const Distribution& dist,
+                                     const CostModel* costs) {
+  const std::size_t n = hierarchy.NumNodes();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        "optimal DP supports n <= 24 (got " + std::to_string(n) + ")");
+  }
+  AIGS_CHECK(dist.size() == n);
+
+  DpContext ctx;
+  ctx.reach_mask.assign(n, 0);
+  ctx.weight.resize(n);
+  ctx.price.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    hierarchy.reach().ForEachReachable(
+        v, [&](NodeId x) { ctx.reach_mask[v] |= Mask{1} << x; });
+    ctx.weight[v] = dist.WeightOf(v);
+    ctx.price[v] = costs != nullptr ? costs->CostOf(v) : 1;
+  }
+
+  const Mask all = n == 32 ? ~Mask{0} : (Mask{1} << n) - 1;
+  const std::uint64_t f = Solve(ctx, all);
+  return static_cast<double>(f) / static_cast<double>(dist.Total());
+}
+
+}  // namespace aigs

@@ -1,0 +1,30 @@
+// Brute-force optimal policy cost for small instances, by dynamic
+// programming over candidate subsets:
+//
+//   f(C) = 0                                      if |C| = 1
+//   f(C) = min_{q ∈ C, C ⊄ R(q)} c(q)·W(C) + f(C ∩ R(q)) + f(C \ R(q))
+//
+// where W(C) is the total weight of C; the optimal expected cost is
+// f(V)/W(V). Queries are restricted to current candidates, matching
+// FrameworkIGS line 2 (and our policies), so measured approximation ratios
+// are apples-to-apples. Exponential in n — used by tests and the
+// approximation-ratio bench on instances with n ≤ ~20.
+#ifndef AIGS_EVAL_OPTIMAL_DP_H_
+#define AIGS_EVAL_OPTIMAL_DP_H_
+
+#include "core/hierarchy.h"
+#include "oracle/cost_model.h"
+#include "prob/distribution.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Exact optimal expected (priced) cost. Fails for n > 24 (state space).
+/// `costs == nullptr` means unit prices (plain AIGS; Definition 7).
+StatusOr<double> OptimalExpectedCost(const Hierarchy& hierarchy,
+                                     const Distribution& dist,
+                                     const CostModel* costs = nullptr);
+
+}  // namespace aigs
+
+#endif  // AIGS_EVAL_OPTIMAL_DP_H_

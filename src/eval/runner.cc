@@ -1,0 +1,55 @@
+#include "eval/runner.h"
+
+namespace aigs {
+
+SearchResult RunSearch(SearchSession& session, Oracle& oracle,
+                       const RunOptions& options) {
+  SearchResult result;
+  for (;;) {
+    Query query = session.Next();
+    if (query.kind != Query::Kind::kDone) {
+      ++result.interaction_rounds;
+    }
+    switch (query.kind) {
+      case Query::Kind::kDone:
+        result.target = query.node;
+        return result;
+      case Query::Kind::kReach: {
+        const bool yes = oracle.Reach(query.node);
+        ++result.reach_queries;
+        result.priced_cost += options.cost_model != nullptr
+                                  ? options.cost_model->CostOf(query.node)
+                                  : 1;
+        session.OnReach(query.node, yes);
+        break;
+      }
+      case Query::Kind::kReachBatch: {
+        AIGS_CHECK(!query.choices.empty());
+        std::vector<bool> answers(query.choices.size());
+        for (std::size_t i = 0; i < query.choices.size(); ++i) {
+          answers[i] = oracle.Reach(query.choices[i]);
+          ++result.reach_queries;
+          result.priced_cost +=
+              options.cost_model != nullptr
+                  ? options.cost_model->CostOf(query.choices[i])
+                  : 1;
+        }
+        session.OnReachBatch(query.choices, answers);
+        break;
+      }
+      case Query::Kind::kChoice: {
+        const int answer = oracle.Choice(query.choices);
+        ++result.choice_queries;
+        // §V-A cost metric: a k-choice query decomposes into k binary
+        // queries — the crowd reads every presented choice.
+        result.choices_read += query.choices.size();
+        session.OnChoice(query.choices, answer);
+        break;
+      }
+    }
+    AIGS_CHECK(result.reach_queries + result.choice_queries <=
+               options.max_questions);
+  }
+}
+
+}  // namespace aigs

@@ -1,0 +1,51 @@
+// Search driver (FrameworkIGS, Algorithm 1): relays questions from a session
+// to an oracle until the target is identified, accounting costs —
+// unit queries, choice-reading cost (MIGS), heterogeneous prices (CAIGS) and
+// majority-vote multipliers.
+#ifndef AIGS_EVAL_RUNNER_H_
+#define AIGS_EVAL_RUNNER_H_
+
+#include <cstdint>
+
+#include "core/policy.h"
+#include "oracle/cost_model.h"
+#include "oracle/oracle.h"
+
+namespace aigs {
+
+/// Outcome of one driven search.
+struct SearchResult {
+  /// Target the session identified.
+  NodeId target = kInvalidNode;
+  /// Number of boolean reach() questions asked.
+  std::uint64_t reach_queries = 0;
+  /// Number of choice questions asked (MIGS).
+  std::uint64_t choice_queries = 0;
+  /// Total choices read across choice questions (the paper's MIGS cost).
+  std::uint64_t choices_read = 0;
+  /// Σ c(q) over reach queries (equals reach_queries under unit prices).
+  std::uint64_t priced_cost = 0;
+  /// Interaction rounds: one per question or per batch of questions — what
+  /// the §III-E batched extension minimizes.
+  std::uint64_t interaction_rounds = 0;
+
+  /// The paper's cost metric: reach queries plus choices read.
+  std::uint64_t UnitCost() const { return reach_queries + choices_read; }
+};
+
+/// Options for RunSearch.
+struct RunOptions {
+  /// Prices charged per reach query (null = unit prices).
+  const CostModel* cost_model = nullptr;
+  /// Safety valve: abort (fatally) if a session exceeds this many questions
+  /// without terminating — catches non-terminating policies in tests.
+  std::uint64_t max_questions = 10'000'000;
+};
+
+/// Drives `session` against `oracle` to completion.
+SearchResult RunSearch(SearchSession& session, Oracle& oracle,
+                       const RunOptions& options = {});
+
+}  // namespace aigs
+
+#endif  // AIGS_EVAL_RUNNER_H_

@@ -1,0 +1,52 @@
+#include "eval/runtime_bench.h"
+
+#include "eval/runner.h"
+#include "oracle/oracle.h"
+#include "util/timer.h"
+
+namespace aigs {
+
+RuntimeByDepthResult MeasureRuntimeByDepth(
+    const Policy& policy, const Hierarchy& hierarchy,
+    const RuntimeByDepthOptions& options) {
+  const int height = hierarchy.Height();
+  const int max_depth = options.max_depth < 0
+                            ? height
+                            : std::min(options.max_depth, height);
+  std::vector<std::vector<NodeId>> by_depth(
+      static_cast<std::size_t>(max_depth) + 1);
+  for (NodeId v = 0; v < hierarchy.NumNodes(); ++v) {
+    const int d = hierarchy.graph().Depth(v);
+    if (d <= max_depth) {
+      by_depth[static_cast<std::size_t>(d)].push_back(v);
+    }
+  }
+
+  Rng rng(options.seed);
+  RuntimeByDepthResult result;
+  result.avg_millis.resize(by_depth.size(), 0);
+  result.nodes_at_depth.resize(by_depth.size(), 0);
+  for (std::size_t d = 0; d < by_depth.size(); ++d) {
+    result.nodes_at_depth[d] = by_depth[d].size();
+    if (by_depth[d].empty()) {
+      continue;
+    }
+    double total_ms = 0;
+    for (std::size_t i = 0; i < options.samples_per_depth; ++i) {
+      const NodeId target =
+          by_depth[d][static_cast<std::size_t>(rng.UniformInt(
+              by_depth[d].size()))];
+      ExactOracle oracle(hierarchy.reach(), target);
+      auto session = policy.NewSession();
+      WallTimer timer;
+      const SearchResult r = RunSearch(*session, oracle);
+      total_ms += timer.ElapsedMillis();
+      AIGS_CHECK(r.target == target);
+    }
+    result.avg_millis[d] =
+        total_ms / static_cast<double>(options.samples_per_depth);
+  }
+  return result;
+}
+
+}  // namespace aigs

@@ -1,0 +1,39 @@
+// Per-depth running-time measurement (§V-B2, Fig. 6): sample target nodes at
+// each hierarchy depth and report the average wall-clock time one search
+// takes, per depth. Nodes may be sampled multiple times (the paper samples
+// 1000 per depth; depth 0 has only the root).
+#ifndef AIGS_EVAL_RUNTIME_BENCH_H_
+#define AIGS_EVAL_RUNTIME_BENCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+#include "util/rng.h"
+
+namespace aigs {
+
+/// Parameters for MeasureRuntimeByDepth.
+struct RuntimeByDepthOptions {
+  /// Searches timed per depth level.
+  std::size_t samples_per_depth = 50;
+  std::uint64_t seed = 1;
+  /// Measure depths [0, max_depth]; -1 = the full hierarchy height.
+  int max_depth = -1;
+};
+
+/// Result: one entry per depth level (index = depth).
+struct RuntimeByDepthResult {
+  std::vector<double> avg_millis;
+  std::vector<std::size_t> nodes_at_depth;
+};
+
+/// Times `policy` on targets sampled uniformly among nodes of each depth.
+RuntimeByDepthResult MeasureRuntimeByDepth(
+    const Policy& policy, const Hierarchy& hierarchy,
+    const RuntimeByDepthOptions& options = {});
+
+}  // namespace aigs
+
+#endif  // AIGS_EVAL_RUNTIME_BENCH_H_

@@ -1,0 +1,74 @@
+#include "eval/scripted_policy.h"
+
+#include "graph/candidate_set.h"
+
+namespace aigs {
+namespace {
+
+class ScriptedSession final : public SearchSession {
+ public:
+  ScriptedSession(const Hierarchy& h, const std::vector<NodeId>& script)
+      : hierarchy_(&h), script_(&script), candidates_(h.graph()) {}
+
+  Query Next() override {
+    if (candidates_.alive_count() == 1) {
+      return Query::Done(candidates_.SoleCandidate());
+    }
+    while (index_ < script_->size()) {
+      const NodeId q = (*script_)[index_];
+      if (IsInformative(q)) {
+        return Query::ReachQuery(q);
+      }
+      ++index_;  // answer already determined; asking would be wasted
+    }
+    AIGS_CHECK(false && "script exhausted before identifying the target");
+    return Query::Done(kInvalidNode);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(index_ < script_->size() && (*script_)[index_] == q);
+    ++index_;
+    if (yes) {
+      candidates_.RestrictToReachable(q);
+    } else {
+      candidates_.RemoveReachable(q);
+    }
+  }
+
+ private:
+  // A question is informative iff both answers are still possible, i.e.
+  // candidates exist both inside and outside R(q).
+  bool IsInformative(NodeId q) const {
+    const ReachabilityIndex& reach = hierarchy_->reach();
+    bool inside = false;
+    bool outside = false;
+    candidates_.bits().ForEachSetBit([&](std::size_t raw) {
+      const NodeId t = static_cast<NodeId>(raw);
+      (reach.Reaches(q, t) ? inside : outside) = true;
+    });
+    return inside && outside;
+  }
+
+  const Hierarchy* hierarchy_;
+  const std::vector<NodeId>* script_;
+  CandidateSet candidates_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+ScriptedPolicy::ScriptedPolicy(const Hierarchy& hierarchy,
+                               std::vector<NodeId> script, std::string name)
+    : hierarchy_(&hierarchy),
+      script_(std::move(script)),
+      name_(std::move(name)) {
+  for (const NodeId q : script_) {
+    AIGS_CHECK(q < hierarchy.NumNodes());
+  }
+}
+
+std::unique_ptr<SearchSession> ScriptedPolicy::NewSession() const {
+  return std::make_unique<ScriptedSession>(*hierarchy_, script_);
+}
+
+}  // namespace aigs

@@ -1,0 +1,49 @@
+#include "graph/candidate_set.h"
+
+namespace aigs {
+
+void CandidateSet::RestrictToReachable(NodeId q,
+                                       std::vector<NodeId>* removed) {
+  AIGS_CHECK(IsAlive(q));
+  // Collect R(q) ∩ C via forward BFS among alive nodes, then flip everything
+  // else off. The downward-closure invariant guarantees this BFS reaches all
+  // alive nodes of R(q).
+  DynamicBitset keep(alive_.size());
+  std::size_t kept = 0;
+  scratch_.ForwardBfs(
+      *graph_, q, [this](NodeId v) { return IsAlive(v); },
+      [&](NodeId v) {
+        keep.Set(v);
+        ++kept;
+      });
+  if (removed != nullptr) {
+    alive_.ForEachSetBit([&](std::size_t v) {
+      if (!keep.Test(v)) {
+        removed->push_back(static_cast<NodeId>(v));
+      }
+    });
+  }
+  alive_ = std::move(keep);
+  alive_count_ = kept;
+}
+
+void CandidateSet::RemoveReachable(NodeId q, std::vector<NodeId>* removed) {
+  AIGS_CHECK(IsAlive(q));
+  std::vector<NodeId> local;
+  std::vector<NodeId>* sink = removed != nullptr ? removed : &local;
+  const std::size_t before = sink->size();
+  scratch_.ForwardBfs(
+      *graph_, q, [this](NodeId v) { return IsAlive(v); },
+      [&](NodeId v) { sink->push_back(v); });
+  for (std::size_t i = before; i < sink->size(); ++i) {
+    alive_.Reset((*sink)[i]);
+  }
+  alive_count_ -= sink->size() - before;
+}
+
+NodeId CandidateSet::SoleCandidate() const {
+  AIGS_CHECK(alive_count_ == 1);
+  return static_cast<NodeId>(alive_.FindFirst());
+}
+
+}  // namespace aigs

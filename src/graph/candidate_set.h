@@ -1,0 +1,63 @@
+// Candidate-set bookkeeping shared by search sessions on DAG hierarchies.
+//
+// Throughout a search the candidate set C is `R(root) minus a union of
+// R(q_i)` over no-answered queries q_i. Since those sets are downward closed,
+// reachability restricted to alive nodes coincides with global reachability
+// (DESIGN.md §2), which is what makes the cheap BFS updates below sound.
+#ifndef AIGS_GRAPH_CANDIDATE_SET_H_
+#define AIGS_GRAPH_CANDIDATE_SET_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/traversal.h"
+#include "util/bitset.h"
+
+namespace aigs {
+
+/// Tracks which nodes are still possible targets during one search session.
+class CandidateSet {
+ public:
+  /// Starts with every node alive.
+  explicit CandidateSet(const Digraph& g)
+      : graph_(&g), alive_(g.NumNodes(), true), alive_count_(g.NumNodes()),
+        scratch_(g.NumNodes()) {}
+
+  /// Number of alive nodes.
+  std::size_t alive_count() const { return alive_count_; }
+
+  /// True iff v is still a candidate.
+  bool IsAlive(NodeId v) const { return alive_.Test(v); }
+
+  /// Underlying bitset (read-only).
+  const DynamicBitset& bits() const { return alive_; }
+
+  /// Applies a yes-answer for query q: candidates become R(q) ∩ C.
+  /// Returns the nodes that were removed.
+  void RestrictToReachable(NodeId q, std::vector<NodeId>* removed = nullptr);
+
+  /// Applies a no-answer for query q: candidates become C \ R(q).
+  /// Appends the removed nodes (R(q) ∩ C) to `removed` if non-null.
+  void RemoveReachable(NodeId q, std::vector<NodeId>* removed = nullptr);
+
+  /// Removes exactly one node (no reachability expansion) — used when the
+  /// caller computed the removal set itself (e.g. batched answers).
+  void KillOne(NodeId v) {
+    AIGS_CHECK(IsAlive(v));
+    alive_.Reset(v);
+    --alive_count_;
+  }
+
+  /// The single remaining candidate; requires alive_count() == 1.
+  NodeId SoleCandidate() const;
+
+ private:
+  const Digraph* graph_;
+  DynamicBitset alive_;
+  std::size_t alive_count_;
+  BfsScratch scratch_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_GRAPH_CANDIDATE_SET_H_

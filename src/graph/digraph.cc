@@ -1,0 +1,174 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace aigs {
+
+NodeId Digraph::AddNode(std::string label) {
+  AIGS_CHECK(!finalized_);
+  AIGS_CHECK(labels_.size() < kInvalidNode);
+  labels_.push_back(std::move(label));
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+NodeId Digraph::AddNodes(std::size_t count) {
+  AIGS_CHECK(!finalized_);
+  const NodeId first = static_cast<NodeId>(labels_.size());
+  labels_.resize(labels_.size() + count);
+  return first;
+}
+
+void Digraph::SetLabel(NodeId v, std::string label) {
+  AIGS_CHECK(!finalized_);
+  AIGS_CHECK(v < labels_.size());
+  labels_[v] = std::move(label);
+}
+
+void Digraph::AddEdge(NodeId parent, NodeId child) {
+  AIGS_CHECK(!finalized_);
+  AIGS_CHECK(parent < labels_.size() && child < labels_.size());
+  AIGS_CHECK(parent != child);
+  edges_.push_back(Edge{parent, child});
+}
+
+Status Digraph::Finalize(bool add_dummy_root) {
+  if (finalized_) {
+    return Status::FailedPrecondition("graph already finalized");
+  }
+  if (labels_.empty()) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+
+  // Reject duplicate edges.
+  {
+    std::vector<Edge> sorted = edges_;
+    std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+      return a.parent != b.parent ? a.parent < b.parent : a.child < b.child;
+    });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].parent == sorted[i - 1].parent &&
+          sorted[i].child == sorted[i - 1].child) {
+        return Status::InvalidArgument(
+            "duplicate edge " + std::to_string(sorted[i].parent) + " -> " +
+            std::to_string(sorted[i].child));
+      }
+    }
+  }
+
+  // Find sources; add a dummy root if needed.
+  {
+    std::vector<std::size_t> in_degree(labels_.size(), 0);
+    for (const Edge& e : edges_) {
+      ++in_degree[e.child];
+    }
+    std::vector<NodeId> sources;
+    for (NodeId v = 0; v < labels_.size(); ++v) {
+      if (in_degree[v] == 0) {
+        sources.push_back(v);
+      }
+    }
+    if (sources.empty()) {
+      return Status::InvalidArgument("graph has a cycle (no source node)");
+    }
+    if (sources.size() == 1) {
+      root_ = sources[0];
+    } else if (add_dummy_root) {
+      labels_.push_back("<root>");
+      root_ = static_cast<NodeId>(labels_.size() - 1);
+      for (const NodeId s : sources) {
+        edges_.push_back(Edge{root_, s});
+      }
+    } else {
+      return Status::InvalidArgument("graph has " +
+                                     std::to_string(sources.size()) +
+                                     " roots and add_dummy_root is false");
+    }
+  }
+
+  const std::size_t n = labels_.size();
+
+  // Build CSR adjacency (children and parents), preserving insertion order.
+  child_offsets_.assign(n + 1, 0);
+  parent_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++child_offsets_[e.parent + 1];
+    ++parent_offsets_[e.child + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    child_offsets_[v + 1] += child_offsets_[v];
+    parent_offsets_[v + 1] += parent_offsets_[v];
+  }
+  children_.resize(edges_.size());
+  parents_.resize(edges_.size());
+  {
+    std::vector<std::size_t> child_cursor(child_offsets_.begin(),
+                                          child_offsets_.end() - 1);
+    std::vector<std::size_t> parent_cursor(parent_offsets_.begin(),
+                                           parent_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      children_[child_cursor[e.parent]++] = e.child;
+      parents_[parent_cursor[e.child]++] = e.parent;
+    }
+  }
+
+  // CSR is usable from here on; roll the flag back if cycle detection fails.
+  finalized_ = true;
+
+  // Kahn topological sort; detects cycles.
+  topo_order_.clear();
+  topo_order_.reserve(n);
+  {
+    std::vector<std::size_t> remaining(n);
+    std::queue<NodeId> ready;
+    for (NodeId v = 0; v < n; ++v) {
+      remaining[v] = InDegree(v);
+      if (remaining[v] == 0) {
+        ready.push(v);
+      }
+    }
+    while (!ready.empty()) {
+      const NodeId u = ready.front();
+      ready.pop();
+      topo_order_.push_back(u);
+      for (const NodeId c : Children(u)) {
+        if (--remaining[c] == 0) {
+          ready.push(c);
+        }
+      }
+    }
+    if (topo_order_.size() != n) {
+      finalized_ = false;
+      return Status::InvalidArgument("graph has a cycle");
+    }
+  }
+
+  // Longest-path depth from the root, and summary statistics.
+  depth_.assign(n, 0);
+  height_ = 0;
+  for (const NodeId u : topo_order_) {
+    for (const NodeId c : Children(u)) {
+      depth_[c] = std::max(depth_[c], depth_[u] + 1);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    height_ = std::max(height_, depth_[v]);
+  }
+
+  max_out_degree_ = 0;
+  is_tree_ = true;
+  for (NodeId v = 0; v < n; ++v) {
+    max_out_degree_ = std::max(max_out_degree_, OutDegree(v));
+    if (v != root_ && InDegree(v) != 1) {
+      is_tree_ = false;
+    }
+  }
+  if (InDegree(root_) != 0) {
+    is_tree_ = false;
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+}  // namespace aigs

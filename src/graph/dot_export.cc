@@ -1,0 +1,41 @@
+#include "graph/dot_export.h"
+
+namespace aigs {
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& g, const DotOptions& options) {
+  AIGS_CHECK(g.finalized());
+  std::string out = "digraph " + options.name + " {\n";
+  out += "  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    std::string label =
+        g.Label(v).empty() ? std::to_string(v) : EscapeDot(g.Label(v));
+    if (options.annotate) {
+      label += "\\n" + EscapeDot(options.annotate(v));
+    }
+    out += "  n" + std::to_string(v) + " [label=\"" + label + "\"];\n";
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const NodeId c : g.Children(u)) {
+      out += "  n" + std::to_string(u) + " -> n" + std::to_string(c) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace aigs

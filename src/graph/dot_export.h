@@ -1,0 +1,27 @@
+// Graphviz DOT export for hierarchies and decision trees — handy when
+// debugging small instances or producing paper-style figures.
+#ifndef AIGS_GRAPH_DOT_EXPORT_H_
+#define AIGS_GRAPH_DOT_EXPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace aigs {
+
+/// Rendering options for ToDot.
+struct DotOptions {
+  /// Graph name in the DOT header.
+  std::string name = "hierarchy";
+  /// Optional per-node annotation appended to the label (e.g. "p=0.4").
+  std::function<std::string(NodeId)> annotate;
+};
+
+/// Renders a finalized graph as DOT text. Nodes show their label (or id when
+/// unlabeled) plus any annotation.
+std::string ToDot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace aigs
+
+#endif  // AIGS_GRAPH_DOT_EXPORT_H_

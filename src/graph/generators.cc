@@ -1,0 +1,123 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace aigs {
+namespace {
+
+std::uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Digraph RandomTree(std::size_t n, Rng& rng, std::size_t max_children) {
+  AIGS_CHECK(n >= 1);
+  Digraph g;
+  g.AddNodes(n);
+  std::vector<std::size_t> degree(n, 0);
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId parent;
+    do {
+      parent = static_cast<NodeId>(rng.UniformInt(v));
+    } while (max_children != 0 && degree[parent] >= max_children);
+    g.AddEdge(parent, v);
+    ++degree[parent];
+  }
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+Digraph RandomDag(std::size_t n, Rng& rng, double extra_edge_frac,
+                  std::size_t max_children) {
+  AIGS_CHECK(n >= 1);
+  Digraph g;
+  g.AddNodes(n);
+  std::vector<std::size_t> degree(n, 0);
+  std::unordered_set<std::uint64_t> edges;
+  // Tree skeleton guarantees one root and connectivity.
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId parent;
+    do {
+      parent = static_cast<NodeId>(rng.UniformInt(v));
+    } while (max_children != 0 && degree[parent] >= max_children);
+    g.AddEdge(parent, v);
+    ++degree[parent];
+    edges.insert(EdgeKey(parent, v));
+  }
+  // Extra edges u -> v with u < v keep the id order topological, so the
+  // result is acyclic by construction.
+  const auto extra =
+      static_cast<std::size_t>(extra_edge_frac * static_cast<double>(n));
+  for (std::size_t i = 0; i < extra && n >= 3; ++i) {
+    const NodeId v = static_cast<NodeId>(2 + rng.UniformInt(n - 2));
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(v));
+    if (max_children != 0 && degree[u] >= max_children) {
+      continue;
+    }
+    if (!edges.insert(EdgeKey(u, v)).second) {
+      continue;  // duplicate; skip rather than retry to bound work
+    }
+    g.AddEdge(u, v);
+    ++degree[u];
+  }
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+Digraph PathGraph(std::size_t n) {
+  AIGS_CHECK(n >= 1);
+  Digraph g;
+  g.AddNodes(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.AddEdge(v - 1, v);
+  }
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+Digraph StarGraph(std::size_t n) {
+  AIGS_CHECK(n >= 1);
+  Digraph g;
+  g.AddNodes(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.AddEdge(0, v);
+  }
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+Digraph CompleteBinaryTree(std::size_t n) {
+  AIGS_CHECK(n >= 1);
+  Digraph g;
+  g.AddNodes(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.AddEdge((v - 1) / 2, v);
+  }
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+Digraph DiamondChain(std::size_t k) {
+  AIGS_CHECK(k >= 1);
+  Digraph g;
+  // Each diamond: top -> {left, right} -> bottom; bottoms chain to next top.
+  const std::size_t n = 3 * k + 1;
+  g.AddNodes(n);
+  NodeId top = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId left = static_cast<NodeId>(3 * i + 1);
+    const NodeId right = static_cast<NodeId>(3 * i + 2);
+    const NodeId bottom = static_cast<NodeId>(3 * i + 3);
+    g.AddEdge(top, left);
+    g.AddEdge(top, right);
+    g.AddEdge(left, bottom);
+    g.AddEdge(right, bottom);
+    top = bottom;
+  }
+  AIGS_CHECK(g.Finalize().ok());
+  return g;
+}
+
+}  // namespace aigs

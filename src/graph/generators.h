@@ -1,0 +1,40 @@
+// Random and structured hierarchy generators used by tests, property sweeps
+// and ablation benchmarks. Dataset-scale generators that mimic the paper's
+// Amazon/ImageNet statistics live in data/synthetic_catalog.h.
+#ifndef AIGS_GRAPH_GENERATORS_H_
+#define AIGS_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace aigs {
+
+/// Random rooted tree: node i > 0 attaches to a uniform parent among
+/// {0, ..., i-1} whose out-degree is still below `max_children`
+/// (0 = unlimited).
+Digraph RandomTree(std::size_t n, Rng& rng, std::size_t max_children = 0);
+
+/// Random DAG: starts from RandomTree(n) and adds approximately
+/// `extra_edge_frac * n` extra edges from shallower to deeper nodes
+/// (acyclicity preserved by construction).
+Digraph RandomDag(std::size_t n, Rng& rng, double extra_edge_frac = 0.3,
+                  std::size_t max_children = 0);
+
+/// Root -> chain of n-1 nodes (a fully ordered set; binary search territory).
+Digraph PathGraph(std::size_t n);
+
+/// Root with n-1 leaf children (the greedy worst case for flat hierarchies).
+Digraph StarGraph(std::size_t n);
+
+/// Complete binary tree with n nodes (heap ordering of ids).
+Digraph CompleteBinaryTree(std::size_t n);
+
+/// Classic diamond DAG stack: k diamonds chained head-to-tail
+/// (4k - (k-1) nodes); exercises multi-parent bookkeeping.
+Digraph DiamondChain(std::size_t k);
+
+}  // namespace aigs
+
+#endif  // AIGS_GRAPH_GENERATORS_H_

@@ -1,0 +1,125 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aigs {
+
+std::string SerializeHierarchy(const Digraph& g) {
+  AIGS_CHECK(g.finalized());
+  std::string out = "# aigs-hierarchy v1\n";
+  out += "n " + std::to_string(g.NumNodes()) + "\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (!g.Label(v).empty()) {
+      out += "l " + std::to_string(v) + " " + g.Label(v) + "\n";
+    }
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const NodeId c : g.Children(u)) {
+      out += "e " + std::to_string(u) + " " + std::to_string(c) + "\n";
+    }
+  }
+  return out;
+}
+
+StatusOr<Digraph> ParseHierarchy(const std::string& text) {
+  Digraph g;
+  bool have_n = false;
+  std::size_t n = 0;
+  std::size_t line_no = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    const auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     msg);
+    };
+    if (trimmed[0] == 'n') {
+      if (have_n) {
+        return error("duplicate 'n' directive");
+      }
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t parsed,
+                            ParseUint64(trimmed.substr(1)));
+      if (parsed == 0 || parsed >= kInvalidNode) {
+        return error("node count out of range");
+      }
+      n = static_cast<std::size_t>(parsed);
+      g.AddNodes(n);
+      have_n = true;
+      continue;
+    }
+    if (!have_n) {
+      return error("'n' directive must come first");
+    }
+    if (trimmed[0] == 'l') {
+      const std::string_view rest = Trim(trimmed.substr(1));
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return error("label directive needs '<id> <label>'");
+      }
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t id,
+                            ParseUint64(rest.substr(0, space)));
+      if (id >= n) {
+        return error("label node id out of range");
+      }
+      g.SetLabel(static_cast<NodeId>(id),
+                 std::string(Trim(rest.substr(space + 1))));
+      continue;
+    }
+    if (trimmed[0] == 'e') {
+      const auto fields = Split(std::string_view(Trim(trimmed.substr(1))), ' ');
+      if (fields.size() != 2) {
+        return error("edge directive needs '<parent> <child>'");
+      }
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t parent,
+                            ParseUint64(fields[0]));
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t child, ParseUint64(fields[1]));
+      if (parent >= n || child >= n) {
+        return error("edge endpoint out of range");
+      }
+      if (parent == child) {
+        return error("self-loop");
+      }
+      g.AddEdge(static_cast<NodeId>(parent), static_cast<NodeId>(child));
+      continue;
+    }
+    return error("unknown directive '" + std::string(1, trimmed[0]) + "'");
+  }
+  if (!have_n) {
+    return Status::InvalidArgument("missing 'n' directive");
+  }
+  AIGS_RETURN_NOT_OK(g.Finalize());
+  return g;
+}
+
+Status SaveHierarchy(const Digraph& g, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const std::string text = SerializeHierarchy(g);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) {
+    return Status::IOError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<Digraph> LoadHierarchy(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseHierarchy(buffer.str());
+}
+
+}  // namespace aigs

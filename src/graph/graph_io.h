@@ -1,0 +1,34 @@
+// Text serialization for hierarchies so external datasets (the real Amazon /
+// ImageNet category graphs, for users who have them) can be plugged into the
+// benchmark harnesses.
+//
+// Format ("aigs-hierarchy v1"):
+//   # comment lines start with '#'
+//   n <num_nodes>
+//   l <node_id> <label...>          (optional, any subset of nodes)
+//   e <parent_id> <child_id>        (one per edge)
+#ifndef AIGS_GRAPH_GRAPH_IO_H_
+#define AIGS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Serializes a finalized graph to the text format above.
+std::string SerializeHierarchy(const Digraph& g);
+
+/// Parses the text format and finalizes the graph (dummy root allowed).
+StatusOr<Digraph> ParseHierarchy(const std::string& text);
+
+/// Writes SerializeHierarchy(g) to `path`.
+Status SaveHierarchy(const Digraph& g, const std::string& path);
+
+/// Reads and parses a hierarchy file.
+StatusOr<Digraph> LoadHierarchy(const std::string& path);
+
+}  // namespace aigs
+
+#endif  // AIGS_GRAPH_GRAPH_IO_H_

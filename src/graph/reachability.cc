@@ -1,0 +1,100 @@
+#include "graph/reachability.h"
+
+#include <algorithm>
+
+namespace aigs {
+
+ReachabilityIndex::ReachabilityIndex(const Digraph& g)
+    : graph_(&g), euler_mode_(g.IsTree()) {
+  AIGS_CHECK(g.finalized());
+  if (euler_mode_) {
+    BuildEuler();
+  } else {
+    BuildClosure();
+  }
+}
+
+void ReachabilityIndex::BuildEuler() {
+  const Digraph& g = *graph_;
+  const std::size_t n = g.NumNodes();
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  euler_to_node_.assign(n, kInvalidNode);
+  reach_count_.assign(n, 0);
+
+  // Iterative DFS (hierarchies can be deep; no recursion).
+  std::uint32_t clock = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, child index)
+  stack.emplace_back(g.root(), 0);
+  tin_[g.root()] = clock;
+  euler_to_node_[clock++] = g.root();
+  while (!stack.empty()) {
+    auto& [u, next_child] = stack.back();
+    const auto children = g.Children(u);
+    if (next_child < children.size()) {
+      const NodeId c = children[next_child++];
+      tin_[c] = clock;
+      euler_to_node_[clock++] = c;
+      stack.emplace_back(c, 0);
+    } else {
+      tout_[u] = clock;
+      reach_count_[u] = tout_[u] - tin_[u];
+      stack.pop_back();
+    }
+  }
+  AIGS_CHECK(clock == n);
+}
+
+void ReachabilityIndex::BuildClosure() {
+  const Digraph& g = *graph_;
+  const std::size_t n = g.NumNodes();
+  closure_.resize(n);
+  reach_count_.assign(n, 0);
+
+  // Reverse topological order: children first, then union into parents.
+  const std::vector<NodeId>& topo = g.TopologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    DynamicBitset& row = closure_[u];
+    row.Resize(n);
+    row.Set(u);
+    for (const NodeId c : g.Children(u)) {
+      row.OrWith(closure_[c]);
+    }
+    reach_count_[u] = row.Count();
+  }
+}
+
+Weight ReachabilityIndex::WeightOfReachableSet(
+    NodeId u, const std::vector<Weight>& weights) const {
+  AIGS_DCHECK(weights.size() == graph_->NumNodes());
+  Weight total = 0;
+  ForEachReachable(u, [&](NodeId v) { total += weights[v]; });
+  return total;
+}
+
+std::vector<Weight> ReachabilityIndex::AllReachableSetWeights(
+    const std::vector<Weight>& weights) const {
+  const Digraph& g = *graph_;
+  const std::size_t n = g.NumNodes();
+  AIGS_CHECK(weights.size() == n);
+  std::vector<Weight> out(n, 0);
+  if (euler_mode_) {
+    // Subtree sums over the Euler order: prefix sums of weights in Euler
+    // positions give each subtree weight in O(n).
+    std::vector<Weight> prefix(n + 1, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      prefix[t + 1] = prefix[t] + weights[euler_to_node_[t]];
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      out[v] = prefix[tout_[v]] - prefix[tin_[v]];
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      out[v] = WeightOfReachableSet(v, weights);
+    }
+  }
+  return out;
+}
+
+}  // namespace aigs

@@ -1,0 +1,41 @@
+#include "graph/transitive_reduction.h"
+
+#include "graph/reachability.h"
+
+namespace aigs {
+
+StatusOr<TransitiveReductionResult> TransitiveReduction(const Digraph& g) {
+  if (!g.finalized()) {
+    return Status::FailedPrecondition("graph not finalized");
+  }
+  const ReachabilityIndex reach(g);
+
+  TransitiveReductionResult result;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    result.graph.AddNode(g.Label(v));
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const auto children = g.Children(u);
+    for (const NodeId v : children) {
+      // u -> v is redundant iff a sibling path covers it. In a DAG, that is
+      // exactly: some other child c of u reaches v.
+      bool redundant = false;
+      for (const NodeId c : children) {
+        if (c != v && reach.Reaches(c, v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) {
+        ++result.removed_edges;
+      } else {
+        result.graph.AddEdge(u, v);
+      }
+    }
+  }
+  // The reduction preserves the root, so no dummy is ever needed.
+  AIGS_RETURN_NOT_OK(result.graph.Finalize(/*add_dummy_root=*/false));
+  return result;
+}
+
+}  // namespace aigs

@@ -1,0 +1,31 @@
+// Transitive reduction of a hierarchy: drops edges implied by longer paths
+// (u → v is redundant when some other child of u already reaches v).
+// Real-world category graphs scraped from catalogs routinely contain such
+// shortcut edges; reachability — and therefore every IGS answer and every
+// policy decision — is invariant under reduction, while traversals get
+// cheaper and the DAG becomes the Hasse diagram of its reachability poset
+// (§III-A's poset view).
+#ifndef AIGS_GRAPH_TRANSITIVE_REDUCTION_H_
+#define AIGS_GRAPH_TRANSITIVE_REDUCTION_H_
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Result of a reduction.
+struct TransitiveReductionResult {
+  Digraph graph;
+  /// Number of redundant edges removed.
+  std::size_t removed_edges = 0;
+};
+
+/// Computes the transitive reduction of a finalized DAG. Labels carry over;
+/// node ids are preserved. O(m·d) probes against a closure index.
+StatusOr<TransitiveReductionResult> TransitiveReduction(const Digraph& g);
+
+}  // namespace aigs
+
+#endif  // AIGS_GRAPH_TRANSITIVE_REDUCTION_H_

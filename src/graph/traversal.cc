@@ -1,0 +1,23 @@
+#include "graph/traversal.h"
+
+namespace aigs {
+
+std::vector<NodeId> CollectReachable(const Digraph& g, NodeId start) {
+  std::vector<NodeId> out;
+  BfsScratch scratch(g.NumNodes());
+  scratch.ForwardBfs(
+      g, start, [](NodeId) { return true; },
+      [&out](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+std::vector<NodeId> CollectAncestors(const Digraph& g, NodeId start) {
+  std::vector<NodeId> out;
+  BfsScratch scratch(g.NumNodes());
+  scratch.BackwardBfs(
+      g, start, [](NodeId) { return true; },
+      [&out](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace aigs

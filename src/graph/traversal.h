@@ -1,0 +1,73 @@
+// Reusable BFS scratch for forward/backward traversals restricted to an
+// "alive" candidate mask. Policies run thousands of traversals per
+// evaluation, so the scratch (queue + epoch marks) is allocated once per
+// session and reused.
+#ifndef AIGS_GRAPH_TRAVERSAL_H_
+#define AIGS_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/epoch_marker.h"
+
+namespace aigs {
+
+/// BFS work area bound to a fixed node count.
+class BfsScratch {
+ public:
+  explicit BfsScratch(std::size_t num_nodes) : visited_(num_nodes) {
+    queue_.reserve(64);
+  }
+
+  /// Forward BFS from `start` over child edges, visiting only nodes for
+  /// which `filter(node)` is true (start included; start must pass the
+  /// filter). Calls `visit(node)` exactly once per reached node, including
+  /// `start` itself.
+  template <typename Filter, typename Visit>
+  void ForwardBfs(const Digraph& g, NodeId start, Filter&& filter,
+                  Visit&& visit) {
+    Bfs</*kForward=*/true>(g, start, filter, visit);
+  }
+
+  /// Backward BFS from `start` over parent edges; same contract.
+  template <typename Filter, typename Visit>
+  void BackwardBfs(const Digraph& g, NodeId start, Filter&& filter,
+                   Visit&& visit) {
+    Bfs</*kForward=*/false>(g, start, filter, visit);
+  }
+
+ private:
+  template <bool kForward, typename Filter, typename Visit>
+  void Bfs(const Digraph& g, NodeId start, Filter& filter, Visit& visit) {
+    AIGS_DCHECK(filter(start));
+    visited_.NewEpoch();
+    queue_.clear();
+    queue_.push_back(start);
+    visited_.Visit(start);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId u = queue_[head];
+      visit(u);
+      const auto next = kForward ? g.Children(u) : g.Parents(u);
+      for (const NodeId v : next) {
+        if (!visited_.IsVisited(v) && filter(v)) {
+          visited_.Visit(v);
+          queue_.push_back(v);
+        }
+      }
+    }
+  }
+
+  EpochMarker visited_;
+  std::vector<NodeId> queue_;
+};
+
+/// Collects all nodes reachable from `start` (inclusive) in a fresh vector.
+/// Convenience for tests and one-off uses; hot paths use BfsScratch.
+std::vector<NodeId> CollectReachable(const Digraph& g, NodeId start);
+
+/// Collects all ancestors of `start` (inclusive).
+std::vector<NodeId> CollectAncestors(const Digraph& g, NodeId start);
+
+}  // namespace aigs
+
+#endif  // AIGS_GRAPH_TRAVERSAL_H_

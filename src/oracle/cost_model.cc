@@ -1,0 +1,26 @@
+#include "oracle/cost_model.h"
+
+namespace aigs {
+
+CostModel CostModel::UniformRandom(std::size_t n, std::uint32_t lo,
+                                   std::uint32_t hi, Rng& rng) {
+  AIGS_CHECK(lo >= 1 && lo <= hi);
+  std::vector<std::uint32_t> costs(n);
+  for (auto& c : costs) {
+    c = static_cast<std::uint32_t>(
+        rng.UniformIntInclusive(static_cast<std::int64_t>(lo),
+                                static_cast<std::int64_t>(hi)));
+  }
+  return CostModel(std::move(costs));
+}
+
+bool CostModel::IsUnit() const {
+  for (const auto c : costs_) {
+    if (c != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace aigs

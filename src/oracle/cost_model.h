@@ -1,0 +1,53 @@
+// Per-question prices for the cost-sensitive AIGS extension (§III-D): easy
+// questions are cheap, hard questions expensive. Unit prices recover plain
+// AIGS.
+#ifndef AIGS_ORACLE_COST_MODEL_H_
+#define AIGS_ORACLE_COST_MODEL_H_
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace aigs {
+
+/// Integer price c(v) >= 1 per query node.
+class CostModel {
+ public:
+  /// Unit prices (plain AIGS).
+  static CostModel Unit(std::size_t n) {
+    return CostModel(std::vector<std::uint32_t>(n, 1));
+  }
+
+  /// Explicit prices; every price must be >= 1.
+  explicit CostModel(std::vector<std::uint32_t> costs)
+      : costs_(std::move(costs)) {
+    for (const auto c : costs_) {
+      AIGS_CHECK(c >= 1);
+    }
+  }
+
+  /// Uniformly random integer prices in [lo, hi].
+  static CostModel UniformRandom(std::size_t n, std::uint32_t lo,
+                                 std::uint32_t hi, Rng& rng);
+
+  std::size_t size() const { return costs_.size(); }
+
+  /// Price of querying v.
+  std::uint32_t CostOf(NodeId v) const {
+    AIGS_DCHECK(v < costs_.size());
+    return costs_[v];
+  }
+
+  /// True iff every price is 1.
+  bool IsUnit() const;
+
+  const std::vector<std::uint32_t>& costs() const { return costs_; }
+
+ private:
+  std::vector<std::uint32_t> costs_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_ORACLE_COST_MODEL_H_

@@ -1,0 +1,32 @@
+#include "oracle/noisy_oracle.h"
+
+namespace aigs {
+
+bool PersistentNoisyOracle::Reach(NodeId q) {
+  std::uint8_t& decision = decisions_[q];
+  if (decision == 0) {
+    decision = rng_.Bernoulli(flip_prob_) ? 1 : 2;
+  }
+  const bool truth = inner_->Reach(q);
+  return decision == 1 ? !truth : truth;
+}
+
+int NoisyOracle::Choice(std::span<const NodeId> choices) {
+  const int truth = inner_->Choice(choices);
+  if (!rng_.Bernoulli(flip_prob_)) {
+    return truth;
+  }
+  // Answer space: one index per choice plus "none" (-1); pick a wrong one
+  // uniformly.
+  const auto options = static_cast<std::uint64_t>(choices.size());  // != truth
+  std::uint64_t pick = rng_.UniformInt(options);
+  // Map [0, options) onto the answer space with `truth` removed.
+  const auto truth_slot =
+      truth < 0 ? options : static_cast<std::uint64_t>(truth);
+  if (pick >= truth_slot) {
+    ++pick;
+  }
+  return pick == options ? -1 : static_cast<int>(pick);
+}
+
+}  // namespace aigs

@@ -1,0 +1,92 @@
+// Noisy-crowd extension (§VII future work): workers answer incorrectly with
+// a fixed probability. MajorityVoteOracle repeats each question k times and
+// takes the majority — the textbook mitigation whose cost/accuracy trade-off
+// bench_ext_noise measures.
+#ifndef AIGS_ORACLE_NOISY_ORACLE_H_
+#define AIGS_ORACLE_NOISY_ORACLE_H_
+
+#include <unordered_map>
+
+#include "oracle/oracle.h"
+#include "util/rng.h"
+
+namespace aigs {
+
+/// Wraps an oracle and flips each boolean answer with probability
+/// `flip_prob`. Choice questions return a uniformly random wrong answer
+/// with the same probability.
+class NoisyOracle : public Oracle {
+ public:
+  /// `inner` must outlive this wrapper.
+  NoisyOracle(Oracle& inner, double flip_prob, Rng rng)
+      : inner_(&inner), flip_prob_(flip_prob), rng_(rng) {
+    AIGS_CHECK(flip_prob >= 0.0 && flip_prob < 0.5);
+  }
+
+  bool Reach(NodeId q) override {
+    const bool truth = inner_->Reach(q);
+    return rng_.Bernoulli(flip_prob_) ? !truth : truth;
+  }
+
+  int Choice(std::span<const NodeId> choices) override;
+
+ private:
+  Oracle* inner_;
+  double flip_prob_;
+  Rng rng_;
+};
+
+/// Persistent noise (§VII): some answers are wrong *consistently* — the
+/// ground truth itself is questionable or the crowd shares a misconception —
+/// so repeating the question reproduces the same wrong answer and majority
+/// voting cannot help. Each query node's answer is flipped (or not) once,
+/// deterministically for the lifetime of the oracle.
+class PersistentNoisyOracle : public Oracle {
+ public:
+  /// `inner` must outlive this wrapper; each node's answer is flipped with
+  /// probability `flip_prob`, decided on first ask and then frozen.
+  PersistentNoisyOracle(Oracle& inner, double flip_prob, Rng rng)
+      : inner_(&inner), flip_prob_(flip_prob), rng_(rng) {
+    AIGS_CHECK(flip_prob >= 0.0 && flip_prob < 0.5);
+  }
+
+  bool Reach(NodeId q) override;
+
+ private:
+  Oracle* inner_;
+  double flip_prob_;
+  Rng rng_;
+  // node -> 1 (flip) / 2 (truthful); 0 = undecided.
+  std::unordered_map<NodeId, std::uint8_t> decisions_;
+};
+
+/// Asks the wrapped (noisy) oracle each boolean question `votes` times and
+/// returns the majority answer; the effective per-question cost multiplier
+/// is `votes` (the runner charges it via QueryCharge()).
+class MajorityVoteOracle : public Oracle {
+ public:
+  /// `votes` must be odd so the majority is always defined.
+  MajorityVoteOracle(Oracle& inner, int votes)
+      : inner_(&inner), votes_(votes) {
+    AIGS_CHECK(votes >= 1 && votes % 2 == 1);
+  }
+
+  bool Reach(NodeId q) override {
+    int yes = 0;
+    for (int i = 0; i < votes_; ++i) {
+      yes += inner_->Reach(q) ? 1 : 0;
+    }
+    return 2 * yes > votes_;
+  }
+
+  /// Number of crowd answers consumed per boolean question.
+  int votes() const { return votes_; }
+
+ private:
+  Oracle* inner_;
+  int votes_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_ORACLE_NOISY_ORACLE_H_

@@ -1,0 +1,14 @@
+#include "oracle/oracle.h"
+
+namespace aigs {
+
+int Oracle::Choice(std::span<const NodeId> choices) {
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (Reach(choices[i])) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace aigs

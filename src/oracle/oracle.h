@@ -1,0 +1,50 @@
+// The oracle abstraction: whatever answers reachability questions about the
+// hidden target — in the paper, a human crowd; here, simulated from ground
+// truth. Policies never see the target; they only observe answers.
+#ifndef AIGS_ORACLE_ORACLE_H_
+#define AIGS_ORACLE_ORACLE_H_
+
+#include <span>
+
+#include "graph/reachability.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Answers questions about one hidden target node.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// reach(q): is the target reachable from q (q itself included)?
+  virtual bool Reach(NodeId q) = 0;
+
+  /// Multiple-choice question (MIGS): given candidate categories, returns
+  /// the index of a choice the target is reachable from, or -1 for "none of
+  /// these". The crowd reads all |choices| options, so the *cost* of this
+  /// question is |choices| (accounted by the runner, not here).
+  virtual int Choice(std::span<const NodeId> choices);
+};
+
+/// Truthful oracle backed by a ReachabilityIndex.
+class ExactOracle : public Oracle {
+ public:
+  /// `reach` must outlive the oracle; `target` is the hidden node.
+  ExactOracle(const ReachabilityIndex& reach, NodeId target)
+      : reach_(&reach), target_(target) {
+    AIGS_CHECK(target < reach.graph().NumNodes());
+  }
+
+  bool Reach(NodeId q) override { return reach_->Reaches(q, target_); }
+
+  /// The hidden target — exposed for result verification only.
+  NodeId target() const { return target_; }
+
+ private:
+  const ReachabilityIndex* reach_;
+  NodeId target_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_ORACLE_ORACLE_H_

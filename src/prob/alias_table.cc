@@ -1,0 +1,52 @@
+#include "prob/alias_table.h"
+
+namespace aigs {
+
+AliasTable::AliasTable(const Distribution& dist) {
+  const std::size_t n = dist.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  const double total = static_cast<double>(dist.Total());
+
+  // Scaled probabilities: mean 1 per bucket.
+  std::vector<double> scaled(n);
+  for (NodeId v = 0; v < n; ++v) {
+    scaled[v] = static_cast<double>(dist.WeightOf(v)) / total *
+                static_cast<double>(n);
+  }
+  std::vector<NodeId> small;
+  std::vector<NodeId> large;
+  for (NodeId v = 0; v < n; ++v) {
+    (scaled[v] < 1.0 ? small : large).push_back(v);
+  }
+  while (!small.empty() && !large.empty()) {
+    const NodeId s = small.back();
+    small.pop_back();
+    const NodeId l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const NodeId v : large) {
+    prob_[v] = 1.0;
+    alias_[v] = v;
+  }
+  for (const NodeId v : small) {
+    prob_[v] = 1.0;  // numerical leftovers
+    alias_[v] = v;
+  }
+}
+
+NodeId AliasTable::Sample(Rng& rng) const {
+  const std::size_t bucket =
+      static_cast<std::size_t>(rng.UniformInt(prob_.size()));
+  return rng.UniformReal() < prob_[bucket]
+             ? static_cast<NodeId>(bucket)
+             : alias_[bucket];
+}
+
+}  // namespace aigs

@@ -1,0 +1,32 @@
+// Walker alias method: O(1) sampling from a fixed discrete distribution.
+// Object streams for the online-learning experiment (Fig. 4) draw 100k+
+// targets per trace, so constant-time sampling matters.
+#ifndef AIGS_PROB_ALIAS_TABLE_H_
+#define AIGS_PROB_ALIAS_TABLE_H_
+
+#include <vector>
+
+#include "prob/distribution.h"
+#include "util/rng.h"
+
+namespace aigs {
+
+/// Immutable alias table built from a Distribution.
+class AliasTable {
+ public:
+  /// Preprocesses the distribution in O(n).
+  explicit AliasTable(const Distribution& dist);
+
+  /// Draws one node with probability weight(v)/total.
+  NodeId Sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;   // acceptance probability per bucket
+  std::vector<NodeId> alias_;  // fallback node per bucket
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_PROB_ALIAS_TABLE_H_

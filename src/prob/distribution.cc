@@ -1,0 +1,130 @@
+#include "prob/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aigs {
+
+StatusOr<Distribution> Distribution::FromWeights(std::vector<Weight> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("distribution over zero nodes");
+  }
+  Distribution d;
+  d.weights_ = std::move(weights);
+  d.total_ = 0;
+  d.max_weight_ = 0;
+  for (const Weight w : d.weights_) {
+    AIGS_CHECK(d.total_ + w >= d.total_);  // overflow guard
+    d.total_ += w;
+    d.max_weight_ = std::max(d.max_weight_, w);
+  }
+  if (d.total_ == 0) {
+    return Status::InvalidArgument("distribution has zero total weight");
+  }
+  return d;
+}
+
+StatusOr<Distribution> Distribution::FromReals(
+    const std::vector<double>& masses) {
+  if (masses.empty()) {
+    return Status::InvalidArgument("distribution over zero nodes");
+  }
+  double max_mass = 0;
+  for (const double m : masses) {
+    if (!(m >= 0) || !std::isfinite(m)) {
+      return Status::InvalidArgument("masses must be finite and >= 0");
+    }
+    max_mass = std::max(max_mass, m);
+  }
+  if (max_mass <= 0) {
+    return Status::InvalidArgument("all masses are zero");
+  }
+  std::vector<Weight> weights(masses.size());
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    weights[i] = static_cast<Weight>(
+        std::llround(masses[i] / max_mass * static_cast<double>(kRealScale)));
+  }
+  return FromWeights(std::move(weights));
+}
+
+double Distribution::EntropyBits() const {
+  double h = 0;
+  const double total = static_cast<double>(total_);
+  for (const Weight w : weights_) {
+    if (w > 0) {
+      const double p = static_cast<double>(w) / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+Distribution EqualDistribution(std::size_t n) {
+  auto d = Distribution::FromWeights(std::vector<Weight>(n, 1));
+  AIGS_CHECK(d.ok());
+  return *std::move(d);
+}
+
+Distribution UniformRandomDistribution(std::size_t n, Rng& rng) {
+  std::vector<double> masses(n);
+  for (auto& m : masses) {
+    m = rng.UniformRealOpenLow();  // open at 0 so every node is reachable
+  }
+  auto d = Distribution::FromReals(masses);
+  AIGS_CHECK(d.ok());
+  return *std::move(d);
+}
+
+Distribution ExponentialRandomDistribution(std::size_t n, Rng& rng) {
+  std::vector<double> masses(n);
+  for (auto& m : masses) {
+    m = rng.Exponential(1.0);
+  }
+  auto d = Distribution::FromReals(masses);
+  AIGS_CHECK(d.ok());
+  return *std::move(d);
+}
+
+Distribution ZipfRandomDistribution(std::size_t n, double a, Rng& rng) {
+  AIGS_CHECK(a > 1.0);
+  // Inverse-CDF sampling of the Zipf pmf x^-a / ζ(a) truncated at kMaxX —
+  // the tail beyond carries negligible mass for a > 1.2 and is folded into
+  // the last bucket.
+  constexpr int kMaxX = 1 << 20;
+  std::vector<double> masses(n);
+  // Precompute the (unnormalized) CDF lazily with geometric bucketing would
+  // complicate determinism; n draws over a shared table is simpler.
+  static thread_local std::vector<double> cdf;
+  static thread_local double cdf_a = -1;
+  if (cdf_a != a) {
+    cdf.assign(kMaxX, 0.0);
+    double acc = 0;
+    for (int x = 1; x <= kMaxX; ++x) {
+      acc += std::pow(static_cast<double>(x), -a);
+      cdf[static_cast<std::size_t>(x - 1)] = acc;
+    }
+    for (auto& c : cdf) {
+      c /= acc;
+    }
+    cdf_a = a;
+  }
+  for (auto& m : masses) {
+    const double u = rng.UniformReal();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    m = static_cast<double>(std::distance(cdf.begin(), it) + 1);
+  }
+  auto d = Distribution::FromReals(masses);
+  AIGS_CHECK(d.ok());
+  return *std::move(d);
+}
+
+Distribution PointMassDistribution(std::size_t n, NodeId target) {
+  std::vector<Weight> weights(n, 0);
+  AIGS_CHECK(target < n);
+  weights[target] = 1;
+  auto d = Distribution::FromWeights(std::move(weights));
+  AIGS_CHECK(d.ok());
+  return *std::move(d);
+}
+
+}  // namespace aigs

@@ -1,0 +1,85 @@
+// Target-node probability distributions. All distributions are stored as
+// exact integer weights (probability = weight / total), which keeps greedy
+// comparisons and incremental updates free of floating-point drift and makes
+// the "real data distribution" (object counts per category) the native
+// representation.
+#ifndef AIGS_PROB_DISTRIBUTION_H_
+#define AIGS_PROB_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// An integer-weight distribution over nodes [0, n).
+class Distribution {
+ public:
+  /// Scale used when converting real-valued densities to integer weights.
+  /// Large enough that relative quantization error is ≤ 1e-9.
+  static constexpr Weight kRealScale = 1'000'000'000;
+
+  Distribution() = default;
+
+  /// Takes ownership of per-node weights; total must be positive.
+  static StatusOr<Distribution> FromWeights(std::vector<Weight> weights);
+
+  /// Converts non-negative real masses to integer weights (scaled so the
+  /// maximum mass maps to kRealScale). Masses need not be normalized.
+  static StatusOr<Distribution> FromReals(const std::vector<double>& masses);
+
+  std::size_t size() const { return weights_.size(); }
+
+  /// Integer weight of node v.
+  Weight WeightOf(NodeId v) const {
+    AIGS_DCHECK(v < weights_.size());
+    return weights_[v];
+  }
+
+  /// Σ weights; always > 0 for a valid distribution.
+  Weight Total() const { return total_; }
+
+  /// Largest single-node weight.
+  Weight MaxWeight() const { return max_weight_; }
+
+  /// p(v) as a double (for reporting only; algorithms use weights).
+  double Probability(NodeId v) const {
+    return static_cast<double>(WeightOf(v)) / static_cast<double>(total_);
+  }
+
+  /// Raw weight vector.
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  /// Shannon entropy in bits — the information-theoretic lower bound on the
+  /// expected number of boolean queries of any policy.
+  double EntropyBits() const;
+
+ private:
+  std::vector<Weight> weights_;
+  Weight total_ = 0;
+  Weight max_weight_ = 0;
+};
+
+// ---- Factories matching §V-A of the paper ---------------------------------
+
+/// "Equal": p(v) = 1/n.
+Distribution EqualDistribution(std::size_t n);
+
+/// "Uniform": x_v ~ U(0,1) i.i.d., then normalized.
+Distribution UniformRandomDistribution(std::size_t n, Rng& rng);
+
+/// "Exponential": x_v ~ Exp(1) i.i.d., then normalized.
+Distribution ExponentialRandomDistribution(std::size_t n, Rng& rng);
+
+/// "Zipf": x_v ~ Zipf(a) i.i.d. (pmf x^-a / ζ(a), x ∈ {1, 2, ...}), then
+/// normalized. a > 1.
+Distribution ZipfRandomDistribution(std::size_t n, double a, Rng& rng);
+
+/// A point mass on `target` (useful in tests).
+Distribution PointMassDistribution(std::size_t n, NodeId target);
+
+}  // namespace aigs
+
+#endif  // AIGS_PROB_DISTRIBUTION_H_

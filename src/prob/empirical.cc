@@ -1,0 +1,16 @@
+#include "prob/empirical.h"
+
+#include <cmath>
+
+namespace aigs {
+
+double TotalVariationDistance(const Distribution& a, const Distribution& b) {
+  AIGS_CHECK(a.size() == b.size());
+  double tv = 0;
+  for (NodeId v = 0; v < a.size(); ++v) {
+    tv += std::abs(a.Probability(v) - b.Probability(v));
+  }
+  return tv / 2;
+}
+
+}  // namespace aigs

@@ -1,0 +1,74 @@
+// Empirical distribution learned on the fly (§V-B "Learning Distribution on
+// the Fly"): before any object is labeled, every category is assumed equally
+// likely; after each labeled object the corresponding category count is
+// incremented. Policies observe the counts through their weight index, so
+// updating is O(depth) per object.
+#ifndef AIGS_PROB_EMPIRICAL_H_
+#define AIGS_PROB_EMPIRICAL_H_
+
+#include <vector>
+
+#include "prob/distribution.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Mutable category counts with a uniform prior.
+class EmpiricalCounts {
+ public:
+  /// `prior` pseudo-counts per node model the paper's "equal probability at
+  /// the very beginning" state (prior >= 1).
+  explicit EmpiricalCounts(std::size_t n, Weight prior = 1)
+      : counts_(n, prior), total_(prior * n), prior_(prior) {
+    AIGS_CHECK(prior >= 1);
+  }
+
+  std::size_t size() const { return counts_.size(); }
+
+  /// Registers one labeled object of category v.
+  void Observe(NodeId v) {
+    AIGS_DCHECK(v < counts_.size());
+    ++counts_[v];
+    ++total_;
+    ++observed_;
+  }
+
+  /// Current weight of node v (prior + observations).
+  Weight WeightOf(NodeId v) const { return counts_[v]; }
+
+  /// Σ weights.
+  Weight Total() const { return total_; }
+
+  /// Number of Observe() calls so far.
+  std::uint64_t NumObserved() const { return observed_; }
+
+  /// Snapshot as an immutable Distribution.
+  Distribution ToDistribution() const {
+    auto d = Distribution::FromWeights(counts_);
+    AIGS_CHECK(d.ok());
+    return *std::move(d);
+  }
+
+  /// Resets to the prior-only state.
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), prior_);
+    total_ = prior_ * counts_.size();
+    observed_ = 0;
+  }
+
+  const std::vector<Weight>& counts() const { return counts_; }
+
+ private:
+  std::vector<Weight> counts_;
+  Weight total_;
+  Weight prior_;
+  std::uint64_t observed_ = 0;
+};
+
+/// Total-variation distance between two distributions over the same support
+/// (used to test convergence of the learned distribution).
+double TotalVariationDistance(const Distribution& a, const Distribution& b);
+
+}  // namespace aigs
+
+#endif  // AIGS_PROB_EMPIRICAL_H_

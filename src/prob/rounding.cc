@@ -1,0 +1,26 @@
+#include "prob/rounding.h"
+
+namespace aigs {
+
+std::vector<Weight> RoundWeights(const Distribution& dist,
+                                 const RoundingOptions& options) {
+  const std::size_t n = dist.size();
+  const Weight max_weight = dist.MaxWeight();
+  AIGS_CHECK(max_weight > 0);
+  const U128 n_sq = static_cast<U128>(n) * static_cast<U128>(n);
+  std::vector<Weight> rounded(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const U128 numerator = n_sq * static_cast<U128>(dist.WeightOf(v));
+    // Ceiling division; exact because p(u)/p_max == weight(u)/max_weight.
+    Weight w = static_cast<Weight>(
+        (numerator + static_cast<U128>(max_weight) - 1) /
+        static_cast<U128>(max_weight));
+    if (options.clamp_min_one && w == 0) {
+      w = 1;
+    }
+    rounded[v] = w;
+  }
+  return rounded;
+}
+
+}  // namespace aigs

@@ -1,0 +1,32 @@
+// The paper's rounding technique (Eq. 1): w(u) = ⌈n²·p(u)/max_v p(v)⌉.
+// Rounded weights bound the weight ratio by n², which is what turns the
+// greedy policy into a 2(1+3 ln n)-approximation (Theorem 1) independent of
+// how tiny the smallest probability is.
+#ifndef AIGS_PROB_ROUNDING_H_
+#define AIGS_PROB_ROUNDING_H_
+
+#include <vector>
+
+#include "prob/distribution.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Options for RoundWeights.
+struct RoundingOptions {
+  /// Clamp rounded weights to >= 1 so zero-probability nodes stay
+  /// identifiable and the greedy descent always makes progress (DESIGN.md —
+  /// Eq. 1 maps p = 0 to w = 0, which leaves middle points of zero-weight
+  /// regions ill-defined). Clamping keeps all weights within the n² grid, so
+  /// Theorem 1's analysis is unaffected.
+  bool clamp_min_one = true;
+};
+
+/// Applies Eq. (1) in exact integer arithmetic:
+///   w(u) = ⌈ n² · weight(u) / max_weight ⌉   (128-bit intermediate).
+std::vector<Weight> RoundWeights(const Distribution& dist,
+                                 const RoundingOptions& options = {});
+
+}  // namespace aigs
+
+#endif  // AIGS_PROB_ROUNDING_H_

@@ -1,0 +1,99 @@
+#include "prob/weight_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aigs {
+
+std::string SerializeDistribution(const Distribution& dist) {
+  std::string out = "# aigs-counts v1\n";
+  out += "n " + std::to_string(dist.size()) + "\n";
+  for (NodeId v = 0; v < dist.size(); ++v) {
+    if (dist.WeightOf(v) > 0) {
+      out += "c " + std::to_string(v) + " " +
+             std::to_string(dist.WeightOf(v)) + "\n";
+    }
+  }
+  return out;
+}
+
+StatusOr<Distribution> ParseDistribution(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_n = false;
+  std::vector<Weight> weights;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    const auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     msg);
+    };
+    if (trimmed[0] == 'n') {
+      if (have_n) {
+        return error("duplicate 'n' directive");
+      }
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t n,
+                            ParseUint64(trimmed.substr(1)));
+      if (n == 0 || n >= kInvalidNode) {
+        return error("node count out of range");
+      }
+      weights.assign(static_cast<std::size_t>(n), 0);
+      have_n = true;
+      continue;
+    }
+    if (!have_n) {
+      return error("'n' directive must come first");
+    }
+    if (trimmed[0] == 'c') {
+      const auto fields = Split(std::string_view(Trim(trimmed.substr(1))), ' ');
+      if (fields.size() != 2) {
+        return error("count directive needs '<id> <count>'");
+      }
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t id, ParseUint64(fields[0]));
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t count,
+                            ParseUint64(fields[1]));
+      if (id >= weights.size()) {
+        return error("node id out of range");
+      }
+      weights[static_cast<std::size_t>(id)] = count;
+      continue;
+    }
+    return error("unknown directive '" + std::string(1, trimmed[0]) + "'");
+  }
+  if (!have_n) {
+    return Status::InvalidArgument("missing 'n' directive");
+  }
+  return Distribution::FromWeights(std::move(weights));
+}
+
+Status SaveDistribution(const Distribution& dist, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const std::string text = SerializeDistribution(dist);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) {
+    return Status::IOError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<Distribution> LoadDistribution(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseDistribution(buffer.str());
+}
+
+}  // namespace aigs

@@ -1,0 +1,34 @@
+// Text serialization for distributions (object counts per category), the
+// companion of graph/graph_io.h: together they let users plug the *real*
+// Amazon/ImageNet datasets into every bench in place of the synthetic
+// stand-ins.
+//
+// Format ("aigs-counts v1"):
+//   # comment lines start with '#'
+//   n <num_nodes>
+//   c <node_id> <count>      (unlisted nodes default to 0)
+#ifndef AIGS_PROB_WEIGHT_IO_H_
+#define AIGS_PROB_WEIGHT_IO_H_
+
+#include <string>
+
+#include "prob/distribution.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Serializes a distribution (zero-weight nodes omitted).
+std::string SerializeDistribution(const Distribution& dist);
+
+/// Parses the text format above.
+StatusOr<Distribution> ParseDistribution(const std::string& text);
+
+/// Writes SerializeDistribution(dist) to `path`.
+Status SaveDistribution(const Distribution& dist, const std::string& path);
+
+/// Reads and parses a distribution file.
+StatusOr<Distribution> LoadDistribution(const std::string& path);
+
+}  // namespace aigs
+
+#endif  // AIGS_PROB_WEIGHT_IO_H_

@@ -1,0 +1,52 @@
+// Heavy-path decomposition (Sleator–Tarjan), parameterized by an arbitrary
+// non-negative node weight (Definition 10 of the paper: the *weighted* heavy
+// path picks the child with the largest subtree weight; the classic
+// decomposition is the unit-weight special case). The WIGS baseline binary-
+// searches along these paths; tests validate Theorem 5 against it.
+#ifndef AIGS_TREE_HEAVY_PATH_H_
+#define AIGS_TREE_HEAVY_PATH_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Static heavy-path decomposition of a tree.
+class HeavyPathDecomposition {
+ public:
+  /// Decomposes by subtree node counts (classic heavy paths).
+  static HeavyPathDecomposition BySize(const Tree& tree);
+
+  /// Decomposes by subtree weights Σ weights over each subtree
+  /// (the paper's weighted heavy path). Ties broken toward the
+  /// first child in insertion order.
+  static HeavyPathDecomposition ByWeight(const Tree& tree,
+                                         const std::vector<Weight>& weights);
+
+  /// Heavy child of v, or kInvalidNode for leaves.
+  NodeId HeavyChild(NodeId v) const { return heavy_child_[v]; }
+
+  /// Topmost node of the heavy path containing v.
+  NodeId Head(NodeId v) const { return head_[v]; }
+
+  /// The maximal heavy path starting at `from` and repeatedly following
+  /// heavy children; includes `from` itself.
+  std::vector<NodeId> PathFrom(NodeId from) const;
+
+  /// Number of distinct heavy paths (each node lies on exactly one).
+  std::size_t NumPaths() const { return num_paths_; }
+
+ private:
+  static HeavyPathDecomposition Build(const Tree& tree,
+                                      const std::vector<Weight>& subtree);
+
+  std::vector<NodeId> heavy_child_;
+  std::vector<NodeId> head_;
+  std::size_t num_paths_ = 0;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_TREE_HEAVY_PATH_H_

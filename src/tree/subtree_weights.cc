@@ -1,0 +1,31 @@
+#include "tree/subtree_weights.h"
+
+namespace aigs {
+
+std::vector<Weight> ComputeSubtreeWeights(const Tree& tree,
+                                          const std::vector<Weight>& weights) {
+  const std::size_t n = tree.NumNodes();
+  AIGS_CHECK(weights.size() == n);
+  std::vector<Weight> subtree(weights);
+  // Children precede nothing in reverse preorder: accumulating child sums
+  // into parents in reverse preorder is a valid bottom-up pass.
+  const std::vector<NodeId>& order = tree.Preorder();
+  for (std::size_t i = n; i-- > 1;) {
+    const NodeId v = order[i];
+    subtree[tree.Parent(v)] += subtree[v];
+  }
+  return subtree;
+}
+
+std::vector<std::uint32_t> ComputeSubtreeSizes(const Tree& tree) {
+  const std::size_t n = tree.NumNodes();
+  std::vector<std::uint32_t> size(n, 1);
+  const std::vector<NodeId>& order = tree.Preorder();
+  for (std::size_t i = n; i-- > 1;) {
+    const NodeId v = order[i];
+    size[tree.Parent(v)] += size[v];
+  }
+  return size;
+}
+
+}  // namespace aigs

@@ -1,0 +1,23 @@
+// Subtree weight / size aggregation (Algorithm 5 `SetWeightDFS` of the
+// paper), implemented as a reverse-preorder scan so arbitrarily deep trees
+// cannot overflow the call stack.
+#ifndef AIGS_TREE_SUBTREE_WEIGHTS_H_
+#define AIGS_TREE_SUBTREE_WEIGHTS_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/common.h"
+
+namespace aigs {
+
+/// Returns p̃(v) = Σ_{x ∈ T_v} weights[x] for every node v.
+std::vector<Weight> ComputeSubtreeWeights(const Tree& tree,
+                                          const std::vector<Weight>& weights);
+
+/// Returns |T_v| for every node v.
+std::vector<std::uint32_t> ComputeSubtreeSizes(const Tree& tree);
+
+}  // namespace aigs
+
+#endif  // AIGS_TREE_SUBTREE_WEIGHTS_H_

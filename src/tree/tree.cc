@@ -1,0 +1,83 @@
+#include "tree/tree.h"
+
+#include <bit>
+#include <utility>
+
+namespace aigs {
+
+StatusOr<Tree> Tree::Build(const Digraph& g) {
+  if (!g.finalized()) {
+    return Status::FailedPrecondition("graph not finalized");
+  }
+  if (!g.IsTree()) {
+    return Status::InvalidArgument("graph is not a rooted tree");
+  }
+  Tree t;
+  t.graph_ = &g;
+  const std::size_t n = g.NumNodes();
+  t.parent_.assign(n, kInvalidNode);
+  t.tin_.assign(n, 0);
+  t.tout_.assign(n, 0);
+  t.order_.reserve(n);
+
+  // Iterative preorder DFS.
+  std::uint32_t clock = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(g.root(), 0);
+  t.tin_[g.root()] = clock++;
+  t.order_.push_back(g.root());
+  while (!stack.empty()) {
+    auto& [u, next_child] = stack.back();
+    const auto children = g.Children(u);
+    if (next_child < children.size()) {
+      const NodeId c = children[next_child++];
+      t.parent_[c] = u;
+      t.tin_[c] = clock++;
+      t.order_.push_back(c);
+      stack.emplace_back(c, 0);
+    } else {
+      t.tout_[u] = clock;
+      stack.pop_back();
+    }
+  }
+  if (t.order_.size() != n) {
+    return Status::InvalidArgument("tree is not connected");
+  }
+
+  // Binary-lifting table for LCA.
+  const int levels =
+      std::max(1, std::bit_width(n) > 0 ? static_cast<int>(std::bit_width(n))
+                                        : 1);
+  t.up_.assign(static_cast<std::size_t>(levels), std::vector<NodeId>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    t.up_[0][v] = t.parent_[v] == kInvalidNode ? v : t.parent_[v];
+  }
+  for (int k = 1; k < levels; ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      t.up_[static_cast<std::size_t>(k)][v] =
+          t.up_[static_cast<std::size_t>(k - 1)]
+               [t.up_[static_cast<std::size_t>(k - 1)][v]];
+    }
+  }
+  return t;
+}
+
+NodeId Tree::Lca(NodeId u, NodeId v) const {
+  if (InSubtree(u, v)) {
+    return u;
+  }
+  if (InSubtree(v, u)) {
+    return v;
+  }
+  // Lift u until its parent contains v.
+  NodeId x = u;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    const NodeId candidate = up_[k][x];
+    if (!InSubtree(candidate, v)) {
+      x = candidate;
+    }
+  }
+  return up_[0][x];
+}
+
+}  // namespace aigs

@@ -1,0 +1,53 @@
+#include "util/ascii_table.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace aigs {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AIGS_CHECK(!headers_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  AIGS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        line += " | ";
+      }
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) {
+      out += "-+-";
+    }
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace aigs

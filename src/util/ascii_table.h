@@ -1,0 +1,35 @@
+// Fixed-width ASCII table rendering so benchmark binaries can print rows that
+// mirror the paper's tables.
+#ifndef AIGS_UTIL_ASCII_TABLE_H_
+#define AIGS_UTIL_ASCII_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace aigs {
+
+/// Accumulates rows of string cells and renders an aligned table with a
+/// header rule, e.g.:
+///
+///   Dataset   | TopDown | MIGS  | WIGS  | Greedy
+///   ----------+---------+-------+-------+-------
+///   Amazon    | 92.23   | 89.19 | 37.35 | 21.02
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly one cell per header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (trailing newline included).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_ASCII_TABLE_H_

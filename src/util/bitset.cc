@@ -1,0 +1,99 @@
+#include "util/bitset.h"
+
+#include <algorithm>
+
+namespace aigs {
+
+void DynamicBitset::Resize(std::size_t size, bool value) {
+  const std::size_t words = (size + 63) / 64;
+  if (value && size > size_ && size_ % 64 != 0 && !words_.empty()) {
+    // Bits in the old tail word beyond old size must become 1.
+    words_[size_ / 64] |= ~std::uint64_t{0} << (size_ % 64);
+  }
+  words_.resize(words, value ? ~std::uint64_t{0} : 0);
+  size_ = size;
+  TrimTail();
+}
+
+void DynamicBitset::TrimTail() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void DynamicBitset::ClearAll() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+void DynamicBitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  TrimTail();
+}
+
+void DynamicBitset::AndWith(const DynamicBitset& other) {
+  AIGS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+void DynamicBitset::OrWith(const DynamicBitset& other) {
+  AIGS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void DynamicBitset::AndNotWith(const DynamicBitset& other) {
+  AIGS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
+  AIGS_CHECK(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  AIGS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DynamicBitset::None() const {
+  for (const std::uint64_t word : words_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DynamicBitset::FindFirst() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+}  // namespace aigs

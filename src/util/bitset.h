@@ -1,0 +1,133 @@
+// Dynamic fixed-capacity bitset tuned for candidate-set and transitive-
+// closure operations: word-parallel boolean algebra, popcounts, and set-bit
+// iteration.
+#ifndef AIGS_UTIL_BITSET_H_
+#define AIGS_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace aigs {
+
+/// A resizable bitset over indices [0, size). Unlike std::vector<bool> it
+/// exposes the word representation, enabling O(n/64) set algebra which the
+/// reachability index and the DAG policies rely on.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  /// Creates a bitset of `size` bits, all clear (or all set).
+  explicit DynamicBitset(std::size_t size, bool value = false) {
+    Resize(size, value);
+  }
+
+  /// Number of addressable bits.
+  std::size_t size() const { return size_; }
+
+  /// Resizes to `size` bits; new bits take `value`.
+  void Resize(std::size_t size, bool value = false);
+
+  /// Sets bit i.
+  void Set(std::size_t i) {
+    AIGS_DCHECK(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  /// Clears bit i.
+  void Reset(std::size_t i) {
+    AIGS_DCHECK(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Sets bit i to `value`.
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  /// Returns bit i.
+  bool Test(std::size_t i) const {
+    AIGS_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Clears all bits.
+  void ClearAll();
+  /// Sets all bits in [0, size).
+  void SetAll();
+
+  /// this &= other. Sizes must match.
+  void AndWith(const DynamicBitset& other);
+  /// this |= other. Sizes must match.
+  void OrWith(const DynamicBitset& other);
+  /// this &= ~other. Sizes must match.
+  void AndNotWith(const DynamicBitset& other);
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// Number of set bits in (this & other). Sizes must match.
+  std::size_t IntersectionCount(const DynamicBitset& other) const;
+
+  /// True iff (this & other) is non-empty. Sizes must match.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// True iff no bit is set.
+  bool None() const;
+  /// True iff at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// Index of the lowest set bit, or `size()` if none.
+  std::size_t FindFirst() const;
+
+  /// Invokes fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<std::size_t>((w << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Invokes fn(index) for every set bit of (this & other).
+  template <typename Fn>
+  void ForEachSetBitIntersection(const DynamicBitset& other, Fn&& fn) const {
+    AIGS_DCHECK(size_ == other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w] & other.words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<std::size_t>((w << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Raw word access (read-only) for advanced word-parallel algorithms.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  // Zeroes bits at positions >= size_ in the last word.
+  void TrimTail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_BITSET_H_

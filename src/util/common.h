@@ -1,0 +1,55 @@
+// Core type aliases and assertion macros shared by every aigs module.
+#ifndef AIGS_UTIL_COMMON_H_
+#define AIGS_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace aigs {
+
+/// Identifier of a node in a hierarchy. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Integer probability weight. All policy arithmetic is exact integer
+/// arithmetic: a `Distribution` assigns a uint64 weight to every node and
+/// probabilities are weight / total_weight. This keeps greedy tie-breaking
+/// deterministic and avoids floating-point drift in incremental updates.
+using Weight = std::uint64_t;
+
+/// Signed counterpart used by overlay deltas.
+using WeightDelta = std::int64_t;
+
+/// 128-bit helpers for overflow-free products of weights (cost-sensitive
+/// greedy compares p(Gu)·p(G\Gu)/c(u) across nodes).
+using U128 = unsigned __int128;
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Fatal invariant check, enabled in all build types. Use for programmer
+/// errors (violated preconditions), not for recoverable conditions — those
+/// return `Status`.
+#define AIGS_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::aigs::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define AIGS_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define AIGS_DCHECK(expr) AIGS_CHECK(expr)
+#endif
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_COMMON_H_

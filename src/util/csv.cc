@@ -1,0 +1,127 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/common.h"
+
+namespace aigs {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(std::string& out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : arity_(header.size()) {
+  AIGS_CHECK(arity_ > 0);
+  rows_.push_back(std::move(header));
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  AIGS_CHECK(row.size() == arity_);
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      AppendField(out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const std::string text = ToString();
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) {
+    return Status::IOError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (row_has_content || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace aigs

@@ -1,0 +1,40 @@
+// Minimal CSV writer used by bench harnesses to dump figure series for
+// external plotting, plus a reader for round-trip tests.
+#ifndef AIGS_UTIL_CSV_H_
+#define AIGS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aigs {
+
+/// Accumulates CSV rows and writes them to disk. Fields containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Starts a document with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Serializes the document.
+  std::string ToString() const;
+
+  /// Writes the document to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::size_t arity_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text into rows of fields (RFC 4180 quoting).
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_CSV_H_

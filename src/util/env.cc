@@ -1,0 +1,33 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace aigs {
+
+std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  auto parsed = ParseInt64(value);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const std::string v(Trim(value));
+  if (v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace aigs

@@ -1,0 +1,20 @@
+// Environment-variable helpers that let benchmark binaries scale between a
+// fast default configuration and the paper-scale configuration.
+#ifndef AIGS_UTIL_ENV_H_
+#define AIGS_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aigs {
+
+/// Reads an integer environment variable, falling back to `fallback` when
+/// unset or unparsable.
+std::int64_t EnvInt(const char* name, std::int64_t fallback);
+
+/// Reads a boolean environment variable ("1"/"true"/"yes" → true).
+bool EnvBool(const char* name, bool fallback);
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_ENV_H_

@@ -1,0 +1,64 @@
+// O(1)-reset visited marker for repeated graph traversals. A BFS that runs
+// thousands of times per evaluation cannot afford an O(n) memset per run;
+// EpochMarker resets by bumping a generation counter instead.
+#ifndef AIGS_UTIL_EPOCH_MARKER_H_
+#define AIGS_UTIL_EPOCH_MARKER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace aigs {
+
+/// Tracks a "visited" flag per index with O(1) bulk reset.
+class EpochMarker {
+ public:
+  EpochMarker() = default;
+  explicit EpochMarker(std::size_t size) : marks_(size, 0) {}
+
+  /// Number of tracked indices.
+  std::size_t size() const { return marks_.size(); }
+
+  /// Grows (or shrinks) the tracked index range; new entries are unvisited.
+  void Resize(std::size_t size) { marks_.resize(size, 0); }
+
+  /// Invalidates all marks in O(1) (amortized: wraps around every 2^32-1
+  /// epochs with one O(n) cleanup).
+  void NewEpoch() {
+    if (++epoch_ == 0) {
+      std::fill(marks_.begin(), marks_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks index i visited in the current epoch.
+  void Visit(std::size_t i) {
+    AIGS_DCHECK(i < marks_.size());
+    marks_[i] = epoch_;
+  }
+
+  /// True iff i was visited since the last NewEpoch().
+  bool IsVisited(std::size_t i) const {
+    AIGS_DCHECK(i < marks_.size());
+    return marks_[i] == epoch_;
+  }
+
+  /// Marks i and reports whether it was already visited (test-and-set).
+  bool VisitOnce(std::size_t i) {
+    if (IsVisited(i)) {
+      return false;
+    }
+    Visit(i);
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> marks_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_EPOCH_MARKER_H_

@@ -1,0 +1,142 @@
+// RocksDB-style Status / StatusOr error handling. Library code never throws;
+// fallible operations return Status (or StatusOr<T> when they produce a
+// value) and callers propagate with AIGS_RETURN_NOT_OK / AIGS_ASSIGN_OR_RETURN.
+#ifndef AIGS_UTIL_STATUS_H_
+#define AIGS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/common.h"
+
+namespace aigs {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kIOError,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Default constructor produces OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    AIGS_DCHECK(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr is a fatal programmer error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value — enables `return some_t;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error — enables `return Status::InvalidArgument(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    AIGS_CHECK(!status_.ok());  // OK without a value is meaningless
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AIGS_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    AIGS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    AIGS_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define AIGS_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::aigs::Status _aigs_status = (expr); \
+    if (!_aigs_status.ok()) {             \
+      return _aigs_status;                \
+    }                                     \
+  } while (0)
+
+#define AIGS_STATUS_CONCAT_INNER_(x, y) x##y
+#define AIGS_STATUS_CONCAT_(x, y) AIGS_STATUS_CONCAT_INNER_(x, y)
+
+/// `AIGS_ASSIGN_OR_RETURN(auto v, MakeV());` — assign on success, propagate
+/// the error Status otherwise.
+#define AIGS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  AIGS_ASSIGN_OR_RETURN_IMPL_(                                        \
+      AIGS_STATUS_CONCAT_(_aigs_statusor_, __LINE__), lhs, rexpr)
+
+#define AIGS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) {                                   \
+    return statusor.status();                             \
+  }                                                       \
+  lhs = std::move(statusor).value()
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_STATUS_H_

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace aigs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  AIGS_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    AIGS_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t min_chunk) {
+  if (n == 0) {
+    return;
+  }
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  // ~4 chunks per worker for load balancing, but never below min_chunk.
+  const std::size_t target_chunks = num_threads() * 4;
+  const std::size_t chunk =
+      std::max(min_chunk, (n + target_chunks - 1) / target_chunks);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    Submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace aigs

@@ -1,0 +1,60 @@
+// Fixed-size worker pool used by the exact expected-cost evaluator to fan
+// per-target searches across cores. Searches are independent (immutable
+// shared base state + per-session overlays), so results are deterministic
+// regardless of scheduling.
+#ifndef AIGS_UTIL_THREAD_POOL_H_
+#define AIGS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aigs {
+
+/// Simple fixed-size thread pool with a blocking task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool, and blocks until all complete. fn must be thread-safe for
+  /// distinct i.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t min_chunk = 1);
+
+  /// Hardware-concurrency-sized default pool shared by evaluators.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_THREAD_POOL_H_

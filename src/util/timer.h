@@ -1,0 +1,43 @@
+// Wall-clock timing helpers for the runtime experiments (Fig. 6) and the
+// benchmark harnesses.
+#ifndef AIGS_UTIL_TIMER_H_
+#define AIGS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aigs {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in nanoseconds.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_TIMER_H_

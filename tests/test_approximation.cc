@@ -1,0 +1,193 @@
+// Empirical validation of the paper's approximation guarantees against the
+// brute-force optimal policy (exponential DP over candidate subsets):
+//  * Theorem 2 — greedy is (1+√5)/2-approximate on trees;
+//  * Theorem 1 — rounded greedy is 2(1+3 ln n)-approximate on DAGs;
+//  * Theorem 4 — cost-sensitive rounded greedy for CAIGS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aigs.h"
+#include "eval/evaluator.h"
+#include "eval/optimal_dp.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+using testing::MustDist;
+
+constexpr double kGoldenRatio = 1.6180339887498949;  // (1+√5)/2
+
+TEST(OptimalDp, SingleNodeCostsZero) {
+  const Hierarchy h = MustBuild(PathGraph(1));
+  const Distribution dist = EqualDistribution(1);
+  auto opt = OptimalExpectedCost(h, dist);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_DOUBLE_EQ(*opt, 0.0);
+}
+
+TEST(OptimalDp, TwoNodeChainNeedsOneQuery) {
+  const Hierarchy h = MustBuild(PathGraph(2));
+  const Distribution dist = EqualDistribution(2);
+  auto opt = OptimalExpectedCost(h, dist);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_DOUBLE_EQ(*opt, 1.0);
+}
+
+TEST(OptimalDp, ChainIsBinarySearchable) {
+  // On a fully ordered chain of 8 nodes with equal weights, the optimum is
+  // 3 questions for every target except... exactly log2(8) on average since
+  // balanced halving is available: expected cost = 3 (perfectly balanced,
+  // 8 leaves at depth 3).
+  const Hierarchy h = MustBuild(PathGraph(8));
+  const Distribution dist = EqualDistribution(8);
+  auto opt = OptimalExpectedCost(h, dist);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_DOUBLE_EQ(*opt, 3.0);
+}
+
+TEST(OptimalDp, StarForcesLinearScan) {
+  // Root with 3 leaves, equal weights: queries are leaf tests; best tree
+  // asks leaves one by one: costs {1, 2, 3, 3}/4 = 2.25.
+  const Hierarchy h = MustBuild(StarGraph(4));
+  const Distribution dist = EqualDistribution(4);
+  auto opt = OptimalExpectedCost(h, dist);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_DOUBLE_EQ(*opt, 2.25);
+}
+
+TEST(OptimalDp, SkewFavorsPopularLeafFirst) {
+  // Star with weights {0, 90, 5, 5}: ask the popular leaf first.
+  // cost = 0.9·1 + 0.05·2 + 0.05·3 + 0·3 = 1.15.
+  const Hierarchy h = MustBuild(StarGraph(4));
+  const Distribution dist = MustDist({0, 90, 5, 5});
+  auto opt = OptimalExpectedCost(h, dist);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_DOUBLE_EQ(*opt, 1.15);
+}
+
+TEST(OptimalDp, RejectsLargeInstances) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomTree(30, rng));
+  EXPECT_FALSE(OptimalExpectedCost(h, EqualDistribution(30)).ok());
+}
+
+TEST(OptimalDp, GreedyNeverBeatsOptimal) {
+  Rng rng(2);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 2 + rng.UniformInt(13);
+    const Hierarchy h = MustBuild(rng.Bernoulli(0.5)
+                                      ? RandomDag(n, rng, 0.4)
+                                      : RandomTree(n, rng));
+    std::vector<Weight> w(h.NumNodes());
+    for (auto& x : w) {
+      x = 1 + rng.UniformInt(50);
+    }
+    const Distribution dist = MustDist(w);
+    auto opt = OptimalExpectedCost(h, dist);
+    ASSERT_TRUE(opt.ok());
+    const GreedyNaivePolicy greedy(h, dist);
+    const double greedy_cost = EvaluateExact(greedy, h, dist).expected_cost;
+    EXPECT_GE(greedy_cost + 1e-9, *opt);
+  }
+}
+
+TEST(Approximation, Theorem2GoldenRatioOnTrees) {
+  Rng rng(3);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.UniformInt(13);
+    const Hierarchy h = MustBuild(RandomTree(n, rng));
+    std::vector<Weight> w(h.NumNodes());
+    for (auto& x : w) {
+      x = 1 + rng.UniformInt(99);
+    }
+    const Distribution dist = MustDist(w);
+    auto opt = OptimalExpectedCost(h, dist);
+    ASSERT_TRUE(opt.ok());
+    const GreedyTreePolicy greedy(h, dist);
+    const double cost = EvaluateExact(greedy, h, dist).expected_cost;
+    EXPECT_LE(cost, kGoldenRatio * *opt + 1e-9)
+        << "n=" << h.NumNodes() << " round=" << round;
+  }
+}
+
+TEST(Approximation, Theorem1LogBoundOnDags) {
+  Rng rng(4);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n = 3 + rng.UniformInt(12);
+    const Hierarchy h = MustBuild(RandomDag(n, rng, 0.5));
+    std::vector<Weight> w(h.NumNodes());
+    for (auto& x : w) {
+      x = 1 + rng.UniformInt(99);
+    }
+    const Distribution dist = MustDist(w);
+    auto opt = OptimalExpectedCost(h, dist);
+    ASSERT_TRUE(opt.ok());
+    const GreedyDagPolicy greedy(h, dist);  // rounded by default
+    const double cost = EvaluateExact(greedy, h, dist).expected_cost;
+    const double bound =
+        2.0 * (1.0 + 3.0 * std::log(static_cast<double>(h.NumNodes())));
+    EXPECT_LE(cost, bound * *opt + 1e-9);
+  }
+}
+
+TEST(Approximation, Theorem4CostSensitiveBound) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 3 + rng.UniformInt(10);
+    const Hierarchy h = MustBuild(rng.Bernoulli(0.5)
+                                      ? RandomDag(n, rng, 0.4)
+                                      : RandomTree(n, rng));
+    std::vector<Weight> w(h.NumNodes());
+    for (auto& x : w) {
+      x = 1 + rng.UniformInt(30);
+    }
+    const Distribution dist = MustDist(w);
+    const CostModel costs =
+        CostModel::UniformRandom(h.NumNodes(), 1, 8, rng);
+    auto opt = OptimalExpectedCost(h, dist, &costs);
+    ASSERT_TRUE(opt.ok());
+    CostSensitiveGreedyPolicy greedy(h, dist, costs);
+    EvalOptions options;
+    options.cost_model = &costs;
+    const double cost =
+        EvaluateExact(greedy, h, dist, options).expected_priced_cost;
+    const double bound =
+        2.0 * (1.0 + 3.0 * std::log(static_cast<double>(h.NumNodes())));
+    EXPECT_LE(cost, bound * *opt + 1e-9);
+    EXPECT_GE(cost + 1e-9, *opt);
+  }
+}
+
+TEST(Approximation, CostSensitiveBeatsCostBlindOnFig3LikeInstances) {
+  // Chains with one expensive middle node: cost-awareness must not lose.
+  Rng rng(6);
+  int cost_sensitive_wins = 0;
+  const int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t n = 4 + rng.UniformInt(8);
+    const Hierarchy h = MustBuild(PathGraph(n));
+    const Distribution dist = EqualDistribution(n);
+    std::vector<std::uint32_t> prices(n, 1);
+    prices[n / 2] = 10;  // expensive middle — exactly where greedy splits
+    const CostModel costs((std::vector<std::uint32_t>(prices)));
+    CostSensitiveGreedyPolicy aware(h, dist, costs);
+    GreedyNaivePolicy blind(h, dist);
+    EvalOptions options;
+    options.cost_model = &costs;
+    const double aware_cost =
+        EvaluateExact(aware, h, dist, options).expected_priced_cost;
+    const double blind_cost =
+        EvaluateExact(blind, h, dist, options).expected_priced_cost;
+    EXPECT_LE(aware_cost, blind_cost + 1e-9);
+    cost_sensitive_wins += aware_cost < blind_cost - 1e-9 ? 1 : 0;
+  }
+  EXPECT_GT(cost_sensitive_wins, 0);
+}
+
+}  // namespace
+}  // namespace aigs

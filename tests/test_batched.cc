@@ -1,0 +1,158 @@
+// Batched greedy extension (§III-E): correctness across hierarchy shapes and
+// the rounds-vs-questions trade-off.
+#include "core/batched_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_naive.h"
+#include "eval/evaluator.h"
+#include "eval/runner.h"
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+using testing::MustDist;
+
+/// Runs every target through a batched policy, returning per-target
+/// (questions, rounds).
+struct BatchedRun {
+  std::vector<std::uint64_t> questions;
+  std::vector<std::uint64_t> rounds;
+};
+
+BatchedRun RunBatchedAllTargets(const BatchedGreedyPolicy& policy,
+                                const Hierarchy& h) {
+  BatchedRun out;
+  out.questions.resize(h.NumNodes());
+  out.rounds.resize(h.NumNodes());
+  for (NodeId target = 0; target < h.NumNodes(); ++target) {
+    ExactOracle oracle(h.reach(), target);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle);
+    AIGS_CHECK(r.target == target);
+    out.questions[target] = r.reach_queries;
+    out.rounds[target] = r.interaction_rounds;
+  }
+  return out;
+}
+
+TEST(BatchedGreedy, IdentifiesEveryTargetOnTreesAndDags) {
+  Rng rng(1);
+  for (int round = 0; round < 12; ++round) {
+    const bool dag = rng.Bernoulli(0.5);
+    const std::size_t n = 2 + rng.UniformInt(40);
+    const Hierarchy h = MustBuild(dag ? RandomDag(n, rng, 0.4)
+                                      : RandomTree(n, rng));
+    const Distribution dist = UniformRandomDistribution(h.NumNodes(), rng);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}}) {
+      BatchedGreedyPolicy policy(h, dist,
+                                 BatchedGreedyOptions{.questions_per_round = k});
+      RunBatchedAllTargets(policy, h);  // fatally checks identification
+    }
+  }
+}
+
+TEST(BatchedGreedy, KOneMatchesSequentialGreedyCost) {
+  // With one question per round and positive weights, the batched policy
+  // picks exactly the sequential middle point each time.
+  Rng rng(2);
+  for (int round = 0; round < 8; ++round) {
+    const Hierarchy h = MustBuild(RandomTree(2 + rng.UniformInt(30), rng));
+    std::vector<Weight> w(h.NumNodes());
+    for (auto& x : w) {
+      x = 1 + rng.UniformInt(99);
+    }
+    const Distribution dist = MustDist(w);
+    BatchedGreedyPolicy batched(h, dist,
+                                BatchedGreedyOptions{.questions_per_round = 1});
+    GreedyNaivePolicy sequential(h, dist);
+    const BatchedRun batched_run = RunBatchedAllTargets(batched, h);
+    const auto sequential_costs = testing::RunAllTargets(sequential, h);
+    for (NodeId t = 0; t < h.NumNodes(); ++t) {
+      EXPECT_EQ(batched_run.questions[t], sequential_costs[t]) << t;
+      EXPECT_EQ(batched_run.rounds[t], sequential_costs[t]) << t;
+    }
+  }
+}
+
+TEST(BatchedGreedy, LargerBatchesNeedFewerRounds) {
+  Rng rng(3);
+  const Hierarchy h = MustBuild(RandomTree(120, rng));
+  const Distribution dist = ExponentialRandomDistribution(120, rng);
+
+  auto expected_rounds = [&](std::size_t k) {
+    BatchedGreedyPolicy policy(h, dist,
+                               BatchedGreedyOptions{.questions_per_round = k});
+    const BatchedRun run = RunBatchedAllTargets(policy, h);
+    long double total = 0;
+    for (NodeId t = 0; t < h.NumNodes(); ++t) {
+      total += static_cast<long double>(dist.WeightOf(t)) *
+               static_cast<long double>(run.rounds[t]);
+    }
+    return static_cast<double>(total /
+                               static_cast<long double>(dist.Total()));
+  };
+  const double rounds_k1 = expected_rounds(1);
+  const double rounds_k4 = expected_rounds(4);
+  const double rounds_k8 = expected_rounds(8);
+  EXPECT_LT(rounds_k4, rounds_k1);
+  EXPECT_LE(rounds_k8, rounds_k4 + 1e-9);
+  // Batching k questions cannot beat the information-theoretic factor k.
+  EXPECT_GE(rounds_k4 * 4 + 1e-9, rounds_k1);
+}
+
+TEST(BatchedGreedy, BatchingCostsMoreQuestionsButNotAbsurdlyMore) {
+  Rng rng(4);
+  const Hierarchy h = MustBuild(RandomTree(150, rng));
+  Rng dist_rng(5);
+  const Distribution dist = ZipfRandomDistribution(150, 2.0, dist_rng);
+
+  auto expected_questions = [&](std::size_t k) {
+    BatchedGreedyPolicy policy(h, dist,
+                               BatchedGreedyOptions{.questions_per_round = k});
+    const BatchedRun run = RunBatchedAllTargets(policy, h);
+    long double total = 0;
+    for (NodeId t = 0; t < h.NumNodes(); ++t) {
+      total += static_cast<long double>(dist.WeightOf(t)) *
+               static_cast<long double>(run.questions[t]);
+    }
+    return static_cast<double>(total /
+                               static_cast<long double>(dist.Total()));
+  };
+  const double q1 = expected_questions(1);
+  const double q4 = expected_questions(4);
+  EXPECT_GE(q4 + 1e-9, q1);      // batches waste some questions...
+  EXPECT_LE(q4, 4 * q1 + 4);     // ...but not more than the k factor
+}
+
+TEST(BatchedGreedy, WorksWithZeroWeightNodes) {
+  Rng rng(6);
+  const Hierarchy h = MustBuild(RandomDag(25, rng, 0.5));
+  std::vector<Weight> w(h.NumNodes(), 0);
+  w[3] = 10;  // single heavy node; everything else zero weight
+  const Distribution dist = MustDist(w);
+  BatchedGreedyPolicy policy(h, dist,
+                             BatchedGreedyOptions{.questions_per_round = 3});
+  RunBatchedAllTargets(policy, h);
+}
+
+TEST(BatchedGreedy, RunnerCountsRoundsForAllPolicies) {
+  // Sequential policies report one round per question.
+  Rng rng(7);
+  const Hierarchy h = MustBuild(RandomTree(30, rng));
+  const Distribution dist = EqualDistribution(30);
+  GreedyNaivePolicy sequential(h, dist);
+  ExactOracle oracle(h.reach(), 17);
+  auto session = sequential.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.interaction_rounds, r.reach_queries);
+}
+
+}  // namespace
+}  // namespace aigs

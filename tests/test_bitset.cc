@@ -1,0 +1,173 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+TEST(DynamicBitset, StartsClear) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(DynamicBitset, ConstructAllSet) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_TRUE(b.Test(69));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(DynamicBitset, AssignWritesEitherValue) {
+  DynamicBitset b(10);
+  b.Assign(3, true);
+  EXPECT_TRUE(b.Test(3));
+  b.Assign(3, false);
+  EXPECT_FALSE(b.Test(3));
+}
+
+TEST(DynamicBitset, SetAllRespectsTail) {
+  DynamicBitset b(67);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 67u);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitset, BooleanAlgebra) {
+  DynamicBitset a(200);
+  DynamicBitset b(200);
+  a.Set(1);
+  a.Set(100);
+  a.Set(199);
+  b.Set(100);
+  b.Set(150);
+
+  DynamicBitset and_result = a;
+  and_result.AndWith(b);
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Test(100));
+
+  DynamicBitset or_result = a;
+  or_result.OrWith(b);
+  EXPECT_EQ(or_result.Count(), 4u);
+
+  DynamicBitset andnot_result = a;
+  andnot_result.AndNotWith(b);
+  EXPECT_EQ(andnot_result.Count(), 2u);
+  EXPECT_TRUE(andnot_result.Test(1));
+  EXPECT_TRUE(andnot_result.Test(199));
+}
+
+TEST(DynamicBitset, IntersectionCountAndIntersects) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  for (std::size_t i = 0; i < 128; i += 2) {
+    a.Set(i);
+  }
+  for (std::size_t i = 0; i < 128; i += 3) {
+    b.Set(i);
+  }
+  // Multiples of 6 in [0, 128): 22 values.
+  EXPECT_EQ(a.IntersectionCount(b), 22u);
+  EXPECT_TRUE(a.Intersects(b));
+  DynamicBitset odd(128);
+  odd.Set(1);
+  EXPECT_FALSE(a.Intersects(odd));
+}
+
+TEST(DynamicBitset, FindFirst) {
+  DynamicBitset b(300);
+  EXPECT_EQ(b.FindFirst(), 300u);
+  b.Set(250);
+  EXPECT_EQ(b.FindFirst(), 250u);
+  b.Set(70);
+  EXPECT_EQ(b.FindFirst(), 70u);
+}
+
+TEST(DynamicBitset, ForEachSetBitAscending) {
+  DynamicBitset b(500);
+  const std::set<std::size_t> expected = {0, 63, 64, 65, 127, 128, 499};
+  for (const std::size_t i : expected) {
+    b.Set(i);
+  }
+  std::vector<std::size_t> seen;
+  b.ForEachSetBit([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, std::vector<std::size_t>(expected.begin(), expected.end()));
+}
+
+TEST(DynamicBitset, ForEachSetBitIntersection) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(5);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(7);
+  std::vector<std::size_t> seen;
+  a.ForEachSetBitIntersection(b, [&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{50, 99}));
+}
+
+TEST(DynamicBitset, ResizeGrowWithValue) {
+  DynamicBitset b(10, true);
+  b.Resize(100, true);
+  EXPECT_EQ(b.Count(), 100u);
+  b.Resize(5);
+  EXPECT_EQ(b.Count(), 5u);
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(DynamicBitset, EqualityIncludesSize) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  EXPECT_EQ(a, b);
+  b.Set(3);
+  EXPECT_FALSE(a == b);
+  DynamicBitset c(11);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DynamicBitset, RandomizedAgainstReferenceSet) {
+  Rng rng(7);
+  DynamicBitset b(257);
+  std::set<std::size_t> reference;
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::size_t>(rng.UniformInt(257));
+    if (rng.Bernoulli(0.5)) {
+      b.Set(i);
+      reference.insert(i);
+    } else {
+      b.Reset(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(b.Count(), reference.size());
+  for (std::size_t i = 0; i < 257; ++i) {
+    EXPECT_EQ(b.Test(i), reference.count(i) > 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,121 @@
+#include "graph/candidate_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+TEST(CandidateSet, StartsFullyAlive) {
+  Rng rng(1);
+  const Digraph g = RandomTree(10, rng);
+  CandidateSet c(g);
+  EXPECT_EQ(c.alive_count(), 10u);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(c.IsAlive(v));
+  }
+}
+
+TEST(CandidateSet, RestrictToReachable) {
+  // 0 -> {1, 2}; 1 -> 3.
+  Digraph g;
+  g.AddNodes(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  ASSERT_TRUE(g.Finalize().ok());
+  CandidateSet c(g);
+  std::vector<NodeId> removed;
+  c.RestrictToReachable(1, &removed);
+  EXPECT_EQ(c.alive_count(), 2u);
+  EXPECT_TRUE(c.IsAlive(1));
+  EXPECT_TRUE(c.IsAlive(3));
+  EXPECT_FALSE(c.IsAlive(0));
+  EXPECT_FALSE(c.IsAlive(2));
+  EXPECT_EQ(std::set<NodeId>(removed.begin(), removed.end()),
+            (std::set<NodeId>{0, 2}));
+}
+
+TEST(CandidateSet, RemoveReachable) {
+  Digraph g;
+  g.AddNodes(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  ASSERT_TRUE(g.Finalize().ok());
+  CandidateSet c(g);
+  std::vector<NodeId> removed;
+  c.RemoveReachable(1, &removed);
+  EXPECT_EQ(c.alive_count(), 2u);
+  EXPECT_TRUE(c.IsAlive(0));
+  EXPECT_TRUE(c.IsAlive(2));
+  EXPECT_EQ(std::set<NodeId>(removed.begin(), removed.end()),
+            (std::set<NodeId>{1, 3}));
+}
+
+TEST(CandidateSet, SoleCandidateAfterNarrowing) {
+  Digraph g;
+  g.AddNodes(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  ASSERT_TRUE(g.Finalize().ok());
+  CandidateSet c(g);
+  c.RemoveReachable(1);
+  c.RemoveReachable(2);
+  EXPECT_EQ(c.alive_count(), 1u);
+  EXPECT_EQ(c.SoleCandidate(), 0u);
+}
+
+TEST(CandidateSet, MatchesReferenceUnderRandomOperations) {
+  Rng rng(42);
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    const Digraph g = RandomDag(25, rng, 0.5);
+    const ReachabilityIndex reach(g);
+    CandidateSet c(g);
+    // Reference: explicit set of alive nodes.
+    std::set<NodeId> reference;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      reference.insert(v);
+    }
+    for (int step = 0; step < 12 && reference.size() > 1; ++step) {
+      // Pick a random alive node (not guaranteed != root; that's fine for
+      // CandidateSet itself).
+      std::vector<NodeId> alive(reference.begin(), reference.end());
+      const NodeId q =
+          alive[static_cast<std::size_t>(rng.UniformInt(alive.size()))];
+      std::set<NodeId> inside;
+      for (const NodeId t : reference) {
+        if (reach.Reaches(q, t)) {
+          inside.insert(t);
+        }
+      }
+      if (rng.Bernoulli(0.5) || inside.size() == reference.size()) {
+        if (inside.size() == reference.size()) {
+          // Restriction is a no-op; use removal only if it makes progress.
+          if (inside.empty()) {
+            continue;
+          }
+        }
+        c.RestrictToReachable(q);
+        reference = inside;
+      } else {
+        c.RemoveReachable(q);
+        for (const NodeId t : inside) {
+          reference.erase(t);
+        }
+      }
+      ASSERT_EQ(c.alive_count(), reference.size());
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        ASSERT_EQ(c.IsAlive(v), reference.count(v) > 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,81 @@
+#include "eval/cost_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aigs.h"
+#include "eval/evaluator.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+using testing::MustDist;
+
+TEST(CostProfile, MeanMatchesWeightedAverage) {
+  const std::vector<std::uint32_t> costs{1, 2, 3, 4};
+  const Distribution dist = MustDist({10, 20, 30, 40});
+  const CostProfile profile(costs, dist);
+  EXPECT_DOUBLE_EQ(profile.Mean(), (10.0 + 40 + 90 + 160) / 100.0);
+  EXPECT_EQ(profile.Max(), 4u);
+}
+
+TEST(CostProfile, QuantilesOnUniformWeights) {
+  const std::vector<std::uint32_t> costs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Distribution dist = EqualDistribution(10);
+  const CostProfile profile(costs, dist);
+  EXPECT_EQ(profile.Quantile(0.1), 1u);
+  EXPECT_EQ(profile.Median(), 5u);
+  EXPECT_EQ(profile.P90(), 9u);
+  EXPECT_EQ(profile.P99(), 10u);
+  EXPECT_EQ(profile.Quantile(1.0), 10u);
+}
+
+TEST(CostProfile, SkewPullsQuantilesDown) {
+  // 99% of the mass on the cheapest target.
+  const std::vector<std::uint32_t> costs{1, 50, 60};
+  const Distribution dist = MustDist({99, 1, 0});
+  const CostProfile profile(costs, dist);
+  EXPECT_EQ(profile.Median(), 1u);
+  EXPECT_EQ(profile.P90(), 1u);
+  EXPECT_EQ(profile.P99(), 1u);
+  EXPECT_EQ(profile.Quantile(0.995), 50u);
+  // Zero-weight targets are invisible to the profile.
+  EXPECT_EQ(profile.Max(), 50u);
+}
+
+TEST(CostProfile, IgnoresZeroWeightTargets) {
+  const std::vector<std::uint32_t> costs{100, 2};
+  const Distribution dist = MustDist({0, 7});
+  const CostProfile profile(costs, dist);
+  EXPECT_EQ(profile.Max(), 2u);
+  EXPECT_DOUBLE_EQ(profile.Mean(), 2.0);
+  EXPECT_EQ(profile.Median(), 2u);
+}
+
+TEST(CostProfile, TiedCostsMergeCorrectly) {
+  const std::vector<std::uint32_t> costs{3, 3, 3, 7};
+  const Distribution dist = EqualDistribution(4);
+  const CostProfile profile(costs, dist);
+  EXPECT_EQ(profile.Quantile(0.75), 3u);
+  EXPECT_EQ(profile.Quantile(0.76), 7u);
+}
+
+TEST(CostProfile, EndToEndWithEvaluator) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomTree(40, rng));
+  const Distribution dist = ExponentialRandomDistribution(40, rng);
+  GreedyTreePolicy greedy(h, dist);
+  const EvalStats stats = EvaluateExact(greedy, h, dist);
+  const CostProfile profile(stats.per_target_cost, dist);
+  EXPECT_NEAR(profile.Mean(), stats.expected_cost, 1e-9);
+  EXPECT_LE(profile.Median(), profile.P90());
+  EXPECT_LE(profile.P90(), profile.P99());
+  EXPECT_LE(profile.P99(), profile.Max());
+  EXPECT_LE(profile.Max(), stats.max_cost);
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,88 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include "prob/weight_io.h"
+#include "tests/test_support.h"
+
+namespace aigs {
+namespace {
+
+TEST(WeightIo, RoundTrip) {
+  auto d = Distribution::FromWeights({0, 5, 0, 7, 1});
+  ASSERT_TRUE(d.ok());
+  auto parsed = ParseDistribution(SerializeDistribution(*d));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->weights(), d->weights());
+  EXPECT_EQ(parsed->Total(), d->Total());
+}
+
+TEST(WeightIo, ZeroWeightNodesOmittedButRestored) {
+  auto d = Distribution::FromWeights({0, 0, 3});
+  ASSERT_TRUE(d.ok());
+  const std::string text = SerializeDistribution(*d);
+  // Only one 'c' directive line for the single positive count.
+  std::size_t count_lines = 0;
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    if (text[pos] == 'c' && (pos == 0 || text[pos - 1] == '\n')) {
+      ++count_lines;
+    }
+  }
+  EXPECT_EQ(count_lines, 1u);
+  auto parsed = ParseDistribution(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->WeightOf(0), 0u);
+  EXPECT_EQ(parsed->WeightOf(2), 3u);
+}
+
+TEST(WeightIo, ParseErrors) {
+  EXPECT_FALSE(ParseDistribution("c 0 5\n").ok());          // missing n
+  EXPECT_FALSE(ParseDistribution("n 2\nc 5 1\n").ok());     // id out of range
+  EXPECT_FALSE(ParseDistribution("n 2\nx 0 1\n").ok());     // bad directive
+  EXPECT_FALSE(ParseDistribution("n 2\n").ok());            // zero total
+  EXPECT_FALSE(ParseDistribution("n 2\nn 2\nc 0 1\n").ok());  // dup n
+}
+
+TEST(WeightIo, FileRoundTrip) {
+  auto d = Distribution::FromWeights({10, 20, 30});
+  ASSERT_TRUE(d.ok());
+  const std::string path = ::testing::TempDir() + "/aigs_counts.txt";
+  ASSERT_TRUE(SaveDistribution(*d, path).ok());
+  auto loaded = LoadDistribution(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->weights(), d->weights());
+}
+
+TEST(DatasetIo, SaveAndLoadDataset) {
+  const Dataset original = MakeAmazonDataset(0.05);
+  const std::string prefix = ::testing::TempDir() + "/aigs_dataset";
+  ASSERT_TRUE(SaveDatasetFiles(original, prefix).ok());
+
+  auto loaded = LoadDatasetFiles("Amazon-reloaded", prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "Amazon-reloaded");
+  EXPECT_EQ(loaded->hierarchy.NumNodes(), original.hierarchy.NumNodes());
+  EXPECT_EQ(loaded->hierarchy.NumEdges(), original.hierarchy.NumEdges());
+  EXPECT_EQ(loaded->hierarchy.Height(), original.hierarchy.Height());
+  EXPECT_EQ(loaded->real_distribution.weights(),
+            original.real_distribution.weights());
+  EXPECT_EQ(loaded->num_objects, original.num_objects);
+}
+
+TEST(DatasetIo, LoadRejectsMismatchedSizes) {
+  const Dataset dataset = MakeAmazonDataset(0.05);
+  const std::string prefix = ::testing::TempDir() + "/aigs_mismatch";
+  ASSERT_TRUE(SaveDatasetFiles(dataset, prefix).ok());
+  // Overwrite the counts with a wrong-sized file.
+  auto small = Distribution::FromWeights({1, 2, 3});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(SaveDistribution(*small, prefix + ".counts.txt").ok());
+  EXPECT_FALSE(LoadDatasetFiles("broken", prefix).ok());
+}
+
+TEST(DatasetIo, LoadMissingFilesFails) {
+  EXPECT_FALSE(LoadDatasetFiles("none", "/nonexistent/prefix").ok());
+}
+
+}  // namespace
+}  // namespace aigs

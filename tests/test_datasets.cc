@@ -1,0 +1,119 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_catalog.h"
+
+namespace aigs {
+namespace {
+
+TEST(SyntheticCatalog, AmazonScaleStatisticsMatchTableII) {
+  // Full-scale generation is cheap (tree building only).
+  const Digraph g = GenerateCatalogTree(AmazonParams());
+  EXPECT_EQ(g.NumNodes(), 29240u);
+  EXPECT_EQ(g.Height(), 10);
+  EXPECT_EQ(g.MaxOutDegree(), 225u);
+  EXPECT_TRUE(g.IsTree());
+}
+
+TEST(SyntheticCatalog, ImageNetScaleStatisticsMatchTableII) {
+  const Digraph g = GenerateCatalogDag(ImageNetParams());
+  EXPECT_EQ(g.NumNodes(), 27714u);
+  EXPECT_EQ(g.Height(), 13);
+  EXPECT_EQ(g.MaxOutDegree(), 402u);
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(SyntheticCatalog, GenerationIsDeterministic) {
+  CatalogParams params;
+  params.num_nodes = 2000;
+  params.height = 8;
+  params.max_out_degree = 40;
+  params.seed = 99;
+  const Digraph a = GenerateCatalogTree(params);
+  const Digraph b = GenerateCatalogTree(params);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    const auto ca = a.Children(v);
+    const auto cb = b.Children(v);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      ASSERT_EQ(ca[i], cb[i]);
+    }
+  }
+}
+
+TEST(SyntheticCatalog, DifferentSeedsDiffer) {
+  CatalogParams a;
+  a.num_nodes = 1500;
+  a.height = 7;
+  a.max_out_degree = 30;
+  a.seed = 1;
+  CatalogParams b = a;
+  b.seed = 2;
+  const Digraph ga = GenerateCatalogTree(a);
+  const Digraph gb = GenerateCatalogTree(b);
+  bool any_difference = false;
+  for (NodeId v = 0; v < ga.NumNodes() && !any_difference; ++v) {
+    any_difference = ga.OutDegree(v) != gb.OutDegree(v);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticCatalog, DagKeepsExactHeightWithExtraEdges) {
+  CatalogParams params;
+  params.num_nodes = 3000;
+  params.height = 9;
+  params.max_out_degree = 50;
+  params.extra_parent_frac = 0.08;
+  params.seed = 5;
+  const Digraph g = GenerateCatalogDag(params);
+  EXPECT_EQ(g.Height(), 9);
+  EXPECT_EQ(g.NumEdges(),
+            params.num_nodes - 1 +
+                static_cast<std::size_t>(0.08 * 3000));
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(ZipfObjectCounts, TotalIsExact) {
+  const Distribution d = AssignZipfObjectCounts(1000, 123456789, 1.0, 42);
+  EXPECT_EQ(d.Total(), 123456789u);
+  EXPECT_EQ(d.size(), 1000u);
+}
+
+TEST(ZipfObjectCounts, HeavilySkewed) {
+  const Distribution d = AssignZipfObjectCounts(5000, 10'000'000, 1.0, 7);
+  // Top category under Zipf(1) over 5000 ranks holds about 1/H(5000) ≈ 11%
+  // of all objects.
+  EXPECT_GT(d.MaxWeight(), d.Total() / 20);
+  EXPECT_LT(d.EntropyBits(), EqualDistribution(5000).EntropyBits());
+}
+
+TEST(ZipfObjectCounts, DeterministicPerSeed) {
+  const Distribution a = AssignZipfObjectCounts(500, 99999, 1.0, 3);
+  const Distribution b = AssignZipfObjectCounts(500, 99999, 1.0, 3);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(Datasets, ScaledDatasetsPreserveShape) {
+  const Dataset amazon = MakeAmazonDataset(0.05);
+  EXPECT_TRUE(amazon.hierarchy.is_tree());
+  EXPECT_EQ(amazon.hierarchy.Height(), 10);
+  EXPECT_EQ(amazon.real_distribution.Total(), amazon.num_objects);
+
+  const Dataset imagenet = MakeImageNetDataset(0.05);
+  EXPECT_FALSE(imagenet.hierarchy.is_tree());
+  EXPECT_EQ(imagenet.hierarchy.Height(), 13);
+  EXPECT_EQ(imagenet.real_distribution.Total(), imagenet.num_objects);
+}
+
+TEST(Datasets, DescribeMentionsKeyStatistics) {
+  const Dataset d = MakeAmazonDataset(0.05);
+  const std::string description = DescribeDataset(d);
+  EXPECT_NE(description.find("Amazon"), std::string::npos);
+  EXPECT_NE(description.find("height=10"), std::string::npos);
+  EXPECT_NE(description.find("type=Tree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aigs

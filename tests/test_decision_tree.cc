@@ -1,0 +1,123 @@
+#include "eval/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/migs.h"
+#include "baselines/top_down.h"
+#include "baselines/wigs.h"
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+using testing::RunAllTargets;
+using testing::WeightedAverage;
+
+TEST(DecisionTree, LeavesBijectWithTargets) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomTree(20, rng));
+  const Distribution dist = UniformRandomDistribution(20, rng);
+  GreedyTreePolicy policy(h, dist);
+  auto tree = DecisionTree::Build(policy, h);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumLeaves(), h.NumNodes());
+}
+
+TEST(DecisionTree, DepthsMatchRunnerCosts) {
+  Rng rng(2);
+  for (const bool dag : {false, true}) {
+    const Hierarchy h = MustBuild(
+        dag ? RandomDag(18, rng, 0.4) : RandomTree(18, rng));
+    const Distribution dist =
+        ExponentialRandomDistribution(h.NumNodes(), rng);
+    const GreedyDagPolicy policy(h, dist);
+    auto tree = DecisionTree::Build(policy, h);
+    ASSERT_TRUE(tree.ok());
+    const auto costs = RunAllTargets(policy, h);
+    for (NodeId target = 0; target < h.NumNodes(); ++target) {
+      EXPECT_EQ(tree->LeafDepth(target), costs[target]);
+    }
+    EXPECT_DOUBLE_EQ(tree->ExpectedCost(dist), WeightedAverage(costs, dist));
+  }
+}
+
+TEST(DecisionTree, TopDownOnDagHasOneSidedBranches) {
+  // TopDown discards sibling information on DAGs, so some answer branches
+  // are impossible; the builder must handle them (child index -1).
+  const Hierarchy h = MustBuild(DiamondChain(2));
+  TopDownPolicy policy(h);
+  auto tree = DecisionTree::Build(policy, h);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumLeaves(), h.NumNodes());
+  const auto costs = RunAllTargets(policy, h);
+  for (NodeId target = 0; target < h.NumNodes(); ++target) {
+    EXPECT_EQ(tree->LeafDepth(target), costs[target]);
+  }
+}
+
+TEST(DecisionTree, RejectsChoicePolicies) {
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy());
+  MigsPolicy migs(h);
+  EXPECT_FALSE(DecisionTree::Build(migs, h).ok());
+}
+
+TEST(DecisionTree, RejectsBatchedPolicies) {
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy());
+  const Distribution dist = VehicleDistribution();
+  BatchedGreedyPolicy batched(h, dist,
+                              BatchedGreedyOptions{.questions_per_round = 3});
+  EXPECT_FALSE(DecisionTree::Build(batched, h).ok());
+}
+
+TEST(DecisionTree, RespectsNodeBudget) {
+  Rng rng(3);
+  const Hierarchy h = MustBuild(RandomTree(40, rng));
+  const Distribution dist = EqualDistribution(40);
+  GreedyTreePolicy policy(h, dist);
+  EXPECT_FALSE(DecisionTree::Build(policy, h, /*max_nodes=*/5).ok());
+}
+
+TEST(DecisionTree, DotOutputMentionsQueriesAndLeaves) {
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy());
+  const Distribution dist = VehicleDistribution();
+  GreedyTreePolicy policy(h, dist);
+  auto tree = DecisionTree::Build(policy, h);
+  ASSERT_TRUE(tree.ok());
+  const std::string dot = tree->ToDot(h);
+  EXPECT_NE(dot.find("digraph decision_tree"), std::string::npos);
+  EXPECT_NE(dot.find("Maxima?"), std::string::npos);  // first greedy query
+  EXPECT_NE(dot.find("[label=\"Y\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"N\"]"), std::string::npos);
+}
+
+TEST(DecisionTree, SizeIsLinearInHierarchy) {
+  // n leaves and at most n-1 internal nodes when every branch is feasible
+  // (Section III-C: |D| ≤ 2|G|).
+  Rng rng(4);
+  const Hierarchy h = MustBuild(RandomTree(25, rng));
+  const Distribution dist = UniformRandomDistribution(25, rng);
+  GreedyTreePolicy policy(h, dist);
+  auto tree = DecisionTree::Build(policy, h);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->nodes().size(), 2 * h.NumNodes());
+}
+
+TEST(DecisionTree, WigsTreeMatchesRunner) {
+  Rng rng(5);
+  const Hierarchy h = MustBuild(RandomTree(22, rng));
+  WigsTreePolicy policy(h);
+  auto tree = DecisionTree::Build(policy, h);
+  ASSERT_TRUE(tree.ok());
+  const auto costs = RunAllTargets(policy, h);
+  for (NodeId target = 0; target < h.NumNodes(); ++target) {
+    EXPECT_EQ(tree->LeafDepth(target), costs[target]);
+  }
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,190 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "data/builtin.h"
+
+namespace aigs {
+namespace {
+
+TEST(Digraph, EmptyGraphRejected) {
+  Digraph g;
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Digraph, SingleNodeIsItsOwnRoot) {
+  Digraph g;
+  const NodeId v = g.AddNode("only");
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.root(), v);
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_TRUE(g.IsLeaf(v));
+  EXPECT_EQ(g.Height(), 0);
+}
+
+TEST(Digraph, ChildrenPreserveInsertionOrder) {
+  Digraph g;
+  g.AddNodes(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 3);
+  ASSERT_TRUE(g.Finalize().ok());
+  const auto children = g.Children(0);
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], 2u);
+  EXPECT_EQ(children[1], 1u);
+  EXPECT_EQ(children[2], 3u);
+}
+
+TEST(Digraph, ParentsAreRecorded) {
+  Digraph g;
+  g.AddNodes(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 1);
+  ASSERT_TRUE(g.Finalize().ok());
+  const auto parents = g.Parents(2);
+  ASSERT_EQ(parents.size(), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(Digraph, DuplicateEdgeRejected) {
+  Digraph g;
+  g.AddNodes(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Digraph, CycleRejected) {
+  Digraph g;
+  g.AddNodes(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);  // cycle 1 -> 2 -> 3 -> 1
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Digraph, TwoNodeCycleHasNoSource) {
+  Digraph g;
+  g.AddNodes(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Digraph, MultiRootGetsDummyRoot) {
+  Digraph g;
+  g.AddNodes(3);  // three isolated roots
+  ASSERT_TRUE(g.Finalize(/*add_dummy_root=*/true).ok());
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.Label(g.root()), "<root>");
+  EXPECT_EQ(g.OutDegree(g.root()), 3u);
+  EXPECT_TRUE(g.IsTree());
+}
+
+TEST(Digraph, MultiRootRejectedWithoutDummy) {
+  Digraph g;
+  g.AddNodes(2);
+  EXPECT_FALSE(g.Finalize(/*add_dummy_root=*/false).ok());
+}
+
+TEST(Digraph, TopologicalOrderRespectsEdges) {
+  Digraph g;
+  g.AddNodes(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(2, 5);
+  ASSERT_TRUE(g.Finalize().ok());
+  const auto& topo = g.TopologicalOrder();
+  std::vector<std::size_t> position(g.NumNodes());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    position[topo[i]] = i;
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const NodeId c : g.Children(u)) {
+      EXPECT_LT(position[u], position[c]);
+    }
+  }
+}
+
+TEST(Digraph, DepthIsLongestPath) {
+  // Diamond with a shortcut: depth must take the longer route.
+  Digraph g;
+  g.AddNodes(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);  // shortcut
+  g.AddEdge(2, 3);
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.Depth(0), 0);
+  EXPECT_EQ(g.Depth(1), 1);
+  EXPECT_EQ(g.Depth(2), 2);
+  EXPECT_EQ(g.Depth(3), 3);
+  EXPECT_EQ(g.Height(), 3);
+}
+
+TEST(Digraph, TreeDetection) {
+  Digraph tree;
+  tree.AddNodes(3);
+  tree.AddEdge(0, 1);
+  tree.AddEdge(0, 2);
+  ASSERT_TRUE(tree.Finalize().ok());
+  EXPECT_TRUE(tree.IsTree());
+
+  Digraph dag;
+  dag.AddNodes(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 2);  // second parent for node 2
+  ASSERT_TRUE(dag.Finalize().ok());
+  EXPECT_FALSE(dag.IsTree());
+}
+
+TEST(Digraph, MaxOutDegree) {
+  Digraph g;
+  g.AddNodes(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.MaxOutDegree(), 3u);
+}
+
+TEST(Digraph, LabelsViaSetLabel) {
+  Digraph g;
+  g.AddNodes(2);
+  g.SetLabel(1, "leaf");
+  g.AddEdge(0, 1);
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.Label(0), "");
+  EXPECT_EQ(g.Label(1), "leaf");
+}
+
+TEST(Digraph, VehicleHierarchyStats) {
+  const Digraph g = BuildVehicleHierarchy();
+  EXPECT_EQ(g.NumNodes(), 7u);
+  EXPECT_EQ(g.NumEdges(), 6u);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.Height(), 3);
+  EXPECT_EQ(g.MaxOutDegree(), 3u);
+  EXPECT_EQ(g.Label(g.root()), "Vehicle");
+}
+
+TEST(Digraph, FinalizeTwiceFails) {
+  Digraph g;
+  g.AddNode();
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_FALSE(g.Finalize().ok());
+}
+
+}  // namespace
+}  // namespace aigs

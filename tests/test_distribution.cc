@@ -1,0 +1,233 @@
+#include "prob/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/alias_table.h"
+#include "prob/empirical.h"
+#include "prob/rounding.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+TEST(Distribution, FromWeightsBasics) {
+  auto d = Distribution::FromWeights({1, 2, 3, 4});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 4u);
+  EXPECT_EQ(d->Total(), 10u);
+  EXPECT_EQ(d->MaxWeight(), 4u);
+  EXPECT_DOUBLE_EQ(d->Probability(3), 0.4);
+}
+
+TEST(Distribution, RejectsEmptyAndZero) {
+  EXPECT_FALSE(Distribution::FromWeights({}).ok());
+  EXPECT_FALSE(Distribution::FromWeights({0, 0}).ok());
+}
+
+TEST(Distribution, FromRealsScalesToMax) {
+  auto d = Distribution::FromReals({0.5, 1.0, 0.25});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->WeightOf(1), Distribution::kRealScale);
+  EXPECT_EQ(d->WeightOf(0), Distribution::kRealScale / 2);
+}
+
+TEST(Distribution, FromRealsRejectsNegativeAndNan) {
+  EXPECT_FALSE(Distribution::FromReals({1.0, -0.5}).ok());
+  EXPECT_FALSE(Distribution::FromReals({std::nan("")}).ok());
+  EXPECT_FALSE(Distribution::FromReals({0.0, 0.0}).ok());
+}
+
+TEST(Distribution, EqualDistribution) {
+  const Distribution d = EqualDistribution(5);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(d.Probability(v), 0.2);
+  }
+}
+
+TEST(Distribution, EntropyBits) {
+  EXPECT_NEAR(EqualDistribution(8).EntropyBits(), 3.0, 1e-12);
+  const Distribution point = PointMassDistribution(10, 3);
+  EXPECT_NEAR(point.EntropyBits(), 0.0, 1e-12);
+}
+
+TEST(Distribution, UniformRandomPositiveEverywhere) {
+  Rng rng(1);
+  const Distribution d = UniformRandomDistribution(100, rng);
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_GT(d.WeightOf(v), 0u);
+  }
+}
+
+TEST(Distribution, ExponentialRandomSkewedButPositive) {
+  Rng rng(2);
+  const Distribution d = ExponentialRandomDistribution(200, rng);
+  EXPECT_GT(d.Total(), 0u);
+  // Exponential should produce a wider weight spread than uniform.
+  EXPECT_GT(d.MaxWeight(), d.Total() / 200);
+}
+
+TEST(Distribution, ZipfIsHeavilySkewed) {
+  Rng rng(3);
+  const Distribution zipf = ZipfRandomDistribution(500, 2.0, rng);
+  // Under Zipf(2), most draws are 1 — the max weight holds a large share.
+  EXPECT_GT(zipf.EntropyBits(), 0.0);
+  EXPECT_LT(zipf.EntropyBits(), EqualDistribution(500).EntropyBits());
+}
+
+TEST(Distribution, ZipfSmallerExponentIsMoreSkewed) {
+  Rng rng1(4);
+  Rng rng2(4);
+  const Distribution a15 = ZipfRandomDistribution(400, 1.5, rng1);
+  const Distribution a40 = ZipfRandomDistribution(400, 4.0, rng2);
+  // Larger a concentrates draws at 1 → closer to uniform over nodes.
+  EXPECT_LT(a15.EntropyBits(), a40.EntropyBits());
+}
+
+TEST(Distribution, PointMass) {
+  const Distribution d = PointMassDistribution(4, 2);
+  EXPECT_EQ(d.Total(), 1u);
+  EXPECT_EQ(d.WeightOf(2), 1u);
+  EXPECT_EQ(d.WeightOf(0), 0u);
+}
+
+// ---- Rounding (Eq. 1) -------------------------------------------------------
+
+TEST(Rounding, MatchesFormula) {
+  // n = 4, weights {1, 2, 4}: w(u) = ceil(16 * w / 4).
+  auto d = Distribution::FromWeights({1, 2, 4, 0});
+  ASSERT_TRUE(d.ok());
+  RoundingOptions options;
+  options.clamp_min_one = false;
+  const auto rounded = RoundWeights(*d, options);
+  EXPECT_EQ(rounded[0], 4u);   // ceil(16·1/4)
+  EXPECT_EQ(rounded[1], 8u);   // ceil(16·2/4)
+  EXPECT_EQ(rounded[2], 16u);  // ceil(16·4/4) = n²
+  EXPECT_EQ(rounded[3], 0u);   // p = 0 stays 0 without clamping
+}
+
+TEST(Rounding, CeilingIsExact) {
+  // n = 3, weights {1, 3}: ceil(9·1/3) = 3 exactly (no float artifacts).
+  auto d = Distribution::FromWeights({1, 3, 3});
+  ASSERT_TRUE(d.ok());
+  const auto rounded = RoundWeights(*d);
+  EXPECT_EQ(rounded[0], 3u);
+  EXPECT_EQ(rounded[1], 9u);
+}
+
+TEST(Rounding, ClampLiftsZeros) {
+  auto d = Distribution::FromWeights({0, 5});
+  ASSERT_TRUE(d.ok());
+  const auto rounded = RoundWeights(*d);  // clamp on by default
+  EXPECT_EQ(rounded[0], 1u);
+  EXPECT_EQ(rounded[1], 4u);  // n² = 4
+}
+
+TEST(Rounding, MaxWeightMapsToNSquared) {
+  Rng rng(5);
+  const Distribution d = UniformRandomDistribution(64, rng);
+  const auto rounded = RoundWeights(d);
+  Weight max_rounded = 0;
+  for (const Weight w : rounded) {
+    max_rounded = std::max(max_rounded, w);
+  }
+  EXPECT_EQ(max_rounded, 64u * 64u);
+}
+
+TEST(Rounding, PreservesOrdering) {
+  Rng rng(6);
+  const Distribution d = ExponentialRandomDistribution(128, rng);
+  const auto rounded = RoundWeights(d);
+  for (NodeId a = 0; a < d.size(); ++a) {
+    for (NodeId b = 0; b < d.size(); ++b) {
+      if (d.WeightOf(a) < d.WeightOf(b)) {
+        EXPECT_LE(rounded[a], rounded[b]);
+      }
+    }
+  }
+}
+
+// ---- Alias table -------------------------------------------------------------
+
+TEST(AliasTable, FrequenciesMatchWeights) {
+  auto d = Distribution::FromWeights({1, 0, 3, 6});
+  ASSERT_TRUE(d.ok());
+  const AliasTable table(*d);
+  Rng rng(7);
+  std::vector<int> hits(4, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++hits[table.Sample(rng)];
+  }
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / kSamples, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / kSamples, 0.3, 0.015);
+  EXPECT_NEAR(static_cast<double>(hits[3]) / kSamples, 0.6, 0.015);
+}
+
+TEST(AliasTable, PointMassAlwaysSamplesTarget) {
+  const Distribution d = PointMassDistribution(20, 13);
+  const AliasTable table(d);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Sample(rng), 13u);
+  }
+}
+
+// ---- Empirical counts --------------------------------------------------------
+
+TEST(Empirical, StartsAtPrior) {
+  EmpiricalCounts counts(10, 2);
+  EXPECT_EQ(counts.Total(), 20u);
+  EXPECT_EQ(counts.WeightOf(5), 2u);
+  EXPECT_EQ(counts.NumObserved(), 0u);
+}
+
+TEST(Empirical, ObserveAccumulates) {
+  EmpiricalCounts counts(3, 1);
+  counts.Observe(1);
+  counts.Observe(1);
+  counts.Observe(2);
+  EXPECT_EQ(counts.WeightOf(1), 3u);
+  EXPECT_EQ(counts.WeightOf(2), 2u);
+  EXPECT_EQ(counts.Total(), 6u);
+  EXPECT_EQ(counts.NumObserved(), 3u);
+}
+
+TEST(Empirical, ResetRestoresPrior) {
+  EmpiricalCounts counts(3, 1);
+  counts.Observe(0);
+  counts.Reset();
+  EXPECT_EQ(counts.Total(), 3u);
+  EXPECT_EQ(counts.NumObserved(), 0u);
+}
+
+TEST(Empirical, ConvergesToTrueDistribution) {
+  Rng rng(9);
+  auto truth = Distribution::FromWeights({50, 30, 15, 5});
+  ASSERT_TRUE(truth.ok());
+  const AliasTable sampler(*truth);
+  EmpiricalCounts counts(4, 1);
+  double tv_early = -1;
+  for (int i = 0; i < 20000; ++i) {
+    counts.Observe(sampler.Sample(rng));
+    if (i == 200) {
+      tv_early = TotalVariationDistance(counts.ToDistribution(), *truth);
+    }
+  }
+  const double tv_late =
+      TotalVariationDistance(counts.ToDistribution(), *truth);
+  EXPECT_LT(tv_late, tv_early);
+  EXPECT_LT(tv_late, 0.02);
+}
+
+TEST(Empirical, TotalVariationBounds) {
+  const Distribution a = PointMassDistribution(3, 0);
+  const Distribution b = PointMassDistribution(3, 2);
+  EXPECT_NEAR(TotalVariationDistance(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(TotalVariationDistance(a, a), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aigs

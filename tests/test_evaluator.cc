@@ -1,0 +1,118 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/top_down.h"
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "eval/decision_tree.h"
+#include "eval/runner.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+TEST(Runner, CountsReachQueries) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  TopDownPolicy policy(h);
+  ExactOracle oracle(h.reach(), nodes.sentra);
+  auto session = policy.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.target, nodes.sentra);
+  EXPECT_EQ(r.reach_queries, 4u);
+  EXPECT_EQ(r.priced_cost, 4u);  // unit prices
+  EXPECT_EQ(r.UnitCost(), 4u);
+}
+
+TEST(Runner, AppliesCostModel) {
+  const Hierarchy h = MustBuild(BuildFig3Hierarchy());
+  const Distribution equal = EqualDistribution(4);
+  const CostModel costs = Fig3CostModel();
+  GreedyTreePolicy policy(h, equal);
+  RunOptions options;
+  options.cost_model = &costs;
+  ExactOracle oracle(h.reach(), 3);  // target node "4"
+  auto session = policy.NewSession();
+  const SearchResult r = RunSearch(*session, oracle, options);
+  // Plain greedy asks node "3" (price 5) then node "4" (price 1).
+  EXPECT_EQ(r.reach_queries, 2u);
+  EXPECT_EQ(r.priced_cost, 6u);
+}
+
+TEST(EvaluateExact, MatchesDecisionTreeCost) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomTree(20, rng));
+  const Distribution dist = UniformRandomDistribution(20, rng);
+  GreedyTreePolicy policy(h, dist);
+  const EvalStats stats = EvaluateExact(policy, h, dist);
+  auto tree = DecisionTree::Build(policy, h);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(stats.expected_cost, tree->ExpectedCost(dist), 1e-9);
+  EXPECT_EQ(stats.num_searches, h.NumNodes());
+  EXPECT_EQ(stats.per_target_cost.size(), h.NumNodes());
+}
+
+TEST(EvaluateExact, VehicleDistribution) {
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy());
+  const Distribution dist = VehicleDistribution();
+  GreedyTreePolicy policy(h, dist);
+  const EvalStats stats = EvaluateExact(policy, h, dist);
+  EXPECT_DOUBLE_EQ(stats.expected_cost, 2.04);  // Example 2's better policy
+}
+
+TEST(EvaluateExact, MaxCostIsWorstCase) {
+  Rng rng(2);
+  const Hierarchy h = MustBuild(RandomTree(30, rng));
+  const Distribution dist = EqualDistribution(30);
+  GreedyTreePolicy policy(h, dist);
+  const EvalStats stats = EvaluateExact(policy, h, dist);
+  const auto costs = testing::RunAllTargets(policy, h);
+  EXPECT_EQ(stats.max_cost, *std::max_element(costs.begin(), costs.end()));
+}
+
+TEST(EvaluateExact, SingleThreadPoolProducesSameNumbers) {
+  Rng rng(3);
+  const Hierarchy h = MustBuild(RandomDag(25, rng, 0.4));
+  const Distribution dist = ExponentialRandomDistribution(25, rng);
+  GreedyDagPolicy policy(h, dist);
+  ThreadPool single(1);
+  EvalOptions serial;
+  serial.pool = &single;
+  const EvalStats a = EvaluateExact(policy, h, dist, serial);
+  const EvalStats b = EvaluateExact(policy, h, dist);
+  EXPECT_DOUBLE_EQ(a.expected_cost, b.expected_cost);
+  EXPECT_EQ(a.per_target_cost, b.per_target_cost);
+}
+
+TEST(EvaluateSampled, ConvergesToExact) {
+  Rng rng(4);
+  const Hierarchy h = MustBuild(RandomTree(40, rng));
+  const Distribution dist = ExponentialRandomDistribution(40, rng);
+  GreedyTreePolicy policy(h, dist);
+  const EvalStats exact = EvaluateExact(policy, h, dist);
+  Rng sample_rng(5);
+  const EvalStats sampled =
+      EvaluateSampled(policy, h, dist, 20000, sample_rng);
+  EXPECT_EQ(sampled.num_searches, 20000u);
+  EXPECT_NEAR(sampled.expected_cost, exact.expected_cost,
+              0.05 * exact.expected_cost + 0.05);
+}
+
+TEST(EvaluateExact, PricedCostUsesCostModel) {
+  const Hierarchy h = MustBuild(BuildFig3Hierarchy());
+  const Distribution equal = EqualDistribution(4);
+  const CostModel costs = Fig3CostModel();
+  CostSensitiveGreedyPolicy policy(h, equal, costs);
+  EvalOptions options;
+  options.cost_model = &costs;
+  const EvalStats stats = EvaluateExact(policy, h, equal, options);
+  EXPECT_DOUBLE_EQ(stats.expected_priced_cost, 4.25);
+}
+
+}  // namespace
+}  // namespace aigs

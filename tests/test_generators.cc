@@ -1,0 +1,90 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  for (const std::size_t n : {1u, 2u, 5u, 50u, 500u}) {
+    Rng local = rng.Fork();
+    const Digraph g = RandomTree(n, local);
+    EXPECT_EQ(g.NumNodes(), n);
+    EXPECT_EQ(g.NumEdges(), n - 1);
+    EXPECT_TRUE(g.IsTree());
+  }
+}
+
+TEST(Generators, RandomTreeRespectsMaxChildren) {
+  Rng rng(2);
+  const Digraph g = RandomTree(300, rng, /*max_children=*/3);
+  EXPECT_LE(g.MaxOutDegree(), 3u);
+}
+
+TEST(Generators, RandomTreeDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  const Digraph ga = RandomTree(100, a);
+  const Digraph gb = RandomTree(100, b);
+  for (NodeId v = 0; v < 100; ++v) {
+    const auto ca = ga.Children(v);
+    const auto cb = gb.Children(v);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i], cb[i]);
+    }
+  }
+}
+
+TEST(Generators, RandomDagHasExtraEdgesAndSingleRoot) {
+  Rng rng(3);
+  const Digraph g = RandomDag(200, rng, 0.5);
+  EXPECT_EQ(g.NumNodes(), 200u);
+  EXPECT_GT(g.NumEdges(), 199u);   // tree edges + extras
+  EXPECT_FALSE(g.IsTree());
+  EXPECT_EQ(g.InDegree(g.root()), 0u);
+}
+
+TEST(Generators, PathGraphShape) {
+  const Digraph g = PathGraph(6);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.Height(), 5);
+  EXPECT_EQ(g.MaxOutDegree(), 1u);
+}
+
+TEST(Generators, StarGraphShape) {
+  const Digraph g = StarGraph(8);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.Height(), 1);
+  EXPECT_EQ(g.MaxOutDegree(), 7u);
+}
+
+TEST(Generators, CompleteBinaryTreeShape) {
+  const Digraph g = CompleteBinaryTree(15);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.Height(), 3);
+  EXPECT_EQ(g.MaxOutDegree(), 2u);
+}
+
+TEST(Generators, DiamondChainIsMultiParentDag) {
+  const Digraph g = DiamondChain(3);
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_FALSE(g.IsTree());
+  EXPECT_EQ(g.Height(), 6);
+  // Every diamond bottom has two parents.
+  EXPECT_EQ(g.InDegree(3), 2u);
+  EXPECT_EQ(g.InDegree(6), 2u);
+  EXPECT_EQ(g.InDegree(9), 2u);
+}
+
+TEST(Generators, SingleNodeEdgeCases) {
+  EXPECT_EQ(PathGraph(1).NumNodes(), 1u);
+  EXPECT_EQ(StarGraph(1).NumNodes(), 1u);
+  EXPECT_EQ(CompleteBinaryTree(1).NumNodes(), 1u);
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,136 @@
+#include "eval/online.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aigs.h"
+#include "eval/evaluator.h"
+#include "eval/runtime_bench.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+TEST(Online, RejectsBadBlockConfiguration) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomTree(20, rng));
+  const Distribution dist = EqualDistribution(20);
+  OnlineOptions options;
+  options.num_objects = 105;
+  options.block_size = 10;  // not a divisor
+  EXPECT_FALSE(RunOnlineLearning(h, dist, options).ok());
+  options.num_objects = 0;
+  EXPECT_FALSE(RunOnlineLearning(h, dist, options).ok());
+}
+
+TEST(Online, ProducesOneEntryPerBlock) {
+  Rng rng(2);
+  const Hierarchy h = MustBuild(RandomTree(30, rng));
+  const Distribution dist = ExponentialRandomDistribution(30, rng);
+  OnlineOptions options;
+  options.num_objects = 400;
+  options.block_size = 100;
+  options.num_traces = 2;
+  auto series = RunOnlineLearning(h, dist, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->avg_cost_per_block.size(), 4u);
+  EXPECT_GT(series->overall_avg_cost, 0.0);
+}
+
+TEST(Online, LearnedCostApproachesOfflineGreedy) {
+  // With a skewed true distribution the learned policy's late blocks must
+  // get close to the offline greedy cost and beat the equal-prior start
+  // (the paper's Fig. 4 convergence claim).
+  Rng rng(3);
+  const Hierarchy h = MustBuild(RandomTree(60, rng));
+  Rng dist_rng(4);
+  const Distribution truth = ZipfRandomDistribution(60, 2.0, dist_rng);
+
+  OnlineOptions options;
+  options.num_objects = 4000;
+  options.block_size = 500;
+  options.num_traces = 3;
+  options.seed = 7;
+  auto series = RunOnlineLearning(h, truth, options);
+  ASSERT_TRUE(series.ok());
+
+  GreedyTreePolicy offline(h, truth);
+  const double offline_cost = EvaluateExact(offline, h, truth).expected_cost;
+  const double first_block = series->avg_cost_per_block.front();
+  const double last_block = series->avg_cost_per_block.back();
+  // Converging: the last block is closer to the offline optimum than the
+  // first block was (allowing sampling noise).
+  EXPECT_LT(std::abs(last_block - offline_cost),
+            std::abs(first_block - offline_cost) + 0.5);
+  // And within 25% of offline after 4k observations.
+  EXPECT_LT(last_block, offline_cost * 1.25 + 0.5);
+}
+
+TEST(Online, WorksOnDags) {
+  Rng rng(5);
+  const Hierarchy h = MustBuild(RandomDag(40, rng, 0.3));
+  Rng dist_rng(6);
+  const Distribution truth = ZipfRandomDistribution(40, 2.0, dist_rng);
+  OnlineOptions options;
+  options.num_objects = 600;
+  options.block_size = 200;
+  options.num_traces = 2;
+  auto series = RunOnlineLearning(h, truth, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->avg_cost_per_block.size(), 3u);
+}
+
+TEST(Online, DeterministicForSameSeed) {
+  Rng rng(7);
+  const Hierarchy h = MustBuild(RandomTree(25, rng));
+  Rng dist_rng(8);
+  const Distribution truth = ExponentialRandomDistribution(25, dist_rng);
+  OnlineOptions options;
+  options.num_objects = 300;
+  options.block_size = 100;
+  options.num_traces = 2;
+  options.seed = 11;
+  auto a = RunOnlineLearning(h, truth, options);
+  auto b = RunOnlineLearning(h, truth, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->avg_cost_per_block, b->avg_cost_per_block);
+}
+
+TEST(RuntimeBench, ReportsPerDepthAverages) {
+  Rng rng(9);
+  const Hierarchy h = MustBuild(RandomTree(200, rng));
+  const Distribution dist = EqualDistribution(200);
+  GreedyTreePolicy policy(h, dist);
+  RuntimeByDepthOptions options;
+  options.samples_per_depth = 3;
+  const RuntimeByDepthResult result = MeasureRuntimeByDepth(policy, h, options);
+  ASSERT_EQ(result.avg_millis.size(),
+            static_cast<std::size_t>(h.Height()) + 1);
+  EXPECT_EQ(result.nodes_at_depth[0], 1u);  // only the root at depth 0
+  std::size_t total = 0;
+  for (const std::size_t c : result.nodes_at_depth) {
+    total += c;
+  }
+  EXPECT_EQ(total, h.NumNodes());
+  for (const double ms : result.avg_millis) {
+    EXPECT_GE(ms, 0.0);
+  }
+}
+
+TEST(RuntimeBench, MaxDepthLimitsMeasurement) {
+  Rng rng(10);
+  const Hierarchy h = MustBuild(RandomTree(100, rng));
+  const Distribution dist = EqualDistribution(100);
+  GreedyTreePolicy policy(h, dist);
+  RuntimeByDepthOptions options;
+  options.samples_per_depth = 2;
+  options.max_depth = 2;
+  const RuntimeByDepthResult result = MeasureRuntimeByDepth(policy, h, options);
+  EXPECT_EQ(result.avg_millis.size(), 3u);
+}
+
+}  // namespace
+}  // namespace aigs

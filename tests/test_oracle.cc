@@ -1,0 +1,179 @@
+#include "oracle/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "data/builtin.h"
+#include "graph/generators.h"
+#include "oracle/cost_model.h"
+#include "oracle/noisy_oracle.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+TEST(ExactOracle, AnswersReachabilityTruthfully) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle oracle(h.reach(), nodes.sentra);
+  EXPECT_TRUE(oracle.Reach(nodes.vehicle));
+  EXPECT_TRUE(oracle.Reach(nodes.car));
+  EXPECT_TRUE(oracle.Reach(nodes.nissan));
+  EXPECT_TRUE(oracle.Reach(nodes.sentra));
+  EXPECT_FALSE(oracle.Reach(nodes.maxima));
+  EXPECT_FALSE(oracle.Reach(nodes.honda));
+  EXPECT_FALSE(oracle.Reach(nodes.mercedes));
+}
+
+TEST(ExactOracle, ChoiceReturnsFirstContainingOption) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle oracle(h.reach(), nodes.sentra);
+  const std::vector<NodeId> choices{nodes.honda, nodes.nissan,
+                                    nodes.mercedes};
+  EXPECT_EQ(oracle.Choice(choices), 1);
+}
+
+TEST(ExactOracle, ChoiceReturnsMinusOneWhenAbsent) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle oracle(h.reach(), nodes.vehicle);
+  const std::vector<NodeId> choices{nodes.car};
+  EXPECT_EQ(oracle.Choice(choices), -1);
+}
+
+TEST(NoisyOracle, ZeroNoiseIsTruthful) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.maxima);
+  NoisyOracle noisy(exact, 0.0, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(noisy.Reach(nodes.nissan));
+    EXPECT_FALSE(noisy.Reach(nodes.honda));
+  }
+}
+
+TEST(NoisyOracle, FlipRateMatchesParameter) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.maxima);
+  NoisyOracle noisy(exact, 0.2, Rng(2));
+  int wrong = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    wrong += noisy.Reach(nodes.nissan) ? 0 : 1;  // truth is yes
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / kTrials, 0.2, 0.02);
+}
+
+TEST(NoisyOracle, ChoiceNoiseNeverReturnsTruthWhenFlipping) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.sentra);
+  NoisyOracle noisy(exact, /*flip_prob=*/0.49, Rng(3));
+  const std::vector<NodeId> choices{nodes.honda, nodes.nissan,
+                                    nodes.mercedes};
+  // Answers are always a valid index or -1.
+  for (int i = 0; i < 2000; ++i) {
+    const int a = noisy.Choice(choices);
+    EXPECT_GE(a, -1);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(MajorityVoteOracle, ReducesErrorRate) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.maxima);
+  NoisyOracle noisy(exact, 0.2, Rng(4));
+  MajorityVoteOracle voted(noisy, 5);
+  int wrong = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    wrong += voted.Reach(nodes.nissan) ? 0 : 1;
+  }
+  // 5-vote majority with p=0.2 flips errs with probability
+  // P(Bin(5, 0.2) >= 3) ≈ 0.058 — well below the raw 0.2 flip rate.
+  EXPECT_LT(static_cast<double>(wrong) / kTrials, 0.12);
+  EXPECT_EQ(voted.votes(), 5);
+}
+
+TEST(PersistentNoisyOracle, AnswersAreStickyPerNode) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.maxima);
+  PersistentNoisyOracle sticky(exact, 0.4, Rng(9));
+  // Whatever each node's first answer is, repeats agree with it.
+  for (NodeId q = 0; q < h.NumNodes(); ++q) {
+    const bool first = sticky.Reach(q);
+    for (int repeat = 0; repeat < 20; ++repeat) {
+      EXPECT_EQ(sticky.Reach(q), first) << "node " << q;
+    }
+  }
+}
+
+TEST(PersistentNoisyOracle, FlipRateMatchesParameterAcrossNodes) {
+  // Flip decisions are per node; measure across many fresh oracles.
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.maxima);
+  int wrong = 0;
+  const int kOracles = 5000;
+  for (int i = 0; i < kOracles; ++i) {
+    PersistentNoisyOracle sticky(exact, 0.3, Rng(100 + i));
+    wrong += sticky.Reach(nodes.nissan) ? 0 : 1;  // truth is yes
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / kOracles, 0.3, 0.03);
+}
+
+TEST(PersistentNoisyOracle, MajorityVotingCannotFixIt) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  ExactOracle exact(h.reach(), nodes.maxima);
+  int wrong_voted = 0;
+  const int kOracles = 3000;
+  for (int i = 0; i < kOracles; ++i) {
+    PersistentNoisyOracle sticky(exact, 0.25, Rng(500 + i));
+    MajorityVoteOracle voted(sticky, 9);
+    wrong_voted += voted.Reach(nodes.nissan) ? 0 : 1;
+  }
+  // Nine votes of the same persistent answer change nothing: the error
+  // rate stays at the flip probability.
+  EXPECT_NEAR(static_cast<double>(wrong_voted) / kOracles, 0.25, 0.03);
+}
+
+TEST(CostModel, UnitModel) {
+  const CostModel m = CostModel::Unit(5);
+  EXPECT_TRUE(m.IsUnit());
+  EXPECT_EQ(m.CostOf(3), 1u);
+}
+
+TEST(CostModel, ExplicitPrices) {
+  const CostModel m({1, 2, 5});
+  EXPECT_FALSE(m.IsUnit());
+  EXPECT_EQ(m.CostOf(2), 5u);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(CostModel, UniformRandomWithinRange) {
+  Rng rng(5);
+  const CostModel m = CostModel::UniformRandom(200, 2, 9, rng);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_GE(m.CostOf(v), 2u);
+    EXPECT_LE(m.CostOf(v), 9u);
+  }
+}
+
+TEST(CostModel, Fig3Prices) {
+  const CostModel m = Fig3CostModel();
+  EXPECT_EQ(m.CostOf(0), 1u);
+  EXPECT_EQ(m.CostOf(1), 1u);
+  EXPECT_EQ(m.CostOf(2), 5u);
+  EXPECT_EQ(m.CostOf(3), 1u);
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,283 @@
+// Reproduces the paper's worked examples exactly:
+//  * Example 1 — TopDown narration on the vehicle hierarchy;
+//  * Example 2 — worst-case-optimal policy total 260 vs average-aware 204;
+//  * Example 3 — greedy expected cost 3 on Fig. 2 under equal weights;
+//  * Example 4 — cost-sensitive greedy 4.25 vs cost-blind 6 on Fig. 3.
+#include <gtest/gtest.h>
+
+#include "baselines/migs.h"
+#include "baselines/top_down.h"
+#include "baselines/wigs.h"
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "eval/decision_tree.h"
+#include "eval/runner.h"
+#include "eval/scripted_policy.h"
+#include "tests/test_support.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+using testing::RunAllTargets;
+using testing::WeightedAverage;
+
+class VehicleTest : public ::testing::Test {
+ protected:
+  VehicleTest()
+      : hierarchy_(MustBuild(BuildVehicleHierarchy(&nodes_))),
+        dist_(VehicleDistribution()) {}
+
+  VehicleNodes nodes_;
+  Hierarchy hierarchy_;
+  Distribution dist_;
+};
+
+TEST_F(VehicleTest, Example1TopDownNarration) {
+  // "TopDown asks car? yes, Nissan? yes, Maxima? no, Sentra? yes" — 4
+  // queries to label a Sentra.
+  TopDownPolicy policy(hierarchy_);
+  ExactOracle oracle(hierarchy_.reach(), nodes_.sentra);
+  auto session = policy.NewSession();
+
+  std::vector<NodeId> asked;
+  for (;;) {
+    const Query q = session->Next();
+    if (q.kind == Query::Kind::kDone) {
+      EXPECT_EQ(q.node, nodes_.sentra);
+      break;
+    }
+    ASSERT_EQ(q.kind, Query::Kind::kReach);
+    asked.push_back(q.node);
+    session->OnReach(q.node, oracle.Reach(q.node));
+  }
+  EXPECT_EQ(asked, (std::vector<NodeId>{nodes_.car, nodes_.nissan,
+                                        nodes_.maxima, nodes_.sentra}));
+}
+
+TEST_F(VehicleTest, Example2WorstCaseOptimalPolicyCosts260) {
+  // Queries Nissan; on yes Maxima/Sentra; on no Car, Honda, Mercedes.
+  const ScriptedPolicy policy(
+      hierarchy_,
+      {nodes_.nissan, nodes_.maxima, nodes_.sentra, nodes_.car, nodes_.honda,
+       nodes_.mercedes},
+      "WIGS-optimal");
+  const auto costs = RunAllTargets(policy, hierarchy_);
+  // Per-target query counts from the paper: Vehicle 2, Car 4, Honda 3,
+  // Nissan 3, Mercedes 4, Maxima 2, Sentra 3.
+  EXPECT_EQ(costs[nodes_.vehicle], 2u);
+  EXPECT_EQ(costs[nodes_.car], 4u);
+  EXPECT_EQ(costs[nodes_.honda], 3u);
+  EXPECT_EQ(costs[nodes_.nissan], 3u);
+  EXPECT_EQ(costs[nodes_.mercedes], 4u);
+  EXPECT_EQ(costs[nodes_.maxima], 2u);
+  EXPECT_EQ(costs[nodes_.sentra], 3u);
+  // Total over 100 objects distributed per Fig. 1 = 260.
+  double total = 0;
+  for (NodeId v = 0; v < hierarchy_.NumNodes(); ++v) {
+    total += static_cast<double>(dist_.WeightOf(v) * costs[v]);
+  }
+  EXPECT_DOUBLE_EQ(total, 260.0);
+  // Worst case is 4 — the WIGS optimum for this hierarchy.
+  EXPECT_EQ(*std::max_element(costs.begin(), costs.end()), 4u);
+}
+
+TEST_F(VehicleTest, Example2AverageAwarePolicyCosts204) {
+  const ScriptedPolicy policy(
+      hierarchy_,
+      {nodes_.maxima, nodes_.sentra, nodes_.nissan, nodes_.car, nodes_.honda,
+       nodes_.mercedes},
+      "average-aware");
+  const auto costs = RunAllTargets(policy, hierarchy_);
+  EXPECT_EQ(costs[nodes_.vehicle], 4u);
+  EXPECT_EQ(costs[nodes_.car], 6u);
+  EXPECT_EQ(costs[nodes_.honda], 5u);
+  EXPECT_EQ(costs[nodes_.nissan], 3u);
+  EXPECT_EQ(costs[nodes_.mercedes], 6u);
+  EXPECT_EQ(costs[nodes_.maxima], 1u);
+  EXPECT_EQ(costs[nodes_.sentra], 2u);
+  double total = 0;
+  for (NodeId v = 0; v < hierarchy_.NumNodes(); ++v) {
+    total += static_cast<double>(dist_.WeightOf(v) * costs[v]);
+  }
+  EXPECT_DOUBLE_EQ(total, 204.0);
+  // Average 2.04 beats the worst-case-optimal policy's 2.60 (Example 2's
+  // point: worst-case 6 > 4, average 2.04 < 2.60).
+  EXPECT_DOUBLE_EQ(WeightedAverage(costs, dist_), 2.04);
+  EXPECT_EQ(*std::max_element(costs.begin(), costs.end()), 6u);
+}
+
+TEST_F(VehicleTest, GreedyBeatsTopDownOnSkewedVehicles) {
+  GreedyTreePolicy greedy(hierarchy_, dist_);
+  TopDownPolicy top_down(hierarchy_);
+  const double greedy_cost =
+      WeightedAverage(RunAllTargets(greedy, hierarchy_), dist_);
+  const double top_down_cost =
+      WeightedAverage(RunAllTargets(top_down, hierarchy_), dist_);
+  EXPECT_LT(greedy_cost, top_down_cost);
+  // Greedy queries Maxima or Sentra first (40% each), so 80% of objects
+  // resolve within two questions; expected cost must be close to 2.
+  EXPECT_LE(greedy_cost, 2.3);
+}
+
+TEST(Example3, GreedyCostIsThreeOnFig2EqualWeights) {
+  const Hierarchy h = MustBuild(BuildFig2Hierarchy());
+  const Distribution equal = EqualDistribution(h.NumNodes());
+
+  GreedyTreePolicy greedy_tree(h, equal);
+  EXPECT_DOUBLE_EQ(
+      WeightedAverage(RunAllTargets(greedy_tree, h), equal), 3.0);
+
+  GreedyNaivePolicy greedy_naive(h, equal);
+  EXPECT_DOUBLE_EQ(
+      WeightedAverage(RunAllTargets(greedy_naive, h), equal), 3.0);
+
+  GreedyDagPolicy greedy_dag(h, equal);
+  EXPECT_DOUBLE_EQ(
+      WeightedAverage(RunAllTargets(greedy_dag, h), equal), 3.0);
+}
+
+TEST(Example3, DecisionTreeMatchesDefinition7) {
+  const Hierarchy h = MustBuild(BuildFig2Hierarchy());
+  const Distribution equal = EqualDistribution(h.NumNodes());
+  GreedyTreePolicy greedy(h, equal);
+  auto tree = DecisionTree::Build(greedy, h);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->NumLeaves(), 7u);
+  EXPECT_DOUBLE_EQ(tree->ExpectedCost(equal), 3.0);
+  // First query of the greedy policy on Fig. 2 is node "3" (id 2).
+  EXPECT_EQ(tree->nodes()[0].hierarchy_node, 2u);
+}
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  Fig3Test()
+      : hierarchy_(MustBuild(BuildFig3Hierarchy())),
+        equal_(EqualDistribution(4)),
+        costs_(Fig3CostModel()) {}
+
+  Hierarchy hierarchy_;
+  Distribution equal_;
+  CostModel costs_;
+};
+
+TEST_F(Fig3Test, CostBlindGreedyPays6) {
+  // Fig. 3(b): plain greedy asks node 3 (price 5) first; expected priced
+  // cost = 5 + 1·0.5 + 1·0.5 = 6.
+  GreedyTreePolicy greedy(hierarchy_, equal_);
+  auto tree = DecisionTree::Build(greedy, hierarchy_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->nodes()[0].hierarchy_node, 2u);  // node "3"
+  EXPECT_DOUBLE_EQ(tree->ExpectedPricedCost(equal_, costs_), 6.0);
+  EXPECT_DOUBLE_EQ(tree->ExpectedCost(equal_), 2.0);
+}
+
+TEST_F(Fig3Test, CostSensitiveGreedyPays425) {
+  // Fig. 3(c): cost-sensitive greedy avoids the expensive node 3
+  // (0.25·0.75/1 = 0.1875 for nodes 2 and 4 beats 0.5·0.5/5 = 0.05);
+  // expected priced cost = 1 + 1·0.75 + 5·0.5 = 4.25. The paper's figure
+  // opens with node 4; node 2 ties at the same score and yields the same
+  // expected cost, so any tie-break except node 3 is valid.
+  CostSensitiveGreedyPolicy policy(hierarchy_, equal_, costs_);
+  auto tree = DecisionTree::Build(policy, hierarchy_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NE(tree->nodes()[0].hierarchy_node, 2u);  // never the $5 node "3"
+  EXPECT_DOUBLE_EQ(tree->ExpectedPricedCost(equal_, costs_), 4.25);
+}
+
+TEST_F(Fig3Test, RunnerPricedCostMatchesDecisionTree) {
+  CostSensitiveGreedyPolicy policy(hierarchy_, equal_, costs_);
+  RunOptions options;
+  options.cost_model = &costs_;
+  long double total = 0;
+  for (NodeId target = 0; target < 4; ++target) {
+    ExactOracle oracle(hierarchy_.reach(), target);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle, options);
+    EXPECT_EQ(r.target, target);
+    total += static_cast<long double>(r.priced_cost) * 0.25L;
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(total), 4.25);
+}
+
+TEST_F(Fig3Test, UnitPricesDegradeToPlainGreedy) {
+  // With unit prices the cost-sensitive middle point coincides with the
+  // plain middle point (Definition 9 generalizes Definition 4).
+  const CostModel unit = CostModel::Unit(4);
+  CostSensitiveGreedyPolicy cost_sensitive(hierarchy_, equal_, unit);
+  GreedyNaivePolicy plain(hierarchy_, equal_,
+                          GreedyNaiveOptions{.use_rounded_weights = true});
+  const auto a = RunAllTargets(cost_sensitive, hierarchy_);
+  const auto b = RunAllTargets(plain, hierarchy_);
+  EXPECT_DOUBLE_EQ(WeightedAverage(a, equal_), WeightedAverage(b, equal_));
+}
+
+TEST(MigsExample, ChoiceCostsCountChoicesRead) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  MigsPolicy migs(h);
+  ExactOracle oracle(h.reach(), nodes.sentra);
+  auto session = migs.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.target, nodes.sentra);
+  // Every presented choice is read (§V-A): {Car} = 1, then
+  // {Nissan, Honda, Mercedes} = 3, then {Maxima, Sentra} = 2.
+  EXPECT_EQ(r.choices_read, 1u + 3u + 2u);
+  EXPECT_EQ(r.choice_queries, 3u);
+  EXPECT_EQ(r.reach_queries, 0u);
+}
+
+TEST(MigsExample, NoneOfTheseFallsBackToCurrentNode) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  MigsPolicy migs(h);
+  ExactOracle oracle(h.reach(), nodes.car);  // internal target
+  auto session = migs.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.target, nodes.car);
+  // {Car} read (1), then all of {Nissan, Honda, Mercedes} answered "none
+  // of these" (3).
+  EXPECT_EQ(r.choices_read, 1u + 3u);
+}
+
+TEST(MigsExample, BatchingBoundsQuestionLength) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  MigsPolicy migs(h, MigsOptions{.max_choices_per_question = 2});
+  ExactOracle oracle(h.reach(), nodes.mercedes);
+  auto session = migs.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.target, nodes.mercedes);
+  // {Car} = 1; {Nissan, Honda} none-of-these = 2; {Mercedes} = 1.
+  EXPECT_EQ(r.choices_read, 1u + 2u + 1u);
+  EXPECT_EQ(r.choice_queries, 3u);
+}
+
+TEST(MigsExample, LikelihoodOrderingPutsPopularChoicesFirst) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  const Distribution dist = VehicleDistribution();
+  MigsPolicy migs(h, dist, MigsOptions{.max_choices_per_question = 1});
+  // Nissan's subtree carries 88% of the mass, so it is presented before
+  // Honda and Mercedes: a Maxima object reads Car, Nissan, Maxima = 3.
+  ExactOracle oracle(h.reach(), nodes.maxima);
+  auto session = migs.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.target, nodes.maxima);
+  EXPECT_EQ(r.choices_read, 3u);
+}
+
+TEST(MigsExample, BatchedChoicesSplitQuestions) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  MigsPolicy migs(h, MigsOptions{.max_choices_per_question = 1});
+  ExactOracle oracle(h.reach(), nodes.mercedes);
+  auto session = migs.NewSession();
+  const SearchResult r = RunSearch(*session, oracle);
+  EXPECT_EQ(r.target, nodes.mercedes);
+  // Singleton batches degrade MIGS to TopDown: Car, Nissan, Honda, Mercedes.
+  EXPECT_EQ(r.choices_read, 4u);
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,127 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace aigs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntWithinBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng rng(6);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++hits[static_cast<std::size_t>(rng.UniformInt(10))];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 1500);  // expected 2000 each; generous slack
+    EXPECT_LT(h, 2500);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveEndpoints) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.UniformIntInclusive(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.UniformReal();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  double sum = 0;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);  // mean = 1/rate
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    heads += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / 20000, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // probability of identity is ~1/50!
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(14);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += parent.Next() == child.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace aigs

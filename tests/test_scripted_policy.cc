@@ -1,0 +1,92 @@
+#include "eval/scripted_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/builtin.h"
+#include "eval/runner.h"
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+using testing::RunAllTargets;
+
+TEST(ScriptedPolicy, FollowsScriptOrder) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  const ScriptedPolicy policy(
+      h, {nodes.car, nodes.nissan, nodes.maxima, nodes.sentra, nodes.honda,
+          nodes.mercedes});
+  ExactOracle oracle(h.reach(), nodes.honda);
+  auto session = policy.NewSession();
+  std::vector<NodeId> asked;
+  for (;;) {
+    const Query q = session->Next();
+    if (q.kind == Query::Kind::kDone) {
+      EXPECT_EQ(q.node, nodes.honda);
+      break;
+    }
+    asked.push_back(q.node);
+    session->OnReach(q.node, oracle.Reach(q.node));
+  }
+  // Car yes; Nissan no; Maxima/Sentra skipped (already excluded);
+  // Honda yes — done: candidates = {Honda}.
+  EXPECT_EQ(asked, (std::vector<NodeId>{nodes.car, nodes.nissan,
+                                        nodes.honda}));
+}
+
+TEST(ScriptedPolicy, SkipsQuestionsWithKnownAnswers) {
+  // Path 0 -> 1 -> 2 -> 3; script asks node 1 twice in a row — the second
+  // occurrence is uninformative and must be skipped, as must node 2 after a
+  // no-answer to it already excluded 3.
+  const Hierarchy h = MustBuild(PathGraph(4));
+  const ScriptedPolicy policy(h, {1, 1, 2, 2, 3, 1});
+  ExactOracle oracle(h.reach(), 1);
+  auto session = policy.NewSession();
+  std::size_t questions = 0;
+  for (;;) {
+    const Query q = session->Next();
+    if (q.kind == Query::Kind::kDone) {
+      EXPECT_EQ(q.node, 1u);
+      break;
+    }
+    ++questions;
+    session->OnReach(q.node, oracle.Reach(q.node));
+  }
+  // Asked: 1 (yes), 2 (no); candidates = {1}; 2, 3 and the repeat of 1 are
+  // all skipped.
+  EXPECT_EQ(questions, 2u);
+}
+
+TEST(ScriptedPolicy, IdentifiesAllTargetsWithCompleteScript) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomDag(25, rng, 0.4));
+  // Scripting every node (here in reverse topological order) always pins
+  // down the target: any two candidates are separated by asking either one.
+  std::vector<NodeId> script(h.graph().TopologicalOrder().rbegin(),
+                             h.graph().TopologicalOrder().rend());
+  const ScriptedPolicy policy(h, script);
+  RunAllTargets(policy, h);  // fatally checks identification
+}
+
+TEST(ScriptedPolicy, Example2ScriptsAreExactlyReproducible) {
+  VehicleNodes nodes;
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy(&nodes));
+  const Distribution dist = VehicleDistribution();
+  const ScriptedPolicy wigs_like(
+      h, {nodes.nissan, nodes.maxima, nodes.sentra, nodes.car, nodes.honda,
+          nodes.mercedes});
+  const auto costs = RunAllTargets(wigs_like, h);
+  double total = 0;
+  for (NodeId v = 0; v < h.NumNodes(); ++v) {
+    total += static_cast<double>(dist.WeightOf(v) * costs[v]);
+  }
+  EXPECT_DOUBLE_EQ(total, 260.0);
+}
+
+}  // namespace
+}  // namespace aigs

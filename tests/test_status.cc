@@ -1,0 +1,103 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace aigs {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  *v = 43;
+  EXPECT_EQ(v.value(), 43);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  const std::string s = *std::move(v);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+namespace {
+Status FailWhenNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::OK();
+}
+
+Status Propagates(int x) {
+  AIGS_RETURN_NOT_OK(FailWhenNegative(x));
+  return Status::OK();
+}
+
+StatusOr<int> Doubled(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return 2 * x;
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  AIGS_ASSIGN_OR_RETURN(const int doubled, Doubled(x));
+  return doubled + 1;
+}
+}  // namespace
+
+TEST(StatusMacros, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_EQ(Propagates(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacros, AssignOrReturn) {
+  auto ok = UsesAssignOrReturn(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_FALSE(UsesAssignOrReturn(-1).ok());
+}
+
+}  // namespace
+}  // namespace aigs

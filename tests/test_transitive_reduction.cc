@@ -1,0 +1,106 @@
+#include "graph/transitive_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+TEST(TransitiveReduction, RemovesShortcutEdge) {
+  // 0 -> 1 -> 2 plus the shortcut 0 -> 2.
+  Digraph g;
+  g.AddNodes(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  ASSERT_TRUE(g.Finalize().ok());
+  auto reduced = TransitiveReduction(g);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->removed_edges, 1u);
+  EXPECT_EQ(reduced->graph.NumEdges(), 2u);
+  EXPECT_TRUE(reduced->graph.IsTree());
+}
+
+TEST(TransitiveReduction, TreeIsAlreadyReduced) {
+  Rng rng(1);
+  const Digraph g = RandomTree(60, rng);
+  auto reduced = TransitiveReduction(g);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->removed_edges, 0u);
+  EXPECT_EQ(reduced->graph.NumEdges(), g.NumEdges());
+}
+
+TEST(TransitiveReduction, DiamondIsKept) {
+  // Diamonds have no redundant edges: both parents are needed.
+  const Digraph g = DiamondChain(3);
+  auto reduced = TransitiveReduction(g);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->removed_edges, 0u);
+}
+
+TEST(TransitiveReduction, PreservesReachability) {
+  Rng rng(2);
+  for (int round = 0; round < 10; ++round) {
+    const Digraph g = RandomDag(50, rng, 0.8);
+    auto reduced = TransitiveReduction(g);
+    ASSERT_TRUE(reduced.ok());
+    const ReachabilityIndex before(g);
+    const ReachabilityIndex after(reduced->graph);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        ASSERT_EQ(before.Reaches(u, v), after.Reaches(u, v))
+            << u << " -> " << v;
+      }
+    }
+  }
+}
+
+TEST(TransitiveReduction, Idempotent) {
+  Rng rng(3);
+  const Digraph g = RandomDag(40, rng, 0.6);
+  auto once = TransitiveReduction(g);
+  ASSERT_TRUE(once.ok());
+  auto twice = TransitiveReduction(once->graph);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->removed_edges, 0u);
+  EXPECT_EQ(twice->graph.NumEdges(), once->graph.NumEdges());
+}
+
+TEST(TransitiveReduction, PreservesLabelsAndIds) {
+  Digraph g;
+  g.AddNode("root");
+  g.AddNode("mid");
+  g.AddNode("leaf");
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  ASSERT_TRUE(g.Finalize().ok());
+  auto reduced = TransitiveReduction(g);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->graph.Label(0), "root");
+  EXPECT_EQ(reduced->graph.Label(1), "mid");
+  EXPECT_EQ(reduced->graph.Label(2), "leaf");
+}
+
+TEST(TransitiveReduction, RemovesManyEdgesFromDenseDag) {
+  // Total order 0 < 1 < ... < 9 with every forward edge: the reduction is
+  // the chain.
+  Digraph g;
+  g.AddNodes(10);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) {
+      g.AddEdge(u, v);
+    }
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+  auto reduced = TransitiveReduction(g);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->graph.NumEdges(), 9u);
+  EXPECT_EQ(reduced->removed_edges, 45u - 9u);
+}
+
+}  // namespace
+}  // namespace aigs

@@ -1,0 +1,169 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tree/subtree_weights.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+TEST(Tree, RejectsNonTree) {
+  Digraph g;
+  g.AddNodes(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_FALSE(Tree::Build(g).ok());
+}
+
+TEST(Tree, ParentPointers) {
+  Rng rng(1);
+  const Digraph g = RandomTree(50, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Parent(tree->root()), kInvalidNode);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const NodeId c : g.Children(u)) {
+      EXPECT_EQ(tree->Parent(c), u);
+    }
+  }
+}
+
+TEST(Tree, SubtreeMembershipMatchesParentChains) {
+  Rng rng(2);
+  const Digraph g = RandomTree(60, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  for (NodeId anc = 0; anc < g.NumNodes(); ++anc) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      bool expected = false;
+      for (NodeId x = v; x != kInvalidNode; x = tree->Parent(x)) {
+        if (x == anc) {
+          expected = true;
+          break;
+        }
+      }
+      EXPECT_EQ(tree->InSubtree(anc, v), expected) << anc << " " << v;
+    }
+  }
+}
+
+TEST(Tree, SubtreeSizesSumCorrectly) {
+  Rng rng(3);
+  const Digraph g = RandomTree(80, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->SubtreeSize(tree->root()), 80u);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    std::size_t expected = 1;
+    for (const NodeId c : tree->Children(v)) {
+      expected += tree->SubtreeSize(c);
+    }
+    EXPECT_EQ(tree->SubtreeSize(v), expected);
+  }
+}
+
+TEST(Tree, PreorderIsSubtreeContiguous) {
+  Rng rng(4);
+  const Digraph g = RandomTree(40, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(tree->NodeAtPreorder(tree->PreorderIndex(v)), v);
+  }
+}
+
+TEST(Tree, LcaBasics) {
+  // Hand-built:      0
+  //                 / \.
+  //                1   2
+  //               / \   \.
+  //              3   4   5
+  Digraph g;
+  g.AddNodes(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 5);
+  ASSERT_TRUE(g.Finalize().ok());
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Lca(3, 4), 1u);
+  EXPECT_EQ(tree->Lca(3, 5), 0u);
+  EXPECT_EQ(tree->Lca(1, 3), 1u);
+  EXPECT_EQ(tree->Lca(2, 2), 2u);
+  EXPECT_EQ(tree->Lca(4, 2), 0u);
+}
+
+TEST(Tree, LcaMatchesBruteForceOnRandomTrees) {
+  Rng rng(5);
+  const Digraph g = RandomTree(70, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  auto brute_lca = [&](NodeId u, NodeId v) {
+    // Walk u's ancestor chain into a set, then walk v upward.
+    std::vector<bool> is_ancestor(g.NumNodes(), false);
+    for (NodeId x = u; x != kInvalidNode; x = tree->Parent(x)) {
+      is_ancestor[x] = true;
+    }
+    for (NodeId x = v; x != kInvalidNode; x = tree->Parent(x)) {
+      if (is_ancestor[x]) {
+        return x;
+      }
+    }
+    return kInvalidNode;
+  };
+  Rng pick(6);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId u = static_cast<NodeId>(pick.UniformInt(g.NumNodes()));
+    const NodeId v = static_cast<NodeId>(pick.UniformInt(g.NumNodes()));
+    EXPECT_EQ(tree->Lca(u, v), brute_lca(u, v)) << u << " " << v;
+  }
+}
+
+TEST(Tree, DeepChainNoStackOverflow) {
+  const Digraph g = PathGraph(100000);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->SubtreeSize(0), 100000u);
+  EXPECT_EQ(tree->Depth(99999), 99999);
+}
+
+TEST(SubtreeWeights, MatchesBruteForce) {
+  Rng rng(7);
+  const Digraph g = RandomTree(60, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  std::vector<Weight> weights(g.NumNodes());
+  for (auto& w : weights) {
+    w = rng.UniformInt(50);
+  }
+  const auto subtree = ComputeSubtreeWeights(*tree, weights);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    Weight expected = 0;
+    for (NodeId x = 0; x < g.NumNodes(); ++x) {
+      if (tree->InSubtree(v, x)) {
+        expected += weights[x];
+      }
+    }
+    EXPECT_EQ(subtree[v], expected);
+  }
+}
+
+TEST(SubtreeWeights, SizesMatchTreeIndex) {
+  Rng rng(8);
+  const Digraph g = RandomTree(45, rng);
+  auto tree = Tree::Build(g);
+  ASSERT_TRUE(tree.ok());
+  const auto sizes = ComputeSubtreeSizes(*tree);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(sizes[v], tree->SubtreeSize(v));
+  }
+}
+
+}  // namespace
+}  // namespace aigs

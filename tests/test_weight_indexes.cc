@@ -1,0 +1,295 @@
+// Consistency of the incremental weight indexes (session overlays) against
+// from-scratch recomputation — the key engineering invariant behind the
+// efficient policies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hierarchy.h"
+#include "core/middle_point.h"
+#include "core/reach_weight_index.h"
+#include "core/tree_weight_index.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+std::vector<Weight> RandomWeights(std::size_t n, Rng& rng,
+                                  Weight max_value = 1000) {
+  std::vector<Weight> w(n);
+  for (auto& x : w) {
+    x = rng.UniformInt(max_value + 1);
+  }
+  return w;
+}
+
+// ---- TreeWeightBase ---------------------------------------------------------
+
+TEST(TreeWeightBase, SubtreeWeightsMatchDefinition) {
+  Rng rng(1);
+  const Hierarchy h = MustBuild(RandomTree(50, rng));
+  const auto weights = RandomWeights(50, rng);
+  const TreeWeightBase base(h.tree(), weights);
+  EXPECT_EQ(base.Total(), h.reach().WeightOfReachableSet(h.root(), weights));
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(base.SubtreeWeight(v),
+              h.reach().WeightOfReachableSet(v, weights));
+    EXPECT_EQ(base.SubtreeSize(v), h.tree().SubtreeSize(v));
+  }
+}
+
+TEST(TreeWeightBase, AddWeightUpdatesAncestorsOnly) {
+  Rng rng(2);
+  const Hierarchy h = MustBuild(RandomTree(40, rng));
+  auto weights = RandomWeights(40, rng);
+  TreeWeightBase base(h.tree(), weights);
+  const NodeId v = 23;
+  base.AddWeight(v, 7);
+  weights[v] += 7;
+  const TreeWeightBase fresh(h.tree(), weights);
+  for (NodeId x = 0; x < 40; ++x) {
+    EXPECT_EQ(base.SubtreeWeight(x), fresh.SubtreeWeight(x)) << x;
+    EXPECT_EQ(base.NodeWeight(x), fresh.NodeWeight(x)) << x;
+  }
+}
+
+TEST(TreeSearchState, OverlayMatchesScratchRecomputation) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const Hierarchy h = MustBuild(RandomTree(30, rng));
+    const auto weights = RandomWeights(30, rng);
+    const TreeWeightBase base(h.tree(), weights);
+    TreeSearchState state(base);
+
+    // Mirror of candidate membership.
+    std::set<NodeId> alive;
+    for (NodeId v = 0; v < 30; ++v) {
+      alive.insert(v);
+    }
+    Rng steps(rng.Next());
+    for (int step = 0; step < 10 && alive.size() > 1; ++step) {
+      // Pick a random alive descendant of the current root, not the root.
+      std::vector<NodeId> options;
+      for (const NodeId v : alive) {
+        if (v != state.root()) {
+          options.push_back(v);
+        }
+      }
+      const NodeId q =
+          options[static_cast<std::size_t>(steps.UniformInt(options.size()))];
+      if (steps.Bernoulli(0.5)) {
+        state.ApplyYes(q);
+        std::set<NodeId> next;
+        for (const NodeId v : alive) {
+          if (h.tree().InSubtree(q, v)) {
+            next.insert(v);
+          }
+        }
+        alive = std::move(next);
+      } else {
+        state.ApplyNo(q);
+        for (auto it = alive.begin(); it != alive.end();) {
+          it = h.tree().InSubtree(q, *it) ? alive.erase(it) : std::next(it);
+        }
+      }
+      // Session subtree weight/size must equal the sum over alive nodes,
+      // for every node in the current root's alive subtree.
+      for (const NodeId v : alive) {
+        Weight expected_w = 0;
+        std::uint32_t expected_s = 0;
+        for (const NodeId x : alive) {
+          if (h.tree().InSubtree(v, x)) {
+            expected_w += weights[x];
+            ++expected_s;
+          }
+        }
+        ASSERT_EQ(state.SubtreeWeight(v), expected_w) << "node " << v;
+        ASSERT_EQ(state.SubtreeSize(v), expected_s) << "node " << v;
+      }
+      ASSERT_EQ(state.CandidateCount(), alive.size());
+    }
+  }
+}
+
+// ---- ReachWeightBase / DagSearchState ----------------------------------------
+
+TEST(ReachWeightBase, MatchesReachabilityIndex) {
+  Rng rng(4);
+  const Hierarchy h = MustBuild(RandomDag(40, rng, 0.5));
+  const auto weights = RandomWeights(40, rng);
+  const ReachWeightBase base(h, weights);
+  for (NodeId v = 0; v < 40; ++v) {
+    EXPECT_EQ(base.ReachWeight(v),
+              h.reach().WeightOfReachableSet(v, weights));
+  }
+  EXPECT_EQ(base.Total(), base.ReachWeight(h.root()));
+}
+
+TEST(ReachWeightBase, AddWeightMatchesRecomputation) {
+  Rng rng(5);
+  const Hierarchy h = MustBuild(RandomDag(35, rng, 0.6));
+  auto weights = RandomWeights(35, rng);
+  ReachWeightBase base(h, weights);
+  for (const NodeId v : {NodeId{3}, NodeId{17}, NodeId{34}}) {
+    base.AddWeight(v, 11);
+    weights[v] += 11;
+  }
+  const ReachWeightBase fresh(h, weights);
+  for (NodeId v = 0; v < 35; ++v) {
+    EXPECT_EQ(base.ReachWeight(v), fresh.ReachWeight(v)) << v;
+  }
+}
+
+TEST(DagSearchState, OverlayMatchesScratchRecomputation) {
+  Rng rng(6);
+  for (int round = 0; round < 20; ++round) {
+    const Hierarchy h = MustBuild(RandomDag(25, rng, 0.5));
+    const std::size_t n = h.NumNodes();
+    const auto weights = RandomWeights(n, rng);
+    const ReachWeightBase base(h, weights);
+    DagSearchState state(base);
+
+    std::set<NodeId> alive;
+    for (NodeId v = 0; v < n; ++v) {
+      alive.insert(v);
+    }
+    Rng steps(rng.Next());
+    for (int step = 0; step < 10 && alive.size() > 1; ++step) {
+      std::vector<NodeId> options;
+      for (const NodeId v : alive) {
+        if (v != state.root()) {
+          options.push_back(v);
+        }
+      }
+      const NodeId q =
+          options[static_cast<std::size_t>(steps.UniformInt(options.size()))];
+      if (steps.Bernoulli(0.5)) {
+        state.ApplyYes(q);
+        std::set<NodeId> next;
+        for (const NodeId v : alive) {
+          if (h.reach().Reaches(q, v)) {
+            next.insert(v);
+          }
+        }
+        alive = std::move(next);
+      } else {
+        state.ApplyNo(q);
+        for (auto it = alive.begin(); it != alive.end();) {
+          it = h.reach().Reaches(q, *it) ? alive.erase(it) : std::next(it);
+        }
+      }
+      // Session reach weights must equal Σ weights over R(v) ∩ alive.
+      Weight expected_total = 0;
+      for (const NodeId x : alive) {
+        expected_total += weights[x];
+      }
+      ASSERT_EQ(state.TotalAlive(), expected_total);
+      ASSERT_EQ(state.AliveCount(), alive.size());
+      for (const NodeId v : alive) {
+        Weight expected = 0;
+        for (const NodeId x : alive) {
+          if (h.reach().Reaches(v, x)) {
+            expected += weights[x];
+          }
+        }
+        ASSERT_EQ(state.ReachWeight(v), expected)
+            << "round " << round << " node " << v;
+      }
+    }
+  }
+}
+
+// ---- Differential: the two session kinds must agree on trees ----------------
+
+TEST(SessionDifferential, TreeAndDagStatesAgreeOnTrees) {
+  // A tree is a DAG: for identical operation sequences, TreeSearchState's
+  // subtree weights and DagSearchState's reach weights must match exactly.
+  Rng rng(21);
+  for (int round = 0; round < 15; ++round) {
+    const Hierarchy h = MustBuild(RandomTree(2 + rng.UniformInt(40), rng));
+    const std::size_t n = h.NumNodes();
+    const auto weights = RandomWeights(n, rng);
+    const TreeWeightBase tree_base(h.tree(), weights);
+    const ReachWeightBase dag_base(h, weights);
+    TreeSearchState tree_state(tree_base);
+    DagSearchState dag_state(dag_base);
+
+    Rng steps(rng.Next());
+    while (dag_state.AliveCount() > 1) {
+      // Pick any alive non-root node; both states see the same candidates.
+      std::vector<NodeId> options;
+      dag_state.candidates().bits().ForEachSetBit([&](std::size_t raw) {
+        if (static_cast<NodeId>(raw) != dag_state.root()) {
+          options.push_back(static_cast<NodeId>(raw));
+        }
+      });
+      const NodeId q =
+          options[static_cast<std::size_t>(steps.UniformInt(options.size()))];
+      if (steps.Bernoulli(0.5)) {
+        tree_state.ApplyYes(q);
+        dag_state.ApplyYes(q);
+      } else {
+        tree_state.ApplyNo(q);
+        dag_state.ApplyNo(q);
+      }
+      ASSERT_EQ(tree_state.root(), dag_state.root());
+      ASSERT_EQ(tree_state.CandidateCount(), dag_state.AliveCount());
+      ASSERT_EQ(tree_state.SubtreeWeight(tree_state.root()),
+                dag_state.TotalAlive());
+      dag_state.candidates().bits().ForEachSetBit([&](std::size_t raw) {
+        const NodeId v = static_cast<NodeId>(raw);
+        ASSERT_EQ(tree_state.SubtreeWeight(v), dag_state.ReachWeight(v))
+            << "node " << v;
+      });
+      if (steps.UniformInt(4) == 0) {
+        break;  // vary sequence lengths
+      }
+    }
+  }
+}
+
+// ---- Naive middle point -------------------------------------------------------
+
+TEST(MiddlePoint, NaiveScanFindsDefinitionalArgmin) {
+  Rng rng(7);
+  const Hierarchy h = MustBuild(RandomDag(30, rng, 0.4));
+  const auto weights = RandomWeights(30, rng, 100);
+  CandidateSet candidates(h.graph());
+  Weight total = 0;
+  for (const Weight w : weights) {
+    total += w;
+  }
+  const MiddlePoint mp =
+      FindMiddlePointNaive(h.graph(), candidates, h.root(), weights, total);
+  ASSERT_NE(mp.node, kInvalidNode);
+  // No other non-root candidate does strictly better.
+  for (NodeId v = 0; v < h.NumNodes(); ++v) {
+    if (v == h.root()) {
+      continue;
+    }
+    const Weight reach = h.reach().WeightOfReachableSet(v, weights);
+    const Weight twice = 2 * reach;
+    const Weight diff = twice > total ? twice - total : total - twice;
+    EXPECT_GE(diff, mp.split_diff);
+  }
+}
+
+TEST(MiddlePoint, GetReachableSetWeightHonorsCandidates) {
+  // Chain 0 -> 1 -> 2; removing node 2 shrinks node 1's reach weight.
+  const Hierarchy h = MustBuild(PathGraph(3));
+  const std::vector<Weight> weights{1, 2, 4};
+  CandidateSet candidates(h.graph());
+  BfsScratch scratch(3);
+  EXPECT_EQ(
+      GetReachableSetWeight(h.graph(), candidates, 1, weights, scratch), 6u);
+  candidates.RemoveReachable(2);
+  EXPECT_EQ(
+      GetReachableSetWeight(h.graph(), candidates, 1, weights, scratch), 2u);
+}
+
+}  // namespace
+}  // namespace aigs

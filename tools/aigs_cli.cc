@@ -1,0 +1,238 @@
+// aigs — command-line front end for the library.
+//
+//   aigs stats    <hierarchy.txt>
+//       Print node/edge counts, height, max degree, type; warn about
+//       redundant (transitively implied) edges.
+//   aigs reduce   <in.txt> <out.txt>
+//       Write the transitive reduction of a hierarchy.
+//   aigs evaluate <hierarchy.txt> <counts.txt> [policy]
+//       Expected/median/p99/max question counts for one policy
+//       (greedy | topdown | wigs | migs | naive; default greedy).
+//   aigs search   <hierarchy.txt> [counts.txt]
+//       Interactive search: answer the policy's questions with y/n.
+//   aigs demo
+//       Interactive search on the built-in vehicle hierarchy.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/migs.h"
+#include "baselines/top_down.h"
+#include "baselines/wigs.h"
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "eval/cost_profile.h"
+#include "eval/evaluator.h"
+#include "eval/runner.h"
+#include "graph/graph_io.h"
+#include "graph/transitive_reduction.h"
+#include "prob/weight_io.h"
+
+namespace aigs::cli {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aigs <command> [args]\n"
+               "  stats    <hierarchy.txt>\n"
+               "  reduce   <in.txt> <out.txt>\n"
+               "  evaluate <hierarchy.txt> <counts.txt> "
+               "[greedy|topdown|wigs|migs|naive]\n"
+               "  search   <hierarchy.txt> [counts.txt]\n"
+               "  demo\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<std::unique_ptr<Policy>> MakePolicy(const std::string& name,
+                                             const Hierarchy& h,
+                                             const Distribution& dist) {
+  if (name == "greedy") {
+    return MakeGreedyPolicy(h, dist);
+  }
+  if (name == "topdown") {
+    return std::unique_ptr<Policy>(new TopDownPolicy(h));
+  }
+  if (name == "wigs") {
+    return MakeWigsPolicy(h);
+  }
+  if (name == "migs") {
+    return std::unique_ptr<Policy>(new MigsPolicy(h));
+  }
+  if (name == "naive") {
+    return std::unique_ptr<Policy>(new GreedyNaivePolicy(h, dist));
+  }
+  return Status::InvalidArgument("unknown policy '" + name + "'");
+}
+
+int CmdStats(const std::string& path) {
+  auto graph = LoadHierarchy(path);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  const Digraph& g = *graph;
+  std::printf("nodes:       %zu\n", g.NumNodes());
+  std::printf("edges:       %zu\n", g.NumEdges());
+  std::printf("height:      %d\n", g.Height());
+  std::printf("max degree:  %zu\n", g.MaxOutDegree());
+  std::printf("type:        %s\n", g.IsTree() ? "tree" : "DAG");
+  std::printf("root:        %u%s\n", g.root(),
+              g.Label(g.root()).empty()
+                  ? ""
+                  : (" (" + g.Label(g.root()) + ")").c_str());
+  auto reduced = TransitiveReduction(g);
+  if (reduced.ok() && reduced->removed_edges > 0) {
+    std::printf("note:        %zu redundant edge(s); run 'aigs reduce'\n",
+                reduced->removed_edges);
+  }
+  return 0;
+}
+
+int CmdReduce(const std::string& in, const std::string& out) {
+  auto graph = LoadHierarchy(in);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  auto reduced = TransitiveReduction(*graph);
+  if (!reduced.ok()) {
+    return Fail(reduced.status());
+  }
+  if (const Status s = SaveHierarchy(reduced->graph, out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("removed %zu redundant edge(s); wrote %s\n",
+              reduced->removed_edges, out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::string& hierarchy_path,
+                const std::string& counts_path, const std::string& policy) {
+  auto graph = LoadHierarchy(hierarchy_path);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  auto hierarchy = Hierarchy::Build(*std::move(graph));
+  if (!hierarchy.ok()) {
+    return Fail(hierarchy.status());
+  }
+  auto counts = LoadDistribution(counts_path);
+  if (!counts.ok()) {
+    return Fail(counts.status());
+  }
+  if (counts->size() != hierarchy->NumNodes()) {
+    return Fail(Status::InvalidArgument(
+        "count file does not match the hierarchy's node count"));
+  }
+  auto made = MakePolicy(policy, *hierarchy, *counts);
+  if (!made.ok()) {
+    return Fail(made.status());
+  }
+  const EvalStats stats = EvaluateExact(**made, *hierarchy, *counts);
+  const CostProfile profile(stats.per_target_cost, *counts);
+  std::printf("policy:       %s\n", (*made)->name().c_str());
+  std::printf("E[questions]: %.4f\n", stats.expected_cost);
+  std::printf("median:       %u\n", profile.Median());
+  std::printf("p90:          %u\n", profile.P90());
+  std::printf("p99:          %u\n", profile.P99());
+  std::printf("max:          %llu\n",
+              static_cast<unsigned long long>(stats.max_cost));
+  std::printf("entropy (lower bound): %.4f bits\n", counts->EntropyBits());
+  return 0;
+}
+
+int RunInteractive(const Hierarchy& h, const Distribution& dist) {
+  const auto policy = MakeGreedyPolicy(h, dist);
+  auto session = policy->NewSession();
+  std::printf("think of one of the %zu categories; answer y/n.\n",
+              h.NumNodes());
+  int questions = 0;
+  for (;;) {
+    const Query q = session->Next();
+    if (q.kind == Query::Kind::kDone) {
+      const std::string& label = h.graph().Label(q.node);
+      std::printf("=> %s (%d questions)\n",
+                  label.empty() ? std::to_string(q.node).c_str()
+                                : label.c_str(),
+                  questions);
+      return 0;
+    }
+    const std::string& label = h.graph().Label(q.node);
+    std::printf("Q%d: under '%s'? [y/n] ", ++questions,
+                label.empty() ? std::to_string(q.node).c_str()
+                              : label.c_str());
+    std::fflush(stdout);
+    char buffer[64];
+    if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr ||
+        (buffer[0] != 'y' && buffer[0] != 'n')) {
+      std::printf("\n(bye)\n");
+      return 0;
+    }
+    session->OnReach(q.node, buffer[0] == 'y');
+  }
+}
+
+int CmdSearch(const std::string& hierarchy_path,
+              const std::string& counts_path) {
+  auto graph = LoadHierarchy(hierarchy_path);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  auto hierarchy = Hierarchy::Build(*std::move(graph));
+  if (!hierarchy.ok()) {
+    return Fail(hierarchy.status());
+  }
+  Distribution dist = EqualDistribution(hierarchy->NumNodes());
+  if (!counts_path.empty()) {
+    auto counts = LoadDistribution(counts_path);
+    if (!counts.ok()) {
+      return Fail(counts.status());
+    }
+    if (counts->size() != hierarchy->NumNodes()) {
+      return Fail(Status::InvalidArgument(
+          "count file does not match the hierarchy's node count"));
+    }
+    dist = *std::move(counts);
+  }
+  return RunInteractive(*hierarchy, dist);
+}
+
+int CmdDemo() {
+  auto hierarchy = Hierarchy::Build(BuildVehicleHierarchy());
+  if (!hierarchy.ok()) {
+    return Fail(hierarchy.status());
+  }
+  return RunInteractive(*hierarchy, VehicleDistribution());
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "stats" && argc == 3) {
+    return CmdStats(argv[2]);
+  }
+  if (command == "reduce" && argc == 4) {
+    return CmdReduce(argv[2], argv[3]);
+  }
+  if (command == "evaluate" && (argc == 4 || argc == 5)) {
+    return CmdEvaluate(argv[2], argv[3], argc == 5 ? argv[4] : "greedy");
+  }
+  if (command == "search" && (argc == 3 || argc == 4)) {
+    return CmdSearch(argv[2], argc == 4 ? argv[3] : "");
+  }
+  if (command == "demo" && argc == 2) {
+    return CmdDemo();
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace aigs::cli
+
+int main(int argc, char** argv) { return aigs::cli::Main(argc, argv); }
