@@ -1,26 +1,21 @@
-// Shared plumbing for the table/figure reproduction binaries.
+// Environment-driven run configuration shared by the unified bench harness
+// (aigs_bench) and the micro benchmark.
 //
-// Every binary defaults to a scaled-down configuration that finishes in
+// Every run defaults to a scaled-down configuration that finishes in
 // seconds; environment variables unlock paper-scale runs:
 //   AIGS_FULL=1        — full Table II scale (29,240 / 27,714 nodes)
 //   AIGS_SCALE_PCT=n   — explicit dataset scale percentage (default 25)
 //   AIGS_REPS=n        — repetitions for randomized distributions
-//   AIGS_TRACES=n      — traces for the online-learning figure
+//   AIGS_THREADS=n     — evaluator workers (0 = hardware concurrency)
+//   AIGS_CSV_DIR=dir   — directory for optional CSV dumps
 #ifndef AIGS_BENCH_BENCH_COMMON_H_
 #define AIGS_BENCH_BENCH_COMMON_H_
 
-#include <cstdio>
-#include <memory>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 
-#include "baselines/migs.h"
-#include "baselines/top_down.h"
-#include "baselines/wigs.h"
-#include "core/aigs.h"
-#include "data/datasets.h"
-#include "eval/evaluator.h"
 #include "util/env.h"
-#include "util/string_util.h"
 
 namespace aigs::bench {
 
@@ -39,50 +34,11 @@ inline std::size_t Reps() {
       EnvInt("AIGS_REPS", EnvBool("AIGS_FULL", false) ? 20 : 3));
 }
 
-/// Prints the run configuration banner.
-inline void PrintBanner(const char* experiment) {
-  std::printf("== %s ==\n", experiment);
-  std::printf(
-      "config: scale=%.0f%% (AIGS_FULL=1 or AIGS_SCALE_PCT=N to change)\n\n",
-      DatasetScale() * 100.0);
-}
-
 /// Directory for optional CSV dumps of figure series (AIGS_CSV_DIR); empty
 /// string disables export.
 inline std::string CsvDir() {
   const char* dir = std::getenv("AIGS_CSV_DIR");
   return dir == nullptr ? std::string() : std::string(dir);
-}
-
-/// Expected cost of a policy on (hierarchy, dist), exact over all targets.
-inline double Cost(const Policy& policy, const Hierarchy& h,
-                   const Distribution& dist) {
-  return EvaluateExact(policy, h, dist).expected_cost;
-}
-
-/// The paper's four competitors on a dataset, in Table III column order.
-struct CompetitorCosts {
-  double top_down = 0;
-  double migs = 0;
-  double wigs = 0;
-  double greedy = 0;
-};
-
-inline CompetitorCosts EvaluateCompetitors(const Hierarchy& h,
-                                           const Distribution& dist) {
-  CompetitorCosts out;
-  TopDownPolicy top_down(h);
-  out.top_down = Cost(top_down, h, dist);
-  // Insertion-order choices: the paper's MIGS numbers barely move across
-  // probability settings, so the baseline reads choices in catalog order
-  // (the likelihood-ordered variant is available as an extension).
-  MigsPolicy migs(h);
-  out.migs = Cost(migs, h, dist);
-  const auto wigs = MakeWigsPolicy(h);
-  out.wigs = Cost(*wigs, h, dist);
-  const auto greedy = MakeGreedyPolicy(h, dist);
-  out.greedy = Cost(*greedy, h, dist);
-  return out;
 }
 
 }  // namespace aigs::bench

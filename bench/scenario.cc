@@ -1,0 +1,353 @@
+#include "bench/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "core/policy_registry.h"
+#include "data/builtin.h"
+#include "eval/cost_profile.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace aigs::bench {
+namespace {
+
+/// Quantized scale so the cache key is hashable without float-equality
+/// surprises (0.01% resolution is far below dataset-generation granularity).
+int QuantizeScale(double scale) {
+  return static_cast<int>(std::lround(scale * 10000.0));
+}
+
+StatusOr<Dataset> BuildBuiltinDataset(const std::string& name) {
+  if (name == "vehicle") {
+    auto h = Hierarchy::Build(BuildVehicleHierarchy());
+    AIGS_RETURN_NOT_OK(h.status());
+    return Dataset{"vehicle", *std::move(h), VehicleDistribution(), 100};
+  }
+  if (name == "fig2") {
+    auto h = Hierarchy::Build(BuildFig2Hierarchy());
+    AIGS_RETURN_NOT_OK(h.status());
+    const std::size_t n = h->NumNodes();
+    return Dataset{"fig2", *std::move(h), EqualDistribution(n), n};
+  }
+  if (name == "fig3") {
+    auto h = Hierarchy::Build(BuildFig3Hierarchy());
+    AIGS_RETURN_NOT_OK(h.status());
+    const std::size_t n = h->NumNodes();
+    return Dataset{"fig3", *std::move(h), EqualDistribution(n), n};
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (amazon, imagenet, vehicle, fig2, fig3)");
+}
+
+}  // namespace
+
+StatusOr<const Dataset*> DatasetCache::Get(const std::string& name,
+                                           double scale) {
+  const bool scaled = name == "amazon" || name == "imagenet";
+  const auto key = std::make_pair(name, scaled ? QuantizeScale(scale) : 0);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return const_cast<const Dataset*>(it->second.get());
+  }
+  StatusOr<Dataset> built = [&]() -> StatusOr<Dataset> {
+    if (name == "amazon") {
+      return MakeAmazonDataset(scale);
+    }
+    if (name == "imagenet") {
+      return MakeImageNetDataset(scale);
+    }
+    return BuildBuiltinDataset(name);
+  }();
+  AIGS_RETURN_NOT_OK(built.status());
+  auto owned = std::make_unique<Dataset>(*std::move(built));
+  const Dataset* raw = owned.get();
+  cache_.emplace(key, std::move(owned));
+  return raw;
+}
+
+StatusOr<Distribution> MakeScenarioDistribution(const std::string& spec,
+                                                const Dataset& dataset,
+                                                Rng& rng) {
+  const std::vector<std::string_view> parts = Split(spec, ':');
+  const std::string kind(Trim(parts[0]));
+  const std::size_t n = dataset.hierarchy.NumNodes();
+  if (kind == "real") {
+    return dataset.real_distribution;
+  }
+  if (kind == "equal") {
+    return EqualDistribution(n);
+  }
+  if (kind == "uniform") {
+    return UniformRandomDistribution(n, rng);
+  }
+  if (kind == "exponential") {
+    return ExponentialRandomDistribution(n, rng);
+  }
+  if (kind == "zipf") {
+    double a = 2.0;
+    if (parts.size() > 1) {
+      AIGS_ASSIGN_OR_RETURN(a, ParseDouble(parts[1]));
+    }
+    if (a <= 1.0) {
+      return Status::InvalidArgument("zipf parameter must be > 1");
+    }
+    return ZipfRandomDistribution(n, a, rng);
+  }
+  return Status::NotFound("unknown distribution '" + spec +
+                          "' (real, equal, uniform, exponential, zipf[:a])");
+}
+
+StatusOr<std::unique_ptr<CostModel>> MakeScenarioCostModel(
+    const std::string& spec, std::size_t n, Rng& rng) {
+  const std::vector<std::string_view> parts = Split(spec, ':');
+  const std::string kind(Trim(parts[0]));
+  if (kind == "unit") {
+    return std::unique_ptr<CostModel>();  // null = unit prices
+  }
+  if (kind == "fig3") {
+    if (n != 4) {
+      return Status::InvalidArgument(
+          "cost model 'fig3' only fits the 4-node fig3 dataset");
+    }
+    return std::make_unique<CostModel>(Fig3CostModel());
+  }
+  if (kind == "uniform") {
+    if (parts.size() != 3) {
+      return Status::InvalidArgument(
+          "cost model 'uniform' needs uniform:lo:hi");
+    }
+    AIGS_ASSIGN_OR_RETURN(const std::uint64_t lo, ParseUint64(parts[1]));
+    AIGS_ASSIGN_OR_RETURN(const std::uint64_t hi, ParseUint64(parts[2]));
+    if (lo < 1 || hi < lo) {
+      return Status::InvalidArgument("cost range must satisfy 1 <= lo <= hi");
+    }
+    return std::make_unique<CostModel>(
+        CostModel::UniformRandom(n, static_cast<std::uint32_t>(lo),
+                                 static_cast<std::uint32_t>(hi), rng));
+  }
+  return Status::NotFound("unknown cost model '" + spec +
+                          "' (unit, uniform:lo:hi, fig3)");
+}
+
+StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
+                                     DatasetCache& cache) {
+  if (spec.reps == 0) {
+    return Status::InvalidArgument("scenario reps must be >= 1");
+  }
+  AIGS_ASSIGN_OR_RETURN(const Dataset* dataset,
+                        cache.Get(spec.dataset, spec.scale));
+  const Hierarchy& h = dataset->hierarchy;
+
+  ScenarioResult result;
+  result.spec = spec;
+  if (result.spec.label.empty()) {
+    result.spec.label = spec.policy;
+  }
+  result.nodes = h.NumNodes();
+
+  // One pool for every rep: the cost model changes per rep (so EvalOptions
+  // must be rebuilt), but thread spawn/join should not be paid per rep.
+  std::unique_ptr<ThreadPool> pool;
+  if (spec.threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(spec.threads));
+  }
+
+  WallTimer timer;
+  for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+    // One deterministic stream per rep: the distribution draw and the cost
+    // draw consume from the same rep RNG, in that order.
+    Rng rng(spec.seed + 31 * rep);
+    AIGS_ASSIGN_OR_RETURN(
+        const Distribution dist,
+        MakeScenarioDistribution(spec.distribution, *dataset, rng));
+    AIGS_ASSIGN_OR_RETURN(
+        const std::unique_ptr<CostModel> costs,
+        MakeScenarioCostModel(spec.cost_model, h.NumNodes(), rng));
+
+    PolicyContext context;
+    context.hierarchy = &h;
+    context.distribution = &dist;
+    context.cost_model = costs.get();
+    AIGS_ASSIGN_OR_RETURN(
+        const std::unique_ptr<Policy> policy,
+        PolicyRegistry::Global().Create(spec.policy, context));
+    result.policy_name = policy->name();
+
+    EvalOptions eval_options;
+    eval_options.cost_model = costs.get();
+    if (pool != nullptr) {
+      eval_options.pool = pool.get();
+    } else {
+      eval_options.threads = spec.threads;
+    }
+    const Evaluator evaluator(eval_options);
+    const EvalStats stats =
+        spec.samples == 0
+            ? evaluator.Exact(*policy, h, dist)
+            : evaluator.Sampled(*policy, h, dist, spec.samples,
+                                spec.seed + 97 * rep);
+
+    result.expected_cost += stats.expected_cost;
+    result.expected_priced_cost += stats.expected_priced_cost;
+    result.expected_reach_queries += stats.expected_reach_queries;
+    result.expected_rounds += stats.expected_rounds;
+    result.max_cost = std::max(result.max_cost, stats.max_cost);
+    if (spec.samples == 0) {
+      const CostProfile profile(stats.per_target_cost, dist);
+      result.median = profile.Median();
+      result.p90 = profile.P90();
+      result.p99 = profile.P99();
+    }
+  }
+  result.wall_ms = timer.ElapsedMillis();
+
+  const auto denom = static_cast<double>(spec.reps);
+  result.expected_cost /= denom;
+  result.expected_priced_cost /= denom;
+  result.expected_reach_queries /= denom;
+  result.expected_rounds /= denom;
+  return result;
+}
+
+StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
+  ScenarioSpec spec;
+  for (const std::string_view item : Split(text, ';')) {
+    if (Trim(item).empty()) {
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("scenario field '" + std::string(item) +
+                                     "' is not key=value");
+    }
+    const std::string key(Trim(item.substr(0, eq)));
+    const std::string value(Trim(item.substr(eq + 1)));
+    if (key == "label") {
+      spec.label = value;
+    } else if (key == "dataset") {
+      spec.dataset = value;
+    } else if (key == "scale") {
+      AIGS_ASSIGN_OR_RETURN(spec.scale, ParseDouble(value));
+    } else if (key == "dist" || key == "distribution") {
+      spec.distribution = value;
+    } else if (key == "policy") {
+      spec.policy = value;
+    } else if (key == "cost" || key == "cost_model") {
+      spec.cost_model = value;
+    } else if (key == "reps") {
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t reps, ParseUint64(value));
+      spec.reps = static_cast<std::size_t>(reps);
+    } else if (key == "seed") {
+      AIGS_ASSIGN_OR_RETURN(spec.seed, ParseUint64(value));
+    } else if (key == "samples") {
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t samples, ParseUint64(value));
+      spec.samples = static_cast<std::size_t>(samples);
+    } else if (key == "threads") {
+      AIGS_ASSIGN_OR_RETURN(const std::int64_t threads, ParseInt64(value));
+      if (threads < 0) {
+        return Status::InvalidArgument("threads must be >= 0");
+      }
+      spec.threads = static_cast<int>(threads);
+    } else {
+      return Status::InvalidArgument("unknown scenario field '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // RFC 8259: all control characters must be escaped.
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ScenarioResultToJson(const ScenarioResult& r) {
+  std::string json = "{";
+  const auto str = [&](const char* key, const std::string& value) {
+    json += std::string("\"") + key + "\":\"" + JsonEscape(value) + "\",";
+  };
+  const auto num = [&](const char* key, const std::string& value) {
+    json += std::string("\"") + key + "\":" + value + ",";
+  };
+  str("label", r.spec.label);
+  str("dataset", r.spec.dataset);
+  num("nodes", std::to_string(r.nodes));
+  num("scale", FormatDouble(r.spec.scale, 4));
+  str("distribution", r.spec.distribution);
+  str("policy", r.spec.policy);
+  str("policy_name", r.policy_name);
+  str("cost_model", r.spec.cost_model);
+  num("reps", std::to_string(r.spec.reps));
+  num("samples", std::to_string(r.spec.samples));
+  num("threads", std::to_string(r.spec.threads));
+  num("seed", std::to_string(r.spec.seed));
+  num("expected_cost", FormatDouble(r.expected_cost, 6));
+  num("expected_priced_cost", FormatDouble(r.expected_priced_cost, 6));
+  num("expected_reach_queries", FormatDouble(r.expected_reach_queries, 6));
+  num("expected_rounds", FormatDouble(r.expected_rounds, 6));
+  num("max_cost", std::to_string(r.max_cost));
+  num("median", std::to_string(r.median));
+  num("p90", std::to_string(r.p90));
+  num("p99", std::to_string(r.p99));
+  json += "\"wall_ms\":" + FormatDouble(r.wall_ms, 3) + "}";
+  return json;
+}
+
+std::vector<std::string> ScenarioCsvHeader() {
+  return {"label",         "dataset",       "nodes",
+          "scale",         "distribution",  "policy",
+          "policy_name",   "cost_model",    "reps",
+          "samples",       "threads",       "seed",
+          "expected_cost", "expected_priced_cost",
+          "expected_reach_queries",         "expected_rounds",
+          "max_cost",      "median",        "p90",
+          "p99",           "wall_ms"};
+}
+
+std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
+  return {r.spec.label,
+          r.spec.dataset,
+          std::to_string(r.nodes),
+          FormatDouble(r.spec.scale, 4),
+          r.spec.distribution,
+          r.spec.policy,
+          r.policy_name,
+          r.spec.cost_model,
+          std::to_string(r.spec.reps),
+          std::to_string(r.spec.samples),
+          std::to_string(r.spec.threads),
+          std::to_string(r.spec.seed),
+          FormatDouble(r.expected_cost, 6),
+          FormatDouble(r.expected_priced_cost, 6),
+          FormatDouble(r.expected_reach_queries, 6),
+          FormatDouble(r.expected_rounds, 6),
+          std::to_string(r.max_cost),
+          std::to_string(r.median),
+          std::to_string(r.p90),
+          std::to_string(r.p99),
+          FormatDouble(r.wall_ms, 3)};
+}
+
+}  // namespace aigs::bench

@@ -1,0 +1,103 @@
+// The unified bench harness's scenario layer: one struct describes a
+// (dataset × distribution × policy × cost model × threads) evaluation cell,
+// one function runs it through the registry + the sharded Evaluator, and
+// uniform JSON/CSV emitters make every suite's output machine-readable.
+//
+// Spec string syntax (ad-hoc scenarios, `aigs_bench --scenario`):
+//   "dataset=amazon;scale=0.25;dist=zipf:2;policy=batched:k=8;
+//    cost=uniform:1:10;reps=3;samples=0;threads=4;seed=7"
+#ifndef AIGS_BENCH_SCENARIO_H_
+#define AIGS_BENCH_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "eval/evaluator.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aigs::bench {
+
+/// One evaluation cell. Every former bench_* table row is one of these.
+struct ScenarioSpec {
+  /// Display label; empty = the policy spec.
+  std::string label;
+  /// amazon | imagenet | vehicle | fig2 | fig3 (builtins ignore `scale`).
+  std::string dataset = "amazon";
+  /// Fraction of the paper-scale dataset (1.0 = Table II size).
+  double scale = 0.25;
+  /// real | equal | uniform | exponential | zipf[:a]
+  std::string distribution = "real";
+  /// PolicyRegistry spec, e.g. "greedy" or "migs:choices=0".
+  std::string policy = "greedy";
+  /// unit | uniform:lo:hi (random integer prices in [lo, hi]).
+  std::string cost_model = "unit";
+  /// Repetitions for randomized distributions / cost models (averaged).
+  std::size_t reps = 1;
+  /// Base seed; rep r derives its own stream.
+  std::uint64_t seed = 1000;
+  /// 0 = exact evaluation over all targets; else Monte-Carlo sample count.
+  std::size_t samples = 0;
+  /// Evaluator worker count (0 = shared default pool, 1 = serial).
+  int threads = 0;
+};
+
+/// Averaged-over-reps outcome of one scenario.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::string policy_name;  // resolved Policy::name()
+  std::size_t nodes = 0;
+  double expected_cost = 0;
+  double expected_priced_cost = 0;
+  double expected_reach_queries = 0;
+  double expected_rounds = 0;
+  std::uint64_t max_cost = 0;  // max over reps
+  // Weighted quantiles from the last rep (exact mode only; 0 otherwise).
+  std::uint32_t median = 0;
+  std::uint32_t p90 = 0;
+  std::uint32_t p99 = 0;
+  double wall_ms = 0;  // total evaluation wall time across reps
+};
+
+/// Builds each (dataset, scale) pair at most once per process.
+class DatasetCache {
+ public:
+  /// Returns a cached dataset; builds it on first use. The pointer stays
+  /// valid for the cache's lifetime.
+  StatusOr<const Dataset*> Get(const std::string& name, double scale);
+
+ private:
+  std::map<std::pair<std::string, int>, std::unique_ptr<Dataset>> cache_;
+};
+
+/// Materializes a distribution spec ("real" reads the dataset's own).
+StatusOr<Distribution> MakeScenarioDistribution(const std::string& spec,
+                                                const Dataset& dataset,
+                                                Rng& rng);
+
+/// Materializes a cost-model spec; returns nullptr (unit prices) for "unit".
+StatusOr<std::unique_ptr<CostModel>> MakeScenarioCostModel(
+    const std::string& spec, std::size_t n, Rng& rng);
+
+/// Runs one scenario end to end (registry lookup, reps, aggregation).
+StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
+                                     DatasetCache& cache);
+
+/// Parses the `key=value;key=value` ad-hoc scenario syntax.
+StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text);
+
+/// One JSON object per result (JSON-lines friendly).
+std::string ScenarioResultToJson(const ScenarioResult& result);
+
+/// Uniform CSV schema shared by every suite.
+std::vector<std::string> ScenarioCsvHeader();
+std::vector<std::string> ScenarioCsvRow(const ScenarioResult& result);
+
+}  // namespace aigs::bench
+
+#endif  // AIGS_BENCH_SCENARIO_H_

@@ -1,0 +1,909 @@
+#include "bench/suites.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/policy_registry.h"
+#include "data/builtin.h"
+#include "eval/decision_tree.h"
+#include "eval/online.h"
+#include "eval/optimal_dp.h"
+#include "eval/runner.h"
+#include "eval/runtime_bench.h"
+#include "graph/generators.h"
+#include "oracle/noisy_oracle.h"
+#include "prob/alias_table.h"
+#include "util/ascii_table.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace aigs::bench {
+namespace {
+
+// ---- shared plumbing -------------------------------------------------------
+
+/// Runs one scenario with the context's thread setting applied; smoke mode
+/// clamps repetitions and sample counts.
+StatusOr<ScenarioResult> Run(SuiteContext& ctx, ScenarioSpec spec) {
+  spec.threads = ctx.threads;
+  if (ctx.smoke) {
+    spec.reps = 1;
+    if (spec.samples > 0) {
+      spec.samples = std::min<std::size_t>(spec.samples, 1000);
+    }
+  }
+  AIGS_ASSIGN_OR_RETURN(ScenarioResult result, RunScenario(spec, *ctx.cache));
+  if (ctx.results != nullptr) {
+    ctx.results->push_back(result);
+  }
+  return result;
+}
+
+/// Creates a policy from a registry spec bound to a dataset's hierarchy and
+/// an explicit distribution (for the custom, non-scenario measurements).
+StatusOr<std::unique_ptr<Policy>> MakePolicyFor(const std::string& spec,
+                                                const Hierarchy& h,
+                                                const Distribution& dist,
+                                                const CostModel* costs =
+                                                    nullptr) {
+  PolicyContext context;
+  context.hierarchy = &h;
+  context.distribution = &dist;
+  context.cost_model = costs;
+  return PolicyRegistry::Global().Create(spec, context);
+}
+
+/// Average per-search wall time over targets sampled from the distribution.
+double AvgSearchMillis(const Policy& policy, const Hierarchy& h,
+                       const Distribution& dist, std::size_t samples) {
+  const AliasTable sampler(dist);
+  Rng rng(17);
+  WallTimer timer;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const NodeId target = sampler.Sample(rng);
+    ExactOracle oracle(h.reach(), target);
+    auto session = policy.NewSession();
+    const SearchResult r = RunSearch(*session, oracle);
+    AIGS_CHECK(r.target == target);
+  }
+  return timer.ElapsedMillis() / static_cast<double>(samples);
+}
+
+/// The paper's four competitors, each evaluated as its own scenario.
+struct CompetitorCosts {
+  double top_down = 0;
+  double migs = 0;
+  double wigs = 0;
+  double greedy = 0;
+};
+
+StatusOr<CompetitorCosts> RunCompetitors(SuiteContext& ctx,
+                                         const std::string& dataset,
+                                         double scale,
+                                         const std::string& distribution,
+                                         std::size_t reps, std::uint64_t seed,
+                                         const std::string& label) {
+  CompetitorCosts costs;
+  const struct {
+    const char* policy;
+    double* out;
+  } rows[] = {{"top_down", &costs.top_down},
+              {"migs", &costs.migs},
+              {"wigs", &costs.wigs},
+              {"greedy", &costs.greedy}};
+  for (const auto& row : rows) {
+    ScenarioSpec spec;
+    spec.label = label + "/" + row.policy;
+    spec.dataset = dataset;
+    spec.scale = scale;
+    spec.distribution = distribution;
+    spec.policy = row.policy;
+    spec.reps = reps;
+    spec.seed = seed;
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult result, Run(ctx, spec));
+    *row.out = result.expected_cost;
+  }
+  return costs;
+}
+
+void PrintConfig(const SuiteContext& ctx, const char* title) {
+  std::printf("== %s ==\n", title);
+  std::printf("config: scale=%.0f%%, reps=%zu, threads=%s%s\n\n",
+              ctx.scale * 100.0, ctx.reps,
+              ctx.threads == 0 ? "auto" : std::to_string(ctx.threads).c_str(),
+              ctx.smoke ? ", smoke" : "");
+}
+
+// ---- table2: dataset statistics -------------------------------------------
+
+Status SuiteTable2(SuiteContext& ctx) {
+  PrintConfig(ctx, "Table II: statistics of datasets");
+  AsciiTable table(
+      {"Dataset", "#nodes", "Height", "Max Deg.", "Type", "#objects"});
+  for (const char* name : {"amazon", "imagenet"}) {
+    AIGS_ASSIGN_OR_RETURN(const Dataset* d, ctx.cache->Get(name, ctx.scale));
+    table.AddRow({d->name, FormatWithCommas(d->hierarchy.NumNodes()),
+                  std::to_string(d->hierarchy.Height()),
+                  std::to_string(d->hierarchy.MaxOutDegree()),
+                  d->hierarchy.is_tree() ? "Tree" : "DAG",
+                  FormatWithCommas(d->num_objects)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper (full scale): Amazon 29,240/10/225/Tree/13,886,889 ; "
+              "ImageNet 27,714/13/402/DAG/12,656,970\n");
+  return Status::OK();
+}
+
+// ---- table3: real data distribution ---------------------------------------
+
+Status SuiteTable3(SuiteContext& ctx) {
+  PrintConfig(ctx, "Table III: cost under real data distribution");
+  AsciiTable table(
+      {"Dataset", "TopDown", "MIGS", "WIGS", "GreedyTree/GreedyDAG"});
+  for (const char* name : {"amazon", "imagenet"}) {
+    AIGS_ASSIGN_OR_RETURN(
+        const CompetitorCosts c,
+        RunCompetitors(ctx, name, ctx.scale, "real", 1, 1000,
+                       std::string("table3/") + name));
+    table.AddRow({name, FormatDouble(c.top_down), FormatDouble(c.migs),
+                  FormatDouble(c.wigs), FormatDouble(c.greedy)});
+    std::printf("%s: greedy saves %s%% vs TopDown, %s%% vs MIGS, %s%% vs "
+                "WIGS\n",
+                name,
+                FormatDouble((1 - c.greedy / c.top_down) * 100, 1).c_str(),
+                FormatDouble((1 - c.greedy / c.migs) * 100, 1).c_str(),
+                FormatDouble((1 - c.greedy / c.wigs) * 100, 1).c_str());
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("paper: Amazon 92.23/89.19/37.35/21.02 ; "
+              "ImageNet 101.18/96.28/30.18/22.29\n");
+  return Status::OK();
+}
+
+// ---- table4 / table5: synthetic probability settings ----------------------
+
+Status RunSettingsTable(SuiteContext& ctx, const char* dataset,
+                        std::uint64_t seed, const char* title,
+                        const char* paper_reference) {
+  PrintConfig(ctx, title);
+  AIGS_ASSIGN_OR_RETURN(const Dataset* d, ctx.cache->Get(dataset, ctx.scale));
+  AsciiTable table({"Distribution", "TopDown", "MIGS", "WIGS",
+                    d->hierarchy.is_tree() ? "GreedyTree" : "GreedyDAG"});
+  const char* settings[] = {"equal", "uniform", "exponential", "zipf:2"};
+  for (const char* setting : settings) {
+    const std::size_t reps =
+        std::string_view(setting) == "equal" ? 1 : ctx.reps;
+    AIGS_ASSIGN_OR_RETURN(
+        const CompetitorCosts c,
+        RunCompetitors(ctx, dataset, ctx.scale, setting, reps, seed,
+                       std::string(dataset) + "/" + setting));
+    table.AddRow({setting, FormatDouble(c.top_down), FormatDouble(c.migs),
+                  FormatDouble(c.wigs), FormatDouble(c.greedy)});
+  }
+  std::printf("%s\n%s\n", table.ToString().c_str(), paper_reference);
+  return Status::OK();
+}
+
+Status SuiteTable4(SuiteContext& ctx) {
+  return RunSettingsTable(
+      ctx, "amazon", 1000, "Table IV: cost under probability settings (Amazon)",
+      "paper: Equal 81.17/80.81/27.42/25.35 ; Uniform 81.28/81.19/27.47/23.68 "
+      ";\n       Exponential 82.42/81.65/27.37/22.70 ; Zipf "
+      "82.09/81.94/27.55/14.03");
+}
+
+Status SuiteTable5(SuiteContext& ctx) {
+  return RunSettingsTable(
+      ctx, "imagenet", 2000,
+      "Table V: cost under probability settings (ImageNet)",
+      "paper: Equal 123.31/126.12/34.56/31.48 ; Uniform "
+      "125.82/124.66/34.55/28.66 ;\n       Exponential "
+      "125.41/127.39/34.57/27.00 ; Zipf 125.24/133.48/34.74/14.41");
+}
+
+// ---- fig4: online learning -------------------------------------------------
+
+Status SuiteFig4(SuiteContext& ctx) {
+  PrintConfig(ctx, "Fig. 4: average cost vs. number of categorized objects");
+  for (const char* name : {"amazon", "imagenet"}) {
+    AIGS_ASSIGN_OR_RETURN(const Dataset* d, ctx.cache->Get(name, ctx.scale));
+    const Hierarchy& h = d->hierarchy;
+
+    OnlineOptions options;
+    options.num_objects = static_cast<std::size_t>(std::max<std::int64_t>(
+        1, EnvInt("AIGS_OBJECTS", ctx.smoke ? 5'000 : 50'000)));
+    // RunOnlineLearning requires num_objects to be an exact multiple of
+    // block_size; round odd AIGS_OBJECTS values down to fit.
+    options.block_size =
+        std::max<std::size_t>(1, options.num_objects / 10);
+    options.num_objects -= options.num_objects % options.block_size;
+    options.num_traces = static_cast<std::size_t>(
+        EnvInt("AIGS_TRACES", ctx.smoke ? 1 : 3));
+    options.seed = 42;
+    AIGS_ASSIGN_OR_RETURN(const OnlineSeries series,
+                          RunOnlineLearning(h, d->real_distribution, options));
+
+    ScenarioSpec offline_spec;
+    offline_spec.label = std::string("fig4/") + name + "/offline";
+    offline_spec.dataset = name;
+    offline_spec.scale = ctx.scale;
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult offline,
+                          Run(ctx, offline_spec));
+    ScenarioSpec wigs_spec = offline_spec;
+    wigs_spec.label = std::string("fig4/") + name + "/wigs";
+    wigs_spec.policy = "wigs";
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult wigs, Run(ctx, wigs_spec));
+
+    std::printf("%s (%zu objects per trace, %zu traces)\n", name,
+                options.num_objects, options.num_traces);
+    std::printf("  %-14s %-18s %-18s %s\n", "#objects", "GreedyOnline",
+                "GivenRealDist", "WIGS");
+    for (std::size_t b = 0; b < series.avg_cost_per_block.size(); ++b) {
+      std::printf("  %-14zu %-18s %-18s %s\n", (b + 1) * options.block_size,
+                  FormatDouble(series.avg_cost_per_block[b]).c_str(),
+                  FormatDouble(offline.expected_cost).c_str(),
+                  FormatDouble(wigs.expected_cost).c_str());
+    }
+    const double last = series.avg_cost_per_block.back();
+    std::printf("  final gap to offline greedy: %s%%\n\n",
+                FormatDouble((last / offline.expected_cost - 1) * 100, 1)
+                    .c_str());
+  }
+  std::printf("paper shape: online curve decreasing, converging to the "
+              "offline greedy line;\nWIGS flat above both.\n");
+  return Status::OK();
+}
+
+// ---- fig5: Zipf parameter sweep -------------------------------------------
+
+Status SuiteFig5(SuiteContext& ctx) {
+  PrintConfig(ctx, "Fig. 5: cost vs. parameter of Zipf distribution");
+  const std::vector<double> params =
+      ctx.smoke ? std::vector<double>{2.0}
+                : std::vector<double>{1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  for (const char* name : {"amazon", "imagenet"}) {
+    ScenarioSpec equal_spec;
+    equal_spec.label = std::string("fig5/") + name + "/equal";
+    equal_spec.dataset = name;
+    equal_spec.scale = ctx.scale;
+    equal_spec.distribution = "equal";
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult equal, Run(ctx, equal_spec));
+
+    AsciiTable table({"Zipf a", "Greedy", "Equal Pr. (ref)"});
+    for (const double a : params) {
+      ScenarioSpec spec;
+      spec.label = std::string("fig5/") + name + "/zipf_" + FormatDouble(a, 1);
+      spec.dataset = name;
+      spec.scale = ctx.scale;
+      spec.distribution = "zipf:" + FormatDouble(a, 1);
+      spec.reps = ctx.reps;
+      spec.seed = 3000 + static_cast<std::uint64_t>(a * 10);
+      AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+      table.AddRow({FormatDouble(a, 1), FormatDouble(r.expected_cost),
+                    FormatDouble(equal.expected_cost)});
+    }
+    std::printf("%s\n%s\n", name, table.ToString().c_str());
+  }
+  std::printf("paper shape: greedy cost grows with a and approaches the "
+              "equal-probability line.\n");
+  return Status::OK();
+}
+
+// ---- fig6: running time by target depth -----------------------------------
+
+Status SuiteFig6(SuiteContext& ctx) {
+  PrintConfig(ctx, "Fig. 6: running time by target depth");
+  const double scale =
+      std::min(ctx.scale, ctx.smoke ? 0.02 : 0.15);  // naive is O(n^2 m)
+  for (const char* name : {"amazon", "imagenet"}) {
+    AIGS_ASSIGN_OR_RETURN(const Dataset* d, ctx.cache->Get(name, scale));
+    const Hierarchy& h = d->hierarchy;
+    const Distribution& dist = d->real_distribution;
+
+    RuntimeByDepthOptions options;
+    options.samples_per_depth = static_cast<std::size_t>(
+        EnvInt("AIGS_FIG6_SAMPLES", ctx.smoke ? 2 : 5));
+    options.seed = 7;
+
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> naive,
+                          MakePolicyFor("greedy_naive", h, dist));
+    const RuntimeByDepthResult naive_times =
+        MeasureRuntimeByDepth(*naive, h, options);
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> fast,
+                          MakePolicyFor("greedy", h, dist));
+    const RuntimeByDepthResult fast_times =
+        MeasureRuntimeByDepth(*fast, h, options);
+
+    AsciiTable table({"depth", "#nodes", "GreedyNaive (ms)",
+                      h.is_tree() ? "GreedyTree (ms)" : "GreedyDAG (ms)",
+                      "speedup"});
+    for (std::size_t depth = 0; depth < naive_times.avg_millis.size();
+         ++depth) {
+      if (naive_times.nodes_at_depth[depth] == 0) {
+        continue;
+      }
+      const double naive_ms = naive_times.avg_millis[depth];
+      const double fast_ms = fast_times.avg_millis[depth];
+      table.AddRow({std::to_string(depth),
+                    std::to_string(naive_times.nodes_at_depth[depth]),
+                    FormatDouble(naive_ms, 3), FormatDouble(fast_ms, 4),
+                    fast_ms > 0 ? FormatDouble(naive_ms / fast_ms, 0) + "x"
+                                : ">10000x"});
+    }
+    std::printf("%s (n=%zu, %zu samples/depth)\n%s\n", name, h.NumNodes(),
+                options.samples_per_depth, table.ToString().c_str());
+  }
+  std::printf("paper shape: GreedyTree ~3 orders of magnitude faster than "
+              "GreedyNaive on the tree;\nGreedyDAG noticeably faster on the "
+              "DAG.\n");
+  return Status::OK();
+}
+
+// ---- caigs: cost-sensitive greedy -----------------------------------------
+
+Status SuiteCaigs(SuiteContext& ctx) {
+  PrintConfig(ctx, "CAIGS: cost-sensitive greedy (Definition 9 / Theorem 4)");
+  // Example 4 (Fig. 3, c(3)=5): blind 6 vs aware 4.25.
+  {
+    double costs[2] = {0, 0};
+    const char* policies[2] = {"greedy_tree", "cost_sensitive"};
+    for (int i = 0; i < 2; ++i) {
+      ScenarioSpec spec;
+      spec.label = std::string("caigs/example4/") + policies[i];
+      spec.dataset = "fig3";
+      spec.distribution = "equal";
+      spec.policy = policies[i];
+      spec.cost_model = "fig3";
+      AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+      costs[i] = r.expected_priced_cost;
+    }
+    std::printf("Example 4 (Fig. 3, c(3)=5): cost-blind greedy %s vs "
+                "cost-sensitive greedy %s  (paper: 6 vs 4.25)\n\n",
+                FormatDouble(costs[0]).c_str(),
+                FormatDouble(costs[1]).c_str());
+  }
+
+  // Selection scans all alive candidates per query; cap the scale.
+  const double scale = std::min(ctx.scale, ctx.smoke ? 0.03 : 0.12);
+  const std::vector<std::uint32_t> ranges =
+      ctx.smoke ? std::vector<std::uint32_t>{5}
+                : std::vector<std::uint32_t>{2, 5, 10, 20};
+  for (const char* name : {"amazon", "imagenet"}) {
+    AsciiTable table({"Price range", "Cost-blind greedy",
+                      "Cost-sensitive greedy", "Savings"});
+    for (const std::uint32_t hi : ranges) {
+      const std::string cost_model = "uniform:1:" + std::to_string(hi);
+      double blind = 0, aware = 0;
+      const struct {
+        const char* policy;
+        double* out;
+      } rows[] = {{"greedy", &blind}, {"cost_sensitive", &aware}};
+      for (const auto& row : rows) {
+        ScenarioSpec spec;
+        spec.label = std::string("caigs/") + name + "/hi" +
+                     std::to_string(hi) + "/" + row.policy;
+        spec.dataset = name;
+        spec.scale = scale;
+        spec.policy = row.policy;
+        spec.cost_model = cost_model;
+        spec.seed = 500 + hi;
+        AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+        *row.out = r.expected_priced_cost;
+      }
+      table.AddRow({"$1-$" + std::to_string(hi), FormatDouble(blind),
+                    FormatDouble(aware),
+                    FormatDouble((1 - aware / blind) * 100, 1) + "%"});
+    }
+    std::printf("%s (real distribution, random prices)\n%s\n", name,
+                table.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+// ---- batched: questions per round -----------------------------------------
+
+Status SuiteBatched(SuiteContext& ctx) {
+  PrintConfig(ctx, "Extension: batched questions (§III-E)");
+  const double scale = std::min(ctx.scale, ctx.smoke ? 0.02 : 0.05);
+  AsciiTable table({"k (questions/round)", "E[questions]", "E[rounds]",
+                    "latency saving", "question overhead"});
+  double base_questions = 0, base_rounds = 0;
+  const std::vector<int> ks =
+      ctx.smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (const int k : ks) {
+    ScenarioSpec spec;
+    spec.label = "batched/k" + std::to_string(k);
+    spec.dataset = "amazon";
+    spec.scale = scale;
+    spec.policy = "batched:k=" + std::to_string(k);
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+    if (k == ks.front()) {
+      base_questions = r.expected_reach_queries;
+      base_rounds = r.expected_rounds;
+    }
+    table.AddRow(
+        {std::to_string(k), FormatDouble(r.expected_reach_queries),
+         FormatDouble(r.expected_rounds),
+         FormatDouble((1 - r.expected_rounds / base_rounds) * 100, 1) + "%",
+         FormatDouble((r.expected_reach_queries / base_questions - 1) * 100,
+                      1) +
+             "%"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("shape: latency (rounds) keeps improving with k but saturates "
+              "while the question bill grows.\n");
+  return Status::OK();
+}
+
+// ---- noise: noisy crowd answers -------------------------------------------
+
+struct NoiseOutcome {
+  double accuracy = 0;
+  double avg_crowd_answers = 0;
+};
+
+NoiseOutcome MeasureNoise(const Policy& policy, const Hierarchy& h,
+                          const Distribution& dist, double flip_prob,
+                          int votes, bool persistent, std::size_t trials,
+                          Rng& rng) {
+  const AliasTable sampler(dist);
+  std::size_t correct = 0;
+  std::uint64_t crowd_answers = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const NodeId target = sampler.Sample(rng);
+    ExactOracle exact(h.reach(), target);
+    NoisyOracle transient(exact, flip_prob, rng.Fork());
+    PersistentNoisyOracle sticky(exact, flip_prob, rng.Fork());
+    Oracle& noisy = persistent ? static_cast<Oracle&>(sticky)
+                               : static_cast<Oracle&>(transient);
+    MajorityVoteOracle voted(noisy, votes);
+    auto session = policy.NewSession();
+    RunOptions options;
+    options.max_questions = 1 << 20;
+    const SearchResult r = RunSearch(*session, voted, options);
+    correct += r.target == target ? 1 : 0;
+    crowd_answers += r.reach_queries * static_cast<std::uint64_t>(votes);
+  }
+  return {static_cast<double>(correct) / static_cast<double>(trials),
+          static_cast<double>(crowd_answers) / static_cast<double>(trials)};
+}
+
+Status SuiteNoise(SuiteContext& ctx) {
+  PrintConfig(ctx, "Extension: noisy crowd answers (§VII future work)");
+  AIGS_ASSIGN_OR_RETURN(
+      const Dataset* d,
+      ctx.cache->Get("amazon", std::min(ctx.scale, ctx.smoke ? 0.03 : 0.15)));
+  const Hierarchy& h = d->hierarchy;
+  const Distribution& dist = d->real_distribution;
+  AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> greedy,
+                        MakePolicyFor("greedy", h, dist));
+  const std::size_t trials = static_cast<std::size_t>(
+      EnvInt("AIGS_NOISE_TRIALS", ctx.smoke ? 50 : 300));
+
+  AsciiTable table({"Flip prob", "Acc (1 vote)", "Acc (5 votes)",
+                    "Acc (5 votes, persistent)", "Answers (5 votes)"});
+  Rng rng(77);
+  const std::vector<double> flips =
+      ctx.smoke ? std::vector<double>{0.0, 0.10}
+                : std::vector<double>{0.0, 0.02, 0.05, 0.10, 0.20};
+  for (const double flip : flips) {
+    const NoiseOutcome single =
+        MeasureNoise(*greedy, h, dist, flip, 1, false, trials, rng);
+    const NoiseOutcome voted =
+        MeasureNoise(*greedy, h, dist, flip, 5, false, trials, rng);
+    const NoiseOutcome sticky =
+        MeasureNoise(*greedy, h, dist, flip, 5, true, trials, rng);
+    table.AddRow({FormatDouble(flip, 2),
+                  FormatDouble(single.accuracy * 100, 1) + "%",
+                  FormatDouble(voted.accuracy * 100, 1) + "%",
+                  FormatDouble(sticky.accuracy * 100, 1) + "%",
+                  FormatDouble(voted.avg_crowd_answers, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("takeaway: majority voting buys back accuracy under transient "
+              "noise but is powerless\nagainst persistent noise — the §VII "
+              "future-work challenge.\n");
+  return Status::OK();
+}
+
+// ---- worstcase: average vs worst objectives --------------------------------
+
+Status SuiteWorstcase(SuiteContext& ctx) {
+  PrintConfig(ctx, "Average-case vs worst-case objectives (Example 2 at "
+                   "scale)");
+  for (const char* name : {"amazon", "imagenet"}) {
+    AsciiTable table({"Algorithm", "E[questions]", "median", "p90", "p99",
+                      "max (WIGS objective)"});
+    for (const char* policy : {"top_down", "wigs", "greedy"}) {
+      ScenarioSpec spec;
+      spec.label = std::string("worstcase/") + name + "/" + policy;
+      spec.dataset = name;
+      spec.scale = ctx.scale;
+      spec.policy = policy;
+      AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+      table.AddRow({r.policy_name, FormatDouble(r.expected_cost),
+                    std::to_string(r.median), std::to_string(r.p90),
+                    std::to_string(r.p99), std::to_string(r.max_cost)});
+    }
+    std::printf("%s\n%s\n", name, table.ToString().c_str());
+  }
+  std::printf("shape: greedy wins the expectation by a wide margin while "
+              "WIGS stays competitive on the worst case.\n");
+  return Status::OK();
+}
+
+// ---- scaling: cost vs hierarchy size --------------------------------------
+
+Status SuiteScaling(SuiteContext& ctx) {
+  PrintConfig(ctx, "Scaling study: expected cost vs hierarchy size");
+  const std::vector<double> scales =
+      ctx.smoke ? std::vector<double>{0.05}
+                : std::vector<double>{0.05, 0.10, 0.20, 0.40};
+  for (const char* name : {"amazon", "imagenet"}) {
+    AsciiTable table({"#nodes", "TopDown", "MIGS", "WIGS", "Greedy",
+                      "Greedy/TopDown"});
+    for (const double scale : scales) {
+      AIGS_ASSIGN_OR_RETURN(const Dataset* d, ctx.cache->Get(name, scale));
+      AIGS_ASSIGN_OR_RETURN(
+          const CompetitorCosts c,
+          RunCompetitors(ctx, name, scale, "real", 1, 1000,
+                         std::string("scaling/") + name + "/" +
+                             FormatDouble(scale, 2)));
+      table.AddRow({FormatWithCommas(d->hierarchy.NumNodes()),
+                    FormatDouble(c.top_down), FormatDouble(c.migs),
+                    FormatDouble(c.wigs), FormatDouble(c.greedy),
+                    FormatDouble(c.greedy / c.top_down * 100, 1) + "%"});
+    }
+    std::printf("%s (real distribution)\n%s\n", name,
+                table.ToString().c_str());
+  }
+  std::printf("shape: greedy's share of the TopDown cost shrinks as the "
+              "hierarchy grows.\n");
+  return Status::OK();
+}
+
+// ---- ablation: greedy design choices --------------------------------------
+
+Status SuiteAblation(SuiteContext& ctx) {
+  PrintConfig(ctx, "Ablations: greedy design choices (§IV)");
+  const double scale = std::min(ctx.scale, ctx.smoke ? 0.03 : 0.1);
+
+  // Rounding (Eq. 1) on/off.
+  {
+    AsciiTable table({"Policy", "Raw weights", "Rounded weights (Eq. 1)"});
+    const struct {
+      const char* dataset;
+      const char* raw;
+      const char* rounded;
+      const char* label;
+    } rows[] = {
+        {"amazon", "greedy_tree", "greedy_tree:rounded=true", "GreedyTree"},
+        {"imagenet", "greedy_dag:rounded=false", "greedy_dag", "GreedyDAG"}};
+    for (const auto& row : rows) {
+      double costs[2] = {0, 0};
+      const char* policies[2] = {row.raw, row.rounded};
+      for (int i = 0; i < 2; ++i) {
+        ScenarioSpec spec;
+        spec.label = std::string("ablation/rounding/") + row.dataset + "/" +
+                     (i == 0 ? "raw" : "rounded");
+        spec.dataset = row.dataset;
+        spec.scale = scale;
+        spec.policy = policies[i];
+        AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+        costs[i] = r.expected_cost;
+      }
+      table.AddRow({row.label, FormatDouble(costs[0]),
+                    FormatDouble(costs[1])});
+    }
+    std::printf("[rounding]\n%s\n", table.ToString().c_str());
+  }
+
+  // Selection-time ablations (child scan, dominance pruning, overlays).
+  AIGS_ASSIGN_OR_RETURN(const Dataset* amazon,
+                        ctx.cache->Get("amazon", scale));
+  AIGS_ASSIGN_OR_RETURN(const Dataset* imagenet,
+                        ctx.cache->Get("imagenet", scale));
+  const std::size_t fast_samples = ctx.smoke ? 100 : 2000;
+  const std::size_t naive_samples = ctx.smoke ? 3 : 10;
+  {
+    const Hierarchy& h = amazon->hierarchy;
+    const Distribution& dist = amazon->real_distribution;
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> linear,
+                          MakePolicyFor("greedy_tree", h, dist));
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> heap,
+                          MakePolicyFor("greedy_tree:scan=heap", h, dist));
+    AsciiTable table({"Child scan", "Avg search (ms)"});
+    table.AddRow({"linear  O(nhd)",
+                  FormatDouble(AvgSearchMillis(*linear, h, dist, fast_samples),
+                               4)});
+    table.AddRow({"lazy heap O(nh log d)",
+                  FormatDouble(AvgSearchMillis(*heap, h, dist, fast_samples),
+                               4)});
+    std::printf("[child scan, amazon]\n%s\n", table.ToString().c_str());
+  }
+  {
+    const Hierarchy& h = imagenet->hierarchy;
+    const Distribution& dist = imagenet->real_distribution;
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> pruned,
+                          MakePolicyFor("greedy_dag", h, dist));
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> exhaustive,
+                          MakePolicyFor("greedy_dag:prune=false", h, dist));
+    AsciiTable table({"Selection BFS", "Avg search (ms)"});
+    const std::size_t samples = ctx.smoke ? 50 : 500;
+    table.AddRow({"dominance-pruned (Alg. 6)",
+                  FormatDouble(AvgSearchMillis(*pruned, h, dist, samples),
+                               4)});
+    table.AddRow({"exhaustive",
+                  FormatDouble(AvgSearchMillis(*exhaustive, h, dist, samples),
+                               4)});
+    std::printf("[dominance pruning, imagenet]\n%s\n",
+                table.ToString().c_str());
+  }
+  for (const Dataset* d : {amazon, imagenet}) {
+    const Hierarchy& h = d->hierarchy;
+    const Distribution& dist = d->real_distribution;
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> fast,
+                          MakePolicyFor("greedy", h, dist));
+    AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> naive,
+                          MakePolicyFor("greedy_naive", h, dist));
+    AsciiTable table({"Implementation", "Avg search (ms)"});
+    table.AddRow(
+        {fast->name() + " (incremental index + session overlay)",
+         FormatDouble(AvgSearchMillis(*fast, h, dist,
+                                      std::min<std::size_t>(fast_samples,
+                                                            1000)),
+                      4)});
+    table.AddRow({"GreedyNaive (Algorithm 2, full rescans)",
+                  FormatDouble(AvgSearchMillis(*naive, h, dist,
+                                               naive_samples),
+                               3)});
+    std::printf("[overlay vs naive, %s]\n%s\n", d->name.c_str(),
+                table.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+// ---- approx_ratio: empirical ratios vs brute-force optimum ----------------
+
+struct RatioStats {
+  double worst = 0;
+  double sum = 0;
+  std::size_t count = 0;
+
+  void Add(double ratio) {
+    worst = std::max(worst, ratio);
+    sum += ratio;
+    ++count;
+  }
+  double Mean() const {
+    return count == 0 ? 0 : sum / static_cast<double>(count);
+  }
+};
+
+Status SuiteApproxRatio(SuiteContext& ctx) {
+  PrintConfig(ctx, "Empirical approximation ratios vs brute-force optimum");
+  const std::size_t rounds = static_cast<std::size_t>(
+      EnvInt("AIGS_APPROX_ROUNDS", ctx.smoke ? 20 : 120));
+
+  Rng rng(2022);
+  RatioStats tree_stats, dag_stats, equal_stats, caigs_stats;
+  EvalOptions eval_options;
+  eval_options.threads = 1;  // instances are tiny; skip pool overhead
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t n = 2 + rng.UniformInt(13);
+
+    {  // Tree family: GreedyTree vs optimum.
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomTree(n, g));
+      AIGS_RETURN_NOT_OK(h.status());
+      std::vector<Weight> weights(h->NumNodes());
+      for (auto& x : weights) {
+        x = 1 + g.UniformInt(99);
+      }
+      AIGS_ASSIGN_OR_RETURN(const Distribution dist,
+                            Distribution::FromWeights(weights));
+      AIGS_ASSIGN_OR_RETURN(const double opt, OptimalExpectedCost(*h, dist));
+      AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> greedy,
+                            MakePolicyFor("greedy_tree", *h, dist));
+      if (opt > 0) {
+        tree_stats.Add(
+            EvaluateExact(*greedy, *h, dist, eval_options).expected_cost /
+            opt);
+      }
+    }
+    {  // DAG family: GreedyDAG (rounded) vs optimum.
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomDag(std::max<std::size_t>(n, 3), g, 0.5));
+      AIGS_RETURN_NOT_OK(h.status());
+      std::vector<Weight> weights(h->NumNodes());
+      for (auto& x : weights) {
+        x = 1 + g.UniformInt(99);
+      }
+      AIGS_ASSIGN_OR_RETURN(const Distribution dist,
+                            Distribution::FromWeights(weights));
+      AIGS_ASSIGN_OR_RETURN(const double opt, OptimalExpectedCost(*h, dist));
+      AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> greedy,
+                            MakePolicyFor("greedy_dag", *h, dist));
+      if (opt > 0) {
+        dag_stats.Add(
+            EvaluateExact(*greedy, *h, dist, eval_options).expected_cost /
+            opt);
+      }
+    }
+    {  // Equal-probability family (Theorem 3's setting).
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomDag(std::max<std::size_t>(n, 3), g, 0.4));
+      AIGS_RETURN_NOT_OK(h.status());
+      const Distribution dist = EqualDistribution(h->NumNodes());
+      AIGS_ASSIGN_OR_RETURN(const double opt, OptimalExpectedCost(*h, dist));
+      AIGS_ASSIGN_OR_RETURN(const std::unique_ptr<Policy> greedy,
+                            MakePolicyFor("greedy_dag", *h, dist));
+      if (opt > 0) {
+        equal_stats.Add(
+            EvaluateExact(*greedy, *h, dist, eval_options).expected_cost /
+            opt);
+      }
+    }
+    {  // CAIGS family: cost-sensitive greedy vs priced optimum.
+      Rng g(rng.Next());
+      auto h = Hierarchy::Build(RandomTree(n, g));
+      AIGS_RETURN_NOT_OK(h.status());
+      std::vector<Weight> weights(h->NumNodes());
+      for (auto& x : weights) {
+        x = 1 + g.UniformInt(30);
+      }
+      AIGS_ASSIGN_OR_RETURN(const Distribution dist,
+                            Distribution::FromWeights(weights));
+      const CostModel costs = CostModel::UniformRandom(h->NumNodes(), 1, 8, g);
+      AIGS_ASSIGN_OR_RETURN(const double opt,
+                            OptimalExpectedCost(*h, dist, &costs));
+      AIGS_ASSIGN_OR_RETURN(
+          const std::unique_ptr<Policy> greedy,
+          MakePolicyFor("cost_sensitive", *h, dist, &costs));
+      EvalOptions priced_options = eval_options;
+      priced_options.cost_model = &costs;
+      if (opt > 0) {
+        caigs_stats.Add(EvaluateExact(*greedy, *h, dist, priced_options)
+                            .expected_priced_cost /
+                        opt);
+      }
+    }
+  }
+
+  AsciiTable table({"Family", "Mean ratio", "Worst ratio", "Theorem bound"});
+  table.AddRow({"GreedyTree on trees (Thm 2)",
+                FormatDouble(tree_stats.Mean(), 4),
+                FormatDouble(tree_stats.worst, 4), "1.618 ((1+sqrt(5))/2)"});
+  table.AddRow({"GreedyDAG on DAGs (Thm 1)", FormatDouble(dag_stats.Mean(), 4),
+                FormatDouble(dag_stats.worst, 4), "2(1+3 ln n)"});
+  table.AddRow({"GreedyDAG, equal probs (Thm 3)",
+                FormatDouble(equal_stats.Mean(), 4),
+                FormatDouble(equal_stats.worst, 4), "O(log n / log log n)"});
+  table.AddRow({"Cost-sensitive on CAIGS (Thm 4)",
+                FormatDouble(caigs_stats.Mean(), 4),
+                FormatDouble(caigs_stats.worst, 4), "2(1+3 ln n)"});
+  std::printf("%s\n", table.ToString().c_str());
+  if (tree_stats.worst > 1.6180339887498949 + 1e-9) {
+    return Status::Internal("tree worst ratio exceeds the golden-ratio bound");
+  }
+  std::printf("tree worst ratio within the golden-ratio bound: OK\n");
+  return Status::OK();
+}
+
+// ---- example2: vehicle hierarchy ------------------------------------------
+
+Status SuiteExample2(SuiteContext& ctx) {
+  PrintConfig(ctx, "Example 2: vehicle hierarchy, 100 objects");
+  VehicleNodes nodes;
+  (void)BuildVehicleHierarchy(&nodes);  // only to learn the node ids
+
+  const auto order_spec = [](std::initializer_list<NodeId> order) {
+    std::string joined;
+    for (const NodeId v : order) {
+      if (!joined.empty()) {
+        joined += '+';
+      }
+      joined += std::to_string(v);
+    }
+    return joined;
+  };
+  const std::string wigs_order =
+      order_spec({nodes.nissan, nodes.maxima, nodes.sentra, nodes.car,
+                  nodes.honda, nodes.mercedes});
+  const std::string average_order =
+      order_spec({nodes.maxima, nodes.sentra, nodes.nissan, nodes.car,
+                  nodes.honda, nodes.mercedes});
+
+  AsciiTable table({"Policy", "Total cost (100 objects)", "Average cost",
+                    "Worst case"});
+  const struct {
+    std::string policy;
+    const char* label;
+  } rows[] = {
+      {"scripted:order=" + wigs_order + ",label=WIGS-optimal",
+       "example2/wigs_optimal"},
+      {"scripted:order=" + average_order + ",label=average-aware",
+       "example2/average_aware"},
+      {"greedy_tree", "example2/greedy"}};
+  for (const auto& row : rows) {
+    ScenarioSpec spec;
+    spec.label = row.label;
+    spec.dataset = "vehicle";
+    spec.policy = row.policy;
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult r, Run(ctx, spec));
+    table.AddRow({r.policy_name, FormatDouble(r.expected_cost * 100, 0),
+                  FormatDouble(r.expected_cost),
+                  std::to_string(r.max_cost)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper: WIGS-optimal total 260 (worst case 4); average-aware "
+              "total 204 (worst case 6).\n\n");
+
+  if (!ctx.smoke) {
+    AIGS_ASSIGN_OR_RETURN(const Dataset* d, ctx.cache->Get("vehicle", 1.0));
+    AIGS_ASSIGN_OR_RETURN(
+        const std::unique_ptr<Policy> greedy,
+        MakePolicyFor("greedy_tree", d->hierarchy, d->real_distribution));
+    AIGS_ASSIGN_OR_RETURN(const DecisionTree tree,
+                          DecisionTree::Build(*greedy, d->hierarchy));
+    std::printf("greedy decision tree (Definition 6):\n%s\n",
+                tree.ToDot(d->hierarchy).c_str());
+  }
+  return Status::OK();
+}
+
+// ---- registry --------------------------------------------------------------
+
+std::function<int(SuiteContext&)> Wrap(Status (*fn)(SuiteContext&)) {
+  return [fn](SuiteContext& ctx) {
+    const Status status = fn(ctx);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  };
+}
+
+}  // namespace
+
+const std::vector<Suite>& AllSuites() {
+  static const std::vector<Suite>* suites = new std::vector<Suite>{
+      {"table2", "dataset statistics (Table II)", Wrap(SuiteTable2)},
+      {"table3", "cost under the real distribution (Table III)",
+       Wrap(SuiteTable3)},
+      {"table4", "probability settings on Amazon (Table IV)",
+       Wrap(SuiteTable4)},
+      {"table5", "probability settings on ImageNet (Table V)",
+       Wrap(SuiteTable5)},
+      {"fig4", "online distribution learning (Fig. 4)", Wrap(SuiteFig4)},
+      {"fig5", "cost vs Zipf parameter (Fig. 5)", Wrap(SuiteFig5)},
+      {"fig6", "running time by target depth (Fig. 6)", Wrap(SuiteFig6)},
+      {"caigs", "cost-sensitive greedy under priced questions",
+       Wrap(SuiteCaigs)},
+      {"batched", "batched questions trade-off (§III-E)",
+       Wrap(SuiteBatched)},
+      {"noise", "noisy answers and majority voting", Wrap(SuiteNoise)},
+      {"worstcase", "average vs worst-case objectives", Wrap(SuiteWorstcase)},
+      {"scaling", "cost growth with hierarchy size", Wrap(SuiteScaling)},
+      {"ablation", "greedy design-choice ablations (§IV)",
+       Wrap(SuiteAblation)},
+      {"approx_ratio", "empirical approximation ratios vs the DP optimum",
+       Wrap(SuiteApproxRatio)},
+      {"example2", "vehicle hierarchy worked example", Wrap(SuiteExample2)},
+  };
+  return *suites;
+}
+
+const Suite* FindSuite(const std::string& name) {
+  for (const Suite& suite : AllSuites()) {
+    if (suite.name == name) {
+      return &suite;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace aigs::bench

@@ -1,0 +1,48 @@
+// Named experiment suites of the unified bench harness. Each suite is the
+// config-driven successor of one former bench_* binary: it builds
+// ScenarioSpec rows (dataset × distribution × policy × cost model ×
+// threads), runs them through the shared scenario engine, prints the
+// familiar ASCII table, and contributes to the uniform JSON/CSV sink.
+#ifndef AIGS_BENCH_SUITES_H_
+#define AIGS_BENCH_SUITES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/scenario.h"
+
+namespace aigs::bench {
+
+/// Shared run configuration handed to every suite.
+struct SuiteContext {
+  /// Base dataset scale (fraction of Table II size).
+  double scale = 0.25;
+  /// Repetitions for randomized distributions / prices.
+  std::size_t reps = 3;
+  /// Evaluator worker count (0 = shared default pool).
+  int threads = 0;
+  /// Minimal configuration: every suite shrinks to one repetition and its
+  /// smallest sweep so CI can exercise all policies cheaply.
+  bool smoke = false;
+  /// Dataset cache shared across suites in one invocation.
+  DatasetCache* cache = nullptr;
+  /// Uniform result sink for --json / --csv; may be null.
+  std::vector<ScenarioResult>* results = nullptr;
+};
+
+struct Suite {
+  std::string name;
+  std::string help;
+  std::function<int(SuiteContext&)> fn;  // returns a process exit code
+};
+
+/// Every registered suite, in presentation order.
+const std::vector<Suite>& AllSuites();
+
+/// Lookup by name; null when unknown.
+const Suite* FindSuite(const std::string& name);
+
+}  // namespace aigs::bench
+
+#endif  // AIGS_BENCH_SUITES_H_

@@ -42,9 +42,10 @@ int main() {
     if (policy == &top_down) {
       top_down_cost = cost;
     }
-    table.AddRow({policy->name(), FormatDouble(cost),
-                  "$" + FormatWithCommas(static_cast<std::uint64_t>(
-                            cost * static_cast<double>(dataset.num_objects)))});
+    std::string bill = "$";
+    bill += FormatWithCommas(static_cast<std::uint64_t>(
+        cost * static_cast<double>(dataset.num_objects)));
+    table.AddRow({policy->name(), FormatDouble(cost), std::move(bill)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("greedy saves %.1f%% of the crowdsourcing bill vs TopDown.\n",

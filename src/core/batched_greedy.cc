@@ -100,8 +100,10 @@ class BatchedGreedySession final : public SearchSession {
       if (reach_count == set_count) {
         return;  // "yes" is certain; the question is wasted
       }
-      const Weight twice = 2 * reach_weight;
-      const Weight diff = twice > total ? twice - total : total - twice;
+      // Overflow-safe |2*reach - total| (same pattern as middle_point.cc).
+      const Weight rest = total - reach_weight;
+      const Weight diff =
+          reach_weight > rest ? reach_weight - rest : rest - reach_weight;
       if (best == kInvalidNode || diff < best_diff) {
         best = v;
         best_diff = diff;

@@ -56,14 +56,17 @@ class GreedyDagSession final : public SearchSession {
           continue;
         }
         visited_.Visit(v);
+        // Compare w against total - w instead of forming 2*w, which can
+        // overflow Weight for totals above 2^63 (kRealScale-scaled
+        // distributions on large catalogs get close).
         const Weight w = state_.ReachWeight(v);
-        const Weight twice = 2 * w;
-        const Weight diff = twice > total ? twice - total : total - twice;
+        const Weight rest = total - w;  // w <= total: reach of alive subset
+        const Weight diff = w > rest ? w - rest : rest - w;
         if (best == kInvalidNode || diff < best_diff) {
           best = v;
           best_diff = diff;
         }
-        if (disable_pruning_ || twice > total) {
+        if (disable_pruning_ || w > rest) {
           queue_.push_back(v);
         }
       }

@@ -8,11 +8,17 @@
 namespace aigs {
 namespace {
 
-/// |2a - b| in unsigned arithmetic (a <= b, 2a cannot overflow: weights are
-/// bounded by n·(n²+1) for rounded weights and by n·10⁹ for raw ones).
+/// |2a - b| in unsigned arithmetic, computed as |a - (b - a)| so it stays
+/// overflow-free for any a <= b (2a can exceed 2^64 on kRealScale-scaled
+/// distributions over large catalogs).
 Weight SplitDiff(Weight subtree, Weight total) {
-  const Weight twice = 2 * subtree;
-  return twice > total ? twice - total : total - twice;
+  const Weight rest = total - subtree;
+  return subtree > rest ? subtree - rest : rest - subtree;
+}
+
+/// True iff 2a > b without forming 2a (a <= b).
+bool MoreThanHalf(Weight subtree, Weight total) {
+  return subtree > total - subtree;
 }
 
 /// One search session implementing the Algorithm 4 descent over a
@@ -56,7 +62,8 @@ class GreedyTreeSession final : public SearchSession {
     NodeId u = kInvalidNode;
     NodeId v = r;
     NodeId first_child = kInvalidNode;
-    while (2 * state_.SubtreeWeight(v) > total && !IsSessionLeaf(v)) {
+    while (MoreThanHalf(state_.SubtreeWeight(v), total) &&
+           !IsSessionLeaf(v)) {
       u = v;
       v = MaxWeightAliveChild(v);
       AIGS_DCHECK(v != kInvalidNode);

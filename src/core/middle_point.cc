@@ -25,10 +25,10 @@ MiddlePoint FindMiddlePointNaive(const Digraph& g,
     }
     const Weight reach =
         GetReachableSetWeight(g, candidates, v, weights, scratch);
-    const Weight twice = 2 * reach;
-    const Weight diff = twice > total_alive_weight
-                            ? twice - total_alive_weight
-                            : total_alive_weight - twice;
+    // |2*reach - total| computed as |reach - (total - reach)|: 2*reach can
+    // overflow Weight; reach <= total_alive_weight by construction.
+    const Weight rest = total_alive_weight - reach;
+    const Weight diff = reach > rest ? reach - rest : rest - reach;
     if (best.node == kInvalidNode || diff < best.split_diff) {
       best.node = v;
       best.split_diff = diff;

@@ -1,0 +1,120 @@
+// String-spec construction of policies: "greedy", "batched:k=8",
+// "migs:choices=4,ordered=true" — the single place that maps policy names to
+// factories. Benches, the CLI and tests all construct policies through the
+// registry, so a new scenario is a spec string instead of hand-wired code.
+//
+// Spec grammar:
+//   spec    := name [":" option ("," option)*]
+//   option  := key "=" value
+// Values never contain ',' or ':'; list-valued options (the scripted
+// policy's question order) separate elements with '+'.
+//
+// The global registry is pre-populated with every built-in policy —
+// GreedyTree/DAG (and the auto-dispatching "greedy"), GreedyNaive,
+// BatchedGreedy, CostSensitiveGreedy, MIGS, WIGS, TopDown and Scripted.
+// Factories reject unknown option keys, so typos fail with a Status instead
+// of silently running the default configuration.
+#ifndef AIGS_CORE_POLICY_REGISTRY_H_
+#define AIGS_CORE_POLICY_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/policy.h"
+#include "oracle/cost_model.h"
+#include "prob/distribution.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Everything a policy factory may bind to. `hierarchy` and `distribution`
+/// are required; `cost_model` only by cost-aware policies (factories that
+/// need it return FailedPrecondition when it is absent).
+struct PolicyContext {
+  const Hierarchy* hierarchy = nullptr;
+  const Distribution* distribution = nullptr;
+  const CostModel* cost_model = nullptr;
+};
+
+/// Parsed option map of a policy spec. Factories consume the keys they
+/// understand; Create() rejects any leftover key so misspelled options
+/// surface as errors.
+class PolicyOptions {
+ public:
+  PolicyOptions() = default;
+
+  /// Parses "key=value,key=value" (empty input → empty options).
+  static StatusOr<PolicyOptions> Parse(std::string_view text);
+
+  /// Typed accessors; the key is marked consumed even when absent (the
+  /// fallback then applies).
+  StatusOr<std::int64_t> ConsumeInt(const std::string& key,
+                                    std::int64_t fallback);
+  StatusOr<double> ConsumeDouble(const std::string& key, double fallback);
+  StatusOr<bool> ConsumeBool(const std::string& key, bool fallback);
+  /// Required '+'-separated node-id list ("12+7+3").
+  StatusOr<std::vector<NodeId>> ConsumeNodeList(const std::string& key);
+  /// Free-form string value.
+  StatusOr<std::string> ConsumeString(const std::string& key,
+                                      std::string fallback);
+
+  /// OK iff every provided key was consumed by the factory.
+  Status VerifyAllConsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+/// A parsed "name:options" spec.
+struct PolicySpec {
+  std::string name;
+  PolicyOptions options;
+
+  static StatusOr<PolicySpec> Parse(std::string_view spec);
+};
+
+/// Name → factory registry.
+class PolicyRegistry {
+ public:
+  using Factory = std::function<StatusOr<std::unique_ptr<Policy>>(
+      const PolicyContext&, PolicyOptions&)>;
+
+  /// The process-wide registry, pre-populated with the built-in policies on
+  /// first access.
+  static PolicyRegistry& Global();
+
+  /// Registers a factory; fails on duplicate names. Names are matched
+  /// case-sensitively and by convention are lower_snake_case.
+  Status Register(std::string name, std::string help, Factory factory);
+
+  /// Parses `spec` and builds the policy. Errors: unknown name, malformed
+  /// options, unconsumed option keys, or factory-specific failures (e.g.
+  /// cost_sensitive without a cost model).
+  StatusOr<std::unique_ptr<Policy>> Create(std::string_view spec,
+                                           const PolicyContext& context) const;
+
+  bool Contains(const std::string& name) const;
+
+  struct Entry {
+    std::string name;
+    std::string help;
+  };
+  /// All registered names with their help lines, sorted by name.
+  std::vector<Entry> List() const;
+
+ private:
+  // name → (help, factory)
+  std::map<std::string, std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_POLICY_REGISTRY_H_

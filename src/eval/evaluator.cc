@@ -1,5 +1,6 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "eval/runner.h"
@@ -7,109 +8,219 @@
 #include "prob/alias_table.h"
 
 namespace aigs {
+namespace {
+
+/// Decorrelates shard RNG streams from a single user seed (splitmix64-style
+/// odd-multiplier mix; Rng itself re-mixes through splitmix64 on Seed()).
+std::uint64_t ShardSeed(std::uint64_t seed, std::size_t shard_index) {
+  return seed + 0x9E3779B97F4A7C15ULL *
+                    (static_cast<std::uint64_t>(shard_index) + 1);
+}
+
+}  // namespace
+
+/// One contiguous range of targets (exact) or sample indices (sampled),
+/// with its aggregate outputs. Aggregates use long double so the merged
+/// expectation matches the serial reference bit-for-bit: shard-internal
+/// accumulation order is fixed by target order and the merge happens in
+/// shard order on one thread.
+struct Evaluator::Shard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint64_t rng_seed = 0;  // sampled mode only
+
+  long double weighted_unit = 0;
+  long double weighted_priced = 0;
+  long double weighted_reach = 0;
+  long double weighted_rounds = 0;
+  std::uint64_t max_cost = 0;
+  std::uint64_t searches = 0;
+  bool all_correct = true;
+};
+
+Evaluator::Evaluator(EvalOptions options) : options_(options) {
+  AIGS_CHECK(options_.threads >= 0);
+  AIGS_CHECK(options_.shard_size >= 1);
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else if (options_.threads == 0) {
+    pool_ = &ThreadPool::Default();
+  } else if (options_.threads > 1) {
+    owned_pool_ =
+        std::make_unique<ThreadPool>(static_cast<std::size_t>(options_.threads));
+    pool_ = owned_pool_.get();
+  }
+  // threads == 1: pool_ stays null — the serial reference path.
+}
+
+Evaluator::~Evaluator() = default;
+
+std::size_t Evaluator::num_workers() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+namespace {
+
+/// Splits [0, n) into consecutive shards of `shard_size` (the last may be
+/// short). The shard structure depends only on (n, shard_size) — never on
+/// the worker count — which is what makes parallel aggregation exactly
+/// reproduce the serial reference.
+std::size_t NumShards(std::size_t n, std::size_t shard_size) {
+  return (n + shard_size - 1) / shard_size;
+}
+
+}  // namespace
+
+EvalStats Evaluator::Exact(const Policy& policy, const Hierarchy& hierarchy,
+                           const Distribution& dist) const {
+  const std::size_t n = hierarchy.NumNodes();
+  AIGS_CHECK(dist.size() == n);
+
+  EvalStats stats;
+  stats.per_target_cost.assign(n, 0);
+  std::uint32_t* per_target = stats.per_target_cost.data();
+
+  RunOptions run_options;
+  run_options.cost_model = options_.cost_model;
+  const bool include_zero = options_.include_zero_weight_targets;
+
+  std::vector<Shard> shards(NumShards(n, options_.shard_size));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].begin = s * options_.shard_size;
+    shards[s].end = std::min(n, shards[s].begin + options_.shard_size);
+  }
+
+  const auto run_shard = [&](Shard& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const NodeId target = static_cast<NodeId>(i);
+      const Weight w = dist.WeightOf(target);
+      if (w == 0 && !include_zero) {
+        continue;
+      }
+      ExactOracle oracle(hierarchy.reach(), target);
+      auto session = policy.NewSession();
+      const SearchResult r = RunSearch(*session, oracle, run_options);
+      if (r.target != target) {
+        shard.all_correct = false;
+      }
+      const auto unit = static_cast<std::uint32_t>(r.UnitCost());
+      per_target[i] = unit;
+      const auto lw = static_cast<long double>(w);
+      shard.weighted_unit += lw * static_cast<long double>(unit);
+      shard.weighted_priced +=
+          lw * static_cast<long double>(r.priced_cost + r.choices_read);
+      shard.weighted_reach +=
+          lw * static_cast<long double>(r.reach_queries);
+      shard.weighted_rounds +=
+          lw * static_cast<long double>(r.interaction_rounds);
+      shard.max_cost = std::max<std::uint64_t>(shard.max_cost, unit);
+      ++shard.searches;
+    }
+  };
+
+  const EvalStats merged =
+      RunShards(shards, run_shard, static_cast<long double>(dist.Total()));
+  stats.expected_cost = merged.expected_cost;
+  stats.expected_priced_cost = merged.expected_priced_cost;
+  stats.expected_reach_queries = merged.expected_reach_queries;
+  stats.expected_rounds = merged.expected_rounds;
+  stats.max_cost = merged.max_cost;
+  stats.num_searches = merged.num_searches;
+  return stats;
+}
+
+EvalStats Evaluator::Sampled(const Policy& policy, const Hierarchy& hierarchy,
+                             const Distribution& dist,
+                             std::size_t num_samples,
+                             std::uint64_t seed) const {
+  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+  const AliasTable sampler(dist);
+
+  RunOptions run_options;
+  run_options.cost_model = options_.cost_model;
+
+  std::vector<Shard> shards(NumShards(num_samples, options_.shard_size));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].begin = s * options_.shard_size;
+    shards[s].end = std::min(num_samples, shards[s].begin + options_.shard_size);
+    shards[s].rng_seed = ShardSeed(seed, s);
+  }
+
+  const auto run_shard = [&](Shard& shard) {
+    Rng rng(shard.rng_seed);
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const NodeId target = sampler.Sample(rng);
+      ExactOracle oracle(hierarchy.reach(), target);
+      auto session = policy.NewSession();
+      const SearchResult r = RunSearch(*session, oracle, run_options);
+      if (r.target != target) {
+        shard.all_correct = false;
+      }
+      const std::uint64_t unit = r.UnitCost();
+      shard.weighted_unit += static_cast<long double>(unit);
+      shard.weighted_priced +=
+          static_cast<long double>(r.priced_cost + r.choices_read);
+      shard.weighted_reach += static_cast<long double>(r.reach_queries);
+      shard.weighted_rounds +=
+          static_cast<long double>(r.interaction_rounds);
+      shard.max_cost = std::max(shard.max_cost, unit);
+      ++shard.searches;
+    }
+  };
+
+  if (num_samples == 0) {
+    return EvalStats{};
+  }
+  return RunShards(shards, run_shard,
+                   static_cast<long double>(num_samples));
+}
+
+EvalStats Evaluator::RunShards(
+    std::vector<Shard>& shards,
+    const std::function<void(Shard&)>& run_shard,
+    long double denominator) const {
+  if (pool_ == nullptr) {
+    // Serial reference path: same shard structure, same merge, no pool.
+    for (Shard& shard : shards) {
+      run_shard(shard);
+    }
+  } else {
+    pool_->ParallelFor(
+        shards.size(), [&](std::size_t s) { run_shard(shards[s]); },
+        /*min_chunk=*/1);
+  }
+
+  // Deterministic merge: shard order, one thread.
+  long double unit = 0, priced = 0, reach = 0, rounds = 0;
+  EvalStats stats;
+  bool all_correct = true;
+  for (const Shard& shard : shards) {
+    unit += shard.weighted_unit;
+    priced += shard.weighted_priced;
+    reach += shard.weighted_reach;
+    rounds += shard.weighted_rounds;
+    stats.max_cost = std::max(stats.max_cost, shard.max_cost);
+    stats.num_searches += shard.searches;
+    all_correct = all_correct && shard.all_correct;
+  }
+  AIGS_CHECK(all_correct && "policy misidentified a target");
+  stats.expected_cost = static_cast<double>(unit / denominator);
+  stats.expected_priced_cost = static_cast<double>(priced / denominator);
+  stats.expected_reach_queries = static_cast<double>(reach / denominator);
+  stats.expected_rounds = static_cast<double>(rounds / denominator);
+  return stats;
+}
 
 EvalStats EvaluateExact(const Policy& policy, const Hierarchy& hierarchy,
                         const Distribution& dist, const EvalOptions& options) {
-  const std::size_t n = hierarchy.NumNodes();
-  AIGS_CHECK(dist.size() == n);
-  ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : ThreadPool::Default();
-
-  std::vector<std::uint32_t> unit_cost(n, 0);
-  std::vector<std::uint64_t> priced_cost(n, 0);
-  std::atomic<bool> all_correct{true};
-
-  RunOptions run_options;
-  run_options.cost_model = options.cost_model;
-
-  pool.ParallelFor(n, [&](std::size_t i) {
-    const NodeId target = static_cast<NodeId>(i);
-    if (!options.include_zero_weight_targets && dist.WeightOf(target) == 0) {
-      return;
-    }
-    ExactOracle oracle(hierarchy.reach(), target);
-    auto session = policy.NewSession();
-    const SearchResult r = RunSearch(*session, oracle, run_options);
-    if (r.target != target) {
-      all_correct.store(false, std::memory_order_relaxed);
-    }
-    unit_cost[i] = static_cast<std::uint32_t>(r.UnitCost());
-    priced_cost[i] = r.priced_cost + r.choices_read;
-  });
-  AIGS_CHECK(all_correct.load() && "policy misidentified a target");
-
-  EvalStats stats;
-  stats.per_target_cost = std::move(unit_cost);
-  long double weighted = 0;
-  long double weighted_priced = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Weight w = dist.WeightOf(static_cast<NodeId>(i));
-    weighted += static_cast<long double>(w) *
-                static_cast<long double>(stats.per_target_cost[i]);
-    weighted_priced += static_cast<long double>(w) *
-                       static_cast<long double>(priced_cost[i]);
-    if (w > 0 || options.include_zero_weight_targets) {
-      stats.max_cost =
-          std::max<std::uint64_t>(stats.max_cost, stats.per_target_cost[i]);
-      ++stats.num_searches;
-    }
-  }
-  stats.expected_cost =
-      static_cast<double>(weighted / static_cast<long double>(dist.Total()));
-  stats.expected_priced_cost = static_cast<double>(
-      weighted_priced / static_cast<long double>(dist.Total()));
-  return stats;
+  return Evaluator(options).Exact(policy, hierarchy, dist);
 }
 
 EvalStats EvaluateSampled(const Policy& policy, const Hierarchy& hierarchy,
                           const Distribution& dist, std::size_t num_samples,
-                          Rng& rng, const EvalOptions& options) {
-  AIGS_CHECK(dist.size() == hierarchy.NumNodes());
-  const AliasTable sampler(dist);
-
-  // Pre-draw targets so the parallel fan-out stays deterministic.
-  std::vector<NodeId> targets(num_samples);
-  for (auto& t : targets) {
-    t = sampler.Sample(rng);
-  }
-
-  ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : ThreadPool::Default();
-  std::vector<std::uint32_t> unit_cost(num_samples, 0);
-  std::vector<std::uint64_t> priced_cost(num_samples, 0);
-  std::atomic<bool> all_correct{true};
-
-  RunOptions run_options;
-  run_options.cost_model = options.cost_model;
-
-  pool.ParallelFor(num_samples, [&](std::size_t i) {
-    ExactOracle oracle(hierarchy.reach(), targets[i]);
-    auto session = policy.NewSession();
-    const SearchResult r = RunSearch(*session, oracle, run_options);
-    if (r.target != targets[i]) {
-      all_correct.store(false, std::memory_order_relaxed);
-    }
-    unit_cost[i] = static_cast<std::uint32_t>(r.UnitCost());
-    priced_cost[i] = r.priced_cost + r.choices_read;
-  });
-  AIGS_CHECK(all_correct.load() && "policy misidentified a target");
-
-  EvalStats stats;
-  stats.num_searches = num_samples;
-  long double total = 0;
-  long double total_priced = 0;
-  for (std::size_t i = 0; i < num_samples; ++i) {
-    total += unit_cost[i];
-    total_priced += static_cast<long double>(priced_cost[i]);
-    stats.max_cost = std::max<std::uint64_t>(stats.max_cost, unit_cost[i]);
-  }
-  if (num_samples > 0) {
-    stats.expected_cost =
-        static_cast<double>(total / static_cast<long double>(num_samples));
-    stats.expected_priced_cost = static_cast<double>(
-        total_priced / static_cast<long double>(num_samples));
-  }
-  return stats;
+                          std::uint64_t seed, const EvalOptions& options) {
+  return Evaluator(options).Sampled(policy, hierarchy, dist, num_samples,
+                                    seed);
 }
 
 }  // namespace aigs

@@ -1,21 +1,28 @@
 // Expected-cost evaluation of a policy under a target distribution
 // (Definition 7: cost(D) = Σ_v p(v)·ℓ(v)).
 //
-// EvaluateExact enumerates every node as the hidden target (weighting by its
-// probability) — the search-session overlays make one search cheap, and
-// targets fan out across a thread pool. EvaluateSampled draws targets from
-// the distribution instead, for policies too slow to enumerate (GreedyNaive).
+// The engine is target-sharded: the target space is split into fixed-size
+// shards (independent of the worker count), each shard runs its searches
+// against per-shard state (session + RNG derived from seed and shard id),
+// and shard aggregates merge in shard order. Parallel output is therefore
+// bit-identical to the threads=1 reference path for any thread count.
+//
+// Evaluator::Exact enumerates every node as the hidden target (weighting by
+// its probability) — the search-session overlays make one search cheap.
+// Evaluator::Sampled draws targets from the distribution instead, for
+// policies too slow to enumerate (GreedyNaive).
 #ifndef AIGS_EVAL_EVALUATOR_H_
 #define AIGS_EVAL_EVALUATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/hierarchy.h"
 #include "core/policy.h"
 #include "oracle/cost_model.h"
 #include "prob/distribution.h"
-#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace aigs {
@@ -26,6 +33,10 @@ struct EvalStats {
   double expected_cost = 0;
   /// Expected priced cost (CAIGS; equals expected_cost for unit prices).
   double expected_priced_cost = 0;
+  /// Expected number of boolean reach queries (excludes choice reading).
+  double expected_reach_queries = 0;
+  /// Expected interaction rounds (what the §III-E batched extension cuts).
+  double expected_rounds = 0;
   /// Worst-case unit cost over evaluated targets (the WIGS objective).
   std::uint64_t max_cost = 0;
   /// Number of (target, search) runs performed.
@@ -40,22 +51,72 @@ struct EvalStats {
 struct EvalOptions {
   /// Prices for reach queries (null = unit).
   const CostModel* cost_model = nullptr;
-  /// Thread pool (null = ThreadPool::Default()).
+  /// Explicit worker pool. Takes precedence over `threads` when set.
   ThreadPool* pool = nullptr;
+  /// Worker count when `pool` is null: 0 = the shared default pool
+  /// (hardware concurrency), 1 = serial reference path (no pool, no
+  /// synchronization), N > 1 = a dedicated pool of N workers owned by the
+  /// Evaluator. Results are bit-identical across all settings.
+  int threads = 0;
+  /// Targets per shard. Shard structure determines the aggregation order
+  /// and the sampled-mode RNG streams but never the per-target results;
+  /// leave at the default unless profiling shard overhead.
+  std::size_t shard_size = 256;
   /// Also run zero-probability targets to verify the policy identifies them
   /// (they contribute 0 to the expectation either way).
   bool include_zero_weight_targets = true;
 };
 
-/// Exact expectation: one search per node, weighted by dist. Fatally checks
-/// that every search identifies its true target.
-EvalStats EvaluateExact(const Policy& policy, const Hierarchy& hierarchy,
-                        const Distribution& dist, const EvalOptions& options = {});
+/// Reusable evaluation engine: bind options (and a possibly dedicated
+/// worker pool) once, evaluate many policies.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalOptions options = {});
+  ~Evaluator();
 
-/// Monte-Carlo estimate over `num_samples` targets drawn from dist.
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  /// Exact expectation: one search per node, weighted by dist. Fatally
+  /// checks that every search identifies its true target.
+  EvalStats Exact(const Policy& policy, const Hierarchy& hierarchy,
+                  const Distribution& dist) const;
+
+  /// Monte-Carlo estimate over `num_samples` targets. Shard s draws its
+  /// targets from an RNG seeded by (seed, s), so the estimate depends on
+  /// (seed, shard_size) but not on the thread count.
+  EvalStats Sampled(const Policy& policy, const Hierarchy& hierarchy,
+                    const Distribution& dist, std::size_t num_samples,
+                    std::uint64_t seed) const;
+
+  /// Effective parallelism (1 for the serial reference path).
+  std::size_t num_workers() const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  struct Shard;
+
+  /// Runs every shard through `run_shard` — serially in shard order on the
+  /// reference path, or fanned out on the worker pool — then merges the
+  /// shard aggregates in shard order and divides by `denominator`.
+  EvalStats RunShards(std::vector<Shard>& shards,
+                      const std::function<void(Shard&)>& run_shard,
+                      long double denominator) const;
+
+  EvalOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // null = serial reference path
+};
+
+/// Convenience wrappers constructing a transient Evaluator.
+EvalStats EvaluateExact(const Policy& policy, const Hierarchy& hierarchy,
+                        const Distribution& dist,
+                        const EvalOptions& options = {});
+
 EvalStats EvaluateSampled(const Policy& policy, const Hierarchy& hierarchy,
                           const Distribution& dist, std::size_t num_samples,
-                          Rng& rng, const EvalOptions& options = {});
+                          std::uint64_t seed, const EvalOptions& options = {});
 
 }  // namespace aigs
 

@@ -95,9 +95,8 @@ TEST(EvaluateSampled, ConvergesToExact) {
   const Distribution dist = ExponentialRandomDistribution(40, rng);
   GreedyTreePolicy policy(h, dist);
   const EvalStats exact = EvaluateExact(policy, h, dist);
-  Rng sample_rng(5);
   const EvalStats sampled =
-      EvaluateSampled(policy, h, dist, 20000, sample_rng);
+      EvaluateSampled(policy, h, dist, 20000, /*seed=*/5);
   EXPECT_EQ(sampled.num_searches, 20000u);
   EXPECT_NEAR(sampled.expected_cost, exact.expected_cost,
               0.05 * exact.expected_cost + 0.05);

@@ -1,0 +1,180 @@
+// Determinism contract of the target-sharded parallel evaluator: for a
+// fixed seed and shard size, every aggregate is bit-identical across
+// threads ∈ {1, 2, 8}, with threads=1 running the pool-free serial
+// reference path.
+#include <gtest/gtest.h>
+
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "eval/evaluator.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+EvalStats ExactWithThreads(const Policy& policy, const Hierarchy& h,
+                           const Distribution& dist, int threads,
+                           std::size_t shard_size = 0) {
+  EvalOptions options;
+  options.threads = threads;
+  if (shard_size != 0) {
+    options.shard_size = shard_size;
+  }
+  return Evaluator(options).Exact(policy, h, dist);
+}
+
+void ExpectBitIdentical(const EvalStats& a, const EvalStats& b) {
+  // EXPECT_EQ on doubles checks exact equality — the contract is
+  // bit-identical, not approximately equal.
+  EXPECT_EQ(a.expected_cost, b.expected_cost);
+  EXPECT_EQ(a.expected_priced_cost, b.expected_priced_cost);
+  EXPECT_EQ(a.expected_reach_queries, b.expected_reach_queries);
+  EXPECT_EQ(a.expected_rounds, b.expected_rounds);
+  EXPECT_EQ(a.max_cost, b.max_cost);
+  EXPECT_EQ(a.num_searches, b.num_searches);
+  EXPECT_EQ(a.per_target_cost, b.per_target_cost);
+}
+
+TEST(ParallelEval, ExactBitIdenticalAcrossThreadsOnTree) {
+  Rng rng(101);
+  const Hierarchy h = MustBuild(RandomTree(300, rng));
+  const Distribution dist = ZipfRandomDistribution(300, 2.0, rng);
+  GreedyTreePolicy policy(h, dist);
+  const EvalStats serial = ExactWithThreads(policy, h, dist, 1);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    ExpectBitIdentical(serial, ExactWithThreads(policy, h, dist, threads));
+  }
+}
+
+TEST(ParallelEval, ExactBitIdenticalAcrossThreadsOnDag) {
+  Rng rng(102);
+  const Hierarchy h = MustBuild(RandomDag(180, rng, 0.4));
+  const Distribution dist =
+      ExponentialRandomDistribution(h.NumNodes(), rng);
+  GreedyDagPolicy policy(h, dist);
+  const EvalStats serial = ExactWithThreads(policy, h, dist, 1);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    ExpectBitIdentical(serial, ExactWithThreads(policy, h, dist, threads));
+  }
+}
+
+TEST(ParallelEval, ExactBitIdenticalWithPricedCosts) {
+  Rng rng(103);
+  const Hierarchy h = MustBuild(RandomTree(120, rng));
+  const Distribution dist = UniformRandomDistribution(120, rng);
+  const CostModel costs = CostModel::UniformRandom(120, 1, 9, rng);
+  CostSensitiveGreedyPolicy policy(h, dist, costs);
+  EvalOptions serial_options;
+  serial_options.threads = 1;
+  serial_options.cost_model = &costs;
+  EvalOptions parallel_options = serial_options;
+  parallel_options.threads = 8;
+  const EvalStats serial =
+      Evaluator(serial_options).Exact(policy, h, dist);
+  const EvalStats parallel =
+      Evaluator(parallel_options).Exact(policy, h, dist);
+  ExpectBitIdentical(serial, parallel);
+  EXPECT_GT(serial.expected_priced_cost, serial.expected_cost * 0.99);
+}
+
+TEST(ParallelEval, SampledBitIdenticalAcrossThreads) {
+  Rng rng(104);
+  const Hierarchy h = MustBuild(RandomTree(150, rng));
+  const Distribution dist = ZipfRandomDistribution(150, 1.8, rng);
+  GreedyTreePolicy policy(h, dist);
+
+  const auto sampled = [&](int threads) {
+    EvalOptions options;
+    options.threads = threads;
+    return Evaluator(options).Sampled(policy, h, dist, 10'000, /*seed=*/42);
+  };
+  const EvalStats serial = sampled(1);
+  EXPECT_EQ(serial.num_searches, 10'000u);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    const EvalStats parallel = sampled(threads);
+    EXPECT_EQ(serial.expected_cost, parallel.expected_cost);
+    EXPECT_EQ(serial.max_cost, parallel.max_cost);
+    EXPECT_EQ(serial.num_searches, parallel.num_searches);
+  }
+}
+
+TEST(ParallelEval, SampledSeedSelectsTheStream) {
+  Rng rng(105);
+  const Hierarchy h = MustBuild(RandomTree(150, rng));
+  const Distribution dist = ExponentialRandomDistribution(150, rng);
+  GreedyTreePolicy policy(h, dist);
+  EvalOptions options;
+  options.threads = 2;
+  const Evaluator evaluator(options);
+  const EvalStats a = evaluator.Sampled(policy, h, dist, 2'000, 1);
+  const EvalStats b = evaluator.Sampled(policy, h, dist, 2'000, 1);
+  const EvalStats c = evaluator.Sampled(policy, h, dist, 2'000, 2);
+  EXPECT_EQ(a.expected_cost, b.expected_cost);  // same seed, same estimate
+  EXPECT_NE(a.expected_cost, c.expected_cost);  // different stream
+}
+
+TEST(ParallelEval, ShardSizeKeepsPerTargetResults) {
+  Rng rng(106);
+  const Hierarchy h = MustBuild(RandomTree(90, rng));
+  const Distribution dist = UniformRandomDistribution(90, rng);
+  GreedyTreePolicy policy(h, dist);
+  const EvalStats a = ExactWithThreads(policy, h, dist, 2, /*shard_size=*/1);
+  const EvalStats b =
+      ExactWithThreads(policy, h, dist, 2, /*shard_size=*/4096);
+  // Per-target numbers never depend on sharding; the merged expectation may
+  // differ only by long-double association order.
+  EXPECT_EQ(a.per_target_cost, b.per_target_cost);
+  EXPECT_EQ(a.max_cost, b.max_cost);
+  EXPECT_NEAR(a.expected_cost, b.expected_cost, 1e-9);
+}
+
+TEST(ParallelEval, RoundsAndReachAggregates) {
+  Rng rng(107);
+  const Hierarchy h = MustBuild(RandomTree(60, rng));
+  const Distribution dist = EqualDistribution(60);
+  // One question per round: rounds == reach queries == unit cost.
+  GreedyTreePolicy sequential(h, dist);
+  const EvalStats seq = ExactWithThreads(sequential, h, dist, 1);
+  EXPECT_DOUBLE_EQ(seq.expected_rounds, seq.expected_reach_queries);
+  EXPECT_DOUBLE_EQ(seq.expected_cost, seq.expected_reach_queries);
+  // Batched: strictly fewer rounds than questions.
+  BatchedGreedyPolicy batched(h, dist,
+                              BatchedGreedyOptions{.questions_per_round = 4});
+  const EvalStats bat = ExactWithThreads(batched, h, dist, 1);
+  EXPECT_LT(bat.expected_rounds, bat.expected_reach_queries);
+}
+
+TEST(ParallelEval, ZeroWeightTargetsCanBeSkipped) {
+  const Hierarchy h = MustBuild(BuildVehicleHierarchy());
+  const Distribution dist = PointMassDistribution(h.NumNodes(), 5);
+  GreedyTreePolicy policy(h, dist);
+  EvalOptions options;
+  options.threads = 1;
+  options.include_zero_weight_targets = false;
+  const EvalStats stats = Evaluator(options).Exact(policy, h, dist);
+  EXPECT_EQ(stats.num_searches, 1u);
+  EXPECT_EQ(stats.per_target_cost.size(), h.NumNodes());
+}
+
+TEST(ParallelEval, EvaluatorReportsWorkerCount) {
+  EvalOptions serial;
+  serial.threads = 1;
+  EXPECT_EQ(Evaluator(serial).num_workers(), 1u);
+  EvalOptions four;
+  four.threads = 4;
+  EXPECT_EQ(Evaluator(four).num_workers(), 4u);
+  ThreadPool pool(3);
+  EvalOptions external;
+  external.pool = &pool;
+  EXPECT_EQ(Evaluator(external).num_workers(), 3u);
+}
+
+}  // namespace
+}  // namespace aigs

@@ -205,8 +205,9 @@ TEST_F(Fig3Test, UnitPricesDegradeToPlainGreedy) {
   // plain middle point (Definition 9 generalizes Definition 4).
   const CostModel unit = CostModel::Unit(4);
   CostSensitiveGreedyPolicy cost_sensitive(hierarchy_, equal_, unit);
-  GreedyNaivePolicy plain(hierarchy_, equal_,
-                          GreedyNaiveOptions{.use_rounded_weights = true});
+  GreedyNaiveOptions rounded_options;
+  rounded_options.use_rounded_weights = true;
+  GreedyNaivePolicy plain(hierarchy_, equal_, rounded_options);
   const auto a = RunAllTargets(cost_sensitive, hierarchy_);
   const auto b = RunAllTargets(plain, hierarchy_);
   EXPECT_DOUBLE_EQ(WeightedAverage(a, equal_), WeightedAverage(b, equal_));

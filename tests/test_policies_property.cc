@@ -120,13 +120,14 @@ TEST_P(PolicyCorrectnessSweep, EveryPolicyIdentifiesEveryTarget) {
 
   std::vector<std::unique_ptr<Policy>> policies;
   policies.push_back(std::make_unique<GreedyNaivePolicy>(h, dist));
-  policies.push_back(std::make_unique<GreedyNaivePolicy>(
-      h, dist, GreedyNaiveOptions{.use_rounded_weights = true}));
+  GreedyNaiveOptions rounded_naive;
+  rounded_naive.use_rounded_weights = true;
+  policies.push_back(std::make_unique<GreedyNaivePolicy>(h, dist, rounded_naive));
   policies.push_back(std::make_unique<GreedyDagPolicy>(h, dist));
-  policies.push_back(std::make_unique<GreedyDagPolicy>(
-      h, dist,
-      GreedyDagOptions{.use_rounded_weights = false,
-                       .disable_dominance_pruning = true}));
+  GreedyDagOptions raw_exhaustive;
+  raw_exhaustive.use_rounded_weights = false;
+  raw_exhaustive.disable_dominance_pruning = true;
+  policies.push_back(std::make_unique<GreedyDagPolicy>(h, dist, raw_exhaustive));
   policies.push_back(std::make_unique<TopDownPolicy>(h));
   policies.push_back(std::make_unique<MigsPolicy>(h));
   policies.push_back(std::make_unique<MigsPolicy>(

@@ -1,0 +1,192 @@
+#include "core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/aigs.h"
+#include "data/builtin.h"
+#include "eval/evaluator.h"
+#include "graph/generators.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+/// A context bound to the vehicle hierarchy (a tree, so every policy is
+/// constructible) with a cost model supplied.
+struct VehicleFixture {
+  VehicleFixture()
+      : hierarchy(MustBuild(BuildVehicleHierarchy(&nodes))),
+        dist(VehicleDistribution()),
+        costs(CostModel::Unit(hierarchy.NumNodes())) {
+    context.hierarchy = &hierarchy;
+    context.distribution = &dist;
+    context.cost_model = &costs;
+  }
+
+  VehicleNodes nodes;
+  Hierarchy hierarchy;
+  Distribution dist;
+  CostModel costs;
+  PolicyContext context;
+};
+
+/// A spec that works for every registered name (scripted needs an order).
+std::string WorkingSpec(const std::string& name, const VehicleNodes& nodes) {
+  if (name != "scripted") {
+    return name;
+  }
+  std::string order;
+  for (const NodeId v : {nodes.nissan, nodes.maxima, nodes.sentra, nodes.car,
+                         nodes.honda, nodes.mercedes}) {
+    if (!order.empty()) {
+      order += '+';
+    }
+    order += std::to_string(v);
+  }
+  return "scripted:order=" + order;
+}
+
+TEST(PolicyRegistry, EveryRegisteredPolicyIsConstructibleAndCorrect) {
+  VehicleFixture f;
+  const auto entries = PolicyRegistry::Global().List();
+  ASSERT_FALSE(entries.empty());
+  for (const auto& entry : entries) {
+    SCOPED_TRACE(entry.name);
+    auto policy = PolicyRegistry::Global().Create(
+        WorkingSpec(entry.name, f.nodes), f.context);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    // EvaluateExact fatally checks that every target is identified.
+    const EvalStats stats = EvaluateExact(**policy, f.hierarchy, f.dist);
+    EXPECT_EQ(stats.num_searches, f.hierarchy.NumNodes());
+    EXPECT_GT(stats.expected_cost, 0);
+  }
+}
+
+TEST(PolicyRegistry, CoversAllPaperPolicies) {
+  const auto& registry = PolicyRegistry::Global();
+  for (const char* name :
+       {"greedy", "greedy_tree", "greedy_dag", "greedy_naive", "batched",
+        "cost_sensitive", "migs", "wigs", "top_down", "scripted"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(PolicyRegistry, UnknownNameFails) {
+  VehicleFixture f;
+  const auto result = PolicyRegistry::Global().Create("nope", f.context);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PolicyRegistry, UnknownOptionKeyFails) {
+  VehicleFixture f;
+  const auto result =
+      PolicyRegistry::Global().Create("greedy_tree:typo=1", f.context);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyRegistry, MalformedOptionValueFails) {
+  VehicleFixture f;
+  EXPECT_FALSE(
+      PolicyRegistry::Global().Create("batched:k=abc", f.context).ok());
+  EXPECT_FALSE(
+      PolicyRegistry::Global().Create("batched:k=0", f.context).ok());
+  EXPECT_FALSE(PolicyRegistry::Global()
+                   .Create("greedy_tree:rounded=maybe", f.context)
+                   .ok());
+  EXPECT_FALSE(
+      PolicyRegistry::Global().Create("batched:k=4,k=8", f.context).ok());
+}
+
+TEST(PolicyRegistry, TreeOnlyPolicyRejectsDags) {
+  Rng rng(11);
+  const Hierarchy h = MustBuild(RandomDag(20, rng, 0.5));
+  const Distribution dist = EqualDistribution(h.NumNodes());
+  PolicyContext context;
+  context.hierarchy = &h;
+  context.distribution = &dist;
+  const auto result = PolicyRegistry::Global().Create("greedy_tree", context);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PolicyRegistry, CostSensitiveRequiresCostModel) {
+  VehicleFixture f;
+  f.context.cost_model = nullptr;
+  const auto result =
+      PolicyRegistry::Global().Create("cost_sensitive", f.context);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PolicyRegistry, MissingContextFails) {
+  PolicyContext empty;
+  EXPECT_FALSE(PolicyRegistry::Global().Create("greedy", empty).ok());
+}
+
+TEST(PolicyRegistry, OptionsChangeBehavior) {
+  VehicleFixture f;
+  auto k1 = PolicyRegistry::Global().Create("batched:k=1", f.context);
+  auto k4 = PolicyRegistry::Global().Create("batched:k=4", f.context);
+  ASSERT_TRUE(k1.ok() && k4.ok());
+  const EvalStats s1 = EvaluateExact(**k1, f.hierarchy, f.dist);
+  const EvalStats s4 = EvaluateExact(**k4, f.hierarchy, f.dist);
+  // Bigger batches cut interaction rounds but cost extra questions.
+  EXPECT_LT(s4.expected_rounds, s1.expected_rounds);
+  EXPECT_GE(s4.expected_reach_queries, s1.expected_reach_queries);
+}
+
+TEST(PolicyRegistry, AliasesResolveToSamePolicy) {
+  VehicleFixture f;
+  auto canonical = PolicyRegistry::Global().Create("top_down", f.context);
+  auto alias = PolicyRegistry::Global().Create("topdown", f.context);
+  ASSERT_TRUE(canonical.ok() && alias.ok());
+  EXPECT_EQ((*canonical)->name(), (*alias)->name());
+}
+
+TEST(PolicyRegistry, ScriptedReproducesExample2) {
+  VehicleFixture f;
+  auto policy = PolicyRegistry::Global().Create(
+      WorkingSpec("scripted", f.nodes), f.context);
+  ASSERT_TRUE(policy.ok());
+  const EvalStats stats = EvaluateExact(**policy, f.hierarchy, f.dist);
+  EXPECT_DOUBLE_EQ(stats.expected_cost, 2.60);  // WIGS-optimal order
+  EXPECT_EQ(stats.max_cost, 4u);
+}
+
+TEST(PolicyRegistry, RegisterRejectsDuplicates) {
+  PolicyRegistry registry;
+  const auto factory = [](const PolicyContext&,
+                          PolicyOptions&) -> StatusOr<std::unique_ptr<Policy>> {
+    return Status::Internal("unused");
+  };
+  EXPECT_TRUE(registry.Register("x", "", factory).ok());
+  EXPECT_FALSE(registry.Register("x", "", factory).ok());
+  EXPECT_FALSE(registry.Register("", "", factory).ok());
+}
+
+TEST(PolicySpec, ParsesNamesAndOptions) {
+  auto plain = PolicySpec::Parse("greedy");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->name, "greedy");
+
+  auto with_options = PolicySpec::Parse(" batched : k=8 ");
+  ASSERT_TRUE(with_options.ok());
+  EXPECT_EQ(with_options->name, "batched");
+  auto k = with_options->options.ConsumeInt("k", 0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 8);
+
+  EXPECT_FALSE(PolicySpec::Parse("").ok());
+  EXPECT_FALSE(PolicySpec::Parse("migs:choices").ok());
+}
+
+}  // namespace
+}  // namespace aigs

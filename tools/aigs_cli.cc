@@ -5,21 +5,22 @@
 //       redundant (transitively implied) edges.
 //   aigs reduce   <in.txt> <out.txt>
 //       Write the transitive reduction of a hierarchy.
-//   aigs evaluate <hierarchy.txt> <counts.txt> [policy]
-//       Expected/median/p99/max question counts for one policy
-//       (greedy | topdown | wigs | migs | naive; default greedy).
+//   aigs evaluate <hierarchy.txt> <counts.txt> [policy-spec]
+//       Expected/median/p99/max question counts for one policy. The policy
+//       is any PolicyRegistry spec, e.g. greedy, wigs, batched:k=8,
+//       migs:choices=0 (default greedy); see 'aigs policies'.
+//   aigs policies
+//       List the registered policy names and their options.
 //   aigs search   <hierarchy.txt> [counts.txt]
 //       Interactive search: answer the policy's questions with y/n.
 //   aigs demo
 //       Interactive search on the built-in vehicle hierarchy.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
-#include "baselines/migs.h"
-#include "baselines/top_down.h"
-#include "baselines/wigs.h"
 #include "core/aigs.h"
 #include "data/builtin.h"
 #include "eval/cost_profile.h"
@@ -28,6 +29,7 @@
 #include "graph/graph_io.h"
 #include "graph/transitive_reduction.h"
 #include "prob/weight_io.h"
+#include "util/env.h"
 
 namespace aigs::cli {
 namespace {
@@ -37,10 +39,13 @@ int Usage() {
                "usage: aigs <command> [args]\n"
                "  stats    <hierarchy.txt>\n"
                "  reduce   <in.txt> <out.txt>\n"
-               "  evaluate <hierarchy.txt> <counts.txt> "
-               "[greedy|topdown|wigs|migs|naive]\n"
+               "  evaluate <hierarchy.txt> <counts.txt> [policy-spec]\n"
+               "  policies\n"
                "  search   <hierarchy.txt> [counts.txt]\n"
-               "  demo\n");
+               "  demo\n"
+               "policy-spec is a PolicyRegistry name plus options, e.g. "
+               "greedy, wigs,\nbatched:k=8, migs:choices=0 — run 'aigs "
+               "policies' for the full list.\n");
   return 2;
 }
 
@@ -49,25 +54,11 @@ int Fail(const Status& status) {
   return 1;
 }
 
-StatusOr<std::unique_ptr<Policy>> MakePolicy(const std::string& name,
-                                             const Hierarchy& h,
-                                             const Distribution& dist) {
-  if (name == "greedy") {
-    return MakeGreedyPolicy(h, dist);
+int CmdPolicies() {
+  for (const auto& entry : PolicyRegistry::Global().List()) {
+    std::printf("%-16s %s\n", entry.name.c_str(), entry.help.c_str());
   }
-  if (name == "topdown") {
-    return std::unique_ptr<Policy>(new TopDownPolicy(h));
-  }
-  if (name == "wigs") {
-    return MakeWigsPolicy(h);
-  }
-  if (name == "migs") {
-    return std::unique_ptr<Policy>(new MigsPolicy(h));
-  }
-  if (name == "naive") {
-    return std::unique_ptr<Policy>(new GreedyNaivePolicy(h, dist));
-  }
-  return Status::InvalidArgument("unknown policy '" + name + "'");
+  return 0;
 }
 
 int CmdStats(const std::string& path) {
@@ -128,11 +119,17 @@ int CmdEvaluate(const std::string& hierarchy_path,
     return Fail(Status::InvalidArgument(
         "count file does not match the hierarchy's node count"));
   }
-  auto made = MakePolicy(policy, *hierarchy, *counts);
+  PolicyContext context;
+  context.hierarchy = &*hierarchy;
+  context.distribution = &*counts;
+  auto made = PolicyRegistry::Global().Create(policy, context);
   if (!made.ok()) {
     return Fail(made.status());
   }
-  const EvalStats stats = EvaluateExact(**made, *hierarchy, *counts);
+  EvalOptions options;
+  options.threads =
+      static_cast<int>(std::max<std::int64_t>(0, EnvInt("AIGS_THREADS", 0)));
+  const EvalStats stats = EvaluateExact(**made, *hierarchy, *counts, options);
   const CostProfile profile(stats.per_target_cost, *counts);
   std::printf("policy:       %s\n", (*made)->name().c_str());
   std::printf("E[questions]: %.4f\n", stats.expected_cost);
@@ -222,6 +219,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "evaluate" && (argc == 4 || argc == 5)) {
     return CmdEvaluate(argv[2], argv[3], argc == 5 ? argv[4] : "greedy");
+  }
+  if (command == "policies" && argc == 2) {
+    return CmdPolicies();
   }
   if (command == "search" && (argc == 3 || argc == 4)) {
     return CmdSearch(argv[2], argc == 4 ? argv[3] : "");
