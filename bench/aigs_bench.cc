@@ -34,7 +34,9 @@ int Usage() {
       stderr,
       "usage: aigs_bench [--list] [--suite NAME[,NAME...]|all] [--smoke]\n"
       "                  [--threads N] [--json FILE] [--csv FILE]\n"
-      "                  [--scenario \"key=val;key=val\"]\n"
+      "                  [--baseline FILE] [--scenario \"key=val;key=val\"]\n"
+      "--baseline compares the run's cost aggregates against a committed\n"
+      "JSON-lines dump and fails on drift (CI regression guard).\n"
       "run 'aigs_bench --list' for suites, policies, and scenario fields.\n");
   return 2;
 }
@@ -53,6 +55,22 @@ int List() {
       "scale=frac;\n  dist=real|equal|uniform|exponential|zipf[:a]; "
       "policy=<registry spec>;\n  cost=unit|uniform:lo:hi|fig3; reps=n; "
       "samples=n (0=exact); threads=n; seed=n\n");
+  return 0;
+}
+
+int CheckBaseline(const std::vector<ScenarioResult>& results,
+                  const std::string& baseline_path, bool require_complete) {
+  if (baseline_path.empty()) {
+    return 0;
+  }
+  const Status status =
+      CheckAgainstBaseline(results, baseline_path, require_complete);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("baseline: %s OK (%zu scenarios, cost aggregates match)\n",
+              baseline_path.c_str(), results.size());
   return 0;
 }
 
@@ -97,6 +115,7 @@ int Main(int argc, char** argv) {
   std::string scenario_text;
   std::string json_path;
   std::string csv_path;
+  std::string baseline_path;
   bool smoke = false;
   int threads =
       static_cast<int>(std::max<std::int64_t>(0, EnvInt("AIGS_THREADS", 0)));
@@ -140,6 +159,12 @@ int Main(int argc, char** argv) {
         return Usage();
       }
       csv_path = value;
+    } else if (arg == "--baseline") {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage();
+      }
+      baseline_path = value;
     } else if (arg == "--scenario") {
       const char* value = next();
       if (value == nullptr) {
@@ -172,7 +197,11 @@ int Main(int argc, char** argv) {
     }
     std::printf("%s\n", ScenarioResultToJson(*result).c_str());
     results.push_back(*result);
-    return EmitResults(results, json_path, csv_path);
+    const int emit_code = EmitResults(results, json_path, csv_path);
+    // Ad-hoc cells spot-check only the labels they ran.
+    const int baseline_code =
+        CheckBaseline(results, baseline_path, /*require_complete=*/false);
+    return emit_code != 0 ? emit_code : baseline_code;
   }
 
   if (suite_names.empty()) {
@@ -208,7 +237,14 @@ int Main(int argc, char** argv) {
     std::printf("\n");
   }
   const int emit_code = EmitResults(results, json_path, csv_path);
-  return code == 0 ? emit_code : code;
+  if (code != 0) {
+    // A failed suite already produced a real error; a guard run over the
+    // partial result set would only bury it in bogus "was not run" noise.
+    return code;
+  }
+  const int baseline_code =
+      CheckBaseline(results, baseline_path, /*require_complete=*/true);
+  return emit_code != 0 ? emit_code : baseline_code;
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "core/aigs.h"
+#include "core/batched_greedy.h"
 #include "core/middle_point.h"
 #include "core/reach_weight_index.h"
+#include "core/split_weight_index.h"
 #include "core/tree_weight_index.h"
 #include "data/synthetic_catalog.h"
 #include "eval/runner.h"
@@ -98,16 +100,75 @@ void BM_MiddlePointNaiveScan(benchmark::State& state) {
   const Hierarchy& h = DagHierarchy();
   const auto& weights = DagDist().weights();
   CandidateSet candidates(h.graph());
+  BfsScratch scratch(h.NumNodes());
   Weight total = 0;
   for (const Weight w : weights) {
     total += w;
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(FindMiddlePointNaive(h.graph(), candidates,
-                                                  h.root(), weights, total));
+    benchmark::DoNotOptimize(FindMiddlePointNaive(
+        h.graph(), candidates, h.root(), weights, total, scratch));
   }
 }
 BENCHMARK(BM_MiddlePointNaiveScan);
+
+void BM_MiddlePointNaiveScanTree(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  const auto& weights = TreeDist().weights();
+  CandidateSet candidates(h.graph());
+  BfsScratch scratch(h.NumNodes());
+  Weight total = 0;
+  for (const Weight w : weights) {
+    total += w;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindMiddlePointNaive(
+        h.graph(), candidates, h.root(), weights, total, scratch));
+  }
+}
+BENCHMARK(BM_MiddlePointNaiveScanTree);
+
+// Old-vs-new middle-point selection: the SplitWeightIndex rows below pair
+// with the naive BFS scans above on the same 4k-node synthetic catalogs.
+void BM_MiddlePointIndexTree(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  const SplitWeightIndex index(h, TreeDist().weights());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.FindMiddlePoint());
+  }
+}
+BENCHMARK(BM_MiddlePointIndexTree);
+
+void BM_MiddlePointIndexDag(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  const SplitWeightIndex index(h, DagDist().weights());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.FindMiddlePoint());
+  }
+}
+BENCHMARK(BM_MiddlePointIndexDag);
+
+// One full batched round selection (k picks on a simulated candidate set),
+// old per-pick BFS scans vs the incremental index. Session construction is
+// excluded from the timed region so the row compares selection only.
+template <SelectionBackend kBackend>
+void BM_BatchedRoundSelection(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  BatchedGreedyOptions options;
+  options.questions_per_round = static_cast<std::size_t>(state.range(0));
+  options.backend = kBackend;
+  const BatchedGreedyPolicy policy(h, TreeDist(), options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = policy.NewSession();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(session->Next());  // selects the first batch
+  }
+}
+BENCHMARK_TEMPLATE(BM_BatchedRoundSelection, SelectionBackend::kBfsRescan)
+    ->Arg(4)->Name("BM_BatchedRoundSelectBfs");
+BENCHMARK_TEMPLATE(BM_BatchedRoundSelection, SelectionBackend::kSplitIndex)
+    ->Arg(4)->Name("BM_BatchedRoundSelectIndex");
 
 void BM_OracleReach(benchmark::State& state) {
   const Hierarchy& h = DagHierarchy();

@@ -1,7 +1,10 @@
 #include "bench/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <set>
 #include <utility>
 
 #include "core/policy_registry.h"
@@ -348,6 +351,130 @@ std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
           std::to_string(r.p90),
           std::to_string(r.p99),
           FormatDouble(r.wall_ms, 3)};
+}
+
+namespace {
+
+/// Extracts the string value of `key` from one emitted JSON line. The lines
+/// come from ScenarioResultToJson, so a flat scan for the quoted key is
+/// enough (labels never contain escaped quotes).
+StatusOr<std::string> JsonField(const std::string& line,
+                                const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("baseline line lacks key '" + key + "'");
+  }
+  std::size_t begin = at + needle.size();
+  std::size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  if (end == std::string::npos) {
+    return Status::InvalidArgument("malformed baseline line: " + line);
+  }
+  return line.substr(begin, end - begin);
+}
+
+StatusOr<double> JsonNumber(const std::string& line, const std::string& key) {
+  AIGS_ASSIGN_OR_RETURN(const std::string text, JsonField(line, key));
+  return ParseDouble(text);
+}
+
+/// The deterministic cost aggregates the guard compares (wall time and
+/// quantile fields are excluded on purpose).
+constexpr const char* kGuardedMetrics[] = {
+    "expected_cost", "expected_priced_cost", "expected_reach_queries",
+    "expected_rounds", "max_cost"};
+
+double MetricOf(const ScenarioResult& r, const std::string& metric) {
+  if (metric == "expected_cost") return r.expected_cost;
+  if (metric == "expected_priced_cost") return r.expected_priced_cost;
+  if (metric == "expected_reach_queries") return r.expected_reach_queries;
+  if (metric == "expected_rounds") return r.expected_rounds;
+  return static_cast<double>(r.max_cost);
+}
+
+bool MetricsClose(double fresh, double baseline) {
+  // Policy arithmetic is exact-integer, but synthetic weight generation
+  // goes through libm (pow/exp), which may differ in the last ulp across
+  // hosts. 0.01% relative slack absorbs that; a changed question sequence
+  // moves expected cost by ≥ ~0.1% at smoke scale, so real drift still
+  // trips the guard.
+  const double tolerance = 1e-4 * std::max({1.0, std::fabs(fresh),
+                                            std::fabs(baseline)});
+  return std::fabs(fresh - baseline) <= tolerance;
+}
+
+}  // namespace
+
+Status CheckAgainstBaseline(const std::vector<ScenarioResult>& results,
+                            const std::string& baseline_path,
+                            bool require_complete) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    return Status::NotFound("cannot read baseline file " + baseline_path);
+  }
+  std::map<std::string, std::string> baseline_lines;  // label -> JSON line
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    AIGS_ASSIGN_OR_RETURN(const std::string label, JsonField(line, "label"));
+    baseline_lines[label] = line;
+  }
+
+  std::string failures;
+  const auto add_failure = [&failures](const std::string& what) {
+    failures += (failures.empty() ? "" : "\n  ") + what;
+  };
+  std::set<std::string> seen;
+  std::size_t compared = 0;
+  for (const ScenarioResult& r : results) {
+    const std::string& label = r.spec.label;
+    seen.insert(label);
+    const auto it = baseline_lines.find(label);
+    if (it == baseline_lines.end()) {
+      // A label the baseline has never seen: in a complete run that means
+      // the baseline needs regenerating; a spot check just skips it.
+      if (require_complete) {
+        add_failure("'" + label + "' missing from baseline (new scenario?)");
+      }
+      continue;
+    }
+    ++compared;
+    for (const char* metric : kGuardedMetrics) {
+      AIGS_ASSIGN_OR_RETURN(const double expected,
+                            JsonNumber(it->second, metric));
+      const double fresh = MetricOf(r, metric);
+      if (!MetricsClose(fresh, expected)) {
+        add_failure("'" + label + "' " + metric + ": got " +
+                    FormatDouble(fresh, 6) + ", baseline " +
+                    FormatDouble(expected, 6));
+      }
+    }
+  }
+  if (require_complete) {
+    for (const auto& [label, unused] : baseline_lines) {
+      if (seen.find(label) == seen.end()) {
+        add_failure("baseline scenario '" + label + "' was not run");
+      }
+    }
+  }
+  if (!failures.empty()) {
+    return Status::Internal("baseline drift vs " + baseline_path + ":\n  " +
+                            failures);
+  }
+  if (compared == 0) {
+    return Status::InvalidArgument(
+        "no run label appears in baseline " + baseline_path +
+        " — nothing was compared");
+  }
+  return Status::OK();
 }
 
 }  // namespace aigs::bench

@@ -98,6 +98,20 @@ std::string ScenarioResultToJson(const ScenarioResult& result);
 std::vector<std::string> ScenarioCsvHeader();
 std::vector<std::string> ScenarioCsvRow(const ScenarioResult& result);
 
+/// Regression guard: compares freshly-run results against a committed
+/// JSON-lines baseline (a previous `--json` dump). Only deterministic cost
+/// aggregates are compared — expected_cost, expected_priced_cost,
+/// expected_reach_queries, expected_rounds, max_cost — never wall time, so
+/// the guard is stable across hardware. Fails listing every drifted,
+/// missing, or stale scenario label; regenerate the baseline with the same
+/// run that produced it (e.g. `aigs_bench --smoke --json <baseline>`).
+/// `require_complete` additionally fails on baseline labels the run never
+/// produced — set it when the run covers the same suite set as the
+/// baseline (CI smoke), clear it to spot-check a subset (`--scenario`).
+Status CheckAgainstBaseline(const std::vector<ScenarioResult>& results,
+                            const std::string& baseline_path,
+                            bool require_complete);
+
 }  // namespace aigs::bench
 
 #endif  // AIGS_BENCH_SCENARIO_H_

@@ -19,6 +19,7 @@
 #include "core/hierarchy.h"        // IWYU pragma: export
 #include "core/policy.h"           // IWYU pragma: export
 #include "core/policy_registry.h"  // IWYU pragma: export
+#include "core/split_weight_index.h"  // IWYU pragma: export
 #include "oracle/noisy_oracle.h"   // IWYU pragma: export
 #include "oracle/oracle.h"         // IWYU pragma: export
 #include "prob/distribution.h"     // IWYU pragma: export

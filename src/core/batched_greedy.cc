@@ -2,19 +2,23 @@
 
 #include <vector>
 
+#include "core/split_weight_index.h"
 #include "graph/candidate_set.h"
 
 namespace aigs {
 namespace {
 
-class BatchedGreedySession final : public SearchSession {
+// Reference backend: per-pick BFS scans over a scratch candidate set.
+class BatchedGreedyBfsSession final : public SearchSession {
  public:
-  BatchedGreedySession(const Hierarchy& h, const std::vector<Weight>& weights,
-                       std::size_t questions_per_round)
+  BatchedGreedyBfsSession(const Hierarchy& h,
+                          const std::vector<Weight>& weights,
+                          std::size_t questions_per_round)
       : hierarchy_(&h),
         weights_(&weights),
         questions_per_round_(questions_per_round),
         candidates_(h.graph()),
+        simulated_(h.graph()),
         scratch_(h.NumNodes()) {}
 
   Query Next() override {
@@ -60,18 +64,19 @@ class BatchedGreedySession final : public SearchSession {
 
  private:
   // Picks up to k questions: each is the middle point of the region that
-  // remains after assuming "no" to the round's earlier picks.
+  // remains after assuming "no" to the round's earlier picks. The member
+  // scratch set is reset from the live one instead of copy-constructed.
   void SelectBatch() {
     pending_.clear();
-    CandidateSet simulated = candidates_;
+    simulated_.ResetFrom(candidates_);
     while (pending_.size() < questions_per_round_ &&
-           simulated.alive_count() > 1) {
-      const NodeId q = MiddlePointOf(simulated);
+           simulated_.alive_count() > 1) {
+      const NodeId q = MiddlePointOf(simulated_);
       if (q == kInvalidNode) {
         break;
       }
       pending_.push_back(q);
-      simulated.RemoveReachable(q);
+      simulated_.RemoveReachable(q);
     }
     AIGS_CHECK(!pending_.empty());
   }
@@ -116,7 +121,63 @@ class BatchedGreedySession final : public SearchSession {
   const std::vector<Weight>* weights_;
   std::size_t questions_per_round_;
   CandidateSet candidates_;
+  CandidateSet simulated_;
   BfsScratch scratch_;
+  std::vector<NodeId> pending_;
+};
+
+// Fast backend: SplitWeightIndex state + a ResetFrom simulation scratch.
+class BatchedGreedyIndexSession final : public SearchSession {
+ public:
+  BatchedGreedyIndexSession(const Hierarchy& h,
+                            const std::vector<Weight>& weights,
+                            std::size_t questions_per_round)
+      : questions_per_round_(questions_per_round),
+        state_(h, weights),
+        simulated_(h, weights) {}
+
+  Query Next() override {
+    if (state_.AliveCount() == 1) {
+      return Query::Done(state_.Target());
+    }
+    if (pending_.empty()) {
+      SelectBatch();
+    }
+    return Query::ReachBatch(pending_);
+  }
+
+  void OnReachBatch(std::span<const NodeId> nodes,
+                    const std::vector<bool>& answers) override {
+    AIGS_CHECK(nodes.size() == pending_.size());
+    // One bitset intersection / Euler-range operation per question.
+    state_.ApplyBatch(nodes, answers);
+    AIGS_CHECK(state_.AliveCount() >= 1);
+    pending_.clear();
+  }
+
+  void OnReach(NodeId, bool) override {
+    AIGS_CHECK(false && "batched sessions only ask batch questions");
+  }
+
+ private:
+  void SelectBatch() {
+    pending_.clear();
+    simulated_.ResetFrom(state_);
+    while (pending_.size() < questions_per_round_ &&
+           simulated_.AliveCount() > 1) {
+      const MiddlePoint mp = simulated_.FindSplittingMiddlePoint();
+      if (mp.node == kInvalidNode) {
+        break;
+      }
+      pending_.push_back(mp.node);
+      simulated_.ApplyNo(mp.node);
+    }
+    AIGS_CHECK(!pending_.empty());
+  }
+
+  std::size_t questions_per_round_;
+  SplitWeightIndex state_;
+  SplitWeightIndex simulated_;
   std::vector<NodeId> pending_;
 };
 
@@ -131,7 +192,11 @@ BatchedGreedyPolicy::BatchedGreedyPolicy(const Hierarchy& hierarchy,
 }
 
 std::unique_ptr<SearchSession> BatchedGreedyPolicy::NewSession() const {
-  return std::make_unique<BatchedGreedySession>(
+  if (options_.backend == SelectionBackend::kBfsRescan) {
+    return std::make_unique<BatchedGreedyBfsSession>(
+        *hierarchy_, weights_, options_.questions_per_round);
+  }
+  return std::make_unique<BatchedGreedyIndexSession>(
       *hierarchy_, weights_, options_.questions_per_round);
 }
 

@@ -10,6 +10,14 @@
 // left open); this implementation runs on any hierarchy and always includes
 // the true middle point as the round's first question, so every round makes
 // strict progress.
+//
+// Selection backends (both ask identical question batches):
+//  * kSplitIndex (default): the round simulation runs on a SplitWeightIndex
+//    scratch — O(alive · log n) per pick on trees, O(alive · n/64) on DAGs —
+//    and each arriving answer is folded in as one bitset intersection /
+//    Euler-range operation instead of a per-candidate reachability loop.
+//  * kBfsRescan: the original per-pick BFS scan over a copied candidate set
+//    (O(k·n·m) per round), kept as the equivalence reference.
 #ifndef AIGS_CORE_BATCHED_GREEDY_H_
 #define AIGS_CORE_BATCHED_GREEDY_H_
 
@@ -18,6 +26,7 @@
 
 #include "core/hierarchy.h"
 #include "core/policy.h"
+#include "core/selection_backend.h"
 #include "prob/distribution.h"
 
 namespace aigs {
@@ -27,11 +36,11 @@ struct BatchedGreedyOptions {
   /// Questions per interaction round (k = 1 degenerates to the sequential
   /// greedy policy).
   std::size_t questions_per_round = 4;
+  /// Selection backend; kBfsRescan reproduces the seed's runtime behavior.
+  SelectionBackend backend = SelectionBackend::kSplitIndex;
 };
 
-/// Greedy policy asking k questions per round. Selection uses the naive
-/// middle-point scan per pick (O(k·n·m) per round) — this is an extension
-/// harness, not a tuned production path.
+/// Greedy policy asking k questions per round.
 class BatchedGreedyPolicy : public Policy {
  public:
   BatchedGreedyPolicy(const Hierarchy& hierarchy, const Distribution& dist,

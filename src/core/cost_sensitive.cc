@@ -1,12 +1,15 @@
 #include "core/cost_sensitive.h"
 
+#include "core/split_weight_index.h"
+
 namespace aigs {
 namespace {
 
 class CostSensitiveSession final : public SearchSession {
  public:
-  CostSensitiveSession(const ReachWeightBase& base, const CostModel& costs)
-      : state_(base), costs_(&costs) {}
+  CostSensitiveSession(const Hierarchy& h, const std::vector<Weight>& weights,
+                       const CostModel& costs)
+      : state_(h, weights), costs_(&costs) {}
 
   Query Next() override {
     if (state_.AliveCount() == 1) {
@@ -30,15 +33,18 @@ class CostSensitiveSession final : public SearchSession {
 
  private:
   // argmax over alive v != root of p(G_v∩C)·p(C\G_v)/c(v), compared by exact
-  // 128-bit cross multiplication: a/ca > b/cb  <=>  a·cb > b·ca.
+  // 128-bit cross multiplication: a/ca > b/cb  <=>  a·cb > b·ca. The inside
+  // weight comes from the incremental index (O(log n) per candidate on
+  // trees, O(n/64) on DAGs) instead of a session overlay. Enumeration order
+  // is mode-dependent, so ties break explicitly toward the smaller node id —
+  // the same winner the ascending-id scan picked.
   NodeId SelectQueryNode() {
     const NodeId r = state_.root();
     const Weight total = state_.TotalAlive();
     NodeId best = kInvalidNode;
-    U128 best_product = 0;       // p(G_v∩C)·p(C\G_v)
+    U128 best_product = 0;        // p(G_v∩C)·p(C\G_v)
     std::uint32_t best_cost = 1;  // c(best)
-    state_.candidates().bits().ForEachSetBit([&](std::size_t raw) {
-      const NodeId v = static_cast<NodeId>(raw);
+    state_.ForEachAlive([&](NodeId v) {
       if (v == r) {
         return;
       }
@@ -46,8 +52,9 @@ class CostSensitiveSession final : public SearchSession {
       const U128 product =
           static_cast<U128>(inside) * static_cast<U128>(total - inside);
       const std::uint32_t cost = costs_->CostOf(v);
-      if (best == kInvalidNode ||
-          product * best_cost > best_product * cost) {
+      const U128 lhs = product * best_cost;
+      const U128 rhs = best_product * cost;
+      if (best == kInvalidNode || lhs > rhs || (lhs == rhs && v < best)) {
         best = v;
         best_product = product;
         best_cost = cost;
@@ -57,7 +64,7 @@ class CostSensitiveSession final : public SearchSession {
     return best;
   }
 
-  DagSearchState state_;
+  SplitWeightIndex state_;
   const CostModel* costs_;
   NodeId pending_ = kInvalidNode;
 };
@@ -67,16 +74,17 @@ class CostSensitiveSession final : public SearchSession {
 CostSensitiveGreedyPolicy::CostSensitiveGreedyPolicy(
     const Hierarchy& hierarchy, const Distribution& dist,
     const CostModel& costs, CostSensitiveOptions options)
-    : base_(hierarchy, options.use_rounded_weights
-                           ? RoundWeights(dist, options.rounding)
-                           : dist.weights()),
+    : hierarchy_(&hierarchy),
+      weights_(options.use_rounded_weights ? RoundWeights(dist, options.rounding)
+                                           : dist.weights()),
       costs_(&costs) {
   AIGS_CHECK(dist.size() == hierarchy.NumNodes());
   AIGS_CHECK(costs.size() == hierarchy.NumNodes());
 }
 
 std::unique_ptr<SearchSession> CostSensitiveGreedyPolicy::NewSession() const {
-  return std::make_unique<CostSensitiveSession>(base_, *costs_);
+  return std::make_unique<CostSensitiveSession>(*hierarchy_, weights_,
+                                                *costs_);
 }
 
 }  // namespace aigs

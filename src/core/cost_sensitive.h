@@ -12,9 +12,10 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "core/hierarchy.h"
 #include "core/policy.h"
-#include "core/reach_weight_index.h"
 #include "oracle/cost_model.h"
 #include "prob/distribution.h"
 #include "prob/rounding.h"
@@ -29,9 +30,10 @@ struct CostSensitiveOptions {
 };
 
 /// Cost-sensitive greedy policy (any hierarchy). Selection scans all alive
-/// candidates per round — O(alive) with the incremental weight index; the
-/// heavy-path shortcut of Theorem 5 does not carry over to heterogeneous
-/// prices.
+/// candidates per round on the shared SplitWeightIndex — O(alive · log n)
+/// per pick on trees, O(alive · n/64) on DAGs; the heavy-path shortcut of
+/// Theorem 5 does not carry over to heterogeneous prices, and dominance
+/// pruning is unsound once prices skew the objective.
 class CostSensitiveGreedyPolicy : public Policy {
  public:
   CostSensitiveGreedyPolicy(const Hierarchy& hierarchy,
@@ -42,7 +44,8 @@ class CostSensitiveGreedyPolicy : public Policy {
   std::unique_ptr<SearchSession> NewSession() const override;
 
  private:
-  ReachWeightBase base_;
+  const Hierarchy* hierarchy_;
+  std::vector<Weight> weights_;
   const CostModel* costs_;
 };
 

@@ -1,17 +1,20 @@
 #include "core/greedy_naive.h"
 
 #include "core/middle_point.h"
+#include "core/split_weight_index.h"
 #include "graph/candidate_set.h"
 
 namespace aigs {
 namespace {
 
-class GreedyNaiveSession final : public SearchSession {
+// Reference backend: per-candidate BFS rescans (Algorithm 2/3 verbatim).
+class GreedyNaiveBfsSession final : public SearchSession {
  public:
-  GreedyNaiveSession(const Hierarchy& h, const std::vector<Weight>& weights)
+  GreedyNaiveBfsSession(const Hierarchy& h, const std::vector<Weight>& weights)
       : graph_(&h.graph()),
         weights_(&weights),
         candidates_(h.graph()),
+        scratch_(h.NumNodes()),
         root_(h.root()) {
     total_weight_ = 0;
     for (const Weight w : weights) {
@@ -25,7 +28,7 @@ class GreedyNaiveSession final : public SearchSession {
     }
     if (pending_ == kInvalidNode) {
       const MiddlePoint mp = FindMiddlePointNaive(
-          *graph_, candidates_, root_, *weights_, total_weight_);
+          *graph_, candidates_, root_, *weights_, total_weight_, scratch_);
       AIGS_CHECK(mp.node != kInvalidNode);
       pending_ = mp.node;
       pending_reach_weight_ = mp.reach_weight;
@@ -50,10 +53,43 @@ class GreedyNaiveSession final : public SearchSession {
   const Digraph* graph_;
   const std::vector<Weight>* weights_;
   CandidateSet candidates_;
+  BfsScratch scratch_;
   NodeId root_;
   Weight total_weight_ = 0;
   NodeId pending_ = kInvalidNode;
   Weight pending_reach_weight_ = 0;
+};
+
+// Fast backend: incremental split weights + dominance-pruned selection.
+class GreedyNaiveIndexSession final : public SearchSession {
+ public:
+  GreedyNaiveIndexSession(const Hierarchy& h,
+                          const std::vector<Weight>& weights)
+      : index_(h, weights) {}
+
+  Query Next() override {
+    if (index_.AliveCount() == 1) {
+      return Query::Done(index_.Target());
+    }
+    if (pending_ == kInvalidNode) {
+      pending_ = index_.FindMiddlePoint().node;
+    }
+    return Query::ReachQuery(pending_);
+  }
+
+  void OnReach(NodeId q, bool yes) override {
+    AIGS_CHECK(q == pending_);
+    pending_ = kInvalidNode;
+    if (yes) {
+      index_.ApplyYes(q);
+    } else {
+      index_.ApplyNo(q);
+    }
+  }
+
+ private:
+  SplitWeightIndex index_;
+  NodeId pending_ = kInvalidNode;
 };
 
 }  // namespace
@@ -63,12 +99,16 @@ GreedyNaivePolicy::GreedyNaivePolicy(const Hierarchy& hierarchy,
                                      GreedyNaiveOptions options)
     : hierarchy_(&hierarchy),
       weights_(options.use_rounded_weights ? RoundWeights(dist, options.rounding)
-                                           : dist.weights()) {
+                                           : dist.weights()),
+      options_(options) {
   AIGS_CHECK(dist.size() == hierarchy.NumNodes());
 }
 
 std::unique_ptr<SearchSession> GreedyNaivePolicy::NewSession() const {
-  return std::make_unique<GreedyNaiveSession>(*hierarchy_, weights_);
+  if (options_.backend == SelectionBackend::kBfsRescan) {
+    return std::make_unique<GreedyNaiveBfsSession>(*hierarchy_, weights_);
+  }
+  return std::make_unique<GreedyNaiveIndexSession>(*hierarchy_, weights_);
 }
 
 }  // namespace aigs

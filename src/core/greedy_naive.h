@@ -1,7 +1,16 @@
-// GreedyNaive (Algorithm 2): the baseline instantiation of the greedy
-// policy. Every round it recomputes p(G_v ∩ C) from scratch for every
-// candidate v (Algorithm 3) — O(n·m) per query, O(n²·m) per search — which
-// is exactly the inefficiency Fig. 6 measures GreedyTree/GreedyDAG against.
+// GreedyNaive (Algorithm 2): the definitional greedy policy — every round
+// queries the exact weighted middle point of the alive candidate set.
+//
+// Two selection backends compute that argmin:
+//  * kSplitIndex (default): the shared SplitWeightIndex — O(alive · log n)
+//    per pick on trees (Fenwick over Euler order), O(alive · n/64) on DAGs
+//    (masked weighted popcount over closure rows), with dominance pruning
+//    cutting the scanned frontier further.
+//  * kBfsRescan: the original Algorithm 2/3 loop — a fresh forward BFS per
+//    candidate per pick, O(n·m) per question. Kept as the reference oracle
+//    the equivalence suite and the fig6 runtime figure measure against.
+// Both backends ask bit-identical question sequences (same argmin, same
+// smallest-id tie-break); see tests/test_split_weight_index.cc.
 #ifndef AIGS_CORE_GREEDY_NAIVE_H_
 #define AIGS_CORE_GREEDY_NAIVE_H_
 
@@ -10,6 +19,7 @@
 
 #include "core/hierarchy.h"
 #include "core/policy.h"
+#include "core/selection_backend.h"
 #include "prob/distribution.h"
 #include "prob/rounding.h"
 
@@ -21,20 +31,27 @@ struct GreedyNaiveOptions {
   /// probabilities); enable to mirror a GreedyDAG configuration exactly.
   bool use_rounded_weights = false;
   RoundingOptions rounding;
+  /// Selection backend; kBfsRescan reproduces the seed's runtime behavior.
+  SelectionBackend backend = SelectionBackend::kSplitIndex;
 };
 
-/// Naive greedy policy; works on any hierarchy (tree or DAG).
+/// Definitional greedy policy; works on any hierarchy (tree or DAG).
 class GreedyNaivePolicy : public Policy {
  public:
   GreedyNaivePolicy(const Hierarchy& hierarchy, const Distribution& dist,
                     GreedyNaiveOptions options = {});
 
-  std::string name() const override { return "GreedyNaive"; }
+  std::string name() const override {
+    return options_.backend == SelectionBackend::kBfsRescan
+               ? "GreedyNaive[bfs]"
+               : "GreedyNaive";
+  }
   std::unique_ptr<SearchSession> NewSession() const override;
 
  private:
   const Hierarchy* hierarchy_;
   std::vector<Weight> weights_;
+  GreedyNaiveOptions options_;
 };
 
 }  // namespace aigs

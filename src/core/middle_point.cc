@@ -15,9 +15,9 @@ Weight GetReachableSetWeight(const Digraph& g, const CandidateSet& candidates,
 MiddlePoint FindMiddlePointNaive(const Digraph& g,
                                  const CandidateSet& candidates, NodeId root,
                                  const std::vector<Weight>& weights,
-                                 Weight total_alive_weight) {
+                                 Weight total_alive_weight,
+                                 BfsScratch& scratch) {
   MiddlePoint best;
-  BfsScratch scratch(g.NumNodes());
   candidates.bits().ForEachSetBit([&](std::size_t raw) {
     const NodeId v = static_cast<NodeId>(raw);
     if (v == root) {

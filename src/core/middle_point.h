@@ -1,7 +1,9 @@
 // Reference middle-point computation (Definition 4) by brute force:
 // evaluates p(G_v ∩ C) for every alive candidate with a fresh BFS
-// (Algorithm 3, GetReachableSetWeight). GreedyNaive queries this every
-// round; the efficient policies are property-tested against it.
+// (Algorithm 3, GetReachableSetWeight) — O(n·m) per pick. This is the
+// reference oracle: GreedyNaive's backend=bfs path queries it every round,
+// and both the efficient policies and the incremental SplitWeightIndex
+// (split_weight_index.h) are property-tested against it.
 #ifndef AIGS_CORE_MIDDLE_POINT_H_
 #define AIGS_CORE_MIDDLE_POINT_H_
 
@@ -32,11 +34,13 @@ Weight GetReachableSetWeight(const Digraph& g, const CandidateSet& candidates,
 /// Scans every alive candidate except `root` (querying the current root is
 /// a wasted question — its answer is known) and returns the node minimizing
 /// |2·p(G_v ∩ C) − p(C)|; ties break toward the smaller node id.
-/// `total_alive_weight` must equal Σ weights over C.
+/// `total_alive_weight` must equal Σ weights over C. `scratch` is caller-
+/// owned so per-pick callers don't pay a full-size allocation per scan.
 MiddlePoint FindMiddlePointNaive(const Digraph& g,
                                  const CandidateSet& candidates, NodeId root,
                                  const std::vector<Weight>& weights,
-                                 Weight total_alive_weight);
+                                 Weight total_alive_weight,
+                                 BfsScratch& scratch);
 
 }  // namespace aigs
 

@@ -184,11 +184,25 @@ FactoryResult MakeGreedyDag(const PolicyContext& context,
       *context.hierarchy, *context.distribution, dag_options));
 }
 
+StatusOr<SelectionBackend> ConsumeBackend(PolicyOptions& options) {
+  AIGS_ASSIGN_OR_RETURN(const std::string backend,
+                        options.ConsumeString("backend", "index"));
+  if (backend == "index") {
+    return SelectionBackend::kSplitIndex;
+  }
+  if (backend == "bfs") {
+    return SelectionBackend::kBfsRescan;
+  }
+  return Status::InvalidArgument("backend must be index|bfs, got '" +
+                                 backend + "'");
+}
+
 FactoryResult MakeGreedyNaive(const PolicyContext& context,
                               PolicyOptions& options) {
   GreedyNaiveOptions naive_options;
   AIGS_ASSIGN_OR_RETURN(naive_options.use_rounded_weights,
                         options.ConsumeBool("rounded", false));
+  AIGS_ASSIGN_OR_RETURN(naive_options.backend, ConsumeBackend(options));
   return std::unique_ptr<Policy>(new GreedyNaivePolicy(
       *context.hierarchy, *context.distribution, naive_options));
 }
@@ -201,6 +215,7 @@ FactoryResult MakeBatched(const PolicyContext& context,
   }
   BatchedGreedyOptions batched_options;
   batched_options.questions_per_round = static_cast<std::size_t>(k);
+  AIGS_ASSIGN_OR_RETURN(batched_options.backend, ConsumeBackend(options));
   return std::unique_ptr<Policy>(new BatchedGreedyPolicy(
       *context.hierarchy, *context.distribution, batched_options));
 }
@@ -276,12 +291,13 @@ void RegisterBuiltins(PolicyRegistry& registry) {
                          "prune=bool",
                          MakeGreedyDag));
   must(registry.Register("greedy_naive",
-                         "Algorithm 2 baseline; options: rounded=bool",
+                         "Algorithm 2 greedy; options: rounded=bool, "
+                         "backend=index|bfs (bfs = O(n·m)/question rescans)",
                          MakeGreedyNaive));
   must(registry.Register("naive", "alias of greedy_naive", MakeGreedyNaive));
   must(registry.Register("batched",
                          "batched greedy (§III-E); options: k=int questions "
-                         "per round",
+                         "per round, backend=index|bfs",
                          MakeBatched));
   must(registry.Register("cost_sensitive",
                          "CAIGS greedy (Definition 9); needs a cost model; "

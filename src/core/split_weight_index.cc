@@ -1,0 +1,218 @@
+#include "core/split_weight_index.h"
+
+namespace aigs {
+
+SplitWeightIndex::SplitWeightIndex(const Hierarchy& hierarchy,
+                                   const std::vector<Weight>& weights)
+    : hierarchy_(&hierarchy),
+      reach_(&hierarchy.reach()),
+      node_weights_(&weights),
+      euler_(hierarchy.reach().euler_mode()),
+      visited_(hierarchy.NumNodes()) {
+  AIGS_CHECK(weights.size() == hierarchy.NumNodes());
+  if (euler_) {
+    const std::size_t n = hierarchy.NumNodes();
+    euler_weights_.resize(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      euler_weights_[t] = weights[reach_->NodeAtEuler(t)];
+    }
+  }
+  Reset();
+}
+
+void SplitWeightIndex::Reset() {
+  const std::size_t n = hierarchy_->NumNodes();
+  root_ = hierarchy_->root();
+  alive_count_ = n;
+  if (alive_.size() != n) {
+    alive_.Resize(n, true);
+  } else {
+    alive_.SetAll();
+  }
+  if (euler_) {
+    fenwick_weight_.Build(euler_weights_);
+    const std::vector<std::uint32_t> counts(n, 1);
+    fenwick_count_.Build(counts);
+    total_alive_ = fenwick_weight_.Total();
+  } else {
+    total_alive_ = 0;
+    for (const Weight w : *node_weights_) {
+      total_alive_ += w;
+    }
+  }
+}
+
+void SplitWeightIndex::ResetFrom(const SplitWeightIndex& other) {
+  AIGS_DCHECK(hierarchy_ == other.hierarchy_ &&
+              node_weights_ == other.node_weights_);
+  root_ = other.root_;
+  alive_count_ = other.alive_count_;
+  total_alive_ = other.total_alive_;
+  alive_ = other.alive_;
+  if (euler_) {
+    fenwick_weight_.ResetFrom(other.fenwick_weight_);
+    fenwick_count_.ResetFrom(other.fenwick_count_);
+  }
+}
+
+NodeId SplitWeightIndex::Target() const {
+  AIGS_CHECK(alive_count_ == 1);
+  const std::size_t pos = alive_.FindFirst();
+  return euler_ ? reach_->NodeAtEuler(static_cast<std::uint32_t>(pos))
+                : static_cast<NodeId>(pos);
+}
+
+Weight SplitWeightIndex::ReachWeight(NodeId v) const {
+  if (euler_) {
+    return fenwick_weight_.RangeSum(reach_->EulerBegin(v),
+                                    reach_->EulerEnd(v));
+  }
+  return alive_.MaskedWeightedSum(reach_->ClosureRow(v), *node_weights_);
+}
+
+std::size_t SplitWeightIndex::ReachCount(NodeId v) const {
+  if (euler_) {
+    return fenwick_count_.RangeSum(reach_->EulerBegin(v),
+                                   reach_->EulerEnd(v));
+  }
+  return alive_.IntersectionCount(reach_->ClosureRow(v));
+}
+
+void SplitWeightIndex::ZeroFenwickInRange(std::uint32_t begin,
+                                          std::uint32_t end) {
+  alive_.ForEachSetBitInRange(begin, end, [&](std::size_t t) {
+    fenwick_weight_.Add(t, Weight{0} - euler_weights_[t]);
+    fenwick_count_.Add(t, std::uint32_t{0} - std::uint32_t{1});
+  });
+}
+
+void SplitWeightIndex::ApplyYes(NodeId q) {
+  if (euler_) {
+    const std::uint32_t tin = reach_->EulerBegin(q);
+    const std::uint32_t tout = reach_->EulerEnd(q);
+    // Kill every alive position outside [tin, tout).
+    ZeroFenwickInRange(0, tin);
+    ZeroFenwickInRange(tout, static_cast<std::uint32_t>(alive_.size()));
+    alive_.KeepOnlyRange(tin, tout);
+    alive_count_ = fenwick_count_.RangeSum(tin, tout);
+    total_alive_ = fenwick_weight_.RangeSum(tin, tout);
+  } else {
+    const DynamicBitset& row = reach_->ClosureRow(q);
+    total_alive_ = alive_.MaskedWeightedSum(row, *node_weights_);
+    alive_count_ = alive_.IntersectionCount(row);
+    alive_.AndWith(row);
+  }
+  root_ = q;
+}
+
+void SplitWeightIndex::ApplyNo(NodeId q) {
+  if (euler_) {
+    const std::uint32_t tin = reach_->EulerBegin(q);
+    const std::uint32_t tout = reach_->EulerEnd(q);
+    total_alive_ -= fenwick_weight_.RangeSum(tin, tout);
+    alive_count_ -= fenwick_count_.RangeSum(tin, tout);
+    ZeroFenwickInRange(tin, tout);
+    alive_.ClearRange(tin, tout);
+  } else {
+    const DynamicBitset& row = reach_->ClosureRow(q);
+    total_alive_ -= alive_.MaskedWeightedSum(row, *node_weights_);
+    alive_count_ -= alive_.IntersectionCount(row);
+    alive_.AndNotWith(row);
+  }
+}
+
+void SplitWeightIndex::ApplyBatch(std::span<const NodeId> nodes,
+                                  const std::vector<bool>& answers) {
+  AIGS_CHECK(nodes.size() == answers.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (answers[i]) {
+      ApplyYes(nodes[i]);
+    } else {
+      ApplyNo(nodes[i]);
+    }
+  }
+}
+
+MiddlePoint SplitWeightIndex::FindMiddlePoint() const {
+  AIGS_DCHECK(alive_count_ > 1);
+  const Digraph& g = hierarchy_->graph();
+  const Weight total = total_alive_;
+  MiddlePoint best;
+
+  // Dominance-pruned descent from the root (the rooted generalization of
+  // Algorithm 6's BFS). Weights are non-increasing along alive paths
+  // (R(child) ∩ C ⊆ R(parent) ∩ C), so below a node with w ≤ total − w every
+  // descendant's diff is ≥ the node's own; descending further can only
+  // matter when the node ties the best diff seen so far (an equal-weight
+  // descendant may have a smaller id). Expanding exactly those nodes visits
+  // every global minimizer, making the (diff, id) argmin identical to the
+  // naive full scan's.
+  visited_.NewEpoch();
+  queue_.clear();
+  queue_.push_back(root_);
+  visited_.Visit(root_);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    for (const NodeId v : g.Children(u)) {
+      if (visited_.IsVisited(v) || !IsAlive(v)) {
+        continue;
+      }
+      visited_.Visit(v);
+      const Weight w = ReachWeight(v);
+      // Overflow-safe |2w − total| as |w − (total − w)|; w ≤ total.
+      const Weight rest = total - w;
+      const Weight diff = w > rest ? w - rest : rest - w;
+      if (best.node == kInvalidNode || diff < best.split_diff ||
+          (diff == best.split_diff && v < best.node)) {
+        best.node = v;
+        best.split_diff = diff;
+        best.reach_weight = w;
+      }
+      if (w > rest || diff <= best.split_diff) {
+        queue_.push_back(v);
+      }
+    }
+  }
+  AIGS_CHECK(best.node != kInvalidNode);
+  return best;
+}
+
+MiddlePoint SplitWeightIndex::FindSplittingMiddlePoint() const {
+  const Weight total = total_alive_;
+  const std::size_t count = alive_count_;
+  MiddlePoint best;
+  ForEachAlive([&](NodeId v) {
+    // The count gates the "splits the set" requirement, the weight feeds
+    // the diff. Closure mode fuses both into one word scan; Euler mode
+    // checks the (cheap) count first and skips the weight sum for covering
+    // nodes.
+    Weight w;
+    if (euler_) {
+      if (fenwick_count_.RangeSum(reach_->EulerBegin(v),
+                                  reach_->EulerEnd(v)) == count) {
+        return;  // "yes" is certain; the question is wasted
+      }
+      w = fenwick_weight_.RangeSum(reach_->EulerBegin(v),
+                                   reach_->EulerEnd(v));
+    } else {
+      const DynamicBitset::CountAndWeight cw =
+          alive_.MaskedCountAndWeightedSum(reach_->ClosureRow(v),
+                                           *node_weights_);
+      if (cw.count == count) {
+        return;  // "yes" is certain; the question is wasted
+      }
+      w = cw.weight;
+    }
+    const Weight rest = total - w;
+    const Weight diff = w > rest ? w - rest : rest - w;
+    if (best.node == kInvalidNode || diff < best.split_diff ||
+        (diff == best.split_diff && v < best.node)) {
+      best.node = v;
+      best.split_diff = diff;
+      best.reach_weight = w;
+    }
+  });
+  return best;
+}
+
+}  // namespace aigs

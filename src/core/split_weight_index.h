@@ -1,0 +1,159 @@
+// SplitWeightIndex — the shared incremental selection layer behind the
+// middle-point policies (GreedyNaive, BatchedGreedy, CostSensitiveGreedy).
+//
+// The naive selection rule recomputes w(R(v) ∩ C) with a fresh forward BFS
+// from every alive candidate on every pick: O(n·m) per question. This index
+// makes that quantity incremental, in one of two modes chosen by the
+// hierarchy's reachability index:
+//
+//  * Euler mode (trees): candidate membership lives in a bitset over the
+//    Euler tour and a Fenwick tree over Euler order holds the weights of
+//    alive candidates. R(v) is the contiguous interval [tin(v), tout(v)), so
+//    w(R(v) ∩ C) is one Fenwick range sum — O(log n) per candidate — and a
+//    candidate kill is a point update. A yes/no answer is a range
+//    keep/clear: O(killed · log n) amortized (each node dies once).
+//
+//  * Closure mode (DAGs): candidate membership is a node-indexed bitset and
+//    w(R(v) ∩ C) is a masked weighted popcount of closure[v] & alive —
+//    O(n/64) words per candidate instead of a BFS. A yes/no answer is one
+//    word-parallel bitset intersection.
+//
+// Selection entry points:
+//  * FindMiddlePoint(): minimizes |2·w(R(v) ∩ C) − w(C)| over alive v ≠
+//    root with GreedyDAG-style dominance pruning — the descent only expands
+//    below v when w(R(v) ∩ C) still exceeds half the alive weight (a better
+//    split may exist below) or when v ties the best diff seen (an
+//    equal-weight descendant with a smaller id could win the tie-break).
+//    That rule provably enumerates every global minimizer, so the result is
+//    bit-identical to the naive full scan with its smallest-id tie-break.
+//  * FindSplittingMiddlePoint(): the batched variant — a flat scan over
+//    alive candidates that additionally requires |R(v) ∩ C| < |C| (a
+//    question whose yes-answer is certain is wasted). O(alive · log n) per
+//    pick in Euler mode, O(alive · n/64) in closure mode.
+//
+// Both use the lexicographic (split_diff, node id) ordering, which matches
+// the reference scan's first-wins-in-id-order tie-break exactly; the
+// equivalence suite (tests/test_split_weight_index.cc) pins this.
+#ifndef AIGS_CORE_SPLIT_WEIGHT_INDEX_H_
+#define AIGS_CORE_SPLIT_WEIGHT_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/middle_point.h"
+#include "util/bitset.h"
+#include "util/common.h"
+#include "util/epoch_marker.h"
+#include "util/fenwick.h"
+
+namespace aigs {
+
+/// One search session's incremental view of (candidate set, split weights).
+class SplitWeightIndex {
+ public:
+  /// Starts with every node alive. `weights` must have one entry per node
+  /// and outlive the index (sessions typically borrow the policy's vector).
+  SplitWeightIndex(const Hierarchy& hierarchy,
+                   const std::vector<Weight>& weights);
+
+  /// Restores the all-alive initial state.
+  void Reset();
+
+  /// Copies another index's session state without reallocating — the
+  /// batched policy's per-round simulation scratch. Both must wrap the same
+  /// (hierarchy, weights).
+  void ResetFrom(const SplitWeightIndex& other);
+
+  // ---- state queries --------------------------------------------------------
+
+  std::size_t AliveCount() const { return alive_count_; }
+  Weight TotalAlive() const { return total_alive_; }
+  bool IsAlive(NodeId v) const {
+    return alive_.Test(euler_ ? reach_->EulerBegin(v) : v);
+  }
+  /// Current search root (moves on ApplyYes; every candidate is reachable
+  /// from it through alive nodes).
+  NodeId root() const { return root_; }
+  /// The identified target; requires AliveCount() == 1.
+  NodeId Target() const;
+
+  /// w(R(v) ∩ C): O(log n) in Euler mode, O(n/64) in closure mode.
+  Weight ReachWeight(NodeId v) const;
+  /// |R(v) ∩ C| with the same costs.
+  std::size_t ReachCount(NodeId v) const;
+
+  /// Invokes fn(NodeId) for every alive candidate. Euler mode iterates in
+  /// Euler order, closure mode in node-id order — callers that care about
+  /// order must impose their own tie-breaks.
+  template <typename Fn>
+  void ForEachAlive(Fn&& fn) const {
+    if (euler_) {
+      alive_.ForEachSetBit(
+          [&](std::size_t t) { fn(reach_->NodeAtEuler(
+              static_cast<std::uint32_t>(t))); });
+    } else {
+      alive_.ForEachSetBit(
+          [&](std::size_t v) { fn(static_cast<NodeId>(v)); });
+    }
+  }
+
+  // ---- answer application ---------------------------------------------------
+
+  /// Applies reach(q) = yes: candidates ← R(q) ∩ C, root ← q. `q` may
+  /// already be dead (batched rounds intersect answers for questions another
+  /// answer of the same round eliminated).
+  void ApplyYes(NodeId q);
+
+  /// Applies reach(q) = no: candidates ← C \ R(q). Dead `q` allowed.
+  void ApplyNo(NodeId q);
+
+  /// Intersects a whole round of answers (one ApplyYes/ApplyNo per
+  /// question) — each question costs one bitset intersection / range op.
+  void ApplyBatch(std::span<const NodeId> nodes,
+                  const std::vector<bool>& answers);
+
+  // ---- selection ------------------------------------------------------------
+
+  /// Middle point over alive candidates excluding root() (Definition 4),
+  /// via the dominance-pruned descent. Requires AliveCount() > 1.
+  MiddlePoint FindMiddlePoint() const;
+
+  /// Middle point over alive candidates that split the set by count
+  /// (|R(v) ∩ C| < |C|), via a flat scan; kInvalidNode when none splits.
+  MiddlePoint FindSplittingMiddlePoint() const;
+
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const std::vector<Weight>& weights() const { return *node_weights_; }
+
+ private:
+  // Zeroes the Fenwick entries of alive positions inside [begin, end)
+  // (Euler mode). Returns nothing; counts/totals are the caller's job.
+  void ZeroFenwickInRange(std::uint32_t begin, std::uint32_t end);
+
+  const Hierarchy* hierarchy_;
+  const ReachabilityIndex* reach_;
+  const std::vector<Weight>* node_weights_;
+  bool euler_;
+
+  NodeId root_;
+  std::size_t alive_count_ = 0;
+  Weight total_alive_ = 0;
+  // Euler mode: bit t = node at Euler position t is alive.
+  // Closure mode: bit v = node v is alive.
+  DynamicBitset alive_;
+
+  // Euler mode only: weights permuted to Euler order (immutable) and the
+  // Fenwick trees over the *alive* weights/counts in that order.
+  std::vector<Weight> euler_weights_;
+  FenwickTree<Weight> fenwick_weight_;
+  FenwickTree<std::uint32_t> fenwick_count_;
+
+  // Scratch for the dominance-pruned descent.
+  mutable EpochMarker visited_;
+  mutable std::vector<NodeId> queue_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_CORE_SPLIT_WEIGHT_INDEX_H_

@@ -48,6 +48,15 @@ class CandidateSet {
     --alive_count_;
   }
 
+  /// Copies another set's membership without reallocating (both sets must
+  /// wrap the same graph). Lets per-round simulation scratch reuse one
+  /// member set instead of copy-constructing a fresh one per round.
+  void ResetFrom(const CandidateSet& other) {
+    AIGS_DCHECK(graph_ == other.graph_);
+    alive_ = other.alive_;
+    alive_count_ = other.alive_count_;
+  }
+
   /// The single remaining candidate; requires alive_count() == 1.
   NodeId SoleCandidate() const;
 

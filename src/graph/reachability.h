@@ -66,6 +66,31 @@ class ReachabilityIndex {
   /// True when the index is in Euler (tree) mode.
   bool euler_mode() const { return euler_mode_; }
 
+  /// Euler-tour interval of u: R(u) = nodes at Euler positions
+  /// [EulerBegin(u), EulerEnd(u)). Euler mode only.
+  std::uint32_t EulerBegin(NodeId u) const {
+    AIGS_DCHECK(euler_mode_);
+    return tin_[u];
+  }
+  std::uint32_t EulerEnd(NodeId u) const {
+    AIGS_DCHECK(euler_mode_);
+    return tout_[u];
+  }
+
+  /// Node occupying Euler position t. Euler mode only.
+  NodeId NodeAtEuler(std::uint32_t t) const {
+    AIGS_DCHECK(euler_mode_);
+    return euler_to_node_[t];
+  }
+
+  /// Closure row of u: bit v set iff u reaches v. Closure (DAG) mode only —
+  /// the word-parallel form of R(u) the selection layer intersects with the
+  /// alive mask.
+  const DynamicBitset& ClosureRow(NodeId u) const {
+    AIGS_DCHECK(!euler_mode_);
+    return closure_[u];
+  }
+
   const Digraph& graph() const { return *graph_; }
 
  private:

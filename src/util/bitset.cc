@@ -68,6 +68,100 @@ std::size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
   return total;
 }
 
+Weight DynamicBitset::MaskedWeightedSum(
+    const DynamicBitset& mask, const std::vector<Weight>& weights) const {
+  AIGS_CHECK(size_ == mask.size_);
+  AIGS_DCHECK(weights.size() == size_);
+  Weight total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w] & mask.words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      total += weights[(w << 6) + static_cast<std::size_t>(bit)];
+      word &= word - 1;
+    }
+  }
+  return total;
+}
+
+DynamicBitset::CountAndWeight DynamicBitset::MaskedCountAndWeightedSum(
+    const DynamicBitset& mask, const std::vector<Weight>& weights) const {
+  AIGS_CHECK(size_ == mask.size_);
+  AIGS_DCHECK(weights.size() == size_);
+  CountAndWeight out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w] & mask.words_[w];
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.weight += weights[(w << 6) + static_cast<std::size_t>(bit)];
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+Weight DynamicBitset::WeightedSum(const std::vector<Weight>& weights) const {
+  AIGS_DCHECK(weights.size() == size_);
+  Weight total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      total += weights[(w << 6) + static_cast<std::size_t>(bit)];
+      word &= word - 1;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Word-aligned mask for bit positions [begin, end) intersected with word w.
+std::uint64_t RangeMaskForWord(std::size_t w, std::size_t begin,
+                               std::size_t end) {
+  const std::size_t word_begin = w << 6;
+  const std::size_t word_end = word_begin + 64;
+  if (end <= word_begin || begin >= word_end) {
+    return 0;
+  }
+  std::uint64_t mask = ~std::uint64_t{0};
+  if (begin > word_begin) {
+    mask &= ~std::uint64_t{0} << (begin - word_begin);
+  }
+  if (end < word_end) {
+    mask &= (std::uint64_t{1} << (end - word_begin)) - 1;
+  }
+  return mask;
+}
+
+}  // namespace
+
+void DynamicBitset::ClearRange(std::size_t begin, std::size_t end) {
+  AIGS_DCHECK(begin <= end && end <= size_);
+  for (std::size_t w = begin >> 6; w < words_.size() && (w << 6) < end; ++w) {
+    words_[w] &= ~RangeMaskForWord(w, begin, end);
+  }
+}
+
+void DynamicBitset::KeepOnlyRange(std::size_t begin, std::size_t end) {
+  AIGS_DCHECK(begin <= end && end <= size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= RangeMaskForWord(w, begin, end);
+  }
+}
+
+std::size_t DynamicBitset::CountInRange(std::size_t begin,
+                                        std::size_t end) const {
+  AIGS_DCHECK(begin <= end && end <= size_);
+  std::size_t total = 0;
+  for (std::size_t w = begin >> 6; w < words_.size() && (w << 6) < end; ++w) {
+    total += static_cast<std::size_t>(
+        std::popcount(words_[w] & RangeMaskForWord(w, begin, end)));
+  }
+  return total;
+}
+
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   AIGS_CHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {

@@ -75,6 +75,36 @@ class DynamicBitset {
   /// Number of set bits in (this & other). Sizes must match.
   std::size_t IntersectionCount(const DynamicBitset& other) const;
 
+  /// Σ weights[i] over i ∈ (this & mask) — the masked weighted-popcount
+  /// kernel behind DAG-closure split weights: w(R(v) ∩ C) is one call with
+  /// `this` = alive bits and `mask` = closure[v]. O(n/64) word scans plus one
+  /// gather per surviving bit; zero words are skipped entirely. Sizes must
+  /// match and `weights` must have one entry per bit.
+  Weight MaskedWeightedSum(const DynamicBitset& mask,
+                           const std::vector<Weight>& weights) const;
+
+  /// Σ weights[i] over all set bits (unmasked variant).
+  Weight WeightedSum(const std::vector<Weight>& weights) const;
+
+  /// Intersection count and masked weighted sum of (this & mask) in one
+  /// word scan — the batched selection loop needs both per candidate, and
+  /// fusing them halves the dominant O(n/64) cost.
+  struct CountAndWeight {
+    std::size_t count = 0;
+    Weight weight = 0;
+  };
+  CountAndWeight MaskedCountAndWeightedSum(
+      const DynamicBitset& mask, const std::vector<Weight>& weights) const;
+
+  /// Clears every bit in [begin, end).
+  void ClearRange(std::size_t begin, std::size_t end);
+
+  /// Clears every bit outside [begin, end).
+  void KeepOnlyRange(std::size_t begin, std::size_t end);
+
+  /// Number of set bits in [begin, end).
+  std::size_t CountInRange(std::size_t begin, std::size_t end) const;
+
   /// True iff (this & other) is non-empty. Sizes must match.
   bool Intersects(const DynamicBitset& other) const;
 
@@ -105,6 +135,32 @@ class DynamicBitset {
     AIGS_DCHECK(size_ == other.size_);
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t word = words_[w] & other.words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<std::size_t>((w << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Invokes fn(index) for every set bit in [begin, end), ascending.
+  template <typename Fn>
+  void ForEachSetBitInRange(std::size_t begin, std::size_t end,
+                            Fn&& fn) const {
+    AIGS_DCHECK(begin <= end && end <= size_);
+    if (begin >= end) {
+      return;
+    }
+    const std::size_t first_word = begin >> 6;
+    const std::size_t last_word = (end - 1) >> 6;
+    for (std::size_t w = first_word; w <= last_word; ++w) {
+      std::uint64_t word = words_[w];
+      if (w == first_word && (begin & 63) != 0) {
+        word &= ~std::uint64_t{0} << (begin & 63);
+      }
+      if (w == last_word && (end & 63) != 0) {
+        word &= (std::uint64_t{1} << (end & 63)) - 1;
+      }
       while (word != 0) {
         const int bit = std::countr_zero(word);
         fn(static_cast<std::size_t>((w << 6) + bit));

@@ -1,0 +1,86 @@
+// Fenwick (binary-indexed) tree over a fixed-size array of weights.
+//
+// The selection layer (SplitWeightIndex) keeps one of these over the Euler
+// order of a tree hierarchy: a candidate kill is a point update and a
+// subtree weight w(T_v ∩ C) is one range sum over [tin(v), tout(v)) — both
+// O(log n), replacing the O(m) BFS the naive middle-point scan pays per
+// candidate.
+//
+// T must be an unsigned integer type: updates subtract via modular
+// wrap-around (Add(i, T{0} - delta)), which is exact as long as every true
+// prefix sum is non-negative — the invariant a weight index maintains by
+// construction (a kill removes weight that was previously added).
+#ifndef AIGS_UTIL_FENWICK_H_
+#define AIGS_UTIL_FENWICK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.h"
+
+namespace aigs {
+
+template <typename T>
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+
+  /// Builds over `values` in O(n) (no per-element logarithmic inserts).
+  explicit FenwickTree(const std::vector<T>& values) { Build(values); }
+
+  /// Rebuilds over `values` in O(n), reusing storage when sizes match.
+  void Build(const std::vector<T>& values) {
+    tree_.assign(values.size() + 1, T{});
+    // O(n) construction: seed each slot, then push its partial sum up to the
+    // parent slot that covers it.
+    for (std::size_t k = 1; k < tree_.size(); ++k) {
+      tree_[k] += values[k - 1];
+      const std::size_t parent = k + (k & (0 - k));
+      if (parent < tree_.size()) {
+        tree_[parent] += tree_[k];
+      }
+    }
+  }
+
+  /// Number of addressable positions.
+  std::size_t size() const { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  /// values[i] += delta. Subtraction: pass T{0} - delta (see header note).
+  void Add(std::size_t i, T delta) {
+    AIGS_DCHECK(i < size());
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (0 - k)) {
+      tree_[k] += delta;
+    }
+  }
+
+  /// Σ values[0, end).
+  T PrefixSum(std::size_t end) const {
+    AIGS_DCHECK(end <= size());
+    T total{};
+    for (std::size_t k = end; k > 0; k -= k & (0 - k)) {
+      total += tree_[k];
+    }
+    return total;
+  }
+
+  /// Σ values[begin, end).
+  T RangeSum(std::size_t begin, std::size_t end) const {
+    AIGS_DCHECK(begin <= end);
+    return PrefixSum(end) - PrefixSum(begin);
+  }
+
+  /// Σ over all positions.
+  T Total() const { return PrefixSum(size()); }
+
+  /// Copies another tree's state without reallocating when sizes match.
+  void ResetFrom(const FenwickTree& other) { tree_ = other.tree_; }
+
+ private:
+  // tree_[k] holds the sum of the (k & -k) values ending at position k-1;
+  // tree_[0] is an unused sentinel that keeps the index arithmetic branch-free.
+  std::vector<T> tree_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_FENWICK_H_

@@ -149,6 +149,76 @@ TEST(DynamicBitset, EqualityIncludesSize) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(DynamicBitset, MaskedWeightedSumMatchesScalarLoop) {
+  Rng rng(11);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng.UniformInt(300);
+    DynamicBitset a(n);
+    DynamicBitset mask(n);
+    std::vector<Weight> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        a.Set(i);
+      }
+      if (rng.Bernoulli(0.5)) {
+        mask.Set(i);
+      }
+      weights[i] = rng.UniformInt(1000);
+    }
+    Weight expected_masked = 0;
+    Weight expected_all = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected_all += a.Test(i) ? weights[i] : 0;
+      expected_masked += (a.Test(i) && mask.Test(i)) ? weights[i] : 0;
+    }
+    EXPECT_EQ(a.MaskedWeightedSum(mask, weights), expected_masked);
+    EXPECT_EQ(a.WeightedSum(weights), expected_all);
+    const DynamicBitset::CountAndWeight cw =
+        a.MaskedCountAndWeightedSum(mask, weights);
+    EXPECT_EQ(cw.count, a.IntersectionCount(mask));
+    EXPECT_EQ(cw.weight, expected_masked);
+  }
+}
+
+TEST(DynamicBitset, RangeOperationsMatchScalarLoops) {
+  Rng rng(12);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.UniformInt(300);
+    DynamicBitset reference(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        reference.Set(i);
+      }
+    }
+    const std::size_t begin = rng.UniformInt(n + 1);
+    const std::size_t end = begin + rng.UniformInt(n + 1 - begin);
+
+    std::size_t expected_count = 0;
+    std::vector<std::size_t> expected_positions;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (reference.Test(i)) {
+        ++expected_count;
+        expected_positions.push_back(i);
+      }
+    }
+    EXPECT_EQ(reference.CountInRange(begin, end), expected_count);
+    std::vector<std::size_t> positions;
+    reference.ForEachSetBitInRange(
+        begin, end, [&](std::size_t i) { positions.push_back(i); });
+    EXPECT_EQ(positions, expected_positions);
+
+    DynamicBitset cleared = reference;
+    cleared.ClearRange(begin, end);
+    DynamicBitset kept = reference;
+    kept.KeepOnlyRange(begin, end);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_range = i >= begin && i < end;
+      EXPECT_EQ(cleared.Test(i), reference.Test(i) && !in_range) << i;
+      EXPECT_EQ(kept.Test(i), reference.Test(i) && in_range) << i;
+    }
+  }
+}
+
 TEST(DynamicBitset, RandomizedAgainstReferenceSet) {
   Rng rng(7);
   DynamicBitset b(257);

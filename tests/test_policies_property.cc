@@ -206,7 +206,7 @@ void CheckGreedyOptimality(const Policy& policy, const Hierarchy& h,
       ASSERT_NE(q.node, root) << "policy queried the known-yes root";
 
       const MiddlePoint best = FindMiddlePointNaive(
-          h.graph(), candidates, root, weights, total);
+          h.graph(), candidates, root, weights, total, scratch);
       const Weight reach_q = GetReachableSetWeight(h.graph(), candidates,
                                                    q.node, weights, scratch);
       const Weight twice = 2 * reach_q;

@@ -105,6 +105,22 @@ TEST(PolicyRegistry, MalformedOptionValueFails) {
       PolicyRegistry::Global().Create("batched:k=4,k=8", f.context).ok());
 }
 
+TEST(PolicyRegistry, SelectionBackendOption) {
+  VehicleFixture f;
+  for (const char* spec :
+       {"greedy_naive:backend=bfs", "greedy_naive:backend=index",
+        "batched:backend=bfs,k=2", "batched:backend=index,k=2"}) {
+    SCOPED_TRACE(spec);
+    auto policy = PolicyRegistry::Global().Create(spec, f.context);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    const EvalStats stats = EvaluateExact(**policy, f.hierarchy, f.dist);
+    EXPECT_EQ(stats.num_searches, f.hierarchy.NumNodes());
+  }
+  EXPECT_FALSE(PolicyRegistry::Global()
+                   .Create("greedy_naive:backend=magic", f.context)
+                   .ok());
+}
+
 TEST(PolicyRegistry, TreeOnlyPolicyRejectsDags) {
   Rng rng(11);
   const Hierarchy h = MustBuild(RandomDag(20, rng, 0.5));

@@ -263,8 +263,9 @@ TEST(MiddlePoint, NaiveScanFindsDefinitionalArgmin) {
   for (const Weight w : weights) {
     total += w;
   }
-  const MiddlePoint mp =
-      FindMiddlePointNaive(h.graph(), candidates, h.root(), weights, total);
+  BfsScratch scratch(h.NumNodes());
+  const MiddlePoint mp = FindMiddlePointNaive(h.graph(), candidates, h.root(),
+                                              weights, total, scratch);
   ASSERT_NE(mp.node, kInvalidNode);
   // No other non-root candidate does strictly better.
   for (NodeId v = 0; v < h.NumNodes(); ++v) {
