@@ -12,6 +12,8 @@
 #include "data/synthetic_catalog.h"
 #include "eval/runner.h"
 #include "graph/candidate_set.h"
+#include "service/engine.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 
 namespace aigs {
@@ -132,7 +134,8 @@ BENCHMARK(BM_MiddlePointNaiveScanTree);
 // with the naive BFS scans above on the same 4k-node synthetic catalogs.
 void BM_MiddlePointIndexTree(benchmark::State& state) {
   const Hierarchy& h = TreeHierarchy();
-  const SplitWeightIndex index(h, TreeDist().weights());
+  const SplitWeightBase base(h, TreeDist().weights());
+  const SplitWeightIndex index(base);
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.FindMiddlePoint());
   }
@@ -141,7 +144,8 @@ BENCHMARK(BM_MiddlePointIndexTree);
 
 void BM_MiddlePointIndexDag(benchmark::State& state) {
   const Hierarchy& h = DagHierarchy();
-  const SplitWeightIndex index(h, DagDist().weights());
+  const SplitWeightBase base(h, DagDist().weights());
+  const SplitWeightIndex index(base);
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.FindMiddlePoint());
   }
@@ -217,6 +221,113 @@ void BM_TreeSessionCreation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeSessionCreation);
+
+// Sessions/sec on the split-weight selection layer: the old design rebuilt
+// the whole index per session (BM_SplitBaseBuild* is exactly that cost —
+// Fenwick/prefix construction over all n nodes); the new design opens a
+// session as an O(1) overlay over the prebuilt base (BM_SplitSessionCreate*).
+template <const Hierarchy& (*GetHierarchy)(), const Distribution& (*GetDist)()>
+void BM_SplitBaseBuild(benchmark::State& state) {
+  const Hierarchy& h = GetHierarchy();
+  const auto& weights = GetDist().weights();
+  for (auto _ : state) {
+    const SplitWeightBase base(h, weights);
+    benchmark::DoNotOptimize(base.Total());
+  }
+}
+BENCHMARK_TEMPLATE(BM_SplitBaseBuild, TreeHierarchy, TreeDist)
+    ->Name("BM_SplitBaseBuildTree");
+BENCHMARK_TEMPLATE(BM_SplitBaseBuild, DagHierarchy, DagDist)
+    ->Name("BM_SplitBaseBuildDag");
+
+template <const Hierarchy& (*GetHierarchy)(), const Distribution& (*GetDist)()>
+void BM_SplitSessionCreate(benchmark::State& state) {
+  const Hierarchy& h = GetHierarchy();
+  const auto& weights = GetDist().weights();
+  const SplitWeightBase base(h, weights);
+  for (auto _ : state) {
+    const SplitWeightIndex session(base);
+    benchmark::DoNotOptimize(session.AliveCount());
+  }
+}
+BENCHMARK_TEMPLATE(BM_SplitSessionCreate, TreeHierarchy, TreeDist)
+    ->Name("BM_SplitSessionCreateTree");
+BENCHMARK_TEMPLATE(BM_SplitSessionCreate, DagHierarchy, DagDist)
+    ->Name("BM_SplitSessionCreateDag");
+
+// Service-path sessions/sec: Open+Close of an engine session (ID
+// assignment, sharded-map insert/erase, O(1) policy overlay) on a prebuilt
+// snapshot.
+void BM_EngineOpenClose(benchmark::State& state) {
+  const Hierarchy& h = TreeHierarchy();
+  Engine engine;
+  CatalogConfig config;
+  config.hierarchy = UnownedHierarchy(h);
+  config.distribution = TreeDist();
+  config.policy_specs = {"greedy_naive"};
+  AIGS_CHECK(engine.Publish(std::move(config)).ok());
+  for (auto _ : state) {
+    const auto id = engine.Open("greedy_naive");
+    benchmark::DoNotOptimize(id);
+    (void)engine.Close(*id);
+  }
+}
+BENCHMARK(BM_EngineOpenClose);
+
+// Blocked/word-parallel weighted popcount vs the bit-by-bit gather, both
+// computing w(closure[v] & alive) with a fully alive mask. Two regimes:
+// the dense rows near the root (what the dominance-pruned descent probes —
+// the kernel settles full words against block sums) and a sweep over all
+// rows (mostly sparse; the kernel must not lose there).
+void BM_MaskedWeightedSumBitwiseDense(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  const auto& weights = DagDist().weights();
+  const DynamicBitset alive(h.NumNodes(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alive.MaskedWeightedSum(h.reach().ClosureRow(h.root()), weights));
+  }
+}
+BENCHMARK(BM_MaskedWeightedSumBitwiseDense);
+
+void BM_MaskedWeightedSumBlockedDense(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  const auto& weights = DagDist().weights();
+  const BlockedWeights blocked(weights);
+  const DynamicBitset alive(h.NumNodes(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alive.MaskedWeightedSum(h.reach().ClosureRow(h.root()), blocked));
+  }
+}
+BENCHMARK(BM_MaskedWeightedSumBlockedDense);
+
+void BM_MaskedWeightedSumBitwiseSweep(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  const auto& weights = DagDist().weights();
+  const DynamicBitset alive(h.NumNodes(), true);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alive.MaskedWeightedSum(h.reach().ClosureRow(v), weights));
+    v = (v + 1) % static_cast<NodeId>(h.NumNodes());
+  }
+}
+BENCHMARK(BM_MaskedWeightedSumBitwiseSweep);
+
+void BM_MaskedWeightedSumBlockedSweep(benchmark::State& state) {
+  const Hierarchy& h = DagHierarchy();
+  const auto& weights = DagDist().weights();
+  const BlockedWeights blocked(weights);
+  const DynamicBitset alive(h.NumNodes(), true);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alive.MaskedWeightedSum(h.reach().ClosureRow(v), blocked));
+    v = (v + 1) % static_cast<NodeId>(h.NumNodes());
+  }
+}
+BENCHMARK(BM_MaskedWeightedSumBlockedSweep);
 
 void BM_OnlineWeightUpdate(benchmark::State& state) {
   const Hierarchy& h = TreeHierarchy();

@@ -10,6 +10,7 @@
 #include "core/policy_registry.h"
 #include "data/builtin.h"
 #include "eval/cost_profile.h"
+#include "oracle/noisy_oracle.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -42,6 +43,66 @@ StatusOr<Dataset> BuildBuiltinDataset(const std::string& name) {
   }
   return Status::NotFound("unknown dataset '" + name +
                           "' (amazon, imagenet, vehicle, fig2, fig3)");
+}
+
+/// Self-contained noisy oracle for one search: owns the truthful inner
+/// oracle and the chosen noise wrapper (NoisyOracle/PersistentNoisyOracle
+/// only borrow their inner oracle).
+class ScenarioNoisyOracle final : public Oracle {
+ public:
+  ScenarioNoisyOracle(const ReachabilityIndex& reach, NodeId target,
+                      double flip_prob, bool persistent, std::uint64_t seed)
+      : exact_(reach, target),
+        transient_(exact_, flip_prob, Rng(seed)),
+        persistent_(exact_, flip_prob, Rng(seed)),
+        use_persistent_(persistent) {}
+
+  bool Reach(NodeId q) override {
+    return use_persistent_ ? persistent_.Reach(q) : transient_.Reach(q);
+  }
+  int Choice(std::span<const NodeId> choices) override {
+    return use_persistent_ ? persistent_.Choice(choices)
+                           : transient_.Choice(choices);
+  }
+
+ private:
+  ExactOracle exact_;
+  NoisyOracle transient_;
+  PersistentNoisyOracle persistent_;
+  bool use_persistent_;
+};
+
+struct OracleSpec {
+  bool exact = true;
+  bool persistent = false;
+  double flip_prob = 0;
+};
+
+StatusOr<OracleSpec> ParseOracleSpec(const std::string& spec) {
+  const std::vector<std::string_view> parts = Split(spec, ':');
+  const std::string kind(Trim(parts[0]));
+  OracleSpec parsed;
+  if (kind == "exact") {
+    if (parts.size() != 1) {
+      return Status::InvalidArgument("oracle 'exact' takes no parameter");
+    }
+    return parsed;
+  }
+  if (kind != "noisy" && kind != "persistent") {
+    return Status::NotFound("unknown oracle '" + spec +
+                            "' (exact, noisy:p, persistent:p)");
+  }
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("oracle '" + kind + "' needs " + kind +
+                                   ":p (flip probability)");
+  }
+  parsed.exact = false;
+  parsed.persistent = kind == "persistent";
+  AIGS_ASSIGN_OR_RETURN(parsed.flip_prob, ParseDouble(parts[1]));
+  if (parsed.flip_prob < 0 || parsed.flip_prob >= 0.5) {
+    return Status::InvalidArgument("flip probability must be in [0, 0.5)");
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -139,6 +200,8 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
   if (spec.reps == 0) {
     return Status::InvalidArgument("scenario reps must be >= 1");
   }
+  AIGS_ASSIGN_OR_RETURN(const OracleSpec oracle_spec,
+                        ParseOracleSpec(spec.oracle));
   AIGS_ASSIGN_OR_RETURN(const Dataset* dataset,
                         cache.Get(spec.dataset, spec.scale));
   const Hierarchy& h = dataset->hierarchy;
@@ -185,6 +248,17 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
     } else {
       eval_options.threads = spec.threads;
     }
+    if (!oracle_spec.exact) {
+      eval_options.require_correct = false;
+      eval_options.oracle_seed = spec.seed + 131 * rep;
+      eval_options.oracle_factory =
+          [&oracle_spec](const Hierarchy& hierarchy, NodeId target,
+                         std::uint64_t seed) -> std::unique_ptr<Oracle> {
+        return std::make_unique<ScenarioNoisyOracle>(
+            hierarchy.reach(), target, oracle_spec.flip_prob,
+            oracle_spec.persistent, seed);
+      };
+    }
     const Evaluator evaluator(eval_options);
     const EvalStats stats =
         spec.samples == 0
@@ -197,6 +271,10 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
     result.expected_reach_queries += stats.expected_reach_queries;
     result.expected_rounds += stats.expected_rounds;
     result.max_cost = std::max(result.max_cost, stats.max_cost);
+    if (rep == 0) {
+      result.accuracy = 0;
+    }
+    result.accuracy += stats.accuracy;
     if (spec.samples == 0) {
       const CostProfile profile(stats.per_target_cost, dist);
       result.median = profile.Median();
@@ -211,6 +289,7 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
   result.expected_priced_cost /= denom;
   result.expected_reach_queries /= denom;
   result.expected_rounds /= denom;
+  result.accuracy /= denom;
   return result;
 }
 
@@ -239,6 +318,8 @@ StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
       spec.policy = value;
     } else if (key == "cost" || key == "cost_model") {
       spec.cost_model = value;
+    } else if (key == "oracle") {
+      spec.oracle = value;
     } else if (key == "reps") {
       AIGS_ASSIGN_OR_RETURN(const std::uint64_t reps, ParseUint64(value));
       spec.reps = static_cast<std::size_t>(reps);
@@ -302,6 +383,7 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   str("policy", r.spec.policy);
   str("policy_name", r.policy_name);
   str("cost_model", r.spec.cost_model);
+  str("oracle", r.spec.oracle);
   num("reps", std::to_string(r.spec.reps));
   num("samples", std::to_string(r.spec.samples));
   num("threads", std::to_string(r.spec.threads));
@@ -310,6 +392,7 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   num("expected_priced_cost", FormatDouble(r.expected_priced_cost, 6));
   num("expected_reach_queries", FormatDouble(r.expected_reach_queries, 6));
   num("expected_rounds", FormatDouble(r.expected_rounds, 6));
+  num("accuracy", FormatDouble(r.accuracy, 6));
   num("max_cost", std::to_string(r.max_cost));
   num("median", std::to_string(r.median));
   num("p90", std::to_string(r.p90));
@@ -321,12 +404,12 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
 std::vector<std::string> ScenarioCsvHeader() {
   return {"label",         "dataset",       "nodes",
           "scale",         "distribution",  "policy",
-          "policy_name",   "cost_model",    "reps",
-          "samples",       "threads",       "seed",
-          "expected_cost", "expected_priced_cost",
+          "policy_name",   "cost_model",    "oracle",
+          "reps",          "samples",       "threads",
+          "seed",          "expected_cost", "expected_priced_cost",
           "expected_reach_queries",         "expected_rounds",
-          "max_cost",      "median",        "p90",
-          "p99",           "wall_ms"};
+          "accuracy",      "max_cost",      "median",
+          "p90",           "p99",           "wall_ms"};
 }
 
 std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
@@ -338,6 +421,7 @@ std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
           r.spec.policy,
           r.policy_name,
           r.spec.cost_model,
+          r.spec.oracle,
           std::to_string(r.spec.reps),
           std::to_string(r.spec.samples),
           std::to_string(r.spec.threads),
@@ -346,6 +430,7 @@ std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
           FormatDouble(r.expected_priced_cost, 6),
           FormatDouble(r.expected_reach_queries, 6),
           FormatDouble(r.expected_rounds, 6),
+          FormatDouble(r.accuracy, 6),
           std::to_string(r.max_cost),
           std::to_string(r.median),
           std::to_string(r.p90),
@@ -388,13 +473,14 @@ StatusOr<double> JsonNumber(const std::string& line, const std::string& key) {
 /// quantile fields are excluded on purpose).
 constexpr const char* kGuardedMetrics[] = {
     "expected_cost", "expected_priced_cost", "expected_reach_queries",
-    "expected_rounds", "max_cost"};
+    "expected_rounds", "accuracy", "max_cost"};
 
 double MetricOf(const ScenarioResult& r, const std::string& metric) {
   if (metric == "expected_cost") return r.expected_cost;
   if (metric == "expected_priced_cost") return r.expected_priced_cost;
   if (metric == "expected_reach_queries") return r.expected_reach_queries;
   if (metric == "expected_rounds") return r.expected_rounds;
+  if (metric == "accuracy") return r.accuracy;
   return static_cast<double>(r.max_cost);
 }
 

@@ -37,6 +37,12 @@ struct ScenarioSpec {
   std::string policy = "greedy";
   /// unit | uniform:lo:hi (random integer prices in [lo, hi]).
   std::string cost_model = "unit";
+  /// exact | noisy:p | persistent:p — the oracle answering the questions.
+  /// noisy flips each answer independently with probability p; persistent
+  /// freezes each node's (possibly flipped) answer for the whole search
+  /// (Dereniowski-style noise that majority voting cannot fix). Non-exact
+  /// oracles report accuracy instead of fatally requiring correctness.
+  std::string oracle = "exact";
   /// Repetitions for randomized distributions / cost models (averaged).
   std::size_t reps = 1;
   /// Base seed; rep r derives its own stream.
@@ -57,6 +63,9 @@ struct ScenarioResult {
   double expected_reach_queries = 0;
   double expected_rounds = 0;
   std::uint64_t max_cost = 0;  // max over reps
+  /// Fraction of searches identifying the true target (1.0 under the exact
+  /// oracle; the headline metric of noisy scenarios). Averaged over reps.
+  double accuracy = 1.0;
   // Weighted quantiles from the last rep (exact mode only; 0 otherwise).
   std::uint32_t median = 0;
   std::uint32_t p90 = 0;

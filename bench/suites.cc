@@ -518,6 +518,33 @@ Status SuiteNoise(SuiteContext& ctx) {
   std::printf("takeaway: majority voting buys back accuracy under transient "
               "noise but is powerless\nagainst persistent noise — the §VII "
               "future-work challenge.\n");
+
+  // Scenario rows for the perf trajectory: persistent-noise oracle vs the
+  // exact reference on the same greedy policy. These flow into the JSON/CSV
+  // sink and the baseline guard (cost and accuracy are deterministic: the
+  // per-search noise streams derive from the scenario seed).
+  AsciiTable scenario_table(
+      {"Oracle", "E[questions]", "Accuracy", "Max cost"});
+  const struct {
+    const char* label;
+    const char* oracle;
+  } scenario_rows[] = {{"noise/exact", "exact"},
+                       {"noise/persistent-0.05", "persistent:0.05"},
+                       {"noise/persistent-0.10", "persistent:0.1"}};
+  for (const auto& row : scenario_rows) {
+    ScenarioSpec spec;
+    spec.label = row.label;
+    spec.dataset = "amazon";
+    spec.scale = std::min(ctx.scale, ctx.smoke ? 0.03 : 0.15);
+    spec.policy = "greedy";
+    spec.oracle = row.oracle;
+    spec.seed = 1234;
+    AIGS_ASSIGN_OR_RETURN(const ScenarioResult result, Run(ctx, spec));
+    scenario_table.AddRow({row.oracle, FormatDouble(result.expected_cost),
+                           FormatDouble(result.accuracy * 100, 1) + "%",
+                           std::to_string(result.max_cost)});
+  }
+  std::printf("%s\n", scenario_table.ToString().c_str());
   return Status::OK();
 }
 

@@ -33,6 +33,12 @@ class BatchedGreedyBfsSession final : public SearchSession {
 
   void OnReachBatch(std::span<const NodeId> nodes,
                     const std::vector<bool>& answers) override {
+    AIGS_CHECK(TryOnReachBatch(nodes, answers).ok() &&
+               "batch answers eliminated every candidate");
+  }
+
+  Status TryOnReachBatch(std::span<const NodeId> nodes,
+                         const std::vector<bool>& answers) override {
     AIGS_CHECK(nodes.size() == pending_.size());
     AIGS_CHECK(answers.size() == nodes.size());
     const ReachabilityIndex& reach = hierarchy_->reach();
@@ -50,12 +56,19 @@ class BatchedGreedyBfsSession final : public SearchSession {
         }
       }
     });
+    if (to_kill.size() == candidates_.alive_count()) {
+      // Mutually inconsistent answers: no candidate survives. Leave the
+      // round pending so a (service) caller can re-answer.
+      return Status::InvalidArgument(
+          "batch answers are mutually inconsistent — they eliminate every "
+          "candidate");
+    }
     // Kill via single-node removals on the bitset; counts stay consistent.
     for (const NodeId t : to_kill) {
       candidates_.KillOne(t);
     }
-    AIGS_CHECK(candidates_.alive_count() >= 1);
     pending_.clear();
+    return Status::OK();
   }
 
   void OnReach(NodeId, bool) override {
@@ -127,14 +140,14 @@ class BatchedGreedyBfsSession final : public SearchSession {
 };
 
 // Fast backend: SplitWeightIndex state + a ResetFrom simulation scratch.
+// Construction is O(1) — both overlays share the policy's base.
 class BatchedGreedyIndexSession final : public SearchSession {
  public:
-  BatchedGreedyIndexSession(const Hierarchy& h,
-                            const std::vector<Weight>& weights,
+  BatchedGreedyIndexSession(const SplitWeightBase& base,
                             std::size_t questions_per_round)
       : questions_per_round_(questions_per_round),
-        state_(h, weights),
-        simulated_(h, weights) {}
+        state_(base),
+        simulated_(base) {}
 
   Query Next() override {
     if (state_.AliveCount() == 1) {
@@ -148,11 +161,26 @@ class BatchedGreedyIndexSession final : public SearchSession {
 
   void OnReachBatch(std::span<const NodeId> nodes,
                     const std::vector<bool>& answers) override {
+    AIGS_CHECK(TryOnReachBatch(nodes, answers).ok() &&
+               "batch answers eliminated every candidate");
+  }
+
+  Status TryOnReachBatch(std::span<const NodeId> nodes,
+                         const std::vector<bool>& answers) override {
     AIGS_CHECK(nodes.size() == pending_.size());
-    // One bitset intersection / Euler-range operation per question.
-    state_.ApplyBatch(nodes, answers);
-    AIGS_CHECK(state_.AliveCount() >= 1);
+    // Fold the round into the simulation scratch first — one bitset
+    // intersection / Euler-range operation per question — so mutually
+    // inconsistent answers can be rejected without touching the session.
+    simulated_.ResetFrom(state_);
+    simulated_.ApplyBatch(nodes, answers);
+    if (simulated_.AliveCount() == 0) {
+      return Status::InvalidArgument(
+          "batch answers are mutually inconsistent — they eliminate every "
+          "candidate");
+    }
+    state_.ResetFrom(simulated_);
     pending_.clear();
+    return Status::OK();
   }
 
   void OnReach(NodeId, bool) override {
@@ -189,6 +217,9 @@ BatchedGreedyPolicy::BatchedGreedyPolicy(const Hierarchy& hierarchy,
     : hierarchy_(&hierarchy), weights_(dist.weights()), options_(options) {
   AIGS_CHECK(dist.size() == hierarchy.NumNodes());
   AIGS_CHECK(options.questions_per_round >= 1);
+  if (options_.backend == SelectionBackend::kSplitIndex) {
+    base_ = std::make_unique<SplitWeightBase>(hierarchy, weights_);
+  }
 }
 
 std::unique_ptr<SearchSession> BatchedGreedyPolicy::NewSession() const {
@@ -197,7 +228,7 @@ std::unique_ptr<SearchSession> BatchedGreedyPolicy::NewSession() const {
         *hierarchy_, weights_, options_.questions_per_round);
   }
   return std::make_unique<BatchedGreedyIndexSession>(
-      *hierarchy_, weights_, options_.questions_per_round);
+      *base_, options_.questions_per_round);
 }
 
 }  // namespace aigs

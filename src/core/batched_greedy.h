@@ -27,6 +27,7 @@
 #include "core/hierarchy.h"
 #include "core/policy.h"
 #include "core/selection_backend.h"
+#include "core/split_weight_index.h"
 #include "prob/distribution.h"
 
 namespace aigs {
@@ -53,6 +54,9 @@ class BatchedGreedyPolicy : public Policy {
   const Hierarchy* hierarchy_;
   std::vector<Weight> weights_;
   BatchedGreedyOptions options_;
+  // Shared immutable selection base; sessions are O(1) overlays over it
+  // (null for the BFS reference backend).
+  std::unique_ptr<SplitWeightBase> base_;
 };
 
 }  // namespace aigs

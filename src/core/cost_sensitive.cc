@@ -7,9 +7,8 @@ namespace {
 
 class CostSensitiveSession final : public SearchSession {
  public:
-  CostSensitiveSession(const Hierarchy& h, const std::vector<Weight>& weights,
-                       const CostModel& costs)
-      : state_(h, weights), costs_(&costs) {}
+  CostSensitiveSession(const SplitWeightBase& base, const CostModel& costs)
+      : state_(base), costs_(&costs) {}
 
   Query Next() override {
     if (state_.AliveCount() == 1) {
@@ -80,11 +79,11 @@ CostSensitiveGreedyPolicy::CostSensitiveGreedyPolicy(
       costs_(&costs) {
   AIGS_CHECK(dist.size() == hierarchy.NumNodes());
   AIGS_CHECK(costs.size() == hierarchy.NumNodes());
+  base_ = std::make_unique<SplitWeightBase>(hierarchy, weights_);
 }
 
 std::unique_ptr<SearchSession> CostSensitiveGreedyPolicy::NewSession() const {
-  return std::make_unique<CostSensitiveSession>(*hierarchy_, weights_,
-                                                *costs_);
+  return std::make_unique<CostSensitiveSession>(*base_, *costs_);
 }
 
 }  // namespace aigs

@@ -16,6 +16,7 @@
 
 #include "core/hierarchy.h"
 #include "core/policy.h"
+#include "core/split_weight_index.h"
 #include "oracle/cost_model.h"
 #include "prob/distribution.h"
 #include "prob/rounding.h"
@@ -47,6 +48,8 @@ class CostSensitiveGreedyPolicy : public Policy {
   const Hierarchy* hierarchy_;
   std::vector<Weight> weights_;
   const CostModel* costs_;
+  // Shared immutable selection base; sessions are O(1) overlays over it.
+  std::unique_ptr<SplitWeightBase> base_;
 };
 
 }  // namespace aigs

@@ -61,11 +61,11 @@ class GreedyNaiveBfsSession final : public SearchSession {
 };
 
 // Fast backend: incremental split weights + dominance-pruned selection.
+// Construction is O(1) — the session is an overlay over the policy's base.
 class GreedyNaiveIndexSession final : public SearchSession {
  public:
-  GreedyNaiveIndexSession(const Hierarchy& h,
-                          const std::vector<Weight>& weights)
-      : index_(h, weights) {}
+  explicit GreedyNaiveIndexSession(const SplitWeightBase& base)
+      : index_(base) {}
 
   Query Next() override {
     if (index_.AliveCount() == 1) {
@@ -102,13 +102,16 @@ GreedyNaivePolicy::GreedyNaivePolicy(const Hierarchy& hierarchy,
                                            : dist.weights()),
       options_(options) {
   AIGS_CHECK(dist.size() == hierarchy.NumNodes());
+  if (options_.backend == SelectionBackend::kSplitIndex) {
+    base_ = std::make_unique<SplitWeightBase>(hierarchy, weights_);
+  }
 }
 
 std::unique_ptr<SearchSession> GreedyNaivePolicy::NewSession() const {
   if (options_.backend == SelectionBackend::kBfsRescan) {
     return std::make_unique<GreedyNaiveBfsSession>(*hierarchy_, weights_);
   }
-  return std::make_unique<GreedyNaiveIndexSession>(*hierarchy_, weights_);
+  return std::make_unique<GreedyNaiveIndexSession>(*base_);
 }
 
 }  // namespace aigs

@@ -20,6 +20,7 @@
 #include "core/hierarchy.h"
 #include "core/policy.h"
 #include "core/selection_backend.h"
+#include "core/split_weight_index.h"
 #include "prob/distribution.h"
 #include "prob/rounding.h"
 
@@ -52,6 +53,9 @@ class GreedyNaivePolicy : public Policy {
   const Hierarchy* hierarchy_;
   std::vector<Weight> weights_;
   GreedyNaiveOptions options_;
+  // Shared immutable selection base; sessions are O(1) overlays over it
+  // (null for the BFS reference backend, which needs no precomputation).
+  std::unique_ptr<SplitWeightBase> base_;
 };
 
 }  // namespace aigs

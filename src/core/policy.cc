@@ -15,4 +15,10 @@ void SearchSession::OnReachBatch(std::span<const NodeId> nodes,
   AIGS_CHECK(false && "this policy does not ask batched questions");
 }
 
+Status SearchSession::TryOnReachBatch(std::span<const NodeId> nodes,
+                                      const std::vector<bool>& answers) {
+  OnReachBatch(nodes, answers);
+  return Status::OK();
+}
+
 }  // namespace aigs

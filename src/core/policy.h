@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/status.h"
 
 namespace aigs {
 
@@ -70,6 +71,15 @@ class SearchSession {
   /// corresponds to nodes[i]. Default: fatal (policies that never batch).
   virtual void OnReachBatch(std::span<const NodeId> nodes,
                             const std::vector<bool>& answers);
+
+  /// Validating variant for untrusted callers (the service boundary): a
+  /// batch whose answers are mutually inconsistent (no candidate survives
+  /// all of them — possible from a buggy client or a noisy oracle) is
+  /// rejected with InvalidArgument and the session state stays untouched,
+  /// instead of tripping the fatal consistency checks. Default forwards to
+  /// OnReachBatch (policies without content constraints).
+  virtual Status TryOnReachBatch(std::span<const NodeId> nodes,
+                                 const std::vector<bool>& answers);
 };
 
 /// A search strategy factory. Thread-safe for concurrent NewSession() calls

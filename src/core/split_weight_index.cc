@@ -1,104 +1,254 @@
 #include "core/split_weight_index.h"
 
+#include <algorithm>
+
 namespace aigs {
 
-SplitWeightIndex::SplitWeightIndex(const Hierarchy& hierarchy,
-                                   const std::vector<Weight>& weights)
+SplitWeightBase::SplitWeightBase(const Hierarchy& hierarchy,
+                                 const std::vector<Weight>& weights)
     : hierarchy_(&hierarchy),
       reach_(&hierarchy.reach()),
       node_weights_(&weights),
-      euler_(hierarchy.reach().euler_mode()),
-      visited_(hierarchy.NumNodes()) {
+      euler_(hierarchy.reach().euler_mode()) {
   AIGS_CHECK(weights.size() == hierarchy.NumNodes());
+  const std::size_t n = hierarchy.NumNodes();
   if (euler_) {
-    const std::size_t n = hierarchy.NumNodes();
-    euler_weights_.resize(n);
+    euler_prefix_.resize(n + 1);
+    euler_prefix_[0] = 0;
     for (std::uint32_t t = 0; t < n; ++t) {
-      euler_weights_[t] = weights[reach_->NodeAtEuler(t)];
+      euler_prefix_[t + 1] =
+          euler_prefix_[t] + weights[reach_->NodeAtEuler(t)];
+    }
+    total_ = euler_prefix_[n];
+  } else {
+    full_reach_weight_ = reach_->AllReachableSetWeights(weights);
+    blocked_ = BlockedWeights(weights);
+    total_ = 0;
+    for (const Weight w : weights) {
+      total_ += w;
     }
   }
+}
+
+SplitWeightIndex::SplitWeightIndex(const SplitWeightBase& base)
+    : base_(&base), euler_(base.euler_mode()) {
   Reset();
 }
 
 void SplitWeightIndex::Reset() {
-  const std::size_t n = hierarchy_->NumNodes();
-  root_ = hierarchy_->root();
+  const std::size_t n = base_->hierarchy().NumNodes();
+  root_ = base_->hierarchy().root();
   alive_count_ = n;
+  total_alive_ = base_->Total();
+  if (euler_) {
+    window_begin_ = 0;
+    window_end_ = static_cast<std::uint32_t>(n);
+    removed_.clear();
+    removed_prefix_weight_.assign(1, 0);
+    removed_prefix_count_.assign(1, 0);
+  } else {
+    materialized_ = false;
+  }
+}
+
+void SplitWeightIndex::ResetFrom(const SplitWeightIndex& other) {
+  AIGS_DCHECK(base_ == other.base_);
+  root_ = other.root_;
+  alive_count_ = other.alive_count_;
+  total_alive_ = other.total_alive_;
+  if (euler_) {
+    window_begin_ = other.window_begin_;
+    window_end_ = other.window_end_;
+    removed_ = other.removed_;
+    removed_prefix_weight_ = other.removed_prefix_weight_;
+    removed_prefix_count_ = other.removed_prefix_count_;
+  } else {
+    materialized_ = other.materialized_;
+    if (materialized_) {
+      alive_ = other.alive_;
+    }
+  }
+}
+
+// ---- removed-interval bookkeeping (Euler mode) ------------------------------
+
+std::size_t SplitWeightIndex::FirstRemovedAtOrAfter(std::uint32_t pos) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(removed_.begin(), removed_.end(), pos,
+                       [](const RemovedRange& r, std::uint32_t p) {
+                         return r.begin < p;
+                       }) -
+      removed_.begin());
+}
+
+void SplitWeightIndex::RebuildRemovedPrefixes(std::size_t from) {
+  removed_prefix_weight_.resize(removed_.size() + 1);
+  removed_prefix_count_.resize(removed_.size() + 1);
+  if (from == 0) {
+    removed_prefix_weight_[0] = 0;
+    removed_prefix_count_[0] = 0;
+    from = 1;
+  }
+  for (std::size_t i = from; i <= removed_.size(); ++i) {
+    const RemovedRange& r = removed_[i - 1];
+    removed_prefix_weight_[i] = removed_prefix_weight_[i - 1] +
+                                base_->EulerRangeWeight(r.begin, r.end);
+    removed_prefix_count_[i] =
+        removed_prefix_count_[i - 1] + (r.end - r.begin);
+  }
+}
+
+Weight SplitWeightIndex::RemovedWeightWithin(std::uint32_t a,
+                                             std::uint32_t b) const {
+  // Laminarity: an interval with begin ∈ [a, b) is nested inside [a, b).
+  const std::size_t lo = FirstRemovedAtOrAfter(a);
+  const std::size_t hi = FirstRemovedAtOrAfter(b);
+  return removed_prefix_weight_[hi] - removed_prefix_weight_[lo];
+}
+
+std::uint32_t SplitWeightIndex::RemovedCountWithin(std::uint32_t a,
+                                                   std::uint32_t b) const {
+  const std::size_t lo = FirstRemovedAtOrAfter(a);
+  const std::size_t hi = FirstRemovedAtOrAfter(b);
+  return removed_prefix_count_[hi] - removed_prefix_count_[lo];
+}
+
+bool SplitWeightIndex::CoveredByRemoved(std::uint32_t a,
+                                        std::uint32_t b) const {
+  const std::size_t idx = FirstRemovedAtOrAfter(a + 1);
+  // removed_[idx - 1] is the last interval starting at or before a.
+  return idx > 0 && removed_[idx - 1].end >= b;
+}
+
+void SplitWeightIndex::MarkWindowDead(std::uint32_t begin,
+                                      std::uint32_t end) {
+  window_begin_ = begin;
+  window_end_ = end;
+  removed_.clear();
+  if (begin < end) {
+    removed_.push_back(RemovedRange{begin, end});
+  }
+  RebuildRemovedPrefixes(0);
+  alive_count_ = 0;
+  total_alive_ = 0;
+}
+
+// ---- state queries ----------------------------------------------------------
+
+bool SplitWeightIndex::IsAlive(NodeId v) const {
+  if (euler_) {
+    const std::uint32_t t = base_->reach().EulerBegin(v);
+    return t >= window_begin_ && t < window_end_ &&
+           !CoveredByRemoved(t, t + 1);
+  }
+  return !materialized_ || alive_.Test(v);
+}
+
+NodeId SplitWeightIndex::Target() const {
+  AIGS_CHECK(alive_count_ == 1);
+  if (euler_) {
+    std::uint32_t pos = window_begin_;
+    for (const RemovedRange& r : removed_) {
+      if (r.begin > pos) {
+        break;
+      }
+      pos = r.end;
+    }
+    AIGS_DCHECK(pos < window_end_);
+    return base_->reach().NodeAtEuler(pos);
+  }
+  if (!materialized_) {
+    return base_->hierarchy().root();  // n == 1
+  }
+  return static_cast<NodeId>(alive_.FindFirst());
+}
+
+Weight SplitWeightIndex::ReachWeight(NodeId v) const {
+  if (euler_) {
+    const std::uint32_t a =
+        std::max(window_begin_, base_->reach().EulerBegin(v));
+    const std::uint32_t b = std::min(window_end_, base_->reach().EulerEnd(v));
+    if (a >= b || CoveredByRemoved(a, b)) {
+      return 0;
+    }
+    return base_->EulerRangeWeight(a, b) - RemovedWeightWithin(a, b);
+  }
+  if (!materialized_) {
+    return base_->FullReachWeight(v);
+  }
+  return alive_.MaskedWeightedSum(base_->reach().ClosureRow(v),
+                                  base_->blocked_weights());
+}
+
+std::size_t SplitWeightIndex::ReachCount(NodeId v) const {
+  if (euler_) {
+    const std::uint32_t a =
+        std::max(window_begin_, base_->reach().EulerBegin(v));
+    const std::uint32_t b = std::min(window_end_, base_->reach().EulerEnd(v));
+    if (a >= b || CoveredByRemoved(a, b)) {
+      return 0;
+    }
+    return (b - a) - RemovedCountWithin(a, b);
+  }
+  if (!materialized_) {
+    return base_->reach().ReachableCount(v);
+  }
+  return alive_.IntersectionCount(base_->reach().ClosureRow(v));
+}
+
+// ---- answer application -----------------------------------------------------
+
+void SplitWeightIndex::MaterializeAllAlive() {
+  const std::size_t n = base_->hierarchy().NumNodes();
   if (alive_.size() != n) {
     alive_.Resize(n, true);
   } else {
     alive_.SetAll();
   }
-  if (euler_) {
-    fenwick_weight_.Build(euler_weights_);
-    const std::vector<std::uint32_t> counts(n, 1);
-    fenwick_count_.Build(counts);
-    total_alive_ = fenwick_weight_.Total();
-  } else {
-    total_alive_ = 0;
-    for (const Weight w : *node_weights_) {
-      total_alive_ += w;
-    }
-  }
-}
-
-void SplitWeightIndex::ResetFrom(const SplitWeightIndex& other) {
-  AIGS_DCHECK(hierarchy_ == other.hierarchy_ &&
-              node_weights_ == other.node_weights_);
-  root_ = other.root_;
-  alive_count_ = other.alive_count_;
-  total_alive_ = other.total_alive_;
-  alive_ = other.alive_;
-  if (euler_) {
-    fenwick_weight_.ResetFrom(other.fenwick_weight_);
-    fenwick_count_.ResetFrom(other.fenwick_count_);
-  }
-}
-
-NodeId SplitWeightIndex::Target() const {
-  AIGS_CHECK(alive_count_ == 1);
-  const std::size_t pos = alive_.FindFirst();
-  return euler_ ? reach_->NodeAtEuler(static_cast<std::uint32_t>(pos))
-                : static_cast<NodeId>(pos);
-}
-
-Weight SplitWeightIndex::ReachWeight(NodeId v) const {
-  if (euler_) {
-    return fenwick_weight_.RangeSum(reach_->EulerBegin(v),
-                                    reach_->EulerEnd(v));
-  }
-  return alive_.MaskedWeightedSum(reach_->ClosureRow(v), *node_weights_);
-}
-
-std::size_t SplitWeightIndex::ReachCount(NodeId v) const {
-  if (euler_) {
-    return fenwick_count_.RangeSum(reach_->EulerBegin(v),
-                                   reach_->EulerEnd(v));
-  }
-  return alive_.IntersectionCount(reach_->ClosureRow(v));
-}
-
-void SplitWeightIndex::ZeroFenwickInRange(std::uint32_t begin,
-                                          std::uint32_t end) {
-  alive_.ForEachSetBitInRange(begin, end, [&](std::size_t t) {
-    fenwick_weight_.Add(t, Weight{0} - euler_weights_[t]);
-    fenwick_count_.Add(t, std::uint32_t{0} - std::uint32_t{1});
-  });
+  materialized_ = true;
 }
 
 void SplitWeightIndex::ApplyYes(NodeId q) {
   if (euler_) {
-    const std::uint32_t tin = reach_->EulerBegin(q);
-    const std::uint32_t tout = reach_->EulerEnd(q);
-    // Kill every alive position outside [tin, tout).
-    ZeroFenwickInRange(0, tin);
-    ZeroFenwickInRange(tout, static_cast<std::uint32_t>(alive_.size()));
-    alive_.KeepOnlyRange(tin, tout);
-    alive_count_ = fenwick_count_.RangeSum(tin, tout);
-    total_alive_ = fenwick_weight_.RangeSum(tin, tout);
+    const std::uint32_t a =
+        std::max(window_begin_, base_->reach().EulerBegin(q));
+    const std::uint32_t b = std::min(window_end_, base_->reach().EulerEnd(q));
+    root_ = q;
+    if (a >= b) {
+      // R(q) is disjoint from the window: nothing survives.
+      MarkWindowDead(window_begin_, window_begin_);
+      return;
+    }
+    if (CoveredByRemoved(a, b)) {
+      // q itself is dead: R(q) ∩ C is empty.
+      MarkWindowDead(a, b);
+      return;
+    }
+    // Keep only the removed intervals nested inside the new window (an
+    // interval is either nested or disjoint — laminarity).
+    const std::size_t lo = FirstRemovedAtOrAfter(a);
+    const std::size_t hi = FirstRemovedAtOrAfter(b);
+    if (lo > 0) {
+      removed_.erase(removed_.begin(),
+                     removed_.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+    removed_.resize(hi - lo);
+    window_begin_ = a;
+    window_end_ = b;
+    RebuildRemovedPrefixes(0);
+    total_alive_ = base_->EulerRangeWeight(a, b) - RemovedWeightWithin(a, b);
+    alive_count_ = (b - a) - RemovedCountWithin(a, b);
+    return;
+  }
+  const DynamicBitset& row = base_->reach().ClosureRow(q);
+  if (!materialized_) {
+    alive_ = row;
+    materialized_ = true;
+    total_alive_ = base_->FullReachWeight(q);
+    alive_count_ = base_->reach().ReachableCount(q);
   } else {
-    const DynamicBitset& row = reach_->ClosureRow(q);
-    total_alive_ = alive_.MaskedWeightedSum(row, *node_weights_);
+    total_alive_ =
+        alive_.MaskedWeightedSum(row, base_->blocked_weights());
     alive_count_ = alive_.IntersectionCount(row);
     alive_.AndWith(row);
   }
@@ -107,18 +257,35 @@ void SplitWeightIndex::ApplyYes(NodeId q) {
 
 void SplitWeightIndex::ApplyNo(NodeId q) {
   if (euler_) {
-    const std::uint32_t tin = reach_->EulerBegin(q);
-    const std::uint32_t tout = reach_->EulerEnd(q);
-    total_alive_ -= fenwick_weight_.RangeSum(tin, tout);
-    alive_count_ -= fenwick_count_.RangeSum(tin, tout);
-    ZeroFenwickInRange(tin, tout);
-    alive_.ClearRange(tin, tout);
-  } else {
-    const DynamicBitset& row = reach_->ClosureRow(q);
-    total_alive_ -= alive_.MaskedWeightedSum(row, *node_weights_);
-    alive_count_ -= alive_.IntersectionCount(row);
-    alive_.AndNotWith(row);
+    const std::uint32_t a =
+        std::max(window_begin_, base_->reach().EulerBegin(q));
+    const std::uint32_t b = std::min(window_end_, base_->reach().EulerEnd(q));
+    if (a >= b || CoveredByRemoved(a, b)) {
+      return;  // R(q) is disjoint from the candidates or already dead
+    }
+    const Weight dead_weight =
+        base_->EulerRangeWeight(a, b) - RemovedWeightWithin(a, b);
+    const std::uint32_t dead_count = (b - a) - RemovedCountWithin(a, b);
+    // Replace the intervals nested inside [a, b) with the one merged
+    // interval.
+    const std::size_t lo = FirstRemovedAtOrAfter(a);
+    const std::size_t hi = FirstRemovedAtOrAfter(b);
+    removed_.erase(removed_.begin() + static_cast<std::ptrdiff_t>(lo),
+                   removed_.begin() + static_cast<std::ptrdiff_t>(hi));
+    removed_.insert(removed_.begin() + static_cast<std::ptrdiff_t>(lo),
+                    RemovedRange{a, b});
+    RebuildRemovedPrefixes(lo);
+    total_alive_ -= dead_weight;
+    alive_count_ -= dead_count;
+    return;
   }
+  const DynamicBitset& row = base_->reach().ClosureRow(q);
+  if (!materialized_) {
+    MaterializeAllAlive();
+  }
+  total_alive_ -= alive_.MaskedWeightedSum(row, base_->blocked_weights());
+  alive_count_ -= alive_.IntersectionCount(row);
+  alive_.AndNotWith(row);
 }
 
 void SplitWeightIndex::ApplyBatch(std::span<const NodeId> nodes,
@@ -133,9 +300,11 @@ void SplitWeightIndex::ApplyBatch(std::span<const NodeId> nodes,
   }
 }
 
+// ---- selection --------------------------------------------------------------
+
 MiddlePoint SplitWeightIndex::FindMiddlePoint() const {
   AIGS_DCHECK(alive_count_ > 1);
-  const Digraph& g = hierarchy_->graph();
+  const Digraph& g = base_->hierarchy().graph();
   const Weight total = total_alive_;
   MiddlePoint best;
 
@@ -147,6 +316,9 @@ MiddlePoint SplitWeightIndex::FindMiddlePoint() const {
   // descendant may have a smaller id). Expanding exactly those nodes visits
   // every global minimizer, making the (diff, id) argmin identical to the
   // naive full scan's.
+  if (visited_.size() != g.NumNodes()) {
+    visited_.Resize(g.NumNodes());
+  }
   visited_.NewEpoch();
   queue_.clear();
   queue_.push_back(root_);
@@ -181,27 +353,26 @@ MiddlePoint SplitWeightIndex::FindSplittingMiddlePoint() const {
   const Weight total = total_alive_;
   const std::size_t count = alive_count_;
   MiddlePoint best;
+  const bool closure_fused = !euler_ && materialized_;
   ForEachAlive([&](NodeId v) {
     // The count gates the "splits the set" requirement, the weight feeds
-    // the diff. Closure mode fuses both into one word scan; Euler mode
-    // checks the (cheap) count first and skips the weight sum for covering
-    // nodes.
+    // the diff. Materialized closure mode fuses both into one word scan;
+    // the other modes check the (cheap) count first and skip the weight
+    // sum for covering nodes.
     Weight w;
-    if (euler_) {
-      if (fenwick_count_.RangeSum(reach_->EulerBegin(v),
-                                  reach_->EulerEnd(v)) == count) {
-        return;  // "yes" is certain; the question is wasted
-      }
-      w = fenwick_weight_.RangeSum(reach_->EulerBegin(v),
-                                   reach_->EulerEnd(v));
-    } else {
+    if (closure_fused) {
       const DynamicBitset::CountAndWeight cw =
-          alive_.MaskedCountAndWeightedSum(reach_->ClosureRow(v),
-                                           *node_weights_);
+          alive_.MaskedCountAndWeightedSum(base_->reach().ClosureRow(v),
+                                           base_->blocked_weights());
       if (cw.count == count) {
         return;  // "yes" is certain; the question is wasted
       }
       w = cw.weight;
+    } else {
+      if (ReachCount(v) == count) {
+        return;  // "yes" is certain; the question is wasted
+      }
+      w = ReachWeight(v);
     }
     const Weight rest = total - w;
     const Weight diff = w > rest ? w - rest : rest - w;

@@ -2,21 +2,31 @@
 // middle-point policies (GreedyNaive, BatchedGreedy, CostSensitiveGreedy).
 //
 // The naive selection rule recomputes w(R(v) ∩ C) with a fresh forward BFS
-// from every alive candidate on every pick: O(n·m) per question. This index
-// makes that quantity incremental, in one of two modes chosen by the
-// hierarchy's reachability index:
+// from every alive candidate on every pick: O(n·m) per question. This layer
+// makes that quantity incremental AND makes starting a search O(1): an
+// immutable SplitWeightBase (built once per policy, shared by every
+// session) holds all O(n) precomputation, and each SplitWeightIndex session
+// is a small overlay whose state is proportional to the answers received —
+// the same base+overlay shape TreeSearchState uses. No per-session Fenwick
+// rebuild, no per-session O(n) anything; a service front end can open
+// sessions per user request at memory-bandwidth cost.
 //
-//  * Euler mode (trees): candidate membership lives in a bitset over the
-//    Euler tour and a Fenwick tree over Euler order holds the weights of
-//    alive candidates. R(v) is the contiguous interval [tin(v), tout(v)), so
-//    w(R(v) ∩ C) is one Fenwick range sum — O(log n) per candidate — and a
-//    candidate kill is a point update. A yes/no answer is a range
-//    keep/clear: O(killed · log n) amortized (each node dies once).
+// Two modes, chosen by the hierarchy's reachability index:
 //
-//  * Closure mode (DAGs): candidate membership is a node-indexed bitset and
-//    w(R(v) ∩ C) is a masked weighted popcount of closure[v] & alive —
-//    O(n/64) words per candidate instead of a BFS. A yes/no answer is one
-//    word-parallel bitset intersection.
+//  * Euler mode (trees): the base stores prefix sums of the weights in
+//    Euler-tour order. A session's alive set is always one window (the
+//    current root's Euler interval) minus a sorted list of disjoint removed
+//    intervals (one per distinct no-answer; Euler intervals are laminar, so
+//    nested removals merge away). w(R(v) ∩ C) is two O(log answers) binary
+//    searches over that list plus a prefix-sum difference; a yes-answer
+//    narrows the window, a no-answer inserts one interval.
+//
+//  * Closure mode (DAGs): a session starts in a pristine zero-allocation
+//    state that answers every query from the base's full reachable-set
+//    weights; the first answer materializes the alive bitset (one O(n/64)
+//    word-parallel copy), after which w(R(v) ∩ C) is a blocked weighted
+//    popcount of closure[v] & alive (util/bitset BlockedWeights kernel) and
+//    each answer is one bitset intersection.
 //
 // Selection entry points:
 //  * FindMiddlePoint(): minimizes |2·w(R(v) ∩ C) − w(C)| over alive v ≠
@@ -28,8 +38,7 @@
 //    bit-identical to the naive full scan with its smallest-id tie-break.
 //  * FindSplittingMiddlePoint(): the batched variant — a flat scan over
 //    alive candidates that additionally requires |R(v) ∩ C| < |C| (a
-//    question whose yes-answer is certain is wasted). O(alive · log n) per
-//    pick in Euler mode, O(alive · n/64) in closure mode.
+//    question whose yes-answer is certain is wasted).
 //
 // Both use the lexicographic (split_diff, node id) ordering, which matches
 // the reference scan's first-wins-in-id-order tie-break exactly; the
@@ -37,6 +46,7 @@
 #ifndef AIGS_CORE_SPLIT_WEIGHT_INDEX_H_
 #define AIGS_CORE_SPLIT_WEIGHT_INDEX_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -45,40 +55,87 @@
 #include "util/bitset.h"
 #include "util/common.h"
 #include "util/epoch_marker.h"
-#include "util/fenwick.h"
 
 namespace aigs {
 
-/// One search session's incremental view of (candidate set, split weights).
+/// Immutable per-(hierarchy, weights) precomputation shared by every search
+/// session. Borrows `weights`; both the hierarchy and the weight vector
+/// must outlive the base (policies own the vector, the base, and hand
+/// sessions out — the snapshot layer pins all three).
+class SplitWeightBase {
+ public:
+  SplitWeightBase(const Hierarchy& hierarchy,
+                  const std::vector<Weight>& weights);
+
+  SplitWeightBase(const SplitWeightBase&) = delete;
+  SplitWeightBase& operator=(const SplitWeightBase&) = delete;
+
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const ReachabilityIndex& reach() const { return *reach_; }
+  const std::vector<Weight>& weights() const { return *node_weights_; }
+  bool euler_mode() const { return euler_; }
+  /// Σ w over all nodes.
+  Weight Total() const { return total_; }
+
+  // ---- Euler mode ----------------------------------------------------------
+
+  /// Σ weights over Euler positions [begin, end).
+  Weight EulerRangeWeight(std::uint32_t begin, std::uint32_t end) const {
+    return euler_prefix_[end] - euler_prefix_[begin];
+  }
+
+  // ---- closure mode --------------------------------------------------------
+
+  /// w(R(v)) over the full hierarchy (the pristine session's ReachWeight).
+  Weight FullReachWeight(NodeId v) const { return full_reach_weight_[v]; }
+  /// Block-sum table over `weights` for the popcount kernels.
+  const BlockedWeights& blocked_weights() const { return blocked_; }
+
+ private:
+  const Hierarchy* hierarchy_;
+  const ReachabilityIndex* reach_;
+  const std::vector<Weight>* node_weights_;
+  bool euler_;
+  Weight total_ = 0;
+
+  // Euler mode: prefix sums of weights permuted to Euler order (size n+1).
+  std::vector<Weight> euler_prefix_;
+
+  // Closure mode: full reachable-set weights and the blocked weight table.
+  std::vector<Weight> full_reach_weight_;
+  BlockedWeights blocked_;
+};
+
+/// One search session's view of (candidate set, split weights): an overlay
+/// over a shared SplitWeightBase. Construction is O(1); state grows with
+/// the answers applied, never with n (the closure-mode alive bitset
+/// materializes lazily on the first answer).
 class SplitWeightIndex {
  public:
-  /// Starts with every node alive. `weights` must have one entry per node
-  /// and outlive the index (sessions typically borrow the policy's vector).
-  SplitWeightIndex(const Hierarchy& hierarchy,
-                   const std::vector<Weight>& weights);
+  /// Starts with every node alive. The base must outlive the index.
+  explicit SplitWeightIndex(const SplitWeightBase& base);
 
   /// Restores the all-alive initial state.
   void Reset();
 
-  /// Copies another index's session state without reallocating — the
-  /// batched policy's per-round simulation scratch. Both must wrap the same
-  /// (hierarchy, weights).
+  /// Copies another index's session state without rebuilding base data —
+  /// the batched policy's per-round simulation scratch. Both must share the
+  /// same base.
   void ResetFrom(const SplitWeightIndex& other);
 
   // ---- state queries --------------------------------------------------------
 
   std::size_t AliveCount() const { return alive_count_; }
   Weight TotalAlive() const { return total_alive_; }
-  bool IsAlive(NodeId v) const {
-    return alive_.Test(euler_ ? reach_->EulerBegin(v) : v);
-  }
+  bool IsAlive(NodeId v) const;
   /// Current search root (moves on ApplyYes; every candidate is reachable
   /// from it through alive nodes).
   NodeId root() const { return root_; }
   /// The identified target; requires AliveCount() == 1.
   NodeId Target() const;
 
-  /// w(R(v) ∩ C): O(log n) in Euler mode, O(n/64) in closure mode.
+  /// w(R(v) ∩ C): O(log answers) in Euler mode, O(n/64) in closure mode
+  /// (O(1) while pristine).
   Weight ReachWeight(NodeId v) const;
   /// |R(v) ∩ C| with the same costs.
   std::size_t ReachCount(NodeId v) const;
@@ -89,9 +146,21 @@ class SplitWeightIndex {
   template <typename Fn>
   void ForEachAlive(Fn&& fn) const {
     if (euler_) {
-      alive_.ForEachSetBit(
-          [&](std::size_t t) { fn(reach_->NodeAtEuler(
-              static_cast<std::uint32_t>(t))); });
+      std::uint32_t pos = window_begin_;
+      for (const RemovedRange& r : removed_) {
+        for (std::uint32_t t = pos; t < r.begin; ++t) {
+          fn(base_->reach().NodeAtEuler(t));
+        }
+        pos = r.end;
+      }
+      for (std::uint32_t t = pos; t < window_end_; ++t) {
+        fn(base_->reach().NodeAtEuler(t));
+      }
+    } else if (!materialized_) {
+      const std::size_t n = base_->hierarchy().NumNodes();
+      for (std::size_t v = 0; v < n; ++v) {
+        fn(static_cast<NodeId>(v));
+      }
     } else {
       alive_.ForEachSetBit(
           [&](std::size_t v) { fn(static_cast<NodeId>(v)); });
@@ -109,7 +178,7 @@ class SplitWeightIndex {
   void ApplyNo(NodeId q);
 
   /// Intersects a whole round of answers (one ApplyYes/ApplyNo per
-  /// question) — each question costs one bitset intersection / range op.
+  /// question) — each question costs one bitset intersection / interval op.
   void ApplyBatch(std::span<const NodeId> nodes,
                   const std::vector<bool>& answers);
 
@@ -123,33 +192,56 @@ class SplitWeightIndex {
   /// (|R(v) ∩ C| < |C|), via a flat scan; kInvalidNode when none splits.
   MiddlePoint FindSplittingMiddlePoint() const;
 
-  const Hierarchy& hierarchy() const { return *hierarchy_; }
-  const std::vector<Weight>& weights() const { return *node_weights_; }
+  const SplitWeightBase& base() const { return *base_; }
+  const Hierarchy& hierarchy() const { return base_->hierarchy(); }
+  const std::vector<Weight>& weights() const { return base_->weights(); }
 
  private:
-  // Zeroes the Fenwick entries of alive positions inside [begin, end)
-  // (Euler mode). Returns nothing; counts/totals are the caller's job.
-  void ZeroFenwickInRange(std::uint32_t begin, std::uint32_t end);
+  /// One maximal dead Euler interval (Euler mode). Intervals are disjoint,
+  /// sorted by begin, and fully inside the window; every position inside
+  /// one is dead, so its dead weight is the base's full range weight.
+  struct RemovedRange {
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
 
-  const Hierarchy* hierarchy_;
-  const ReachabilityIndex* reach_;
-  const std::vector<Weight>* node_weights_;
+  // Rebuilds removed-interval prefix sums starting at entry `from`.
+  void RebuildRemovedPrefixes(std::size_t from);
+  // Σ dead weight/count over removed intervals nested inside [a, b).
+  Weight RemovedWeightWithin(std::uint32_t a, std::uint32_t b) const;
+  std::uint32_t RemovedCountWithin(std::uint32_t a, std::uint32_t b) const;
+  // True iff [a, b) lies inside one removed interval (fully dead).
+  bool CoveredByRemoved(std::uint32_t a, std::uint32_t b) const;
+  // Index of the first removed interval with begin >= pos.
+  std::size_t FirstRemovedAtOrAfter(std::uint32_t pos) const;
+  // Collapses the session to the all-dead state over [begin, end).
+  void MarkWindowDead(std::uint32_t begin, std::uint32_t end);
+  // Materializes the closure-mode alive bitset from the pristine state.
+  void MaterializeAllAlive();
+
+  const SplitWeightBase* base_;
   bool euler_;
 
   NodeId root_;
   std::size_t alive_count_ = 0;
   Weight total_alive_ = 0;
-  // Euler mode: bit t = node at Euler position t is alive.
-  // Closure mode: bit v = node v is alive.
+
+  // Euler mode: the current root's Euler window minus removed intervals,
+  // with prefix sums of each interval's dead weight/count for O(log)
+  // range queries. All O(answers)-sized.
+  std::uint32_t window_begin_ = 0;
+  std::uint32_t window_end_ = 0;
+  std::vector<RemovedRange> removed_;
+  std::vector<Weight> removed_prefix_weight_;   // size removed_.size() + 1
+  std::vector<std::uint32_t> removed_prefix_count_;
+
+  // Closure mode: bit v = node v alive. Empty until the first answer
+  // (pristine sessions answer from the base).
+  bool materialized_ = false;
   DynamicBitset alive_;
 
-  // Euler mode only: weights permuted to Euler order (immutable) and the
-  // Fenwick trees over the *alive* weights/counts in that order.
-  std::vector<Weight> euler_weights_;
-  FenwickTree<Weight> fenwick_weight_;
-  FenwickTree<std::uint32_t> fenwick_count_;
-
-  // Scratch for the dominance-pruned descent.
+  // Scratch for the dominance-pruned descent; sized lazily on first use so
+  // session construction stays O(1).
   mutable EpochMarker visited_;
   mutable std::vector<NodeId> queue_;
 };

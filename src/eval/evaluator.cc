@@ -17,6 +17,12 @@ std::uint64_t ShardSeed(std::uint64_t seed, std::size_t shard_index) {
                     (static_cast<std::uint64_t>(shard_index) + 1);
 }
 
+/// Per-search oracle seed: a function of the search index only (never the
+/// shard or thread), so noisy-oracle results are thread-count invariant.
+std::uint64_t SearchSeed(std::uint64_t seed, std::uint64_t search_index) {
+  return seed ^ (0xD1B54A32D192ED03ULL * (search_index + 1));
+}
+
 }  // namespace
 
 /// One contiguous range of targets (exact) or sample indices (sampled),
@@ -35,7 +41,8 @@ struct Evaluator::Shard {
   long double weighted_rounds = 0;
   std::uint64_t max_cost = 0;
   std::uint64_t searches = 0;
-  bool all_correct = true;
+  std::uint64_t correct = 0;
+  Status status;  // first service-layer error, when driving an Engine
 };
 
 Evaluator::Evaluator(EvalOptions options) : options_(options) {
@@ -69,6 +76,48 @@ std::size_t NumShards(std::size_t n, std::size_t shard_size) {
   return (n + shard_size - 1) / shard_size;
 }
 
+/// The oracle for one search: a stack ExactOracle on the truthful fast
+/// path, or whatever the options' factory builds (seeded by the search
+/// index, so results are thread-count invariant). Shared by all four shard
+/// loops — the per-search oracle policy lives here and nowhere else.
+class PerSearchOracle {
+ public:
+  PerSearchOracle(const EvalOptions& options, const Hierarchy& hierarchy,
+                  NodeId target, std::uint64_t search_index)
+      : exact_(hierarchy.reach(), target) {
+    if (options.oracle_factory) {
+      custom_ = options.oracle_factory(
+          hierarchy, target, SearchSeed(options.oracle_seed, search_index));
+    }
+  }
+
+  Oracle& get() { return custom_ != nullptr ? *custom_ : exact_; }
+
+ private:
+  ExactOracle exact_;
+  std::unique_ptr<Oracle> custom_;
+};
+
+/// Accumulates one finished search into its shard.
+void Accumulate(Evaluator::Shard& shard, const SearchResult& r,
+                NodeId true_target, Weight probability_weight,
+                bool weight_by_probability) {
+  // Sampled mode weights every draw equally; exact mode by probability.
+  const long double lw =
+      weight_by_probability ? static_cast<long double>(probability_weight)
+                            : 1.0L;
+  const std::uint64_t unit = r.UnitCost();
+  shard.weighted_unit += lw * static_cast<long double>(unit);
+  shard.weighted_priced +=
+      lw * static_cast<long double>(r.priced_cost + r.choices_read);
+  shard.weighted_reach += lw * static_cast<long double>(r.reach_queries);
+  shard.weighted_rounds +=
+      lw * static_cast<long double>(r.interaction_rounds);
+  shard.max_cost = std::max(shard.max_cost, unit);
+  ++shard.searches;
+  shard.correct += r.target == true_target ? 1 : 0;
+}
+
 }  // namespace
 
 EvalStats Evaluator::Exact(const Policy& policy, const Hierarchy& hierarchy,
@@ -82,6 +131,10 @@ EvalStats Evaluator::Exact(const Policy& policy, const Hierarchy& hierarchy,
 
   RunOptions run_options;
   run_options.cost_model = options_.cost_model;
+  // Noisy oracles can produce mutually inconsistent rounds; such a search
+  // dead-ends as a misidentification instead of dying on a CHECK.
+  run_options.tolerate_inconsistent_answers =
+      options_.oracle_factory != nullptr;
   const bool include_zero = options_.include_zero_weight_targets;
 
   std::vector<Shard> shards(NumShards(n, options_.shard_size));
@@ -97,24 +150,11 @@ EvalStats Evaluator::Exact(const Policy& policy, const Hierarchy& hierarchy,
       if (w == 0 && !include_zero) {
         continue;
       }
-      ExactOracle oracle(hierarchy.reach(), target);
+      PerSearchOracle oracle(options_, hierarchy, target, i);
       auto session = policy.NewSession();
-      const SearchResult r = RunSearch(*session, oracle, run_options);
-      if (r.target != target) {
-        shard.all_correct = false;
-      }
-      const auto unit = static_cast<std::uint32_t>(r.UnitCost());
-      per_target[i] = unit;
-      const auto lw = static_cast<long double>(w);
-      shard.weighted_unit += lw * static_cast<long double>(unit);
-      shard.weighted_priced +=
-          lw * static_cast<long double>(r.priced_cost + r.choices_read);
-      shard.weighted_reach +=
-          lw * static_cast<long double>(r.reach_queries);
-      shard.weighted_rounds +=
-          lw * static_cast<long double>(r.interaction_rounds);
-      shard.max_cost = std::max<std::uint64_t>(shard.max_cost, unit);
-      ++shard.searches;
+      const SearchResult r = RunSearch(*session, oracle.get(), run_options);
+      per_target[i] = static_cast<std::uint32_t>(r.UnitCost());
+      Accumulate(shard, r, target, w, /*weight_by_probability=*/true);
     }
   };
 
@@ -126,6 +166,7 @@ EvalStats Evaluator::Exact(const Policy& policy, const Hierarchy& hierarchy,
   stats.expected_rounds = merged.expected_rounds;
   stats.max_cost = merged.max_cost;
   stats.num_searches = merged.num_searches;
+  stats.accuracy = merged.accuracy;
   return stats;
 }
 
@@ -138,6 +179,10 @@ EvalStats Evaluator::Sampled(const Policy& policy, const Hierarchy& hierarchy,
 
   RunOptions run_options;
   run_options.cost_model = options_.cost_model;
+  // Noisy oracles can produce mutually inconsistent rounds; such a search
+  // dead-ends as a misidentification instead of dying on a CHECK.
+  run_options.tolerate_inconsistent_answers =
+      options_.oracle_factory != nullptr;
 
   std::vector<Shard> shards(NumShards(num_samples, options_.shard_size));
   for (std::size_t s = 0; s < shards.size(); ++s) {
@@ -150,21 +195,10 @@ EvalStats Evaluator::Sampled(const Policy& policy, const Hierarchy& hierarchy,
     Rng rng(shard.rng_seed);
     for (std::size_t i = shard.begin; i < shard.end; ++i) {
       const NodeId target = sampler.Sample(rng);
-      ExactOracle oracle(hierarchy.reach(), target);
+      PerSearchOracle oracle(options_, hierarchy, target, i);
       auto session = policy.NewSession();
-      const SearchResult r = RunSearch(*session, oracle, run_options);
-      if (r.target != target) {
-        shard.all_correct = false;
-      }
-      const std::uint64_t unit = r.UnitCost();
-      shard.weighted_unit += static_cast<long double>(unit);
-      shard.weighted_priced +=
-          static_cast<long double>(r.priced_cost + r.choices_read);
-      shard.weighted_reach += static_cast<long double>(r.reach_queries);
-      shard.weighted_rounds +=
-          static_cast<long double>(r.interaction_rounds);
-      shard.max_cost = std::max(shard.max_cost, unit);
-      ++shard.searches;
+      const SearchResult r = RunSearch(*session, oracle.get(), run_options);
+      Accumulate(shard, r, target, 1, /*weight_by_probability=*/false);
     }
   };
 
@@ -173,6 +207,135 @@ EvalStats Evaluator::Sampled(const Policy& policy, const Hierarchy& hierarchy,
   }
   return RunShards(shards, run_shard,
                    static_cast<long double>(num_samples));
+}
+
+StatusOr<EvalStats> Evaluator::Exact(Engine& engine,
+                                     const std::string& policy_spec) const {
+  const std::shared_ptr<const CatalogSnapshot> snapshot = engine.snapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no published snapshot to evaluate");
+  }
+  AIGS_RETURN_NOT_OK(snapshot->PolicyFor(policy_spec).status());
+  const Hierarchy& hierarchy = snapshot->hierarchy();
+  const Distribution& dist = snapshot->distribution();
+  const std::size_t n = hierarchy.NumNodes();
+
+  EvalStats stats;
+  stats.per_target_cost.assign(n, 0);
+  std::uint32_t* per_target = stats.per_target_cost.data();
+
+  RunOptions run_options;
+  run_options.cost_model = options_.cost_model;
+  // Noisy oracles can produce mutually inconsistent rounds; such a search
+  // dead-ends as a misidentification instead of dying on a CHECK.
+  run_options.tolerate_inconsistent_answers =
+      options_.oracle_factory != nullptr;
+  const bool include_zero = options_.include_zero_weight_targets;
+
+  std::vector<Shard> shards(NumShards(n, options_.shard_size));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].begin = s * options_.shard_size;
+    shards[s].end = std::min(n, shards[s].begin + options_.shard_size);
+  }
+
+  const auto run_shard = [&](Shard& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const NodeId target = static_cast<NodeId>(i);
+      const Weight w = dist.WeightOf(target);
+      if (w == 0 && !include_zero) {
+        continue;
+      }
+      PerSearchOracle oracle(options_, hierarchy, target, i);
+      const StatusOr<SessionId> id = engine.Open(policy_spec);
+      if (!id.ok()) {
+        shard.status = id.status();
+        return;
+      }
+      const StatusOr<SearchResult> r =
+          RunSearch(engine, *id, oracle.get(), run_options);
+      (void)engine.Close(*id);
+      if (!r.ok()) {
+        shard.status = r.status();
+        return;
+      }
+      per_target[i] = static_cast<std::uint32_t>(r->UnitCost());
+      Accumulate(shard, *r, target, w, /*weight_by_probability=*/true);
+    }
+  };
+
+  const EvalStats merged = RunShards(shards, run_shard,
+                                     static_cast<long double>(dist.Total()));
+  for (const Shard& shard : shards) {
+    AIGS_RETURN_NOT_OK(shard.status);
+  }
+  stats.expected_cost = merged.expected_cost;
+  stats.expected_priced_cost = merged.expected_priced_cost;
+  stats.expected_reach_queries = merged.expected_reach_queries;
+  stats.expected_rounds = merged.expected_rounds;
+  stats.max_cost = merged.max_cost;
+  stats.num_searches = merged.num_searches;
+  stats.accuracy = merged.accuracy;
+  return stats;
+}
+
+StatusOr<EvalStats> Evaluator::Sampled(Engine& engine,
+                                       const std::string& policy_spec,
+                                       std::size_t num_samples,
+                                       std::uint64_t seed) const {
+  const std::shared_ptr<const CatalogSnapshot> snapshot = engine.snapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no published snapshot to evaluate");
+  }
+  AIGS_RETURN_NOT_OK(snapshot->PolicyFor(policy_spec).status());
+  const Hierarchy& hierarchy = snapshot->hierarchy();
+  const AliasTable sampler(snapshot->distribution());
+
+  RunOptions run_options;
+  run_options.cost_model = options_.cost_model;
+  // Noisy oracles can produce mutually inconsistent rounds; such a search
+  // dead-ends as a misidentification instead of dying on a CHECK.
+  run_options.tolerate_inconsistent_answers =
+      options_.oracle_factory != nullptr;
+
+  std::vector<Shard> shards(NumShards(num_samples, options_.shard_size));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].begin = s * options_.shard_size;
+    shards[s].end = std::min(num_samples, shards[s].begin + options_.shard_size);
+    shards[s].rng_seed = ShardSeed(seed, s);
+  }
+
+  const auto run_shard = [&](Shard& shard) {
+    Rng rng(shard.rng_seed);
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const NodeId target = sampler.Sample(rng);
+      PerSearchOracle oracle(options_, hierarchy, target, i);
+      const StatusOr<SessionId> id = engine.Open(policy_spec);
+      if (!id.ok()) {
+        shard.status = id.status();
+        return;
+      }
+      const StatusOr<SearchResult> r =
+          RunSearch(engine, *id, oracle.get(), run_options);
+      (void)engine.Close(*id);
+      if (!r.ok()) {
+        shard.status = r.status();
+        return;
+      }
+      Accumulate(shard, *r, target, 1, /*weight_by_probability=*/false);
+    }
+  };
+
+  if (num_samples == 0) {
+    return EvalStats{};
+  }
+  const EvalStats merged = RunShards(shards, run_shard,
+                                     static_cast<long double>(num_samples));
+  for (const Shard& shard : shards) {
+    AIGS_RETURN_NOT_OK(shard.status);
+  }
+  return merged;
 }
 
 EvalStats Evaluator::RunShards(
@@ -193,7 +356,7 @@ EvalStats Evaluator::RunShards(
   // Deterministic merge: shard order, one thread.
   long double unit = 0, priced = 0, reach = 0, rounds = 0;
   EvalStats stats;
-  bool all_correct = true;
+  std::uint64_t correct = 0;
   for (const Shard& shard : shards) {
     unit += shard.weighted_unit;
     priced += shard.weighted_priced;
@@ -201,9 +364,16 @@ EvalStats Evaluator::RunShards(
     rounds += shard.weighted_rounds;
     stats.max_cost = std::max(stats.max_cost, shard.max_cost);
     stats.num_searches += shard.searches;
-    all_correct = all_correct && shard.all_correct;
+    correct += shard.correct;
   }
-  AIGS_CHECK(all_correct && "policy misidentified a target");
+  if (options_.require_correct && options_.oracle_factory == nullptr) {
+    AIGS_CHECK(correct == stats.num_searches &&
+               "policy misidentified a target");
+  }
+  stats.accuracy = stats.num_searches == 0
+                       ? 1.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(stats.num_searches);
   stats.expected_cost = static_cast<double>(unit / denominator);
   stats.expected_priced_cost = static_cast<double>(priced / denominator);
   stats.expected_reach_queries = static_cast<double>(reach / denominator);

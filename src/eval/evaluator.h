@@ -17,12 +17,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/hierarchy.h"
 #include "core/policy.h"
 #include "oracle/cost_model.h"
+#include "oracle/oracle.h"
 #include "prob/distribution.h"
+#include "service/engine.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace aigs {
@@ -41,6 +45,9 @@ struct EvalStats {
   std::uint64_t max_cost = 0;
   /// Number of (target, search) runs performed.
   std::uint64_t num_searches = 0;
+  /// Fraction of searches that identified their true target — 1.0 under a
+  /// truthful oracle, the measured quantity under noisy ones.
+  double accuracy = 1.0;
   /// Per-target unit costs, indexed by node id (exact mode only; empty in
   /// sampled mode). Zero-weight targets are included — they are verified for
   /// correctness but carry no weight in expected_cost.
@@ -65,6 +72,17 @@ struct EvalOptions {
   /// Also run zero-probability targets to verify the policy identifies them
   /// (they contribute 0 to the expectation either way).
   bool include_zero_weight_targets = true;
+  /// Builds the oracle for one search; null = truthful ExactOracle. The
+  /// per-search seed derives from (oracle_seed, search index), never from
+  /// the shard or thread, so noisy results stay thread-count invariant.
+  std::function<std::unique_ptr<Oracle>(const Hierarchy&, NodeId target,
+                                        std::uint64_t seed)>
+      oracle_factory;
+  std::uint64_t oracle_seed = 0;
+  /// Fatally check that every search identifies its target (the default).
+  /// Disable for noisy-oracle workloads, where misidentification is the
+  /// measured quantity (EvalStats::accuracy).
+  bool require_correct = true;
 };
 
 /// Reusable evaluation engine: bind options (and a possibly dedicated
@@ -89,13 +107,27 @@ class Evaluator {
                     const Distribution& dist, std::size_t num_samples,
                     std::uint64_t seed) const;
 
+  /// Service-path evaluation: drives every sharded search through Engine
+  /// sessions (Open/Ask/Answer/Close on the engine's current snapshot)
+  /// instead of in-process Policy::NewSession calls. Results are
+  /// bit-identical to the in-process overloads for the same policy spec;
+  /// shards hammer the lock-sharded SessionManager concurrently.
+  StatusOr<EvalStats> Exact(Engine& engine,
+                            const std::string& policy_spec) const;
+  StatusOr<EvalStats> Sampled(Engine& engine, const std::string& policy_spec,
+                              std::size_t num_samples,
+                              std::uint64_t seed) const;
+
   /// Effective parallelism (1 for the serial reference path).
   std::size_t num_workers() const;
 
   const EvalOptions& options() const { return options_; }
 
- private:
+  /// Opaque per-shard accumulator (public so the .cc's free helpers can
+  /// name it; not part of the API).
   struct Shard;
+
+ private:
 
   /// Runs every shard through `run_shard` — serially in shard order on the
   /// reference path, or fanned out on the worker pool — then merges the

@@ -1,50 +1,16 @@
 #include "eval/online.h"
 
 #include <memory>
+#include <string>
 
-#include "core/greedy_dag.h"
-#include "core/greedy_tree.h"
 #include "eval/runner.h"
 #include "oracle/oracle.h"
 #include "prob/alias_table.h"
 #include "prob/empirical.h"
+#include "service/engine.h"
 #include "util/rng.h"
 
 namespace aigs {
-namespace {
-
-/// Uniform adapter over the two greedy policies' live weight bases.
-class OnlineGreedy {
- public:
-  OnlineGreedy(const Hierarchy& h, const Distribution& initial) {
-    if (h.is_tree()) {
-      GreedyTreeOptions options;
-      options.use_rounded_weights = false;  // live counts, already integers
-      tree_ = std::make_unique<GreedyTreePolicy>(h, initial, options);
-    } else {
-      GreedyDagOptions options;
-      options.use_rounded_weights = false;
-      dag_ = std::make_unique<GreedyDagPolicy>(h, initial, options);
-    }
-  }
-
-  Policy& policy() { return tree_ ? static_cast<Policy&>(*tree_)
-                                  : static_cast<Policy&>(*dag_); }
-
-  void Observe(NodeId category) {
-    if (tree_) {
-      tree_->mutable_base()->AddWeight(category, 1);
-    } else {
-      dag_->mutable_base()->AddWeight(category, 1);
-    }
-  }
-
- private:
-  std::unique_ptr<GreedyTreePolicy> tree_;
-  std::unique_ptr<GreedyDagPolicy> dag_;
-};
-
-}  // namespace
 
 StatusOr<OnlineSeries> RunOnlineLearning(const Hierarchy& hierarchy,
                                          const Distribution& real_dist,
@@ -59,27 +25,56 @@ StatusOr<OnlineSeries> RunOnlineLearning(const Hierarchy& hierarchy,
         "num_objects must be a positive multiple of block_size");
   }
   const std::size_t num_blocks = options.num_objects / options.block_size;
+  const std::size_t publish_every =
+      options.publish_every == 0 ? options.block_size : options.publish_every;
   const AliasTable sampler(real_dist);
+
+  // The learned counts stay raw integers, so the snapshot policies must not
+  // re-round them (matches the paper's live-count setting).
+  const std::string policy_spec = hierarchy.is_tree()
+                                      ? "greedy_tree:rounded=false"
+                                      : "greedy_dag:rounded=false";
 
   std::vector<long double> block_cost_sum(num_blocks, 0);
   long double grand_sum = 0;
 
+  Engine engine;
+  std::uint64_t epochs_published = 0;
+  const auto publish = [&](const EmpiricalCounts& counts) -> Status {
+    CatalogConfig config;
+    config.hierarchy = UnownedHierarchy(hierarchy);
+    config.distribution = counts.ToDistribution();
+    config.policy_specs = {policy_spec};
+    AIGS_RETURN_NOT_OK(engine.Publish(std::move(config)).status());
+    ++epochs_published;
+    return Status::OK();
+  };
+
   for (std::size_t trace = 0; trace < options.num_traces; ++trace) {
     Rng rng(options.seed + trace);
     EmpiricalCounts counts(hierarchy.NumNodes(), options.prior);
-    OnlineGreedy greedy(hierarchy, counts.ToDistribution());
+    AIGS_RETURN_NOT_OK(publish(counts));
+    std::size_t since_publish = 0;
 
     for (std::size_t block = 0; block < num_blocks; ++block) {
       std::uint64_t block_queries = 0;
       for (std::size_t i = 0; i < options.block_size; ++i) {
+        if (since_publish >= publish_every) {
+          // The learned counts advance one epoch; sessions opened below see
+          // the refreshed distribution, in-flight ones are untouched.
+          AIGS_RETURN_NOT_OK(publish(counts));
+          since_publish = 0;
+        }
         const NodeId target = sampler.Sample(rng);
         ExactOracle oracle(hierarchy.reach(), target);
-        auto session = greedy.policy().NewSession();
-        const SearchResult r = RunSearch(*session, oracle);
+        AIGS_ASSIGN_OR_RETURN(const SessionId id, engine.Open(policy_spec));
+        AIGS_ASSIGN_OR_RETURN(const SearchResult r,
+                              RunSearch(engine, id, oracle));
+        AIGS_RETURN_NOT_OK(engine.Close(id));
         AIGS_CHECK(r.target == target);
         block_queries += r.UnitCost();
         counts.Observe(target);
-        greedy.Observe(target);
+        ++since_publish;
       }
       block_cost_sum[block] += static_cast<long double>(block_queries) /
                                static_cast<long double>(options.block_size);
@@ -96,6 +91,7 @@ StatusOr<OnlineSeries> RunOnlineLearning(const Hierarchy& hierarchy,
   series.overall_avg_cost = static_cast<double>(
       grand_sum / static_cast<long double>(options.num_traces *
                                            options.num_objects));
+  series.epochs_published = epochs_published;
   return series;
 }
 

@@ -1,8 +1,15 @@
 // Online-learning harness (§V-B, Fig. 4): label a stream of objects while
 // learning the target distribution on the fly. Before any object is labeled
 // every category is assumed equally likely (uniform prior); after each
-// labeled object the empirical count of its category is incremented and the
-// greedy policy's weight index is updated in place (O(depth) per object).
+// labeled object the empirical count of its category is incremented.
+//
+// The harness runs through the service layer: searches are driven as Engine
+// sessions, and the learned counts are published as new CatalogSnapshot
+// epochs every `publish_every` objects (default: once per reporting block).
+// Publishing never pauses in-flight sessions — they finish on the epoch
+// they opened on. publish_every = 1 reproduces the paper's per-object
+// update exactly (each search sees all previous labels), at the price of an
+// O(n) snapshot build per object.
 #ifndef AIGS_EVAL_ONLINE_H_
 #define AIGS_EVAL_ONLINE_H_
 
@@ -27,6 +34,9 @@ struct OnlineOptions {
   Weight prior = 1;
   /// Base seed; trace t uses seed + t.
   std::uint64_t seed = 1;
+  /// Objects between snapshot publishes (epoch granularity of the learned
+  /// distribution). 0 = block_size; 1 = the paper's per-object update.
+  std::size_t publish_every = 0;
 };
 
 /// Result series: one entry per block.
@@ -35,12 +45,15 @@ struct OnlineSeries {
   std::vector<double> avg_cost_per_block;
   /// Grand mean over all objects and traces.
   double overall_avg_cost = 0;
+  /// Snapshot epochs published across all traces (one per publish_every
+  /// objects per trace, plus each trace's initial prior-only epoch).
+  std::uint64_t epochs_published = 0;
 };
 
 /// Runs the experiment with the efficient greedy policy for the hierarchy
 /// type (GreedyTree on trees, GreedyDAG with raw counts on DAGs). Objects
 /// are drawn i.i.d. from `real_dist`; the policy only ever sees the learned
-/// empirical counts.
+/// empirical counts, served from the engine's current snapshot epoch.
 StatusOr<OnlineSeries> RunOnlineLearning(const Hierarchy& hierarchy,
                                          const Distribution& real_dist,
                                          const OnlineOptions& options = {});

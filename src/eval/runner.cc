@@ -34,7 +34,15 @@ SearchResult RunSearch(SearchSession& session, Oracle& oracle,
                   ? options.cost_model->CostOf(query.choices[i])
                   : 1;
         }
-        session.OnReachBatch(query.choices, answers);
+        const Status applied = session.TryOnReachBatch(query.choices, answers);
+        if (!applied.ok()) {
+          // A truthful oracle never produces an inconsistent round; without
+          // the noisy-mode flag this stays a fatal programmer error.
+          AIGS_CHECK(options.tolerate_inconsistent_answers &&
+                     "batch answers eliminated every candidate");
+          result.target = kInvalidNode;  // search dead-ended under noise
+          return result;
+        }
         break;
       }
       case Query::Kind::kChoice: {
@@ -49,6 +57,64 @@ SearchResult RunSearch(SearchSession& session, Oracle& oracle,
     }
     AIGS_CHECK(result.reach_queries + result.choice_queries <=
                options.max_questions);
+  }
+}
+
+StatusOr<SearchResult> RunSearch(Engine& engine, SessionId id, Oracle& oracle,
+                                 const RunOptions& options) {
+  SearchResult result;
+  for (;;) {
+    AIGS_ASSIGN_OR_RETURN(const Query query, engine.Ask(id));
+    if (query.kind != Query::Kind::kDone) {
+      ++result.interaction_rounds;
+    }
+    switch (query.kind) {
+      case Query::Kind::kDone:
+        result.target = query.node;
+        return result;
+      case Query::Kind::kReach: {
+        const bool yes = oracle.Reach(query.node);
+        ++result.reach_queries;
+        result.priced_cost += options.cost_model != nullptr
+                                  ? options.cost_model->CostOf(query.node)
+                                  : 1;
+        AIGS_RETURN_NOT_OK(engine.Answer(id, SessionAnswer::Reach(yes)));
+        break;
+      }
+      case Query::Kind::kReachBatch: {
+        std::vector<bool> answers(query.choices.size());
+        for (std::size_t i = 0; i < query.choices.size(); ++i) {
+          answers[i] = oracle.Reach(query.choices[i]);
+          ++result.reach_queries;
+          result.priced_cost +=
+              options.cost_model != nullptr
+                  ? options.cost_model->CostOf(query.choices[i])
+                  : 1;
+        }
+        const Status applied =
+            engine.Answer(id, SessionAnswer::Batch(std::move(answers)));
+        if (!applied.ok()) {
+          if (options.tolerate_inconsistent_answers &&
+              applied.code() == StatusCode::kInvalidArgument) {
+            result.target = kInvalidNode;  // search dead-ended under noise
+            return result;
+          }
+          return applied;
+        }
+        break;
+      }
+      case Query::Kind::kChoice: {
+        const int answer = oracle.Choice(query.choices);
+        ++result.choice_queries;
+        result.choices_read += query.choices.size();
+        AIGS_RETURN_NOT_OK(engine.Answer(id, SessionAnswer::Choice(answer)));
+        break;
+      }
+    }
+    if (result.reach_queries + result.choice_queries > options.max_questions) {
+      return Status::Internal("session exceeded max_questions without "
+                              "terminating");
+    }
   }
 }
 

@@ -10,6 +10,8 @@
 #include "core/policy.h"
 #include "oracle/cost_model.h"
 #include "oracle/oracle.h"
+#include "service/engine.h"
+#include "util/status.h"
 
 namespace aigs {
 
@@ -40,11 +42,23 @@ struct RunOptions {
   /// Safety valve: abort (fatally) if a session exceeds this many questions
   /// without terminating — catches non-terminating policies in tests.
   std::uint64_t max_questions = 10'000'000;
+  /// Noisy-oracle mode: when a session rejects a round of answers as
+  /// mutually inconsistent (possible once answers can be wrong), end the
+  /// search with target == kInvalidNode (counted as a misidentification)
+  /// instead of treating it as a fatal programmer error.
+  bool tolerate_inconsistent_answers = false;
 };
 
 /// Drives `session` against `oracle` to completion.
 SearchResult RunSearch(SearchSession& session, Oracle& oracle,
                        const RunOptions& options = {});
+
+/// Drives an engine-hosted session to completion through the public
+/// Ask/Answer API, with identical cost accounting to the in-process
+/// overload above. The session stays open (callers Close it, or let the
+/// TTL reap it); errors from the service layer propagate as Status.
+StatusOr<SearchResult> RunSearch(Engine& engine, SessionId id, Oracle& oracle,
+                                 const RunOptions& options = {});
 
 }  // namespace aigs
 

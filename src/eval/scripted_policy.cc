@@ -28,10 +28,20 @@ class ScriptedSession final : public SearchSession {
   void OnReach(NodeId q, bool yes) override {
     AIGS_CHECK(index_ < script_->size() && (*script_)[index_] == q);
     ++index_;
-    if (yes) {
-      candidates_.RestrictToReachable(q);
-    } else {
-      candidates_.RemoveReachable(q);
+    // Intersect through the reachability index rather than a BFS from q:
+    // a scripted question node may itself be eliminated already (q dead,
+    // yet R(q) still splits the candidates), where the candidate-set BFS
+    // cannot start.
+    const ReachabilityIndex& reach = hierarchy_->reach();
+    std::vector<NodeId> to_kill;
+    candidates_.bits().ForEachSetBit([&](std::size_t raw) {
+      const NodeId t = static_cast<NodeId>(raw);
+      if (reach.Reaches(q, t) != yes) {
+        to_kill.push_back(t);
+      }
+    });
+    for (const NodeId t : to_kill) {
+      candidates_.KillOne(t);
     }
   }
 

@@ -1,0 +1,106 @@
+#include "service/catalog_snapshot.h"
+
+#include <utility>
+
+#include "core/policy_registry.h"
+
+namespace aigs {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void FnvMix(std::uint64_t& h, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (byte * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t Fingerprint(const Hierarchy& hierarchy,
+                          const Distribution& dist) {
+  std::uint64_t h = kFnvOffset;
+  FnvMix(h, hierarchy.NumNodes());
+  FnvMix(h, hierarchy.NumEdges());
+  FnvMix(h, hierarchy.root());
+  for (NodeId u = 0; u < hierarchy.NumNodes(); ++u) {
+    for (const NodeId v : hierarchy.graph().Children(u)) {
+      FnvMix(h, (static_cast<std::uint64_t>(u) << 32) | v);
+    }
+  }
+  for (NodeId v = 0; v < dist.size(); ++v) {
+    FnvMix(h, dist.WeightOf(v));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const Hierarchy> UnownedHierarchy(const Hierarchy& hierarchy) {
+  return std::shared_ptr<const Hierarchy>(std::shared_ptr<const Hierarchy>(),
+                                          &hierarchy);
+}
+
+StatusOr<std::shared_ptr<const CatalogSnapshot>> CatalogSnapshot::Build(
+    CatalogConfig config, std::uint64_t epoch) {
+  if (config.hierarchy == nullptr) {
+    return Status::InvalidArgument("CatalogConfig needs a hierarchy");
+  }
+  if (config.distribution.size() != config.hierarchy->NumNodes()) {
+    return Status::InvalidArgument(
+        "distribution size does not match the hierarchy's node count");
+  }
+  if (config.policy_specs.empty()) {
+    return Status::InvalidArgument(
+        "CatalogConfig needs at least one policy spec to prebuild");
+  }
+
+  auto snapshot = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
+  snapshot->config_ = std::move(config);
+  snapshot->epoch_ = epoch;
+  snapshot->fingerprint_ = Fingerprint(*snapshot->config_.hierarchy,
+                                       snapshot->config_.distribution);
+
+  PolicyContext context;
+  context.hierarchy = snapshot->config_.hierarchy.get();
+  context.distribution = &snapshot->config_.distribution;
+  context.cost_model = snapshot->config_.cost_model.get();
+  for (const std::string& spec : snapshot->config_.policy_specs) {
+    if (snapshot->policies_.count(spec) != 0) {
+      continue;  // duplicate spec in the config; one build suffices
+    }
+    auto policy = PolicyRegistry::Global().Create(spec, context);
+    if (!policy.ok()) {
+      return Status(policy.status().code(),
+                    "policy spec '" + spec + "': " + policy.status().message());
+    }
+    snapshot->policies_.emplace(spec, *std::move(policy));
+  }
+  return std::shared_ptr<const CatalogSnapshot>(std::move(snapshot));
+}
+
+StatusOr<const Policy*> CatalogSnapshot::PolicyFor(
+    const std::string& spec) const {
+  const auto it = policies_.find(spec);
+  if (it == policies_.end()) {
+    std::string known;
+    for (const auto& [name, policy] : policies_) {
+      known += known.empty() ? name : ", " + name;
+    }
+    return Status::NotFound("policy spec '" + spec +
+                            "' is not prebuilt in this snapshot (available: " +
+                            known + ")");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> CatalogSnapshot::policy_specs() const {
+  std::vector<std::string> specs;
+  specs.reserve(policies_.size());
+  for (const auto& [name, policy] : policies_) {
+    specs.push_back(name);
+  }
+  return specs;
+}
+
+}  // namespace aigs

@@ -1,0 +1,212 @@
+#include "service/engine.h"
+
+#include <utility>
+
+namespace aigs {
+namespace {
+
+const char* KindName(Query::Kind kind) {
+  switch (kind) {
+    case Query::Kind::kReach:
+      return "reach";
+    case Query::Kind::kReachBatch:
+      return "reach-batch";
+    case Query::Kind::kChoice:
+      return "choice";
+    case Query::Kind::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : sessions_(std::move(options.sessions)) {}
+
+StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
+    CatalogConfig config) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  AIGS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CatalogSnapshot> snapshot,
+      CatalogSnapshot::Build(std::move(config), next_epoch_));
+  ++next_epoch_;
+  snapshot_ = snapshot;
+  return snapshot;
+}
+
+std::shared_ptr<const CatalogSnapshot> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::uint64_t Engine::epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_ == nullptr ? 0 : snapshot_->epoch();
+}
+
+StatusOr<SessionId> Engine::Open(const std::string& policy_spec) {
+  const std::shared_ptr<const CatalogSnapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "no catalog snapshot published yet — call Publish first");
+  }
+  AIGS_ASSIGN_OR_RETURN(const Policy* policy, snap->PolicyFor(policy_spec));
+  auto session = std::make_shared<ServiceSession>();
+  session->snapshot = snap;
+  session->policy_spec = policy_spec;
+  session->policy = policy;
+  session->search = policy->NewSession();
+  return sessions_.Insert(std::move(session));
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> Engine::FindSession(SessionId id) {
+  return sessions_.Find(id);
+}
+
+StatusOr<Query> Engine::Ask(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                        FindSession(id));
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->search->Next();
+}
+
+Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
+  AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                        FindSession(id));
+  std::lock_guard<std::mutex> lock(session->mutex);
+  const Query query = session->search->Next();
+  if (query.kind == Query::Kind::kDone) {
+    return Status::FailedPrecondition(
+        "session " + std::to_string(id) +
+        " already identified its target; nothing to answer");
+  }
+  // Service-boundary guard for the SearchSession default-fatal paths: a
+  // mismatched answer kind is a client error, not a process abort.
+  if (answer.kind != query.kind) {
+    return Status::InvalidArgument(
+        std::string("pending question expects a ") + KindName(query.kind) +
+        " answer, got " + KindName(answer.kind));
+  }
+
+  TranscriptStep step;
+  step.kind = query.kind;
+  switch (query.kind) {
+    case Query::Kind::kReach:
+      step.nodes = {query.node};
+      step.yes = answer.yes;
+      session->search->OnReach(query.node, answer.yes);
+      break;
+    case Query::Kind::kReachBatch:
+      if (answer.batch.size() != query.choices.size()) {
+        return Status::InvalidArgument(
+            "batch answer has " + std::to_string(answer.batch.size()) +
+            " entries; the pending batch asks " +
+            std::to_string(query.choices.size()) + " questions");
+      }
+      step.nodes = query.choices;
+      step.batch_answers = answer.batch;
+      // Content validation too: a mutually inconsistent round (it would
+      // eliminate every candidate) bounces with InvalidArgument and leaves
+      // the question pending — never the fatal in-process path.
+      AIGS_RETURN_NOT_OK(
+          session->search->TryOnReachBatch(query.choices, answer.batch));
+      break;
+    case Query::Kind::kChoice:
+      if (answer.choice < -1 ||
+          answer.choice >= static_cast<int>(query.choices.size())) {
+        return Status::OutOfRange(
+            "choice answer " + std::to_string(answer.choice) +
+            " outside [-1, " + std::to_string(query.choices.size()) + ")");
+      }
+      step.nodes = query.choices;
+      step.choice = answer.choice;
+      session->search->OnChoice(query.choices, answer.choice);
+      break;
+    case Query::Kind::kDone:
+      AIGS_CHECK(false);  // handled above
+  }
+  session->transcript.push_back(std::move(step));
+  return Status::OK();
+}
+
+StatusOr<std::string> Engine::Save(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                        FindSession(id));
+  std::lock_guard<std::mutex> lock(session->mutex);
+  SerializedSession out;
+  out.fingerprint = session->snapshot->fingerprint();
+  out.epoch = session->snapshot->epoch();
+  out.policy_spec = session->policy_spec;
+  out.steps = session->transcript;
+  return SessionCodec::Encode(out);
+}
+
+StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
+  AIGS_ASSIGN_OR_RETURN(const SerializedSession saved,
+                        SessionCodec::Decode(serialized));
+  const std::shared_ptr<const CatalogSnapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "no catalog snapshot published yet — call Publish first");
+  }
+  if (saved.fingerprint != snap->fingerprint()) {
+    return Status::FailedPrecondition(
+        "saved session was recorded on a different catalog (fingerprint "
+        "mismatch); replay would not be exact");
+  }
+  AIGS_ASSIGN_OR_RETURN(const Policy* policy,
+                        snap->PolicyFor(saved.policy_spec));
+
+  auto session = std::make_shared<ServiceSession>();
+  session->snapshot = snap;
+  session->policy_spec = saved.policy_spec;
+  session->policy = policy;
+  session->search = policy->NewSession();
+
+  // Replay with verification: determinism (Definition 6) guarantees the
+  // fresh session regenerates the recorded questions in order; any
+  // divergence means the catalog or policy changed under us.
+  for (std::size_t i = 0; i < saved.steps.size(); ++i) {
+    const TranscriptStep& step = saved.steps[i];
+    const Query query = session->search->Next();
+    const bool matches =
+        query.kind == step.kind &&
+        (query.kind == Query::Kind::kReach
+             ? (step.nodes.size() == 1 && query.node == step.nodes[0])
+             : query.choices == step.nodes);
+    if (!matches) {
+      return Status::Internal(
+          "transcript replay diverged at step " + std::to_string(i) +
+          ": the snapshot no longer reproduces the saved question sequence");
+    }
+    switch (step.kind) {
+      case Query::Kind::kReach:
+        session->search->OnReach(step.nodes[0], step.yes);
+        break;
+      case Query::Kind::kReachBatch:
+        if (step.batch_answers.size() != step.nodes.size()) {
+          return Status::InvalidArgument(
+              "saved batch step " + std::to_string(i) +
+              " has mismatched answer count");
+        }
+        // A crafted blob may contain an inconsistent round the live engine
+        // would have rejected; reject it here the same way.
+        AIGS_RETURN_NOT_OK(
+            session->search->TryOnReachBatch(step.nodes, step.batch_answers));
+        break;
+      case Query::Kind::kChoice:
+        session->search->OnChoice(step.nodes, step.choice);
+        break;
+      case Query::Kind::kDone:
+        return Status::InvalidArgument("saved transcript contains a 'done' "
+                                       "step");
+    }
+    session->transcript.push_back(step);
+  }
+  return sessions_.Insert(std::move(session));
+}
+
+Status Engine::Close(SessionId id) { return sessions_.Erase(id); }
+
+}  // namespace aigs

@@ -1,0 +1,131 @@
+// Engine — the single public entry point to the interactive-graph-search
+// system (the service form of FrameworkIGS, Algorithm 1).
+//
+// An Engine owns the current CatalogSnapshot (hot-swappable via Publish —
+// each publish bumps the epoch; live sessions keep the snapshot they opened
+// on) and a SessionManager of ID-addressed concurrent sessions. The request
+// loop a front end drives is:
+//
+//     id     = engine.Open("greedy")          // O(1) on the prebuilt snapshot
+//     query  = engine.Ask(id)                 // the pending question
+//     status = engine.Answer(id, SessionAnswer::Reach(true))
+//     ...repeat until Ask returns kDone...
+//     blob   = engine.Save(id)                // suspend across restarts
+//     id2    = engine.Resume(blob)            // exact replay-based restore
+//
+// Every operation is thread-safe and returns Status instead of aborting: a
+// client that answers the wrong kind of question, an unknown ID, or a
+// stale saved blob gets a typed error, never a process death (the
+// SearchSession default-fatal OnChoice/OnReachBatch paths are guarded here,
+// at the service boundary).
+#ifndef AIGS_SERVICE_ENGINE_H_
+#define AIGS_SERVICE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "service/catalog_snapshot.h"
+#include "service/session_codec.h"
+#include "service/session_manager.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Client answer to a pending Query — the write half of the Ask/Answer
+/// protocol. The kind must match the pending question's kind.
+struct SessionAnswer {
+  Query::Kind kind = Query::Kind::kReach;
+  bool yes = false;                 // kReach
+  std::vector<bool> batch;          // kReachBatch, aligned with the batch
+  int choice = -1;                  // kChoice index, -1 = "none of these"
+
+  static SessionAnswer Reach(bool yes) {
+    SessionAnswer a;
+    a.kind = Query::Kind::kReach;
+    a.yes = yes;
+    return a;
+  }
+  static SessionAnswer Batch(std::vector<bool> answers) {
+    SessionAnswer a;
+    a.kind = Query::Kind::kReachBatch;
+    a.batch = std::move(answers);
+    return a;
+  }
+  static SessionAnswer Choice(int index) {
+    SessionAnswer a;
+    a.kind = Query::Kind::kChoice;
+    a.choice = index;
+    return a;
+  }
+};
+
+struct EngineOptions {
+  SessionManagerOptions sessions;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- snapshot lifecycle ---------------------------------------------------
+
+  /// Builds a snapshot from `config` at the next epoch and makes it
+  /// current. Existing sessions keep the snapshot they opened on; new
+  /// sessions see the new one. Never pauses traffic.
+  StatusOr<std::shared_ptr<const CatalogSnapshot>> Publish(
+      CatalogConfig config);
+
+  /// The current snapshot (null before the first Publish).
+  std::shared_ptr<const CatalogSnapshot> snapshot() const;
+
+  /// The current epoch (0 before the first Publish).
+  std::uint64_t epoch() const;
+
+  // ---- session operations ---------------------------------------------------
+
+  /// Opens a session for one of the snapshot's prebuilt policy specs.
+  /// O(1): the heavy state lives in the snapshot.
+  StatusOr<SessionId> Open(const std::string& policy_spec);
+
+  /// The pending question (or kDone carrying the identified target).
+  /// Idempotent; refreshes the session's TTL.
+  StatusOr<Query> Ask(SessionId id);
+
+  /// Applies an answer to the pending question. InvalidArgument when the
+  /// answer kind (or shape) does not match the pending query,
+  /// FailedPrecondition when the search already finished.
+  Status Answer(SessionId id, const SessionAnswer& answer);
+
+  /// Serializes the session as its answer transcript (SessionCodec format).
+  StatusOr<std::string> Save(SessionId id);
+
+  /// Restores a saved session by exact replay against the *current*
+  /// snapshot: requires a matching catalog fingerprint and verifies each
+  /// regenerated question equals the recorded one (transcript equality —
+  /// guaranteed by policy determinism, Definition 6). Returns the new ID.
+  StatusOr<SessionId> Resume(const std::string& serialized);
+
+  /// Closes and discards a session.
+  Status Close(SessionId id);
+
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  StatusOr<std::shared_ptr<ServiceSession>> FindSession(SessionId id);
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const CatalogSnapshot> snapshot_;
+  std::uint64_t next_epoch_ = 1;
+  SessionManager sessions_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_SERVICE_ENGINE_H_

@@ -1,0 +1,66 @@
+// SessionCodec — serializable session state via the answer transcript.
+//
+// A policy is a deterministic decision tree (Definition 6): the same answer
+// sequence always reproduces the same questions. A session's complete state
+// is therefore its compact transcript — one line per answered question —
+// plus the identity of the catalog it ran against. Restore replays the
+// transcript into a fresh session and verifies, step by step, that the
+// regenerated questions equal the recorded ones; any divergence (changed
+// weights, changed hierarchy, changed policy code) is detected instead of
+// silently producing a corrupted search.
+//
+// Wire format (line-oriented text, versioned):
+//
+//   aigs-session/1
+//   fingerprint <hex catalog digest>
+//   epoch <n>
+//   policy <registry spec>
+//   steps <k>
+//   reach <node> <y|n>
+//   batch <node+node+...> <answer pattern, e.g. ynny>
+//   choice <node+node+...> <answer index, -1 = none>
+//   end
+#ifndef AIGS_SERVICE_SESSION_CODEC_H_
+#define AIGS_SERVICE_SESSION_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// One answered question: what was asked and what the oracle said.
+struct TranscriptStep {
+  Query::Kind kind = Query::Kind::kReach;
+  /// Queried node(s): one entry for kReach, the batch/choice lists
+  /// otherwise.
+  std::vector<NodeId> nodes;
+  bool yes = false;                 // kReach
+  std::vector<bool> batch_answers;  // kReachBatch
+  int choice = -1;                  // kChoice
+
+  bool operator==(const TranscriptStep& other) const = default;
+};
+
+/// Decoded form of a saved session.
+struct SerializedSession {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t epoch = 0;
+  std::string policy_spec;
+  std::vector<TranscriptStep> steps;
+};
+
+/// Stateless encoder/decoder for the wire format above.
+class SessionCodec {
+ public:
+  static std::string Encode(const SerializedSession& session);
+  /// Rejects malformed input with InvalidArgument; never aborts.
+  static StatusOr<SerializedSession> Decode(const std::string& text);
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_SERVICE_SESSION_CODEC_H_

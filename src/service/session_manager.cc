@@ -1,0 +1,87 @@
+#include "service/session_manager.h"
+
+#include <chrono>
+
+namespace aigs {
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(std::move(options)),
+      shards_(options_.num_shards == 0 ? 1 : options_.num_shards) {}
+
+std::uint64_t SessionManager::NowMillis() const {
+  if (options_.clock_millis) {
+    return options_.clock_millis();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SessionId SessionManager::Insert(std::shared_ptr<ServiceSession> session) {
+  AIGS_CHECK(session != nullptr);
+  const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now = NowMillis();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sessions.emplace(id, Entry{std::move(session), now});
+  return id;
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Find(SessionId id) {
+  const std::uint64_t now = NowMillis();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound("no session with id " + std::to_string(id));
+  }
+  if (options_.ttl_millis != 0 &&
+      now - it->second.last_touch_millis > options_.ttl_millis) {
+    shard.sessions.erase(it);
+    return Status::NotFound("session " + std::to_string(id) +
+                            " expired (idle past TTL)");
+  }
+  it->second.last_touch_millis = now;
+  return it->second.session;
+}
+
+Status SessionManager::Erase(SessionId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.sessions.erase(id) == 0) {
+    return Status::NotFound("no session with id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::size_t SessionManager::EvictExpired() {
+  if (options_.ttl_millis == 0) {
+    return 0;
+  }
+  const std::uint64_t now = NowMillis();
+  std::size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+      if (now - it->second.last_touch_millis > options_.ttl_millis) {
+        it = shard.sessions.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
+}
+
+std::size_t SessionManager::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.sessions.size();
+  }
+  return total;
+}
+
+}  // namespace aigs

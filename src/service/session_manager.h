@@ -1,0 +1,106 @@
+// SessionManager — ID-addressed, concurrent, TTL-evicting session store.
+//
+// The paper's interactive loop asks a human one question at a time; between
+// a question and its answer the session must be suspendable and addressable
+// by ID. The manager keeps sessions in a lock-sharded hash map: an ID is
+// assigned from an atomic counter, its shard is a pure function of the ID,
+// and every operation locks exactly one shard mutex — concurrent traffic
+// for different sessions contends only 1/num_shards of the time.
+//
+// Expiry is TTL-based: every successful Find refreshes the session's
+// last-touch time; a lookup past the TTL behaves as NotFound (and reaps the
+// entry), and EvictExpired() sweeps all shards for bulk cleanup. The clock
+// is injectable so eviction is unit-testable without sleeping.
+#ifndef AIGS_SERVICE_SESSION_MANAGER_H_
+#define AIGS_SERVICE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "service/catalog_snapshot.h"
+#include "service/session_codec.h"
+#include "util/status.h"
+
+namespace aigs {
+
+/// Opaque session handle. Never reused within one manager's lifetime.
+using SessionId = std::uint64_t;
+
+/// One live interactive search: the snapshot it is pinned to (keeping that
+/// epoch's policies alive across hot swaps), the policy session, and the
+/// answer transcript that makes it serializable. `mutex` serializes the
+/// engine's per-session operations; the manager itself only guards the map.
+struct ServiceSession {
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+  std::string policy_spec;
+  const Policy* policy = nullptr;
+
+  std::mutex mutex;
+  std::unique_ptr<SearchSession> search;
+  std::vector<TranscriptStep> transcript;
+};
+
+struct SessionManagerOptions {
+  /// Lock shards. More shards = less contention, more memory.
+  std::size_t num_shards = 16;
+  /// Idle time before a session expires; 0 = never.
+  std::uint64_t ttl_millis = 30 * 60 * 1000;
+  /// Monotonic clock in milliseconds; null = std::chrono::steady_clock.
+  /// Inject a fake in tests to exercise eviction deterministically.
+  std::function<std::uint64_t()> clock_millis;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Stores a session and returns its new ID.
+  SessionId Insert(std::shared_ptr<ServiceSession> session);
+
+  /// Looks a session up and refreshes its TTL. NotFound for unknown or
+  /// expired IDs (expired entries are reaped on the spot).
+  StatusOr<std::shared_ptr<ServiceSession>> Find(SessionId id);
+
+  /// Removes a session; NotFound if absent.
+  Status Erase(SessionId id);
+
+  /// Sweeps every shard, dropping sessions idle past the TTL. Returns the
+  /// number evicted.
+  std::size_t EvictExpired();
+
+  /// Live session count (racy under concurrent mutation, exact when quiet).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<ServiceSession> session;
+    std::uint64_t last_touch_millis = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SessionId, Entry> sessions;
+  };
+
+  std::uint64_t NowMillis() const;
+  Shard& ShardFor(SessionId id) {
+    return shards_[static_cast<std::size_t>(id) % shards_.size()];
+  }
+
+  SessionManagerOptions options_;
+  std::atomic<SessionId> next_id_{1};
+  std::vector<Shard> shards_;
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_SERVICE_SESSION_MANAGER_H_

@@ -4,6 +4,13 @@
 
 namespace aigs {
 
+BlockedWeights::BlockedWeights(const std::vector<Weight>& weights)
+    : weights_(&weights), block_sums_((weights.size() + 63) / 64, 0) {
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    block_sums_[i >> 6] += weights[i];
+  }
+}
+
 void DynamicBitset::Resize(std::size_t size, bool value) {
   const std::size_t words = (size + 63) / 64;
   if (value && size > size_ && size_ % 64 != 0 && !words_.empty()) {
@@ -96,6 +103,93 @@ DynamicBitset::CountAndWeight DynamicBitset::MaskedCountAndWeightedSum(
       const int bit = std::countr_zero(word);
       out.weight += weights[(w << 6) + static_cast<std::size_t>(bit)];
       word &= word - 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Σ weights over the set bits of one intersection word, settled against the
+/// word's precomputed block sum. `valid` masks the bit positions that exist
+/// (the last word of a bitset may be partial); `word` never has bits outside
+/// `valid` set.
+inline Weight BlockedWordSum(std::uint64_t word, std::uint64_t valid,
+                             const Weight* weights, Weight block_sum) {
+  if (word == valid) {
+    return block_sum;
+  }
+  if (std::popcount(word) > 32) {
+    // Majority set: gather the complement and subtract.
+    Weight off = 0;
+    std::uint64_t inv = ~word & valid;
+    while (inv != 0) {
+      off += weights[std::countr_zero(inv)];
+      inv &= inv - 1;
+    }
+    return block_sum - off;
+  }
+  Weight on = 0;
+  while (word != 0) {
+    on += weights[std::countr_zero(word)];
+    word &= word - 1;
+  }
+  return on;
+}
+
+}  // namespace
+
+Weight DynamicBitset::MaskedWeightedSum(const DynamicBitset& mask,
+                                        const BlockedWeights& weights) const {
+  AIGS_CHECK(size_ == mask.size_);
+  AIGS_DCHECK(weights.weights().size() == size_);
+  const Weight* values = weights.weights().data();
+  Weight total = 0;
+  // The partial tail word (if any) is settled after the loop so the hot
+  // loop needs no per-word valid-mask bookkeeping.
+  const std::size_t tail = (size_ & 63) != 0 ? words_.size() - 1 : words_.size();
+  for (std::size_t w = 0; w < tail; ++w) {
+    const std::uint64_t word = words_[w] & mask.words_[w];
+    if (word == 0) {
+      continue;
+    }
+    total += BlockedWordSum(word, ~std::uint64_t{0}, values + (w << 6),
+                            weights.BlockSum(w));
+  }
+  if (tail < words_.size()) {
+    const std::uint64_t word = words_[tail] & mask.words_[tail];
+    if (word != 0) {
+      total += BlockedWordSum(word, (std::uint64_t{1} << (size_ & 63)) - 1,
+                              values + (tail << 6), weights.BlockSum(tail));
+    }
+  }
+  return total;
+}
+
+DynamicBitset::CountAndWeight DynamicBitset::MaskedCountAndWeightedSum(
+    const DynamicBitset& mask, const BlockedWeights& weights) const {
+  AIGS_CHECK(size_ == mask.size_);
+  AIGS_DCHECK(weights.weights().size() == size_);
+  const Weight* values = weights.weights().data();
+  CountAndWeight out;
+  const std::size_t tail = (size_ & 63) != 0 ? words_.size() - 1 : words_.size();
+  for (std::size_t w = 0; w < tail; ++w) {
+    const std::uint64_t word = words_[w] & mask.words_[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, values + (w << 6),
+                                 weights.BlockSum(w));
+  }
+  if (tail < words_.size()) {
+    const std::uint64_t word = words_[tail] & mask.words_[tail];
+    if (word != 0) {
+      out.count += static_cast<std::size_t>(std::popcount(word));
+      out.weight += BlockedWordSum(word,
+                                   (std::uint64_t{1} << (size_ & 63)) - 1,
+                                   values + (tail << 6),
+                                   weights.BlockSum(tail));
     }
   }
   return out;

@@ -180,6 +180,54 @@ TEST(DynamicBitset, MaskedWeightedSumMatchesScalarLoop) {
   }
 }
 
+TEST(DynamicBitset, BlockedWeightedSumMatchesBitwiseKernel) {
+  // The blocked kernel (BlockedWeights: full-word settle + complement
+  // gather) must agree with the per-bit reference across densities,
+  // including all-set words, majority-set words (the subtract path), and
+  // partial tail words.
+  Rng rng(13);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.UniformInt(400);
+    const double density = rng.UniformReal();
+    DynamicBitset a(n);
+    DynamicBitset mask(n);
+    std::vector<Weight> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(density)) {
+        a.Set(i);
+      }
+      if (rng.Bernoulli(0.9)) {
+        mask.Set(i);
+      }
+      weights[i] = rng.UniformInt(1000);
+    }
+    const BlockedWeights blocked(weights);
+    EXPECT_EQ(a.MaskedWeightedSum(mask, blocked),
+              a.MaskedWeightedSum(mask, weights));
+    const DynamicBitset::CountAndWeight fused =
+        a.MaskedCountAndWeightedSum(mask, blocked);
+    const DynamicBitset::CountAndWeight reference =
+        a.MaskedCountAndWeightedSum(mask, weights);
+    EXPECT_EQ(fused.count, reference.count);
+    EXPECT_EQ(fused.weight, reference.weight);
+  }
+  // Degenerate shapes: the fully-set mask over a partial last word must hit
+  // the block-sum fast path without reading past the weight vector.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{128}, std::size_t{190}}) {
+    DynamicBitset all(n, true);
+    std::vector<Weight> weights(n);
+    Weight total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = i + 1;
+      total += weights[i];
+    }
+    const BlockedWeights blocked(weights);
+    EXPECT_EQ(all.MaskedWeightedSum(all, blocked), total) << "n=" << n;
+  }
+}
+
 TEST(DynamicBitset, RangeOperationsMatchScalarLoops) {
   Rng rng(12);
   for (int round = 0; round < 40; ++round) {

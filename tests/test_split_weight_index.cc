@@ -91,7 +91,8 @@ TEST(FenwickTree, BuildAndPointUpdatesMatchBruteForce) {
 void CheckStateAgainstBruteForce(const Hierarchy& h,
                                  const std::vector<Weight>& weights,
                                  Rng& steps) {
-  SplitWeightIndex index(h, weights);
+  const SplitWeightBase base(h, weights);
+  SplitWeightIndex index(base);
   std::set<NodeId> alive;
   for (NodeId v = 0; v < h.NumNodes(); ++v) {
     alive.insert(v);
@@ -172,7 +173,8 @@ TEST(SplitWeightIndex, ApplyBatchIntersectsAllAnswers) {
     const Hierarchy h = MustBuild(dag ? RandomDag(20, rng, 0.5)
                                       : RandomTree(20, rng));
     const auto weights = RandomWeights(h.NumNodes(), rng, 100, 0.2);
-    SplitWeightIndex index(h, weights);
+    const SplitWeightBase base(h, weights);
+    SplitWeightIndex index(base);
     std::vector<NodeId> nodes;
     std::vector<bool> answers;
     for (int i = 0; i < 4; ++i) {
@@ -200,8 +202,9 @@ TEST(SplitWeightIndex, ResetFromCopiesSessionState) {
   Rng rng(5);
   const Hierarchy h = MustBuild(RandomTree(30, rng));
   const auto weights = RandomWeights(h.NumNodes(), rng, 100, 0.0);
-  SplitWeightIndex a(h, weights);
-  SplitWeightIndex b(h, weights);
+  const SplitWeightBase base(h, weights);
+  SplitWeightIndex a(base);
+  SplitWeightIndex b(base);
   a.ApplyNo(static_cast<NodeId>(h.NumNodes() - 1));
   b.ResetFrom(a);
   ASSERT_EQ(b.AliveCount(), a.AliveCount());
@@ -242,7 +245,8 @@ TEST(SplitWeightIndex, FindMiddlePointMatchesNaiveScanMidSearch) {
                                       : RandomTree(2 + rng.UniformInt(35),
                                                    rng));
     const auto weights = RandomWeights(h.NumNodes(), rng, 20, 0.5);
-    SplitWeightIndex index(h, weights);
+    const SplitWeightBase base(h, weights);
+    SplitWeightIndex index(base);
     CandidateSet mirror(h.graph());
     NodeId root = h.root();
     BfsScratch scratch(h.NumNodes());

@@ -13,13 +13,20 @@
 //       List the registered policy names and their options.
 //   aigs search   <hierarchy.txt> [counts.txt]
 //       Interactive search: answer the policy's questions with y/n.
+//   aigs serve    <hierarchy.txt> [counts.txt] [policy-spec...]
+//       Service REPL over an Engine: open/ask/answer/save/resume
+//       ID-addressed sessions, publish new snapshot epochs, inspect state.
+//       Type 'help' at the prompt for the command list.
 //   aigs demo
 //       Interactive search on the built-in vehicle hierarchy.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/aigs.h"
 #include "data/builtin.h"
@@ -29,7 +36,9 @@
 #include "graph/graph_io.h"
 #include "graph/transitive_reduction.h"
 #include "prob/weight_io.h"
+#include "service/engine.h"
 #include "util/env.h"
+#include "util/string_util.h"
 
 namespace aigs::cli {
 namespace {
@@ -42,6 +51,7 @@ int Usage() {
                "  evaluate <hierarchy.txt> <counts.txt> [policy-spec]\n"
                "  policies\n"
                "  search   <hierarchy.txt> [counts.txt]\n"
+               "  serve    <hierarchy.txt> [counts.txt] [policy-spec...]\n"
                "  demo\n"
                "policy-spec is a PolicyRegistry name plus options, e.g. "
                "greedy, wigs,\nbatched:k=8, migs:choices=0 — run 'aigs "
@@ -206,6 +216,313 @@ int CmdDemo() {
   return RunInteractive(*hierarchy, VehicleDistribution());
 }
 
+// ---- serve: Engine-backed session REPL -------------------------------------
+
+std::string NodeLabel(const Hierarchy& h, NodeId v) {
+  const std::string& label = h.graph().Label(v);
+  return label.empty() ? std::to_string(v)
+                       : std::to_string(v) + " '" + label + "'";
+}
+
+void PrintQuery(const Hierarchy& h, SessionId id, const Query& q) {
+  switch (q.kind) {
+    case Query::Kind::kDone:
+      std::printf("session %llu: done — target is %s\n",
+                  static_cast<unsigned long long>(id),
+                  NodeLabel(h, q.node).c_str());
+      break;
+    case Query::Kind::kReach:
+      std::printf("session %llu: is the item under %s? (answer %llu y|n)\n",
+                  static_cast<unsigned long long>(id),
+                  NodeLabel(h, q.node).c_str(),
+                  static_cast<unsigned long long>(id));
+      break;
+    case Query::Kind::kReachBatch: {
+      std::printf("session %llu: batch of %zu questions (answer %llu "
+                  "<pattern like yn...>):\n",
+                  static_cast<unsigned long long>(id), q.choices.size(),
+                  static_cast<unsigned long long>(id));
+      for (std::size_t i = 0; i < q.choices.size(); ++i) {
+        std::printf("  [%zu] under %s?\n", i,
+                    NodeLabel(h, q.choices[i]).c_str());
+      }
+      break;
+    }
+    case Query::Kind::kChoice: {
+      std::printf("session %llu: which of these contains the item? "
+                  "(answer %llu <index>, -1 = none)\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(id));
+      for (std::size_t i = 0; i < q.choices.size(); ++i) {
+        std::printf("  [%zu] %s\n", i, NodeLabel(h, q.choices[i]).c_str());
+      }
+      break;
+    }
+  }
+}
+
+void ServeHelp() {
+  std::printf(
+      "commands:\n"
+      "  open [policy-spec]     start a session (default: first prebuilt "
+      "spec)\n"
+      "  ask <id>               show the pending question\n"
+      "  answer <id> <value>    y|n for reach, yn... pattern for a batch,\n"
+      "                         index (-1 = none) for a choice question\n"
+      "  save <id> <file>       serialize the session transcript\n"
+      "  resume <file>          restore a saved session (new id)\n"
+      "  close <id>             discard a session\n"
+      "  sessions               live session count\n"
+      "  epoch                  current snapshot epoch + fingerprint\n"
+      "  publish <counts.txt>   load new counts, publish a new epoch\n"
+      "  policies               prebuilt policy specs\n"
+      "  quit                   exit\n");
+}
+
+/// Applies a REPL answer token to the pending query's kind.
+Status AnswerFromToken(Engine& engine, SessionId id,
+                       const std::string& token) {
+  auto pending = engine.Ask(id);
+  if (!pending.ok()) {
+    return pending.status();
+  }
+  switch (pending->kind) {
+    case Query::Kind::kDone:
+      return Status::FailedPrecondition("session already finished");
+    case Query::Kind::kReach:
+      if (token != "y" && token != "n") {
+        return Status::InvalidArgument("reach questions take y or n");
+      }
+      return engine.Answer(id, SessionAnswer::Reach(token == "y"));
+    case Query::Kind::kReachBatch: {
+      std::vector<bool> answers;
+      for (const char c : token) {
+        if (c != 'y' && c != 'n') {
+          return Status::InvalidArgument(
+              "batch questions take a y/n pattern, e.g. ynny");
+        }
+        answers.push_back(c == 'y');
+      }
+      return engine.Answer(id, SessionAnswer::Batch(std::move(answers)));
+    }
+    case Query::Kind::kChoice: {
+      auto index = ParseInt64(token);
+      if (!index.ok()) {
+        return Status::InvalidArgument("choice questions take an index");
+      }
+      return engine.Answer(id,
+                           SessionAnswer::Choice(static_cast<int>(*index)));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+int CmdServe(const std::string& hierarchy_path,
+             const std::vector<std::string>& rest) {
+  auto graph = LoadHierarchy(hierarchy_path);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  auto hierarchy = Hierarchy::Build(*std::move(graph));
+  if (!hierarchy.ok()) {
+    return Fail(hierarchy.status());
+  }
+
+  // Positional args after the hierarchy: registry specs stay specs, the
+  // first non-spec is the counts file.
+  std::string counts_path;
+  std::vector<std::string> specs;
+  for (const std::string& arg : rest) {
+    const std::string name = arg.substr(0, arg.find(':'));
+    if (PolicyRegistry::Global().Contains(name)) {
+      specs.push_back(arg);
+    } else if (counts_path.empty()) {
+      counts_path = arg;
+    } else {
+      return Fail(Status::InvalidArgument(
+          "'" + arg + "' is neither a registered policy spec nor the "
+          "(already given) counts file"));
+    }
+  }
+  if (specs.empty()) {
+    specs = {"greedy"};
+  }
+
+  Distribution dist = EqualDistribution(hierarchy->NumNodes());
+  if (!counts_path.empty()) {
+    auto counts = LoadDistribution(counts_path);
+    if (!counts.ok()) {
+      return Fail(counts.status());
+    }
+    if (counts->size() != hierarchy->NumNodes()) {
+      return Fail(Status::InvalidArgument(
+          "count file does not match the hierarchy's node count"));
+    }
+    dist = *std::move(counts);
+  }
+
+  Engine engine;
+  CatalogConfig config;
+  config.hierarchy = UnownedHierarchy(*hierarchy);
+  config.distribution = std::move(dist);
+  config.policy_specs = specs;
+  if (auto published = engine.Publish(std::move(config)); !published.ok()) {
+    return Fail(published.status());
+  }
+  std::printf("serving %zu categories at epoch %llu; 'help' lists "
+              "commands.\n",
+              hierarchy->NumNodes(),
+              static_cast<unsigned long long>(engine.epoch()));
+
+  const auto warn = [](const Status& status) {
+    std::printf("error: %s\n", status.ToString().c_str());
+  };
+  char buffer[4096];
+  for (;;) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr) {
+      std::printf("\n");
+      return 0;
+    }
+    std::istringstream line{std::string(buffer)};
+    std::string command;
+    line >> command;
+    if (command.empty()) {
+      continue;
+    }
+    if (command == "quit" || command == "exit") {
+      return 0;
+    }
+    if (command == "help") {
+      ServeHelp();
+    } else if (command == "open") {
+      std::string spec;
+      line >> spec;
+      auto id = engine.Open(spec.empty() ? specs.front() : spec);
+      if (!id.ok()) {
+        warn(id.status());
+        continue;
+      }
+      std::printf("session %llu opened (epoch %llu)\n",
+                  static_cast<unsigned long long>(*id),
+                  static_cast<unsigned long long>(engine.epoch()));
+    } else if (command == "ask" || command == "answer" ||
+               command == "close" || command == "save") {
+      unsigned long long raw_id = 0;
+      if (!(line >> raw_id)) {
+        std::printf("usage: %s <id> ...\n", command.c_str());
+        continue;
+      }
+      const SessionId id = raw_id;
+      if (command == "ask") {
+        auto q = engine.Ask(id);
+        q.ok() ? PrintQuery(*hierarchy, id, *q) : warn(q.status());
+      } else if (command == "answer") {
+        std::string token;
+        if (!(line >> token)) {
+          std::printf("usage: answer <id> <value>\n");
+          continue;
+        }
+        if (const Status s = AnswerFromToken(engine, id, token); !s.ok()) {
+          warn(s);
+          continue;
+        }
+        auto q = engine.Ask(id);  // echo the next question immediately
+        q.ok() ? PrintQuery(*hierarchy, id, *q) : warn(q.status());
+      } else if (command == "close") {
+        if (const Status s = engine.Close(id); s.ok()) {
+          std::printf("session %llu closed\n", raw_id);
+        } else {
+          warn(s);
+        }
+      } else {
+        std::string path;
+        if (!(line >> path)) {
+          std::printf("usage: save <id> <file>\n");
+          continue;
+        }
+        auto blob = engine.Save(id);
+        if (!blob.ok()) {
+          warn(blob.status());
+          continue;
+        }
+        std::ofstream out(path);
+        out << *blob;
+        out.close();
+        if (out.good()) {
+          std::printf("saved session %llu to %s\n", raw_id, path.c_str());
+        } else {
+          std::printf("error: cannot write %s\n", path.c_str());
+        }
+      }
+    } else if (command == "resume") {
+      std::string path;
+      if (!(line >> path)) {
+        std::printf("usage: resume <file>\n");
+        continue;
+      }
+      std::ifstream in(path);
+      if (!in) {
+        std::printf("error: cannot read %s\n", path.c_str());
+        continue;
+      }
+      std::stringstream blob;
+      blob << in.rdbuf();
+      auto id = engine.Resume(blob.str());
+      if (!id.ok()) {
+        warn(id.status());
+        continue;
+      }
+      std::printf("resumed as session %llu\n",
+                  static_cast<unsigned long long>(*id));
+      auto q = engine.Ask(*id);
+      q.ok() ? PrintQuery(*hierarchy, *id, *q) : warn(q.status());
+    } else if (command == "sessions") {
+      std::printf("%zu live session(s)\n", engine.sessions().size());
+    } else if (command == "epoch") {
+      const auto snap = engine.snapshot();
+      std::printf("epoch %llu, catalog fingerprint %016llx\n",
+                  static_cast<unsigned long long>(snap->epoch()),
+                  static_cast<unsigned long long>(snap->fingerprint()));
+    } else if (command == "publish") {
+      std::string path;
+      if (!(line >> path)) {
+        std::printf("usage: publish <counts.txt>\n");
+        continue;
+      }
+      auto counts = LoadDistribution(path);
+      if (!counts.ok()) {
+        warn(counts.status());
+        continue;
+      }
+      if (counts->size() != hierarchy->NumNodes()) {
+        warn(Status::InvalidArgument(
+            "count file does not match the hierarchy's node count"));
+        continue;
+      }
+      CatalogConfig next;
+      next.hierarchy = UnownedHierarchy(*hierarchy);
+      next.distribution = *std::move(counts);
+      next.policy_specs = specs;
+      auto published = engine.Publish(std::move(next));
+      if (!published.ok()) {
+        warn(published.status());
+        continue;
+      }
+      std::printf("published epoch %llu (live sessions stay on their "
+                  "epoch)\n",
+                  static_cast<unsigned long long>((*published)->epoch()));
+    } else if (command == "policies") {
+      for (const std::string& spec : engine.snapshot()->policy_specs()) {
+        std::printf("  %s\n", spec.c_str());
+      }
+    } else {
+      std::printf("unknown command '%s'; try 'help'\n", command.c_str());
+    }
+  }
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -225,6 +542,10 @@ int Main(int argc, char** argv) {
   }
   if (command == "search" && (argc == 3 || argc == 4)) {
     return CmdSearch(argv[2], argc == 4 ? argv[3] : "");
+  }
+  if (command == "serve" && argc >= 3) {
+    return CmdServe(argv[2],
+                    std::vector<std::string>(argv + 3, argv + argc));
   }
   if (command == "demo" && argc == 2) {
     return CmdDemo();
