@@ -11,6 +11,8 @@
 #include "data/builtin.h"
 #include "eval/cost_profile.h"
 #include "oracle/noisy_oracle.h"
+#include "service/catalog_snapshot.h"
+#include "service/engine.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -229,17 +231,24 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
         const Distribution dist,
         MakeScenarioDistribution(spec.distribution, *dataset, rng));
     AIGS_ASSIGN_OR_RETURN(
-        const std::unique_ptr<CostModel> costs,
+        std::unique_ptr<CostModel> owned_costs,
         MakeScenarioCostModel(spec.cost_model, h.NumNodes(), rng));
+    // Shared so the service path can pin the cost model in its snapshot.
+    const std::shared_ptr<const CostModel> costs = std::move(owned_costs);
 
-    PolicyContext context;
-    context.hierarchy = &h;
-    context.distribution = &dist;
-    context.cost_model = costs.get();
-    AIGS_ASSIGN_OR_RETURN(
-        const std::unique_ptr<Policy> policy,
-        PolicyRegistry::Global().Create(spec.policy, context));
-    result.policy_name = policy->name();
+    // The service branch lets Engine::Publish build the policy (with its
+    // full shared-base precompute) exactly once; only the in-process branch
+    // needs a locally owned instance.
+    std::unique_ptr<Policy> policy;
+    if (!spec.service) {
+      PolicyContext context;
+      context.hierarchy = &h;
+      context.distribution = &dist;
+      context.cost_model = costs.get();
+      AIGS_ASSIGN_OR_RETURN(
+          policy, PolicyRegistry::Global().Create(spec.policy, context));
+      result.policy_name = policy->name();
+    }
 
     EvalOptions eval_options;
     eval_options.cost_model = costs.get();
@@ -260,11 +269,39 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
       };
     }
     const Evaluator evaluator(eval_options);
-    const EvalStats stats =
-        spec.samples == 0
-            ? evaluator.Exact(*policy, h, dist)
-            : evaluator.Sampled(*policy, h, dist, spec.samples,
-                                spec.seed + 97 * rep);
+    EvalStats stats;
+    if (spec.service) {
+      // Service path: every sharded search runs through Engine sessions on
+      // a freshly published snapshot — Ask goes through the plan cache when
+      // enabled. Bit-identical cost aggregates to the in-process branch.
+      EngineOptions engine_options;
+      engine_options.plan_cache.enabled = spec.plan_cache;
+      Engine engine(engine_options);
+      CatalogConfig config;
+      config.hierarchy = UnownedHierarchy(h);
+      config.distribution = dist;
+      config.cost_model = costs;
+      config.policy_specs = {spec.policy};
+      AIGS_RETURN_NOT_OK(engine.Publish(std::move(config)).status());
+      AIGS_ASSIGN_OR_RETURN(const Policy* published,
+                            engine.snapshot()->PolicyFor(spec.policy));
+      result.policy_name = published->name();
+      if (spec.samples == 0) {
+        AIGS_ASSIGN_OR_RETURN(stats, evaluator.Exact(engine, spec.policy));
+      } else {
+        AIGS_ASSIGN_OR_RETURN(
+            stats, evaluator.Sampled(engine, spec.policy, spec.samples,
+                                     spec.seed + 97 * rep));
+      }
+      if (spec.plan_cache) {
+        result.cache_hit_rate += engine.Stats().plan_cache.hit_rate();
+      }
+    } else {
+      stats = spec.samples == 0
+                  ? evaluator.Exact(*policy, h, dist)
+                  : evaluator.Sampled(*policy, h, dist, spec.samples,
+                                      spec.seed + 97 * rep);
+    }
 
     result.expected_cost += stats.expected_cost;
     result.expected_priced_cost += stats.expected_priced_cost;
@@ -290,6 +327,7 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
   result.expected_reach_queries /= denom;
   result.expected_rounds /= denom;
   result.accuracy /= denom;
+  result.cache_hit_rate /= denom;
   return result;
 }
 
@@ -334,6 +372,24 @@ StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
         return Status::InvalidArgument("threads must be >= 0");
       }
       spec.threads = static_cast<int>(threads);
+    } else if (key == "service") {
+      if (value == "engine") {
+        spec.service = true;
+      } else if (value == "inprocess") {
+        spec.service = false;
+      } else {
+        return Status::InvalidArgument(
+            "service must be engine|inprocess, got '" + value + "'");
+      }
+    } else if (key == "cache") {
+      if (value == "on") {
+        spec.plan_cache = true;
+      } else if (value == "off") {
+        spec.plan_cache = false;
+      } else {
+        return Status::InvalidArgument("cache must be on|off, got '" +
+                                       value + "'");
+      }
     } else {
       return Status::InvalidArgument("unknown scenario field '" + key + "'");
     }
@@ -388,6 +444,9 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   num("samples", std::to_string(r.spec.samples));
   num("threads", std::to_string(r.spec.threads));
   num("seed", std::to_string(r.spec.seed));
+  str("service", r.spec.service ? "engine" : "inprocess");
+  str("cache", r.spec.service && r.spec.plan_cache ? "on" : "off");
+  num("cache_hit_rate", FormatDouble(r.cache_hit_rate, 6));
   num("expected_cost", FormatDouble(r.expected_cost, 6));
   num("expected_priced_cost", FormatDouble(r.expected_priced_cost, 6));
   num("expected_reach_queries", FormatDouble(r.expected_reach_queries, 6));
@@ -406,7 +465,9 @@ std::vector<std::string> ScenarioCsvHeader() {
           "scale",         "distribution",  "policy",
           "policy_name",   "cost_model",    "oracle",
           "reps",          "samples",       "threads",
-          "seed",          "expected_cost", "expected_priced_cost",
+          "seed",          "service",       "cache",
+          "cache_hit_rate",
+          "expected_cost", "expected_priced_cost",
           "expected_reach_queries",         "expected_rounds",
           "accuracy",      "max_cost",      "median",
           "p90",           "p99",           "wall_ms"};
@@ -426,6 +487,9 @@ std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
           std::to_string(r.spec.samples),
           std::to_string(r.spec.threads),
           std::to_string(r.spec.seed),
+          r.spec.service ? "engine" : "inprocess",
+          r.spec.service && r.spec.plan_cache ? "on" : "off",
+          FormatDouble(r.cache_hit_rate, 6),
           FormatDouble(r.expected_cost, 6),
           FormatDouble(r.expected_priced_cost, 6),
           FormatDouble(r.expected_reach_queries, 6),

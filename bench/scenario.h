@@ -51,6 +51,15 @@ struct ScenarioSpec {
   std::size_t samples = 0;
   /// Evaluator worker count (0 = shared default pool, 1 = serial).
   int threads = 0;
+  /// Drive every search through Engine sessions (Open/Ask/Answer/Close on a
+  /// published snapshot) instead of in-process Policy::NewSession calls.
+  /// Cost aggregates are bit-identical to the in-process path by
+  /// construction; this knob exists so the bench exercises the service
+  /// stack — including the plan cache — under the regression guard.
+  bool service = false;
+  /// Engine plan cache on/off (service path only). With the cache on, the
+  /// run reports the measured hit rate in `ScenarioResult::cache_hit_rate`.
+  bool plan_cache = true;
 };
 
 /// Averaged-over-reps outcome of one scenario.
@@ -71,6 +80,11 @@ struct ScenarioResult {
   std::uint32_t p90 = 0;
   std::uint32_t p99 = 0;
   double wall_ms = 0;  // total evaluation wall time across reps
+  /// Plan-cache hit rate over the run (service path with the cache on;
+  /// 0 otherwise). Averaged over reps; informational, never guarded —
+  /// concurrent sessions race their misses, so the exact split is not
+  /// deterministic under threads > 1.
+  double cache_hit_rate = 0;
 };
 
 /// Builds each (dataset, scale) pair at most once per process.

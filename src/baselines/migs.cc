@@ -16,7 +16,7 @@ class MigsSession final : public SearchSession {
         max_choices_(max_choices),
         node_(g.root()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     const std::vector<NodeId>& children = ChildrenOf(node_);
     if (offset_ >= children.size()) {
       return Query::Done(node_);
@@ -31,7 +31,7 @@ class MigsSession final : public SearchSession {
     return Query::ChoiceQuery(std::move(choices));
   }
 
-  void OnChoice(std::span<const NodeId> choices, int answer) override {
+  void ApplyChoice(std::span<const NodeId> choices, int answer) override {
     AIGS_CHECK(!choices.empty());
     if (answer < 0) {
       offset_ += choices.size();  // none of this batch; next batch (or done)
@@ -42,12 +42,8 @@ class MigsSession final : public SearchSession {
     offset_ = 0;
   }
 
-  void OnReach(NodeId, bool) override {
-    AIGS_CHECK(false && "MIGS only asks choice questions");
-  }
-
  private:
-  const std::vector<NodeId>& ChildrenOf(NodeId v) {
+  const std::vector<NodeId>& ChildrenOf(NodeId v) const {
     if (!ordered_children_->empty()) {
       return (*ordered_children_)[v];
     }
@@ -61,7 +57,7 @@ class MigsSession final : public SearchSession {
   std::size_t max_choices_;
   NodeId node_;
   std::size_t offset_ = 0;
-  std::vector<NodeId> scratch_;
+  mutable std::vector<NodeId> scratch_;
 };
 
 }  // namespace

@@ -7,7 +7,7 @@ class TopDownSession final : public SearchSession {
  public:
   explicit TopDownSession(const Digraph& g) : graph_(&g), node_(g.root()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     const auto children = graph_->Children(node_);
     if (child_idx_ >= children.size()) {
       return Query::Done(node_);
@@ -15,7 +15,7 @@ class TopDownSession final : public SearchSession {
     return Query::ReachQuery(children[child_idx_]);
   }
 
-  void OnReach(NodeId q, bool yes) override {
+  void ApplyReach(NodeId q, bool yes) override {
     AIGS_CHECK(child_idx_ < graph_->Children(node_).size());
     AIGS_CHECK(q == graph_->Children(node_)[child_idx_]);
     if (yes) {

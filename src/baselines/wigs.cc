@@ -15,7 +15,7 @@ class WigsTreeSession final : public SearchSession {
       : tree_(&tree), hpd_(&hpd), ordered_children_(&ordered_children),
         root_(tree.root()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     for (;;) {
       switch (phase_) {
         case Phase::kStartPath: {
@@ -31,8 +31,7 @@ class WigsTreeSession final : public SearchSession {
         case Phase::kBinarySearch: {
           if (lo_ < hi_) {
             const std::size_t mid = (lo_ + hi_ + 1) / 2;
-            pending_ = path_[mid];
-            return Query::ReachQuery(pending_);
+            return Query::ReachQuery(path_[mid]);
           }
           // Deepest yes node found; scan its light children.
           anchor_ = path_[lo_];
@@ -51,16 +50,19 @@ class WigsTreeSession final : public SearchSession {
           if (scan_idx_ >= children.size()) {
             return Query::Done(anchor_);
           }
-          pending_ = children[scan_idx_];
-          return Query::ReachQuery(pending_);
+          return Query::ReachQuery(children[scan_idx_]);
         }
       }
     }
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
+    // Settle the automaton first: a cache-supplied answer may arrive
+    // without this session ever having planned, and the answer routing
+    // below depends on the settled phase.
+    if (!plan_settled()) {
+      (void)PlanQuestion();
+    }
     if (phase_ == Phase::kBinarySearch) {
       const std::size_t mid = (lo_ + hi_ + 1) / 2;
       AIGS_DCHECK(path_[mid] == q);
@@ -88,14 +90,16 @@ class WigsTreeSession final : public SearchSession {
   const std::vector<std::vector<NodeId>>* ordered_children_;
 
   NodeId root_;
-  Phase phase_ = Phase::kStartPath;
-  std::vector<NodeId> path_;
-  std::size_t lo_ = 0;
-  std::size_t hi_ = 0;
-  NodeId anchor_ = kInvalidNode;
-  NodeId heavy_child_ = kInvalidNode;
-  std::size_t scan_idx_ = 0;
-  NodeId pending_ = kInvalidNode;
+  // Phase automaton. Mutable: planning advances the answer-free phase
+  // transitions (start-path materialization, binary-search → light-scan) —
+  // all deterministic functions of the answers applied so far.
+  mutable Phase phase_ = Phase::kStartPath;
+  mutable std::vector<NodeId> path_;
+  mutable std::size_t lo_ = 0;
+  mutable std::size_t hi_ = 0;
+  mutable NodeId anchor_ = kInvalidNode;
+  mutable NodeId heavy_child_ = kInvalidNode;
+  mutable std::size_t scan_idx_ = 0;
 };
 
 // ---- DAG variant -----------------------------------------------------------
@@ -113,26 +117,27 @@ class WigsDagSession final : public SearchSession {
   explicit WigsDagSession(const ReachWeightBase& unit_base)
       : state_(unit_base), anchor_(state_.root()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (state_.AliveCount() == 1) {
       return Query::Done(state_.Target());
     }
     if (phase_ == Phase::kBinarySearch && lo_ < hi_) {
-      const std::size_t mid = Mid();
-      pending_ = chain_[mid];
-      return Query::ReachQuery(pending_);
+      return Query::ReachQuery(chain_[Mid()]);
     }
     phase_ = Phase::kChildScan;
-    pending_ = MaxCountAliveChild(anchor_);
+    const NodeId probe = MaxCountAliveChild(anchor_);
     // AliveCount() > 1 plus the downward-closure invariant guarantee the
     // anchor still has an alive child.
-    AIGS_CHECK(pending_ != kInvalidNode);
-    return Query::ReachQuery(pending_);
+    AIGS_CHECK(probe != kInvalidNode);
+    return Query::ReachQuery(probe);
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
+    // Settle the automaton (an exhausted binary search falls back to the
+    // child scan) before routing the answer on the phase.
+    if (!plan_settled()) {
+      (void)PlanQuestion();
+    }
     if (phase_ == Phase::kChildScan) {
       if (yes) {
         state_.ApplyYes(q);
@@ -201,11 +206,12 @@ class WigsDagSession final : public SearchSession {
 
   DagSearchState state_;
   NodeId anchor_ = kInvalidNode;
-  Phase phase_ = Phase::kChildScan;
+  // Mutable: planning demotes an exhausted binary search to the child scan
+  // — a deterministic function of the answers applied so far.
+  mutable Phase phase_ = Phase::kChildScan;
   std::vector<NodeId> chain_;
   std::ptrdiff_t lo_ = 0;
   std::ptrdiff_t hi_ = 0;
-  NodeId pending_ = kInvalidNode;
 };
 
 }  // namespace

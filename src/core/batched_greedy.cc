@@ -21,25 +21,21 @@ class BatchedGreedyBfsSession final : public SearchSession {
         simulated_(h.graph()),
         scratch_(h.NumNodes()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (candidates_.alive_count() == 1) {
       return Query::Done(candidates_.SoleCandidate());
     }
-    if (pending_.empty()) {
-      SelectBatch();
-    }
-    return Query::ReachBatch(pending_);
+    return Query::ReachBatch(SelectBatch());
   }
 
-  void OnReachBatch(std::span<const NodeId> nodes,
-                    const std::vector<bool>& answers) override {
-    AIGS_CHECK(TryOnReachBatch(nodes, answers).ok() &&
+  void ApplyReachBatch(std::span<const NodeId> nodes,
+                       const std::vector<bool>& answers) override {
+    AIGS_CHECK(TryApplyReachBatch(nodes, answers).ok() &&
                "batch answers eliminated every candidate");
   }
 
-  Status TryOnReachBatch(std::span<const NodeId> nodes,
-                         const std::vector<bool>& answers) override {
-    AIGS_CHECK(nodes.size() == pending_.size());
+  Status TryApplyReachBatch(std::span<const NodeId> nodes,
+                            const std::vector<bool>& answers) override {
     AIGS_CHECK(answers.size() == nodes.size());
     const ReachabilityIndex& reach = hierarchy_->reach();
     // Intersect all answers: t survives iff Reaches(q_i, t) == answers[i]
@@ -67,37 +63,33 @@ class BatchedGreedyBfsSession final : public SearchSession {
     for (const NodeId t : to_kill) {
       candidates_.KillOne(t);
     }
-    pending_.clear();
     return Status::OK();
-  }
-
-  void OnReach(NodeId, bool) override {
-    AIGS_CHECK(false && "batched sessions only ask batch questions");
   }
 
  private:
   // Picks up to k questions: each is the middle point of the region that
   // remains after assuming "no" to the round's earlier picks. The member
   // scratch set is reset from the live one instead of copy-constructed.
-  void SelectBatch() {
-    pending_.clear();
+  std::vector<NodeId> SelectBatch() const {
+    std::vector<NodeId> batch;
     simulated_.ResetFrom(candidates_);
-    while (pending_.size() < questions_per_round_ &&
+    while (batch.size() < questions_per_round_ &&
            simulated_.alive_count() > 1) {
       const NodeId q = MiddlePointOf(simulated_);
       if (q == kInvalidNode) {
         break;
       }
-      pending_.push_back(q);
+      batch.push_back(q);
       simulated_.RemoveReachable(q);
     }
-    AIGS_CHECK(!pending_.empty());
+    AIGS_CHECK(!batch.empty());
+    return batch;
   }
 
   // Middle point over `set`: minimizes |2·w(R(v) ∩ set) − w(set)| among
   // nodes that actually split the set (0 < |R(v) ∩ set| < |set| by count),
   // so progress never stalls on zero-weight regions.
-  NodeId MiddlePointOf(CandidateSet& set) {
+  NodeId MiddlePointOf(CandidateSet& set) const {
     const Digraph& g = hierarchy_->graph();
     Weight total = 0;
     set.bits().ForEachSetBit(
@@ -134,9 +126,10 @@ class BatchedGreedyBfsSession final : public SearchSession {
   const std::vector<Weight>* weights_;
   std::size_t questions_per_round_;
   CandidateSet candidates_;
-  CandidateSet simulated_;
-  BfsScratch scratch_;
-  std::vector<NodeId> pending_;
+  // Planning scratch (round simulation + BFS) — memoized derived state,
+  // reset from `candidates_` on every plan.
+  mutable CandidateSet simulated_;
+  mutable BfsScratch scratch_;
 };
 
 // Fast backend: SplitWeightIndex state + a ResetFrom simulation scratch.
@@ -149,25 +142,22 @@ class BatchedGreedyIndexSession final : public SearchSession {
         state_(base),
         simulated_(base) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (state_.AliveCount() == 1) {
       return Query::Done(state_.Target());
     }
-    if (pending_.empty()) {
-      SelectBatch();
-    }
-    return Query::ReachBatch(pending_);
+    return Query::ReachBatch(SelectBatch());
   }
 
-  void OnReachBatch(std::span<const NodeId> nodes,
-                    const std::vector<bool>& answers) override {
-    AIGS_CHECK(TryOnReachBatch(nodes, answers).ok() &&
+  void ApplyReachBatch(std::span<const NodeId> nodes,
+                       const std::vector<bool>& answers) override {
+    AIGS_CHECK(TryApplyReachBatch(nodes, answers).ok() &&
                "batch answers eliminated every candidate");
   }
 
-  Status TryOnReachBatch(std::span<const NodeId> nodes,
-                         const std::vector<bool>& answers) override {
-    AIGS_CHECK(nodes.size() == pending_.size());
+  Status TryApplyReachBatch(std::span<const NodeId> nodes,
+                            const std::vector<bool>& answers) override {
+    AIGS_CHECK(answers.size() == nodes.size());
     // Fold the round into the simulation scratch first — one bitset
     // intersection / Euler-range operation per question — so mutually
     // inconsistent answers can be rejected without touching the session.
@@ -179,34 +169,31 @@ class BatchedGreedyIndexSession final : public SearchSession {
           "candidate");
     }
     state_.ResetFrom(simulated_);
-    pending_.clear();
     return Status::OK();
   }
 
-  void OnReach(NodeId, bool) override {
-    AIGS_CHECK(false && "batched sessions only ask batch questions");
-  }
-
  private:
-  void SelectBatch() {
-    pending_.clear();
+  std::vector<NodeId> SelectBatch() const {
+    std::vector<NodeId> batch;
     simulated_.ResetFrom(state_);
-    while (pending_.size() < questions_per_round_ &&
+    while (batch.size() < questions_per_round_ &&
            simulated_.AliveCount() > 1) {
       const MiddlePoint mp = simulated_.FindSplittingMiddlePoint();
       if (mp.node == kInvalidNode) {
         break;
       }
-      pending_.push_back(mp.node);
+      batch.push_back(mp.node);
       simulated_.ApplyNo(mp.node);
     }
-    AIGS_CHECK(!pending_.empty());
+    AIGS_CHECK(!batch.empty());
+    return batch;
   }
 
   std::size_t questions_per_round_;
   SplitWeightIndex state_;
-  SplitWeightIndex simulated_;
-  std::vector<NodeId> pending_;
+  // Round-simulation scratch — memoized derived state, reset from `state_`
+  // before every use (both planning and batch validation).
+  mutable SplitWeightIndex simulated_;
 };
 
 }  // namespace

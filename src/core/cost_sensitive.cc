@@ -10,19 +10,14 @@ class CostSensitiveSession final : public SearchSession {
   CostSensitiveSession(const SplitWeightBase& base, const CostModel& costs)
       : state_(base), costs_(&costs) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (state_.AliveCount() == 1) {
       return Query::Done(state_.Target());
     }
-    if (pending_ == kInvalidNode) {
-      pending_ = SelectQueryNode();
-    }
-    return Query::ReachQuery(pending_);
+    return Query::ReachQuery(SelectQueryNode());
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
     if (yes) {
       state_.ApplyYes(q);
     } else {
@@ -37,7 +32,7 @@ class CostSensitiveSession final : public SearchSession {
   // trees, O(n/64) on DAGs) instead of a session overlay. Enumeration order
   // is mode-dependent, so ties break explicitly toward the smaller node id —
   // the same winner the ascending-id scan picked.
-  NodeId SelectQueryNode() {
+  NodeId SelectQueryNode() const {
     const NodeId r = state_.root();
     const Weight total = state_.TotalAlive();
     NodeId best = kInvalidNode;
@@ -65,7 +60,6 @@ class CostSensitiveSession final : public SearchSession {
 
   SplitWeightIndex state_;
   const CostModel* costs_;
-  NodeId pending_ = kInvalidNode;
 };
 
 }  // namespace

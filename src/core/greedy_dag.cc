@@ -14,19 +14,14 @@ class GreedyDagSession final : public SearchSession {
         disable_pruning_(disable_pruning),
         visited_(base.hierarchy().NumNodes()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (state_.AliveCount() == 1) {
       return Query::Done(state_.Target());
     }
-    if (pending_ == kInvalidNode) {
-      pending_ = SelectQueryNode();
-    }
-    return Query::ReachQuery(pending_);
+    return Query::ReachQuery(SelectQueryNode());
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
     if (yes) {
       state_.ApplyYes(q);
     } else {
@@ -38,7 +33,7 @@ class GreedyDagSession final : public SearchSession {
   // Algorithm 6 lines 4–11: BFS from the root over alive nodes; consider
   // every discovered child as a middle-point candidate, but only descend
   // below children that still dominate half the remaining weight.
-  NodeId SelectQueryNode() {
+  NodeId SelectQueryNode() const {
     const Digraph& g = state_.graph();
     const NodeId r = state_.root();
     const Weight total = state_.TotalAlive();
@@ -79,9 +74,9 @@ class GreedyDagSession final : public SearchSession {
 
   DagSearchState state_;
   bool disable_pruning_;
-  NodeId pending_ = kInvalidNode;
-  EpochMarker visited_;
-  std::vector<NodeId> queue_;
+  // BFS scratch for the planner — memoized, reset per plan.
+  mutable EpochMarker visited_;
+  mutable std::vector<NodeId> queue_;
 };
 
 }  // namespace

@@ -22,30 +22,38 @@ class GreedyNaiveBfsSession final : public SearchSession {
     }
   }
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (candidates_.alive_count() == 1) {
       return Query::Done(candidates_.SoleCandidate());
     }
-    if (pending_ == kInvalidNode) {
-      const MiddlePoint mp = FindMiddlePointNaive(
-          *graph_, candidates_, root_, *weights_, total_weight_, scratch_);
-      AIGS_CHECK(mp.node != kInvalidNode);
-      pending_ = mp.node;
-      pending_reach_weight_ = mp.reach_weight;
-    }
-    return Query::ReachQuery(pending_);
+    const MiddlePoint mp = FindMiddlePointNaive(
+        *graph_, candidates_, root_, *weights_, total_weight_, scratch_);
+    AIGS_CHECK(mp.node != kInvalidNode);
+    planned_node_ = mp.node;
+    planned_reach_weight_ = mp.reach_weight;
+    return Query::ReachQuery(mp.node);
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
+    // w(R(q) ∩ C): reuse the planner's value when this session planned q
+    // itself; recompute only for a cache-supplied question.
+    Weight reach_weight;
+    if (plan_settled() && planned_node_ == q) {
+      reach_weight = planned_reach_weight_;
+    } else {
+      reach_weight = 0;
+      scratch_.ForwardBfs(
+          *graph_, q,
+          [this](NodeId x) { return candidates_.IsAlive(x); },
+          [&](NodeId x) { reach_weight += (*weights_)[x]; });
+    }
     if (yes) {
       candidates_.RestrictToReachable(q);
       root_ = q;
-      total_weight_ = pending_reach_weight_;
+      total_weight_ = reach_weight;
     } else {
       candidates_.RemoveReachable(q);
-      total_weight_ -= pending_reach_weight_;
+      total_weight_ -= reach_weight;
     }
   }
 
@@ -53,11 +61,13 @@ class GreedyNaiveBfsSession final : public SearchSession {
   const Digraph* graph_;
   const std::vector<Weight>* weights_;
   CandidateSet candidates_;
-  BfsScratch scratch_;
+  mutable BfsScratch scratch_;
   NodeId root_;
   Weight total_weight_ = 0;
-  NodeId pending_ = kInvalidNode;
-  Weight pending_reach_weight_ = 0;
+  // Planner memo: the last planned pivot and its reach weight, so the
+  // common planned-locally path applies in O(1) extra work.
+  mutable NodeId planned_node_ = kInvalidNode;
+  mutable Weight planned_reach_weight_ = 0;
 };
 
 // Fast backend: incremental split weights + dominance-pruned selection.
@@ -67,19 +77,14 @@ class GreedyNaiveIndexSession final : public SearchSession {
   explicit GreedyNaiveIndexSession(const SplitWeightBase& base)
       : index_(base) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (index_.AliveCount() == 1) {
       return Query::Done(index_.Target());
     }
-    if (pending_ == kInvalidNode) {
-      pending_ = index_.FindMiddlePoint().node;
-    }
-    return Query::ReachQuery(pending_);
+    return Query::ReachQuery(index_.FindMiddlePoint().node);
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
     if (yes) {
       index_.ApplyYes(q);
     } else {
@@ -89,7 +94,6 @@ class GreedyNaiveIndexSession final : public SearchSession {
 
  private:
   SplitWeightIndex index_;
-  NodeId pending_ = kInvalidNode;
 };
 
 }  // namespace

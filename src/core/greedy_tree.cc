@@ -29,19 +29,14 @@ class GreedyTreeSession final : public SearchSession {
                     GreedyTreeOptions::ChildScan child_scan)
       : state_(base), child_scan_(child_scan) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (state_.CandidateCount() == 1) {
       return Query::Done(state_.Target());
     }
-    if (pending_ == kInvalidNode) {
-      pending_ = SelectQueryNode();
-    }
-    return Query::ReachQuery(pending_);
+    return Query::ReachQuery(SelectQueryNode());
   }
 
-  void OnReach(NodeId q, bool yes) override {
-    AIGS_CHECK(q == pending_);
-    pending_ = kInvalidNode;
+  void ApplyReach(NodeId q, bool yes) override {
     if (yes) {
       state_.ApplyYes(q);
     } else {
@@ -56,7 +51,7 @@ class GreedyTreeSession final : public SearchSession {
   // current node still dominates half the remaining weight; return the
   // better of the last two nodes visited. Never returns the current root
   // (its answer is known to be yes).
-  NodeId SelectQueryNode() {
+  NodeId SelectQueryNode() const {
     const NodeId r = state_.root();
     const Weight total = state_.SubtreeWeight(r);
     NodeId u = kInvalidNode;
@@ -89,7 +84,7 @@ class GreedyTreeSession final : public SearchSession {
   // A node is a leaf of the candidate tree when no descendant survives.
   bool IsSessionLeaf(NodeId v) const { return state_.SubtreeSize(v) == 1; }
 
-  NodeId MaxWeightAliveChild(NodeId v) {
+  NodeId MaxWeightAliveChild(NodeId v) const {
     return child_scan_ == GreedyTreeOptions::ChildScan::kLinear
                ? MaxChildLinear(v)
                : MaxChildHeap(v);
@@ -115,7 +110,7 @@ class GreedyTreeSession final : public SearchSession {
   // Lazy max-heap per visited node: entries carry the weight observed at
   // push time; stale tops (weights only ever decrease) are re-pushed with
   // their current weight until the top is fresh.
-  NodeId MaxChildHeap(NodeId v) {
+  NodeId MaxChildHeap(NodeId v) const {
     auto& heap = heaps_[v];
     if (!heap.initialized) {
       const Tree& tree = state_.base().tree();
@@ -151,8 +146,10 @@ class GreedyTreeSession final : public SearchSession {
 
   TreeSearchState state_;
   GreedyTreeOptions::ChildScan child_scan_;
-  NodeId pending_ = kInvalidNode;
-  NodeMap<LazyHeap> heaps_;
+  // Planner memoization: lazily-built per-node max-heaps over child subtree
+  // weights. Self-healing (stale tops re-check current weights on pop), so
+  // the heaps are derived state, never a source of nondeterminism.
+  mutable NodeMap<LazyHeap> heaps_;
 };
 
 }  // namespace

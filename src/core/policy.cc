@@ -2,22 +2,28 @@
 
 namespace aigs {
 
-void SearchSession::OnChoice(std::span<const NodeId> choices, int answer) {
+void SearchSession::ApplyReach(NodeId q, bool yes) {
+  (void)q;
+  (void)yes;
+  AIGS_CHECK(false && "this policy does not ask reachability questions");
+}
+
+void SearchSession::ApplyChoice(std::span<const NodeId> choices, int answer) {
   (void)choices;
   (void)answer;
   AIGS_CHECK(false && "this policy does not ask multiple-choice questions");
 }
 
-void SearchSession::OnReachBatch(std::span<const NodeId> nodes,
-                                 const std::vector<bool>& answers) {
+void SearchSession::ApplyReachBatch(std::span<const NodeId> nodes,
+                                    const std::vector<bool>& answers) {
   (void)nodes;
   (void)answers;
   AIGS_CHECK(false && "this policy does not ask batched questions");
 }
 
-Status SearchSession::TryOnReachBatch(std::span<const NodeId> nodes,
-                                      const std::vector<bool>& answers) {
-  OnReachBatch(nodes, answers);
+Status SearchSession::TryApplyReachBatch(std::span<const NodeId> nodes,
+                                         const std::vector<bool>& answers) {
+  ApplyReachBatch(nodes, answers);
   return Status::OK();
 }
 

@@ -52,34 +52,103 @@ struct Query {
 /// One interactive search for one hidden target. Implementations must be
 /// deterministic: the same answer sequence always produces the same queries
 /// (this is what makes a policy a decision tree, Definition 6).
+///
+/// The interface is split into a PLANNER and an APPLIER:
+///
+///  * PlanQuestion() is the pure planner — a const computation of the next
+///    question from the candidate state the applied answers left behind.
+///    "Pure" is enforced by const: a planner has no hidden mutable inputs.
+///    The `mutable` members some planners touch are memoization of state
+///    derived purely from the applied answers (BFS scratch, lazy heaps, the
+///    phase automata of the baselines) — recomputable at will, never a
+///    source of nondeterminism.
+///  * ApplyReach / ApplyChoice / ApplyReachBatch fold an answer for a given
+///    question into the candidate state. The question need NOT have been
+///    planned by this session: a service-layer plan cache can hand the
+///    engine a question another session's planner computed at the same
+///    transcript, and the applier folds its answer in without ever running
+///    the (possibly expensive) planner locally. Determinism guarantees the
+///    supplied question equals what PlanQuestion() would have returned.
+///
+/// Next()/OnReach/OnChoice/OnReachBatch are the memoizing convenience
+/// wrappers the in-process harness drives: Next() plans once and returns
+/// the same Query until an answer invalidates it.
 class SearchSession {
  public:
   virtual ~SearchSession() = default;
 
-  /// The pending question, or Done. Idempotent until an answer arrives.
-  virtual Query Next() = 0;
+  /// Pure planner: the pending question, or Done. Deterministic and
+  /// side-effect free (modulo memoized derived state; see above).
+  virtual Query PlanQuestion() const = 0;
 
-  /// Delivers the answer to the pending kReach query on `q`.
-  virtual void OnReach(NodeId q, bool yes) = 0;
+  /// The pending question, or Done. Plans at most once per answered step.
+  Query Next() {
+    if (!plan_valid_) {
+      planned_ = PlanQuestion();
+      plan_valid_ = true;
+    }
+    return planned_;
+  }
 
-  /// Delivers the answer to the pending kChoice query: `answer` is an index
-  /// into `choices`, or -1 for "none of these". Default: fatal (policies
-  /// that never ask choice questions).
-  virtual void OnChoice(std::span<const NodeId> choices, int answer);
+  /// Delivers the answer to the kReach question on `q` (the planned
+  /// question, whether planned locally or supplied by a plan cache).
+  void OnReach(NodeId q, bool yes) {
+    ApplyReach(q, yes);
+    plan_valid_ = false;
+  }
 
-  /// Delivers the answers to the pending kReachBatch query; answers[i]
-  /// corresponds to nodes[i]. Default: fatal (policies that never batch).
-  virtual void OnReachBatch(std::span<const NodeId> nodes,
-                            const std::vector<bool>& answers);
+  /// Delivers the answer to the kChoice question: `answer` is an index
+  /// into `choices`, or -1 for "none of these".
+  void OnChoice(std::span<const NodeId> choices, int answer) {
+    ApplyChoice(choices, answer);
+    plan_valid_ = false;
+  }
+
+  /// Delivers the answers to the kReachBatch question; answers[i]
+  /// corresponds to nodes[i].
+  void OnReachBatch(std::span<const NodeId> nodes,
+                    const std::vector<bool>& answers) {
+    ApplyReachBatch(nodes, answers);
+    plan_valid_ = false;
+  }
 
   /// Validating variant for untrusted callers (the service boundary): a
   /// batch whose answers are mutually inconsistent (no candidate survives
   /// all of them — possible from a buggy client or a noisy oracle) is
   /// rejected with InvalidArgument and the session state stays untouched,
-  /// instead of tripping the fatal consistency checks. Default forwards to
-  /// OnReachBatch (policies without content constraints).
-  virtual Status TryOnReachBatch(std::span<const NodeId> nodes,
-                                 const std::vector<bool>& answers);
+  /// instead of tripping the fatal consistency checks.
+  Status TryOnReachBatch(std::span<const NodeId> nodes,
+                         const std::vector<bool>& answers) {
+    const Status status = TryApplyReachBatch(nodes, answers);
+    if (status.ok()) {
+      plan_valid_ = false;
+    }
+    return status;
+  }
+
+ protected:
+  /// Appliers. Defaults are fatal (policies that never ask that question
+  /// kind); TryApplyReachBatch's default forwards to ApplyReachBatch
+  /// (policies without content constraints).
+  virtual void ApplyReach(NodeId q, bool yes);
+  virtual void ApplyChoice(std::span<const NodeId> choices, int answer);
+  virtual void ApplyReachBatch(std::span<const NodeId> nodes,
+                               const std::vector<bool>& answers);
+  virtual Status TryApplyReachBatch(std::span<const NodeId> nodes,
+                                    const std::vector<bool>& answers);
+
+  /// True when Next() already planned for the current state. Appliers whose
+  /// state transition depends on planner-derived structure (the phase
+  /// automata) use this to re-derive it only when the question arrived from
+  /// a plan cache without a local plan — the common in-process path settles
+  /// once, in Next().
+  bool plan_settled() const { return plan_valid_; }
+
+ private:
+  // The memoized plan. Mutated only by the public wrappers; appliers that
+  // need planner-derived state call PlanQuestion() themselves.
+  bool plan_valid_ = false;
+  Query planned_;
 };
 
 /// A search strategy factory. Thread-safe for concurrent NewSession() calls

@@ -209,11 +209,19 @@ void SplitWeightIndex::MaterializeAllAlive() {
 }
 
 void SplitWeightIndex::ApplyYes(NodeId q) {
+  // A batched round can apply a yes for an ancestor of an earlier yes of
+  // the same round (it adds no information). The root only ever moves DOWN
+  // (to nodes the current root reaches), preserving the invariant that
+  // every candidate is reachable from root() through alive nodes — which
+  // the rooted selection descents rely on.
+  const bool moves_down = base_->reach().Reaches(root_, q);
   if (euler_) {
     const std::uint32_t a =
         std::max(window_begin_, base_->reach().EulerBegin(q));
     const std::uint32_t b = std::min(window_end_, base_->reach().EulerEnd(q));
-    root_ = q;
+    if (moves_down) {
+      root_ = q;
+    }
     if (a >= b) {
       // R(q) is disjoint from the window: nothing survives.
       MarkWindowDead(window_begin_, window_begin_);
@@ -252,7 +260,9 @@ void SplitWeightIndex::ApplyYes(NodeId q) {
     alive_count_ = alive_.IntersectionCount(row);
     alive_.AndWith(row);
   }
-  root_ = q;
+  if (moves_down) {
+    root_ = q;
+  }
 }
 
 void SplitWeightIndex::ApplyNo(NodeId q) {
@@ -353,7 +363,58 @@ MiddlePoint SplitWeightIndex::FindSplittingMiddlePoint() const {
   const Weight total = total_alive_;
   const std::size_t count = alive_count_;
   MiddlePoint best;
-  const bool closure_fused = !euler_ && materialized_;
+
+  if (euler_) {
+    // Pruned/rooted descent (the PR-2 follow-up): instead of the flat scan
+    // over every alive candidate, BFS down from the current root. A node
+    // covering the whole candidate set (|R(v) ∩ C| = |C|) is a wasted
+    // question, but splitting nodes may sit below it, so it always expands;
+    // a splitting node expands under the same dominance rule as
+    // FindMiddlePoint (w > total − w, or it ties the best diff seen — an
+    // equal-weight descendant with a smaller id could win the tie-break).
+    // Subtree weights are non-increasing along alive paths, so a pruned
+    // splitting node's descendants all carry a strictly worse diff than the
+    // current best and can never become the (diff, id) argmin: the result
+    // is bit-identical to the flat scan. Post-yes intersection states win
+    // the most — their windows concentrate mass near the root, which is
+    // exactly where the dominance rule cuts the frontier.
+    const Digraph& g = base_->hierarchy().graph();
+    if (visited_.size() != g.NumNodes()) {
+      visited_.Resize(g.NumNodes());
+    }
+    visited_.NewEpoch();
+    queue_.clear();
+    queue_.push_back(root_);
+    visited_.Visit(root_);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId u = queue_[head];
+      for (const NodeId v : g.Children(u)) {
+        if (visited_.IsVisited(v) || !IsAlive(v)) {
+          continue;
+        }
+        visited_.Visit(v);
+        if (ReachCount(v) == count) {
+          queue_.push_back(v);  // covering: wasted question, keep descending
+          continue;
+        }
+        const Weight w = ReachWeight(v);
+        const Weight rest = total - w;
+        const Weight diff = w > rest ? w - rest : rest - w;
+        if (best.node == kInvalidNode || diff < best.split_diff ||
+            (diff == best.split_diff && v < best.node)) {
+          best.node = v;
+          best.split_diff = diff;
+          best.reach_weight = w;
+        }
+        if (w > rest || diff <= best.split_diff) {
+          queue_.push_back(v);
+        }
+      }
+    }
+    return best;
+  }
+
+  const bool closure_fused = materialized_;
   ForEachAlive([&](NodeId v) {
     // The count gates the "splits the set" requirement, the weight feeds
     // the diff. Materialized closure mode fuses both into one word scan;

@@ -36,9 +36,12 @@
 //    equal-weight descendant with a smaller id could win the tie-break).
 //    That rule provably enumerates every global minimizer, so the result is
 //    bit-identical to the naive full scan with its smallest-id tie-break.
-//  * FindSplittingMiddlePoint(): the batched variant — a flat scan over
-//    alive candidates that additionally requires |R(v) ∩ C| < |C| (a
-//    question whose yes-answer is certain is wasted).
+//  * FindSplittingMiddlePoint(): the batched variant — additionally
+//    requires |R(v) ∩ C| < |C| (a question whose yes-answer is certain is
+//    wasted). Euler mode uses a pruned/rooted descent (covering nodes
+//    always expand, splitting nodes expand under the FindMiddlePoint
+//    dominance rule); closure mode keeps the flat scan with the fused
+//    count+weight kernel.
 //
 // Both use the lexicographic (split_diff, node id) ordering, which matches
 // the reference scan's first-wins-in-id-order tie-break exactly; the
@@ -169,9 +172,11 @@ class SplitWeightIndex {
 
   // ---- answer application ---------------------------------------------------
 
-  /// Applies reach(q) = yes: candidates ← R(q) ∩ C, root ← q. `q` may
-  /// already be dead (batched rounds intersect answers for questions another
-  /// answer of the same round eliminated).
+  /// Applies reach(q) = yes: candidates ← R(q) ∩ C; root ← q when the
+  /// current root reaches q (the root only ever moves down — a batched
+  /// round may also answer yes for an ancestor, which adds no information).
+  /// `q` may already be dead (batched rounds intersect answers for
+  /// questions another answer of the same round eliminated).
   void ApplyYes(NodeId q);
 
   /// Applies reach(q) = no: candidates ← C \ R(q). Dead `q` allowed.
@@ -189,7 +194,9 @@ class SplitWeightIndex {
   MiddlePoint FindMiddlePoint() const;
 
   /// Middle point over alive candidates that split the set by count
-  /// (|R(v) ∩ C| < |C|), via a flat scan; kInvalidNode when none splits.
+  /// (|R(v) ∩ C| < |C|); kInvalidNode when none splits. Euler mode runs a
+  /// pruned/rooted descent, closure mode a fused-kernel flat scan; both are
+  /// bit-identical to a full (diff, id)-argmin scan.
   MiddlePoint FindSplittingMiddlePoint() const;
 
   const SplitWeightBase& base() const { return *base_; }

@@ -2,6 +2,26 @@
 
 namespace aigs {
 
+SessionAnswer AnswerFromOracle(const Query& query, Oracle& oracle) {
+  switch (query.kind) {
+    case Query::Kind::kReach:
+      return SessionAnswer::Reach(oracle.Reach(query.node));
+    case Query::Kind::kReachBatch: {
+      std::vector<bool> answers(query.choices.size());
+      for (std::size_t i = 0; i < query.choices.size(); ++i) {
+        answers[i] = oracle.Reach(query.choices[i]);
+      }
+      return SessionAnswer::Batch(std::move(answers));
+    }
+    case Query::Kind::kChoice:
+      return SessionAnswer::Choice(oracle.Choice(query.choices));
+    case Query::Kind::kDone:
+      break;
+  }
+  AIGS_CHECK(false && "no pending question to answer");
+  return SessionAnswer{};
+}
+
 SearchResult RunSearch(SearchSession& session, Oracle& oracle,
                        const RunOptions& options) {
   SearchResult result;
@@ -73,26 +93,22 @@ StatusOr<SearchResult> RunSearch(Engine& engine, SessionId id, Oracle& oracle,
         result.target = query.node;
         return result;
       case Query::Kind::kReach: {
-        const bool yes = oracle.Reach(query.node);
         ++result.reach_queries;
         result.priced_cost += options.cost_model != nullptr
                                   ? options.cost_model->CostOf(query.node)
                                   : 1;
-        AIGS_RETURN_NOT_OK(engine.Answer(id, SessionAnswer::Reach(yes)));
+        AIGS_RETURN_NOT_OK(engine.Answer(id, AnswerFromOracle(query, oracle)));
         break;
       }
       case Query::Kind::kReachBatch: {
-        std::vector<bool> answers(query.choices.size());
-        for (std::size_t i = 0; i < query.choices.size(); ++i) {
-          answers[i] = oracle.Reach(query.choices[i]);
+        for (const NodeId q : query.choices) {
           ++result.reach_queries;
-          result.priced_cost +=
-              options.cost_model != nullptr
-                  ? options.cost_model->CostOf(query.choices[i])
-                  : 1;
+          result.priced_cost += options.cost_model != nullptr
+                                    ? options.cost_model->CostOf(q)
+                                    : 1;
         }
         const Status applied =
-            engine.Answer(id, SessionAnswer::Batch(std::move(answers)));
+            engine.Answer(id, AnswerFromOracle(query, oracle));
         if (!applied.ok()) {
           if (options.tolerate_inconsistent_answers &&
               applied.code() == StatusCode::kInvalidArgument) {
@@ -104,10 +120,9 @@ StatusOr<SearchResult> RunSearch(Engine& engine, SessionId id, Oracle& oracle,
         break;
       }
       case Query::Kind::kChoice: {
-        const int answer = oracle.Choice(query.choices);
         ++result.choice_queries;
         result.choices_read += query.choices.size();
-        AIGS_RETURN_NOT_OK(engine.Answer(id, SessionAnswer::Choice(answer)));
+        AIGS_RETURN_NOT_OK(engine.Answer(id, AnswerFromOracle(query, oracle)));
         break;
       }
     }

@@ -49,6 +49,11 @@ struct RunOptions {
   bool tolerate_inconsistent_answers = false;
 };
 
+/// Answers one pending (non-done) query by consulting `oracle` — the
+/// oracle-to-SessionAnswer mapping every engine-driving loop shares
+/// (RunSearch below, the bench suites, the service tests).
+SessionAnswer AnswerFromOracle(const Query& query, Oracle& oracle);
+
 /// Drives `session` against `oracle` to completion.
 SearchResult RunSearch(SearchSession& session, Oracle& oracle,
                        const RunOptions& options = {});

@@ -10,7 +10,7 @@ class ScriptedSession final : public SearchSession {
   ScriptedSession(const Hierarchy& h, const std::vector<NodeId>& script)
       : hierarchy_(&h), script_(&script), candidates_(h.graph()) {}
 
-  Query Next() override {
+  Query PlanQuestion() const override {
     if (candidates_.alive_count() == 1) {
       return Query::Done(candidates_.SoleCandidate());
     }
@@ -25,7 +25,13 @@ class ScriptedSession final : public SearchSession {
     return Query::Done(kInvalidNode);
   }
 
-  void OnReach(NodeId q, bool yes) override {
+  void ApplyReach(NodeId q, bool yes) override {
+    // Settle the script cursor past uninformative questions first: an
+    // answer may arrive without this session ever having planned (the
+    // question came from a shared plan cache).
+    if (!plan_settled()) {
+      (void)PlanQuestion();
+    }
     AIGS_CHECK(index_ < script_->size() && (*script_)[index_] == q);
     ++index_;
     // Intersect through the reachability index rather than a BFS from q:
@@ -62,7 +68,10 @@ class ScriptedSession final : public SearchSession {
   const Hierarchy* hierarchy_;
   const std::vector<NodeId>* script_;
   CandidateSet candidates_;
-  std::size_t index_ = 0;
+  // Script cursor. Mutable because planning advances it past questions
+  // whose answers are already determined — a pure function of the applied
+  // answers (the skipped prefix is the same no matter when it is skipped).
+  mutable std::size_t index_ = 0;
 };
 
 }  // namespace

@@ -22,7 +22,8 @@ const char* KindName(Query::Kind kind) {
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : sessions_(std::move(options.sessions)) {}
+    : plan_cache_options_(options.plan_cache),
+      sessions_(std::move(options.sessions)) {}
 
 StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
     CatalogConfig config) {
@@ -32,6 +33,12 @@ StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
       CatalogSnapshot::Build(std::move(config), next_epoch_));
   ++next_epoch_;
   snapshot_ = snapshot;
+  // A fresh epoch gets a fresh plan trie; the old one retires with the old
+  // snapshot's refcount as its sessions drain, so a publish invalidates
+  // every stale plan without any flush or version check on the hot path.
+  plan_cache_ = plan_cache_options_.enabled
+                    ? std::make_shared<PlanCache>(plan_cache_options_)
+                    : nullptr;
   return snapshot;
 }
 
@@ -45,18 +52,39 @@ std::uint64_t Engine::epoch() const {
   return snapshot_ == nullptr ? 0 : snapshot_->epoch();
 }
 
+void Engine::CurrentEpochState(
+    std::shared_ptr<const CatalogSnapshot>* snap,
+    std::shared_ptr<PlanCache>* cache) const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  *snap = snapshot_;
+  *cache = plan_cache_;
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> Engine::BuildSession(
+    std::shared_ptr<const CatalogSnapshot> snap,
+    std::shared_ptr<PlanCache> cache, const std::string& policy_spec) {
+  AIGS_ASSIGN_OR_RETURN(const Policy* policy, snap->PolicyFor(policy_spec));
+  auto session = std::make_shared<ServiceSession>();
+  session->snapshot = std::move(snap);
+  session->policy_spec = policy_spec;
+  session->policy = policy;
+  session->plan_cache = std::move(cache);
+  session->search = policy->NewSession();
+  session->plan_key = policy_spec + '\n';
+  return session;
+}
+
 StatusOr<SessionId> Engine::Open(const std::string& policy_spec) {
-  const std::shared_ptr<const CatalogSnapshot> snap = snapshot();
+  std::shared_ptr<const CatalogSnapshot> snap;
+  std::shared_ptr<PlanCache> cache;
+  CurrentEpochState(&snap, &cache);
   if (snap == nullptr) {
     return Status::FailedPrecondition(
         "no catalog snapshot published yet — call Publish first");
   }
-  AIGS_ASSIGN_OR_RETURN(const Policy* policy, snap->PolicyFor(policy_spec));
-  auto session = std::make_shared<ServiceSession>();
-  session->snapshot = snap;
-  session->policy_spec = policy_spec;
-  session->policy = policy;
-  session->search = policy->NewSession();
+  AIGS_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServiceSession> session,
+      BuildSession(std::move(snap), std::move(cache), policy_spec));
   return sessions_.Insert(std::move(session));
 }
 
@@ -64,18 +92,46 @@ StatusOr<std::shared_ptr<ServiceSession>> Engine::FindSession(SessionId id) {
   return sessions_.Find(id);
 }
 
+Query Engine::ResolvePending(ServiceSession& session) {
+  if (session.has_pending) {
+    return session.pending;
+  }
+  Query query;
+  PlanCache* cache = session.plan_cache.get();
+  if (cache != nullptr &&
+      session.transcript.size() <= cache->options().max_depth) {
+    if (std::optional<Query> hit = cache->Lookup(session.plan_key)) {
+      // Warm path: the question was planned once by some session at this
+      // (policy, transcript) prefix, so Ask skips the planner here. (The
+      // candidate-state policies skip it entirely; the phase-automata
+      // baselines still settle their derived state inside the applier —
+      // their planners are O(children) cheap, and the cache exists for the
+      // expensive middle-point planners.)
+      query = *std::move(hit);
+    } else {
+      query = session.search->Next();
+      cache->Insert(session.plan_key, query);
+    }
+  } else {
+    query = session.search->Next();
+  }
+  session.pending = query;
+  session.has_pending = true;
+  return query;
+}
+
 StatusOr<Query> Engine::Ask(SessionId id) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
-  return session->search->Next();
+  return ResolvePending(*session);
 }
 
 Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
-  const Query query = session->search->Next();
+  const Query query = ResolvePending(*session);
   if (query.kind == Query::Kind::kDone) {
     return Status::FailedPrecondition(
         "session " + std::to_string(id) +
@@ -126,6 +182,14 @@ Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
     case Query::Kind::kDone:
       AIGS_CHECK(false);  // handled above
   }
+  // Advance the cache key by this step's SessionCodec line — the trie edge
+  // from the old prefix to the new one — and drop the consumed plan. Past
+  // the depth cap the key is never read again, so stop growing it.
+  if (session->plan_cache != nullptr &&
+      session->transcript.size() < session->plan_cache->options().max_depth) {
+    SessionCodec::AppendStepKey(step, &session->plan_key);
+  }
+  session->has_pending = false;
   session->transcript.push_back(std::move(step));
   return Status::OK();
 }
@@ -145,7 +209,9 @@ StatusOr<std::string> Engine::Save(SessionId id) {
 StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
   AIGS_ASSIGN_OR_RETURN(const SerializedSession saved,
                         SessionCodec::Decode(serialized));
-  const std::shared_ptr<const CatalogSnapshot> snap = snapshot();
+  std::shared_ptr<const CatalogSnapshot> snap;
+  std::shared_ptr<PlanCache> cache;
+  CurrentEpochState(&snap, &cache);
   if (snap == nullptr) {
     return Status::FailedPrecondition(
         "no catalog snapshot published yet — call Publish first");
@@ -155,14 +221,9 @@ StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
         "saved session was recorded on a different catalog (fingerprint "
         "mismatch); replay would not be exact");
   }
-  AIGS_ASSIGN_OR_RETURN(const Policy* policy,
-                        snap->PolicyFor(saved.policy_spec));
-
-  auto session = std::make_shared<ServiceSession>();
-  session->snapshot = snap;
-  session->policy_spec = saved.policy_spec;
-  session->policy = policy;
-  session->search = policy->NewSession();
+  AIGS_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServiceSession> session,
+      BuildSession(std::move(snap), std::move(cache), saved.policy_spec));
 
   // Replay with verification: determinism (Definition 6) guarantees the
   // fresh session regenerates the recorded questions in order; any
@@ -170,6 +231,13 @@ StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
   for (std::size_t i = 0; i < saved.steps.size(); ++i) {
     const TranscriptStep& step = saved.steps[i];
     const Query query = session->search->Next();
+    // The replay already paid the planner; memoize its answer so bulk
+    // restores warm the trie exactly like Ask's miss path would.
+    if (session->plan_cache != nullptr &&
+        session->transcript.size() <=
+            session->plan_cache->options().max_depth) {
+      session->plan_cache->Insert(session->plan_key, query);
+    }
     const bool matches =
         query.kind == step.kind &&
         (query.kind == Query::Kind::kReach
@@ -202,11 +270,40 @@ StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
         return Status::InvalidArgument("saved transcript contains a 'done' "
                                        "step");
     }
+    if (session->plan_cache != nullptr &&
+        session->transcript.size() <
+            session->plan_cache->options().max_depth) {
+      SessionCodec::AppendStepKey(step, &session->plan_key);
+    }
     session->transcript.push_back(step);
   }
   return sessions_.Insert(std::move(session));
 }
 
 Status Engine::Close(SessionId id) { return sessions_.Erase(id); }
+
+std::shared_ptr<PlanCache> Engine::plan_cache() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return plan_cache_;
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats stats;
+  std::shared_ptr<PlanCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    stats.epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch();
+    cache = plan_cache_;
+  }
+  stats.sessions_by_epoch = sessions_.SessionsByEpoch();
+  for (const auto& [epoch, count] : stats.sessions_by_epoch) {
+    stats.live_sessions += count;
+  }
+  if (cache != nullptr) {
+    stats.plan_cache_enabled = true;
+    stats.plan_cache = cache->stats();
+  }
+  return stats;
+}
 
 }  // namespace aigs

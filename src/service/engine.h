@@ -22,6 +22,7 @@
 #define AIGS_SERVICE_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@
 
 #include "core/policy.h"
 #include "service/catalog_snapshot.h"
+#include "service/plan_cache.h"
 #include "service/session_codec.h"
 #include "service/session_manager.h"
 #include "util/status.h"
@@ -65,6 +67,23 @@ struct SessionAnswer {
 
 struct EngineOptions {
   SessionManagerOptions sessions;
+  /// The per-epoch question-plan trie behind Ask. Enabled by default: with
+  /// every policy a pure planner, cached and uncached engines emit
+  /// bit-identical transcripts, so the cache is purely a throughput knob.
+  PlanCacheOptions plan_cache;
+};
+
+/// Point-in-time operational counters (the serve REPL's `stats` command).
+struct EngineStats {
+  std::uint64_t epoch = 0;
+  std::size_t live_sessions = 0;
+  /// Live sessions keyed by the epoch they opened on (old epochs drain as
+  /// their sessions finish after a hot swap).
+  std::map<std::uint64_t, std::size_t> sessions_by_epoch;
+  /// Current epoch's plan-cache counters (zeros when disabled or before the
+  /// first Publish).
+  bool plan_cache_enabled = false;
+  PlanCacheStats plan_cache;
 };
 
 class Engine {
@@ -95,7 +114,10 @@ class Engine {
   StatusOr<SessionId> Open(const std::string& policy_spec);
 
   /// The pending question (or kDone carrying the identified target).
-  /// Idempotent; refreshes the session's TTL.
+  /// Idempotent; refreshes the session's TTL. Consults the epoch's plan
+  /// cache first — a warm common-prefix Ask is a hash walk, never a planner
+  /// run — and falls back to the session's pure planner on a miss
+  /// (populating the cache for every later session at the same prefix).
   StatusOr<Query> Ask(SessionId id);
 
   /// Applies an answer to the pending question. InvalidArgument when the
@@ -117,12 +139,40 @@ class Engine {
 
   SessionManager& sessions() { return sessions_; }
 
+  /// The current epoch's plan cache (null when disabled or before the first
+  /// Publish). Old epochs' caches live on in their sessions until those
+  /// drain.
+  std::shared_ptr<PlanCache> plan_cache() const;
+
+  /// Operational counters: epoch, session counts (total and per epoch), and
+  /// the current epoch's plan-cache hit/miss/evict numbers.
+  EngineStats Stats() const;
+
  private:
   StatusOr<std::shared_ptr<ServiceSession>> FindSession(SessionId id);
 
+  /// Atomically reads the current (snapshot, plan cache) pair.
+  void CurrentEpochState(std::shared_ptr<const CatalogSnapshot>* snap,
+                         std::shared_ptr<PlanCache>* cache) const;
+
+  /// Builds a fresh ServiceSession on `snap` for `policy_spec` — the one
+  /// place the snapshot/cache pairing and the plan-key seeding convention
+  /// live (Open and Resume both construct through here).
+  StatusOr<std::shared_ptr<ServiceSession>> BuildSession(
+      std::shared_ptr<const CatalogSnapshot> snap,
+      std::shared_ptr<PlanCache> cache, const std::string& policy_spec);
+
+  /// The session's pending question: the memoized one if Ask already
+  /// resolved it, else a cache hit, else the pure planner (whose answer is
+  /// then inserted for every later session at the same prefix). Caller
+  /// holds the session mutex.
+  Query ResolvePending(ServiceSession& session);
+
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const CatalogSnapshot> snapshot_;
+  std::shared_ptr<PlanCache> plan_cache_;
   std::uint64_t next_epoch_ = 1;
+  PlanCacheOptions plan_cache_options_;
   SessionManager sessions_;
 };
 

@@ -1,0 +1,102 @@
+#include "service/plan_cache.h"
+
+#include <functional>
+#include <utility>
+
+#include "util/common.h"
+
+namespace aigs {
+namespace {
+
+/// Approximate resident size of one entry: the key, the query's choice
+/// vector, and a flat allowance for the map node + LRU link overhead.
+constexpr std::size_t kEntryOverhead = 96;
+
+std::size_t EntryBytes(std::string_view key, const Query& query) {
+  return key.size() + query.choices.size() * sizeof(NodeId) + kEntryOverhead;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheOptions options)
+    : options_(options),
+      stripes_(options.num_stripes == 0 ? 1 : options.num_stripes) {
+  stripe_budget_ = options_.max_bytes / stripes_.size();
+  if (stripe_budget_ == 0) {
+    stripe_budget_ = 1;
+  }
+}
+
+PlanCache::Stripe& PlanCache::StripeFor(std::string_view key) {
+  // Remix before striping: the per-stripe map consumes the raw hash, and
+  // routing on `raw % stripes` would pin its low bits per stripe —
+  // degenerate bucket distribution on power-of-two hash tables.
+  std::size_t h = std::hash<std::string_view>{}(key);
+  h ^= h >> 33;
+  h *= 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  return stripes_[h % stripes_.size()];
+}
+
+std::optional<Query> PlanCache::Lookup(std::string_view key) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+  return it->second.query;
+}
+
+void PlanCache::Insert(std::string_view key, const Query& query) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  // Transparent existence check first: duplicate inserts (racing sibling
+  // sessions, Resume replays over a warm trie) must not pay a key copy.
+  if (const auto existing = stripe.entries.find(key);
+      existing != stripe.entries.end()) {
+    // Determinism makes both values identical, so only the recency changes.
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru,
+                      existing->second.lru_it);
+    return;
+  }
+  const auto [it, inserted] = stripe.entries.try_emplace(std::string(key));
+  AIGS_DCHECK(inserted);
+  it->second.query = query;
+  it->second.bytes = EntryBytes(key, query);
+  stripe.lru.push_front(&it->first);
+  it->second.lru_it = stripe.lru.begin();
+  stripe.bytes += it->second.bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+
+  // LRU eviction from the stripe tail. The freshly inserted entry is never
+  // evicted (a single oversized entry beats thrashing on every insert).
+  while (stripe.bytes > stripe_budget_ && stripe.entries.size() > 1) {
+    const std::string* victim_key = stripe.lru.back();
+    const auto victim = stripe.entries.find(*victim_key);
+    AIGS_DCHECK(victim != stripe.entries.end());
+    stripe.bytes -= victim->second.bytes;
+    stripe.lru.pop_back();
+    stripe.entries.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stats.entries += stripe.entries.size();
+    stats.bytes += stripe.bytes;
+  }
+  return stats;
+}
+
+}  // namespace aigs

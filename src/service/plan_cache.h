@@ -1,0 +1,145 @@
+// PlanCache — the shared per-epoch question-plan trie behind Engine::Ask.
+//
+// Every registry policy is deterministic given (catalog snapshot, answer
+// transcript): the question a session faces is a pure function of the
+// transcript prefix it has accumulated (Definition 6; PR 3's replay-verified
+// Resume pins this for every policy on trees and DAGs). A million sessions
+// answering the same first three questions therefore need the planner run
+// ONCE per distinct prefix — every other session can read the memoized
+// question. That is what this cache does: it memoizes the pure planner
+// (SearchSession::PlanQuestion) per (policy spec, transcript prefix) so the
+// common-prefix hot path of Engine::Ask degenerates to a hash walk. (The
+// win is for the expensive middle-point planners; the phase-automata
+// baselines re-derive their cheap O(children) plan in the applier even on
+// a hit.)
+//
+// Shape. The cache is a trie over answer transcripts: the root is the empty
+// transcript, an edge is one answered question (encoded exactly as the
+// SessionCodec transcript line — "reach 5 y", "batch 1+2 yn", ...), and
+// each node memoizes the question the policy asks at that prefix. The trie
+// is STORED FLAT: a node is one entry in a lock-striped hash map keyed by
+// the policy-spec-prefixed concatenation of its edge lines (sessions build
+// that key incrementally, one O(edge) append per answer). Flattening keeps
+// the concurrency and eviction story trivial — entries are independent, so
+// LRU eviction never has to maintain structural invariants, and a stripe
+// lock covers exactly one hash bucket region. A missing interior node is
+// just a miss: the planner fallback repopulates it.
+//
+// Lifecycle. An Engine creates one PlanCache per published CatalogSnapshot
+// and hands each session the cache of the epoch it opened on. An epoch
+// hot-swap simply stops handing out the old trie: it dies with its
+// snapshot's refcount when the last session on that epoch closes, so
+// online-learning publishes invalidate stale plans for free — there is no
+// cross-epoch key, no flush, no version check on the hot path.
+//
+// Budgeting. Each stripe owns max_bytes/num_stripes of the (approximate)
+// memory budget and evicts its least-recently-used entries when an insert
+// pushes it over — per-stripe strict LRU, globally LRU-ish. A depth cap
+// keeps long-tail transcripts (which nobody shares) from churning the
+// budget: the engine skips the cache entirely past max_depth answers.
+#ifndef AIGS_SERVICE_PLAN_CACHE_H_
+#define AIGS_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace aigs {
+
+struct PlanCacheOptions {
+  /// Master switch; a disabled engine never consults or populates a cache.
+  bool enabled = true;
+  /// Approximate memory budget over all stripes (keys + memoized queries).
+  std::size_t max_bytes = 32u << 20;
+  /// Transcript depth (answered questions) beyond which Ask bypasses the
+  /// cache — deep prefixes are effectively unique per session, so caching
+  /// them only churns the LRU.
+  std::size_t max_depth = 16;
+  /// Lock stripes. More stripes = less contention; the budget splits evenly
+  /// across them.
+  std::size_t num_stripes = 16;
+};
+
+/// Monotonic counters (hits/misses/evictions/inserts) plus a point-in-time
+/// size reading, surfaced through Engine::Stats and the serve REPL.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Concurrent, lock-striped, budgeted memo of transcript-prefix → question.
+/// All methods are thread-safe; Lookup/Insert lock exactly one stripe.
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The memoized question at `key`, refreshing its LRU position. Counts a
+  /// hit or a miss.
+  std::optional<Query> Lookup(std::string_view key);
+
+  /// Memoizes `query` at `key`, evicting LRU entries of the stripe while it
+  /// is over its budget share. Re-inserting an existing key only refreshes
+  /// it (determinism makes the value identical by construction).
+  void Insert(std::string_view key, const Query& query);
+
+  PlanCacheStats stats() const;
+  const PlanCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    Query query;
+    std::size_t bytes = 0;
+    // LRU position; the list stores pointers to the map's stable keys.
+    std::list<const std::string*>::iterator lru_it;
+  };
+  /// Transparent hashing so the hot-path Lookup never materializes a
+  /// std::string from the caller's string_view key.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view key) const {
+      return std::hash<std::string_view>{}(key);
+    }
+  };
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry, KeyHash, std::equal_to<>> entries;
+    std::list<const std::string*> lru;  // front = most recently used
+    std::size_t bytes = 0;
+  };
+
+  Stripe& StripeFor(std::string_view key);
+
+  PlanCacheOptions options_;
+  std::size_t stripe_budget_ = 0;
+  std::vector<Stripe> stripes_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+};
+
+}  // namespace aigs
+
+#endif  // AIGS_SERVICE_PLAN_CACHE_H_

@@ -55,29 +55,34 @@ std::string SessionCodec::Encode(const SerializedSession& session) {
   out += "policy " + session.policy_spec + "\n";
   out += "steps " + std::to_string(session.steps.size()) + "\n";
   for (const TranscriptStep& step : session.steps) {
-    switch (step.kind) {
-      case Query::Kind::kReach:
-        out += "reach " + std::to_string(step.nodes[0]) +
-               (step.yes ? " y\n" : " n\n");
-        break;
-      case Query::Kind::kReachBatch: {
-        std::string pattern;
-        for (const bool yes : step.batch_answers) {
-          pattern += yes ? 'y' : 'n';
-        }
-        out += "batch " + JoinNodes(step.nodes) + " " + pattern + "\n";
-        break;
-      }
-      case Query::Kind::kChoice:
-        out += "choice " + JoinNodes(step.nodes) + " " +
-               std::to_string(step.choice) + "\n";
-        break;
-      case Query::Kind::kDone:
-        AIGS_CHECK(false && "kDone never appears in a transcript");
-    }
+    AppendStepKey(step, &out);
   }
   out += "end\n";
   return out;
+}
+
+void SessionCodec::AppendStepKey(const TranscriptStep& step,
+                                 std::string* out) {
+  switch (step.kind) {
+    case Query::Kind::kReach:
+      *out += "reach " + std::to_string(step.nodes[0]) +
+              (step.yes ? " y\n" : " n\n");
+      break;
+    case Query::Kind::kReachBatch: {
+      std::string pattern;
+      for (const bool yes : step.batch_answers) {
+        pattern += yes ? 'y' : 'n';
+      }
+      *out += "batch " + JoinNodes(step.nodes) + " " + pattern + "\n";
+      break;
+    }
+    case Query::Kind::kChoice:
+      *out += "choice " + JoinNodes(step.nodes) + " " +
+              std::to_string(step.choice) + "\n";
+      break;
+    case Query::Kind::kDone:
+      AIGS_CHECK(false && "kDone never appears in a transcript");
+  }
 }
 
 StatusOr<SerializedSession> SessionCodec::Decode(const std::string& text) {

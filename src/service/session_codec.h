@@ -59,6 +59,12 @@ class SessionCodec {
   static std::string Encode(const SerializedSession& session);
   /// Rejects malformed input with InvalidArgument; never aborts.
   static StatusOr<SerializedSession> Decode(const std::string& text);
+
+  /// Appends the compact one-line encoding of `step` (exactly the line
+  /// Encode writes, newline-terminated) to `*out`. The service-layer
+  /// PlanCache keys its per-epoch trie with these lines, so cache keys and
+  /// saved transcripts share one encoding.
+  static void AppendStepKey(const TranscriptStep& step, std::string* out);
 };
 
 }  // namespace aigs

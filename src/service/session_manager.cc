@@ -84,4 +84,17 @@ std::size_t SessionManager::size() const {
   return total;
 }
 
+std::map<std::uint64_t, std::size_t> SessionManager::SessionsByEpoch() const {
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [id, entry] : shard.sessions) {
+      if (entry.session != nullptr && entry.session->snapshot != nullptr) {
+        ++counts[entry.session->snapshot->epoch()];
+      }
+    }
+  }
+  return counts;
+}
+
 }  // namespace aigs

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "core/policy.h"
 #include "service/catalog_snapshot.h"
+#include "service/plan_cache.h"
 #include "service/session_codec.h"
 #include "util/status.h"
 
@@ -41,10 +43,22 @@ struct ServiceSession {
   std::shared_ptr<const CatalogSnapshot> snapshot;
   std::string policy_spec;
   const Policy* policy = nullptr;
+  /// The plan trie of the epoch this session opened on (null when caching
+  /// is disabled). Held per session so an epoch hot-swap retires the old
+  /// trie together with its snapshot refcount.
+  std::shared_ptr<PlanCache> plan_cache;
 
   std::mutex mutex;
   std::unique_ptr<SearchSession> search;
   std::vector<TranscriptStep> transcript;
+  /// Incrementally-built cache key: policy spec + newline + one SessionCodec
+  /// line per answered step (the flattened trie path to this session's
+  /// position).
+  std::string plan_key;
+  /// The question Ask last resolved (from the cache or the planner), so the
+  /// matching Answer validates and applies without a second resolution.
+  Query pending;
+  bool has_pending = false;
 };
 
 struct SessionManagerOptions {
@@ -80,6 +94,11 @@ class SessionManager {
 
   /// Live session count (racy under concurrent mutation, exact when quiet).
   std::size_t size() const;
+
+  /// Live session counts keyed by the snapshot epoch each session opened on
+  /// (racy under concurrent mutation, exact when quiet). Surfaced through
+  /// Engine::Stats and the serve REPL's `stats` command.
+  std::map<std::uint64_t, std::size_t> SessionsByEpoch() const;
 
  private:
   struct Entry {

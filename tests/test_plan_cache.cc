@@ -1,0 +1,404 @@
+// PlanCache (PR 4): the shared per-epoch question-plan trie behind
+// Engine::Ask, and the pure-planner split it relies on.
+//  (1) cached and uncached engines emit bit-identical question transcripts
+//      for every registry policy on tree and DAG hierarchies (the hard
+//      guarantee that makes the cache a pure throughput knob);
+//  (2) hits actually happen: a second session at a shared prefix reads the
+//      trie instead of running the planner;
+//  (3) concurrent multi-session stress over one shared trie (run under
+//      ASan/TSan in CI);
+//  (4) eviction under a tiny memory budget keeps results exact and the
+//      resident size bounded;
+//  (5) an epoch hot-swap drops the old trie with its snapshot refcount —
+//      live sessions keep their epoch's plans, new sessions start cold;
+//  (6) the depth cap stops deep (unshared) prefixes from touching the trie;
+//  (7) PlanCache unit behavior: LRU order, counters, stats.
+#include "service/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/aigs.h"
+#include "eval/runner.h"
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+#include "service/engine.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+using RecordedQuery = std::pair<Query::Kind, std::vector<NodeId>>;
+
+std::vector<NodeId> QueryNodes(const Query& q) {
+  return q.kind == Query::Kind::kReach ? std::vector<NodeId>{q.node}
+                                       : q.choices;
+}
+
+/// Runs one search to completion, recording every asked question; returns
+/// the identified target.
+NodeId DriveToEnd(Engine& engine, SessionId id, Oracle& oracle,
+                  std::vector<RecordedQuery>* recorded) {
+  for (;;) {
+    const auto q = engine.Ask(id);
+    AIGS_CHECK(q.ok());
+    if (q->kind == Query::Kind::kDone) {
+      return q->node;
+    }
+    if (recorded != nullptr) {
+      recorded->emplace_back(q->kind, QueryNodes(*q));
+    }
+    const Status s = engine.Answer(id, AnswerFromOracle(*q, oracle));
+    AIGS_CHECK(s.ok());
+  }
+}
+
+struct CacheCase {
+  std::string name;
+  Hierarchy hierarchy;
+  Distribution distribution;
+};
+
+std::vector<CacheCase> CacheCases() {
+  std::vector<CacheCase> cases;
+  Rng rng(4242);
+  Hierarchy tree = MustBuild(RandomTree(48, rng));
+  Distribution tree_dist = ZipfRandomDistribution(tree.NumNodes(), 2.0, rng);
+  cases.push_back({"tree", std::move(tree), std::move(tree_dist)});
+  Hierarchy dag = MustBuild(RandomDag(48, rng, 0.4));
+  Distribution dag_dist = ZipfRandomDistribution(dag.NumNodes(), 2.0, rng);
+  cases.push_back({"dag", std::move(dag), std::move(dag_dist)});
+  return cases;
+}
+
+/// Every registry policy spec the hierarchy supports (mirrors
+/// test_service.cc; the scripted policy gets a complete question order).
+std::vector<std::string> SpecsFor(const Hierarchy& h) {
+  std::string full_order = "scripted:order=";
+  for (NodeId v = 0; v < h.NumNodes(); ++v) {
+    if (v == h.root()) {
+      continue;
+    }
+    if (full_order.back() != '=') {
+      full_order += '+';
+    }
+    full_order += std::to_string(v);
+  }
+  std::vector<std::string> specs = {
+      "greedy",         "greedy_dag",     "greedy_naive",
+      "naive",          "batched:k=3",    "cost_sensitive",
+      "migs",           "migs:ordered=true",
+      "wigs",           "top_down",       "topdown",
+      full_order,
+  };
+  if (h.is_tree()) {
+    specs.push_back("greedy_tree");
+    specs.push_back("greedy_tree:scan=heap");
+  }
+  return specs;
+}
+
+std::shared_ptr<const CostModel> SomeCosts(std::size_t n) {
+  Rng rng(7);
+  return std::make_shared<const CostModel>(
+      CostModel::UniformRandom(n, 1, 9, rng));
+}
+
+CatalogConfig ConfigFor(const CacheCase& c) {
+  CatalogConfig config;
+  config.hierarchy = UnownedHierarchy(c.hierarchy);
+  config.distribution = c.distribution;
+  config.cost_model = SomeCosts(c.hierarchy.NumNodes());
+  config.policy_specs = SpecsFor(c.hierarchy);
+  return config;
+}
+
+EngineOptions CachedOptions(PlanCacheOptions cache = {}) {
+  EngineOptions options;
+  options.plan_cache = cache;
+  return options;
+}
+
+EngineOptions UncachedOptions() {
+  EngineOptions options;
+  options.plan_cache.enabled = false;
+  return options;
+}
+
+// ---- (1) the hard guarantee: bit-identical transcripts ---------------------
+
+TEST(PlanCacheEquivalence, EveryPolicyEveryTargetTreeAndDag) {
+  for (const CacheCase& c : CacheCases()) {
+    Engine cached(CachedOptions());
+    Engine uncached(UncachedOptions());
+    ASSERT_TRUE(cached.Publish(ConfigFor(c)).ok());
+    ASSERT_TRUE(uncached.Publish(ConfigFor(c)).ok());
+    ASSERT_NE(cached.plan_cache(), nullptr);
+    ASSERT_EQ(uncached.plan_cache(), nullptr);
+    for (const std::string& spec : SpecsFor(c.hierarchy)) {
+      SCOPED_TRACE(c.name + "/" + spec);
+      for (NodeId target = 0; target < c.hierarchy.NumNodes(); ++target) {
+        ExactOracle oracle_a(c.hierarchy.reach(), target);
+        ExactOracle oracle_b(c.hierarchy.reach(), target);
+        auto id_a = cached.Open(spec);
+        auto id_b = uncached.Open(spec);
+        ASSERT_TRUE(id_a.ok() && id_b.ok());
+        std::vector<RecordedQuery> asked_cached, asked_uncached;
+        const NodeId found_cached =
+            DriveToEnd(cached, *id_a, oracle_a, &asked_cached);
+        const NodeId found_uncached =
+            DriveToEnd(uncached, *id_b, oracle_b, &asked_uncached);
+        ASSERT_EQ(asked_cached, asked_uncached) << "target " << target;
+        EXPECT_EQ(found_cached, target);
+        EXPECT_EQ(found_uncached, target);
+        EXPECT_TRUE(cached.Close(*id_a).ok());
+        EXPECT_TRUE(uncached.Close(*id_b).ok());
+      }
+    }
+    // Every target enumerated against every policy: the trie took real
+    // traffic, and the shared prefixes produced real hits.
+    const PlanCacheStats stats = cached.Stats().plan_cache;
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.inserts, 0u);
+  }
+}
+
+// ---- (2) hits happen at shared prefixes ------------------------------------
+
+TEST(PlanCache, SecondSessionAtSamePrefixHitsEveryStep) {
+  const CacheCase c = std::move(CacheCases().front());
+  Engine engine(CachedOptions());
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+
+  const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+  ExactOracle oracle_a(c.hierarchy.reach(), target);
+  auto first = engine.Open("greedy_naive");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(DriveToEnd(engine, *first, oracle_a, nullptr), target);
+
+  const PlanCacheStats after_first = engine.plan_cache()->stats();
+  // The first session misses at every depth (each Ask populates the trie).
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_GT(after_first.inserts, 0u);
+
+  // An identical second search walks the warm path end to end: same
+  // transcript, zero additional misses.
+  ExactOracle oracle_b(c.hierarchy.reach(), target);
+  auto second = engine.Open("greedy_naive");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(DriveToEnd(engine, *second, oracle_b, nullptr), target);
+  const PlanCacheStats after_second = engine.plan_cache()->stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.hits, 0u);
+}
+
+// ---- (3) concurrent stress over one shared trie ----------------------------
+
+TEST(PlanCache, ConcurrentSessionsShareOneTrie) {
+  const CacheCase c = std::move(CacheCases().front());
+  // A small budget keeps eviction in play while threads hammer the stripes.
+  PlanCacheOptions cache;
+  cache.max_bytes = 16u << 10;
+  cache.num_stripes = 4;
+  Engine engine(CachedOptions(cache));
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kSearchesPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      const std::vector<std::string> specs = {"greedy", "greedy_naive",
+                                              "batched:k=3", "wigs"};
+      for (int i = 0; i < kSearchesPerThread; ++i) {
+        const NodeId target =
+            static_cast<NodeId>(rng.UniformInt(c.hierarchy.NumNodes()));
+        ExactOracle oracle(c.hierarchy.reach(), target);
+        const auto id = engine.Open(specs[i % specs.size()]);
+        if (!id.ok()) {
+          ++failures;
+          return;
+        }
+        if (DriveToEnd(engine, *id, oracle, nullptr) != target) {
+          ++failures;
+        }
+        (void)engine.Close(*id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  const PlanCacheStats stats = engine.Stats().plan_cache;
+  EXPECT_GT(stats.hits, 0u);
+}
+
+// ---- (4) eviction under budget ---------------------------------------------
+
+TEST(PlanCache, EvictionKeepsResultsExactAndBytesBounded) {
+  const CacheCase c = std::move(CacheCases().front());
+  PlanCacheOptions cache;
+  cache.max_bytes = 4u << 10;  // a few dozen entries at most
+  cache.num_stripes = 2;
+  Engine engine(CachedOptions(cache));
+  Engine reference(UncachedOptions());
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  ASSERT_TRUE(reference.Publish(ConfigFor(c)).ok());
+
+  for (NodeId target = 0; target < c.hierarchy.NumNodes(); ++target) {
+    ExactOracle oracle_a(c.hierarchy.reach(), target);
+    ExactOracle oracle_b(c.hierarchy.reach(), target);
+    const auto id_a = engine.Open("greedy_naive");
+    const auto id_b = reference.Open("greedy_naive");
+    ASSERT_TRUE(id_a.ok() && id_b.ok());
+    std::vector<RecordedQuery> asked_evicting, asked_reference;
+    EXPECT_EQ(DriveToEnd(engine, *id_a, oracle_a, &asked_evicting), target);
+    EXPECT_EQ(DriveToEnd(reference, *id_b, oracle_b, &asked_reference),
+              target);
+    EXPECT_EQ(asked_evicting, asked_reference);
+  }
+  const PlanCacheStats stats = engine.Stats().plan_cache;
+  EXPECT_GT(stats.evictions, 0u);
+  // Per-stripe budgets are enforced up to one resident oversized entry.
+  EXPECT_LE(stats.bytes, cache.max_bytes + 512);
+}
+
+// ---- (5) epoch hot-swap drops the old trie ---------------------------------
+
+TEST(PlanCache, PublishStartsAFreshTrieAndOldSessionsKeepTheirs) {
+  const CacheCase c = std::move(CacheCases().front());
+  Engine engine(CachedOptions());
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  const std::shared_ptr<PlanCache> first_trie = engine.plan_cache();
+
+  // Warm epoch 1 with one full search and keep a live session on it.
+  const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+  ExactOracle warm_oracle(c.hierarchy.reach(), target);
+  auto warm = engine.Open("greedy_naive");
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(DriveToEnd(engine, *warm, warm_oracle, nullptr), target);
+  auto live = engine.Open("greedy_naive");
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(engine.Ask(*live).ok());
+  const PlanCacheStats first_stats = first_trie->stats();
+  EXPECT_GT(first_stats.inserts, 0u);
+
+  // Publish epoch 2: the engine swaps to an empty trie; the live session
+  // still holds epoch 1's (refcounted alongside its snapshot).
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  const std::shared_ptr<PlanCache> second_trie = engine.plan_cache();
+  ASSERT_NE(second_trie, nullptr);
+  EXPECT_NE(first_trie.get(), second_trie.get());
+  EXPECT_EQ(second_trie->stats().entries, 0u);
+
+  // Epoch bookkeeping: one session on epoch 1, new ones land on epoch 2.
+  auto fresh = engine.Open("greedy_naive");
+  ASSERT_TRUE(fresh.ok());
+  const EngineStats engine_stats = engine.Stats();
+  EXPECT_EQ(engine_stats.epoch, 2u);
+  EXPECT_EQ(engine_stats.sessions_by_epoch.at(1), 2u);  // warm + live
+  EXPECT_EQ(engine_stats.sessions_by_epoch.at(2), 1u);
+
+  // The live epoch-1 session still completes exactly — and its Asks only
+  // ever touch epoch 1's trie (epoch 2's counters stay untouched by it).
+  ExactOracle live_oracle(c.hierarchy.reach(), target);
+  const PlanCacheStats second_before = second_trie->stats();
+  EXPECT_EQ(DriveToEnd(engine, *live, live_oracle, nullptr), target);
+  EXPECT_EQ(second_trie->stats().hits + second_trie->stats().misses,
+            second_before.hits + second_before.misses);
+  EXPECT_GT(first_trie->stats().hits, first_stats.hits);
+}
+
+// ---- (6) depth cap ----------------------------------------------------------
+
+TEST(PlanCache, DepthCapBypassesTheTrieOnDeepPrefixes) {
+  const CacheCase c = std::move(CacheCases().front());
+  PlanCacheOptions cache;
+  cache.max_depth = 1;  // cache only the empty prefix and depth-1 prefixes
+  Engine engine(CachedOptions(cache));
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+
+  // top_down's transcript for a deep target is long; with the cap at 1,
+  // only prefixes of length <= 1 may enter the trie.
+  const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+  ExactOracle oracle(c.hierarchy.reach(), target);
+  auto id = engine.Open("top_down");
+  ASSERT_TRUE(id.ok());
+  std::vector<RecordedQuery> asked;
+  ASSERT_EQ(DriveToEnd(engine, *id, oracle, &asked), target);
+  ASSERT_GT(asked.size(), 2u) << "want a transcript deeper than the cap";
+  const PlanCacheStats stats = engine.plan_cache()->stats();
+  EXPECT_LE(stats.inserts, 2u);
+  EXPECT_LE(stats.entries, 2u);
+}
+
+// ---- (7) PlanCache unit behavior -------------------------------------------
+
+TEST(PlanCacheUnit, MissThenHitAndCounters) {
+  PlanCache cache(PlanCacheOptions{});
+  EXPECT_FALSE(cache.Lookup("greedy\n").has_value());
+  cache.Insert("greedy\n", Query::ReachQuery(5));
+  const auto hit = cache.Lookup("greedy\n");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, Query::Kind::kReach);
+  EXPECT_EQ(hit->node, 5u);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(PlanCacheUnit, LruEvictsColdEntriesFirst) {
+  PlanCacheOptions options;
+  options.max_bytes = 400;  // room for ~3 entries in the single stripe
+  options.num_stripes = 1;
+  PlanCache cache(options);
+  cache.Insert("a", Query::ReachQuery(1));
+  cache.Insert("b", Query::ReachQuery(2));
+  cache.Insert("c", Query::ReachQuery(3));
+  // Touch "a" so "b" is now the coldest, then insert until eviction.
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  cache.Insert("d", Query::ReachQuery(4));
+  cache.Insert("e", Query::ReachQuery(5));
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The refreshed entry outlived the cold one.
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+}
+
+TEST(PlanCacheUnit, ReinsertRefreshesWithoutDoubleCounting) {
+  PlanCacheOptions options;
+  options.num_stripes = 1;
+  PlanCache cache(options);
+  cache.Insert("k", Query::ReachQuery(1));
+  const std::size_t bytes = cache.stats().bytes;
+  cache.Insert("k", Query::ReachQuery(1));
+  EXPECT_EQ(cache.stats().bytes, bytes);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(PlanCacheUnit, BatchQueriesRoundTrip) {
+  PlanCache cache(PlanCacheOptions{});
+  cache.Insert("batched\nreach 3 y\n", Query::ReachBatch({7, 9, 11}));
+  const auto hit = cache.Lookup("batched\nreach 3 y\n");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, Query::Kind::kReachBatch);
+  EXPECT_EQ(hit->choices, (std::vector<NodeId>{7, 9, 11}));
+}
+
+}  // namespace
+}  // namespace aigs

@@ -35,26 +35,6 @@ std::vector<NodeId> QueryNodes(const Query& q) {
                                        : q.choices;
 }
 
-SessionAnswer AnswerFor(const Query& q, Oracle& oracle) {
-  switch (q.kind) {
-    case Query::Kind::kReach:
-      return SessionAnswer::Reach(oracle.Reach(q.node));
-    case Query::Kind::kReachBatch: {
-      std::vector<bool> answers(q.choices.size());
-      for (std::size_t i = 0; i < q.choices.size(); ++i) {
-        answers[i] = oracle.Reach(q.choices[i]);
-      }
-      return SessionAnswer::Batch(std::move(answers));
-    }
-    case Query::Kind::kChoice:
-      return SessionAnswer::Choice(oracle.Choice(q.choices));
-    case Query::Kind::kDone:
-      break;
-  }
-  AIGS_CHECK(false);
-  return SessionAnswer{};
-}
-
 /// Answers up to `max_steps` questions (all when max_steps is huge),
 /// recording each query; returns the identified target when the session
 /// finished, kInvalidNode otherwise.
@@ -69,7 +49,7 @@ NodeId Drive(Engine& engine, SessionId id, Oracle& oracle,
     if (recorded != nullptr) {
       recorded->emplace_back(q->kind, QueryNodes(*q));
     }
-    const Status s = engine.Answer(id, AnswerFor(*q, oracle));
+    const Status s = engine.Answer(id, AnswerFromOracle(*q, oracle));
     AIGS_CHECK(s.ok());
   }
   return kInvalidNode;

@@ -279,6 +279,75 @@ TEST(SplitWeightIndex, FindMiddlePointMatchesNaiveScanMidSearch) {
   }
 }
 
+TEST(SplitWeightIndex, FindSplittingMiddlePointMatchesFlatScan) {
+  // The Euler-mode pruned/rooted descent (PR-2 follow-up, landed in PR 4)
+  // must return exactly the flat scan's (diff, id) argmin over splitting
+  // candidates — including on post-yes intersection states reached through
+  // whole batched rounds, where a round may answer yes for an ancestor of
+  // another yes of the same round.
+  const auto flat_reference = [](const SplitWeightIndex& index) {
+    const Weight total = index.TotalAlive();
+    const std::size_t count = index.AliveCount();
+    MiddlePoint best;
+    index.ForEachAlive([&](NodeId v) {
+      if (index.ReachCount(v) == count) {
+        return;
+      }
+      const Weight w = index.ReachWeight(v);
+      const Weight rest = total - w;
+      const Weight diff = w > rest ? w - rest : rest - w;
+      if (best.node == kInvalidNode || diff < best.split_diff ||
+          (diff == best.split_diff && v < best.node)) {
+        best.node = v;
+        best.split_diff = diff;
+        best.reach_weight = w;
+      }
+    });
+    return best;
+  };
+
+  Rng rng(29);
+  for (int round = 0; round < 60; ++round) {
+    const bool dag = rng.Bernoulli(0.3);
+    const Hierarchy h = MustBuild(dag ? RandomDag(2 + rng.UniformInt(40),
+                                                  rng, 0.4)
+                                      : RandomTree(2 + rng.UniformInt(40),
+                                                   rng));
+    const auto weights = RandomWeights(h.NumNodes(), rng, 20, 0.5);
+    const SplitWeightBase base(h, weights);
+    const NodeId target =
+        static_cast<NodeId>(rng.UniformInt(h.NumNodes()));
+    SplitWeightIndex state(base);
+    SplitWeightIndex simulated(base);
+    int guard = 0;
+    while (state.AliveCount() > 1 && ++guard < 300) {
+      // One batched round of up to 3 questions, checking the descent
+      // against the flat scan at every pick of the round simulation.
+      std::vector<NodeId> batch;
+      simulated.ResetFrom(state);
+      while (batch.size() < 3 && simulated.AliveCount() > 1) {
+        const MiddlePoint fast = simulated.FindSplittingMiddlePoint();
+        const MiddlePoint reference = flat_reference(simulated);
+        ASSERT_EQ(fast.node, reference.node);
+        ASSERT_EQ(fast.split_diff, reference.split_diff);
+        ASSERT_EQ(fast.reach_weight, reference.reach_weight);
+        if (fast.node == kInvalidNode) {
+          break;
+        }
+        batch.push_back(fast.node);
+        simulated.ApplyNo(fast.node);
+      }
+      ASSERT_FALSE(batch.empty());
+      std::vector<bool> answers(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        answers[i] = h.reach().Reaches(batch[i], target);
+      }
+      state.ApplyBatch(batch, answers);
+      ASSERT_GT(state.AliveCount(), 0u);
+    }
+  }
+}
+
 // ---- full question-sequence equivalence ------------------------------------
 
 /// Records the full interaction transcript of a session: sequential queries

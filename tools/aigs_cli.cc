@@ -273,6 +273,8 @@ void ServeHelp() {
       "  resume <file>          restore a saved session (new id)\n"
       "  close <id>             discard a session\n"
       "  sessions               live session count\n"
+      "  stats                  per-epoch session counts + plan-cache "
+      "counters\n"
       "  epoch                  current snapshot epoch + fingerprint\n"
       "  publish <counts.txt>   load new counts, publish a new epoch\n"
       "  policies               prebuilt policy specs\n"
@@ -480,6 +482,30 @@ int CmdServe(const std::string& hierarchy_path,
       q.ok() ? PrintQuery(*hierarchy, *id, *q) : warn(q.status());
     } else if (command == "sessions") {
       std::printf("%zu live session(s)\n", engine.sessions().size());
+    } else if (command == "stats") {
+      const EngineStats s = engine.Stats();
+      std::printf("epoch %llu, %zu live session(s)\n",
+                  static_cast<unsigned long long>(s.epoch),
+                  s.live_sessions);
+      for (const auto& [epoch, count] : s.sessions_by_epoch) {
+        std::printf("  epoch %llu: %zu session(s)\n",
+                    static_cast<unsigned long long>(epoch), count);
+      }
+      if (!s.plan_cache_enabled) {
+        std::printf("plan cache: disabled\n");
+      } else {
+        const PlanCacheStats& c = s.plan_cache;
+        std::printf("plan cache: %llu hit(s), %llu miss(es), %llu "
+                    "eviction(s), %llu insert(s) — hit rate %.1f%%\n",
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<unsigned long long>(c.evictions),
+                    static_cast<unsigned long long>(c.inserts),
+                    100.0 * c.hit_rate());
+        std::printf("            %zu entr%s, ~%zu KiB resident\n",
+                    c.entries, c.entries == 1 ? "y" : "ies",
+                    c.bytes >> 10);
+      }
     } else if (command == "epoch") {
       const auto snap = engine.snapshot();
       std::printf("epoch %llu, catalog fingerprint %016llx\n",
