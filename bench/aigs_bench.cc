@@ -53,7 +53,7 @@ int List() {
   std::printf(
       "\nscenario fields: dataset=amazon|imagenet|vehicle|fig2|fig3; "
       "scale=frac;\n  dist=real|equal|uniform|exponential|zipf[:a]; "
-      "policy=<registry spec>;\n  cost=unit|uniform:lo:hi|fig3; "
+      "policy=<registry spec>;\n  cost=unit|uniform:lo:hi|depth:lo:hi|fig3; "
       "oracle=exact|noisy:p|persistent:p;\n  reps=n; "
       "samples=n (0=exact); threads=n; seed=n\n");
   return 0;

@@ -166,11 +166,33 @@ StatusOr<Distribution> MakeScenarioDistribution(const std::string& spec,
 }
 
 StatusOr<std::unique_ptr<CostModel>> MakeScenarioCostModel(
-    const std::string& spec, std::size_t n, Rng& rng) {
+    const std::string& spec, const Hierarchy& hierarchy, Rng& rng) {
+  const std::size_t n = hierarchy.NumNodes();
   const std::vector<std::string_view> parts = Split(spec, ':');
   const std::string kind(Trim(parts[0]));
   if (kind == "unit") {
     return std::unique_ptr<CostModel>();  // null = unit prices
+  }
+  if (kind == "depth") {
+    // Non-uniform per-node prices tied to the hierarchy's shape (Szyfelbein,
+    // arXiv:2603.17916): deeper questions are more specific and cost more,
+    // clamped to [lo, hi]. Deterministic, so the baseline guard can pin the
+    // resulting priced-cost aggregates.
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("cost model 'depth' needs depth:lo:hi");
+    }
+    AIGS_ASSIGN_OR_RETURN(const std::uint64_t lo, ParseUint64(parts[1]));
+    AIGS_ASSIGN_OR_RETURN(const std::uint64_t hi, ParseUint64(parts[2]));
+    if (lo < 1 || hi < lo) {
+      return Status::InvalidArgument("cost range must satisfy 1 <= lo <= hi");
+    }
+    std::vector<std::uint32_t> costs(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t depth =
+          static_cast<std::uint64_t>(hierarchy.graph().Depth(v));
+      costs[v] = static_cast<std::uint32_t>(lo + std::min(depth, hi - lo));
+    }
+    return std::make_unique<CostModel>(std::move(costs));
   }
   if (kind == "fig3") {
     if (n != 4) {
@@ -194,7 +216,7 @@ StatusOr<std::unique_ptr<CostModel>> MakeScenarioCostModel(
                                  static_cast<std::uint32_t>(hi), rng));
   }
   return Status::NotFound("unknown cost model '" + spec +
-                          "' (unit, uniform:lo:hi, fig3)");
+                          "' (unit, uniform:lo:hi, depth:lo:hi, fig3)");
 }
 
 StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
@@ -232,7 +254,7 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
         MakeScenarioDistribution(spec.distribution, *dataset, rng));
     AIGS_ASSIGN_OR_RETURN(
         std::unique_ptr<CostModel> owned_costs,
-        MakeScenarioCostModel(spec.cost_model, h.NumNodes(), rng));
+        MakeScenarioCostModel(spec.cost_model, h, rng));
     // Shared so the service path can pin the cost model in its snapshot.
     const std::shared_ptr<const CostModel> costs = std::move(owned_costs);
 

@@ -35,7 +35,9 @@ struct ScenarioSpec {
   std::string distribution = "real";
   /// PolicyRegistry spec, e.g. "greedy" or "migs:choices=0".
   std::string policy = "greedy";
-  /// unit | uniform:lo:hi (random integer prices in [lo, hi]).
+  /// unit | uniform:lo:hi (random integer prices in [lo, hi]) |
+  /// depth:lo:hi (deterministic per-node prices growing with node depth —
+  /// the Szyfelbein cost-generalized setting).
   std::string cost_model = "unit";
   /// exact | noisy:p | persistent:p — the oracle answering the questions.
   /// noisy flips each answer independently with probability p; persistent
@@ -104,8 +106,12 @@ StatusOr<Distribution> MakeScenarioDistribution(const std::string& spec,
                                                 Rng& rng);
 
 /// Materializes a cost-model spec; returns nullptr (unit prices) for "unit".
+/// "depth:lo:hi" prices a question by its node's depth — c(v) = lo +
+/// min(Depth(v), hi − lo), deterministic and per-node: the cost-generalized
+/// setting of Szyfelbein (arXiv:2603.17916), where deeper (more specific)
+/// questions cost more to verify.
 StatusOr<std::unique_ptr<CostModel>> MakeScenarioCostModel(
-    const std::string& spec, std::size_t n, Rng& rng);
+    const std::string& spec, const Hierarchy& hierarchy, Rng& rng);
 
 /// Runs one scenario end to end (registry lookup, reps, aggregation).
 StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,

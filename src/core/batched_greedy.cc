@@ -66,6 +66,23 @@ class BatchedGreedyBfsSession final : public SearchSession {
     return Status::OK();
   }
 
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    // The batch applier is already a pure intersection over arbitrary
+    // (node, answer) rounds, so an observed round from another epoch folds
+    // through the same validating path.
+    if (step.kind != Query::Kind::kReachBatch) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    for (const NodeId q : step.nodes) {
+      if (q >= hierarchy_->NumNodes()) {
+        return Status::OutOfRange("observed question node " +
+                                  std::to_string(q) +
+                                  " outside the hierarchy");
+      }
+    }
+    return TryApplyReachBatch(step.nodes, step.batch_answers);
+  }
+
  private:
   // Picks up to k questions: each is the middle point of the region that
   // remains after assuming "no" to the round's earlier picks. The member
@@ -170,6 +187,23 @@ class BatchedGreedyIndexSession final : public SearchSession {
     }
     state_.ResetFrom(simulated_);
     return Status::OK();
+  }
+
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    // ApplyBatch tolerates arbitrary (node, answer) rounds — dead nodes,
+    // down-only root moves — so the observed fold is the validating batch
+    // path itself.
+    if (step.kind != Query::Kind::kReachBatch) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    for (const NodeId q : step.nodes) {
+      if (q >= state_.base().hierarchy().NumNodes()) {
+        return Status::OutOfRange("observed question node " +
+                                  std::to_string(q) +
+                                  " outside the hierarchy");
+      }
+    }
+    return TryApplyReachBatch(step.nodes, step.batch_answers);
   }
 
  private:

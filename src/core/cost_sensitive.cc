@@ -25,6 +25,13 @@ class CostSensitiveSession final : public SearchSession {
     }
   }
 
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    return state_.TryApplyObservedReach(step.nodes[0], step.yes);
+  }
+
  private:
   // argmax over alive v != root of p(G_v∩C)·p(C\G_v)/c(v), compared by exact
   // 128-bit cross multiplication: a/ca > b/cb  <=>  a·cb > b·ca. The inside

@@ -29,6 +29,62 @@ class GreedyDagSession final : public SearchSession {
     }
   }
 
+  // Observed fold (cross-epoch migration): classify R(q) ∩ C through the
+  // reachability index first — DagSearchState's appliers require an alive
+  // q, which an observed question need not be.
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const Hierarchy& h = state_.base().hierarchy();
+    const NodeId q = step.nodes[0];
+    if (q >= h.NumNodes()) {
+      return Status::OutOfRange("observed question node " +
+                                std::to_string(q) +
+                                " outside the hierarchy");
+    }
+    const ReachabilityIndex& reach = h.reach();
+    std::size_t inside = 0;
+    state_.candidates().bits().ForEachSetBit([&](std::size_t raw) {
+      inside += reach.Reaches(q, static_cast<NodeId>(raw)) ? 1 : 0;
+    });
+    const std::size_t alive = state_.AliveCount();
+    if (step.yes) {
+      if (inside == 0) {
+        return Status::InvalidArgument(
+            "observed yes for node " + std::to_string(q) +
+            " would eliminate every candidate (inconsistent transcript)");
+      }
+      if (!state_.IsAlive(q)) {
+        if (inside == alive) {
+          return Status::OK();  // no information; keep the alive root
+        }
+        return Status::Unimplemented(
+            "observed yes for eliminated node " + std::to_string(q) +
+            " still splits the candidates");
+      }
+      if (q != state_.root()) {
+        state_.ApplyYes(q);
+      }
+      return Status::OK();
+    }
+    if (inside == 0) {
+      return Status::OK();  // already known
+    }
+    if (inside == alive) {
+      return Status::InvalidArgument(
+          "observed no for node " + std::to_string(q) +
+          " would eliminate every candidate (inconsistent transcript)");
+    }
+    if (!state_.IsAlive(q)) {
+      return Status::Unimplemented(
+          "observed no for eliminated node " + std::to_string(q) +
+          " still splits the candidates");
+    }
+    state_.ApplyNo(q);
+    return Status::OK();
+  }
+
  private:
   // Algorithm 6 lines 4–11: BFS from the root over alive nodes; consider
   // every discovered child as a middle-point candidate, but only descend

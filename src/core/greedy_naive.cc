@@ -11,7 +11,8 @@ namespace {
 class GreedyNaiveBfsSession final : public SearchSession {
  public:
   GreedyNaiveBfsSession(const Hierarchy& h, const std::vector<Weight>& weights)
-      : graph_(&h.graph()),
+      : hierarchy_(&h),
+        graph_(&h.graph()),
         weights_(&weights),
         candidates_(h.graph()),
         scratch_(h.NumNodes()),
@@ -57,7 +58,56 @@ class GreedyNaiveBfsSession final : public SearchSession {
     }
   }
 
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const NodeId q = step.nodes[0];
+    if (q >= hierarchy_->NumNodes()) {
+      return Status::OutOfRange("observed question node " +
+                                std::to_string(q) +
+                                " outside the hierarchy");
+    }
+    // Fold through the reachability index, not a BFS from q: an observed
+    // q may itself be eliminated (dead), where the alive-predicate BFS
+    // cannot start (same reasoning as ScriptedSession).
+    const ReachabilityIndex& reach = hierarchy_->reach();
+    std::vector<NodeId> to_kill;
+    Weight killed_weight = 0;
+    candidates_.bits().ForEachSetBit([&](std::size_t raw) {
+      const NodeId t = static_cast<NodeId>(raw);
+      if (reach.Reaches(q, t) != step.yes) {
+        to_kill.push_back(t);
+        killed_weight += (*weights_)[t];
+      }
+    });
+    if (to_kill.size() == candidates_.alive_count()) {
+      return Status::InvalidArgument(
+          "observed answer for node " + std::to_string(q) +
+          " would eliminate every candidate (inconsistent transcript)");
+    }
+    if (step.yes) {
+      if (!candidates_.IsAlive(q) && !to_kill.empty()) {
+        // A dead q whose yes still splits the candidates cannot come from
+        // a genuine same-hierarchy transcript; the rooted middle-point
+        // scan cannot survive a dead root, so refuse rather than guess.
+        return Status::Unimplemented(
+            "observed yes for eliminated node " + std::to_string(q) +
+            " still splits the candidates");
+      }
+      if (candidates_.IsAlive(q)) {
+        root_ = q;  // q alive ⇒ the old root reaches q ⇒ root moves down
+      }
+    }
+    for (const NodeId t : to_kill) {
+      candidates_.KillOne(t);
+    }
+    total_weight_ -= killed_weight;
+    return Status::OK();
+  }
+
  private:
+  const Hierarchy* hierarchy_;
   const Digraph* graph_;
   const std::vector<Weight>* weights_;
   CandidateSet candidates_;
@@ -90,6 +140,13 @@ class GreedyNaiveIndexSession final : public SearchSession {
     } else {
       index_.ApplyNo(q);
     }
+  }
+
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    return index_.TryApplyObservedReach(step.nodes[0], step.yes);
   }
 
  private:

@@ -46,6 +46,63 @@ class GreedyTreeSession final : public SearchSession {
     }
   }
 
+  // Observed fold (cross-epoch migration): normalize the question against
+  // the tree geometry before touching the state, so a question another
+  // epoch's planner picked never trips the descend-only invariants.
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const Tree& tree = state_.base().tree();
+    const NodeId q = step.nodes[0];
+    if (q >= tree.NumNodes()) {
+      return Status::OutOfRange("observed question node " +
+                                std::to_string(q) +
+                                " outside the hierarchy");
+    }
+    const NodeId r = state_.root();
+    if (q == r || tree.InSubtree(q, r)) {
+      // q is the root or an ancestor: yes is already known, no contradicts
+      // the earlier yes that moved the root here.
+      return step.yes ? Status::OK()
+                      : Status::InvalidArgument(
+                            "observed no for ancestor node " +
+                            std::to_string(q) +
+                            " contradicts the transcript so far");
+    }
+    if (!tree.InSubtree(r, q)) {
+      // Disjoint subtree: a tree target under r is never under q, so yes
+      // is inconsistent and no is free.
+      return step.yes ? Status::InvalidArgument(
+                            "observed yes for node " + std::to_string(q) +
+                            " outside the candidate subtree")
+                      : Status::OK();
+    }
+    // q lies strictly under the root; check whether an earlier no already
+    // removed it (walk the ancestor chain up to r — O(depth), replay only).
+    bool removed = false;
+    for (NodeId a = q; a != r && a != kInvalidNode; a = tree.Parent(a)) {
+      if (state_.IsRemovedTop(a)) {
+        removed = true;
+        break;
+      }
+    }
+    if (removed) {
+      return step.yes ? Status::InvalidArgument(
+                            "observed yes for node " + std::to_string(q) +
+                            " inside an eliminated subtree")
+                      : Status::OK();  // already known
+    }
+    if (step.yes) {
+      state_.ApplyYes(q);
+    } else {
+      // Removing T_q never empties the candidates: the root answered yes,
+      // so it stays a candidate outside T_q.
+      state_.ApplyNo(q);
+    }
+    return Status::OK();
+  }
+
  private:
   // Algorithm 4 lines 4–9: walk down the weighted heavy path while the
   // current node still dominates half the remaining weight; return the

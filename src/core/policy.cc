@@ -27,4 +27,33 @@ Status SearchSession::TryApplyReachBatch(std::span<const NodeId> nodes,
   return Status::OK();
 }
 
+Status SearchSession::TryApplyObserved(const TranscriptStep& step) {
+  // Centralized shape validation: overrides index step.nodes[0] etc., so a
+  // malformed step must never reach them (this wrapper is public API; the
+  // engine validates too, but direct library callers get the same guard).
+  const bool well_formed =
+      !step.nodes.empty() &&
+      ((step.kind == Query::Kind::kReach && step.nodes.size() == 1) ||
+       (step.kind == Query::Kind::kReachBatch &&
+        step.batch_answers.size() == step.nodes.size()) ||
+       (step.kind == Query::Kind::kChoice && step.choice >= -1 &&
+        step.choice < static_cast<int>(step.nodes.size())));
+  if (!well_formed) {
+    return Status::InvalidArgument(
+        "malformed observed step (wrong node/answer shape for its kind)");
+  }
+  const Status status = ApplyObservedStep(step);
+  if (status.ok()) {
+    plan_valid_ = false;
+  }
+  return status;
+}
+
+Status SearchSession::ApplyObservedStep(const TranscriptStep& step) {
+  (void)step;
+  return Status::Unimplemented(
+      "this policy cannot fold an answer for a question its planner did not "
+      "ask (phase-automaton state; divergent replay unsupported)");
+}
+
 }  // namespace aigs

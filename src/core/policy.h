@@ -49,6 +49,27 @@ struct Query {
   std::vector<NodeId> choices;
 };
 
+/// One answered question: what was asked and what the oracle said. The unit
+/// of session transcripts (SessionCodec), plan-cache trie edges, and
+/// divergence-tolerant replay (TryApplyObserved / Engine::Migrate).
+struct TranscriptStep {
+  Query::Kind kind = Query::Kind::kReach;
+  /// Queried node(s): one entry for kReach, the batch/choice lists
+  /// otherwise.
+  std::vector<NodeId> nodes;
+  bool yes = false;                 // kReach
+  std::vector<bool> batch_answers;  // kReachBatch
+  int choice = -1;                  // kChoice
+  /// Replay bookkeeping, not transcript content: true when this step's
+  /// question is NOT what the session's own planner would have asked at
+  /// that point (it was recorded on another catalog epoch and folded in by
+  /// TryApplyObserved). Excluded from plan-cache keys; preserved by
+  /// SessionCodec so migrated sessions keep their divergence history.
+  bool diverged = false;
+
+  bool operator==(const TranscriptStep& other) const = default;
+};
+
 /// One interactive search for one hidden target. Implementations must be
 /// deterministic: the same answer sequence always produces the same queries
 /// (this is what makes a policy a decision tree, Definition 6).
@@ -126,6 +147,30 @@ class SearchSession {
     return status;
   }
 
+  /// Divergence-tolerant applier for cross-epoch migration: folds the
+  /// answer of an OBSERVED step — a question recorded under another
+  /// epoch's weights that this session's planner would not necessarily ask
+  /// at its current state — into the candidate state. Unlike the Apply*
+  /// appliers (which rely on determinism to equal the local plan), the
+  /// step here may genuinely differ from PlanQuestion().
+  ///
+  /// The candidate-state policies (the greedy family, batched,
+  /// cost-sensitive) support this: a reachability answer is a fact about
+  /// the hidden target, valid under any distribution, so it folds into the
+  /// candidate set regardless of which planner asked it. The phase-automata
+  /// baselines (top-down, WIGS, MIGS, scripted) keep the conservative
+  /// default: Unimplemented, so migration of their sessions only succeeds
+  /// on the zero-divergence path.
+  ///
+  /// Returns InvalidArgument when the step is malformed (shape-validated
+  /// here, so overrides may assume a well-formed step) or the observed
+  /// answer is inconsistent with the candidate state (it would eliminate
+  /// every candidate — impossible for a genuine transcript on the same
+  /// hierarchy, so this flags a corrupted or cross-hierarchy blob), and
+  /// Unimplemented when this policy cannot absorb the step. The state is
+  /// untouched on failure.
+  Status TryApplyObserved(const TranscriptStep& step);
+
  protected:
   /// Appliers. Defaults are fatal (policies that never ask that question
   /// kind); TryApplyReachBatch's default forwards to ApplyReachBatch
@@ -136,6 +181,10 @@ class SearchSession {
                                const std::vector<bool>& answers);
   virtual Status TryApplyReachBatch(std::span<const NodeId> nodes,
                                     const std::vector<bool>& answers);
+  /// Observed-step applier behind TryApplyObserved. Default: Unimplemented
+  /// (divergent steps unsupported). Overrides must validate before
+  /// mutating — a failed fold leaves the state untouched.
+  virtual Status ApplyObservedStep(const TranscriptStep& step);
 
   /// True when Next() already planned for the current state. Appliers whose
   /// state transition depends on planner-derived structure (the phase

@@ -298,6 +298,44 @@ void SplitWeightIndex::ApplyNo(NodeId q) {
   alive_.AndNotWith(row);
 }
 
+Status SplitWeightIndex::TryApplyObservedReach(NodeId q, bool yes) {
+  if (q >= base_->hierarchy().NumNodes()) {
+    return Status::OutOfRange("observed question node " + std::to_string(q) +
+                              " outside the hierarchy");
+  }
+  const std::size_t inside = ReachCount(q);
+  const std::size_t alive = AliveCount();
+  if (yes) {
+    if (inside == 0) {
+      return Status::InvalidArgument(
+          "observed yes for node " + std::to_string(q) +
+          " would eliminate every candidate (inconsistent transcript)");
+    }
+    if (!IsAlive(q)) {
+      if (inside == alive) {
+        return Status::OK();  // no information; root must not move to q
+      }
+      return Status::Unimplemented(
+          "observed yes for eliminated node " + std::to_string(q) +
+          " still splits the candidates — not a same-hierarchy transcript");
+    }
+    ApplyYes(q);
+    return Status::OK();
+  }
+  if (inside == 0) {
+    return Status::OK();  // already known
+  }
+  if (inside == alive) {
+    return Status::InvalidArgument(
+        "observed no for node " + std::to_string(q) +
+        " would eliminate every candidate (inconsistent transcript)");
+  }
+  // ApplyNo tolerates an eliminated q (the root never moves on a no), so
+  // no aliveness restriction here.
+  ApplyNo(q);
+  return Status::OK();
+}
+
 void SplitWeightIndex::ApplyBatch(std::span<const NodeId> nodes,
                                   const std::vector<bool>& answers) {
   AIGS_CHECK(nodes.size() == answers.size());

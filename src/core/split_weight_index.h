@@ -58,6 +58,7 @@
 #include "util/bitset.h"
 #include "util/common.h"
 #include "util/epoch_marker.h"
+#include "util/status.h"
 
 namespace aigs {
 
@@ -200,6 +201,20 @@ class SplitWeightIndex {
   MiddlePoint FindSplittingMiddlePoint() const;
 
   const SplitWeightBase& base() const { return *base_; }
+
+  /// Divergence-tolerant fold of an observed reachability answer (a
+  /// question possibly planned under another epoch's weights — see
+  /// SearchSession::TryApplyObserved) into this index. A reachability
+  /// answer is a fact about the hidden target, so it folds into the
+  /// candidate set under any weights; this validates first and leaves the
+  /// state untouched on failure:
+  ///  * InvalidArgument when the answer would eliminate every candidate
+  ///    (inconsistent with the transcript so far);
+  ///  * Unimplemented when q was already eliminated yet the answer still
+  ///    splits the candidates (never produced by a genuine same-hierarchy
+  ///    transcript — the rooted descents cannot survive a dead root);
+  ///  * otherwise applies, moving the root only downward (ApplyYes rule).
+  Status TryApplyObservedReach(NodeId q, bool yes);
   const Hierarchy& hierarchy() const { return base_->hierarchy(); }
   const std::vector<Weight>& weights() const { return base_->weights(); }
 

@@ -17,8 +17,7 @@ void FnvMix(std::uint64_t& h, std::uint64_t value) {
   }
 }
 
-std::uint64_t Fingerprint(const Hierarchy& hierarchy,
-                          const Distribution& dist) {
+std::uint64_t HierarchyFingerprint(const Hierarchy& hierarchy) {
   std::uint64_t h = kFnvOffset;
   FnvMix(h, hierarchy.NumNodes());
   FnvMix(h, hierarchy.NumEdges());
@@ -28,6 +27,15 @@ std::uint64_t Fingerprint(const Hierarchy& hierarchy,
       FnvMix(h, (static_cast<std::uint64_t>(u) << 32) | v);
     }
   }
+  return h;
+}
+
+/// Continues the hierarchy digest over the weights — the combined value is
+/// byte-for-byte the pre-split fingerprint, so existing saved blobs keep
+/// resuming.
+std::uint64_t Fingerprint(std::uint64_t hierarchy_digest,
+                          const Distribution& dist) {
+  std::uint64_t h = hierarchy_digest;
   for (NodeId v = 0; v < dist.size(); ++v) {
     FnvMix(h, dist.WeightOf(v));
   }
@@ -58,7 +66,9 @@ StatusOr<std::shared_ptr<const CatalogSnapshot>> CatalogSnapshot::Build(
   auto snapshot = std::shared_ptr<CatalogSnapshot>(new CatalogSnapshot());
   snapshot->config_ = std::move(config);
   snapshot->epoch_ = epoch;
-  snapshot->fingerprint_ = Fingerprint(*snapshot->config_.hierarchy,
+  snapshot->hierarchy_fingerprint_ =
+      HierarchyFingerprint(*snapshot->config_.hierarchy);
+  snapshot->fingerprint_ = Fingerprint(snapshot->hierarchy_fingerprint_,
                                        snapshot->config_.distribution);
 
   PolicyContext context;

@@ -74,12 +74,21 @@ class CatalogSnapshot {
   /// the catalog it was recorded on (policy determinism, Definition 6).
   std::uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Digest of the hierarchy structure alone. Cross-epoch migration checks
+  /// this instead of fingerprint(): replay-with-divergence is sound under
+  /// changed WEIGHTS (answers are facts about the target), but a changed
+  /// node space makes recorded node ids meaningless.
+  std::uint64_t hierarchy_fingerprint() const {
+    return hierarchy_fingerprint_;
+  }
+
  private:
   CatalogSnapshot() = default;
 
   CatalogConfig config_;
   std::uint64_t epoch_ = 0;
   std::uint64_t fingerprint_ = 0;
+  std::uint64_t hierarchy_fingerprint_ = 0;
   std::map<std::string, std::unique_ptr<Policy>> policies_;
 };
 

@@ -19,26 +19,120 @@ const char* KindName(Query::Kind kind) {
   return "?";
 }
 
+/// True iff `planned` poses exactly the question `step` records (the
+/// answer is data, not part of the match).
+bool QuestionMatchesStep(const Query& planned, const TranscriptStep& step) {
+  if (planned.kind != step.kind) {
+    return false;
+  }
+  return planned.kind == Query::Kind::kReach
+             ? (step.nodes.size() == 1 && planned.node == step.nodes[0])
+             : planned.choices == step.nodes;
+}
+
+/// Shape validation for replayed steps — adversarial blobs must fail with
+/// a Status before any applier sees them.
+Status ValidateStepShape(const TranscriptStep& step, std::size_t num_nodes,
+                         std::size_t index) {
+  const std::string at = " (step " + std::to_string(index) + ")";
+  if (step.nodes.empty()) {
+    return Status::InvalidArgument("transcript step names no nodes" + at);
+  }
+  for (const NodeId v : step.nodes) {
+    if (v >= num_nodes) {
+      return Status::OutOfRange("transcript node " + std::to_string(v) +
+                                " outside the current hierarchy" + at);
+    }
+  }
+  switch (step.kind) {
+    case Query::Kind::kReach:
+      if (step.nodes.size() != 1) {
+        return Status::InvalidArgument("reach step with " +
+                                       std::to_string(step.nodes.size()) +
+                                       " nodes" + at);
+      }
+      break;
+    case Query::Kind::kReachBatch:
+      if (step.batch_answers.size() != step.nodes.size()) {
+        return Status::InvalidArgument("batch step with mismatched answer "
+                                       "count" + at);
+      }
+      break;
+    case Query::Kind::kChoice:
+      if (step.choice < -1 ||
+          step.choice >= static_cast<int>(step.nodes.size())) {
+        return Status::OutOfRange("choice answer outside [-1, " +
+                                  std::to_string(step.nodes.size()) + ")" +
+                                  at);
+      }
+      break;
+    case Query::Kind::kDone:
+      return Status::InvalidArgument("transcript contains a 'done' step" +
+                                     at);
+  }
+  return Status::OK();
+}
+
+/// Applies a step whose question the session's planner just reproduced —
+/// the exact-replay path (identical to the live Answer switch).
+Status ApplyMatchedStep(SearchSession& search, const TranscriptStep& step) {
+  switch (step.kind) {
+    case Query::Kind::kReach:
+      search.OnReach(step.nodes[0], step.yes);
+      return Status::OK();
+    case Query::Kind::kReachBatch:
+      // A crafted blob may contain an inconsistent round the live engine
+      // would have rejected; reject it here the same way.
+      return search.TryOnReachBatch(step.nodes, step.batch_answers);
+    case Query::Kind::kChoice:
+      search.OnChoice(step.nodes, step.choice);
+      return Status::OK();
+    case Query::Kind::kDone:
+      break;  // excluded by ValidateStepShape
+  }
+  AIGS_CHECK(false);
+  return Status::Internal("unreachable");
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : plan_cache_options_(options.plan_cache),
-      sessions_(std::move(options.sessions)) {}
+    : options_(options), sessions_(std::move(options.sessions)) {}
 
 StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
     CatalogConfig config) {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  AIGS_ASSIGN_OR_RETURN(
-      std::shared_ptr<const CatalogSnapshot> snapshot,
-      CatalogSnapshot::Build(std::move(config), next_epoch_));
-  ++next_epoch_;
-  snapshot_ = snapshot;
-  // A fresh epoch gets a fresh plan trie; the old one retires with the old
-  // snapshot's refcount as its sessions drain, so a publish invalidates
-  // every stale plan without any flush or version check on the hot path.
-  plan_cache_ = plan_cache_options_.enabled
-                    ? std::make_shared<PlanCache>(plan_cache_options_)
-                    : nullptr;
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+  std::shared_ptr<PlanCache> cache;
+  std::shared_ptr<const CatalogSnapshot> old_snapshot;
+  std::shared_ptr<PlanCache> old_cache;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    AIGS_ASSIGN_OR_RETURN(
+        snapshot, CatalogSnapshot::Build(std::move(config), next_epoch_));
+    ++next_epoch_;
+    old_snapshot = std::exchange(snapshot_, snapshot);
+    // A fresh epoch gets a fresh plan trie; the old one is retained once
+    // (the warm-seed source and the `warm` REPL command) and then retires
+    // with its snapshot's refcount — a publish invalidates every stale plan
+    // without any flush or version check on the hot path.
+    old_cache = std::exchange(
+        plan_cache_, options_.plan_cache.enabled
+                         ? std::make_shared<PlanCache>(options_.plan_cache)
+                         : nullptr);
+    previous_snapshot_ = old_snapshot;
+    previous_plan_cache_ = old_cache;
+    cache = plan_cache_;
+  }
+  // Both follow-ups run outside the snapshot mutex: they only touch the
+  // captured shared_ptrs and per-session mutexes, so concurrent traffic
+  // (and even a concurrent Publish) proceeds.
+  if (cache != nullptr && old_cache != nullptr &&
+      options_.plan_cache.warm_publish) {
+    WarmSeed(*snapshot, *cache, *old_cache, options_.plan_cache.warm_budget);
+  }
+  if (options_.migration.sweep_on_publish && old_snapshot != nullptr) {
+    MigrateIdleSessions();
+  }
   return snapshot;
 }
 
@@ -65,12 +159,15 @@ StatusOr<std::shared_ptr<ServiceSession>> Engine::BuildSession(
     std::shared_ptr<PlanCache> cache, const std::string& policy_spec) {
   AIGS_ASSIGN_OR_RETURN(const Policy* policy, snap->PolicyFor(policy_spec));
   auto session = std::make_shared<ServiceSession>();
+  session->epoch.store(snap->epoch(), std::memory_order_relaxed);
   session->snapshot = std::move(snap);
   session->policy_spec = policy_spec;
   session->policy = policy;
   session->plan_cache = std::move(cache);
   session->search = policy->NewSession();
-  session->plan_key = policy_spec + '\n';
+  session->plan_prefix = session->plan_cache != nullptr
+                             ? session->plan_cache->RootFor(policy_spec)
+                             : kNoPlanPrefix;
   return session;
 }
 
@@ -100,17 +197,17 @@ Query Engine::ResolvePending(ServiceSession& session) {
   PlanCache* cache = session.plan_cache.get();
   if (cache != nullptr &&
       session.transcript.size() <= cache->options().max_depth) {
-    if (std::optional<Query> hit = cache->Lookup(session.plan_key)) {
+    if (std::optional<Query> hit = cache->Lookup(session.plan_prefix)) {
       // Warm path: the question was planned once by some session at this
-      // (policy, transcript) prefix, so Ask skips the planner here. (The
-      // candidate-state policies skip it entirely; the phase-automata
-      // baselines still settle their derived state inside the applier —
-      // their planners are O(children) cheap, and the cache exists for the
-      // expensive middle-point planners.)
+      // (policy, transcript) prefix — or pre-seeded at publish time — so
+      // Ask skips the planner here. (The candidate-state policies skip it
+      // entirely; the phase-automata baselines still settle their derived
+      // state inside the applier — their planners are O(children) cheap,
+      // and the cache exists for the expensive middle-point planners.)
       query = *std::move(hit);
     } else {
       query = session.search->Next();
-      cache->Insert(session.plan_key, query);
+      cache->Insert(session.plan_prefix, query);
     }
   } else {
     query = session.search->Next();
@@ -124,6 +221,7 @@ StatusOr<Query> Engine::Ask(SessionId id) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
+  session->reask_after_migration = false;
   return ResolvePending(*session);
 }
 
@@ -131,6 +229,12 @@ Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
+  if (session->reask_after_migration) {
+    return Status::FailedPrecondition(
+        "session " + std::to_string(id) +
+        " was migrated to a new epoch after its question was shown; ask "
+        "again before answering");
+  }
   const Query query = ResolvePending(*session);
   if (query.kind == Query::Kind::kDone) {
     return Status::FailedPrecondition(
@@ -182,12 +286,15 @@ Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
     case Query::Kind::kDone:
       AIGS_CHECK(false);  // handled above
   }
-  // Advance the cache key by this step's SessionCodec line — the trie edge
-  // from the old prefix to the new one — and drop the consumed plan. Past
-  // the depth cap the key is never read again, so stop growing it.
+  // Advance the rolling plan key by this step's trie edge (one O(edge)
+  // intern, depth-independent) and drop the consumed plan. Past the depth
+  // cap the key is never read again, so stop maintaining it.
   if (session->plan_cache != nullptr &&
       session->transcript.size() < session->plan_cache->options().max_depth) {
-    SessionCodec::AppendStepKey(step, &session->plan_key);
+    std::string edge;
+    SessionCodec::AppendStepKey(step, &edge);
+    session->plan_prefix =
+        session->plan_cache->Advance(session->plan_prefix, edge);
   }
   session->has_pending = false;
   session->transcript.push_back(std::move(step));
@@ -200,10 +307,78 @@ StatusOr<std::string> Engine::Save(SessionId id) {
   std::lock_guard<std::mutex> lock(session->mutex);
   SerializedSession out;
   out.fingerprint = session->snapshot->fingerprint();
+  out.hierarchy_fingerprint = session->snapshot->hierarchy_fingerprint();
   out.epoch = session->snapshot->epoch();
   out.policy_spec = session->policy_spec;
   out.steps = session->transcript;
   return SessionCodec::Encode(out);
+}
+
+Status Engine::ReplayTranscript(ServiceSession& session,
+                                std::vector<TranscriptStep> steps,
+                                ReplayMode mode, std::size_t max_divergence,
+                                std::size_t* divergent_steps) {
+  const std::size_t num_nodes = session.snapshot->hierarchy().NumNodes();
+  std::size_t divergent = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    TranscriptStep& step = steps[i];
+    AIGS_RETURN_NOT_OK(ValidateStepShape(step, num_nodes, i));
+    const Query planned = session.search->Next();
+    // The replay already paid the planner; memoize its answer so restores
+    // and migrations warm the trie exactly like Ask's miss path would.
+    // Sound even past a divergence: the trie key is the actual transcript
+    // prefix, and the planner is a pure function of it.
+    if (session.plan_cache != nullptr &&
+        session.transcript.size() <=
+            session.plan_cache->options().max_depth) {
+      session.plan_cache->Insert(session.plan_prefix, planned);
+    }
+    if (QuestionMatchesStep(planned, step)) {
+      step.diverged = false;  // this epoch's planner reproduces it after all
+      AIGS_RETURN_NOT_OK(ApplyMatchedStep(*session.search, step));
+    } else if (step.diverged) {
+      // Recorded divergence from an earlier migration: the step was never
+      // this epoch's plan, so fold it observed in BOTH modes (an exact
+      // Resume of a migrated session must round-trip) without charging the
+      // fresh-divergence budget it already passed once.
+      AIGS_RETURN_NOT_OK(session.search->TryApplyObserved(step));
+    } else if (mode == ReplayMode::kExact) {
+      return Status::Internal(
+          "transcript replay diverged at step " + std::to_string(i) +
+          ": the snapshot no longer reproduces the saved question sequence");
+    } else {
+      ++divergent;
+      if (divergent > max_divergence) {
+        return Status::FailedPrecondition(
+            "migration divergence budget (" +
+            std::to_string(max_divergence) + ") exceeded at step " +
+            std::to_string(i) + " of " + std::to_string(steps.size()));
+      }
+      step.diverged = true;
+      // The planner would ask something else here; fold the recorded
+      // answer through the policy's observed-step applier instead.
+      AIGS_RETURN_NOT_OK(session.search->TryApplyObserved(step));
+    }
+    if (session.plan_cache != nullptr &&
+        session.transcript.size() <
+            session.plan_cache->options().max_depth) {
+      std::string edge;
+      SessionCodec::AppendStepKey(step, &edge);
+      session.plan_prefix =
+          session.plan_cache->Advance(session.plan_prefix, edge);
+    }
+    session.transcript.push_back(std::move(step));
+  }
+  if (divergent_steps != nullptr) {
+    // Surface the total divergence of the resulting transcript (recorded
+    // flags that persisted plus fresh ones); the budget above only charges
+    // the fresh ones.
+    *divergent_steps = 0;
+    for (const TranscriptStep& step : session.transcript) {
+      *divergent_steps += step.diverged ? 1 : 0;
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
@@ -219,65 +394,235 @@ StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
   if (saved.fingerprint != snap->fingerprint()) {
     return Status::FailedPrecondition(
         "saved session was recorded on a different catalog (fingerprint "
-        "mismatch); replay would not be exact");
+        "mismatch); replay would not be exact — use Migrate to replay onto "
+        "the current epoch with divergence tolerated");
   }
   AIGS_ASSIGN_OR_RETURN(
       std::shared_ptr<ServiceSession> session,
       BuildSession(std::move(snap), std::move(cache), saved.policy_spec));
-
   // Replay with verification: determinism (Definition 6) guarantees the
   // fresh session regenerates the recorded questions in order; any
   // divergence means the catalog or policy changed under us.
-  for (std::size_t i = 0; i < saved.steps.size(); ++i) {
-    const TranscriptStep& step = saved.steps[i];
-    const Query query = session->search->Next();
-    // The replay already paid the planner; memoize its answer so bulk
-    // restores warm the trie exactly like Ask's miss path would.
-    if (session->plan_cache != nullptr &&
-        session->transcript.size() <=
-            session->plan_cache->options().max_depth) {
-      session->plan_cache->Insert(session->plan_key, query);
-    }
-    const bool matches =
-        query.kind == step.kind &&
-        (query.kind == Query::Kind::kReach
-             ? (step.nodes.size() == 1 && query.node == step.nodes[0])
-             : query.choices == step.nodes);
-    if (!matches) {
-      return Status::Internal(
-          "transcript replay diverged at step " + std::to_string(i) +
-          ": the snapshot no longer reproduces the saved question sequence");
-    }
-    switch (step.kind) {
-      case Query::Kind::kReach:
-        session->search->OnReach(step.nodes[0], step.yes);
-        break;
-      case Query::Kind::kReachBatch:
-        if (step.batch_answers.size() != step.nodes.size()) {
-          return Status::InvalidArgument(
-              "saved batch step " + std::to_string(i) +
-              " has mismatched answer count");
-        }
-        // A crafted blob may contain an inconsistent round the live engine
-        // would have rejected; reject it here the same way.
-        AIGS_RETURN_NOT_OK(
-            session->search->TryOnReachBatch(step.nodes, step.batch_answers));
-        break;
-      case Query::Kind::kChoice:
-        session->search->OnChoice(step.nodes, step.choice);
-        break;
-      case Query::Kind::kDone:
-        return Status::InvalidArgument("saved transcript contains a 'done' "
-                                       "step");
-    }
-    if (session->plan_cache != nullptr &&
-        session->transcript.size() <
-            session->plan_cache->options().max_depth) {
-      SessionCodec::AppendStepKey(step, &session->plan_key);
-    }
-    session->transcript.push_back(step);
-  }
+  AIGS_RETURN_NOT_OK(ReplayTranscript(*session, saved.steps,
+                                      ReplayMode::kExact,
+                                      /*max_divergence=*/0, nullptr));
   return sessions_.Insert(std::move(session));
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> Engine::MigrateDecoded(
+    const SerializedSession& saved, std::size_t* divergent_steps) {
+  std::shared_ptr<const CatalogSnapshot> snap;
+  std::shared_ptr<PlanCache> cache;
+  CurrentEpochState(&snap, &cache);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "no catalog snapshot published yet — call Publish first");
+  }
+  // Migration tolerates changed weights, never a changed node space: a v1
+  // blob carries no hierarchy digest, so it only qualifies when its full
+  // fingerprint still matches (the exact case).
+  if (saved.hierarchy_fingerprint != 0) {
+    if (saved.hierarchy_fingerprint != snap->hierarchy_fingerprint()) {
+      return Status::FailedPrecondition(
+          "saved session was recorded on a different hierarchy; its node "
+          "ids do not transfer");
+    }
+  } else if (saved.fingerprint != snap->fingerprint()) {
+    return Status::FailedPrecondition(
+        "saved session predates hierarchy fingerprints (aigs-session/1) "
+        "and its catalog fingerprint no longer matches");
+  }
+  AIGS_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServiceSession> session,
+      BuildSession(std::move(snap), std::move(cache), saved.policy_spec));
+  AIGS_RETURN_NOT_OK(ReplayTranscript(
+      *session, saved.steps, ReplayMode::kTolerant,
+      options_.migration.max_divergence, divergent_steps));
+  return session;
+}
+
+StatusOr<MigrateResult> Engine::Migrate(const std::string& serialized) {
+  AIGS_ASSIGN_OR_RETURN(const SerializedSession saved,
+                        SessionCodec::Decode(serialized));
+  MigrateResult result;
+  result.from_epoch = saved.epoch;
+  result.steps = saved.steps.size();
+  auto session = MigrateDecoded(saved, &result.divergent_steps);
+  if (!session.ok()) {
+    migration_failures_.fetch_add(1, std::memory_order_relaxed);
+    return session.status();
+  }
+  result.to_epoch = (*session)->snapshot->epoch();
+  result.id = sessions_.Insert(*std::move(session));
+  sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+StatusOr<MigrateResult> Engine::MigrateLocked(SessionId id,
+                                              ServiceSession& session) {
+  MigrateResult result;
+  result.id = id;
+  result.from_epoch = session.snapshot->epoch();
+  result.steps = session.transcript.size();
+
+  std::shared_ptr<const CatalogSnapshot> snap;
+  std::shared_ptr<PlanCache> cache;
+  CurrentEpochState(&snap, &cache);
+  AIGS_CHECK(snap != nullptr);  // the session exists, so Publish happened
+  result.to_epoch = snap->epoch();
+  if (snap.get() == session.snapshot.get()) {
+    result.to_epoch = result.from_epoch;
+    return result;  // already current: zero-step no-op
+  }
+  if (session.snapshot->hierarchy_fingerprint() !=
+      snap->hierarchy_fingerprint()) {
+    migration_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition(
+        "current epoch runs a different hierarchy; node ids do not "
+        "transfer");
+  }
+  // Build and replay into a private scratch session; the live one is only
+  // touched on success, so failures leave it intact on its old epoch.
+  auto rebuilt = BuildSession(std::move(snap), std::move(cache),
+                              session.policy_spec);
+  if (!rebuilt.ok()) {
+    migration_failures_.fetch_add(1, std::memory_order_relaxed);
+    return rebuilt.status();
+  }
+  if (const Status replay = ReplayTranscript(
+          **rebuilt, session.transcript, ReplayMode::kTolerant,
+          options_.migration.max_divergence, &result.divergent_steps);
+      !replay.ok()) {
+    migration_failures_.fetch_add(1, std::memory_order_relaxed);
+    return replay;
+  }
+  ServiceSession& fresh = **rebuilt;
+  const bool had_pending = session.has_pending;
+  session.snapshot = std::move(fresh.snapshot);
+  session.policy = fresh.policy;
+  session.plan_cache = std::move(fresh.plan_cache);
+  session.search = std::move(fresh.search);
+  session.transcript = std::move(fresh.transcript);
+  session.plan_prefix = fresh.plan_prefix;
+  session.has_pending = false;
+  // A question the client already saw may differ on the new epoch; force a
+  // re-Ask instead of silently applying their answer to a new question.
+  session.reask_after_migration = had_pending;
+  session.epoch.store(result.to_epoch, std::memory_order_relaxed);
+  sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+StatusOr<MigrateResult> Engine::Migrate(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
+                        FindSession(id));
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return MigrateLocked(id, *session);
+}
+
+MigrateSweepStats Engine::MigrateIdleSessions() {
+  MigrateSweepStats stats;
+  std::shared_ptr<const CatalogSnapshot> current;
+  std::shared_ptr<PlanCache> cache;
+  CurrentEpochState(&current, &cache);
+  if (current == nullptr) {
+    return stats;
+  }
+  for (auto& [id, session] : sessions_.SnapshotSessions()) {
+    if (session == nullptr) {
+      continue;
+    }
+    ++stats.scanned;
+    std::unique_lock<std::mutex> lock(session->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      ++stats.skipped_busy;  // another operation holds it: not idle
+      continue;
+    }
+    if (session->snapshot.get() == current.get()) {
+      ++stats.already_current;
+      continue;
+    }
+    if (session->has_pending) {
+      // The client owes an answer to a question it has already been shown;
+      // migrating now would change that question under them. Leave the
+      // session pinned — it migrates after its next answer, or drains.
+      ++stats.skipped_busy;
+      continue;
+    }
+    if (const auto result = MigrateLocked(id, *session); result.ok()) {
+      ++stats.migrated;
+      stats.divergent_steps += result->divergent_steps;
+    } else {
+      ++stats.failed;
+    }
+  }
+  return stats;
+}
+
+std::size_t Engine::WarmSeed(const CatalogSnapshot& snap, PlanCache& target,
+                             const PlanCache& source, std::size_t budget) {
+  const std::size_t num_nodes = snap.hierarchy().NumNodes();
+  std::size_t seeded = 0;
+  for (const HotPrefix& prefix : source.HottestPrefixes(budget)) {
+    const auto policy = snap.PolicyFor(prefix.policy_spec);
+    if (!policy.ok()) {
+      continue;  // the new epoch no longer serves this spec
+    }
+    std::unique_ptr<SearchSession> search = (*policy)->NewSession();
+    PlanPrefixId at = target.RootFor(prefix.policy_spec);
+    bool replayed = true;
+    for (const std::string& line : prefix.step_lines) {
+      auto step = SessionCodec::ParseStepLine(line);
+      if (!step.ok() || !ValidateStepShape(*step, num_nodes, 0).ok()) {
+        replayed = false;  // e.g. a node the new snapshot no longer has
+        break;
+      }
+      const Query planned = search->Next();
+      target.Insert(at, planned, /*seeded=*/true);
+      if (QuestionMatchesStep(planned, *step)) {
+        if (!ApplyMatchedStep(*search, *step).ok()) {
+          replayed = false;
+          break;
+        }
+      } else if (!search->TryApplyObserved(*step).ok()) {
+        // The prefix no longer folds onto the new snapshot; the plans
+        // inserted so far are still exact, only the tail is abandoned.
+        replayed = false;
+        break;
+      }
+      at = target.Advance(at, line);
+    }
+    if (replayed) {
+      target.Insert(at, search->Next(), /*seeded=*/true);
+      ++seeded;  // only fully replayed prefixes count toward the report
+    }
+  }
+  return seeded;
+}
+
+StatusOr<std::size_t> Engine::Warm() {
+  std::shared_ptr<const CatalogSnapshot> snap;
+  std::shared_ptr<PlanCache> cache;
+  std::shared_ptr<PlanCache> source;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snap = snapshot_;
+    cache = plan_cache_;
+    source = previous_plan_cache_;
+  }
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "no catalog snapshot published yet — call Publish first");
+  }
+  if (cache == nullptr) {
+    return Status::FailedPrecondition("the plan cache is disabled");
+  }
+  if (source == nullptr) {
+    return Status::FailedPrecondition(
+        "no previous epoch's trie to seed from (publish at least twice)");
+  }
+  return WarmSeed(*snap, *cache, *source,
+                  options_.plan_cache.warm_budget);
 }
 
 Status Engine::Close(SessionId id) { return sessions_.Erase(id); }
@@ -290,10 +635,15 @@ std::shared_ptr<PlanCache> Engine::plan_cache() const {
 EngineStats Engine::Stats() const {
   EngineStats stats;
   std::shared_ptr<PlanCache> cache;
+  std::shared_ptr<PlanCache> previous_cache;
+  std::uint64_t previous_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     stats.epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch();
     cache = plan_cache_;
+    previous_cache = previous_plan_cache_;
+    previous_epoch =
+        previous_snapshot_ == nullptr ? 0 : previous_snapshot_->epoch();
   }
   stats.sessions_by_epoch = sessions_.SessionsByEpoch();
   for (const auto& [epoch, count] : stats.sessions_by_epoch) {
@@ -302,7 +652,16 @@ EngineStats Engine::Stats() const {
   if (cache != nullptr) {
     stats.plan_cache_enabled = true;
     stats.plan_cache = cache->stats();
+    stats.plan_cache_by_epoch.emplace(stats.epoch, stats.plan_cache);
   }
+  if (previous_cache != nullptr) {
+    stats.plan_cache_by_epoch.emplace(previous_epoch,
+                                      previous_cache->stats());
+  }
+  stats.sessions_migrated =
+      sessions_migrated_.load(std::memory_order_relaxed);
+  stats.migration_failures =
+      migration_failures_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -2,9 +2,8 @@
 // system (the service form of FrameworkIGS, Algorithm 1).
 //
 // An Engine owns the current CatalogSnapshot (hot-swappable via Publish —
-// each publish bumps the epoch; live sessions keep the snapshot they opened
-// on) and a SessionManager of ID-addressed concurrent sessions. The request
-// loop a front end drives is:
+// each publish bumps the epoch) and a SessionManager of ID-addressed
+// concurrent sessions. The request loop a front end drives is:
 //
 //     id     = engine.Open("greedy")          // O(1) on the prebuilt snapshot
 //     query  = engine.Ask(id)                 // the pending question
@@ -13,14 +12,28 @@
 //     blob   = engine.Save(id)                // suspend across restarts
 //     id2    = engine.Resume(blob)            // exact replay-based restore
 //
+// Epoch lifecycle (PR 5). A publish no longer strands the old epoch:
+//
+//  * WARM SEED — before the fresh plan trie goes live cold, Publish
+//    harvests the hottest prefixes of the outgoing trie and replays them
+//    against the new snapshot's planners, pre-seeding the new trie so the
+//    common-prefix Ask path stays a cache hit across the swap.
+//  * MIGRATE SWEEP — idle sessions still bound to older epochs are
+//    migrated onto the new snapshot by divergence-tolerant transcript
+//    replay: steps the new planner reproduces replay exactly; steps it
+//    would not have asked are folded in through the policies' observed-
+//    step appliers (SearchSession::TryApplyObserved) and flagged, bounded
+//    by a configurable divergence budget. Sessions that cannot migrate
+//    (budget exceeded, phase-automaton policies on divergent prefixes,
+//    client mid-question) stay safely on their old epoch.
+//
 // Every operation is thread-safe and returns Status instead of aborting: a
 // client that answers the wrong kind of question, an unknown ID, or a
-// stale saved blob gets a typed error, never a process death (the
-// SearchSession default-fatal OnChoice/OnReachBatch paths are guarded here,
-// at the service boundary).
+// stale/crafted saved blob gets a typed error, never a process death.
 #ifndef AIGS_SERVICE_ENGINE_H_
 #define AIGS_SERVICE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,25 +78,70 @@ struct SessionAnswer {
   }
 };
 
+/// Cross-epoch migration knobs.
+struct MigrationOptions {
+  /// Maximum divergent steps tolerated per migrated transcript — recorded
+  /// questions the target epoch's planner would not have asked, folded in
+  /// via TryApplyObserved. 0 = exact replays only.
+  std::size_t max_divergence = 64;
+  /// Run the idle-session migration sweep automatically after every
+  /// Publish, so old snapshots drain instead of being pinned forever by
+  /// long-lived sessions.
+  bool sweep_on_publish = true;
+};
+
 struct EngineOptions {
   SessionManagerOptions sessions;
-  /// The per-epoch question-plan trie behind Ask. Enabled by default: with
-  /// every policy a pure planner, cached and uncached engines emit
-  /// bit-identical transcripts, so the cache is purely a throughput knob.
+  /// The per-epoch question-plan trie behind Ask (including the
+  /// warm-publish seeding knobs). Enabled by default: with every policy a
+  /// pure planner, cached and uncached engines emit bit-identical
+  /// transcripts, so the cache is purely a throughput knob.
   PlanCacheOptions plan_cache;
+  MigrationOptions migration;
+};
+
+/// Outcome of one cross-epoch migration (Engine::Migrate).
+struct MigrateResult {
+  SessionId id = 0;
+  std::uint64_t from_epoch = 0;
+  std::uint64_t to_epoch = 0;
+  std::size_t steps = 0;
+  /// Recorded questions the new epoch's planner would not have asked,
+  /// folded in via the observed-step appliers (exact count; the same steps
+  /// carry the `d` flag in a subsequent Save).
+  std::size_t divergent_steps = 0;
+};
+
+/// Outcome of one idle-session migration sweep.
+struct MigrateSweepStats {
+  std::size_t scanned = 0;
+  std::size_t migrated = 0;
+  std::size_t already_current = 0;
+  /// Sessions skipped because another operation held them or a client owes
+  /// an answer to an already-shown question (migrating would change the
+  /// question under the client).
+  std::size_t skipped_busy = 0;
+  std::size_t failed = 0;
+  /// Total divergent steps across the migrated sessions' transcripts.
+  std::size_t divergent_steps = 0;
 };
 
 /// Point-in-time operational counters (the serve REPL's `stats` command).
 struct EngineStats {
   std::uint64_t epoch = 0;
   std::size_t live_sessions = 0;
-  /// Live sessions keyed by the epoch they opened on (old epochs drain as
-  /// their sessions finish after a hot swap).
+  /// Live sessions keyed by their current epoch (old epochs drain as their
+  /// sessions finish or migrate after a hot swap).
   std::map<std::uint64_t, std::size_t> sessions_by_epoch;
-  /// Current epoch's plan-cache counters (zeros when disabled or before the
-  /// first Publish).
+  /// Plan-trie counters per retained epoch: the current epoch's trie and —
+  /// while any warm-seed source is still held — the previous epoch's.
+  /// Each carries the seeded/organic hit split.
   bool plan_cache_enabled = false;
-  PlanCacheStats plan_cache;
+  PlanCacheStats plan_cache;  // current epoch (zeros before first Publish)
+  std::map<std::uint64_t, PlanCacheStats> plan_cache_by_epoch;
+  /// Cumulative migration counters (explicit Migrate + publish sweeps).
+  std::uint64_t sessions_migrated = 0;
+  std::uint64_t migration_failures = 0;
 };
 
 class Engine {
@@ -96,8 +154,9 @@ class Engine {
   // ---- snapshot lifecycle ---------------------------------------------------
 
   /// Builds a snapshot from `config` at the next epoch and makes it
-  /// current. Existing sessions keep the snapshot they opened on; new
-  /// sessions see the new one. Never pauses traffic.
+  /// current, then (per options) warm-seeds the new plan trie from the old
+  /// epoch's hottest prefixes and migrates idle sessions over. Existing
+  /// busy sessions keep the snapshot they are on; traffic never pauses.
   StatusOr<std::shared_ptr<const CatalogSnapshot>> Publish(
       CatalogConfig config);
 
@@ -114,25 +173,57 @@ class Engine {
   StatusOr<SessionId> Open(const std::string& policy_spec);
 
   /// The pending question (or kDone carrying the identified target).
-  /// Idempotent; refreshes the session's TTL. Consults the epoch's plan
-  /// cache first — a warm common-prefix Ask is a hash walk, never a planner
-  /// run — and falls back to the session's pure planner on a miss
-  /// (populating the cache for every later session at the same prefix).
+  /// Idempotent; refreshes the session's TTL. Consults the session
+  /// epoch's plan trie first — a warm common-prefix Ask is one id probe,
+  /// never a planner run — and falls back to the session's pure planner on
+  /// a miss (populating the trie for every later session at the same
+  /// prefix).
   StatusOr<Query> Ask(SessionId id);
 
   /// Applies an answer to the pending question. InvalidArgument when the
   /// answer kind (or shape) does not match the pending query,
-  /// FailedPrecondition when the search already finished.
+  /// FailedPrecondition when the search already finished or a migration
+  /// invalidated the shown question (re-Ask first).
   Status Answer(SessionId id, const SessionAnswer& answer);
 
-  /// Serializes the session as its answer transcript (SessionCodec format).
+  /// Serializes the session as its answer transcript (SessionCodec v2:
+  /// catalog + hierarchy fingerprints, per-step divergence flags).
   StatusOr<std::string> Save(SessionId id);
 
   /// Restores a saved session by exact replay against the *current*
   /// snapshot: requires a matching catalog fingerprint and verifies each
   /// regenerated question equals the recorded one (transcript equality —
   /// guaranteed by policy determinism, Definition 6). Returns the new ID.
+  /// For a blob recorded on an older epoch, use Migrate.
   StatusOr<SessionId> Resume(const std::string& serialized);
+
+  // ---- cross-epoch migration ------------------------------------------------
+
+  /// Migrates a LIVE session onto the current snapshot in place (same ID):
+  /// divergence-tolerant replay of its transcript, bounded by the engine's
+  /// divergence budget. Requires the blob's hierarchy to match (weights may
+  /// differ — that is the point). On failure the session is untouched on
+  /// its old epoch. A client that had been shown a question must re-Ask
+  /// (the next Answer without one is rejected).
+  StatusOr<MigrateResult> Migrate(SessionId id);
+
+  /// Migrates a SAVED session onto the current snapshot, tolerating a
+  /// changed distribution (unlike Resume's exact-fingerprint contract).
+  /// The blob must carry the hierarchy fingerprint (SessionCodec v2) and
+  /// match the current hierarchy. Returns the new ID plus divergence
+  /// counts.
+  StatusOr<MigrateResult> Migrate(const std::string& serialized);
+
+  /// Migrates every idle old-epoch session onto the current snapshot (the
+  /// sweep Publish runs automatically when sweep_on_publish is set).
+  /// Sessions that are busy, mid-question, or fail to replay stay on their
+  /// old epoch.
+  MigrateSweepStats MigrateIdleSessions();
+
+  /// Re-seeds the CURRENT epoch's trie from the previous epoch's hottest
+  /// prefixes (the publish-time warm path, callable on demand — the serve
+  /// REPL's `warm` command). Returns the number of prefixes replayed.
+  StatusOr<std::size_t> Warm();
 
   /// Closes and discards a session.
   Status Close(SessionId id);
@@ -141,14 +232,20 @@ class Engine {
 
   /// The current epoch's plan cache (null when disabled or before the first
   /// Publish). Old epochs' caches live on in their sessions until those
-  /// drain.
+  /// drain or migrate.
   std::shared_ptr<PlanCache> plan_cache() const;
 
-  /// Operational counters: epoch, session counts (total and per epoch), and
-  /// the current epoch's plan-cache hit/miss/evict numbers.
+  /// Operational counters: epoch, session counts (total and per epoch),
+  /// per-epoch plan-trie hit/miss/seeded numbers, migration totals.
   EngineStats Stats() const;
 
  private:
+  /// How ReplayTranscript treats a step the planner does not reproduce.
+  enum class ReplayMode {
+    kExact,     // any divergence is an error (Resume's contract)
+    kTolerant,  // fold divergent steps via TryApplyObserved, up to budget
+  };
+
   StatusOr<std::shared_ptr<ServiceSession>> FindSession(SessionId id);
 
   /// Atomically reads the current (snapshot, plan cache) pair.
@@ -157,23 +254,54 @@ class Engine {
 
   /// Builds a fresh ServiceSession on `snap` for `policy_spec` — the one
   /// place the snapshot/cache pairing and the plan-key seeding convention
-  /// live (Open and Resume both construct through here).
+  /// live (Open, Resume, and Migrate all construct through here).
   StatusOr<std::shared_ptr<ServiceSession>> BuildSession(
       std::shared_ptr<const CatalogSnapshot> snap,
       std::shared_ptr<PlanCache> cache, const std::string& policy_spec);
 
   /// The session's pending question: the memoized one if Ask already
-  /// resolved it, else a cache hit, else the pure planner (whose answer is
+  /// resolved it, else a trie hit, else the pure planner (whose answer is
   /// then inserted for every later session at the same prefix). Caller
   /// holds the session mutex.
   Query ResolvePending(ServiceSession& session);
 
+  /// Replays `steps` into the freshly built `session` (search state,
+  /// transcript, rolling plan key, trie population). In kTolerant mode
+  /// divergent steps are folded via TryApplyObserved and flagged; more
+  /// than `max_divergence` of them fails the replay. `session` must be
+  /// private to the caller (no lock taken).
+  Status ReplayTranscript(ServiceSession& session,
+                          std::vector<TranscriptStep> steps, ReplayMode mode,
+                          std::size_t max_divergence,
+                          std::size_t* divergent_steps);
+
+  /// Decodes, validates, and replays a saved blob for Migrate(serialized).
+  StatusOr<std::shared_ptr<ServiceSession>> MigrateDecoded(
+      const SerializedSession& saved, std::size_t* divergent_steps);
+
+  /// In-place migration body; the caller holds `session.mutex`.
+  StatusOr<MigrateResult> MigrateLocked(SessionId id,
+                                        ServiceSession& session);
+
+  /// Replays up to `budget` hot prefixes of `source` against `snap`'s
+  /// planners, inserting the plans into `target` as seeded entries.
+  /// Returns the number of prefixes replayed (skipping unreplayable ones).
+  std::size_t WarmSeed(const CatalogSnapshot& snap, PlanCache& target,
+                       const PlanCache& source, std::size_t budget);
+
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const CatalogSnapshot> snapshot_;
   std::shared_ptr<PlanCache> plan_cache_;
+  /// The previous epoch's (snapshot, trie) pair, retained as the warm-seed
+  /// source until the next publish replaces it.
+  std::shared_ptr<const CatalogSnapshot> previous_snapshot_;
+  std::shared_ptr<PlanCache> previous_plan_cache_;
   std::uint64_t next_epoch_ = 1;
-  PlanCacheOptions plan_cache_options_;
+  EngineOptions options_;
   SessionManager sessions_;
+
+  std::atomic<std::uint64_t> sessions_migrated_{0};
+  std::atomic<std::uint64_t> migration_failures_{0};
 };
 
 }  // namespace aigs

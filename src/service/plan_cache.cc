@@ -1,6 +1,8 @@
 #include "service/plan_cache.h"
 
+#include <algorithm>
 #include <functional>
+#include <map>
 #include <utility>
 
 #include "util/common.h"
@@ -8,15 +10,32 @@
 namespace aigs {
 namespace {
 
-/// Approximate resident size of one entry: the key, the query's choice
-/// vector, and a flat allowance for the map node + LRU link overhead.
-constexpr std::size_t kEntryOverhead = 96;
+/// Approximate resident size of one node: the edge string (stored twice —
+/// once in the node for export, once in the intern key), the query's
+/// choice vector, and a flat allowance for the two map entries + LRU link.
+constexpr std::size_t kNodeOverhead = 160;
 
-std::size_t EntryBytes(std::string_view key, const Query& query) {
-  return key.size() + query.choices.size() * sizeof(NodeId) + kEntryOverhead;
+std::size_t BaseNodeBytes(std::string_view edge) {
+  return 2 * edge.size() + kNodeOverhead;
+}
+
+std::size_t QueryBytes(const Query& query) {
+  return query.choices.size() * sizeof(NodeId);
 }
 
 }  // namespace
+
+std::size_t PlanCache::ChildHash::Mix(PlanPrefixId parent,
+                                      std::string_view edge) {
+  std::size_t h = std::hash<std::string_view>{}(edge);
+  h ^= parent + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  // Remix so both the stripe selector and the bucket index see well-spread
+  // bits (stripe = h % stripes would otherwise correlate with buckets).
+  h ^= h >> 33;
+  h *= 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  return h;
+}
 
 PlanCache::PlanCache(PlanCacheOptions options)
     : options_(options),
@@ -27,62 +46,196 @@ PlanCache::PlanCache(PlanCacheOptions options)
   }
 }
 
-PlanCache::Stripe& PlanCache::StripeFor(std::string_view key) {
-  // Remix before striping: the per-stripe map consumes the raw hash, and
-  // routing on `raw % stripes` would pin its low bits per stripe —
-  // degenerate bucket distribution on power-of-two hash tables.
-  std::size_t h = std::hash<std::string_view>{}(key);
-  h ^= h >> 33;
-  h *= 0x9E3779B97F4A7C15ULL;
-  h ^= h >> 29;
-  return stripes_[h % stripes_.size()];
+PlanPrefixId PlanCache::RootFor(std::string_view policy_spec) {
+  return Advance(kNoPlanPrefix, policy_spec);
 }
 
-std::optional<Query> PlanCache::Lookup(std::string_view key) {
-  Stripe& stripe = StripeFor(key);
+PlanPrefixId PlanCache::Advance(PlanPrefixId from,
+                                std::string_view edge_line) {
+  const std::size_t stripe_index =
+      ChildHash::Mix(from, edge_line) % stripes_.size();
+  Stripe& stripe = stripes_[stripe_index];
   std::lock_guard<std::mutex> lock(stripe.mutex);
-  const auto it = stripe.entries.find(key);
-  if (it == stripe.entries.end()) {
+  const auto it = stripe.children.find(ChildRef{from, edge_line});
+  if (it != stripe.children.end()) {
+    return it->second;
+  }
+  // Allocate an id that encodes the home stripe so Lookup/Insert relock
+  // the same stripe from the id alone. Ids are never reused — an evicted
+  // path re-interns under fresh ids, and stale ids held by sessions just
+  // miss.
+  const PlanPrefixId id =
+      stripe.next_seq++ * stripes_.size() + stripe_index + 1;
+  Node node;
+  node.parent = from;
+  node.edge = std::string(edge_line);
+  node.bytes = BaseNodeBytes(edge_line);
+  const auto [node_it, inserted] = stripe.nodes.emplace(id, std::move(node));
+  AIGS_DCHECK(inserted);
+  stripe.children.emplace(ChildKey{from, std::string(edge_line)}, id);
+  stripe.lru.push_front(id);
+  node_it->second.lru_it = stripe.lru.begin();
+  stripe.bytes += node_it->second.bytes;
+  EvictOver(stripe);
+  return id;
+}
+
+std::optional<Query> PlanCache::Lookup(PlanPrefixId id) {
+  if (id == kNoPlanPrefix) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Stripe& stripe = stripes_[StripeOf(id)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.nodes.find(id);
+  if (it == stripe.nodes.end() || !it->second.has_question) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  if (it->second.seeded) {
+    seeded_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++it->second.hits;
   stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
-  return it->second.query;
+  return it->second.question;
 }
 
-void PlanCache::Insert(std::string_view key, const Query& query) {
-  Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  // Transparent existence check first: duplicate inserts (racing sibling
-  // sessions, Resume replays over a warm trie) must not pay a key copy.
-  if (const auto existing = stripe.entries.find(key);
-      existing != stripe.entries.end()) {
-    // Determinism makes both values identical, so only the recency changes.
-    stripe.lru.splice(stripe.lru.begin(), stripe.lru,
-                      existing->second.lru_it);
+void PlanCache::Insert(PlanPrefixId id, const Query& query, bool seeded) {
+  if (id == kNoPlanPrefix) {
     return;
   }
-  const auto [it, inserted] = stripe.entries.try_emplace(std::string(key));
-  AIGS_DCHECK(inserted);
-  it->second.query = query;
-  it->second.bytes = EntryBytes(key, query);
-  stripe.lru.push_front(&it->first);
-  it->second.lru_it = stripe.lru.begin();
-  stripe.bytes += it->second.bytes;
+  Stripe& stripe = stripes_[StripeOf(id)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.nodes.find(id);
+  if (it == stripe.nodes.end()) {
+    // The node was evicted since the caller interned it; a later Advance
+    // along the same path re-interns a fresh id. Nothing to attach to.
+    return;
+  }
+  Node& node = it->second;
+  if (node.has_question) {
+    // Determinism makes both values identical; only the recency changes.
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, node.lru_it);
+    return;
+  }
+  node.question = query;
+  node.has_question = true;
+  node.seeded = seeded;
+  stripe.bytes += QueryBytes(query);
+  node.bytes += QueryBytes(query);
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, node.lru_it);
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (seeded) {
+    seeded_inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EvictOver(stripe);
+}
 
-  // LRU eviction from the stripe tail. The freshly inserted entry is never
-  // evicted (a single oversized entry beats thrashing on every insert).
-  while (stripe.bytes > stripe_budget_ && stripe.entries.size() > 1) {
-    const std::string* victim_key = stripe.lru.back();
-    const auto victim = stripe.entries.find(*victim_key);
-    AIGS_DCHECK(victim != stripe.entries.end());
+void PlanCache::EvictOver(Stripe& stripe) {
+  // LRU eviction from the stripe tail; the freshest node is never evicted
+  // (a single oversized entry beats thrashing on every insert). Evicting a
+  // node drops its intern entry too, so the path re-interns cleanly later;
+  // surviving descendants keep working under their existing ids.
+  while (stripe.bytes > stripe_budget_ && stripe.nodes.size() > 1) {
+    const PlanPrefixId victim_id = stripe.lru.back();
+    const auto victim = stripe.nodes.find(victim_id);
+    AIGS_DCHECK(victim != stripe.nodes.end());
     stripe.bytes -= victim->second.bytes;
+    // find-then-erase: heterogeneous erase is C++23, this project is C++20.
+    const auto child_it = stripe.children.find(
+        ChildRef{victim->second.parent, victim->second.edge});
+    if (child_it != stripe.children.end()) {
+      stripe.children.erase(child_it);
+    }
     stripe.lru.pop_back();
-    stripe.entries.erase(victim);
+    stripe.nodes.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+std::vector<HotPrefix> PlanCache::HottestPrefixes(
+    std::size_t max_prefixes) const {
+  if (max_prefixes == 0) {
+    return {};
+  }
+  // Snapshot every resident node (one stripe lock at a time), then rebuild
+  // chains outside any lock. Evictions between stripes can break a chain;
+  // those prefixes are simply skipped.
+  struct Snap {
+    PlanPrefixId parent;
+    std::string edge;
+    bool has_question;
+    std::uint64_t hits;
+  };
+  std::map<PlanPrefixId, Snap> nodes;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [id, node] : stripe.nodes) {
+      nodes.emplace(id, Snap{node.parent, node.edge, node.has_question,
+                             node.hits});
+    }
+  }
+
+  struct Candidate {
+    PlanPrefixId id;
+    std::uint64_t hits;
+    std::size_t depth;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [id, snap] : nodes) {
+    if (!snap.has_question || snap.hits == 0) {
+      continue;
+    }
+    // Depth = chain length to a root; also validates reconstructability.
+    std::size_t depth = 0;
+    bool complete = true;
+    for (PlanPrefixId at = id; nodes.at(at).parent != kNoPlanPrefix;) {
+      const PlanPrefixId parent = nodes.at(at).parent;
+      if (nodes.find(parent) == nodes.end()) {
+        complete = false;
+        break;
+      }
+      at = parent;
+      ++depth;
+    }
+    if (complete) {
+      candidates.push_back({id, snap.hits, depth});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.hits != b.hits) {
+                return a.hits > b.hits;
+              }
+              if (a.depth != b.depth) {
+                return a.depth < b.depth;
+              }
+              return a.id < b.id;
+            });
+  if (candidates.size() > max_prefixes) {
+    candidates.resize(max_prefixes);
+  }
+
+  std::vector<HotPrefix> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    HotPrefix prefix;
+    prefix.hits = c.hits;
+    std::vector<const std::string*> chain;
+    PlanPrefixId at = c.id;
+    while (nodes.at(at).parent != kNoPlanPrefix) {
+      chain.push_back(&nodes.at(at).edge);
+      at = nodes.at(at).parent;
+    }
+    prefix.policy_spec = nodes.at(at).edge;  // the root's edge is the spec
+    prefix.step_lines.reserve(chain.size());
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      prefix.step_lines.push_back(**it);
+    }
+    out.push_back(std::move(prefix));
+  }
+  return out;
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -91,9 +244,11 @@ PlanCacheStats PlanCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.seeded_inserts = seeded_inserts_.load(std::memory_order_relaxed);
+  stats.seeded_hits = seeded_hits_.load(std::memory_order_relaxed);
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mutex);
-    stats.entries += stripe.entries.size();
+    stats.entries += stripe.nodes.size();
     stats.bytes += stripe.bytes;
   }
   return stats;

@@ -8,35 +8,39 @@
 // ONCE per distinct prefix — every other session can read the memoized
 // question. That is what this cache does: it memoizes the pure planner
 // (SearchSession::PlanQuestion) per (policy spec, transcript prefix) so the
-// common-prefix hot path of Engine::Ask degenerates to a hash walk. (The
-// win is for the expensive middle-point planners; the phase-automata
-// baselines re-derive their cheap O(children) plan in the applier even on
-// a hit.)
+// common-prefix hot path of Engine::Ask degenerates to one hash probe.
 //
-// Shape. The cache is a trie over answer transcripts: the root is the empty
-// transcript, an edge is one answered question (encoded exactly as the
-// SessionCodec transcript line — "reach 5 y", "batch 1+2 yn", ...), and
-// each node memoizes the question the policy asks at that prefix. The trie
-// is STORED FLAT: a node is one entry in a lock-striped hash map keyed by
-// the policy-spec-prefixed concatenation of its edge lines (sessions build
-// that key incrementally, one O(edge) append per answer). Flattening keeps
-// the concurrency and eviction story trivial — entries are independent, so
-// LRU eviction never has to maintain structural invariants, and a stripe
-// lock covers exactly one hash bucket region. A missing interior node is
-// just a miss: the planner fallback repopulates it.
+// Shape. The cache is a trie over answer transcripts: the root of each
+// policy spec is the empty transcript, an edge is one answered question
+// (encoded exactly as the SessionCodec transcript line — "reach 5 y",
+// "batch 1+2 yn", ...), and each node memoizes the question the policy asks
+// at that prefix. Nodes are INTERNED: `Advance(parent, edge)` assigns each
+// distinct (parent id, edge line) pair a PlanPrefixId, and a session keeps
+// only its current id — the O(1) rolling plan key. The hot-path Lookup
+// hashes one 64-bit id instead of re-hashing an O(depth) concatenated key
+// string (the PR-4 scheme this replaces); per-answer maintenance is one
+// O(edge) intern probe, independent of depth. Interning compares full edge
+// strings under the parent id, so two different transcripts can never
+// share an id — cached and uncached transcript equality stays bit-exact,
+// no rolling-hash collision caveats.
 //
 // Lifecycle. An Engine creates one PlanCache per published CatalogSnapshot
 // and hands each session the cache of the epoch it opened on. An epoch
-// hot-swap simply stops handing out the old trie: it dies with its
-// snapshot's refcount when the last session on that epoch closes, so
-// online-learning publishes invalidate stale plans for free — there is no
-// cross-epoch key, no flush, no version check on the hot path.
+// hot-swap stops handing out the old trie: it dies with its snapshot's
+// refcount as sessions drain or migrate off it. Before it does, Publish
+// harvests its hottest prefixes (per-node hit counts) and replays them
+// against the new snapshot's planners to pre-seed the fresh trie — the
+// warm-publish path that removes the post-publish cold start. Seeded
+// entries are flagged so Stats can split seeded from organic hits.
 //
-// Budgeting. Each stripe owns max_bytes/num_stripes of the (approximate)
-// memory budget and evicts its least-recently-used entries when an insert
-// pushes it over — per-stripe strict LRU, globally LRU-ish. A depth cap
-// keeps long-tail transcripts (which nobody shares) from churning the
-// budget: the engine skips the cache entirely past max_depth answers.
+// Budgeting. Nodes live in lock stripes; a node's home stripe is chosen by
+// hashing (parent, edge), and its id encodes that stripe, so Advance,
+// Lookup, Insert, and eviction each lock exactly one stripe. Each stripe
+// owns max_bytes/num_stripes and evicts LRU nodes (plus their intern
+// entries) when an insert pushes it over. Ids are never reused: a session
+// holding an evicted id simply misses until its path is re-interned —
+// correctness never depends on residency. A depth cap keeps long-tail
+// transcripts (which nobody shares) from churning the budget.
 #ifndef AIGS_SERVICE_PLAN_CACHE_H_
 #define AIGS_SERVICE_PLAN_CACHE_H_
 
@@ -54,10 +58,17 @@
 
 namespace aigs {
 
+/// Interned transcript-prefix handle — a session's O(1) rolling plan key.
+/// Never reused within one cache's lifetime; kNoPlanPrefix means "no
+/// position" (cache disabled or past the depth cap).
+using PlanPrefixId = std::uint64_t;
+inline constexpr PlanPrefixId kNoPlanPrefix = 0;
+
 struct PlanCacheOptions {
   /// Master switch; a disabled engine never consults or populates a cache.
   bool enabled = true;
-  /// Approximate memory budget over all stripes (keys + memoized queries).
+  /// Approximate memory budget over all stripes (edges + intern entries +
+  /// memoized queries).
   std::size_t max_bytes = 32u << 20;
   /// Transcript depth (answered questions) beyond which Ask bypasses the
   /// cache — deep prefixes are effectively unique per session, so caching
@@ -66,15 +77,25 @@ struct PlanCacheOptions {
   /// Lock stripes. More stripes = less contention; the budget splits evenly
   /// across them.
   std::size_t num_stripes = 16;
+  /// Pre-seed a freshly published epoch's trie by replaying the previous
+  /// trie's hottest prefixes against the new snapshot's planners.
+  bool warm_publish = true;
+  /// Maximum prefixes replayed per warm-publish seeding pass.
+  std::size_t warm_budget = 256;
 };
 
-/// Monotonic counters (hits/misses/evictions/inserts) plus a point-in-time
-/// size reading, surfaced through Engine::Stats and the serve REPL.
+/// Monotonic counters (hits/misses/evictions/inserts, with the seeded
+/// split) plus a point-in-time size reading, surfaced through
+/// Engine::Stats and the serve REPL.
 struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t inserts = 0;
+  /// Entries created by warm-publish seeding (subset of inserts) and hits
+  /// they served (subset of hits). organic = total − seeded.
+  std::uint64_t seeded_inserts = 0;
+  std::uint64_t seeded_hits = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
 
@@ -85,8 +106,17 @@ struct PlanCacheStats {
   }
 };
 
-/// Concurrent, lock-striped, budgeted memo of transcript-prefix → question.
-/// All methods are thread-safe; Lookup/Insert lock exactly one stripe.
+/// One exported hot prefix: the policy spec plus the SessionCodec step
+/// lines from the trie root to the node, with its accumulated hit count.
+/// The warm-publish seeder replays these against a fresh snapshot.
+struct HotPrefix {
+  std::string policy_spec;
+  std::vector<std::string> step_lines;
+  std::uint64_t hits = 0;
+};
+
+/// Concurrent, lock-striped, budgeted, interned question-plan trie.
+/// All methods are thread-safe; every operation locks exactly one stripe.
 class PlanCache {
  public:
   explicit PlanCache(PlanCacheOptions options);
@@ -94,41 +124,97 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// The memoized question at `key`, refreshing its LRU position. Counts a
-  /// hit or a miss.
-  std::optional<Query> Lookup(std::string_view key);
+  /// Interns the empty-transcript root for `policy_spec`.
+  PlanPrefixId RootFor(std::string_view policy_spec);
 
-  /// Memoizes `query` at `key`, evicting LRU entries of the stripe while it
-  /// is over its budget share. Re-inserting an existing key only refreshes
-  /// it (determinism makes the value identical by construction).
-  void Insert(std::string_view key, const Query& query);
+  /// Interns the child of `from` along `edge_line` (one SessionCodec step
+  /// line) and returns its id — the per-answer rolling-key update, O(edge)
+  /// regardless of depth. `from` may be an evicted id: the child is
+  /// re-interned fresh and stays correct (ids are position witnesses, not
+  /// storage addresses).
+  PlanPrefixId Advance(PlanPrefixId from, std::string_view edge_line);
+
+  /// The memoized question at `id`, refreshing its LRU position. Counts a
+  /// hit or a miss; kNoPlanPrefix and evicted ids miss.
+  std::optional<Query> Lookup(PlanPrefixId id);
+
+  /// Memoizes `query` at `id`, evicting LRU entries of the stripe while it
+  /// is over its budget share. Re-inserting an existing id only refreshes
+  /// it (determinism makes the value identical by construction). `seeded`
+  /// marks warm-publish entries for the stats split.
+  void Insert(PlanPrefixId id, const Query& query, bool seeded = false);
+
+  /// The up-to-`max_prefixes` most-hit memoized prefixes, hottest first
+  /// (ties toward shallower prefixes — cheaper to replay and their plans
+  /// serve more sessions). Prefixes whose ancestor chain was partially
+  /// evicted are skipped: they can no longer be reconstructed.
+  std::vector<HotPrefix> HottestPrefixes(std::size_t max_prefixes) const;
 
   PlanCacheStats stats() const;
   const PlanCacheOptions& options() const { return options_; }
 
  private:
-  struct Entry {
-    Query query;
+  /// One trie node: its position witness (parent + edge) for export, and
+  /// the memoized question once some session planned here.
+  struct Node {
+    PlanPrefixId parent = kNoPlanPrefix;
+    std::string edge;
+    bool has_question = false;
+    bool seeded = false;
+    Query question;
+    std::uint64_t hits = 0;
     std::size_t bytes = 0;
-    // LRU position; the list stores pointers to the map's stable keys.
-    std::list<const std::string*>::iterator lru_it;
+    std::list<PlanPrefixId>::iterator lru_it;
   };
-  /// Transparent hashing so the hot-path Lookup never materializes a
-  /// std::string from the caller's string_view key.
-  struct KeyHash {
+  /// Intern-map key; heterogeneous lookup avoids materializing a string on
+  /// the hot path.
+  struct ChildKey {
+    PlanPrefixId parent;
+    std::string edge;
+    bool operator==(const ChildKey& other) const = default;
+  };
+  struct ChildRef {
+    PlanPrefixId parent;
+    std::string_view edge;
+  };
+  struct ChildHash {
     using is_transparent = void;
-    std::size_t operator()(std::string_view key) const {
-      return std::hash<std::string_view>{}(key);
+    std::size_t operator()(const ChildKey& k) const {
+      return Mix(k.parent, k.edge);
+    }
+    std::size_t operator()(const ChildRef& k) const {
+      return Mix(k.parent, k.edge);
+    }
+    static std::size_t Mix(PlanPrefixId parent, std::string_view edge);
+  };
+  struct ChildEq {
+    using is_transparent = void;
+    bool operator()(const ChildKey& a, const ChildKey& b) const {
+      return a.parent == b.parent && a.edge == b.edge;
+    }
+    bool operator()(const ChildKey& a, const ChildRef& b) const {
+      return a.parent == b.parent && a.edge == b.edge;
+    }
+    bool operator()(const ChildRef& a, const ChildKey& b) const {
+      return a.parent == b.parent && a.edge == b.edge;
     }
   };
   struct Stripe {
     mutable std::mutex mutex;
-    std::unordered_map<std::string, Entry, KeyHash, std::equal_to<>> entries;
-    std::list<const std::string*> lru;  // front = most recently used
+    std::unordered_map<PlanPrefixId, Node> nodes;
+    std::unordered_map<ChildKey, PlanPrefixId, ChildHash, ChildEq> children;
+    std::list<PlanPrefixId> lru;  // front = most recently used
     std::size_t bytes = 0;
+    std::uint64_t next_seq = 0;
   };
 
-  Stripe& StripeFor(std::string_view key);
+  /// A node's id encodes its home stripe (the stripe its (parent, edge)
+  /// hash chose), so Advance and Lookup agree on the lock without a second
+  /// table.
+  std::size_t StripeOf(PlanPrefixId id) const {
+    return static_cast<std::size_t>((id - 1) % stripes_.size());
+  }
+  void EvictOver(Stripe& stripe);
 
   PlanCacheOptions options_;
   std::size_t stripe_budget_ = 0;
@@ -138,6 +224,8 @@ class PlanCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> seeded_inserts_{0};
+  std::atomic<std::uint64_t> seeded_hits_{0};
 };
 
 }  // namespace aigs

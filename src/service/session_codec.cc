@@ -8,7 +8,8 @@
 namespace aigs {
 namespace {
 
-constexpr const char kMagic[] = "aigs-session/1";
+constexpr const char kMagicV1[] = "aigs-session/1";
+constexpr const char kMagicV2[] = "aigs-session/2";
 
 std::string JoinNodes(const std::vector<NodeId>& nodes) {
   std::string out;
@@ -43,19 +44,37 @@ Status MalformedLine(std::size_t line_no, std::string_view line) {
                                  std::string(line) + "'");
 }
 
+StatusOr<std::uint64_t> ParseHexDigest(std::string_view text) {
+  const std::string hex{Trim(text)};
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(hex.c_str(), &end, 16);
+  if (end == hex.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed hex digest '" + hex + "'");
+  }
+  return value;
+}
+
 }  // namespace
 
 std::string SessionCodec::Encode(const SerializedSession& session) {
-  std::string out = std::string(kMagic) + "\n";
+  std::string out = std::string(kMagicV2) + "\n";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "fingerprint %016" PRIx64 "\n",
                 session.fingerprint);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "hierarchy %016" PRIx64 "\n",
+                session.hierarchy_fingerprint);
   out += buffer;
   out += "epoch " + std::to_string(session.epoch) + "\n";
   out += "policy " + session.policy_spec + "\n";
   out += "steps " + std::to_string(session.steps.size()) + "\n";
   for (const TranscriptStep& step : session.steps) {
     AppendStepKey(step, &out);
+    if (step.diverged) {
+      // The flag rides after the content fields so flagged and unflagged
+      // lines share the AppendStepKey prefix (and hence the trie edges).
+      out.insert(out.size() - 1, " d");
+    }
   }
   out += "end\n";
   return out;
@@ -85,6 +104,56 @@ void SessionCodec::AppendStepKey(const TranscriptStep& step,
   }
 }
 
+StatusOr<TranscriptStep> SessionCodec::ParseStepLine(std::string_view line) {
+  std::vector<std::string_view> fields = Split(Trim(line), ' ');
+  TranscriptStep step;
+  if (fields.size() == 4 && fields[3] == "d") {
+    step.diverged = true;
+    fields.pop_back();
+  }
+  if (fields.size() != 3) {
+    return Status::InvalidArgument("malformed transcript step '" +
+                                   std::string(Trim(line)) + "'");
+  }
+  if (fields[0] == "reach") {
+    step.kind = Query::Kind::kReach;
+    AIGS_ASSIGN_OR_RETURN(step.nodes, ParseNodes(fields[1]));
+    if (step.nodes.size() != 1 || (fields[2] != "y" && fields[2] != "n")) {
+      return Status::InvalidArgument("malformed reach step '" +
+                                     std::string(Trim(line)) + "'");
+    }
+    step.yes = fields[2] == "y";
+  } else if (fields[0] == "batch") {
+    step.kind = Query::Kind::kReachBatch;
+    AIGS_ASSIGN_OR_RETURN(step.nodes, ParseNodes(fields[1]));
+    if (fields[2].size() != step.nodes.size()) {
+      return Status::InvalidArgument("malformed batch step '" +
+                                     std::string(Trim(line)) + "'");
+    }
+    for (const char c : fields[2]) {
+      if (c != 'y' && c != 'n') {
+        return Status::InvalidArgument("malformed batch step '" +
+                                       std::string(Trim(line)) + "'");
+      }
+      step.batch_answers.push_back(c == 'y');
+    }
+  } else if (fields[0] == "choice") {
+    step.kind = Query::Kind::kChoice;
+    AIGS_ASSIGN_OR_RETURN(step.nodes, ParseNodes(fields[1]));
+    AIGS_ASSIGN_OR_RETURN(const std::int64_t answer, ParseInt64(fields[2]));
+    if (answer < -1 ||
+        answer >= static_cast<std::int64_t>(step.nodes.size())) {
+      return Status::InvalidArgument("malformed choice step '" +
+                                     std::string(Trim(line)) + "'");
+    }
+    step.choice = static_cast<int>(answer);
+  } else {
+    return Status::InvalidArgument("unknown transcript step '" +
+                                   std::string(Trim(line)) + "'");
+  }
+  return step;
+}
+
 StatusOr<SerializedSession> SessionCodec::Decode(const std::string& text) {
   SerializedSession session;
   const std::vector<std::string_view> lines = Split(text, '\n');
@@ -96,20 +165,31 @@ StatusOr<SerializedSession> SessionCodec::Decode(const std::string& text) {
     return i < lines.size() ? Trim(lines[i++]) : std::string_view();
   };
 
-  if (next_line() != kMagic) {
+  const std::string_view magic = next_line();
+  const bool v2 = magic == kMagicV2;
+  if (!v2 && magic != kMagicV1) {
     return Status::InvalidArgument(
-        "not a saved session (missing 'aigs-session/1' header)");
+        "not a saved session (missing 'aigs-session/1|2' header)");
   }
 
   std::string_view line = next_line();
   if (!line.starts_with("fingerprint ")) {
     return MalformedLine(i, line);
   }
-  {
-    const std::string hex(Trim(line.substr(12)));
-    char* end = nullptr;
-    session.fingerprint = std::strtoull(hex.c_str(), &end, 16);
-    if (end == hex.c_str() || *end != '\0') {
+  if (auto digest = ParseHexDigest(line.substr(12)); digest.ok()) {
+    session.fingerprint = *digest;
+  } else {
+    return MalformedLine(i, line);
+  }
+
+  if (v2) {
+    line = next_line();
+    if (!line.starts_with("hierarchy ")) {
+      return MalformedLine(i, line);
+    }
+    if (auto digest = ParseHexDigest(line.substr(10)); digest.ok()) {
+      session.hierarchy_fingerprint = *digest;
+    } else {
       return MalformedLine(i, line);
     }
   }
@@ -147,45 +227,17 @@ StatusOr<SerializedSession> SessionCodec::Decode(const std::string& text) {
   session.steps.reserve(num_steps);
   for (std::uint64_t s = 0; s < num_steps; ++s) {
     line = next_line();
-    const std::vector<std::string_view> fields = Split(line, ' ');
-    if (fields.size() != 3) {
+    auto step = ParseStepLine(line);
+    if (!step.ok()) {
+      if (step.status().code() == StatusCode::kOutOfRange) {
+        return step.status();  // node id overflow keeps its specific error
+      }
       return MalformedLine(i, line);
     }
-    TranscriptStep step;
-    if (fields[0] == "reach") {
-      step.kind = Query::Kind::kReach;
-      AIGS_ASSIGN_OR_RETURN(step.nodes, ParseNodes(fields[1]));
-      if (step.nodes.size() != 1 ||
-          (fields[2] != "y" && fields[2] != "n")) {
-        return MalformedLine(i, line);
-      }
-      step.yes = fields[2] == "y";
-    } else if (fields[0] == "batch") {
-      step.kind = Query::Kind::kReachBatch;
-      AIGS_ASSIGN_OR_RETURN(step.nodes, ParseNodes(fields[1]));
-      if (fields[2].size() != step.nodes.size()) {
-        return MalformedLine(i, line);
-      }
-      for (const char c : fields[2]) {
-        if (c != 'y' && c != 'n') {
-          return MalformedLine(i, line);
-        }
-        step.batch_answers.push_back(c == 'y');
-      }
-    } else if (fields[0] == "choice") {
-      step.kind = Query::Kind::kChoice;
-      AIGS_ASSIGN_OR_RETURN(step.nodes, ParseNodes(fields[1]));
-      AIGS_ASSIGN_OR_RETURN(const std::int64_t answer,
-                            ParseInt64(fields[2]));
-      if (answer < -1 || answer >= static_cast<std::int64_t>(
-                                       step.nodes.size())) {
-        return MalformedLine(i, line);
-      }
-      step.choice = static_cast<int>(answer);
-    } else {
-      return MalformedLine(i, line);
+    if (step->diverged && !v2) {
+      return MalformedLine(i, line);  // flags are a v2 feature
     }
-    session.steps.push_back(std::move(step));
+    session.steps.push_back(*std::move(step));
   }
 
   if (next_line() != "end") {

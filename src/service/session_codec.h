@@ -11,20 +11,29 @@
 //
 // Wire format (line-oriented text, versioned):
 //
-//   aigs-session/1
+//   aigs-session/2
 //   fingerprint <hex catalog digest>
+//   hierarchy <hex hierarchy-only digest>      (v2 only)
 //   epoch <n>
 //   policy <registry spec>
 //   steps <k>
-//   reach <node> <y|n>
-//   batch <node+node+...> <answer pattern, e.g. ynny>
-//   choice <node+node+...> <answer index, -1 = none>
+//   reach <node> <y|n> [d]
+//   batch <node+node+...> <answer pattern, e.g. ynny> [d]
+//   choice <node+node+...> <answer index, -1 = none> [d]
 //   end
+//
+// The trailing "d" marks a divergent step: its question was folded in by
+// TryApplyObserved during a cross-epoch migration rather than asked by the
+// session's own planner (v2 only). The hierarchy-only digest is what
+// Engine::Migrate checks — migration tolerates changed WEIGHTS, never a
+// changed node space. Decode still accepts v1 blobs (no hierarchy line, no
+// flags); those can only be restored by exact-fingerprint Resume.
 #ifndef AIGS_SERVICE_SESSION_CODEC_H_
 #define AIGS_SERVICE_SESSION_CODEC_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/policy.h"
@@ -32,22 +41,13 @@
 
 namespace aigs {
 
-/// One answered question: what was asked and what the oracle said.
-struct TranscriptStep {
-  Query::Kind kind = Query::Kind::kReach;
-  /// Queried node(s): one entry for kReach, the batch/choice lists
-  /// otherwise.
-  std::vector<NodeId> nodes;
-  bool yes = false;                 // kReach
-  std::vector<bool> batch_answers;  // kReachBatch
-  int choice = -1;                  // kChoice
-
-  bool operator==(const TranscriptStep& other) const = default;
-};
-
-/// Decoded form of a saved session.
+/// Decoded form of a saved session. (TranscriptStep itself lives in
+/// core/policy.h — it is also the unit of divergence-tolerant replay.)
 struct SerializedSession {
   std::uint64_t fingerprint = 0;
+  /// Digest of the hierarchy structure alone (0 for v1 blobs, which
+  /// predate it).
+  std::uint64_t hierarchy_fingerprint = 0;
   std::uint64_t epoch = 0;
   std::string policy_spec;
   std::vector<TranscriptStep> steps;
@@ -57,14 +57,22 @@ struct SerializedSession {
 class SessionCodec {
  public:
   static std::string Encode(const SerializedSession& session);
-  /// Rejects malformed input with InvalidArgument; never aborts.
+  /// Rejects malformed input with InvalidArgument; never aborts. Accepts
+  /// both aigs-session/1 and aigs-session/2 input.
   static StatusOr<SerializedSession> Decode(const std::string& text);
 
-  /// Appends the compact one-line encoding of `step` (exactly the line
-  /// Encode writes, newline-terminated) to `*out`. The service-layer
-  /// PlanCache keys its per-epoch trie with these lines, so cache keys and
-  /// saved transcripts share one encoding.
+  /// Appends the compact one-line encoding of `step` (the line Encode
+  /// writes, newline-terminated, WITHOUT the divergence flag — divergence
+  /// is replay bookkeeping, not transcript content) to `*out`. The
+  /// service-layer PlanCache uses these lines as its trie edges, so cache
+  /// edges and saved transcripts share one encoding.
   static void AppendStepKey(const TranscriptStep& step, std::string* out);
+
+  /// Parses one step line (the AppendStepKey encoding, with or without the
+  /// trailing divergence flag and/or newline) back into a TranscriptStep —
+  /// the inverse the warm-publish seeder uses to replay a hot trie prefix
+  /// onto a fresh snapshot. InvalidArgument on malformed input.
+  static StatusOr<TranscriptStep> ParseStepLine(std::string_view line);
 };
 
 }  // namespace aigs

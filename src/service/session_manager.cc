@@ -89,12 +89,27 @@ std::map<std::uint64_t, std::size_t> SessionManager::SessionsByEpoch() const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [id, entry] : shard.sessions) {
-      if (entry.session != nullptr && entry.session->snapshot != nullptr) {
-        ++counts[entry.session->snapshot->epoch()];
+      if (entry.session != nullptr) {
+        // The atomic epoch mirror, not the snapshot pointer: a concurrent
+        // migration may be rebinding the snapshot under the session mutex.
+        ++counts[entry.session->epoch.load(std::memory_order_relaxed)];
       }
     }
   }
   return counts;
+}
+
+std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>>
+SessionManager::SnapshotSessions() const {
+  std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.reserve(out.size() + shard.sessions.size());
+    for (const auto& [id, entry] : shard.sessions) {
+      out.emplace_back(id, entry.session);
+    }
+  }
+  return out;
 }
 
 }  // namespace aigs

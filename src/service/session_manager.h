@@ -35,30 +35,40 @@ namespace aigs {
 /// Opaque session handle. Never reused within one manager's lifetime.
 using SessionId = std::uint64_t;
 
-/// One live interactive search: the snapshot it is pinned to (keeping that
-/// epoch's policies alive across hot swaps), the policy session, and the
-/// answer transcript that makes it serializable. `mutex` serializes the
-/// engine's per-session operations; the manager itself only guards the map.
+/// One live interactive search: the snapshot it is bound to (keeping that
+/// epoch's policies alive across hot swaps — until Engine::Migrate rebinds
+/// it to a newer one), the policy session, and the answer transcript that
+/// makes it serializable. `mutex` serializes the engine's per-session
+/// operations, including the field swap a migration performs; the manager
+/// itself only guards the map.
 struct ServiceSession {
   std::shared_ptr<const CatalogSnapshot> snapshot;
   std::string policy_spec;
   const Policy* policy = nullptr;
-  /// The plan trie of the epoch this session opened on (null when caching
-  /// is disabled). Held per session so an epoch hot-swap retires the old
-  /// trie together with its snapshot refcount.
+  /// The plan trie of the session's current epoch (null when caching is
+  /// disabled). Held per session so an epoch hot-swap retires the old trie
+  /// together with its snapshot refcount as sessions drain or migrate off.
   std::shared_ptr<PlanCache> plan_cache;
+
+  /// The bound snapshot's epoch, mirrored atomically so SessionsByEpoch can
+  /// aggregate without taking every session mutex while migrations rebind
+  /// `snapshot` concurrently.
+  std::atomic<std::uint64_t> epoch{0};
 
   std::mutex mutex;
   std::unique_ptr<SearchSession> search;
   std::vector<TranscriptStep> transcript;
-  /// Incrementally-built cache key: policy spec + newline + one SessionCodec
-  /// line per answered step (the flattened trie path to this session's
-  /// position).
-  std::string plan_key;
+  /// Interned trie position for the transcript so far — the O(1) rolling
+  /// plan key (kNoPlanPrefix when caching is off or past the depth cap).
+  PlanPrefixId plan_prefix = kNoPlanPrefix;
   /// The question Ask last resolved (from the cache or the planner), so the
   /// matching Answer validates and applies without a second resolution.
   Query pending;
   bool has_pending = false;
+  /// Set when a migration invalidated a question the client had already
+  /// been shown: the next Answer is rejected until the client re-Asks (the
+  /// new epoch's planner may pose a different question).
+  bool reask_after_migration = false;
 };
 
 struct SessionManagerOptions {
@@ -95,10 +105,16 @@ class SessionManager {
   /// Live session count (racy under concurrent mutation, exact when quiet).
   std::size_t size() const;
 
-  /// Live session counts keyed by the snapshot epoch each session opened on
+  /// Live session counts keyed by each session's current snapshot epoch
   /// (racy under concurrent mutation, exact when quiet). Surfaced through
   /// Engine::Stats and the serve REPL's `stats` command.
   std::map<std::uint64_t, std::size_t> SessionsByEpoch() const;
+
+  /// A point-in-time copy of every live (id, session) pair, without
+  /// touching TTLs — the iteration base for Engine's post-publish
+  /// migration sweep (which then try-locks each session individually).
+  std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>>
+  SnapshotSessions() const;
 
  private:
   struct Entry {

@@ -18,6 +18,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kIOError,
   kInternal,
+  kUnimplemented,
 };
 
 /// Human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -277,7 +277,14 @@ TEST(PlanCache, EvictionKeepsResultsExactAndBytesBounded) {
 
 TEST(PlanCache, PublishStartsAFreshTrieAndOldSessionsKeepTheirs) {
   const CacheCase c = std::move(CacheCases().front());
-  Engine engine(CachedOptions());
+  // This test pins the PR-4 epoch-pinning path: publish must NOT disturb
+  // live sessions or seed the fresh trie. Warm seeding and the migration
+  // sweep (on by default since PR 5) are therefore explicitly disabled;
+  // tests/test_epoch_migration.cc covers them.
+  EngineOptions pinned = CachedOptions();
+  pinned.plan_cache.warm_publish = false;
+  pinned.migration.sweep_on_publish = false;
+  Engine engine(pinned);
   ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
   const std::shared_ptr<PlanCache> first_trie = engine.plan_cache();
 
@@ -342,13 +349,15 @@ TEST(PlanCache, DepthCapBypassesTheTrieOnDeepPrefixes) {
   EXPECT_LE(stats.entries, 2u);
 }
 
-// ---- (7) PlanCache unit behavior -------------------------------------------
+// ---- (7) PlanCache unit behavior (interned-trie API) -----------------------
 
-TEST(PlanCacheUnit, MissThenHitAndCounters) {
+TEST(PlanCacheUnit, InternedRollingKeyMissThenHit) {
   PlanCache cache(PlanCacheOptions{});
-  EXPECT_FALSE(cache.Lookup("greedy\n").has_value());
-  cache.Insert("greedy\n", Query::ReachQuery(5));
-  const auto hit = cache.Lookup("greedy\n");
+  const PlanPrefixId root = cache.RootFor("greedy");
+  ASSERT_NE(root, kNoPlanPrefix);
+  EXPECT_FALSE(cache.Lookup(root).has_value());
+  cache.Insert(root, Query::ReachQuery(5));
+  const auto hit = cache.Lookup(root);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->kind, Query::Kind::kReach);
   EXPECT_EQ(hit->node, 5u);
@@ -356,48 +365,125 @@ TEST(PlanCacheUnit, MissThenHitAndCounters) {
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.inserts, 1u);
-  EXPECT_EQ(stats.entries, 1u);
   EXPECT_GT(stats.bytes, 0u);
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+  EXPECT_EQ(stats.seeded_inserts, 0u);
+  EXPECT_EQ(stats.seeded_hits, 0u);
 }
 
-TEST(PlanCacheUnit, LruEvictsColdEntriesFirst) {
+TEST(PlanCacheUnit, InterningIsStableAndPerSpec) {
+  PlanCache cache(PlanCacheOptions{});
+  const PlanPrefixId a = cache.RootFor("greedy");
+  const PlanPrefixId b = cache.RootFor("wigs");
+  EXPECT_NE(a, b);  // distinct specs never share a trie position
+  EXPECT_EQ(cache.RootFor("greedy"), a);  // interning is idempotent
+  const PlanPrefixId a1 = cache.Advance(a, "reach 3 y\n");
+  EXPECT_EQ(cache.Advance(a, "reach 3 y\n"), a1);
+  EXPECT_NE(cache.Advance(a, "reach 3 n\n"), a1);
+  EXPECT_NE(cache.Advance(b, "reach 3 y\n"), a1);  // same edge, other root
+  // Deeper sessions keep advancing in O(edge): each id depends only on
+  // (parent id, edge), never on re-encoding the whole transcript.
+  const PlanPrefixId a2 = cache.Advance(a1, "reach 7 n\n");
+  EXPECT_EQ(cache.Advance(a1, "reach 7 n\n"), a2);
+}
+
+TEST(PlanCacheUnit, LookupOfUnknownOrUnplannedIdMisses) {
+  PlanCache cache(PlanCacheOptions{});
+  EXPECT_FALSE(cache.Lookup(kNoPlanPrefix).has_value());
+  EXPECT_FALSE(cache.Lookup(987654321u).has_value());  // never interned
+  const PlanPrefixId root = cache.RootFor("greedy");
+  EXPECT_FALSE(cache.Lookup(root).has_value());  // interned, not planned
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(PlanCacheUnit, LruEvictsColdEntriesAndPathsReinternFresh) {
   PlanCacheOptions options;
-  options.max_bytes = 400;  // room for ~3 entries in the single stripe
+  options.max_bytes = 900;  // room for only a few nodes in one stripe
   options.num_stripes = 1;
   PlanCache cache(options);
-  cache.Insert("a", Query::ReachQuery(1));
-  cache.Insert("b", Query::ReachQuery(2));
-  cache.Insert("c", Query::ReachQuery(3));
-  // Touch "a" so "b" is now the coldest, then insert until eviction.
-  ASSERT_TRUE(cache.Lookup("a").has_value());
-  cache.Insert("d", Query::ReachQuery(4));
-  cache.Insert("e", Query::ReachQuery(5));
+  const PlanPrefixId root = cache.RootFor("g");
+  std::vector<PlanPrefixId> ids;
+  for (int i = 0; i < 16; ++i) {
+    const PlanPrefixId id =
+        cache.Advance(root, "reach " + std::to_string(i) + " y\n");
+    cache.Insert(id, Query::ReachQuery(static_cast<NodeId>(i)));
+    ids.push_back(id);
+  }
   EXPECT_GT(cache.stats().evictions, 0u);
-  // The refreshed entry outlived the cold one.
-  EXPECT_TRUE(cache.Lookup("a").has_value());
-  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_LE(cache.stats().bytes, 900u + 512u);
+  // The earliest ids were evicted: stale ids miss (correctness never
+  // depended on residency), and re-advancing interns a FRESH id.
+  EXPECT_FALSE(cache.Lookup(ids.front()).has_value());
+  const PlanPrefixId fresh = cache.Advance(root, "reach 0 y\n");
+  EXPECT_NE(fresh, ids.front());
+  // ...which serves the path again after a re-insert.
+  cache.Insert(fresh, Query::ReachQuery(0));
+  EXPECT_TRUE(cache.Lookup(fresh).has_value());
 }
 
 TEST(PlanCacheUnit, ReinsertRefreshesWithoutDoubleCounting) {
   PlanCacheOptions options;
   options.num_stripes = 1;
   PlanCache cache(options);
-  cache.Insert("k", Query::ReachQuery(1));
+  const PlanPrefixId id = cache.RootFor("k");
+  cache.Insert(id, Query::ReachQuery(1));
   const std::size_t bytes = cache.stats().bytes;
-  cache.Insert("k", Query::ReachQuery(1));
+  cache.Insert(id, Query::ReachQuery(1));
   EXPECT_EQ(cache.stats().bytes, bytes);
-  EXPECT_EQ(cache.stats().entries, 1u);
   EXPECT_EQ(cache.stats().inserts, 1u);
 }
 
 TEST(PlanCacheUnit, BatchQueriesRoundTrip) {
   PlanCache cache(PlanCacheOptions{});
-  cache.Insert("batched\nreach 3 y\n", Query::ReachBatch({7, 9, 11}));
-  const auto hit = cache.Lookup("batched\nreach 3 y\n");
+  const PlanPrefixId id =
+      cache.Advance(cache.RootFor("batched"), "reach 3 y\n");
+  cache.Insert(id, Query::ReachBatch({7, 9, 11}));
+  const auto hit = cache.Lookup(id);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->kind, Query::Kind::kReachBatch);
   EXPECT_EQ(hit->choices, (std::vector<NodeId>{7, 9, 11}));
+}
+
+TEST(PlanCacheUnit, SeededEntriesSplitTheStats) {
+  PlanCache cache(PlanCacheOptions{});
+  const PlanPrefixId seeded = cache.RootFor("greedy");
+  const PlanPrefixId organic = cache.Advance(seeded, "reach 1 y\n");
+  cache.Insert(seeded, Query::ReachQuery(1), /*seeded=*/true);
+  cache.Insert(organic, Query::ReachQuery(2));
+  ASSERT_TRUE(cache.Lookup(seeded).has_value());
+  ASSERT_TRUE(cache.Lookup(seeded).has_value());
+  ASSERT_TRUE(cache.Lookup(organic).has_value());
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.seeded_inserts, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.seeded_hits, 2u);
+}
+
+TEST(PlanCacheUnit, HottestPrefixesReconstructStepLines) {
+  PlanCache cache(PlanCacheOptions{});
+  const PlanPrefixId root = cache.RootFor("greedy");
+  const PlanPrefixId hot = cache.Advance(root, "reach 3 y\n");
+  const PlanPrefixId deep = cache.Advance(hot, "reach 5 n\n");
+  cache.Insert(root, Query::ReachQuery(3));
+  cache.Insert(hot, Query::ReachQuery(5));
+  cache.Insert(deep, Query::ReachQuery(7));
+  // Heat: root 3 hits, hot 2, deep 0 (never looked up).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cache.Lookup(root).has_value());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(cache.Lookup(hot).has_value());
+  }
+  const std::vector<HotPrefix> prefixes = cache.HottestPrefixes(10);
+  ASSERT_EQ(prefixes.size(), 2u);  // zero-hit nodes are not exported
+  EXPECT_EQ(prefixes[0].policy_spec, "greedy");
+  EXPECT_TRUE(prefixes[0].step_lines.empty());
+  EXPECT_EQ(prefixes[0].hits, 3u);
+  EXPECT_EQ(prefixes[1].policy_spec, "greedy");
+  ASSERT_EQ(prefixes[1].step_lines.size(), 1u);
+  EXPECT_EQ(prefixes[1].step_lines[0], "reach 3 y\n");
+  EXPECT_EQ(cache.HottestPrefixes(1).size(), 1u);
 }
 
 }  // namespace

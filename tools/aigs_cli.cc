@@ -270,13 +270,26 @@ void ServeHelp() {
       "  answer <id> <value>    y|n for reach, yn... pattern for a batch,\n"
       "                         index (-1 = none) for a choice question\n"
       "  save <id> <file>       serialize the session transcript\n"
-      "  resume <file>          restore a saved session (new id)\n"
+      "  resume <file>          restore a saved session (new id; exact "
+      "replay)\n"
+      "  migrate <id>           replay a live session onto the current "
+      "epoch\n"
+      "                         (divergence-tolerant; idle sessions also "
+      "migrate\n"
+      "                         automatically after publish)\n"
+      "  warm                   re-seed the current epoch's plan trie from "
+      "the\n"
+      "                         previous epoch's hottest prefixes\n"
       "  close <id>             discard a session\n"
       "  sessions               live session count\n"
-      "  stats                  per-epoch session counts + plan-cache "
-      "counters\n"
+      "  stats                  per-epoch session counts, per-epoch plan-"
+      "trie\n"
+      "                         counters (seeded vs organic hits), "
+      "migrations\n"
       "  epoch                  current snapshot epoch + fingerprint\n"
-      "  publish <counts.txt>   load new counts, publish a new epoch\n"
+      "  publish <counts.txt>   load new counts, publish a new epoch "
+      "(warm-seeds\n"
+      "                         the trie and migrates idle sessions)\n"
       "  policies               prebuilt policy specs\n"
       "  quit                   exit\n");
 }
@@ -409,6 +422,38 @@ int CmdServe(const std::string& hierarchy_path,
       std::printf("session %llu opened (epoch %llu)\n",
                   static_cast<unsigned long long>(*id),
                   static_cast<unsigned long long>(engine.epoch()));
+    } else if (command == "migrate") {
+      unsigned long long raw_id = 0;
+      if (!(line >> raw_id)) {
+        std::printf("usage: migrate <id>\n");
+        continue;
+      }
+      auto result = engine.Migrate(static_cast<SessionId>(raw_id));
+      if (!result.ok()) {
+        warn(result.status());
+        continue;
+      }
+      if (result->from_epoch == result->to_epoch) {
+        std::printf("session %llu already on epoch %llu\n", raw_id,
+                    static_cast<unsigned long long>(result->to_epoch));
+      } else {
+        std::printf("session %llu migrated: epoch %llu -> %llu, %zu "
+                    "step(s), %zu divergent\n",
+                    raw_id,
+                    static_cast<unsigned long long>(result->from_epoch),
+                    static_cast<unsigned long long>(result->to_epoch),
+                    result->steps, result->divergent_steps);
+        std::printf("(ask %llu again — the new epoch may pose a different "
+                    "question)\n", raw_id);
+      }
+    } else if (command == "warm") {
+      auto seeded = engine.Warm();
+      if (!seeded.ok()) {
+        warn(seeded.status());
+        continue;
+      }
+      std::printf("replayed %zu hot prefix(es) from the previous epoch's "
+                  "trie into the current one\n", *seeded);
     } else if (command == "ask" || command == "answer" ||
                command == "close" || command == "save") {
       unsigned long long raw_id = 0;
@@ -494,18 +539,31 @@ int CmdServe(const std::string& hierarchy_path,
       if (!s.plan_cache_enabled) {
         std::printf("plan cache: disabled\n");
       } else {
-        const PlanCacheStats& c = s.plan_cache;
-        std::printf("plan cache: %llu hit(s), %llu miss(es), %llu "
-                    "eviction(s), %llu insert(s) — hit rate %.1f%%\n",
-                    static_cast<unsigned long long>(c.hits),
-                    static_cast<unsigned long long>(c.misses),
-                    static_cast<unsigned long long>(c.evictions),
-                    static_cast<unsigned long long>(c.inserts),
-                    100.0 * c.hit_rate());
-        std::printf("            %zu entr%s, ~%zu KiB resident\n",
-                    c.entries, c.entries == 1 ? "y" : "ies",
-                    c.bytes >> 10);
+        for (const auto& [epoch, c] : s.plan_cache_by_epoch) {
+          std::printf("plan trie (epoch %llu): %llu hit(s) — %llu seeded / "
+                      "%llu organic — %llu miss(es), %llu eviction(s), "
+                      "hit rate %.1f%%\n",
+                      static_cast<unsigned long long>(epoch),
+                      static_cast<unsigned long long>(c.hits),
+                      static_cast<unsigned long long>(c.seeded_hits),
+                      static_cast<unsigned long long>(c.hits -
+                                                      c.seeded_hits),
+                      static_cast<unsigned long long>(c.misses),
+                      static_cast<unsigned long long>(c.evictions),
+                      100.0 * c.hit_rate());
+          std::printf("  %llu insert(s) — %llu warm-seeded / %llu organic "
+                      "— %zu entr%s, ~%zu KiB resident\n",
+                      static_cast<unsigned long long>(c.inserts),
+                      static_cast<unsigned long long>(c.seeded_inserts),
+                      static_cast<unsigned long long>(c.inserts -
+                                                      c.seeded_inserts),
+                      c.entries, c.entries == 1 ? "y" : "ies",
+                      c.bytes >> 10);
+        }
       }
+      std::printf("migrations: %llu session(s) migrated, %llu failure(s)\n",
+                  static_cast<unsigned long long>(s.sessions_migrated),
+                  static_cast<unsigned long long>(s.migration_failures));
     } else if (command == "epoch") {
       const auto snap = engine.snapshot();
       std::printf("epoch %llu, catalog fingerprint %016llx\n",
@@ -536,8 +594,9 @@ int CmdServe(const std::string& hierarchy_path,
         warn(published.status());
         continue;
       }
-      std::printf("published epoch %llu (live sessions stay on their "
-                  "epoch)\n",
+      std::printf("published epoch %llu (trie warm-seeded from the old "
+                  "epoch; idle sessions migrated — see 'stats'; sessions "
+                  "mid-question stay on their epoch)\n",
                   static_cast<unsigned long long>((*published)->epoch()));
     } else if (command == "policies") {
       for (const std::string& spec : engine.snapshot()->policy_specs()) {
