@@ -1114,6 +1114,9 @@ StatusOr<std::unique_ptr<Engine>> MakeLifecycleEngine(bool warm,
   EngineOptions options;
   options.plan_cache.warm_publish = warm;
   options.migration.sweep_on_publish = sweep;
+  // These benches time the inline seeding/sweep paths and read trie stats
+  // right after Publish; the background worker would race both.
+  options.drain.background = false;
   return std::make_unique<Engine>(options);
 }
 
@@ -1348,10 +1351,115 @@ Status LifecycleRollingKeys(SuiteContext& ctx) {
   return Status::OK();
 }
 
+/// Nearest-rank percentile (q in (0, 1]) of a sample, copied and sorted.
+double NearestRankMs(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size()) + 0.9999);
+  rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+/// (d) The PR-6 publish-latency SLO: with the background drain worker,
+/// Publish is the O(1) snapshot swap — its latency must stay FLAT as the
+/// live-session count grows, while the inline (PR-5) publish pays the
+/// whole sweep on the publishing thread and scales linearly. Guarded
+/// suite-internally (Status::Internal), never via wall time in the
+/// baseline file.
+Status LifecyclePublishLatency(SuiteContext& ctx, const Dataset& d) {
+  const std::vector<std::size_t> counts =
+      ctx.smoke ? std::vector<std::size_t>{1'000, 8'000}
+                : std::vector<std::size_t>{1'000, 100'000, 1'000'000};
+  const std::size_t kReps = 9;
+
+  AsciiTable table({"Sessions", "Mode", "Publish p50 ms", "Publish p99 ms",
+                    "Fully drained ms"});
+  // p50 keyed by (background, session count) for the gates below.
+  std::map<std::pair<bool, std::size_t>, double> p50s;
+  for (const std::size_t count : counts) {
+    for (const bool background : {false, true}) {
+      EngineOptions options;
+      options.drain.background = background;
+      Engine engine(options);
+      AIGS_RETURN_NOT_OK(
+          PublishLifecycleEpoch(engine, d, d.real_distribution));
+      for (std::size_t i = 0; i < count; ++i) {
+        AIGS_RETURN_NOT_OK(engine.Open("greedy").status());
+      }
+      std::vector<double> publish_ms, drained_ms;
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        // Every rep re-migrates the full session population one epoch
+        // forward, so each timed Publish faces identical drain work.
+        WallTimer timer;
+        AIGS_RETURN_NOT_OK(
+            PublishLifecycleEpoch(engine, d, d.real_distribution));
+        publish_ms.push_back(timer.ElapsedMillis());
+        engine.WaitForDrain();
+        drained_ms.push_back(timer.ElapsedMillis());
+      }
+      const double p50 = NearestRankMs(publish_ms, 0.50);
+      const double p99 = NearestRankMs(publish_ms, 0.99);
+      const double drained = NearestRankMs(drained_ms, 0.50);
+      p50s[{background, count}] = p50;
+      table.AddRow({FormatWithCommas(count),
+                    background ? "background" : "inline",
+                    FormatDouble(p50, 3), FormatDouble(p99, 3),
+                    FormatDouble(drained, 3)});
+      if (ctx.results != nullptr) {
+        // Synthetic guard rows: all cost aggregates are zero by
+        // construction (stable everywhere); the latency lives in wall_ms,
+        // which the baseline guard never compares.
+        ScenarioResult row;
+        row.spec.label = "epoch_lifecycle/publish_latency/" +
+                         std::string(background ? "background" : "inline") +
+                         "/" + d.name + "/" + std::to_string(count);
+        row.spec.dataset = d.name;
+        row.spec.policy = "greedy";
+        row.spec.service = true;
+        row.policy_name = "greedy";
+        row.nodes = d.hierarchy.NumNodes();
+        row.wall_ms = p50;
+        ctx.results->push_back(row);
+      }
+    }
+  }
+  std::printf("[publish latency: %s, %zu timed publishes per cell, idle "
+              "sessions at depth 0]\n%s\n",
+              d.name.c_str(), kReps, table.ToString().c_str());
+
+  // The SLO gates. Flatness: the background swap at the largest session
+  // count must stay within 2x of the smallest (plus 1ms absolute slack —
+  // the swap is microseconds, timer noise is not). Separation: the inline
+  // publish pays the sweep for the whole population, so at the largest
+  // count it cannot undercut the O(1) swap.
+  const double bg_min = p50s[{true, counts.front()}];
+  const double bg_max = p50s[{true, counts.back()}];
+  const double inline_max = p50s[{false, counts.back()}];
+  if (bg_max > 2.0 * bg_min + 1.0) {
+    return Status::Internal(
+        "publish latency SLO violated: background p50 grew from " +
+        FormatDouble(bg_min, 3) + "ms at " +
+        std::to_string(counts.front()) + " sessions to " +
+        FormatDouble(bg_max, 3) + "ms at " + std::to_string(counts.back()) +
+        " — the swap is no longer O(1) in the session count");
+  }
+  if (inline_max < 0.8 * bg_max) {
+    return Status::Internal(
+        "publish latency SLO sanity failed: inline publish (" +
+        FormatDouble(inline_max, 3) + "ms) undercuts the background swap (" +
+        FormatDouble(bg_max, 3) + "ms) at " +
+        std::to_string(counts.back()) + " sessions");
+  }
+  std::printf("background publish p50 flat in the session count (within 2x "
+              "%zu -> %zu): OK\n\n",
+              counts.front(), counts.back());
+  return Status::OK();
+}
+
 Status SuiteEpochLifecycle(SuiteContext& ctx) {
   PrintConfig(ctx,
               "epoch_lifecycle: cross-epoch migration, warm publish, "
-              "O(1) rolling plan keys (PR 5)");
+              "O(1) rolling plan keys, publish-latency SLO (PR 5/6)");
   const double scale = std::min(ctx.scale, ctx.smoke ? 0.02 : 0.1);
   AIGS_ASSIGN_OR_RETURN(const Dataset* amazon,
                         ctx.cache->Get("amazon", scale));
@@ -1361,6 +1469,7 @@ Status SuiteEpochLifecycle(SuiteContext& ctx) {
   AIGS_RETURN_NOT_OK(LifecycleMigrationThroughput(ctx, *imagenet));
   AIGS_RETURN_NOT_OK(LifecycleWarmPublish(ctx, *amazon));
   AIGS_RETURN_NOT_OK(LifecycleRollingKeys(ctx));
+  AIGS_RETURN_NOT_OK(LifecyclePublishLatency(ctx, *amazon));
 
   // Guarded scenario rows: the service path under the non-uniform
   // depth-based cost model (per-node prices; Szyfelbein's cost-generalized

@@ -8,13 +8,14 @@ namespace {
 
 class MigsSession final : public SearchSession {
  public:
-  MigsSession(const Digraph& g,
+  MigsSession(const Hierarchy& hierarchy,
               const std::vector<std::vector<NodeId>>* ordered_children,
               std::size_t max_choices)
-      : graph_(&g),
+      : hierarchy_(&hierarchy),
+        graph_(&hierarchy.graph()),
         ordered_children_(ordered_children),
         max_choices_(max_choices),
-        node_(g.root()) {}
+        node_(hierarchy.graph().root()) {}
 
   Query PlanQuestion() const override {
     const std::vector<NodeId>& children = ChildrenOf(node_);
@@ -42,6 +43,79 @@ class MigsSession final : public SearchSession {
     offset_ = 0;
   }
 
+  // Observed fold (cross-epoch migration): a choice recorded under another
+  // epoch's likelihood ordering presents categories this automaton would
+  // batch or order differently. Rewrite the underlying facts — "the target
+  // is under c" / "under none of these" — against the current
+  // (node_, offset_) scan state instead of replaying the batch verbatim.
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kChoice) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const ReachabilityIndex& reach = hierarchy_->reach();
+    for (const NodeId v : step.nodes) {
+      if (v >= hierarchy_->NumNodes()) {
+        return Status::OutOfRange("observed choice node " +
+                                  std::to_string(v) +
+                                  " outside the hierarchy");
+      }
+    }
+    if (step.choice >= 0) {
+      const NodeId c = step.nodes[static_cast<std::size_t>(step.choice)];
+      if (c == node_ || reach.Reaches(c, node_)) {
+        return Status::OK();  // ancestor-or-self: membership already known
+      }
+      if (!reach.Reaches(node_, c)) {
+        // Not under the current node. On a tree that contradicts the pick
+        // that descended here; on a DAG the fact is consistent
+        // (multi-parent targets) but this single-node automaton cannot
+        // hold it — forget it, the scan stays exact.
+        return hierarchy_->is_tree()
+                   ? Status::InvalidArgument(
+                         "observed choice " + std::to_string(c) +
+                         " outside the current category's subtree")
+                   : Status::OK();
+      }
+      // c lies below node_: reject a pick inside a category an earlier
+      // "none of these" round already ruled out.
+      const std::vector<NodeId>& children = ChildrenOf(node_);
+      for (std::size_t i = 0; i < offset_ && i < children.size(); ++i) {
+        if (children[i] == c || reach.Reaches(children[i], c)) {
+          return Status::InvalidArgument(
+              "observed choice " + std::to_string(c) +
+              " inside an already-eliminated category");
+        }
+      }
+      node_ = c;
+      offset_ = 0;
+      return Status::OK();
+    }
+    // "None of these": every presented category is ruled out. Contradict
+    // when one of them contains the current node (whose membership is an
+    // established yes); otherwise advance the scan past children the
+    // observed round covers and forget the rest.
+    for (const NodeId x : step.nodes) {
+      if (x == node_ || reach.Reaches(x, node_)) {
+        return Status::InvalidArgument(
+            "observed 'none of these' rules out node " + std::to_string(x) +
+            ", an ancestor of the current category");
+      }
+    }
+    const std::vector<NodeId>& children = ChildrenOf(node_);
+    const auto covered = [&](NodeId child) {
+      for (const NodeId x : step.nodes) {
+        if (x == child || reach.Reaches(x, child)) {
+          return true;  // R(child) ⊆ R(x), so the no transfers
+        }
+      }
+      return false;
+    };
+    while (offset_ < children.size() && covered(children[offset_])) {
+      ++offset_;
+    }
+    return Status::OK();
+  }
+
  private:
   const std::vector<NodeId>& ChildrenOf(NodeId v) const {
     if (!ordered_children_->empty()) {
@@ -52,6 +126,7 @@ class MigsSession final : public SearchSession {
     return scratch_;
   }
 
+  const Hierarchy* hierarchy_;
   const Digraph* graph_;
   const std::vector<std::vector<NodeId>>* ordered_children_;
   std::size_t max_choices_;
@@ -84,8 +159,7 @@ MigsPolicy::MigsPolicy(const Hierarchy& hierarchy, const Distribution& dist,
 }
 
 std::unique_ptr<SearchSession> MigsPolicy::NewSession() const {
-  return std::make_unique<MigsSession>(hierarchy_->graph(),
-                                       &ordered_children_,
+  return std::make_unique<MigsSession>(*hierarchy_, &ordered_children_,
                                        options_.max_choices_per_question);
 }
 

@@ -5,7 +5,10 @@ namespace {
 
 class TopDownSession final : public SearchSession {
  public:
-  explicit TopDownSession(const Digraph& g) : graph_(&g), node_(g.root()) {}
+  explicit TopDownSession(const Hierarchy& hierarchy)
+      : hierarchy_(&hierarchy),
+        graph_(&hierarchy.graph()),
+        node_(hierarchy.graph().root()) {}
 
   Query PlanQuestion() const override {
     const auto children = graph_->Children(node_);
@@ -26,7 +29,63 @@ class TopDownSession final : public SearchSession {
     }
   }
 
+  // Observed fold (cross-epoch migration): a question recorded under
+  // another epoch need not be the current scan probe (ApplyReach is fatal
+  // on that). Rewrite the fact against (node_, child_idx_): a yes below
+  // the current node descends, a no matching the scan head advances, and
+  // facts the automaton cannot encode are forgotten (it re-asks them).
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const NodeId q = step.nodes[0];
+    if (q >= hierarchy_->NumNodes()) {
+      return Status::OutOfRange("observed question node " +
+                                std::to_string(q) +
+                                " outside the hierarchy");
+    }
+    const ReachabilityIndex& reach = hierarchy_->reach();
+    const auto children = graph_->Children(node_);
+    if (step.yes) {
+      if (q == node_ || reach.Reaches(q, node_)) {
+        return Status::OK();  // ancestor-or-self: already known
+      }
+      if (!reach.Reaches(node_, q)) {
+        // Outside the current subtree: a contradiction on a tree, a
+        // consistent-but-unrepresentable fact on a DAG (drop it).
+        return hierarchy_->is_tree()
+                   ? Status::InvalidArgument(
+                         "observed yes for node " + std::to_string(q) +
+                         " outside the current descent subtree")
+                   : Status::OK();
+      }
+      for (std::size_t i = 0; i < child_idx_ && i < children.size(); ++i) {
+        if (children[i] == q || reach.Reaches(children[i], q)) {
+          return Status::InvalidArgument(
+              "observed yes for node " + std::to_string(q) +
+              " inside an already-eliminated child subtree");
+        }
+      }
+      node_ = q;
+      child_idx_ = 0;
+      return Status::OK();
+    }
+    if (q == node_ || reach.Reaches(q, node_)) {
+      return Status::InvalidArgument(
+          "observed no for node " + std::to_string(q) +
+          " contradicts the descent that reached the current node");
+    }
+    if (child_idx_ < children.size() && children[child_idx_] == q) {
+      ++child_idx_;  // exactly the pending scan probe: native advance
+    }
+    // Any other no is either already implied (eliminated or disjoint
+    // region) or not representable as a scan position; both are safe to
+    // forget.
+    return Status::OK();
+  }
+
  private:
+  const Hierarchy* hierarchy_;
   const Digraph* graph_;
   NodeId node_;
   std::size_t child_idx_ = 0;
@@ -35,7 +94,7 @@ class TopDownSession final : public SearchSession {
 }  // namespace
 
 std::unique_ptr<SearchSession> TopDownPolicy::NewSession() const {
-  return std::make_unique<TopDownSession>(hierarchy_->graph());
+  return std::make_unique<TopDownSession>(*hierarchy_);
 }
 
 }  // namespace aigs

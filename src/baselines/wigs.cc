@@ -82,6 +82,97 @@ class WigsTreeSession final : public SearchSession {
     }
   }
 
+  // Observed fold (cross-epoch migration): a question recorded under
+  // another epoch's heavy paths need not match this automaton's pending
+  // probe (ApplyReach routes strictly by phase). Rewrite the fact against
+  // the deepest known yes-node instead: a deeper yes restarts the search
+  // at that node (forgetting nested no-knowledge is safe — those probes
+  // may be re-asked; identification stays exact), a no matching a pending
+  // probe narrows natively, and anything else is implied or forgotten.
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const NodeId q = step.nodes[0];
+    if (q >= tree_->NumNodes()) {
+      return Status::OutOfRange("observed question node " +
+                                std::to_string(q) +
+                                " outside the hierarchy");
+    }
+    // Settle so the phase fields below describe the current state.
+    if (!plan_settled()) {
+      (void)PlanQuestion();
+    }
+    const NodeId deepest = phase_ == Phase::kBinarySearch ? path_[lo_]
+                           : phase_ == Phase::kLightScan  ? anchor_
+                                                          : root_;
+    const auto eliminated = [&](NodeId v) {
+      switch (phase_) {
+        case Phase::kStartPath:
+          return false;
+        case Phase::kBinarySearch:
+          // The shallowest no on the heavy path, if any, cuts its subtree.
+          return hi_ + 1 < path_.size() && tree_->InSubtree(path_[hi_ + 1], v);
+        case Phase::kLightScan: {
+          if (heavy_child_ != kInvalidNode &&
+              tree_->InSubtree(heavy_child_, v)) {
+            return true;
+          }
+          const auto& children = (*ordered_children_)[anchor_];
+          for (std::size_t i = 0; i < scan_idx_ && i < children.size(); ++i) {
+            if (tree_->InSubtree(children[i], v)) {
+              return true;
+            }
+          }
+          return false;
+        }
+      }
+      return false;
+    };
+    if (step.yes) {
+      if (q == deepest || tree_->InSubtree(q, deepest)) {
+        return Status::OK();  // ancestor-or-self: already known
+      }
+      if (!tree_->InSubtree(deepest, q)) {
+        return Status::InvalidArgument(
+            "observed yes for node " + std::to_string(q) +
+            " disjoint from the deepest known yes-node");
+      }
+      if (eliminated(q)) {
+        return Status::InvalidArgument(
+            "observed yes for node " + std::to_string(q) +
+            " inside an already-eliminated subtree");
+      }
+      root_ = q;  // restart below the new deepest yes
+      phase_ = Phase::kStartPath;
+      return Status::OK();
+    }
+    if (q == deepest || tree_->InSubtree(q, deepest)) {
+      return Status::InvalidArgument(
+          "observed no for node " + std::to_string(q) +
+          " contradicts the deepest known yes-node");
+    }
+    if (eliminated(q) || !tree_->InSubtree(deepest, q)) {
+      return Status::OK();  // already implied
+    }
+    if (phase_ == Phase::kBinarySearch) {
+      for (std::size_t k = lo_ + 1; k <= hi_; ++k) {
+        if (path_[k] == q) {
+          hi_ = k - 1;  // narrows the binary search natively
+          return Status::OK();
+        }
+      }
+    } else if (phase_ == Phase::kLightScan) {
+      const auto& children = (*ordered_children_)[anchor_];
+      if (scan_idx_ < children.size() && children[scan_idx_] == q) {
+        ++scan_idx_;  // exactly the pending scan probe
+        return Status::OK();
+      }
+    }
+    // A no the automaton cannot encode as a search position; forget it.
+    return Status::OK();
+  }
+
  private:
   enum class Phase { kStartPath, kBinarySearch, kLightScan };
 
@@ -162,6 +253,67 @@ class WigsDagSession final : public SearchSession {
     if (lo_ >= hi_) {
       phase_ = Phase::kChildScan;  // anchor found; scan its children
     }
+  }
+
+  // Observed fold (cross-epoch migration): classify R(q) ∩ C through the
+  // reachability index (like the greedy DAG policy — the appliers require
+  // an alive q) and fold informative answers into the candidate state,
+  // then drop back to the child scan: any in-flight chain was built for
+  // the pre-fold candidate set and is rebuilt from the next plan.
+  Status ApplyObservedStep(const TranscriptStep& step) override {
+    if (step.kind != Query::Kind::kReach) {
+      return SearchSession::ApplyObservedStep(step);
+    }
+    const Hierarchy& h = state_.base().hierarchy();
+    const NodeId q = step.nodes[0];
+    if (q >= h.NumNodes()) {
+      return Status::OutOfRange("observed question node " +
+                                std::to_string(q) +
+                                " outside the hierarchy");
+    }
+    const ReachabilityIndex& reach = h.reach();
+    std::size_t inside = 0;
+    state_.candidates().bits().ForEachSetBit([&](std::size_t raw) {
+      inside += reach.Reaches(q, static_cast<NodeId>(raw)) ? 1 : 0;
+    });
+    const std::size_t alive = state_.AliveCount();
+    if (step.yes) {
+      if (inside == 0) {
+        return Status::InvalidArgument(
+            "observed yes for node " + std::to_string(q) +
+            " would eliminate every candidate (inconsistent transcript)");
+      }
+      if (!state_.IsAlive(q)) {
+        if (inside == alive) {
+          return Status::OK();  // no information; keep the alive root
+        }
+        return Status::Unimplemented(
+            "observed yes for eliminated node " + std::to_string(q) +
+            " still splits the candidates");
+      }
+      if (q != state_.root()) {
+        state_.ApplyYes(q);
+        anchor_ = q;
+      }
+      phase_ = Phase::kChildScan;
+      return Status::OK();
+    }
+    if (inside == 0) {
+      return Status::OK();  // already known
+    }
+    if (inside == alive) {
+      return Status::InvalidArgument(
+          "observed no for node " + std::to_string(q) +
+          " would eliminate every candidate (inconsistent transcript)");
+    }
+    if (!state_.IsAlive(q)) {
+      return Status::Unimplemented(
+          "observed no for eliminated node " + std::to_string(q) +
+          " still splits the candidates");
+    }
+    state_.ApplyNo(q);
+    phase_ = Phase::kChildScan;
+    return Status::OK();
   }
 
  private:

@@ -155,12 +155,16 @@ class SearchSession {
   /// step here may genuinely differ from PlanQuestion().
   ///
   /// The candidate-state policies (the greedy family, batched,
-  /// cost-sensitive) support this: a reachability answer is a fact about
-  /// the hidden target, valid under any distribution, so it folds into the
-  /// candidate set regardless of which planner asked it. The phase-automata
-  /// baselines (top-down, WIGS, MIGS, scripted) keep the conservative
-  /// default: Unimplemented, so migration of their sessions only succeeds
-  /// on the zero-divergence path.
+  /// cost-sensitive) fold a divergent answer straight into the candidate
+  /// set: a reachability answer is a fact about the hidden target, valid
+  /// under any distribution, regardless of which planner asked it. The
+  /// phase-automata baselines (top-down, WIGS, MIGS) rewrite the fact into
+  /// their automaton state instead — descend/narrow/restart when the
+  /// observed answer is representable, silently forget facts that are
+  /// consistent but outside what the automaton encodes (the planner may
+  /// re-ask them; identification stays exact). Only the scripted test
+  /// policy keeps the conservative default: Unimplemented, so migration of
+  /// its sessions succeeds solely on the zero-divergence path.
   ///
   /// Returns InvalidArgument when the step is malformed (shape-validated
   /// here, so overrides may assume a well-formed step) or the observed

@@ -38,7 +38,12 @@ StatusOr<OnlineSeries> RunOnlineLearning(const Hierarchy& hierarchy,
   std::vector<long double> block_cost_sum(num_blocks, 0);
   long double grand_sum = 0;
 
-  Engine engine;
+  // Inline drains: the evaluator publishes many epochs back to back and
+  // measures costs deterministically — background batching and thread
+  // scheduling have no business in the numbers.
+  EngineOptions engine_options;
+  engine_options.drain.background = false;
+  Engine engine(engine_options);
   std::uint64_t epochs_published = 0;
   const auto publish = [&](const EmpiricalCounts& counts) -> Status {
     CatalogConfig config;

@@ -1,8 +1,339 @@
 #include "service/engine.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace aigs {
+
+/// Background drain pipeline: one coordinator thread consuming publish
+/// jobs plus a small private pool that migrates sessions within a batch.
+///
+/// Cancellation model: Enqueue bumps a generation; the coordinator checks
+/// it between batches (and per tick inside a batch pass), so a newer
+/// Publish rolls the in-flight drain forward instead of letting it finish
+/// against a stale epoch. A job never pins an epoch itself — it re-reads
+/// the engine's current state when it runs, so the sweep always targets
+/// the newest snapshot no matter how Enqueues interleave.
+///
+/// Safety model: every per-session step re-checks liveness through
+/// SessionManager::Peek (no TTL refresh — an evicted session is never
+/// resurrected), takes the session mutex with try_lock (a session touched
+/// by a live request is retried next tick, never blocked on), and leaves
+/// mid-question sessions pinned exactly like the inline sweep.
+class EpochDrainWorker {
+ public:
+  EpochDrainWorker(Engine* engine, DrainOptions options)
+      : engine_(engine),
+        options_(options),
+        pool_(std::max<std::size_t>(1, options.max_concurrency)),
+        coordinator_([this] { Loop(); }) {}
+
+  ~EpochDrainWorker() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+    coordinator_.join();
+  }
+
+  /// Replaces any pending job (the newest publish wins) and cancels the
+  /// running one at its next batch boundary.
+  void Enqueue(std::shared_ptr<PlanCache> cache,
+               std::shared_ptr<PlanCache> warm_source, bool sweep) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ = Job{std::move(cache), std::move(warm_source), sweep};
+      has_pending_ = true;
+      generation_.fetch_add(1, std::memory_order_relaxed);
+      drains_.fetch_add(1, std::memory_order_relaxed);
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Blocks until no job is pending or running.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return shutdown_ || (!has_pending_ && !active_); });
+  }
+
+  DrainStats Snapshot() const {
+    DrainStats stats;
+    stats.background = true;
+    stats.phase =
+        static_cast<DrainPhase>(phase_.load(std::memory_order_relaxed));
+    stats.target_epoch = target_epoch_.load(std::memory_order_relaxed);
+    stats.sessions_remaining = remaining_.load(std::memory_order_relaxed);
+    stats.warm_total = warm_total_.load(std::memory_order_relaxed);
+    stats.warm_seeded = warm_seeded_.load(std::memory_order_relaxed);
+    stats.batches = batches_.load(std::memory_order_relaxed);
+    stats.last_batch = last_batch_.load(std::memory_order_relaxed);
+    stats.migrated = migrated_.load(std::memory_order_relaxed);
+    stats.failed = failed_.load(std::memory_order_relaxed);
+    stats.skipped_pinned = skipped_pinned_.load(std::memory_order_relaxed);
+    stats.retried_busy = retried_busy_.load(std::memory_order_relaxed);
+    stats.expired = expired_.load(std::memory_order_relaxed);
+    stats.drains = drains_.load(std::memory_order_relaxed);
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.rolled_forward = rolled_forward_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  struct Job {
+    /// The freshly published trie and its warm-seed source; either may be
+    /// null (cache disabled or warm-publish off).
+    std::shared_ptr<PlanCache> cache;
+    std::shared_ptr<PlanCache> warm_source;
+    bool sweep = false;
+  };
+
+  bool Superseded(std::uint64_t generation) const {
+    return stop_.load(std::memory_order_relaxed) ||
+           generation_.load(std::memory_order_relaxed) != generation;
+  }
+
+  void Loop() {
+    for (;;) {
+      Job job;
+      std::uint64_t generation = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return shutdown_ || has_pending_; });
+        if (shutdown_) {
+          return;  // abandon pending work; old epochs just stay pinned
+        }
+        job = std::move(pending_);
+        has_pending_ = false;
+        active_ = true;
+        generation = generation_.load(std::memory_order_relaxed);
+      }
+      RunJob(job, generation);
+      phase_.store(static_cast<std::uint8_t>(DrainPhase::kIdle),
+                   std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        active_ = false;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  void RunJob(const Job& job, std::uint64_t generation) {
+    // Re-read the engine's CURRENT epoch state: publishes are serialized
+    // by the snapshot mutex, so this is the newest epoch even when the
+    // Enqueue that carried `job` raced another publish.
+    std::shared_ptr<const CatalogSnapshot> snapshot;
+    std::shared_ptr<PlanCache> current_cache;
+    engine_->CurrentEpochState(&snapshot, &current_cache);
+    if (snapshot == nullptr) {
+      return;
+    }
+    target_epoch_.store(snapshot->epoch(), std::memory_order_relaxed);
+
+    // WARM phase. Only when the job's trie is still the live one — a
+    // superseded publish's trie has already been retired, and seeding it
+    // would be wasted work.
+    if (job.cache != nullptr && job.cache == current_cache &&
+        job.warm_source != nullptr) {
+      if (!Warm(job, *snapshot, generation)) {
+        rolled_forward_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+
+    // SWEEP phase.
+    if (job.sweep) {
+      if (!Sweep(*snapshot, generation)) {
+        rolled_forward_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Warm phase body; false when superseded mid-way.
+  bool Warm(const Job& job, const CatalogSnapshot& snapshot,
+            std::uint64_t generation) {
+    phase_.store(static_cast<std::uint8_t>(DrainPhase::kWarming),
+                 std::memory_order_relaxed);
+    const std::vector<HotPrefix> prefixes = job.warm_source->HottestPrefixes(
+        engine_->options_.plan_cache.warm_budget);
+    warm_total_.store(prefixes.size(), std::memory_order_relaxed);
+    warm_seeded_.store(0, std::memory_order_relaxed);
+    std::size_t done = 0;
+    while (done < prefixes.size()) {
+      if (Superseded(generation)) {
+        return false;
+      }
+      const std::size_t end =
+          std::min(done + options_.batch_size, prefixes.size());
+      std::size_t seeded = 0;
+      for (; done < end; ++done) {
+        seeded += engine_->WarmSeedPrefix(snapshot, *job.cache,
+                                          prefixes[done])
+                      ? 1
+                      : 0;
+      }
+      warm_seeded_.fetch_add(seeded, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Sweep phase body; false when superseded mid-way.
+  bool Sweep(const CatalogSnapshot& snapshot, std::uint64_t generation) {
+    using Clock = std::chrono::steady_clock;
+    phase_.store(static_cast<std::uint8_t>(DrainPhase::kSweeping),
+                 std::memory_order_relaxed);
+    const std::uint64_t target_epoch = snapshot.epoch();
+    std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>> work;
+    for (auto& [id, session] : engine_->sessions_.SnapshotSessions()) {
+      if (session != nullptr &&
+          session->epoch.load(std::memory_order_relaxed) != target_epoch) {
+        work.emplace_back(id, std::move(session));
+      }
+    }
+    remaining_.store(work.size(), std::memory_order_relaxed);
+
+    while (!work.empty()) {
+      std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>>
+          retry;
+      std::mutex retry_mu;
+      Clock::time_point tick_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.tick_budget_ms);
+      for (std::size_t start = 0; start < work.size();
+           start += options_.batch_size) {
+        if (Superseded(generation)) {
+          return false;
+        }
+        if (Clock::now() >= tick_deadline) {
+          std::this_thread::yield();  // tick boundary: give traffic a gap
+          tick_deadline = Clock::now() +
+                          std::chrono::milliseconds(options_.tick_budget_ms);
+        }
+        const std::size_t end =
+            std::min(start + options_.batch_size, work.size());
+        pool_.ParallelFor(end - start, [&](std::size_t i) {
+          DrainSession(work[start + i].first, work[start + i].second,
+                       target_epoch, &retry, &retry_mu);
+        });
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        last_batch_.store(end - start, std::memory_order_relaxed);
+        remaining_.store(work.size() - end + retry.size(),
+                         std::memory_order_relaxed);
+      }
+      if (retry.size() == work.size()) {
+        // Every remaining session was lock-busy; back off briefly instead
+        // of spinning against live traffic (a newer publish or shutdown
+        // wakes the wait immediately).
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+          return shutdown_ || has_pending_;
+        });
+        if (shutdown_ || has_pending_) {
+          return false;
+        }
+      }
+      work = std::move(retry);
+    }
+    remaining_.store(0, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// One session's drain step (runs on the pool).
+  void DrainSession(
+      SessionId id, const std::shared_ptr<ServiceSession>& session,
+      std::uint64_t target_epoch,
+      std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>>*
+          retry,
+      std::mutex* retry_mu) {
+    // Liveness re-check WITHOUT a TTL refresh: a session the manager
+    // evicted (or replaced) since the sweep captured it is dropped, never
+    // resurrected or double-counted.
+    if (engine_->sessions_.Peek(id) != session) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(session->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      retried_busy_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> retry_lock(*retry_mu);
+      retry->emplace_back(id, session);
+      return;
+    }
+    if (session->epoch.load(std::memory_order_relaxed) >= target_epoch) {
+      return;  // a live request or an explicit Migrate got there first
+    }
+    if (session->has_pending) {
+      // The client owes an answer to a question it has already been
+      // shown. Migrating would change it under them — leave the session
+      // pinned (it migrates after its next answer or drains naturally);
+      // retrying next tick would just re-skip it.
+      skipped_pinned_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (engine_->MigrateLocked(id, *session).ok()) {
+      migrated_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Engine* engine_;
+  DrainOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  Job pending_;
+  bool has_pending_ = false;
+  bool active_ = false;
+  bool shutdown_ = false;
+
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint8_t> phase_{
+      static_cast<std::uint8_t>(DrainPhase::kIdle)};
+  std::atomic<std::uint64_t> target_epoch_{0};
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<std::size_t> warm_total_{0};
+  std::atomic<std::size_t> warm_seeded_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::size_t> last_batch_{0};
+  std::atomic<std::uint64_t> migrated_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> skipped_pinned_{0};
+  std::atomic<std::uint64_t> retried_busy_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> drains_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rolled_forward_{0};
+
+  std::thread coordinator_;  // last: joined before members die
+};
+
+const char* DrainPhaseName(DrainPhase phase) {
+  switch (phase) {
+    case DrainPhase::kIdle:
+      return "idle";
+    case DrainPhase::kWarming:
+      return "warming";
+    case DrainPhase::kSweeping:
+      return "sweeping";
+  }
+  return "?";
+}
+
 namespace {
 
 const char* KindName(Query::Kind kind) {
@@ -97,7 +428,26 @@ Status ApplyMatchedStep(SearchSession& search, const TranscriptStep& step) {
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), sessions_(std::move(options.sessions)) {}
+    : options_(options), sessions_(std::move(options.sessions)) {
+  if (options_.drain.background) {
+    drain_ = std::make_unique<EpochDrainWorker>(this, options_.drain);
+  }
+}
+
+// Out of line so ~EpochDrainWorker is visible; drain_ is declared last and
+// therefore destroyed first, stopping its threads while the rest of the
+// engine is still alive.
+Engine::~Engine() = default;
+
+void Engine::WaitForDrain() {
+  if (drain_ != nullptr) {
+    drain_->Wait();
+  }
+}
+
+DrainStats Engine::DrainProgress() const {
+  return drain_ != nullptr ? drain_->Snapshot() : DrainStats{};
+}
 
 StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
     CatalogConfig config) {
@@ -125,13 +475,26 @@ StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
   }
   // Both follow-ups run outside the snapshot mutex: they only touch the
   // captured shared_ptrs and per-session mutexes, so concurrent traffic
-  // (and even a concurrent Publish) proceeds.
-  if (cache != nullptr && old_cache != nullptr &&
-      options_.plan_cache.warm_publish) {
-    WarmSeed(*snapshot, *cache, *old_cache, options_.plan_cache.warm_budget);
-  }
-  if (options_.migration.sweep_on_publish && old_snapshot != nullptr) {
-    MigrateIdleSessions();
+  // (and even a concurrent Publish) proceeds. With a background worker
+  // they are handed off entirely — Publish stays O(1) in the session
+  // count — and a drain already in flight rolls forward to this epoch.
+  const bool warm = cache != nullptr && old_cache != nullptr &&
+                    options_.plan_cache.warm_publish;
+  const bool sweep =
+      options_.migration.sweep_on_publish && old_snapshot != nullptr;
+  if (drain_ != nullptr) {
+    if (warm || sweep) {
+      drain_->Enqueue(warm ? cache : nullptr, warm ? old_cache : nullptr,
+                      sweep);
+    }
+  } else {
+    if (warm) {
+      WarmSeed(*snapshot, *cache, *old_cache,
+               options_.plan_cache.warm_budget);
+    }
+    if (sweep) {
+      MigrateIdleSessions();
+    }
   }
   return snapshot;
 }
@@ -533,6 +896,13 @@ MigrateSweepStats Engine::MigrateIdleSessions() {
       continue;
     }
     ++stats.scanned;
+    // Liveness re-check WITHOUT a TTL refresh (same contract as the
+    // background sweep): an entry the manager evicted since the capture is
+    // dropped, never resurrected or double-counted.
+    if (sessions_.Peek(id) != session) {
+      ++stats.expired;
+      continue;
+    }
     std::unique_lock<std::mutex> lock(session->mutex, std::try_to_lock);
     if (!lock.owns_lock()) {
       ++stats.skipped_busy;  // another operation holds it: not idle
@@ -561,43 +931,43 @@ MigrateSweepStats Engine::MigrateIdleSessions() {
 
 std::size_t Engine::WarmSeed(const CatalogSnapshot& snap, PlanCache& target,
                              const PlanCache& source, std::size_t budget) {
-  const std::size_t num_nodes = snap.hierarchy().NumNodes();
   std::size_t seeded = 0;
   for (const HotPrefix& prefix : source.HottestPrefixes(budget)) {
-    const auto policy = snap.PolicyFor(prefix.policy_spec);
-    if (!policy.ok()) {
-      continue;  // the new epoch no longer serves this spec
-    }
-    std::unique_ptr<SearchSession> search = (*policy)->NewSession();
-    PlanPrefixId at = target.RootFor(prefix.policy_spec);
-    bool replayed = true;
-    for (const std::string& line : prefix.step_lines) {
-      auto step = SessionCodec::ParseStepLine(line);
-      if (!step.ok() || !ValidateStepShape(*step, num_nodes, 0).ok()) {
-        replayed = false;  // e.g. a node the new snapshot no longer has
-        break;
-      }
-      const Query planned = search->Next();
-      target.Insert(at, planned, /*seeded=*/true);
-      if (QuestionMatchesStep(planned, *step)) {
-        if (!ApplyMatchedStep(*search, *step).ok()) {
-          replayed = false;
-          break;
-        }
-      } else if (!search->TryApplyObserved(*step).ok()) {
-        // The prefix no longer folds onto the new snapshot; the plans
-        // inserted so far are still exact, only the tail is abandoned.
-        replayed = false;
-        break;
-      }
-      at = target.Advance(at, line);
-    }
-    if (replayed) {
-      target.Insert(at, search->Next(), /*seeded=*/true);
-      ++seeded;  // only fully replayed prefixes count toward the report
-    }
+    seeded += WarmSeedPrefix(snap, target, prefix) ? 1 : 0;
   }
   return seeded;
+}
+
+bool Engine::WarmSeedPrefix(const CatalogSnapshot& snap, PlanCache& target,
+                            const HotPrefix& prefix) {
+  const std::size_t num_nodes = snap.hierarchy().NumNodes();
+  const auto policy = snap.PolicyFor(prefix.policy_spec);
+  if (!policy.ok()) {
+    return false;  // the new epoch no longer serves this spec
+  }
+  std::unique_ptr<SearchSession> search = (*policy)->NewSession();
+  PlanPrefixId at = target.RootFor(prefix.policy_spec);
+  for (const std::string& line : prefix.step_lines) {
+    auto step = SessionCodec::ParseStepLine(line);
+    if (!step.ok() || !ValidateStepShape(*step, num_nodes, 0).ok()) {
+      return false;  // e.g. a node the new snapshot no longer has
+    }
+    const Query planned = search->Next();
+    target.Insert(at, planned, /*seeded=*/true);
+    if (QuestionMatchesStep(planned, *step)) {
+      if (!ApplyMatchedStep(*search, *step).ok()) {
+        return false;
+      }
+    } else if (!search->TryApplyObserved(*step).ok()) {
+      // The prefix no longer folds onto the new snapshot; the plans
+      // inserted so far are still exact, only the tail is abandoned.
+      return false;
+    }
+    at = target.Advance(at, line);
+  }
+  // Only fully replayed prefixes count toward the report.
+  target.Insert(at, search->Next(), /*seeded=*/true);
+  return true;
 }
 
 StatusOr<std::size_t> Engine::Warm() {
@@ -662,6 +1032,9 @@ EngineStats Engine::Stats() const {
       sessions_migrated_.load(std::memory_order_relaxed);
   stats.migration_failures =
       migration_failures_.load(std::memory_order_relaxed);
+  if (drain_ != nullptr) {
+    stats.drain = drain_->Snapshot();
+  }
   return stats;
 }
 

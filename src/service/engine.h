@@ -12,11 +12,12 @@
 //     blob   = engine.Save(id)                // suspend across restarts
 //     id2    = engine.Resume(blob)            // exact replay-based restore
 //
-// Epoch lifecycle (PR 5). A publish no longer strands the old epoch:
+// Epoch lifecycle (PR 5, backgrounded in PR 6). A publish no longer
+// strands the old epoch:
 //
-//  * WARM SEED — before the fresh plan trie goes live cold, Publish
-//    harvests the hottest prefixes of the outgoing trie and replays them
-//    against the new snapshot's planners, pre-seeding the new trie so the
+//  * WARM SEED — before the fresh plan trie serves cold, the hottest
+//    prefixes of the outgoing trie are harvested and replayed against the
+//    new snapshot's planners, pre-seeding the new trie so the
 //    common-prefix Ask path stays a cache hit across the swap.
 //  * MIGRATE SWEEP — idle sessions still bound to older epochs are
 //    migrated onto the new snapshot by divergence-tolerant transcript
@@ -24,8 +25,17 @@
 //    would not have asked are folded in through the policies' observed-
 //    step appliers (SearchSession::TryApplyObserved) and flagged, bounded
 //    by a configurable divergence budget. Sessions that cannot migrate
-//    (budget exceeded, phase-automaton policies on divergent prefixes,
-//    client mid-question) stay safely on their old epoch.
+//    (budget exceeded, client mid-question) stay safely on their old
+//    epoch.
+//
+// By default BOTH run on a background EpochDrainWorker: Publish itself is
+// a constant-time pointer swap (O(1) in the session count — the SLO the
+// epoch_lifecycle bench guards) and the drain proceeds in bounded batches
+// concurrent with live traffic. Sessions touched by a live request are
+// skipped and retried next tick; a second Publish mid-drain rolls the
+// drain forward to the newest epoch. DrainOptions{background=false}
+// restores the PR-5 inline behavior (deterministic single-threaded
+// drains for evaluators and tests).
 //
 // Every operation is thread-safe and returns Status instead of aborting: a
 // client that answers the wrong kind of question, an unknown ID, or a
@@ -90,6 +100,60 @@ struct MigrationOptions {
   bool sweep_on_publish = true;
 };
 
+/// Background drain pipeline knobs (the publish→warm→sweep pipeline).
+struct DrainOptions {
+  /// Run the warm seed and the migration sweep on a background worker so
+  /// Publish returns after the O(1) snapshot swap. When false both run
+  /// inline on the publishing thread (the PR-5 behavior) — deterministic,
+  /// single-threaded, and linear in the session count.
+  bool background = true;
+  /// Sessions migrated (or hot prefixes replayed) per batch; between
+  /// batches the worker checks for shutdown and newer publishes.
+  std::size_t batch_size = 256;
+  /// Soft cap on continuous batch time per tick; when it elapses the
+  /// worker yields before the next batch so a drain never monopolizes its
+  /// pool between cancellation points.
+  std::uint32_t tick_budget_ms = 5;
+  /// Worker threads migrating sessions within one sweep batch.
+  std::size_t max_concurrency = 2;
+};
+
+/// Where the background drain pipeline currently is.
+enum class DrainPhase : std::uint8_t {
+  kIdle = 0,      ///< no drain in flight
+  kWarming = 1,   ///< replaying hot prefixes into the fresh plan trie
+  kSweeping = 2,  ///< migrating idle old-epoch sessions in batches
+};
+
+/// Lowercase phase name for logs and the serve REPL.
+const char* DrainPhaseName(DrainPhase phase);
+
+/// Point-in-time progress of the background drain pipeline.
+struct DrainStats {
+  /// True when the engine runs a background drain worker at all.
+  bool background = false;
+  DrainPhase phase = DrainPhase::kIdle;
+  /// Epoch the in-flight (or last) drain targets; 0 before any drain.
+  std::uint64_t target_epoch = 0;
+  /// Old-epoch sessions the in-flight sweep still has to visit.
+  std::size_t sessions_remaining = 0;
+  /// Warm-seed progress of the in-flight (or last) drain: prefixes
+  /// harvested and prefixes fully replayed so far.
+  std::size_t warm_total = 0;
+  std::size_t warm_seeded = 0;
+  /// Cumulative counters across all drains.
+  std::uint64_t batches = 0;       ///< sweep batches run
+  std::size_t last_batch = 0;      ///< sessions visited by the last batch
+  std::uint64_t migrated = 0;      ///< sessions migrated by sweeps
+  std::uint64_t failed = 0;        ///< sessions whose replay failed
+  std::uint64_t skipped_pinned = 0;  ///< mid-question; left on old epoch
+  std::uint64_t retried_busy = 0;  ///< lock-busy; retried a later tick
+  std::uint64_t expired = 0;       ///< TTL-evicted between capture and visit
+  std::uint64_t drains = 0;        ///< drain jobs enqueued
+  std::uint64_t completed = 0;     ///< drain jobs fully finished
+  std::uint64_t rolled_forward = 0;  ///< jobs superseded by a newer publish
+};
+
 struct EngineOptions {
   SessionManagerOptions sessions;
   /// The per-epoch question-plan trie behind Ask (including the
@@ -98,6 +162,7 @@ struct EngineOptions {
   /// transcripts, so the cache is purely a throughput knob.
   PlanCacheOptions plan_cache;
   MigrationOptions migration;
+  DrainOptions drain;
 };
 
 /// Outcome of one cross-epoch migration (Engine::Migrate).
@@ -122,6 +187,9 @@ struct MigrateSweepStats {
   /// question under the client).
   std::size_t skipped_busy = 0;
   std::size_t failed = 0;
+  /// Sessions that expired (TTL) between the sweep's capture and its visit
+  /// — neither migrated nor failed, just gone (never resurrected).
+  std::size_t expired = 0;
   /// Total divergent steps across the migrated sessions' transcripts.
   std::size_t divergent_steps = 0;
 };
@@ -142,11 +210,20 @@ struct EngineStats {
   /// Cumulative migration counters (explicit Migrate + publish sweeps).
   std::uint64_t sessions_migrated = 0;
   std::uint64_t migration_failures = 0;
+  /// Background drain pipeline progress (zeros when background is off).
+  DrainStats drain;
 };
+
+class EpochDrainWorker;
 
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+
+  /// Stops the background drain worker (abandoning any in-flight drain —
+  /// undrained sessions are simply still on their old epoch) before the
+  /// session store and snapshots go away.
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -154,11 +231,23 @@ class Engine {
   // ---- snapshot lifecycle ---------------------------------------------------
 
   /// Builds a snapshot from `config` at the next epoch and makes it
-  /// current, then (per options) warm-seeds the new plan trie from the old
-  /// epoch's hottest prefixes and migrates idle sessions over. Existing
-  /// busy sessions keep the snapshot they are on; traffic never pauses.
+  /// current. The follow-up work — warm-seeding the new plan trie from the
+  /// old epoch's hottest prefixes and migrating idle sessions over — runs
+  /// on the background drain worker (or inline, per DrainOptions), so the
+  /// call itself is O(1) in the session count past the snapshot build.
+  /// Existing busy sessions keep the snapshot they are on; traffic never
+  /// pauses.
   StatusOr<std::shared_ptr<const CatalogSnapshot>> Publish(
       CatalogConfig config);
+
+  /// Blocks until no drain job is pending or running (immediately when
+  /// background draining is off). Tests and benchmarks use this to make
+  /// the asynchronous pipeline deterministic; a server never needs it.
+  void WaitForDrain();
+
+  /// Progress of the background drain pipeline (all zeros with `background`
+  /// false when draining runs inline).
+  DrainStats DrainProgress() const;
 
   /// The current snapshot (null before the first Publish).
   std::shared_ptr<const CatalogSnapshot> snapshot() const;
@@ -289,6 +378,11 @@ class Engine {
   std::size_t WarmSeed(const CatalogSnapshot& snap, PlanCache& target,
                        const PlanCache& source, std::size_t budget);
 
+  /// Replays ONE hot prefix (the batch unit of the background warm phase).
+  /// True when the full prefix replayed onto `snap`'s planners.
+  bool WarmSeedPrefix(const CatalogSnapshot& snap, PlanCache& target,
+                      const HotPrefix& prefix);
+
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const CatalogSnapshot> snapshot_;
   std::shared_ptr<PlanCache> plan_cache_;
@@ -302,6 +396,12 @@ class Engine {
 
   std::atomic<std::uint64_t> sessions_migrated_{0};
   std::atomic<std::uint64_t> migration_failures_{0};
+
+  friend class EpochDrainWorker;
+  /// Declared LAST: destroyed first, so the worker's threads stop before
+  /// the session store and snapshot state they reference go away. Null
+  /// when DrainOptions::background is false.
+  std::unique_ptr<EpochDrainWorker> drain_;
 };
 
 }  // namespace aigs

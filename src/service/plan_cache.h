@@ -27,11 +27,15 @@
 // Lifecycle. An Engine creates one PlanCache per published CatalogSnapshot
 // and hands each session the cache of the epoch it opened on. An epoch
 // hot-swap stops handing out the old trie: it dies with its snapshot's
-// refcount as sessions drain or migrate off it. Before it does, Publish
-// harvests its hottest prefixes (per-node hit counts) and replays them
+// refcount as sessions drain or migrate off it. Before it does, its
+// hottest prefixes (per-node hit counts) are harvested and replayed
 // against the new snapshot's planners to pre-seed the fresh trie — the
-// warm-publish path that removes the post-publish cold start. Seeded
-// entries are flagged so Stats can split seeded from organic hits.
+// warm-publish path that removes the post-publish cold start. By default
+// the replay runs on the engine's background drain worker in bounded
+// batches, concurrent with live Ask traffic on the same trie (every
+// method is thread-safe, so seeding and organic population interleave
+// freely). Seeded entries are flagged so Stats can split seeded from
+// organic hits.
 //
 // Budgeting. Nodes live in lock stripes; a node's home stripe is chosen by
 // hashing (parent, edge), and its id encodes that stripe, so Advance,

@@ -46,6 +46,21 @@ StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Find(SessionId id) {
   return it->second.session;
 }
 
+std::shared_ptr<ServiceSession> SessionManager::Peek(SessionId id) const {
+  const std::uint64_t now = NowMillis();
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
+    return nullptr;
+  }
+  if (options_.ttl_millis != 0 &&
+      now - it->second.last_touch_millis > options_.ttl_millis) {
+    return nullptr;  // expired; left for Find/EvictExpired to reap
+  }
+  return it->second.session;
+}
+
 Status SessionManager::Erase(SessionId id) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mutex);

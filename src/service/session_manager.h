@@ -95,6 +95,13 @@ class SessionManager {
   /// expired IDs (expired entries are reaped on the spot).
   StatusOr<std::shared_ptr<ServiceSession>> Find(SessionId id);
 
+  /// Looks a session up WITHOUT refreshing its TTL or reaping it — null for
+  /// unknown or expired IDs. The background drain sweep re-checks liveness
+  /// through this before migrating a session it captured earlier: a drain
+  /// must neither resurrect a TTL-evicted session (a Find would refresh the
+  /// touch time) nor count one as migrated.
+  std::shared_ptr<ServiceSession> Peek(SessionId id) const;
+
   /// Removes a session; NotFound if absent.
   Status Erase(SessionId id);
 
@@ -128,6 +135,9 @@ class SessionManager {
 
   std::uint64_t NowMillis() const;
   Shard& ShardFor(SessionId id) {
+    return shards_[static_cast<std::size_t>(id) % shards_.size()];
+  }
+  const Shard& ShardFor(SessionId id) const {
     return shards_[static_cast<std::size_t>(id) % shards_.size()];
   }
 

@@ -1,0 +1,440 @@
+// The background drain worker (PR 6): Publish is an O(1) epoch swap and the
+// warm-seed + idle-session sweep run on a concurrent-safe worker.
+//  (1) equivalence, the hard guarantee: for every registry policy on trees
+//      and DAGs, a session drained in the background produces a transcript
+//      bit-identical to the same session drained by the PR-5 inline sweep;
+//  (2) TTL interplay: a session the manager expired mid-drain is neither
+//      resurrected (no TTL refresh) nor counted as migrated — on the
+//      background path and the inline path, on an injectable clock;
+//  (3) roll-forward: a second Publish mid-drain supersedes the running job
+//      and the pipeline converges on the newest epoch, never a stale one;
+//  (4) a multithreaded stress run racing Open/Ask/Answer/Close and repeated
+//      publishes against the live drain — no lost or duplicated sessions,
+//      every transcript still bit-identical to the quiescent reference.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aigs.h"
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+#include "service/engine.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace aigs {
+namespace {
+
+using testing::MustBuild;
+
+using RecordedQuery = std::pair<Query::Kind, std::vector<NodeId>>;
+
+std::vector<NodeId> QueryNodes(const Query& q) {
+  return q.kind == Query::Kind::kReach ? std::vector<NodeId>{q.node}
+                                       : q.choices;
+}
+
+/// Drives `id` for up to `max_steps` answered questions (SIZE_MAX = to the
+/// end), recording the questions; returns the target when done was reached,
+/// kInvalidNode otherwise.
+NodeId Drive(Engine& engine, SessionId id, Oracle& oracle,
+             std::size_t max_steps,
+             std::vector<RecordedQuery>* recorded = nullptr) {
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const auto q = engine.Ask(id);
+    AIGS_CHECK(q.ok());
+    if (q->kind == Query::Kind::kDone) {
+      return q->node;
+    }
+    if (recorded != nullptr) {
+      recorded->emplace_back(q->kind, QueryNodes(*q));
+    }
+    AIGS_CHECK(engine.Answer(id, AnswerFromOracle(*q, oracle)).ok());
+  }
+  const auto q = engine.Ask(id);
+  AIGS_CHECK(q.ok());
+  return q->kind == Query::Kind::kDone ? q->node : kInvalidNode;
+}
+
+/// Answers `steps` questions and stops — no trailing Ask, so the session is
+/// left IDLE (between an answer and its next question), which is what the
+/// drain sweep considers migratable. Drive's final done-probe would pin it.
+void DriveIdle(Engine& engine, SessionId id, Oracle& oracle,
+               std::size_t steps,
+               std::vector<RecordedQuery>* recorded = nullptr) {
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto q = engine.Ask(id);
+    AIGS_CHECK(q.ok());
+    if (q->kind == Query::Kind::kDone) {
+      return;
+    }
+    if (recorded != nullptr) {
+      recorded->emplace_back(q->kind, QueryNodes(*q));
+    }
+    AIGS_CHECK(engine.Answer(id, AnswerFromOracle(*q, oracle)).ok());
+  }
+}
+
+struct DrainCase {
+  std::string name;
+  Hierarchy hierarchy;
+  Distribution distribution;
+};
+
+std::vector<DrainCase> Cases() {
+  std::vector<DrainCase> cases;
+  Rng rng(626262);
+  {
+    Hierarchy tree = MustBuild(RandomTree(48, rng));
+    Distribution d = ZipfRandomDistribution(tree.NumNodes(), 2.0, rng);
+    cases.push_back({"tree", std::move(tree), std::move(d)});
+  }
+  {
+    Hierarchy dag = MustBuild(RandomDag(48, rng, 0.4));
+    Distribution d = ZipfRandomDistribution(dag.NumNodes(), 2.0, rng);
+    cases.push_back({"dag", std::move(dag), std::move(d)});
+  }
+  return cases;
+}
+
+/// Every registry policy spec the hierarchy supports (mirrors
+/// test_epoch_migration.cc; the scripted policy gets a complete order).
+std::vector<std::string> SpecsFor(const Hierarchy& h) {
+  std::string full_order = "scripted:order=";
+  for (NodeId v = 0; v < h.NumNodes(); ++v) {
+    if (v == h.root()) {
+      continue;
+    }
+    if (full_order.back() != '=') {
+      full_order += '+';
+    }
+    full_order += std::to_string(v);
+  }
+  std::vector<std::string> specs = {
+      "greedy",         "greedy_dag",     "greedy_naive",
+      "naive",          "batched:k=3",    "cost_sensitive",
+      "migs",           "migs:ordered=true",
+      "wigs",           "top_down",       "topdown",
+      full_order,
+  };
+  if (h.is_tree()) {
+    specs.push_back("greedy_tree");
+    specs.push_back("greedy_tree:scan=heap");
+  }
+  return specs;
+}
+
+std::shared_ptr<const CostModel> SomeCosts(std::size_t n) {
+  Rng rng(7);
+  return std::make_shared<const CostModel>(
+      CostModel::UniformRandom(n, 1, 9, rng));
+}
+
+CatalogConfig ConfigFor(const DrainCase& c) {
+  CatalogConfig config;
+  config.hierarchy = UnownedHierarchy(c.hierarchy);
+  config.distribution = c.distribution;
+  config.cost_model = SomeCosts(c.hierarchy.NumNodes());
+  config.policy_specs = SpecsFor(c.hierarchy);
+  return config;
+}
+
+// ---- (1) background/inline equivalence --------------------------------------
+
+TEST(EpochDrain, BackgroundDrainMatchesInlineSweepEveryPolicy) {
+  for (const DrainCase& c : Cases()) {
+    EngineOptions inline_options;
+    inline_options.drain.background = false;
+    Engine inline_engine(inline_options);
+
+    EngineOptions bg_options;  // background defaults on; shrink the batches
+    bg_options.drain.batch_size = 2;
+    bg_options.drain.tick_budget_ms = 1;
+    Engine bg_engine(bg_options);
+
+    ASSERT_TRUE(inline_engine.Publish(ConfigFor(c)).ok());
+    ASSERT_TRUE(bg_engine.Publish(ConfigFor(c)).ok());
+    bg_engine.WaitForDrain();
+
+    for (const std::string& spec : SpecsFor(c.hierarchy)) {
+      SCOPED_TRACE(c.name + "/" + spec);
+      const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+
+      // One half-driven idle session per engine...
+      ExactOracle o1(c.hierarchy.reach(), target);
+      ExactOracle o2(c.hierarchy.reach(), target);
+      auto inline_id = inline_engine.Open(spec);
+      auto bg_id = bg_engine.Open(spec);
+      ASSERT_TRUE(inline_id.ok());
+      ASSERT_TRUE(bg_id.ok());
+      std::vector<RecordedQuery> inline_qs, bg_qs;
+      DriveIdle(inline_engine, *inline_id, o1, 2, &inline_qs);
+      DriveIdle(bg_engine, *bg_id, o2, 2, &bg_qs);
+
+      // ...republish identical weights on both. The inline engine sweeps
+      // on the publishing thread; the background engine hands the sweep to
+      // the worker and returns immediately.
+      ASSERT_TRUE(inline_engine.Publish(ConfigFor(c)).ok());
+      ASSERT_TRUE(bg_engine.Publish(ConfigFor(c)).ok());
+      bg_engine.WaitForDrain();
+
+      // Both sessions must now sit on the new epoch (the sweep migrated
+      // them — neither was mid-question) with bit-identical remainders.
+      ExactOracle r1(c.hierarchy.reach(), target);
+      ExactOracle r2(c.hierarchy.reach(), target);
+      EXPECT_EQ(Drive(inline_engine, *inline_id, r1, SIZE_MAX, &inline_qs),
+                target);
+      EXPECT_EQ(Drive(bg_engine, *bg_id, r2, SIZE_MAX, &bg_qs), target);
+      EXPECT_EQ(inline_qs, bg_qs);
+      EXPECT_TRUE(inline_engine.Close(*inline_id).ok());
+      EXPECT_TRUE(bg_engine.Close(*bg_id).ok());
+    }
+
+    // The worker actually did the migrating (one session per spec per
+    // republish), and the pipeline settled idle on the newest epoch.
+    const DrainStats d = bg_engine.DrainProgress();
+    EXPECT_TRUE(d.background);
+    EXPECT_EQ(d.phase, DrainPhase::kIdle);
+    EXPECT_GT(d.migrated, 0u);
+    EXPECT_EQ(d.failed, 0u);
+    EXPECT_EQ(d.target_epoch, bg_engine.epoch());
+    EXPECT_GT(d.batches, 0u);
+  }
+}
+
+// ---- (2) TTL eviction vs the sweep ------------------------------------------
+
+TEST(EpochDrain, InlineSweepNeitherResurrectsNorCountsExpiredSessions) {
+  const DrainCase c = std::move(Cases().front());
+  auto now = std::make_shared<std::atomic<std::uint64_t>>(1'000);
+  EngineOptions options;
+  options.drain.background = false;
+  options.migration.sweep_on_publish = false;  // sweep explicitly below
+  options.sessions.ttl_millis = 500;
+  options.sessions.clock_millis = [now] { return now->load(); };
+  Engine engine(options);
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+
+  const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+  ExactOracle o1(c.hierarchy.reach(), target);
+  ExactOracle o2(c.hierarchy.reach(), target);
+  auto stale = engine.Open("greedy");
+  ASSERT_TRUE(stale.ok());
+  DriveIdle(engine, *stale, o1, 1);
+
+  // Age the first session past its TTL, keep the second fresh.
+  now->fetch_add(400);
+  auto fresh = engine.Open("greedy");
+  ASSERT_TRUE(fresh.ok());
+  DriveIdle(engine, *fresh, o2, 1);
+  now->fetch_add(200);  // stale idle 600ms > 500; fresh idle 200ms
+
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  const MigrateSweepStats sweep = engine.MigrateIdleSessions();
+  EXPECT_EQ(sweep.scanned, 2u);
+  EXPECT_EQ(sweep.expired, 1u);
+  EXPECT_EQ(sweep.migrated, 1u);
+  EXPECT_EQ(sweep.failed, 0u);
+
+  // The expired session must stay dead — the sweep's liveness probe must
+  // not have refreshed its TTL.
+  EXPECT_EQ(engine.Ask(*stale).status().code(), StatusCode::kNotFound);
+  ExactOracle rest(c.hierarchy.reach(), target);
+  EXPECT_EQ(Drive(engine, *fresh, rest, SIZE_MAX), target);
+  EXPECT_TRUE(engine.Close(*fresh).ok());
+
+  // Nothing left: a second sweep finds no old-epoch work and, above all,
+  // never double-counts the evicted session as migrated.
+  const MigrateSweepStats again = engine.MigrateIdleSessions();
+  EXPECT_EQ(again.migrated, 0u);
+}
+
+TEST(EpochDrain, BackgroundSweepDropsExpiredSessionsOnInjectedClock) {
+  const DrainCase c = std::move(Cases().front());
+  auto now = std::make_shared<std::atomic<std::uint64_t>>(1'000);
+  EngineOptions options;  // background drain on
+  options.sessions.ttl_millis = 500;
+  options.sessions.clock_millis = [now] { return now->load(); };
+  Engine engine(options);
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  engine.WaitForDrain();
+
+  const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ExactOracle oracle(c.hierarchy.reach(), target);
+    auto id = engine.Open("greedy");
+    ASSERT_TRUE(id.ok());
+    DriveIdle(engine, *id, oracle, 1);
+    ids.push_back(*id);
+  }
+  now->fetch_add(1'000);  // all three expire before the drain can run
+
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  engine.WaitForDrain();
+  const DrainStats d = engine.DrainProgress();
+  EXPECT_EQ(d.expired, 3u);
+  EXPECT_EQ(d.migrated, 0u);
+  for (const SessionId id : ids) {
+    EXPECT_EQ(engine.Ask(id).status().code(), StatusCode::kNotFound);
+  }
+  EXPECT_EQ(engine.Stats().live_sessions, 0u);
+}
+
+// ---- (3) mid-drain re-publish rolls forward ---------------------------------
+
+TEST(EpochDrain, RePublishMidDrainConvergesOnTheNewestEpoch) {
+  const DrainCase c = std::move(Cases().front());
+  EngineOptions options;
+  options.drain.batch_size = 4;  // many batch boundaries = many
+  options.drain.tick_budget_ms = 1;  // supersede checkpoints
+  Engine engine(options);
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  engine.WaitForDrain();
+
+  const NodeId target = static_cast<NodeId>(c.hierarchy.NumNodes() - 1);
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ExactOracle oracle(c.hierarchy.reach(), target);
+    auto id = engine.Open("greedy");
+    ASSERT_TRUE(id.ok());
+    DriveIdle(engine, *id, oracle, 1);
+    ids.push_back(*id);
+  }
+
+  // Two publishes back to back: the second lands while the first drain is
+  // pending or sweeping. Whether the worker had picked the first job up
+  // yet (rolled_forward) or not (pending job replaced), the invariant is
+  // the same: the pipeline must converge on the LAST epoch and every idle
+  // session must land there, exactly once.
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  engine.WaitForDrain();
+
+  const DrainStats d = engine.DrainProgress();
+  EXPECT_EQ(d.drains, 2u);  // the initial publish enqueues nothing
+  EXPECT_EQ(d.target_epoch, engine.epoch());
+  EXPECT_EQ(engine.epoch(), 3u);
+  EXPECT_EQ(d.sessions_remaining, 0u);
+
+  const EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.sessions_by_epoch.size(), 1u);
+  EXPECT_EQ(stats.sessions_by_epoch.begin()->first, 3u);
+  EXPECT_EQ(stats.sessions_by_epoch.begin()->second, ids.size());
+  for (const SessionId id : ids) {
+    ExactOracle rest(c.hierarchy.reach(), target);
+    EXPECT_EQ(Drive(engine, id, rest, SIZE_MAX), target);
+    ASSERT_TRUE(engine.Close(id).ok());
+  }
+}
+
+// ---- (4) concurrent stress: live traffic vs live drain ----------------------
+
+TEST(EpochDrain, StressTrafficRacesDrainAndRePublishLosslessly) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSearchesPerThread = 12;
+  constexpr std::size_t kPublishes = 4;
+  const std::vector<std::string> kSpecs = {"greedy", "greedy_naive",
+                                           "batched:k=3", "top_down"};
+
+  for (const DrainCase& c : Cases()) {
+    SCOPED_TRACE(c.name);
+    // Quiescent reference transcripts, one per (spec, target): the weights
+    // never change across publishes, so every migration is zero-divergence
+    // and racing sessions must reproduce these bit-exactly.
+    std::map<std::pair<std::string, NodeId>, std::vector<RecordedQuery>>
+        expected;
+    {
+      EngineOptions ref_options;
+      ref_options.drain.background = false;
+      Engine ref(ref_options);
+      ASSERT_TRUE(ref.Publish(ConfigFor(c)).ok());
+      for (const std::string& spec : kSpecs) {
+        for (NodeId target = 0; target < c.hierarchy.NumNodes();
+             target += 7) {
+          ExactOracle oracle(c.hierarchy.reach(), target);
+          auto id = ref.Open(spec);
+          ASSERT_TRUE(id.ok());
+          std::vector<RecordedQuery> qs;
+          EXPECT_EQ(Drive(ref, *id, oracle, SIZE_MAX, &qs), target);
+          expected[{spec, target}] = std::move(qs);
+          ASSERT_TRUE(ref.Close(*id).ok());
+        }
+      }
+    }
+
+    EngineOptions options;  // background drain on, aggressive batching
+    options.drain.batch_size = 4;
+    options.drain.tick_budget_ms = 1;
+    options.drain.max_concurrency = 2;
+    Engine engine(options);
+    ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads + 1);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t s = 0; s < kSearchesPerThread; ++s) {
+          const std::string& spec = kSpecs[(t + s) % kSpecs.size()];
+          const NodeId target = static_cast<NodeId>(
+              ((t * kSearchesPerThread + s) % (c.hierarchy.NumNodes() / 7)) *
+              7);
+          ExactOracle oracle(c.hierarchy.reach(), target);
+          auto id = engine.Open(spec);
+          if (!id.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          std::vector<RecordedQuery> qs;
+          if (Drive(engine, *id, oracle, SIZE_MAX, &qs) != target) {
+            failures.fetch_add(1);
+          } else if (qs != expected[{spec, target}]) {
+            mismatches.fetch_add(1);
+          }
+          if (!engine.Close(*id).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Publisher thread: repeated identical-weight publishes, each handing
+    // a fresh drain to the worker while the previous may still be running.
+    threads.emplace_back([&] {
+      for (std::size_t p = 0; p < kPublishes; ++p) {
+        if (!engine.Publish(ConfigFor(c)).ok()) {
+          failures.fetch_add(1);
+        }
+        std::this_thread::yield();
+      }
+    });
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    engine.WaitForDrain();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    // No session lost, duplicated, or left behind: every search closed its
+    // session, so the store must be empty, and the drain idle on the
+    // newest epoch.
+    const EngineStats stats = engine.Stats();
+    EXPECT_EQ(stats.live_sessions, 0u);
+    EXPECT_TRUE(stats.sessions_by_epoch.empty());
+    EXPECT_EQ(stats.drain.phase, DrainPhase::kIdle);
+    EXPECT_EQ(stats.drain.target_epoch, engine.epoch());
+    EXPECT_EQ(engine.epoch(), kPublishes + 1);
+    EXPECT_EQ(stats.drain.failed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aigs

@@ -520,30 +520,114 @@ TEST(EpochMigration, MalformedInputsReturnStatusNeverAbort) {
   }
 }
 
-TEST(EpochMigration, PhaseAutomatonPoliciesRefuseDivergentStepsGracefully) {
+TEST(EpochMigration, LikelihoodOrderedMigsAbsorbsShiftedWeightDivergence) {
+  // migs:ordered batches categories by reach weight, so shifted weights
+  // genuinely reorder its questions. PR 6 gives the phase automata
+  // observed-step folds: migration must now SUCCEED across the shift, with
+  // exact divergence counts, and still identify the true target.
+  for (const MigrationCase& c : Cases()) {
+    SCOPED_TRACE(c.name);
+    Engine engine;
+    std::size_t diverged_sessions = 0;
+    for (NodeId target = 0; target < c.hierarchy.NumNodes(); target += 5) {
+      ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+      ExactOracle oracle(c.hierarchy.reach(), target);
+      auto id = engine.Open("migs:ordered=true");
+      ASSERT_TRUE(id.ok());
+      Drive(engine, *id, oracle, 3);
+      auto blob = engine.Save(*id);
+      ASSERT_TRUE(blob.ok());
+      ASSERT_TRUE(engine.Close(*id).ok());
+
+      ASSERT_TRUE(engine.Publish(ConfigFor(c, /*shifted=*/true)).ok());
+      auto migrated = engine.Migrate(*blob);
+      ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+      auto saved = SessionCodec::Decode(*blob);
+      ASSERT_TRUE(saved.ok());
+      const std::shared_ptr<const CostModel> costs =
+          SomeCosts(c.hierarchy.NumNodes());
+      EXPECT_EQ(migrated->divergent_steps,
+                ReferenceDivergence(*saved, c.hierarchy, c.shifted,
+                                    costs.get()));
+      diverged_sessions += migrated->divergent_steps > 0 ? 1 : 0;
+
+      ExactOracle rest(c.hierarchy.reach(), target);
+      EXPECT_EQ(Drive(engine, migrated->id, rest, SIZE_MAX), target);
+      EXPECT_TRUE(engine.Close(migrated->id).ok());
+    }
+    // The shift must actually have reordered some batches — otherwise this
+    // test pins nothing.
+    EXPECT_GT(diverged_sessions, 0u);
+  }
+}
+
+TEST(EpochMigration, ObliviousPhaseAutomataFoldInjectedObservedSteps) {
+  // wigs and top_down ignore the distribution, so weight shifts alone
+  // never diverge them. Synthesize divergence instead: prepend a
+  // consistent fact their planner would not ask — "reach 4 no" (node 4 is
+  // a leaf off the heavy path, and the target 6 is not under it). The
+  // fold must absorb it (divergent_steps == 1) and the rest of the
+  // transcript must still replay exactly to the true target.
+  const BudgetFixture f = BudgetFixture::Make();
+  for (const std::string& spec : {std::string("wigs"),
+                                  std::string("top_down")}) {
+    SCOPED_TRACE(spec);
+    CatalogConfig config = f.Config(false);
+    config.policy_specs = {"greedy", "wigs", "top_down"};
+    Engine engine;
+    ASSERT_TRUE(engine.Publish(std::move(config)).ok());
+    ExactOracle oracle(f.hierarchy.reach(), 6);
+    auto id = engine.Open(spec);
+    ASSERT_TRUE(id.ok());
+    Drive(engine, *id, oracle, 2);
+    auto blob = engine.Save(*id);
+    ASSERT_TRUE(blob.ok());
+    ASSERT_TRUE(engine.Close(*id).ok());
+
+    auto saved = SessionCodec::Decode(*blob);
+    ASSERT_TRUE(saved.ok());
+    TranscriptStep injected;
+    injected.kind = Query::Kind::kReach;
+    injected.nodes = {4};
+    injected.yes = false;
+    saved->steps.insert(saved->steps.begin(), injected);
+
+    auto migrated = engine.Migrate(SessionCodec::Encode(*saved));
+    ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+    EXPECT_EQ(migrated->divergent_steps, 1u);
+    ExactOracle rest(f.hierarchy.reach(), 6);
+    EXPECT_EQ(Drive(engine, migrated->id, rest, SIZE_MAX), 6u);
+    EXPECT_TRUE(engine.Close(migrated->id).ok());
+  }
+}
+
+TEST(EpochMigration, ContradictoryObservedStepsStillRefuseGracefully) {
+  // A crafted blob whose observed step contradicts the transcript (a
+  // "none of these"/no that rules out the path the picks descended) must
+  // fail with a Status, never the fatal in-process path, and leave no
+  // session behind.
   const BudgetFixture f = BudgetFixture::Make();
   Engine engine;
   ASSERT_TRUE(engine.Publish(f.Config(false)).ok());
-  // WIGS's binary search depends on the weights; record a prefix, shift
-  // the weights, and require migration to fail with a Status (never the
-  // fatal in-process CHECK).
   ExactOracle oracle(f.hierarchy.reach(), 6);
   auto id = engine.Open("wigs");
   ASSERT_TRUE(id.ok());
   Drive(engine, *id, oracle, 2);
   auto blob = engine.Save(*id);
   ASSERT_TRUE(blob.ok());
-  ASSERT_TRUE(engine.Publish(f.Config(true)).ok());
-  const auto result = engine.Migrate(*blob);
-  if (!result.ok()) {
-    EXPECT_TRUE(result.status().code() == StatusCode::kUnimplemented ||
-                result.status().code() == StatusCode::kFailedPrecondition)
-        << result.status().ToString();
-  } else {
-    // The shifted weights may happen to reproduce the prefix — then the
-    // migration was exact.
-    EXPECT_EQ(result->divergent_steps, 0u);
-  }
+  ASSERT_TRUE(engine.Close(*id).ok());
+
+  auto saved = SessionCodec::Decode(*blob);
+  ASSERT_TRUE(saved.ok());
+  // "Target not under the root" contradicts everything.
+  TranscriptStep poison;
+  poison.kind = Query::Kind::kReach;
+  poison.nodes = {0};
+  poison.yes = false;
+  saved->steps.insert(saved->steps.begin(), poison);
+  const auto result = engine.Migrate(SessionCodec::Encode(*saved));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 // ---- (5) warm publish -------------------------------------------------------
@@ -565,7 +649,10 @@ TEST(EpochMigration, WarmPublishSeedsTheFreshTrieFromHotPrefixes) {
 
   // Publish with the SAME weights: the seeded plans equal the old ones, so
   // a fresh session must walk its whole transcript on pure trie hits.
+  // Publish returns after the O(1) swap; the seeding itself runs on the
+  // background drain worker, so wait for it before reading trie stats.
   ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  engine.WaitForDrain();
   const std::shared_ptr<PlanCache> trie = engine.plan_cache();
   ASSERT_NE(trie, nullptr);
   const PlanCacheStats seeded = trie->stats();
@@ -611,6 +698,7 @@ TEST(EpochMigration, WarmSeedingOntoSmallerHierarchySkipsStalePrefixes) {
   config.distribution = EqualDistribution(small.NumNodes());
   config.policy_specs = {"greedy"};
   ASSERT_TRUE(engine.Publish(std::move(config)).ok());
+  engine.WaitForDrain();
   auto id = engine.Open("greedy");
   ASSERT_TRUE(id.ok());
   ExactOracle oracle(small.reach(), 3);
@@ -646,6 +734,7 @@ TEST(EpochMigration, PublishSweepMigratesIdleSessionsAndSkipsMidQuestion) {
   ASSERT_TRUE(engine.Ask(*waiting).ok());
 
   ASSERT_TRUE(engine.Publish(ConfigFor(c)).ok());
+  engine.WaitForDrain();  // the sweep runs on the background worker
   const EngineStats stats = engine.Stats();
   EXPECT_EQ(stats.epoch, 2u);
   ASSERT_EQ(stats.sessions_by_epoch.count(1), 1u);

@@ -20,6 +20,7 @@
 //   aigs demo
 //       Interactive search on the built-in vehicle hierarchy.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -287,9 +288,13 @@ void ServeHelp() {
       "                         counters (seeded vs organic hits), "
       "migrations\n"
       "  epoch                  current snapshot epoch + fingerprint\n"
-      "  publish <counts.txt>   load new counts, publish a new epoch "
-      "(warm-seeds\n"
-      "                         the trie and migrates idle sessions)\n"
+      "  drain                  background drain progress (phase, sessions\n"
+      "                         remaining, warm-seed and sweep counters)\n"
+      "  publish <counts.txt>   load new counts, publish a new epoch — an "
+      "O(1)\n"
+      "                         swap; trie warm-seeding and the idle-"
+      "session\n"
+      "                         sweep run on the background drain worker\n"
       "  policies               prebuilt policy specs\n"
       "  quit                   exit\n");
 }
@@ -564,6 +569,38 @@ int CmdServe(const std::string& hierarchy_path,
       std::printf("migrations: %llu session(s) migrated, %llu failure(s)\n",
                   static_cast<unsigned long long>(s.sessions_migrated),
                   static_cast<unsigned long long>(s.migration_failures));
+      if (s.drain.background) {
+        std::printf("drain: %s, %zu session(s) remaining, last batch %zu\n",
+                    DrainPhaseName(s.drain.phase),
+                    s.drain.sessions_remaining, s.drain.last_batch);
+      }
+    } else if (command == "drain") {
+      const DrainStats d = engine.DrainProgress();
+      if (!d.background) {
+        std::printf("background draining is off — publishes warm-seed and "
+                    "sweep inline\n");
+        continue;
+      }
+      std::printf("phase %s, target epoch %llu\n", DrainPhaseName(d.phase),
+                  static_cast<unsigned long long>(d.target_epoch));
+      std::printf("  warm-seed: %zu / %zu hot prefix(es) replayed\n",
+                  d.warm_seeded, d.warm_total);
+      std::printf("  sweep: %zu session(s) remaining, %llu batch(es) run, "
+                  "last batch %zu\n",
+                  d.sessions_remaining,
+                  static_cast<unsigned long long>(d.batches), d.last_batch);
+      std::printf("  lifetime: %llu drain(s) — %llu completed, %llu rolled "
+                  "forward to a newer epoch\n",
+                  static_cast<unsigned long long>(d.drains),
+                  static_cast<unsigned long long>(d.completed),
+                  static_cast<unsigned long long>(d.rolled_forward));
+      std::printf("  sessions: %llu migrated, %llu failed, %llu pinned "
+                  "mid-question, %llu retried busy, %llu expired\n",
+                  static_cast<unsigned long long>(d.migrated),
+                  static_cast<unsigned long long>(d.failed),
+                  static_cast<unsigned long long>(d.skipped_pinned),
+                  static_cast<unsigned long long>(d.retried_busy),
+                  static_cast<unsigned long long>(d.expired));
     } else if (command == "epoch") {
       const auto snap = engine.snapshot();
       std::printf("epoch %llu, catalog fingerprint %016llx\n",
@@ -589,15 +626,22 @@ int CmdServe(const std::string& hierarchy_path,
       next.hierarchy = UnownedHierarchy(*hierarchy);
       next.distribution = *std::move(counts);
       next.policy_specs = specs;
+      const auto swap_start = std::chrono::steady_clock::now();
       auto published = engine.Publish(std::move(next));
+      const double swap_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - swap_start)
+              .count();
       if (!published.ok()) {
         warn(published.status());
         continue;
       }
-      std::printf("published epoch %llu (trie warm-seeded from the old "
-                  "epoch; idle sessions migrated — see 'stats'; sessions "
-                  "mid-question stay on their epoch)\n",
-                  static_cast<unsigned long long>((*published)->epoch()));
+      std::printf("published epoch %llu — swap took %.3f ms (trie warm-"
+                  "seeding and the idle-session sweep continue in the "
+                  "background; see 'drain'; sessions mid-question stay on "
+                  "their epoch)\n",
+                  static_cast<unsigned long long>((*published)->epoch()),
+                  swap_ms);
     } else if (command == "policies") {
       for (const std::string& spec : engine.snapshot()->policy_specs()) {
         std::printf("  %s\n", spec.c_str());
