@@ -425,6 +425,19 @@ Status ApplyMatchedStep(SearchSession& search, const TranscriptStep& step) {
   return Status::Internal("unreachable");
 }
 
+/// The session's complete serializable state (Save, WAL open records, and
+/// checkpoint blobs all encode exactly this). Caller holds the session
+/// mutex (or the session is still private).
+SerializedSession SnapshotState(const ServiceSession& session) {
+  SerializedSession out;
+  out.fingerprint = session.snapshot->fingerprint();
+  out.hierarchy_fingerprint = session.snapshot->hierarchy_fingerprint();
+  out.epoch = session.snapshot->epoch();
+  out.policy_spec = session.policy_spec;
+  out.steps = session.transcript;
+  return out;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
@@ -545,7 +558,18 @@ StatusOr<SessionId> Engine::Open(const std::string& policy_spec) {
   AIGS_ASSIGN_OR_RETURN(
       std::shared_ptr<ServiceSession> session,
       BuildSession(std::move(snap), std::move(cache), policy_spec));
-  return sessions_.Insert(std::move(session));
+  const SessionId id = sessions_.Insert(session);
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (const Status logged = store->AppendOpen(id, SnapshotState(*session));
+        !logged.ok()) {
+      // Not durable ⇒ not acked: the id never reaches the client.
+      (void)sessions_.Erase(id);
+      return logged;
+    }
+  }
+  MaybeAutoCheckpoint();
+  return id;
 }
 
 StatusOr<std::shared_ptr<ServiceSession>> Engine::FindSession(SessionId id) {
@@ -591,7 +615,19 @@ StatusOr<Query> Engine::Ask(SessionId id) {
 Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
-  std::lock_guard<std::mutex> lock(session->mutex);
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    AIGS_RETURN_NOT_OK(AnswerLocked(id, *session, answer));
+  }
+  // Off the hot lock: a threshold-crossing answer pays for the checkpoint
+  // (bounded, amortized), every other answer only reads one atomic.
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status Engine::AnswerLocked(SessionId id, ServiceSession& session_ref,
+                            const SessionAnswer& answer) {
+  ServiceSession* const session = &session_ref;
   if (session->reask_after_migration) {
     return Status::FailedPrecondition(
         "session " + std::to_string(id) +
@@ -661,6 +697,15 @@ Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
   }
   session->has_pending = false;
   session->transcript.push_back(std::move(step));
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    // Logged under the session mutex so a session's step records hit the
+    // WAL in transcript order. An IOError here means the step is applied
+    // in memory but NOT acked durable — the error return tells the client
+    // exactly that, and the store counts the degradation.
+    AIGS_RETURN_NOT_OK(store->AppendStep(
+        id, session->snapshot->fingerprint(),
+        session->transcript.size() - 1, session->transcript.back()));
+  }
   return Status::OK();
 }
 
@@ -668,13 +713,7 @@ StatusOr<std::string> Engine::Save(SessionId id) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
-  SerializedSession out;
-  out.fingerprint = session->snapshot->fingerprint();
-  out.hierarchy_fingerprint = session->snapshot->hierarchy_fingerprint();
-  out.epoch = session->snapshot->epoch();
-  out.policy_spec = session->policy_spec;
-  out.steps = session->transcript;
-  return SessionCodec::Encode(out);
+  return SessionCodec::Encode(SnapshotState(*session));
 }
 
 Status Engine::ReplayTranscript(ServiceSession& session,
@@ -769,7 +808,16 @@ StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
   AIGS_RETURN_NOT_OK(ReplayTranscript(*session, saved.steps,
                                       ReplayMode::kExact,
                                       /*max_divergence=*/0, nullptr));
-  return sessions_.Insert(std::move(session));
+  const SessionId id = sessions_.Insert(session);
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (const Status logged = store->AppendOpen(id, SnapshotState(*session));
+        !logged.ok()) {
+      (void)sessions_.Erase(id);
+      return logged;
+    }
+  }
+  return id;
 }
 
 StatusOr<std::shared_ptr<ServiceSession>> Engine::MigrateDecoded(
@@ -816,7 +864,16 @@ StatusOr<MigrateResult> Engine::Migrate(const std::string& serialized) {
     return session.status();
   }
   result.to_epoch = (*session)->snapshot->epoch();
-  result.id = sessions_.Insert(*std::move(session));
+  result.id = sessions_.Insert(*session);
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock((*session)->mutex);
+    if (const Status logged =
+            store->AppendOpen(result.id, SnapshotState(**session));
+        !logged.ok()) {
+      (void)sessions_.Erase(result.id);
+      return logged;
+    }
+  }
   sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
@@ -873,6 +930,13 @@ StatusOr<MigrateResult> Engine::MigrateLocked(SessionId id,
   session.reask_after_migration = had_pending;
   session.epoch.store(result.to_epoch, std::memory_order_relaxed);
   sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    // Re-log the whole session: the migration rewrote its fingerprint and
+    // divergence flags, so subsequent step records chain off this state.
+    // Best-effort — an IOError leaves the WAL describing the pre-migration
+    // prefix (still a consistent recovery) and is counted by the store.
+    (void)store->AppendOpen(id, SnapshotState(session));
+  }
   return result;
 }
 
@@ -995,7 +1059,168 @@ StatusOr<std::size_t> Engine::Warm() {
                   options_.plan_cache.warm_budget);
 }
 
-Status Engine::Close(SessionId id) { return sessions_.Erase(id); }
+Status Engine::Close(SessionId id) {
+  AIGS_RETURN_NOT_OK(sessions_.Erase(id));
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    AIGS_RETURN_NOT_OK(store->AppendClose(id));
+  }
+  return Status::OK();
+}
+
+Status Engine::EnableDurability(DurabilityOptions options) {
+  std::lock_guard<std::mutex> lock(durable_mutex_);
+  if (durable_owner_ != nullptr) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  if (DurableStore::HasState(options.dir)) {
+    return Status::FailedPrecondition(
+        "'" + options.dir +
+        "' already holds durable session state; Recover it (or remove the "
+        "directory) instead of overwriting it");
+  }
+  DurableScan scan;
+  AIGS_ASSIGN_OR_RETURN(durable_owner_,
+                        DurableStore::Open(std::move(options), &scan));
+  durable_.store(durable_owner_.get(), std::memory_order_release);
+  // Sessions opened before durability was enabled exist only in memory;
+  // an immediate checkpoint makes them (and the id watermark) durable.
+  std::lock_guard<std::mutex> checkpoint(checkpoint_mutex_);
+  return CheckpointLocked(*durable_owner_);
+}
+
+StatusOr<std::shared_ptr<ServiceSession>> Engine::RecoverSession(
+    const SerializedSession& saved, std::size_t* divergent_steps) {
+  std::shared_ptr<const CatalogSnapshot> snap;
+  std::shared_ptr<PlanCache> cache;
+  CurrentEpochState(&snap, &cache);
+  AIGS_CHECK(snap != nullptr);  // Recover checks before scanning
+  if (saved.fingerprint != snap->fingerprint()) {
+    // The catalog changed across the restart; fall back to the migration
+    // contract (same hierarchy, tolerated divergence within budget).
+    return MigrateDecoded(saved, divergent_steps);
+  }
+  AIGS_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServiceSession> session,
+      BuildSession(std::move(snap), std::move(cache), saved.policy_spec));
+  AIGS_RETURN_NOT_OK(ReplayTranscript(*session, saved.steps,
+                                      ReplayMode::kExact,
+                                      /*max_divergence=*/0, divergent_steps));
+  return session;
+}
+
+StatusOr<RecoveryStats> Engine::Recover(DurabilityOptions options) {
+  if (snapshot() == nullptr) {
+    return Status::FailedPrecondition(
+        "no catalog snapshot published yet — recovery replays transcripts "
+        "against the current snapshot, so Publish first");
+  }
+  std::lock_guard<std::mutex> lock(durable_mutex_);
+  if (durable_owner_ != nullptr) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  DurableScan scan;
+  AIGS_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                        DurableStore::Open(std::move(options), &scan));
+  RecoveryStats stats;
+  stats.checkpoint_sessions = scan.checkpoint_sessions;
+  stats.wal_records = scan.wal_records;
+  stats.torn_tails = scan.torn_tails;
+  stats.torn_bytes = scan.torn_bytes;
+  stats.malformed_records = scan.malformed_records;
+  stats.invalid_checkpoints = scan.invalid_checkpoints;
+
+  const std::uint64_t now_wall = store->NowWallMillis();
+  const std::uint64_t ttl = options_.sessions.ttl_millis;
+  for (const RecoveredSessionRecord& record : scan.sessions) {
+    // The recovery half of the TTL contract: a session that would have
+    // been evicted had the process lived is dropped here, never
+    // resurrected. (Recovered survivors restart their idle clock.)
+    if (ttl != 0 && now_wall > record.last_active_wall_ms &&
+        now_wall - record.last_active_wall_ms > ttl) {
+      ++stats.expired_dropped;
+      continue;
+    }
+    std::size_t divergent = 0;
+    auto session = RecoverSession(record.saved, &divergent);
+    if (!session.ok() ||
+        !sessions_.InsertWithId(record.id, *std::move(session)).ok()) {
+      ++stats.replay_failures;
+      continue;
+    }
+    ++stats.recovered;
+    if (divergent > 0) {
+      ++stats.divergent_sessions;
+    }
+  }
+  sessions_.ReserveIds(scan.next_session_id);
+
+  durable_owner_ = std::move(store);
+  durable_.store(durable_owner_.get(), std::memory_order_release);
+  recovered_.fetch_add(stats.recovered, std::memory_order_relaxed);
+  expired_dropped_.fetch_add(stats.expired_dropped,
+                             std::memory_order_relaxed);
+  last_recovery_ = stats;
+  has_recovery_ = true;
+  // Collapse the replayed segments into one fresh checkpoint so the next
+  // recovery starts from here. Best-effort: a failure leaves the old
+  // files, which still recover (that is what just happened).
+  std::lock_guard<std::mutex> checkpoint(checkpoint_mutex_);
+  (void)CheckpointLocked(*durable_owner_);
+  return stats;
+}
+
+Status Engine::CheckpointLocked(DurableStore& store) {
+  AIGS_ASSIGN_OR_RETURN(const std::uint64_t seq, store.BeginCheckpoint());
+  // Rotation happened FIRST: every append from here lands in the new
+  // segment. A step both inside a blob below and in that segment replays
+  // idempotently via its transcript index.
+  const std::uint64_t now_wall = store.NowWallMillis();
+  std::vector<DurableStore::CheckpointSession> sessions;
+  for (const auto& entry : sessions_.SnapshotWithIdle()) {
+    if (entry.session == nullptr || sessions_.Peek(entry.id) != entry.session) {
+      continue;  // evicted or replaced since capture; never resurrected
+    }
+    DurableStore::CheckpointSession record;
+    record.id = entry.id;
+    record.last_active_wall_ms = now_wall > entry.idle_millis
+                                     ? now_wall - entry.idle_millis
+                                     : 0;
+    {
+      std::lock_guard<std::mutex> lock(entry.session->mutex);
+      record.blob = SessionCodec::Encode(SnapshotState(*entry.session));
+    }
+    sessions.push_back(std::move(record));
+  }
+  return store.CommitCheckpoint(seq, sessions, sessions_.next_id());
+}
+
+Status Engine::Checkpoint() {
+  DurableStore* store = durable_.load(std::memory_order_acquire);
+  if (store == nullptr) {
+    return Status::FailedPrecondition("durability is not enabled");
+  }
+  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  return CheckpointLocked(*store);
+}
+
+void Engine::MaybeAutoCheckpoint() {
+  DurableStore* store = durable_.load(std::memory_order_acquire);
+  if (store == nullptr || !store->ShouldCheckpoint()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_, std::try_to_lock);
+  if (!lock.owns_lock() || !store->ShouldCheckpoint()) {
+    return;  // a checkpoint is already running (it resets the counter)
+  }
+  // Best-effort: on failure the WAL simply keeps growing and the next
+  // threshold crossing retries; durability of acked records is unaffected.
+  (void)CheckpointLocked(*store);
+}
+
+Status Engine::FlushDurable() {
+  DurableStore* store = durable_.load(std::memory_order_acquire);
+  return store == nullptr ? Status::OK() : store->Sync();
+}
 
 std::shared_ptr<PlanCache> Engine::plan_cache() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
@@ -1034,6 +1259,17 @@ EngineStats Engine::Stats() const {
       migration_failures_.load(std::memory_order_relaxed);
   if (drain_ != nullptr) {
     stats.drain = drain_->Snapshot();
+  }
+  if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
+    stats.durable = true;
+    stats.durability = store->Stats();
+  }
+  stats.recovered = recovered_.load(std::memory_order_relaxed);
+  stats.expired_dropped = expired_dropped_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(durable_mutex_);
+    stats.has_recovery = has_recovery_;
+    stats.last_recovery = last_recovery_;
   }
   return stats;
 }

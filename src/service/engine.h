@@ -53,6 +53,7 @@
 
 #include "core/policy.h"
 #include "service/catalog_snapshot.h"
+#include "service/durable_store.h"
 #include "service/plan_cache.h"
 #include "service/session_codec.h"
 #include "service/session_manager.h"
@@ -194,6 +195,33 @@ struct MigrateSweepStats {
   std::size_t divergent_steps = 0;
 };
 
+/// Outcome of one Engine::Recover (also kept in EngineStats as the last
+/// recovery summary the serve REPL prints).
+struct RecoveryStats {
+  /// Sessions the loaded checkpoint held before the WAL tail was applied.
+  std::size_t checkpoint_sessions = 0;
+  /// Valid WAL tail records applied on top of the checkpoint.
+  std::uint64_t wal_records = 0;
+  /// Sessions serving again, with their original ids and transcripts.
+  std::size_t recovered = 0;
+  /// Sessions found durable but idle past the TTL — counted and dropped,
+  /// never resurrected (SessionManager::Peek semantics).
+  std::size_t expired_dropped = 0;
+  /// Sessions whose transcript no longer replays (catalog changed beyond
+  /// the migration contract, or a corrupt blob) — dropped, never fatal.
+  std::size_t replay_failures = 0;
+  /// Recovered sessions that needed divergence-tolerant replay (their
+  /// catalog fingerprint no longer matches the current epoch).
+  std::size_t divergent_sessions = 0;
+  /// WAL segments whose tail was torn by the crash (CRC-discarded).
+  std::uint64_t torn_tails = 0;
+  std::uint64_t torn_bytes = 0;
+  /// CRC-valid records the scan could not use (decode failures, orphaned
+  /// steps, index gaps) — dropped individually, never fatal.
+  std::uint64_t malformed_records = 0;
+  std::uint64_t invalid_checkpoints = 0;
+};
+
 /// Point-in-time operational counters (the serve REPL's `stats` command).
 struct EngineStats {
   std::uint64_t epoch = 0;
@@ -212,6 +240,14 @@ struct EngineStats {
   std::uint64_t migration_failures = 0;
   /// Background drain pipeline progress (zeros when background is off).
   DrainStats drain;
+  /// Durable session store state (durable=false ⇒ the rest is zeros).
+  bool durable = false;
+  DurableStoreStats durability;
+  /// Cumulative recovery counters plus the last Recover's full summary.
+  std::uint64_t recovered = 0;
+  std::uint64_t expired_dropped = 0;
+  bool has_recovery = false;
+  RecoveryStats last_recovery;
 };
 
 class EpochDrainWorker;
@@ -317,6 +353,43 @@ class Engine {
   /// Closes and discards a session.
   Status Close(SessionId id);
 
+  // ---- durability ------------------------------------------------------------
+
+  /// Attaches a durable session store to a FRESH directory and writes an
+  /// initial checkpoint of whatever is live. From here every acked
+  /// Open/Answer/Close appends a WAL record before it returns (per the
+  /// fsync policy's durability promise), and crossing
+  /// DurabilityOptions::checkpoint_every triggers a checkpoint off the hot
+  /// path. FailedPrecondition when the directory already holds durable
+  /// state — that state must be Recover()ed (or deleted), never silently
+  /// shadowed. Configure durability before serving traffic; the append
+  /// hooks read the store pointer without the snapshot mutex.
+  Status EnableDurability(DurabilityOptions options);
+
+  /// Rebuilds sessions from `options.dir` — newest valid checkpoint plus
+  /// the WAL tail (torn trailing records are CRC-discarded, never fatal) —
+  /// then attaches the store and resumes logging. Every acked session
+  /// comes back under its ORIGINAL id with a bit-identical transcript
+  /// (exact replay when its catalog fingerprint matches the current
+  /// snapshot, divergence-tolerant replay within the migration budget when
+  /// only the weights changed). Sessions idle past the session TTL are
+  /// counted and dropped. Requires a published snapshot to replay against.
+  StatusOr<RecoveryStats> Recover(DurabilityOptions options);
+
+  /// Writes a checkpoint now: rotates the WAL, snapshots every live
+  /// session via its Save blob, commits atomically, and truncates the old
+  /// log. Safe under concurrent traffic (records landing in the new
+  /// segment replay idempotently by step index).
+  Status Checkpoint();
+
+  /// Fsyncs the WAL regardless of policy — the graceful-shutdown flush
+  /// (serve runs it on SIGTERM). No-op when durability is off.
+  Status FlushDurable();
+
+  bool durable() const {
+    return durable_.load(std::memory_order_acquire) != nullptr;
+  }
+
   SessionManager& sessions() { return sessions_; }
 
   /// The current epoch's plan cache (null when disabled or before the first
@@ -336,6 +409,24 @@ class Engine {
   };
 
   StatusOr<std::shared_ptr<ServiceSession>> FindSession(SessionId id);
+
+  /// Answer's body; the caller holds `session.mutex`. On success the step
+  /// is applied, logged (when durable), and acked by the OK return.
+  Status AnswerLocked(SessionId id, ServiceSession& session,
+                      const SessionAnswer& answer);
+
+  /// Rebuilds one recovered session against the current snapshot: exact
+  /// replay on a fingerprint match, divergence-tolerant (Migrate-style)
+  /// otherwise.
+  StatusOr<std::shared_ptr<ServiceSession>> RecoverSession(
+      const SerializedSession& saved, std::size_t* divergent_steps);
+
+  /// Checkpoint body; the caller holds `checkpoint_mutex_`.
+  Status CheckpointLocked(DurableStore& store);
+
+  /// Runs a checkpoint when the auto threshold is crossed and no other
+  /// checkpoint is in flight. Called off the hot path (no locks held).
+  void MaybeAutoCheckpoint();
 
   /// Atomically reads the current (snapshot, plan cache) pair.
   void CurrentEpochState(std::shared_ptr<const CatalogSnapshot>* snap,
@@ -396,6 +487,19 @@ class Engine {
 
   std::atomic<std::uint64_t> sessions_migrated_{0};
   std::atomic<std::uint64_t> migration_failures_{0};
+
+  /// Durable store lifecycle: `durable_owner_` (guarded by
+  /// `durable_mutex_`, set once by EnableDurability/Recover) owns the
+  /// store; `durable_` mirrors the raw pointer for lock-free reads on the
+  /// Answer hot path. `checkpoint_mutex_` serializes checkpoints.
+  mutable std::mutex durable_mutex_;
+  std::unique_ptr<DurableStore> durable_owner_;
+  std::atomic<DurableStore*> durable_{nullptr};
+  std::mutex checkpoint_mutex_;
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> expired_dropped_{0};
+  bool has_recovery_ = false;          // guarded by durable_mutex_
+  RecoveryStats last_recovery_;        // guarded by durable_mutex_
 
   friend class EpochDrainWorker;
   /// Declared LAST: destroyed first, so the worker's threads stop before

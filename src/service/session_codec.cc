@@ -45,11 +45,28 @@ Status MalformedLine(std::size_t line_no, std::string_view line) {
 }
 
 StatusOr<std::uint64_t> ParseHexDigest(std::string_view text) {
-  const std::string hex{Trim(text)};
-  char* end = nullptr;
-  const std::uint64_t value = std::strtoull(hex.c_str(), &end, 16);
-  if (end == hex.c_str() || *end != '\0') {
-    return Status::InvalidArgument("malformed hex digest '" + hex + "'");
+  // Hand-rolled instead of strtoull: the digest is attacker-reachable
+  // (saved blobs, WAL records), and strtoull quietly accepts signs,
+  // leading whitespace, "0x", and out-of-range values that wrap.
+  const std::string_view hex = Trim(text);
+  if (hex.empty() || hex.size() > 16) {
+    return Status::InvalidArgument("malformed hex digest '" +
+                                   std::string(hex) + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("malformed hex digest '" +
+                                     std::string(hex) + "'");
+    }
+    value = value << 4 | static_cast<std::uint64_t>(digit);
   }
   return value;
 }
@@ -243,6 +260,12 @@ StatusOr<SerializedSession> SessionCodec::Decode(const std::string& text) {
   if (next_line() != "end") {
     return Status::InvalidArgument("saved session is truncated (missing "
                                    "'end' trailer)");
+  }
+  // Content past the trailer means the blob was spliced or corrupted; a
+  // torn tail should lose data, never smuggle extra lines past the count.
+  if (!next_line().empty()) {
+    return Status::InvalidArgument(
+        "saved session has content after its 'end' trailer");
   }
   return session;
 }

@@ -28,6 +28,36 @@ SessionId SessionManager::Insert(std::shared_ptr<ServiceSession> session) {
   return id;
 }
 
+Status SessionManager::InsertWithId(SessionId id,
+                                    std::shared_ptr<ServiceSession> session) {
+  AIGS_CHECK(session != nullptr);
+  if (id == 0) {
+    return Status::FailedPrecondition("session ids start at 1");
+  }
+  const std::uint64_t now = NowMillis();
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] =
+        shard.sessions.emplace(id, Entry{std::move(session), now});
+    (void)it;
+    if (!inserted) {
+      return Status::FailedPrecondition("session id " + std::to_string(id) +
+                                        " is already live");
+    }
+  }
+  ReserveIds(id + 1);
+  return Status::OK();
+}
+
+void SessionManager::ReserveIds(SessionId next_id) {
+  SessionId current = next_id_.load(std::memory_order_relaxed);
+  while (current < next_id &&
+         !next_id_.compare_exchange_weak(current, next_id,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
 StatusOr<std::shared_ptr<ServiceSession>> SessionManager::Find(SessionId id) {
   const std::uint64_t now = NowMillis();
   Shard& shard = ShardFor(id);
@@ -122,6 +152,23 @@ SessionManager::SnapshotSessions() const {
     out.reserve(out.size() + shard.sessions.size());
     for (const auto& [id, entry] : shard.sessions) {
       out.emplace_back(id, entry.session);
+    }
+  }
+  return out;
+}
+
+std::vector<SessionManager::IdleEntry> SessionManager::SnapshotWithIdle()
+    const {
+  const std::uint64_t now = NowMillis();
+  std::vector<IdleEntry> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.reserve(out.size() + shard.sessions.size());
+    for (const auto& [id, entry] : shard.sessions) {
+      out.push_back(IdleEntry{
+          id, entry.session,
+          now > entry.last_touch_millis ? now - entry.last_touch_millis
+                                        : 0});
     }
   }
   return out;

@@ -91,6 +91,21 @@ class SessionManager {
   /// Stores a session and returns its new ID.
   SessionId Insert(std::shared_ptr<ServiceSession> session);
 
+  /// Stores a session under a SPECIFIC id — crash recovery restores every
+  /// acked session with its original id. FailedPrecondition when the id is
+  /// 0 or already live. The id counter is raised past `id`, so recovered
+  /// ids are never reissued to new sessions.
+  Status InsertWithId(SessionId id, std::shared_ptr<ServiceSession> session);
+
+  /// Raises the next-id counter to at least `next_id` (recovery applies
+  /// the persisted watermark even when every recovered session expired).
+  void ReserveIds(SessionId next_id);
+
+  /// The id the next Insert would assign (persisted by checkpoints).
+  SessionId next_id() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+
   /// Looks a session up and refreshes its TTL. NotFound for unknown or
   /// expired IDs (expired entries are reaped on the spot).
   StatusOr<std::shared_ptr<ServiceSession>> Find(SessionId id);
@@ -122,6 +137,17 @@ class SessionManager {
   /// migration sweep (which then try-locks each session individually).
   std::vector<std::pair<SessionId, std::shared_ptr<ServiceSession>>>
   SnapshotSessions() const;
+
+  /// SnapshotSessions plus each session's idle time (now - last touch) at
+  /// capture. Checkpoints persist idleness this way: the monotonic session
+  /// clock does not survive a restart, so the durable store converts idle
+  /// time to a wall-clock last-active stamp for the recovery TTL check.
+  struct IdleEntry {
+    SessionId id = 0;
+    std::shared_ptr<ServiceSession> session;
+    std::uint64_t idle_millis = 0;
+  };
+  std::vector<IdleEntry> SnapshotWithIdle() const;
 
  private:
   struct Entry {

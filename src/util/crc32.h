@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320) — the frame
+// checksum of the durable session store's write-ahead log. Torn or
+// bit-rotted trailing records are *expected* input on the recovery path
+// (a crash can stop a write mid-frame), so the WAL reader needs a cheap,
+// dependency-free integrity check rather than trusting record lengths.
+#ifndef AIGS_UTIL_CRC32_H_
+#define AIGS_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace aigs {
+
+/// CRC-32 of `data`. `seed` chains calls: Crc32(ab) == Crc32(b, Crc32(a)).
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_CRC32_H_

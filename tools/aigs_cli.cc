@@ -19,6 +19,8 @@
 //       Type 'help' at the prompt for the command list.
 //   aigs demo
 //       Interactive search on the built-in vehicle hierarchy.
+#include <csignal>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -286,7 +288,20 @@ void ServeHelp() {
       "  stats                  per-epoch session counts, per-epoch plan-"
       "trie\n"
       "                         counters (seeded vs organic hits), "
-      "migrations\n"
+      "migrations,\n"
+      "                         persistence (wal bytes, records since "
+      "checkpoint,\n"
+      "                         last fsync, last recovery summary)\n"
+      "  persist <dir> [policy] attach a durable session store to a FRESH "
+      "dir;\n"
+      "                         every acked open/answer/close appends a WAL\n"
+      "                         record (policy: always | interval:N | none,\n"
+      "                         default interval:64)\n"
+      "  checkpoint             snapshot live sessions now and truncate the "
+      "log\n"
+      "  recover <dir> [policy] rebuild sessions from a durable dir "
+      "(checkpoint\n"
+      "                         + WAL tail), keep logging into it\n"
       "  epoch                  current snapshot epoch + fingerprint\n"
       "  drain                  background drain progress (phase, sessions\n"
       "                         remaining, warm-seed and sweep counters)\n"
@@ -335,6 +350,23 @@ Status AnswerFromToken(Engine& engine, SessionId id,
     }
   }
   return Status::Internal("unreachable");
+}
+
+/// Set by SIGTERM/SIGINT: the serve loop drains out and flushes the WAL.
+volatile std::sig_atomic_t g_serve_shutdown = 0;
+
+void HandleServeSignal(int) { g_serve_shutdown = 1; }
+
+/// Installs the handler WITHOUT SA_RESTART, so a signal interrupts the
+/// blocking fgets (EINTR) and the loop can run its graceful flush instead
+/// of dying mid-group-commit.
+void InstallServeSignalHandlers() {
+  struct sigaction action{};
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
 }
 
 int CmdServe(const std::string& hierarchy_path,
@@ -397,13 +429,30 @@ int CmdServe(const std::string& hierarchy_path,
   const auto warn = [](const Status& status) {
     std::printf("error: %s\n", status.ToString().c_str());
   };
+  // Graceful shutdown: fsync the WAL (regardless of policy) so an orderly
+  // SIGTERM/quit/EOF loses nothing even under fsync=interval or none.
+  const auto shutdown = [&engine, &warn](const char* why) {
+    if (engine.durable()) {
+      if (const Status s = engine.FlushDurable(); s.ok()) {
+        std::printf("%s: wal flushed, sessions durable\n", why);
+      } else {
+        warn(s);
+        return 1;
+      }
+    }
+    return 0;
+  };
+  InstallServeSignalHandlers();
   char buffer[4096];
   for (;;) {
     std::printf("> ");
     std::fflush(stdout);
     if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr) {
       std::printf("\n");
-      return 0;
+      return shutdown(g_serve_shutdown ? "signal" : "eof");
+    }
+    if (g_serve_shutdown) {
+      return shutdown("signal");
     }
     std::istringstream line{std::string(buffer)};
     std::string command;
@@ -412,7 +461,7 @@ int CmdServe(const std::string& hierarchy_path,
       continue;
     }
     if (command == "quit" || command == "exit") {
-      return 0;
+      return shutdown("quit");
     }
     if (command == "help") {
       ServeHelp();
@@ -569,6 +618,36 @@ int CmdServe(const std::string& hierarchy_path,
       std::printf("migrations: %llu session(s) migrated, %llu failure(s)\n",
                   static_cast<unsigned long long>(s.sessions_migrated),
                   static_cast<unsigned long long>(s.migration_failures));
+      if (!s.durable) {
+        std::printf("persistence: off ('persist <dir>' to enable)\n");
+      } else {
+        const DurableStoreStats& p = s.durability;
+        std::printf("persistence: %s (fsync %s), segment %llu — %llu "
+                    "byte(s), %llu record(s) since checkpoint, %llu "
+                    "checkpoint(s)\n",
+                    p.dir.c_str(), p.fsync_policy.c_str(),
+                    static_cast<unsigned long long>(p.segment_seq),
+                    static_cast<unsigned long long>(p.wal_bytes),
+                    static_cast<unsigned long long>(
+                        p.records_since_checkpoint),
+                    static_cast<unsigned long long>(p.checkpoints));
+        std::printf("  %llu append(s) (%llu failed), %llu fsync(s) of the "
+                    "current segment, last fsync wall-ms %llu\n",
+                    static_cast<unsigned long long>(p.appends),
+                    static_cast<unsigned long long>(p.append_failures),
+                    static_cast<unsigned long long>(p.wal_syncs),
+                    static_cast<unsigned long long>(p.last_sync_wall_ms));
+        if (s.has_recovery) {
+          const RecoveryStats& r = s.last_recovery;
+          std::printf("  last recovery: %zu recovered (%zu from the "
+                      "checkpoint, %llu wal record(s)), %zu expired "
+                      "dropped, %zu replay failure(s), %llu torn tail(s)\n",
+                      r.recovered, r.checkpoint_sessions,
+                      static_cast<unsigned long long>(r.wal_records),
+                      r.expired_dropped, r.replay_failures,
+                      static_cast<unsigned long long>(r.torn_tails));
+        }
+      }
       if (s.drain.background) {
         std::printf("drain: %s, %zu session(s) remaining, last batch %zu\n",
                     DrainPhaseName(s.drain.phase),
@@ -601,6 +680,51 @@ int CmdServe(const std::string& hierarchy_path,
                   static_cast<unsigned long long>(d.skipped_pinned),
                   static_cast<unsigned long long>(d.retried_busy),
                   static_cast<unsigned long long>(d.expired));
+    } else if (command == "persist" || command == "recover") {
+      DurabilityOptions dopts;
+      if (!(line >> dopts.dir)) {
+        std::printf("usage: %s <dir> [always|interval:N|none]\n",
+                    command.c_str());
+        continue;
+      }
+      std::string policy = "interval:64";
+      line >> policy;
+      auto sync = ParseFsyncPolicy(policy);
+      if (!sync.ok()) {
+        warn(sync.status());
+        continue;
+      }
+      dopts.sync = *sync;
+      if (command == "persist") {
+        if (const Status s = engine.EnableDurability(dopts); !s.ok()) {
+          warn(s);
+          continue;
+        }
+        std::printf("persisting to %s (fsync %s)\n", dopts.dir.c_str(),
+                    FormatFsyncPolicy(dopts.sync).c_str());
+      } else {
+        auto r = engine.Recover(dopts);
+        if (!r.ok()) {
+          warn(r.status());
+          continue;
+        }
+        std::printf("recovered %zu session(s) from %s (%zu from the "
+                    "checkpoint, %llu wal record(s), %zu expired dropped, "
+                    "%zu replay failure(s), %llu torn tail(s))\n",
+                    r->recovered, dopts.dir.c_str(), r->checkpoint_sessions,
+                    static_cast<unsigned long long>(r->wal_records),
+                    r->expired_dropped, r->replay_failures,
+                    static_cast<unsigned long long>(r->torn_tails));
+      }
+    } else if (command == "checkpoint") {
+      if (const Status s = engine.Checkpoint(); !s.ok()) {
+        warn(s);
+        continue;
+      }
+      const EngineStats s = engine.Stats();
+      std::printf("checkpointed %zu session(s) (checkpoint #%llu)\n",
+                  s.live_sessions,
+                  static_cast<unsigned long long>(s.durability.checkpoints));
     } else if (command == "epoch") {
       const auto snap = engine.snapshot();
       std::printf("epoch %llu, catalog fingerprint %016llx\n",
