@@ -1,7 +1,13 @@
 #include "data/dataset_io.h"
 
+#include <vector>
+
+#include "data/builtin.h"
+#include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "prob/weight_io.h"
+#include "util/rng.h"
+#include "util/string_util.h"
 
 namespace aigs {
 
@@ -33,6 +39,51 @@ StatusOr<Dataset> LoadDatasetFiles(const std::string& name,
                   .num_objects = 0};
   dataset.num_objects = dataset.real_distribution.Total();
   return dataset;
+}
+
+StatusOr<Digraph> LoadHierarchySpec(const std::string& spec) {
+  if (spec.rfind("builtin:", 0) == 0) {
+    const std::string which = spec.substr(8);
+    if (which == "vehicle") {
+      return BuildVehicleHierarchy();
+    }
+    if (which == "fig2") {
+      return BuildFig2Hierarchy();
+    }
+    if (which == "fig3") {
+      return BuildFig3Hierarchy();
+    }
+    return Status::InvalidArgument(
+        "unknown builtin hierarchy '" + which +
+        "' (want vehicle, fig2, or fig3)");
+  }
+  if (spec.rfind("synthetic:", 0) == 0) {
+    const std::vector<std::string_view> parts = Split(spec, ':');
+    if (parts.size() != 3 && parts.size() != 4) {
+      return Status::InvalidArgument(
+          "synthetic spec '" + spec +
+          "' is not synthetic:{tree|dag}:N[:seed]");
+    }
+    AIGS_ASSIGN_OR_RETURN(const std::uint64_t n, ParseUint64(parts[2]));
+    if (n == 0) {
+      return Status::InvalidArgument("synthetic hierarchy needs n > 0");
+    }
+    std::uint64_t seed = 1;
+    if (parts.size() == 4) {
+      AIGS_ASSIGN_OR_RETURN(seed, ParseUint64(parts[3]));
+    }
+    Rng rng(seed);
+    if (parts[1] == "tree") {
+      return RandomTree(static_cast<std::size_t>(n), rng);
+    }
+    if (parts[1] == "dag") {
+      return RandomDag(static_cast<std::size_t>(n), rng);
+    }
+    return Status::InvalidArgument("unknown synthetic kind '" +
+                                   std::string(parts[1]) +
+                                   "' (want tree or dag)");
+  }
+  return LoadHierarchy(spec);
 }
 
 }  // namespace aigs

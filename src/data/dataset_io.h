@@ -21,6 +21,15 @@ Status SaveDatasetFiles(const Dataset& dataset, const std::string& prefix);
 StatusOr<Dataset> LoadDatasetFiles(const std::string& name,
                                    const std::string& prefix);
 
+/// Resolves a hierarchy SPEC — the shared argument syntax of `aigs serve`
+/// and `aigs_loadgen`, which must agree on the graph down to the node ids
+/// (the loadgen answers the server's questions from its own copy):
+///   builtin:vehicle | builtin:fig2 | builtin:fig3   paper hierarchies
+///   synthetic:tree:N[:seed]                          RandomTree(N)
+///   synthetic:dag:N[:seed]                           RandomDag(N)
+///   anything else                                    a hierarchy file path
+StatusOr<Digraph> LoadHierarchySpec(const std::string& spec);
+
 }  // namespace aigs
 
 #endif  // AIGS_DATA_DATASET_IO_H_

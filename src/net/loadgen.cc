@@ -1,0 +1,374 @@
+#include "net/loadgen.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+
+#include "eval/runner.h"
+#include "net/shard_router.h"
+#include "net/wire.h"
+#include "oracle/oracle.h"
+#include "util/rng.h"
+
+namespace aigs::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Which request a connection's session loop sends next.
+enum class Phase { kOpen, kAsk, kAnswer, kClose };
+
+struct Conn {
+  int fd = -1;
+  std::size_t shard = 0;
+  bool retired = false;  // connection died or budget left nothing to send
+  bool in_flight = false;
+
+  Phase phase = Phase::kOpen;
+  SessionId session = 0;
+  NodeId target = 0;
+  Query pending_query;
+
+  std::string out;          // remaining bytes of the current request
+  std::string in;           // partial response bytes
+  Clock::time_point sent_at;
+};
+
+std::uint64_t NearestRankUs(std::vector<std::uint64_t>& sorted_ns,
+                            double quantile) {
+  if (sorted_ns.empty()) {
+    return 0;
+  }
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(quantile * static_cast<double>(sorted_ns.size())));
+  const std::size_t index = std::min(sorted_ns.size(), std::max<std::size_t>(
+                                                           rank, 1)) -
+                            1;
+  return sorted_ns[index] / 1000;
+}
+
+}  // namespace
+
+StatusOr<LoadgenResult> RunLoadgen(const LoadgenOptions& options) {
+  if (options.targets.empty()) {
+    return Status::InvalidArgument("loadgen needs at least one target");
+  }
+  if (options.hierarchy == nullptr) {
+    return Status::InvalidArgument(
+        "loadgen needs the served hierarchy to answer questions");
+  }
+  if (options.connections == 0) {
+    return Status::InvalidArgument("loadgen needs at least one connection");
+  }
+  if (options.max_requests == 0 && options.duration_ms == 0) {
+    return Status::InvalidArgument(
+        "set max_requests and/or duration_ms — an unbounded closed loop "
+        "never returns");
+  }
+  IgnoreSigpipe();
+
+  const Hierarchy& hierarchy = *options.hierarchy;
+  const std::size_t num_nodes = hierarchy.NumNodes();
+  const bool sharded = options.targets.size() > 1;
+  const ShardRing ring(options.targets, options.vnodes);
+  Rng rng(Mix64(options.seed));
+
+  LoadgenResult result;
+  std::vector<std::uint64_t> latencies_ns;
+  latencies_ns.reserve(options.max_requests != 0
+                           ? std::min<std::uint64_t>(options.max_requests,
+                                                     1u << 22)
+                           : 1u << 16);
+  std::uint64_t issued = 0;
+
+  // Draws the proposed id for a fresh session: 0 (server assigns) on one
+  // target; on several, rejection-sampled until the ShardRing places it on
+  // this connection's shard — the exact placement a ShardRouter computes.
+  const auto propose_id = [&](const Conn& conn) -> SessionId {
+    if (!sharded) {
+      return 0;
+    }
+    for (;;) {
+      const SessionId id = rng.Next();
+      if (id != 0 && ring.ShardFor(id) == conn.shard) {
+        return id;
+      }
+    }
+  };
+
+  const auto start = Clock::now();
+  const auto out_of_time = [&] {
+    return options.duration_ms != 0 &&
+           Clock::now() - start >= std::chrono::milliseconds(
+                                       options.duration_ms);
+  };
+  const auto can_issue = [&] {
+    return (options.max_requests == 0 || issued < options.max_requests) &&
+           !out_of_time();
+  };
+
+  // Builds and enqueues the next request of `conn`'s session loop.
+  const auto issue = [&](Conn& conn) {
+    WireRequest request;
+    switch (conn.phase) {
+      case Phase::kOpen:
+        request.op = WireOp::kOpen;
+        request.id = propose_id(conn);
+        request.text = options.policy_spec;
+        break;
+      case Phase::kAsk:
+        request.op = WireOp::kAsk;
+        request.id = conn.session;
+        break;
+      case Phase::kAnswer: {
+        request.op = WireOp::kAnswer;
+        request.id = conn.session;
+        ExactOracle oracle(hierarchy.reach(), conn.target);
+        request.answer = AnswerFromOracle(conn.pending_query, oracle);
+        break;
+      }
+      case Phase::kClose:
+        request.op = WireOp::kClose;
+        request.id = conn.session;
+        break;
+    }
+    conn.out = EncodeRequest(request);
+    conn.sent_at = Clock::now();
+    conn.in_flight = true;
+    ++issued;
+  };
+
+  // Advances the session state machine on one completed round trip.
+  const auto handle_response = [&](Conn& conn, const WireResponse& response) {
+    const auto now = Clock::now();
+    latencies_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - conn.sent_at)
+            .count()));
+    ++result.requests;
+    conn.in_flight = false;
+    if (!response.ok()) {
+      ++result.errors;
+      // Recover by abandoning the session: close it if addressable,
+      // otherwise start fresh (the server's TTL reaps leftovers).
+      if (conn.phase != Phase::kClose && conn.session != 0) {
+        conn.phase = Phase::kClose;
+      } else {
+        conn.session = 0;
+        conn.phase = Phase::kOpen;
+      }
+      return;
+    }
+    switch (conn.phase) {
+      case Phase::kOpen:
+        conn.session = response.id;
+        conn.target = static_cast<NodeId>(rng.UniformInt(num_nodes));
+        conn.phase = Phase::kAsk;
+        break;
+      case Phase::kAsk:
+        if (response.query.kind == Query::Kind::kDone) {
+          if (response.query.node != conn.target) {
+            ++result.wrong_targets;
+          }
+          conn.phase = Phase::kClose;
+        } else {
+          conn.pending_query = response.query;
+          conn.phase = Phase::kAnswer;
+        }
+        break;
+      case Phase::kAnswer:
+        conn.phase = Phase::kAsk;
+        break;
+      case Phase::kClose:
+        ++result.sessions_completed;
+        conn.session = 0;
+        conn.phase = Phase::kOpen;
+        break;
+    }
+  };
+
+  // Dial all connections up front (blocking), then run them nonblocking.
+  std::vector<Conn> conns(options.connections);
+  std::size_t live = 0;
+  Status last_dial = Status::OK();
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    conns[i].shard = i % options.targets.size();
+    auto fd = DialTcp(options.targets[conns[i].shard],
+                      options.connect_timeout_ms);
+    if (!fd.ok()) {
+      last_dial = fd.status();
+      conns[i].retired = true;
+      continue;
+    }
+    conns[i].fd = *fd;
+    if (const Status s = SetNonBlocking(*fd); !s.ok()) {
+      CloseFd(*fd);
+      conns[i].retired = true;
+      last_dial = s;
+      continue;
+    }
+    ++live;
+  }
+  if (live == 0) {
+    return Status::IOError("no loadgen connection could be established (" +
+                           last_dial.message() + ")");
+  }
+  for (Conn& conn : conns) {
+    if (!conn.retired && can_issue()) {
+      issue(conn);
+    } else if (!conn.retired) {
+      CloseFd(conn.fd);
+      conn.retired = true;
+      --live;
+    }
+  }
+
+  const auto retire = [&](Conn& conn) {
+    CloseFd(conn.fd);
+    conn.fd = -1;
+    conn.retired = true;
+    conn.in_flight = false;
+    --live;
+  };
+
+  std::vector<pollfd> pollfds;
+  std::vector<Conn*> polled;
+  char buffer[16384];
+  while (live > 0 && !out_of_time()) {
+    pollfds.clear();
+    polled.clear();
+    bool any_in_flight = false;
+    for (Conn& conn : conns) {
+      if (conn.retired) {
+        continue;
+      }
+      if (!conn.in_flight) {
+        retire(conn);  // budget exhausted for this connection
+        continue;
+      }
+      any_in_flight = true;
+      pollfds.push_back(
+          {conn.fd,
+           static_cast<short>(conn.out.empty() ? POLLIN : POLLOUT), 0});
+      polled.push_back(&conn);
+    }
+    if (!any_in_flight) {
+      break;
+    }
+    int rc = ::poll(pollfds.data(), pollfds.size(), 100);
+    if (rc < 0 && errno != EINTR) {
+      return Status::IOError("poll failed during the load run");
+    }
+    for (std::size_t i = 0; i < pollfds.size(); ++i) {
+      Conn& conn = *polled[i];
+      const short revents = pollfds[i].revents;
+      if (revents == 0 || conn.retired) {
+        continue;
+      }
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        ++result.errors;
+        retire(conn);
+        continue;
+      }
+      if ((revents & POLLOUT) != 0 && !conn.out.empty()) {
+        const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                                 MSG_NOSIGNAL);
+        if (n < 0 && errno != EINTR && errno != EAGAIN &&
+            errno != EWOULDBLOCK) {
+          ++result.errors;
+          retire(conn);
+          continue;
+        }
+        if (n > 0) {
+          conn.out.erase(0, static_cast<std::size_t>(n));
+        }
+      }
+      if ((revents & POLLIN) != 0) {
+        bool dead = false;
+        for (;;) {
+          const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+          if (n > 0) {
+            conn.in.append(buffer, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            dead = true;
+            break;
+          }
+          if (errno == EINTR) {
+            continue;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          }
+          dead = true;
+          break;
+        }
+        // Closed loop: at most one response is outstanding, but drain
+        // whatever arrived before deciding the connection's fate.
+        std::string_view payload;
+        std::size_t consumed = 0;
+        while (ExtractFrame(conn.in, &payload, &consumed, nullptr) ==
+               FrameStatus::kFrame) {
+          WireResponse response;
+          const Status decoded = DecodeResponsePayload(payload, &response);
+          conn.in.erase(0, consumed);
+          if (!decoded.ok()) {
+            dead = true;
+            break;
+          }
+          handle_response(conn, response);
+          if (can_issue()) {
+            issue(conn);
+          }
+        }
+        if (dead || ExtractFrame(conn.in, &payload, &consumed, nullptr) ==
+                        FrameStatus::kCorrupt) {
+          if (conn.in_flight) {
+            ++result.errors;
+          }
+          retire(conn);
+        }
+      }
+    }
+  }
+  for (Conn& conn : conns) {
+    if (!conn.retired) {
+      CloseFd(conn.fd);
+    }
+  }
+
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  result.wall_ms = wall_ns / 1e6;
+  result.throughput_rps =
+      wall_ns > 0 ? static_cast<double>(result.requests) / (wall_ns / 1e9)
+                  : 0;
+  if (!latencies_ns.empty()) {
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    result.p50_us = static_cast<double>(NearestRankUs(latencies_ns, 0.50));
+    result.p99_us = static_cast<double>(NearestRankUs(latencies_ns, 0.99));
+    double sum_ns = 0;
+    for (const std::uint64_t ns : latencies_ns) {
+      sum_ns += static_cast<double>(ns);
+    }
+    result.mean_us =
+        sum_ns / static_cast<double>(latencies_ns.size()) / 1000.0;
+  }
+  if (result.requests == 0) {
+    return Status::IOError(
+        "the load run completed no requests — is the server up and serving "
+        "the same hierarchy?");
+  }
+  return result;
+}
+
+}  // namespace aigs::net

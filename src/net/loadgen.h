@@ -1,0 +1,75 @@
+// Closed-loop load generator for the aigs-wire/1 front end — the engine
+// behind the `aigs_loadgen` tool and the `network` bench suite.
+//
+// The driver is a single-threaded poll(2) multiplexer over C nonblocking
+// connections, each with exactly one request in flight (closed loop). On
+// each response a per-connection state machine advances a real search
+// session — open → (ask → answer)* → close, answering every question
+// through an ExactOracle against a locally loaded copy of the hierarchy —
+// so the traffic exercises the full planner path, not an echo server.
+// Per-request latency is send-to-response; p50/p99 come from the full
+// recorded distribution (no sampling).
+//
+// Sharded mode: with several targets, connections round-robin across them
+// and every Open proposes a session id REJECTION-SAMPLED to land on that
+// connection's shard under the ShardRing — the same placement a
+// ShardRouter computes — so a multi-shard run has zero cross-shard
+// traffic by construction.
+#ifndef AIGS_NET_LOADGEN_H_
+#define AIGS_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "net/net_util.h"
+#include "util/status.h"
+
+namespace aigs::net {
+
+struct LoadgenOptions {
+  /// One endpoint = single-server mode; several = sharded mode with
+  /// ShardRing-consistent session placement.
+  std::vector<Endpoint> targets;
+  /// Concurrent connections, spread round-robin across the targets.
+  std::size_t connections = 64;
+  /// Stop after this many completed requests (0 = no request cap; then
+  /// duration_ms must be set).
+  std::uint64_t max_requests = 0;
+  /// Stop after this much wall time (0 = no time cap).
+  std::uint32_t duration_ms = 0;
+  /// Policy spec each session opens (must be in the server's catalog).
+  std::string policy_spec = "greedy";
+  /// The same hierarchy the servers published — answers are computed
+  /// locally against its reachability index. Must outlive the run.
+  const Hierarchy* hierarchy = nullptr;
+  /// Seed for target sampling and proposed-id generation.
+  std::uint64_t seed = 1;
+  /// Ring geometry for sharded placement (must match the router's).
+  std::size_t vnodes = 64;
+  int connect_timeout_ms = 5'000;
+};
+
+struct LoadgenResult {
+  std::uint64_t requests = 0;  ///< completed round trips
+  std::uint64_t errors = 0;    ///< non-OK service responses
+  std::uint64_t sessions_completed = 0;
+  /// Sessions whose kDone target mismatched the sampled one — always 0
+  /// against a correct server (checked by the bench gate).
+  std::uint64_t wrong_targets = 0;
+  double wall_ms = 0;
+  double throughput_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+};
+
+/// Runs the closed loop until a stop condition hits. Per-connection
+/// failures (refused, reset) count as errors and retire the connection;
+/// the run fails outright only when no connection could do any work.
+StatusOr<LoadgenResult> RunLoadgen(const LoadgenOptions& options);
+
+}  // namespace aigs::net
+
+#endif  // AIGS_NET_LOADGEN_H_

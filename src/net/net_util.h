@@ -1,0 +1,55 @@
+// Thin POSIX socket helpers shared by the server, the blocking client, and
+// the load generator: endpoint parsing, EINTR-safe I/O, and fd options.
+// Everything returns Status — a refused connection or a dropped peer is a
+// typed error, never an abort (and never a SIGPIPE: all sends pass
+// MSG_NOSIGNAL, and the entry points also call IgnoreSigpipe()).
+#ifndef AIGS_NET_NET_UTIL_H_
+#define AIGS_NET_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace aigs::net {
+
+/// A "host:port" pair. Only IPv4 dotted quads and "localhost" are resolved
+/// — the loopback bench and shard configs never need DNS.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "host:port" ("8400" alone means 127.0.0.1:8400).
+StatusOr<Endpoint> ParseEndpoint(std::string_view text);
+
+/// Opens a listening TCP socket on `endpoint` (SO_REUSEADDR; port 0 binds
+/// an ephemeral port). Returns the fd; `*bound_port` (optional) receives
+/// the actual port.
+StatusOr<int> ListenTcp(const Endpoint& endpoint, int backlog,
+                        std::uint16_t* bound_port);
+
+/// Blocking connect with a timeout (nonblocking connect + poll, then the
+/// fd is switched back to blocking). TCP_NODELAY is set — every frame is
+/// one request/response and must not sit in Nagle's buffer.
+StatusOr<int> DialTcp(const Endpoint& endpoint, int timeout_ms);
+
+/// Writes all of `data`, retrying EINTR and briefly polling out EAGAIN.
+/// A dropped peer surfaces as IOError (EPIPE/ECONNRESET), never a signal.
+Status SendAll(int fd, std::string_view data);
+
+/// Reads up to `capacity` bytes, retrying EINTR. Returns 0 on orderly EOF.
+StatusOr<std::size_t> RecvSome(int fd, char* buffer, std::size_t capacity);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// close(2) that retries EINTR and ignores errors (shutdown paths).
+void CloseFd(int fd);
+
+}  // namespace aigs::net
+
+#endif  // AIGS_NET_NET_UTIL_H_

@@ -1,0 +1,148 @@
+#include "net/shard_router.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace aigs::net {
+
+ShardRing::ShardRing(const std::vector<Endpoint>& endpoints,
+                     std::size_t vnodes)
+    : num_shards_(endpoints.size()) {
+  AIGS_CHECK(!endpoints.empty());
+  vnodes = std::max<std::size_t>(vnodes, 1);
+  ring_.reserve(endpoints.size() * vnodes);
+  for (std::size_t shard = 0; shard < endpoints.size(); ++shard) {
+    const std::uint64_t base = HashBytes64(endpoints[shard].ToString());
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      ring_.emplace_back(Mix64(base ^ Mix64(v)), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardRing::ShardFor(std::uint64_t id) const {
+  const std::uint64_t point = Mix64(id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& entry, std::uint64_t p) { return entry.first < p; });
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap past the highest point
+  }
+  return it->second;
+}
+
+ShardRouter::ShardRouter(std::vector<Endpoint> endpoints,
+                         ShardRouterOptions options)
+    : endpoints_(std::move(endpoints)),
+      options_(options),
+      ring_(endpoints_, options.vnodes),
+      clients_(endpoints_.size()) {}
+
+void ShardRouter::DisconnectAll() {
+  for (AigsClient& client : clients_) {
+    client.Disconnect();
+  }
+}
+
+StatusOr<AigsClient*> ShardRouter::ClientFor(std::size_t shard) {
+  AIGS_DCHECK(shard < clients_.size());
+  AigsClient& client = clients_[shard];
+  if (!client.connected()) {
+    AIGS_RETURN_NOT_OK(client.Connect(endpoints_[shard], options_.client));
+  }
+  return &client;
+}
+
+template <typename Place>
+auto ShardRouter::PlaceWithFreshId(Place place)
+    -> decltype(place(static_cast<AigsClient*>(nullptr), SessionId{0})) {
+  Status last = Status::Internal("no placement attempt ran");
+  for (std::size_t attempt = 0; attempt < options_.max_id_attempts;
+       ++attempt) {
+    SessionId id = Mix64(options_.salt ^ ++id_counter_);
+    if (id == 0) {
+      id = 1;  // 0 means "server assigns" on the wire
+    }
+    AIGS_ASSIGN_OR_RETURN(AigsClient * client,
+                          ClientFor(ring_.ShardFor(id)));
+    auto result = place(client, id);
+    if (result.ok() ||
+        result.status().code() != StatusCode::kFailedPrecondition) {
+      return result;
+    }
+    last = result.status();  // id collision on that shard — redraw
+  }
+  return Status::FailedPrecondition(
+      "could not place a fresh session id after " +
+      std::to_string(options_.max_id_attempts) +
+      " attempts (last: " + last.message() + ")");
+}
+
+StatusOr<SessionId> ShardRouter::Open(const std::string& policy_spec) {
+  return PlaceWithFreshId(
+      [&policy_spec](AigsClient* client, SessionId id) {
+        return client->Open(policy_spec, id);
+      });
+}
+
+StatusOr<Query> ShardRouter::Ask(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
+  return client->Ask(id);
+}
+
+Status ShardRouter::Answer(SessionId id, const SessionAnswer& answer) {
+  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
+  return client->Answer(id, answer);
+}
+
+StatusOr<std::string> ShardRouter::Save(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
+  return client->Save(id);
+}
+
+StatusOr<SessionId> ShardRouter::Resume(const std::string& blob) {
+  return PlaceWithFreshId([&blob](AigsClient* client, SessionId id) {
+    return client->Resume(blob, id);
+  });
+}
+
+StatusOr<MigrateResult> ShardRouter::Migrate(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
+  return client->Migrate(id);
+}
+
+StatusOr<MigrateResult> ShardRouter::MigrateBlob(const std::string& blob) {
+  return PlaceWithFreshId([&blob](AigsClient* client, SessionId id) {
+    return client->MigrateBlob(blob, id);
+  });
+}
+
+Status ShardRouter::Close(SessionId id) {
+  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
+  return client->Close(id);
+}
+
+StatusOr<WireStats> ShardRouter::Stats() {
+  WireStats total;
+  for (std::size_t shard = 0; shard < clients_.size(); ++shard) {
+    AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(shard));
+    AIGS_ASSIGN_OR_RETURN(const WireStats stats, client->Stats());
+    total.epoch = std::max(total.epoch, stats.epoch);
+    total.live_sessions += stats.live_sessions;
+    total.ops.opens += stats.ops.opens;
+    total.ops.asks += stats.ops.asks;
+    total.ops.answers += stats.ops.answers;
+    total.ops.saves += stats.ops.saves;
+    total.ops.resumes += stats.ops.resumes;
+    total.ops.migrates += stats.ops.migrates;
+    total.ops.closes += stats.ops.closes;
+    total.ops.rejected += stats.ops.rejected;
+    for (std::size_t i = 0; i < total.ops.rejected_by_code.size(); ++i) {
+      total.ops.rejected_by_code[i] += stats.ops.rejected_by_code[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace aigs::net

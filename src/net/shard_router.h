@@ -1,0 +1,110 @@
+// ShardRouter — consistent-hash placement of sessions across N backend
+// aigs servers, with no cross-shard chatter: a session's id alone
+// determines which shard owns it.
+//
+// The trick that makes this work with server-side session storage is that
+// the ROUTER proposes the session id. Open/Resume/Migrate-blob generate a
+// fresh 64-bit id, look it up on the hash ring, and send it to the owning
+// shard via the wire protocol's proposed-id field (Engine::Open's
+// InsertWithId seam). From then on every id-addressed op — Ask, Answer,
+// Save, Close, live Migrate — routes by hashing the id; no lookup table,
+// no broadcast, and any router replica configured with the same endpoint
+// list computes the identical placement.
+//
+// The ring hashes each endpoint onto `vnodes` points (HashBytes64 of the
+// endpoint string mixed with the virtual-node index), so load spreads
+// evenly and removing one endpoint only reassigns that endpoint's
+// arc — the classic consistent-hashing stability property, asserted by
+// tests/test_net.cc.
+//
+// Not thread-safe (a router owns one blocking connection per shard);
+// give each thread its own router.
+#ifndef AIGS_NET_SHARD_ROUTER_H_
+#define AIGS_NET_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace aigs::net {
+
+/// The pure placement function: endpoints → hash ring → shard index.
+/// Deterministic across processes; shared by the router and the load
+/// generator (which needs to pre-compute which shard an id lands on).
+class ShardRing {
+ public:
+  /// `vnodes` points per endpoint (>= 1).
+  ShardRing(const std::vector<Endpoint>& endpoints, std::size_t vnodes = 64);
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// The shard owning `id`: first ring point clockwise of Mix64(id).
+  std::size_t ShardFor(std::uint64_t id) const;
+
+ private:
+  std::size_t num_shards_;
+  /// (ring position, shard index), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+struct ShardRouterOptions {
+  std::size_t vnodes = 64;
+  /// Seed for the router's id generator — distinct routers proposing into
+  /// the same fleet should use distinct salts so their id streams never
+  /// collide by construction (collisions are still handled: the shard
+  /// answers FailedPrecondition and the router redraws).
+  std::uint64_t salt = 0;
+  /// Redraw attempts when a proposed id is already live on its shard.
+  std::size_t max_id_attempts = 8;
+  ClientOptions client;
+};
+
+class ShardRouter {
+ public:
+  ShardRouter(std::vector<Endpoint> endpoints, ShardRouterOptions options = {});
+
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+  const ShardRing& ring() const { return ring_; }
+
+  /// Drops any open connections; the next op per shard redials.
+  void DisconnectAll();
+
+  // ---- the Engine session API, routed ---------------------------------------
+
+  StatusOr<SessionId> Open(const std::string& policy_spec);
+  StatusOr<Query> Ask(SessionId id);
+  Status Answer(SessionId id, const SessionAnswer& answer);
+  StatusOr<std::string> Save(SessionId id);
+  StatusOr<SessionId> Resume(const std::string& blob);
+  StatusOr<MigrateResult> Migrate(SessionId id);
+  StatusOr<MigrateResult> MigrateBlob(const std::string& blob);
+  Status Close(SessionId id);
+  /// Aggregated stats across all shards (epoch = max over shards).
+  StatusOr<WireStats> Stats();
+
+ private:
+  /// The connected client for `shard`, dialing lazily.
+  StatusOr<AigsClient*> ClientFor(std::size_t shard);
+
+  /// Draws a fresh nonzero id and runs `place(client, id)` on its owning
+  /// shard, redrawing on FailedPrecondition (id collision) up to the
+  /// attempt budget.
+  template <typename Place>
+  auto PlaceWithFreshId(Place place) -> decltype(place(
+      static_cast<AigsClient*>(nullptr), SessionId{0}));
+
+  std::vector<Endpoint> endpoints_;
+  ShardRouterOptions options_;
+  ShardRing ring_;
+  std::vector<AigsClient> clients_;  // one per shard, lazily connected
+  std::uint64_t id_counter_ = 0;
+};
+
+}  // namespace aigs::net
+
+#endif  // AIGS_NET_SHARD_ROUTER_H_

@@ -1,0 +1,516 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+
+#include "util/common.h"
+#include "util/crc32.h"
+
+namespace aigs::net {
+namespace {
+
+// ---- little-endian primitives ----------------------------------------------
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutBytes(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<std::uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+std::uint32_t ReadU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Bounds-checked sequential reader over one frame payload. Every method
+/// returns Status; a failed read leaves the cursor unspecified but never
+/// reads out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status U8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) {
+      return Truncated("u8");
+    }
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status U32(std::uint32_t* v) {
+    if (pos_ + 4 > data_.size()) {
+      return Truncated("u32");
+    }
+    *v = ReadU32(data_.data() + pos_);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status U64(std::uint64_t* v) {
+    if (pos_ + 8 > data_.size()) {
+      return Truncated("u64");
+    }
+    std::uint64_t lo = ReadU32(data_.data() + pos_);
+    std::uint64_t hi = ReadU32(data_.data() + pos_ + 4);
+    *v = lo | (hi << 32);
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status Bytes(std::string* v) {
+    std::uint32_t len = 0;
+    AIGS_RETURN_NOT_OK(U32(&len));
+    if (pos_ + len > data_.size()) {
+      return Truncated("byte string");
+    }
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument(
+          "wire payload carries " + std::to_string(data_.size() - pos_) +
+          " trailing byte(s) past the message");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::InvalidArgument(std::string("wire payload truncated: ") +
+                                   what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- field codecs ----------------------------------------------------------
+
+bool ValidOp(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(WireOp::kOpen) &&
+         raw <= static_cast<std::uint8_t>(WireOp::kStats);
+}
+
+void PutQuery(std::string* out, const Query& q) {
+  PutU8(out, static_cast<std::uint8_t>(q.kind));
+  PutU32(out, q.node);
+  PutU32(out, static_cast<std::uint32_t>(q.choices.size()));
+  for (const NodeId v : q.choices) {
+    PutU32(out, v);
+  }
+}
+
+Status ReadQuery(WireReader& reader, Query* q) {
+  std::uint8_t kind = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&kind));
+  if (kind > static_cast<std::uint8_t>(Query::Kind::kDone)) {
+    return Status::InvalidArgument("invalid query kind byte " +
+                                   std::to_string(kind));
+  }
+  q->kind = static_cast<Query::Kind>(kind);
+  AIGS_RETURN_NOT_OK(reader.U32(&q->node));
+  std::uint32_t count = 0;
+  AIGS_RETURN_NOT_OK(reader.U32(&count));
+  q->choices.clear();
+  q->choices.reserve(std::min<std::uint32_t>(count, 4096));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeId v = 0;
+    AIGS_RETURN_NOT_OK(reader.U32(&v));
+    q->choices.push_back(v);
+  }
+  return Status::OK();
+}
+
+void PutAnswer(std::string* out, const SessionAnswer& answer) {
+  PutU8(out, static_cast<std::uint8_t>(answer.kind));
+  switch (answer.kind) {
+    case Query::Kind::kReach:
+      PutU8(out, answer.yes ? 1 : 0);
+      break;
+    case Query::Kind::kReachBatch:
+      PutU32(out, static_cast<std::uint32_t>(answer.batch.size()));
+      for (const bool yes : answer.batch) {
+        PutU8(out, yes ? 1 : 0);
+      }
+      break;
+    case Query::Kind::kChoice:
+      PutU32(out, static_cast<std::uint32_t>(answer.choice));
+      break;
+    case Query::Kind::kDone:
+      break;  // never sent; tolerated as an empty body
+  }
+}
+
+Status ReadAnswer(WireReader& reader, SessionAnswer* answer) {
+  std::uint8_t kind = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&kind));
+  if (kind > static_cast<std::uint8_t>(Query::Kind::kChoice)) {
+    return Status::InvalidArgument("invalid answer kind byte " +
+                                   std::to_string(kind));
+  }
+  answer->kind = static_cast<Query::Kind>(kind);
+  switch (answer->kind) {
+    case Query::Kind::kReach: {
+      std::uint8_t yes = 0;
+      AIGS_RETURN_NOT_OK(reader.U8(&yes));
+      if (yes > 1) {
+        return Status::InvalidArgument("reach answer byte must be 0 or 1");
+      }
+      answer->yes = yes == 1;
+      break;
+    }
+    case Query::Kind::kReachBatch: {
+      std::uint32_t count = 0;
+      AIGS_RETURN_NOT_OK(reader.U32(&count));
+      answer->batch.clear();
+      answer->batch.reserve(std::min<std::uint32_t>(count, 4096));
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint8_t yes = 0;
+        AIGS_RETURN_NOT_OK(reader.U8(&yes));
+        if (yes > 1) {
+          return Status::InvalidArgument("batch answer byte must be 0 or 1");
+        }
+        answer->batch.push_back(yes == 1);
+      }
+      break;
+    }
+    case Query::Kind::kChoice: {
+      std::uint32_t raw = 0;
+      AIGS_RETURN_NOT_OK(reader.U32(&raw));
+      answer->choice = static_cast<int>(static_cast<std::int32_t>(raw));
+      break;
+    }
+    case Query::Kind::kDone:
+      break;
+  }
+  return Status::OK();
+}
+
+void PutStats(std::string* out, const WireStats& stats) {
+  PutU64(out, stats.epoch);
+  PutU64(out, stats.live_sessions);
+  PutU64(out, stats.ops.opens);
+  PutU64(out, stats.ops.asks);
+  PutU64(out, stats.ops.answers);
+  PutU64(out, stats.ops.saves);
+  PutU64(out, stats.ops.resumes);
+  PutU64(out, stats.ops.migrates);
+  PutU64(out, stats.ops.closes);
+  for (const std::uint64_t n : stats.ops.rejected_by_code) {
+    PutU64(out, n);
+  }
+}
+
+Status ReadStats(WireReader& reader, WireStats* stats) {
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->epoch));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->live_sessions));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.opens));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.asks));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.answers));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.saves));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.resumes));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.migrates));
+  AIGS_RETURN_NOT_OK(reader.U64(&stats->ops.closes));
+  stats->ops.rejected = 0;
+  for (std::uint64_t& n : stats->ops.rejected_by_code) {
+    AIGS_RETURN_NOT_OK(reader.U64(&n));
+    stats->ops.rejected += n;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kOpen:
+      return "open";
+    case WireOp::kAsk:
+      return "ask";
+    case WireOp::kAnswer:
+      return "answer";
+    case WireOp::kSave:
+      return "save";
+    case WireOp::kResume:
+      return "resume";
+    case WireOp::kMigrate:
+      return "migrate";
+    case WireOp::kClose:
+      return "close";
+    case WireOp::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+Status WireResponse::ToStatus() const {
+  if (code == StatusCode::kOk) {
+    return Status::OK();
+  }
+  return Status(code, message);
+}
+
+WireResponse ErrorResponse(WireOp op, const Status& status) {
+  AIGS_DCHECK(!status.ok());
+  WireResponse response;
+  response.op = op;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+// ---- framing ---------------------------------------------------------------
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  AIGS_CHECK(payload.size() <= kMaxFramePayload);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload);
+}
+
+FrameStatus ExtractFrame(std::string_view buffer, std::string_view* payload,
+                         std::size_t* consumed, std::string* error,
+                         std::size_t max_payload) {
+  if (buffer.size() < kFrameHeaderBytes) {
+    return FrameStatus::kNeedMore;
+  }
+  const std::uint32_t length = ReadU32(buffer.data());
+  const std::uint32_t crc = ReadU32(buffer.data() + 4);
+  if (length > max_payload) {
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(length) +
+               " exceeds the frame cap of " + std::to_string(max_payload) +
+               " bytes";
+    }
+    return FrameStatus::kCorrupt;
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) {
+    return FrameStatus::kNeedMore;
+  }
+  const std::string_view body = buffer.substr(kFrameHeaderBytes, length);
+  if (Crc32(body) != crc) {
+    if (error != nullptr) {
+      *error = "frame CRC mismatch over " + std::to_string(length) +
+               " payload byte(s)";
+    }
+    return FrameStatus::kCorrupt;
+  }
+  if (payload != nullptr) {
+    *payload = body;
+  }
+  if (consumed != nullptr) {
+    *consumed = kFrameHeaderBytes + length;
+  }
+  return FrameStatus::kFrame;
+}
+
+// ---- message codec ---------------------------------------------------------
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string payload;
+  PutU8(&payload, kWireVersion);
+  PutU8(&payload, static_cast<std::uint8_t>(request.op));
+  PutU64(&payload, request.id);
+  switch (request.op) {
+    case WireOp::kOpen:
+    case WireOp::kResume:
+    case WireOp::kMigrate:
+      PutBytes(&payload, request.text);
+      break;
+    case WireOp::kAnswer:
+      PutAnswer(&payload, request.answer);
+      break;
+    case WireOp::kAsk:
+    case WireOp::kSave:
+    case WireOp::kClose:
+    case WireOp::kStats:
+      break;
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(&frame, payload);
+  return frame;
+}
+
+Status DecodeRequestPayload(std::string_view payload, WireRequest* request) {
+  WireReader reader(payload);
+  std::uint8_t version = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&version));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version) + " (want " +
+                                   std::to_string(kWireVersion) + ")");
+  }
+  std::uint8_t raw_op = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&raw_op));
+  if (!ValidOp(raw_op)) {
+    return Status::InvalidArgument("unknown request opcode " +
+                                   std::to_string(raw_op));
+  }
+  request->op = static_cast<WireOp>(raw_op);
+  AIGS_RETURN_NOT_OK(reader.U64(&request->id));
+  switch (request->op) {
+    case WireOp::kOpen:
+    case WireOp::kResume:
+    case WireOp::kMigrate:
+      AIGS_RETURN_NOT_OK(reader.Bytes(&request->text));
+      break;
+    case WireOp::kAnswer:
+      AIGS_RETURN_NOT_OK(ReadAnswer(reader, &request->answer));
+      break;
+    case WireOp::kAsk:
+    case WireOp::kSave:
+    case WireOp::kClose:
+    case WireOp::kStats:
+      break;
+  }
+  return reader.ExpectEnd();
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string payload;
+  PutU8(&payload, kWireVersion);
+  PutU8(&payload, static_cast<std::uint8_t>(response.op));
+  PutU8(&payload, static_cast<std::uint8_t>(response.code));
+  PutBytes(&payload, response.message);
+  if (response.code == StatusCode::kOk) {
+    switch (response.op) {
+      case WireOp::kOpen:
+      case WireOp::kResume:
+        PutU64(&payload, response.id);
+        break;
+      case WireOp::kAsk:
+        PutQuery(&payload, response.query);
+        break;
+      case WireOp::kSave:
+        PutBytes(&payload, response.text);
+        break;
+      case WireOp::kMigrate:
+        PutU64(&payload, response.migrate.id);
+        PutU64(&payload, response.migrate.from_epoch);
+        PutU64(&payload, response.migrate.to_epoch);
+        PutU64(&payload, response.migrate.steps);
+        PutU64(&payload, response.migrate.divergent_steps);
+        break;
+      case WireOp::kStats:
+        PutStats(&payload, response.stats);
+        break;
+      case WireOp::kAnswer:
+      case WireOp::kClose:
+        break;
+    }
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(&frame, payload);
+  return frame;
+}
+
+Status DecodeResponsePayload(std::string_view payload,
+                             WireResponse* response) {
+  WireReader reader(payload);
+  std::uint8_t version = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&version));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version) + " (want " +
+                                   std::to_string(kWireVersion) + ")");
+  }
+  std::uint8_t raw_op = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&raw_op));
+  if (!ValidOp(raw_op)) {
+    return Status::InvalidArgument("unknown response opcode " +
+                                   std::to_string(raw_op));
+  }
+  response->op = static_cast<WireOp>(raw_op);
+  std::uint8_t raw_code = 0;
+  AIGS_RETURN_NOT_OK(reader.U8(&raw_code));
+  if (raw_code > static_cast<std::uint8_t>(StatusCode::kUnimplemented)) {
+    return Status::InvalidArgument("unknown status code byte " +
+                                   std::to_string(raw_code));
+  }
+  response->code = static_cast<StatusCode>(raw_code);
+  AIGS_RETURN_NOT_OK(reader.Bytes(&response->message));
+  if (response->code == StatusCode::kOk) {
+    switch (response->op) {
+      case WireOp::kOpen:
+      case WireOp::kResume:
+        AIGS_RETURN_NOT_OK(reader.U64(&response->id));
+        break;
+      case WireOp::kAsk:
+        AIGS_RETURN_NOT_OK(ReadQuery(reader, &response->query));
+        break;
+      case WireOp::kSave:
+        AIGS_RETURN_NOT_OK(reader.Bytes(&response->text));
+        break;
+      case WireOp::kMigrate: {
+        AIGS_RETURN_NOT_OK(reader.U64(&response->migrate.id));
+        AIGS_RETURN_NOT_OK(reader.U64(&response->migrate.from_epoch));
+        AIGS_RETURN_NOT_OK(reader.U64(&response->migrate.to_epoch));
+        std::uint64_t steps = 0;
+        AIGS_RETURN_NOT_OK(reader.U64(&steps));
+        response->migrate.steps = static_cast<std::size_t>(steps);
+        std::uint64_t divergent = 0;
+        AIGS_RETURN_NOT_OK(reader.U64(&divergent));
+        response->migrate.divergent_steps =
+            static_cast<std::size_t>(divergent);
+        break;
+      }
+      case WireOp::kStats:
+        AIGS_RETURN_NOT_OK(ReadStats(reader, &response->stats));
+        break;
+      case WireOp::kAnswer:
+      case WireOp::kClose:
+        break;
+    }
+  }
+  return reader.ExpectEnd();
+}
+
+// ---- shared helpers --------------------------------------------------------
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashBytes64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return Mix64(h);
+}
+
+void IgnoreSigpipe() {
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+}  // namespace aigs::net

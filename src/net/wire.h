@@ -1,0 +1,160 @@
+// aigs-wire/1 — the binary framing and message codec of the network front
+// end. One frame carries one request or one response:
+//
+//     [u32 payload length][u32 CRC-32 of payload][payload]
+//
+// (little-endian, CRC-32 as in the durable store's WAL). The payload starts
+// with a version byte and an opcode; the remaining fields are op-specific.
+// Both sides share this codec, so the server, the blocking client, the
+// shard router, and the load generator all speak exactly the same bytes.
+//
+// Design rules, enforced by the adversarial tests in tests/test_net.cc:
+//
+//  * Decoding NEVER crashes or over-reads: every read is bounds-checked and
+//    returns Status. Truncated buffers are "need more bytes", not errors —
+//    a stream can legitimately pause mid-frame.
+//  * An oversized declared length is rejected immediately (kCorrupt),
+//    before any attempt to buffer it — a 4-byte prefix must not make the
+//    server allocate gigabytes or wait forever.
+//  * A CRC mismatch is kCorrupt: the connection cannot be resynchronized
+//    (frame boundaries are length-derived), so the peer closes it.
+//  * Service errors map 1:1 onto util/status.h StatusCode values — the
+//    client rebuilds the exact Status the Engine returned on the server.
+#ifndef AIGS_NET_WIRE_H_
+#define AIGS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/engine.h"
+#include "util/status.h"
+
+namespace aigs::net {
+
+/// Protocol version (the "1" in aigs-wire/1).
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Frame header: u32 payload length + u32 CRC-32.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Hard cap on one frame's payload. Save/Resume blobs are the largest
+/// legitimate payloads (a transcript line per answered question); 8 MiB is
+/// orders of magnitude above any real session while still rejecting
+/// absurd length prefixes instantly.
+inline constexpr std::size_t kMaxFramePayload = 8u << 20;
+
+/// Request opcodes — the Engine's session API verbatim.
+enum class WireOp : std::uint8_t {
+  kOpen = 1,
+  kAsk = 2,
+  kAnswer = 3,
+  kSave = 4,
+  kResume = 5,
+  kMigrate = 6,
+  kClose = 7,
+  kStats = 8,
+};
+
+/// Lowercase op name ("open", ...; "?" for an invalid byte).
+const char* WireOpName(WireOp op);
+
+/// One decoded request. `id` is the target session for session-addressed
+/// ops; for Open/Resume/Migrate-by-blob it is the PROPOSED session id
+/// (0 = server assigns) — the seam consistent-hash routing needs so a
+/// session's id alone determines its shard.
+struct WireRequest {
+  WireOp op = WireOp::kAsk;
+  SessionId id = 0;
+  /// Open: policy spec. Resume: saved blob. Migrate: saved blob, or empty
+  /// to migrate the live session `id` in place.
+  std::string text;
+  /// Answer only.
+  SessionAnswer answer;
+};
+
+/// Stats payload of a kStats response — the service-level traffic counters
+/// a front end or router aggregates across shards.
+struct WireStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t live_sessions = 0;
+  OpStats ops;
+};
+
+/// One decoded response. `code`/`message` mirror the engine's Status; the
+/// op-specific result fields are meaningful only when code == kOk.
+struct WireResponse {
+  WireOp op = WireOp::kAsk;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  SessionId id = 0;          // Open / Resume (and Migrate's new id)
+  Query query;               // Ask
+  std::string text;          // Save blob
+  MigrateResult migrate;     // Migrate
+  WireStats stats;           // Stats
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// Rebuilds the engine's Status (OK when the call succeeded).
+  Status ToStatus() const;
+};
+
+/// Builds an error response echoing `op`.
+WireResponse ErrorResponse(WireOp op, const Status& status);
+
+// ---- framing ---------------------------------------------------------------
+
+/// Appends one frame (header + payload) to `out`.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Outcome of scanning a receive buffer for one frame.
+enum class FrameStatus {
+  kFrame,     ///< a complete, CRC-valid frame; *payload/*consumed set
+  kNeedMore,  ///< the buffer holds only a prefix of a frame — read on
+  kCorrupt,   ///< oversized length or CRC mismatch; close the connection
+};
+
+/// Scans `buffer` for one complete frame. On kFrame, `*payload` views the
+/// payload bytes INSIDE `buffer` (valid until the buffer mutates) and
+/// `*consumed` is the total frame size to drop from the buffer's front.
+/// On kCorrupt, `*error` (optional) describes the rejection. Frames whose
+/// declared payload exceeds `max_payload` are kCorrupt immediately — the
+/// caller never waits for (or buffers) an absurd length.
+FrameStatus ExtractFrame(std::string_view buffer, std::string_view* payload,
+                         std::size_t* consumed, std::string* error,
+                         std::size_t max_payload = kMaxFramePayload);
+
+// ---- message codec ---------------------------------------------------------
+
+/// Encodes a full request/response frame (header + payload), ready to send.
+std::string EncodeRequest(const WireRequest& request);
+std::string EncodeResponse(const WireResponse& response);
+
+/// Decodes one extracted frame payload. Any malformed input — bad version,
+/// unknown opcode, truncated field, out-of-range value, trailing garbage —
+/// is InvalidArgument, never a crash. On failure the out-param may be
+/// partially filled (its `op` is kept when it decoded, so error replies can
+/// echo it) but must not be used as a message.
+Status DecodeRequestPayload(std::string_view payload, WireRequest* request);
+Status DecodeResponsePayload(std::string_view payload,
+                             WireResponse* response);
+
+// ---- shared helpers --------------------------------------------------------
+
+/// 64-bit mix (splitmix64 finalizer) — the hash behind consistent-hash
+/// placement. Deterministic across processes and platforms by definition.
+std::uint64_t Mix64(std::uint64_t x);
+
+/// FNV-1a over bytes, mixed — hashes shard endpoint identities onto the
+/// ring.
+std::uint64_t HashBytes64(std::string_view bytes);
+
+/// Ignores SIGPIPE process-wide (idempotent). A dropped peer must surface
+/// as EPIPE from write(2), never as a process-killing signal — every
+/// network entry point (server start, client connect, serve REPL) calls
+/// this defensively.
+void IgnoreSigpipe();
+
+}  // namespace aigs::net
+
+#endif  // AIGS_NET_WIRE_H_

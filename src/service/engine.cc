@@ -547,7 +547,80 @@ StatusOr<std::shared_ptr<ServiceSession>> Engine::BuildSession(
   return session;
 }
 
-StatusOr<SessionId> Engine::Open(const std::string& policy_spec) {
+// ---- per-op traffic counters (OpStats) -------------------------------------
+
+void Engine::CountOp(OpKind op, const Status& status) {
+  op_counts_[op].fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) {
+    const auto code = static_cast<std::size_t>(status.code());
+    if (code < rejected_by_code_.size()) {
+      rejected_by_code_[code].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+StatusOr<SessionId> Engine::Open(const std::string& policy_spec,
+                                 SessionId proposed_id) {
+  StatusOr<SessionId> result = OpenImpl(policy_spec, proposed_id);
+  CountOp(kOpOpen, result.status());
+  return result;
+}
+
+StatusOr<Query> Engine::Ask(SessionId id) {
+  StatusOr<Query> result = AskImpl(id);
+  CountOp(kOpAsk, result.status());
+  return result;
+}
+
+Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
+  const Status status = AnswerImpl(id, answer);
+  CountOp(kOpAnswer, status);
+  return status;
+}
+
+StatusOr<std::string> Engine::Save(SessionId id) {
+  StatusOr<std::string> result = SaveImpl(id);
+  CountOp(kOpSave, result.status());
+  return result;
+}
+
+StatusOr<SessionId> Engine::Resume(const std::string& serialized,
+                                   SessionId proposed_id) {
+  StatusOr<SessionId> result = ResumeImpl(serialized, proposed_id);
+  CountOp(kOpResume, result.status());
+  return result;
+}
+
+StatusOr<MigrateResult> Engine::Migrate(SessionId id) {
+  StatusOr<MigrateResult> result = MigrateImpl(id);
+  CountOp(kOpMigrate, result.status());
+  return result;
+}
+
+StatusOr<MigrateResult> Engine::Migrate(const std::string& serialized,
+                                        SessionId proposed_id) {
+  StatusOr<MigrateResult> result = MigrateBlobImpl(serialized, proposed_id);
+  CountOp(kOpMigrate, result.status());
+  return result;
+}
+
+Status Engine::Close(SessionId id) {
+  const Status status = CloseImpl(id);
+  CountOp(kOpClose, status);
+  return status;
+}
+
+StatusOr<SessionId> Engine::InsertSession(
+    std::shared_ptr<ServiceSession> session, SessionId proposed_id) {
+  if (proposed_id == 0) {
+    return sessions_.Insert(std::move(session));
+  }
+  AIGS_RETURN_NOT_OK(sessions_.InsertWithId(proposed_id, std::move(session)));
+  return proposed_id;
+}
+
+StatusOr<SessionId> Engine::OpenImpl(const std::string& policy_spec,
+                                     SessionId proposed_id) {
   std::shared_ptr<const CatalogSnapshot> snap;
   std::shared_ptr<PlanCache> cache;
   CurrentEpochState(&snap, &cache);
@@ -558,7 +631,8 @@ StatusOr<SessionId> Engine::Open(const std::string& policy_spec) {
   AIGS_ASSIGN_OR_RETURN(
       std::shared_ptr<ServiceSession> session,
       BuildSession(std::move(snap), std::move(cache), policy_spec));
-  const SessionId id = sessions_.Insert(session);
+  AIGS_ASSIGN_OR_RETURN(const SessionId id,
+                        InsertSession(session, proposed_id));
   if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(session->mutex);
     if (const Status logged = store->AppendOpen(id, SnapshotState(*session));
@@ -604,7 +678,7 @@ Query Engine::ResolvePending(ServiceSession& session) {
   return query;
 }
 
-StatusOr<Query> Engine::Ask(SessionId id) {
+StatusOr<Query> Engine::AskImpl(SessionId id) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
@@ -612,7 +686,7 @@ StatusOr<Query> Engine::Ask(SessionId id) {
   return ResolvePending(*session);
 }
 
-Status Engine::Answer(SessionId id, const SessionAnswer& answer) {
+Status Engine::AnswerImpl(SessionId id, const SessionAnswer& answer) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   {
@@ -709,7 +783,7 @@ Status Engine::AnswerLocked(SessionId id, ServiceSession& session_ref,
   return Status::OK();
 }
 
-StatusOr<std::string> Engine::Save(SessionId id) {
+StatusOr<std::string> Engine::SaveImpl(SessionId id) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
@@ -783,7 +857,8 @@ Status Engine::ReplayTranscript(ServiceSession& session,
   return Status::OK();
 }
 
-StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
+StatusOr<SessionId> Engine::ResumeImpl(const std::string& serialized,
+                                       SessionId proposed_id) {
   AIGS_ASSIGN_OR_RETURN(const SerializedSession saved,
                         SessionCodec::Decode(serialized));
   std::shared_ptr<const CatalogSnapshot> snap;
@@ -808,7 +883,8 @@ StatusOr<SessionId> Engine::Resume(const std::string& serialized) {
   AIGS_RETURN_NOT_OK(ReplayTranscript(*session, saved.steps,
                                       ReplayMode::kExact,
                                       /*max_divergence=*/0, nullptr));
-  const SessionId id = sessions_.Insert(session);
+  AIGS_ASSIGN_OR_RETURN(const SessionId id,
+                        InsertSession(session, proposed_id));
   if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(session->mutex);
     if (const Status logged = store->AppendOpen(id, SnapshotState(*session));
@@ -852,7 +928,8 @@ StatusOr<std::shared_ptr<ServiceSession>> Engine::MigrateDecoded(
   return session;
 }
 
-StatusOr<MigrateResult> Engine::Migrate(const std::string& serialized) {
+StatusOr<MigrateResult> Engine::MigrateBlobImpl(const std::string& serialized,
+                                                SessionId proposed_id) {
   AIGS_ASSIGN_OR_RETURN(const SerializedSession saved,
                         SessionCodec::Decode(serialized));
   MigrateResult result;
@@ -864,7 +941,7 @@ StatusOr<MigrateResult> Engine::Migrate(const std::string& serialized) {
     return session.status();
   }
   result.to_epoch = (*session)->snapshot->epoch();
-  result.id = sessions_.Insert(*session);
+  AIGS_ASSIGN_OR_RETURN(result.id, InsertSession(*session, proposed_id));
   if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock((*session)->mutex);
     if (const Status logged =
@@ -940,7 +1017,7 @@ StatusOr<MigrateResult> Engine::MigrateLocked(SessionId id,
   return result;
 }
 
-StatusOr<MigrateResult> Engine::Migrate(SessionId id) {
+StatusOr<MigrateResult> Engine::MigrateImpl(SessionId id) {
   AIGS_ASSIGN_OR_RETURN(const std::shared_ptr<ServiceSession> session,
                         FindSession(id));
   std::lock_guard<std::mutex> lock(session->mutex);
@@ -1059,7 +1136,7 @@ StatusOr<std::size_t> Engine::Warm() {
                   options_.plan_cache.warm_budget);
 }
 
-Status Engine::Close(SessionId id) {
+Status Engine::CloseImpl(SessionId id) {
   AIGS_RETURN_NOT_OK(sessions_.Erase(id));
   if (DurableStore* store = durable_.load(std::memory_order_acquire)) {
     AIGS_RETURN_NOT_OK(store->AppendClose(id));
@@ -1257,6 +1334,18 @@ EngineStats Engine::Stats() const {
       sessions_migrated_.load(std::memory_order_relaxed);
   stats.migration_failures =
       migration_failures_.load(std::memory_order_relaxed);
+  stats.ops.opens = op_counts_[kOpOpen].load(std::memory_order_relaxed);
+  stats.ops.asks = op_counts_[kOpAsk].load(std::memory_order_relaxed);
+  stats.ops.answers = op_counts_[kOpAnswer].load(std::memory_order_relaxed);
+  stats.ops.saves = op_counts_[kOpSave].load(std::memory_order_relaxed);
+  stats.ops.resumes = op_counts_[kOpResume].load(std::memory_order_relaxed);
+  stats.ops.migrates = op_counts_[kOpMigrate].load(std::memory_order_relaxed);
+  stats.ops.closes = op_counts_[kOpClose].load(std::memory_order_relaxed);
+  for (std::size_t code = 0; code < rejected_by_code_.size(); ++code) {
+    stats.ops.rejected_by_code[code] =
+        rejected_by_code_[code].load(std::memory_order_relaxed);
+    stats.ops.rejected += stats.ops.rejected_by_code[code];
+  }
   if (drain_ != nullptr) {
     stats.drain = drain_->Snapshot();
   }

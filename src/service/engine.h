@@ -43,6 +43,7 @@
 #ifndef AIGS_SERVICE_ENGINE_H_
 #define AIGS_SERVICE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -222,6 +223,29 @@ struct RecoveryStats {
   std::uint64_t invalid_checkpoints = 0;
 };
 
+/// Per-operation request counters: how much traffic the engine has served,
+/// not just how many sessions are live. Every public session operation
+/// counts itself exactly once; a non-OK return additionally lands in the
+/// rejected-by-status breakdown. The network front end's Stats op and the
+/// serve REPL's `stats` command both report these.
+struct OpStats {
+  std::uint64_t opens = 0;
+  std::uint64_t asks = 0;
+  std::uint64_t answers = 0;
+  std::uint64_t saves = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t migrates = 0;
+  std::uint64_t closes = 0;
+  /// Requests that returned a non-OK Status, total and keyed by StatusCode
+  /// (index = static_cast<int>(code); kOk stays zero).
+  std::uint64_t rejected = 0;
+  std::array<std::uint64_t, 8> rejected_by_code{};
+
+  std::uint64_t total() const {
+    return opens + asks + answers + saves + resumes + migrates + closes;
+  }
+};
+
 /// Point-in-time operational counters (the serve REPL's `stats` command).
 struct EngineStats {
   std::uint64_t epoch = 0;
@@ -235,6 +259,8 @@ struct EngineStats {
   bool plan_cache_enabled = false;
   PlanCacheStats plan_cache;  // current epoch (zeros before first Publish)
   std::map<std::uint64_t, PlanCacheStats> plan_cache_by_epoch;
+  /// Per-op request traffic (opens/asks/answers/... + rejected-by-status).
+  OpStats ops;
   /// Cumulative migration counters (explicit Migrate + publish sweeps).
   std::uint64_t sessions_migrated = 0;
   std::uint64_t migration_failures = 0;
@@ -294,8 +320,13 @@ class Engine {
   // ---- session operations ---------------------------------------------------
 
   /// Opens a session for one of the snapshot's prebuilt policy specs.
-  /// O(1): the heavy state lives in the snapshot.
-  StatusOr<SessionId> Open(const std::string& policy_spec);
+  /// O(1): the heavy state lives in the snapshot. `proposed_id` = 0 lets
+  /// the engine assign the next id; a nonzero value requests that exact id
+  /// (FailedPrecondition when already live) — the seam the consistent-hash
+  /// ShardRouter uses so a session's id alone determines which backend
+  /// owns it.
+  StatusOr<SessionId> Open(const std::string& policy_spec,
+                           SessionId proposed_id = 0);
 
   /// The pending question (or kDone carrying the identified target).
   /// Idempotent; refreshes the session's TTL. Consults the session
@@ -319,8 +350,10 @@ class Engine {
   /// snapshot: requires a matching catalog fingerprint and verifies each
   /// regenerated question equals the recorded one (transcript equality —
   /// guaranteed by policy determinism, Definition 6). Returns the new ID.
-  /// For a blob recorded on an older epoch, use Migrate.
-  StatusOr<SessionId> Resume(const std::string& serialized);
+  /// For a blob recorded on an older epoch, use Migrate. `proposed_id`
+  /// behaves as in Open.
+  StatusOr<SessionId> Resume(const std::string& serialized,
+                             SessionId proposed_id = 0);
 
   // ---- cross-epoch migration ------------------------------------------------
 
@@ -336,8 +369,9 @@ class Engine {
   /// changed distribution (unlike Resume's exact-fingerprint contract).
   /// The blob must carry the hierarchy fingerprint (SessionCodec v2) and
   /// match the current hierarchy. Returns the new ID plus divergence
-  /// counts.
-  StatusOr<MigrateResult> Migrate(const std::string& serialized);
+  /// counts. `proposed_id` behaves as in Open.
+  StatusOr<MigrateResult> Migrate(const std::string& serialized,
+                                  SessionId proposed_id = 0);
 
   /// Migrates every idle old-epoch session onto the current snapshot (the
   /// sweep Publish runs automatically when sweep_on_publish is set).
@@ -407,6 +441,41 @@ class Engine {
     kExact,     // any divergence is an error (Resume's contract)
     kTolerant,  // fold divergent steps via TryApplyObserved, up to budget
   };
+
+  /// Index into op_counts_ — one slot per public session operation.
+  enum OpKind {
+    kOpOpen = 0,
+    kOpAsk,
+    kOpAnswer,
+    kOpSave,
+    kOpResume,
+    kOpMigrate,
+    kOpClose,
+    kNumOps,
+  };
+
+  /// Counts one request against `op`, plus the rejection breakdown when
+  /// `status` is non-OK.
+  void CountOp(OpKind op, const Status& status);
+
+  /// Counted-wrapper plumbing: the public methods above tally OpStats and
+  /// delegate to these bodies.
+  StatusOr<SessionId> OpenImpl(const std::string& policy_spec,
+                               SessionId proposed_id);
+  StatusOr<Query> AskImpl(SessionId id);
+  Status AnswerImpl(SessionId id, const SessionAnswer& answer);
+  StatusOr<std::string> SaveImpl(SessionId id);
+  StatusOr<SessionId> ResumeImpl(const std::string& serialized,
+                                 SessionId proposed_id);
+  StatusOr<MigrateResult> MigrateImpl(SessionId id);
+  StatusOr<MigrateResult> MigrateBlobImpl(const std::string& serialized,
+                                          SessionId proposed_id);
+  Status CloseImpl(SessionId id);
+
+  /// Inserts a freshly built session under `proposed_id` (or the next
+  /// engine-assigned id when 0). On failure the session is not stored.
+  StatusOr<SessionId> InsertSession(std::shared_ptr<ServiceSession> session,
+                                    SessionId proposed_id);
 
   StatusOr<std::shared_ptr<ServiceSession>> FindSession(SessionId id);
 
@@ -487,6 +556,11 @@ class Engine {
 
   std::atomic<std::uint64_t> sessions_migrated_{0};
   std::atomic<std::uint64_t> migration_failures_{0};
+
+  /// Per-op traffic counters (OpStats), indexed by OpKind, plus the
+  /// rejected-by-StatusCode breakdown.
+  std::array<std::atomic<std::uint64_t>, kNumOps> op_counts_{};
+  std::array<std::atomic<std::uint64_t>, 8> rejected_by_code_{};
 
   /// Durable store lifecycle: `durable_owner_` (guarded by
   /// `durable_mutex_`, set once by EnableDurability/Recover) owns the

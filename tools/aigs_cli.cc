@@ -20,6 +20,7 @@
 //   aigs demo
 //       Interactive search on the built-in vehicle hierarchy.
 #include <csignal>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -33,9 +34,11 @@
 
 #include "core/aigs.h"
 #include "data/builtin.h"
+#include "data/dataset_io.h"
 #include "eval/cost_profile.h"
 #include "eval/evaluator.h"
 #include "eval/runner.h"
+#include "net/server.h"
 #include "graph/graph_io.h"
 #include "graph/transitive_reduction.h"
 #include "prob/weight_io.h"
@@ -54,8 +57,11 @@ int Usage() {
                "  evaluate <hierarchy.txt> <counts.txt> [policy-spec]\n"
                "  policies\n"
                "  search   <hierarchy.txt> [counts.txt]\n"
-               "  serve    <hierarchy.txt> [counts.txt] [policy-spec...]\n"
+               "  serve    <hierarchy-spec> [counts.txt] [policy-spec...]\n"
+               "           [--listen host:port] [--workers N]\n"
                "  demo\n"
+               "hierarchy-spec is a file path, builtin:{vehicle|fig2|fig3}, "
+               "or\nsynthetic:{tree|dag}:N[:seed].\n"
                "policy-spec is a PolicyRegistry name plus options, e.g. "
                "greedy, wigs,\nbatched:k=8, migs:choices=0 — run 'aigs "
                "policies' for the full list.\n");
@@ -285,7 +291,9 @@ void ServeHelp() {
       "                         previous epoch's hottest prefixes\n"
       "  close <id>             discard a session\n"
       "  sessions               live session count\n"
-      "  stats                  per-epoch session counts, per-epoch plan-"
+      "  stats                  request traffic (per-op + rejected-by-"
+      "status),\n"
+      "                         per-epoch session counts, per-epoch plan-"
       "trie\n"
       "                         counters (seeded vs organic hits), "
       "migrations,\n"
@@ -371,7 +379,7 @@ void InstallServeSignalHandlers() {
 
 int CmdServe(const std::string& hierarchy_path,
              const std::vector<std::string>& rest) {
-  auto graph = LoadHierarchy(hierarchy_path);
+  auto graph = LoadHierarchySpec(hierarchy_path);
   if (!graph.ok()) {
     return Fail(graph.status());
   }
@@ -380,11 +388,30 @@ int CmdServe(const std::string& hierarchy_path,
     return Fail(hierarchy.status());
   }
 
-  // Positional args after the hierarchy: registry specs stay specs, the
-  // first non-spec is the counts file.
+  // Flags first, then positional args after the hierarchy: registry specs
+  // stay specs, the first non-spec is the counts file.
   std::string counts_path;
+  std::string listen_text;
+  std::size_t workers = 0;
   std::vector<std::string> specs;
-  for (const std::string& arg : rest) {
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    if (arg == "--listen" || arg == "--workers") {
+      if (i + 1 >= rest.size()) {
+        return Fail(Status::InvalidArgument(arg + " needs a value"));
+      }
+      const std::string& value = rest[++i];
+      if (arg == "--listen") {
+        listen_text = value;
+      } else {
+        auto parsed = ParseUint64(value);
+        if (!parsed.ok()) {
+          return Fail(parsed.status());
+        }
+        workers = static_cast<std::size_t>(*parsed);
+      }
+      continue;
+    }
     const std::string name = arg.substr(0, arg.find(':'));
     if (PolicyRegistry::Global().Contains(name)) {
       specs.push_back(arg);
@@ -421,6 +448,26 @@ int CmdServe(const std::string& hierarchy_path,
   if (auto published = engine.Publish(std::move(config)); !published.ok()) {
     return Fail(published.status());
   }
+  // A dropped client (REPL pipe or TCP peer) must surface as a failed
+  // write, never a process-killing SIGPIPE.
+  net::IgnoreSigpipe();
+
+  std::unique_ptr<net::AigsServer> server;
+  if (!listen_text.empty()) {
+    auto endpoint = net::ParseEndpoint(listen_text);
+    if (!endpoint.ok()) {
+      return Fail(endpoint.status());
+    }
+    net::ServerOptions server_options;
+    server_options.listen = *endpoint;
+    server_options.workers = workers;
+    server = std::make_unique<net::AigsServer>(engine, server_options);
+    if (const Status s = server->Start(); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("listening on %s (aigs-wire/1)\n",
+                server->endpoint().ToString().c_str());
+  }
   std::printf("serving %zu categories at epoch %llu; 'help' lists "
               "commands.\n",
               hierarchy->NumNodes(),
@@ -429,9 +476,15 @@ int CmdServe(const std::string& hierarchy_path,
   const auto warn = [](const Status& status) {
     std::printf("error: %s\n", status.ToString().c_str());
   };
-  // Graceful shutdown: fsync the WAL (regardless of policy) so an orderly
-  // SIGTERM/quit/EOF loses nothing even under fsync=interval or none.
-  const auto shutdown = [&engine, &warn](const char* why) {
+  // Graceful shutdown: stop the network front end (drains its workers,
+  // closes every connection), then fsync the WAL (regardless of policy) so
+  // an orderly SIGTERM/quit/EOF loses nothing even under fsync=interval or
+  // none.
+  const auto shutdown = [&engine, &server, &warn](const char* why) {
+    if (server != nullptr) {
+      server->Stop();
+      std::printf("%s: network listener stopped\n", why);
+    }
     if (engine.durable()) {
       if (const Status s = engine.FlushDurable(); s.ok()) {
         std::printf("%s: wal flushed, sessions durable\n", why);
@@ -445,10 +498,28 @@ int CmdServe(const std::string& hierarchy_path,
   InstallServeSignalHandlers();
   char buffer[4096];
   for (;;) {
+    // A write interrupted by a handled signal (EINTR — the handlers are
+    // installed without SA_RESTART) or failed against a dropped pipe
+    // (EPIPE, with SIGPIPE ignored above) poisons stdio's error flag;
+    // clear it so one lost write never wedges or kills the loop.
+    if (std::ferror(stdout)) {
+      std::clearerr(stdout);
+    }
     std::printf("> ");
     std::fflush(stdout);
     if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr) {
       std::printf("\n");
+      if (server != nullptr && !g_serve_shutdown) {
+        // Daemon mode: `aigs serve ... --listen ... < /dev/null &` keeps
+        // the network front end up after stdin closes; only a signal (or
+        // a network-level stop) ends it.
+        std::printf("stdin closed; serving on %s until SIGTERM/SIGINT\n",
+                    server->endpoint().ToString().c_str());
+        std::fflush(stdout);
+        while (!g_serve_shutdown) {
+          pause();
+        }
+      }
       return shutdown(g_serve_shutdown ? "signal" : "eof");
     }
     if (g_serve_shutdown) {
@@ -589,6 +660,34 @@ int CmdServe(const std::string& hierarchy_path,
       for (const auto& [epoch, count] : s.sessions_by_epoch) {
         std::printf("  epoch %llu: %zu session(s)\n",
                     static_cast<unsigned long long>(epoch), count);
+      }
+      const OpStats& ops = s.ops;
+      std::printf("traffic: %llu request(s) — %llu open, %llu ask, %llu "
+                  "answer, %llu save, %llu resume, %llu migrate, %llu "
+                  "close\n",
+                  static_cast<unsigned long long>(ops.total()),
+                  static_cast<unsigned long long>(ops.opens),
+                  static_cast<unsigned long long>(ops.asks),
+                  static_cast<unsigned long long>(ops.answers),
+                  static_cast<unsigned long long>(ops.saves),
+                  static_cast<unsigned long long>(ops.resumes),
+                  static_cast<unsigned long long>(ops.migrates),
+                  static_cast<unsigned long long>(ops.closes));
+      if (ops.rejected > 0) {
+        std::printf("  rejected: %llu",
+                    static_cast<unsigned long long>(ops.rejected));
+        for (std::size_t code = 0; code < ops.rejected_by_code.size();
+             ++code) {
+          if (ops.rejected_by_code[code] > 0) {
+            std::printf(" — %llu %s",
+                        static_cast<unsigned long long>(
+                            ops.rejected_by_code[code]),
+                        std::string(StatusCodeToString(
+                                        static_cast<StatusCode>(code)))
+                            .c_str());
+          }
+        }
+        std::printf("\n");
       }
       if (!s.plan_cache_enabled) {
         std::printf("plan cache: disabled\n");

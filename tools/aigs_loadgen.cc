@@ -1,0 +1,147 @@
+// aigs_loadgen — closed-loop load generator for the aigs-wire/1 front end.
+//
+//   aigs_loadgen --target host:port [--target host:port ...]
+//                --hierarchy <spec> [--policy greedy] [--connections 64]
+//                [--max-requests N] [--duration-ms N] [--seed N] [--json]
+//
+// Drives real search sessions (open → ask/answer to completion → close)
+// against one server, or several: with multiple --target flags every
+// session id is placed ShardRing-consistently on its connection's shard,
+// reproducing a ShardRouter fleet's traffic with zero cross-shard chatter.
+// The hierarchy spec must match what the servers were started with — the
+// generator answers each question from its own copy (see 'aigs serve').
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "data/dataset_io.h"
+#include "net/loadgen.h"
+#include "util/string_util.h"
+
+namespace aigs::cli {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: aigs_loadgen --target host:port [--target ...] "
+      "--hierarchy <spec>\n"
+      "                    [--policy <spec>] [--connections N]\n"
+      "                    [--max-requests N] [--duration-ms N] [--seed N]\n"
+      "                    [--vnodes N] [--json]\n"
+      "hierarchy-spec: a file path, builtin:{vehicle|fig2|fig3}, or\n"
+      "synthetic:{tree|dag}:N[:seed] — must match the server's.\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  net::LoadgenOptions options;
+  std::string hierarchy_spec;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+      return Usage();
+    }
+    const std::string value = argv[++i];
+    if (arg == "--target") {
+      auto endpoint = net::ParseEndpoint(value);
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      options.targets.push_back(*endpoint);
+    } else if (arg == "--hierarchy") {
+      hierarchy_spec = value;
+    } else if (arg == "--policy") {
+      options.policy_spec = value;
+    } else {
+      auto parsed = ParseUint64(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", arg.c_str(),
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      if (arg == "--connections") {
+        options.connections = static_cast<std::size_t>(*parsed);
+      } else if (arg == "--max-requests") {
+        options.max_requests = *parsed;
+      } else if (arg == "--duration-ms") {
+        options.duration_ms = static_cast<std::uint32_t>(*parsed);
+      } else if (arg == "--seed") {
+        options.seed = *parsed;
+      } else if (arg == "--vnodes") {
+        options.vnodes = static_cast<std::size_t>(*parsed);
+      } else {
+        std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+        return Usage();
+      }
+    }
+  }
+  if (options.targets.empty() || hierarchy_spec.empty()) {
+    return Usage();
+  }
+
+  auto graph = LoadHierarchySpec(hierarchy_spec);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto hierarchy = Hierarchy::Build(*std::move(graph));
+  if (!hierarchy.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 hierarchy.status().ToString().c_str());
+    return 1;
+  }
+  options.hierarchy = &*hierarchy;
+
+  auto result = net::RunLoadgen(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const net::LoadgenResult& r = *result;
+  if (json) {
+    std::printf(
+        "{\"targets\": %zu, \"connections\": %zu, \"requests\": %llu, "
+        "\"errors\": %llu, \"sessions\": %llu, \"wrong_targets\": %llu, "
+        "\"wall_ms\": %.3f, \"throughput_rps\": %.1f, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f, \"mean_us\": %.1f}\n",
+        options.targets.size(), options.connections,
+        static_cast<unsigned long long>(r.requests),
+        static_cast<unsigned long long>(r.errors),
+        static_cast<unsigned long long>(r.sessions_completed),
+        static_cast<unsigned long long>(r.wrong_targets), r.wall_ms,
+        r.throughput_rps, r.p50_us, r.p99_us, r.mean_us);
+  } else {
+    std::printf("%llu request(s) in %.1f ms over %zu connection(s) to %zu "
+                "target(s)\n",
+                static_cast<unsigned long long>(r.requests), r.wall_ms,
+                options.connections, options.targets.size());
+    std::printf("throughput: %.0f req/s\n", r.throughput_rps);
+    std::printf("latency: p50 %.1f us, p99 %.1f us, mean %.1f us\n",
+                r.p50_us, r.p99_us, r.mean_us);
+    std::printf("sessions: %llu completed, %llu error(s), %llu wrong "
+                "target(s)\n",
+                static_cast<unsigned long long>(r.sessions_completed),
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(r.wrong_targets));
+  }
+  // Wrong targets mean the server answered questions against a different
+  // catalog than ours — a config error worth a hard failure in CI.
+  return r.wrong_targets == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aigs::cli
+
+int main(int argc, char** argv) { return aigs::cli::Main(argc, argv); }
