@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <utility>
 
@@ -25,26 +26,49 @@ int QuantizeScale(double scale) {
   return static_cast<int>(std::lround(scale * 10000.0));
 }
 
-StatusOr<Dataset> BuildBuiltinDataset(const std::string& name) {
+StatusOr<Dataset> BuildBuiltinDataset(const std::string& name,
+                                      const ReachabilityOptions& reach) {
   if (name == "vehicle") {
-    auto h = Hierarchy::Build(BuildVehicleHierarchy());
+    auto h = Hierarchy::Build(BuildVehicleHierarchy(), reach);
     AIGS_RETURN_NOT_OK(h.status());
     return Dataset{"vehicle", *std::move(h), VehicleDistribution(), 100};
   }
   if (name == "fig2") {
-    auto h = Hierarchy::Build(BuildFig2Hierarchy());
+    auto h = Hierarchy::Build(BuildFig2Hierarchy(), reach);
     AIGS_RETURN_NOT_OK(h.status());
     const std::size_t n = h->NumNodes();
     return Dataset{"fig2", *std::move(h), EqualDistribution(n), n};
   }
   if (name == "fig3") {
-    auto h = Hierarchy::Build(BuildFig3Hierarchy());
+    auto h = Hierarchy::Build(BuildFig3Hierarchy(), reach);
     AIGS_RETURN_NOT_OK(h.status());
     const std::size_t n = h->NumNodes();
     return Dataset{"fig3", *std::move(h), EqualDistribution(n), n};
   }
   return Status::NotFound("unknown dataset '" + name +
                           "' (amazon, imagenet, vehicle, fig2, fig3)");
+}
+
+/// Maps a ScenarioSpec::reach value onto ReachabilityOptions. dense and
+/// compressed force closure storage on trees too — otherwise tree datasets
+/// would silently fall back to Euler mode and the scenario would not
+/// exercise the storage it names.
+StatusOr<ReachabilityOptions> ParseReachMode(const std::string& reach) {
+  ReachabilityOptions options;
+  if (reach.empty() || reach == "auto") {
+    return options;
+  }
+  options.force_closure_on_trees = true;
+  if (reach == "dense") {
+    options.closure = ReachabilityOptions::Closure::kDense;
+    return options;
+  }
+  if (reach == "compressed") {
+    options.closure = ReachabilityOptions::Closure::kCompressed;
+    return options;
+  }
+  return Status::NotFound("unknown reach mode '" + reach +
+                          "' (auto, dense, compressed)");
 }
 
 /// Self-contained noisy oracle for one search: owns the truthful inner
@@ -110,21 +134,25 @@ StatusOr<OracleSpec> ParseOracleSpec(const std::string& spec) {
 }  // namespace
 
 StatusOr<const Dataset*> DatasetCache::Get(const std::string& name,
-                                           double scale) {
+                                           double scale,
+                                           const std::string& reach) {
+  AIGS_ASSIGN_OR_RETURN(const ReachabilityOptions reach_options,
+                        ParseReachMode(reach));
   const bool scaled = name == "amazon" || name == "imagenet";
-  const auto key = std::make_pair(name, scaled ? QuantizeScale(scale) : 0);
+  const auto key =
+      std::make_tuple(name, scaled ? QuantizeScale(scale) : 0, reach);
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     return const_cast<const Dataset*>(it->second.get());
   }
   StatusOr<Dataset> built = [&]() -> StatusOr<Dataset> {
     if (name == "amazon") {
-      return MakeAmazonDataset(scale);
+      return MakeAmazonDataset(scale, reach_options);
     }
     if (name == "imagenet") {
-      return MakeImageNetDataset(scale);
+      return MakeImageNetDataset(scale, reach_options);
     }
-    return BuildBuiltinDataset(name);
+    return BuildBuiltinDataset(name, reach_options);
   }();
   AIGS_RETURN_NOT_OK(built.status());
   auto owned = std::make_unique<Dataset>(*std::move(built));
@@ -215,8 +243,66 @@ StatusOr<std::unique_ptr<CostModel>> MakeScenarioCostModel(
         CostModel::UniformRandom(n, static_cast<std::uint32_t>(lo),
                                  static_cast<std::uint32_t>(hi), rng));
   }
-  return Status::NotFound("unknown cost model '" + spec +
-                          "' (unit, uniform:lo:hi, depth:lo:hi, fig3)");
+  if (kind == "prices") {
+    // Arbitrary per-node prices (cost-sensitive AIGS with no structural
+    // assumption on the price vector; cf. arXiv:2511.06564). Two shapes:
+    //   prices:p0+p1+...        explicit vector, one entry per node
+    //   prices:hash:lo:hi[:seed] deterministic pseudo-random in [lo, hi]
+    // Both are rep-independent (no rng draw), so priced-cost aggregates are
+    // guardable in the baseline.
+    if (parts.size() >= 2 && Trim(parts[1]) == "hash") {
+      if (parts.size() != 4 && parts.size() != 5) {
+        return Status::InvalidArgument(
+            "cost model 'prices:hash' needs prices:hash:lo:hi[:seed]");
+      }
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t lo, ParseUint64(parts[2]));
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t hi, ParseUint64(parts[3]));
+      if (lo < 1 || hi < lo) {
+        return Status::InvalidArgument(
+            "cost range must satisfy 1 <= lo <= hi");
+      }
+      std::uint64_t seed = 2022;
+      if (parts.size() == 5) {
+        AIGS_ASSIGN_OR_RETURN(seed, ParseUint64(parts[4]));
+      }
+      const std::uint64_t span = hi - lo + 1;
+      std::vector<std::uint32_t> costs(n);
+      for (NodeId v = 0; v < n; ++v) {
+        // splitmix64 finalizer: independent of Rng so the vector never
+        // shifts under unrelated generator changes.
+        std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (v + 1);
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+        x ^= x >> 31;
+        costs[v] = static_cast<std::uint32_t>(lo + x % span);
+      }
+      return std::make_unique<CostModel>(std::move(costs));
+    }
+    if (parts.size() != 2) {
+      return Status::InvalidArgument(
+          "cost model 'prices' needs prices:p0+p1+... or "
+          "prices:hash:lo:hi[:seed]");
+    }
+    const std::vector<std::string_view> entries = Split(parts[1], '+');
+    if (entries.size() != n) {
+      return Status::InvalidArgument(
+          "cost model 'prices' got " + std::to_string(entries.size()) +
+          " entries for " + std::to_string(n) + " nodes");
+    }
+    std::vector<std::uint32_t> costs(n);
+    for (NodeId v = 0; v < n; ++v) {
+      AIGS_ASSIGN_OR_RETURN(const std::uint64_t p, ParseUint64(entries[v]));
+      if (p < 1 || p > std::numeric_limits<std::uint32_t>::max()) {
+        return Status::InvalidArgument("prices must be >= 1 (and fit u32)");
+      }
+      costs[v] = static_cast<std::uint32_t>(p);
+    }
+    return std::make_unique<CostModel>(std::move(costs));
+  }
+  return Status::NotFound(
+      "unknown cost model '" + spec +
+      "' (unit, uniform:lo:hi, depth:lo:hi, prices:p0+p1+..., "
+      "prices:hash:lo:hi[:seed], fig3)");
 }
 
 StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
@@ -227,7 +313,7 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
   AIGS_ASSIGN_OR_RETURN(const OracleSpec oracle_spec,
                         ParseOracleSpec(spec.oracle));
   AIGS_ASSIGN_OR_RETURN(const Dataset* dataset,
-                        cache.Get(spec.dataset, spec.scale));
+                        cache.Get(spec.dataset, spec.scale, spec.reach));
   const Hierarchy& h = dataset->hierarchy;
 
   ScenarioResult result;
@@ -380,6 +466,8 @@ StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
       spec.policy = value;
     } else if (key == "cost" || key == "cost_model") {
       spec.cost_model = value;
+    } else if (key == "reach") {
+      spec.reach = value;
     } else if (key == "oracle") {
       spec.oracle = value;
     } else if (key == "reps") {
@@ -463,6 +551,7 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
   str("policy", r.spec.policy);
   str("policy_name", r.policy_name);
   str("cost_model", r.spec.cost_model);
+  str("reach", r.spec.reach);
   str("oracle", r.spec.oracle);
   num("reps", std::to_string(r.spec.reps));
   num("samples", std::to_string(r.spec.samples));
@@ -487,7 +576,8 @@ std::string ScenarioResultToJson(const ScenarioResult& r) {
 std::vector<std::string> ScenarioCsvHeader() {
   return {"label",         "dataset",       "nodes",
           "scale",         "distribution",  "policy",
-          "policy_name",   "cost_model",    "oracle",
+          "policy_name",   "cost_model",    "reach",
+          "oracle",
           "reps",          "samples",       "threads",
           "seed",          "service",       "cache",
           "cache_hit_rate",
@@ -506,6 +596,7 @@ std::vector<std::string> ScenarioCsvRow(const ScenarioResult& r) {
           r.spec.policy,
           r.policy_name,
           r.spec.cost_model,
+          r.spec.reach,
           r.spec.oracle,
           std::to_string(r.spec.reps),
           std::to_string(r.spec.samples),

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "data/datasets.h"
@@ -37,8 +38,17 @@ struct ScenarioSpec {
   std::string policy = "greedy";
   /// unit | uniform:lo:hi (random integer prices in [lo, hi]) |
   /// depth:lo:hi (deterministic per-node prices growing with node depth —
-  /// the Szyfelbein cost-generalized setting).
+  /// the Szyfelbein cost-generalized setting) |
+  /// prices:p0+p1+... (explicit per-node price vector, one entry per node) |
+  /// prices:hash:lo:hi[:seed] (deterministic pseudo-random per-node prices
+  /// in [lo, hi] — arbitrary-price CAIGS, guardable in the baseline).
   std::string cost_model = "unit";
+  /// auto | dense | compressed — reachability storage for the dataset's
+  /// hierarchy. auto keeps the defaults (Euler on trees, dense closure at
+  /// paper scale); dense/compressed force that closure storage on every
+  /// shape, trees included, so the backend=closure|compressed policy
+  /// options have storage to run on.
+  std::string reach = "auto";
   /// exact | noisy:p | persistent:p — the oracle answering the questions.
   /// noisy flips each answer independently with probability p; persistent
   /// freezes each node's (possibly flipped) answer for the whole search
@@ -93,11 +103,15 @@ struct ScenarioResult {
 class DatasetCache {
  public:
   /// Returns a cached dataset; builds it on first use. The pointer stays
-  /// valid for the cache's lifetime.
-  StatusOr<const Dataset*> Get(const std::string& name, double scale);
+  /// valid for the cache's lifetime. `reach` = auto|dense|compressed (a
+  /// ScenarioSpec::reach value; distinct storages cache separately).
+  StatusOr<const Dataset*> Get(const std::string& name, double scale,
+                               const std::string& reach = "auto");
 
  private:
-  std::map<std::pair<std::string, int>, std::unique_ptr<Dataset>> cache_;
+  std::map<std::tuple<std::string, int, std::string>,
+           std::unique_ptr<Dataset>>
+      cache_;
 };
 
 /// Materializes a distribution spec ("real" reads the dataset's own).

@@ -4,7 +4,8 @@
 
 namespace aigs {
 
-StatusOr<Hierarchy> Hierarchy::Build(Digraph g) {
+StatusOr<Hierarchy> Hierarchy::Build(Digraph g,
+                                     ReachabilityOptions reach_options) {
   if (!g.finalized()) {
     AIGS_RETURN_NOT_OK(g.Finalize());
   }
@@ -14,7 +15,7 @@ StatusOr<Hierarchy> Hierarchy::Build(Digraph g) {
     AIGS_ASSIGN_OR_RETURN(Tree t, Tree::Build(*h.graph_));
     h.tree_ = std::make_unique<Tree>(std::move(t));
   }
-  h.reach_ = std::make_unique<ReachabilityIndex>(*h.graph_);
+  h.reach_ = std::make_unique<ReachabilityIndex>(*h.graph_, reach_options);
   return h;
 }
 

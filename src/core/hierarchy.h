@@ -20,7 +20,10 @@ class Hierarchy {
  public:
   /// Takes ownership of `g` (finalizing it first if necessary, adding a
   /// dummy root for multi-root inputs) and builds the indexes.
-  static StatusOr<Hierarchy> Build(Digraph g);
+  /// `reach_options` selects the reachability storage (Euler / dense /
+  /// compressed closure rows); the default auto-picks by catalog size.
+  static StatusOr<Hierarchy> Build(Digraph g,
+                                   ReachabilityOptions reach_options = {});
 
   const Digraph& graph() const { return *graph_; }
   const ReachabilityIndex& reach() const { return *reach_; }

@@ -184,7 +184,8 @@ FactoryResult MakeGreedyDag(const PolicyContext& context,
       *context.hierarchy, *context.distribution, dag_options));
 }
 
-StatusOr<SelectionBackend> ConsumeBackend(PolicyOptions& options) {
+StatusOr<SelectionBackend> ConsumeBackend(const PolicyContext& context,
+                                          PolicyOptions& options) {
   AIGS_ASSIGN_OR_RETURN(const std::string backend,
                         options.ConsumeString("backend", "index"));
   if (backend == "index") {
@@ -193,8 +194,36 @@ StatusOr<SelectionBackend> ConsumeBackend(PolicyOptions& options) {
   if (backend == "bfs") {
     return SelectionBackend::kBfsRescan;
   }
-  return Status::InvalidArgument("backend must be index|bfs, got '" +
-                                 backend + "'");
+  // closure/compressed both run the split-weight index; they additionally
+  // pin WHICH closure storage the hierarchy must carry, so a scenario that
+  // claims to measure compressed rows fails loudly when the hierarchy was
+  // built dense (and vice versa).
+  const ReachabilityIndex::Storage storage = context.hierarchy->reach().storage();
+  if (backend == "closure") {
+    if (storage != ReachabilityIndex::Storage::kDenseClosure) {
+      return Status::InvalidArgument(
+          "backend=closure requires dense closure rows, but this hierarchy "
+          "uses " +
+          std::string(storage == ReachabilityIndex::Storage::kEuler
+                          ? "Euler intervals (tree)"
+                          : "compressed closure rows"));
+    }
+    return SelectionBackend::kSplitIndex;
+  }
+  if (backend == "compressed") {
+    if (storage != ReachabilityIndex::Storage::kCompressedClosure) {
+      return Status::InvalidArgument(
+          "backend=compressed requires compressed closure rows "
+          "(ReachabilityOptions::Closure::kCompressed), but this hierarchy "
+          "uses " +
+          std::string(storage == ReachabilityIndex::Storage::kEuler
+                          ? "Euler intervals (tree)"
+                          : "dense closure rows"));
+    }
+    return SelectionBackend::kSplitIndex;
+  }
+  return Status::InvalidArgument(
+      "backend must be index|bfs|closure|compressed, got '" + backend + "'");
 }
 
 FactoryResult MakeGreedyNaive(const PolicyContext& context,
@@ -202,7 +231,8 @@ FactoryResult MakeGreedyNaive(const PolicyContext& context,
   GreedyNaiveOptions naive_options;
   AIGS_ASSIGN_OR_RETURN(naive_options.use_rounded_weights,
                         options.ConsumeBool("rounded", false));
-  AIGS_ASSIGN_OR_RETURN(naive_options.backend, ConsumeBackend(options));
+  AIGS_ASSIGN_OR_RETURN(naive_options.backend,
+                        ConsumeBackend(context, options));
   return std::unique_ptr<Policy>(new GreedyNaivePolicy(
       *context.hierarchy, *context.distribution, naive_options));
 }
@@ -215,7 +245,8 @@ FactoryResult MakeBatched(const PolicyContext& context,
   }
   BatchedGreedyOptions batched_options;
   batched_options.questions_per_round = static_cast<std::size_t>(k);
-  AIGS_ASSIGN_OR_RETURN(batched_options.backend, ConsumeBackend(options));
+  AIGS_ASSIGN_OR_RETURN(batched_options.backend,
+                        ConsumeBackend(context, options));
   return std::unique_ptr<Policy>(new BatchedGreedyPolicy(
       *context.hierarchy, *context.distribution, batched_options));
 }
@@ -292,12 +323,14 @@ void RegisterBuiltins(PolicyRegistry& registry) {
                          MakeGreedyDag));
   must(registry.Register("greedy_naive",
                          "Algorithm 2 greedy; options: rounded=bool, "
-                         "backend=index|bfs (bfs = O(n·m)/question rescans)",
+                         "backend=index|bfs|closure|compressed (bfs = "
+                         "O(n·m)/question rescans; closure/compressed pin "
+                         "the hierarchy's closure storage)",
                          MakeGreedyNaive));
   must(registry.Register("naive", "alias of greedy_naive", MakeGreedyNaive));
   must(registry.Register("batched",
                          "batched greedy (§III-E); options: k=int questions "
-                         "per round, backend=index|bfs",
+                         "per round, backend=index|bfs|closure|compressed",
                          MakeBatched));
   must(registry.Register("cost_sensitive",
                          "CAIGS greedy (Definition 9); needs a cost model; "

@@ -22,7 +22,21 @@ SplitWeightBase::SplitWeightBase(const Hierarchy& hierarchy,
     total_ = euler_prefix_[n];
   } else {
     full_reach_weight_ = reach_->AllReachableSetWeights(weights);
-    blocked_ = BlockedWeights(weights);
+    compressed_ =
+        reach_->storage() == ReachabilityIndex::Storage::kCompressedClosure;
+    if (compressed_) {
+      // Sessions keep their alive bitsets in the compressed closure's
+      // position space, so the weight table (and its block sums) must be
+      // permuted the same way.
+      const CompressedClosure& cc = reach_->compressed();
+      pos_weights_.resize(n);
+      for (std::size_t p = 0; p < n; ++p) {
+        pos_weights_[p] = weights[cc.node_at_pos(p)];
+      }
+      pos_blocked_ = BlockedWeights(pos_weights_);
+    } else {
+      blocked_ = BlockedWeights(weights);
+    }
     total_ = 0;
     for (const Weight w : weights) {
       total_ += w;
@@ -31,7 +45,9 @@ SplitWeightBase::SplitWeightBase(const Hierarchy& hierarchy,
 }
 
 SplitWeightIndex::SplitWeightIndex(const SplitWeightBase& base)
-    : base_(&base), euler_(base.euler_mode()) {
+    : base_(&base),
+      euler_(base.euler_mode()),
+      compressed_(base.compressed_mode()) {
   Reset();
 }
 
@@ -141,7 +157,10 @@ bool SplitWeightIndex::IsAlive(NodeId v) const {
     return t >= window_begin_ && t < window_end_ &&
            !CoveredByRemoved(t, t + 1);
   }
-  return !materialized_ || alive_.Test(v);
+  if (!materialized_) {
+    return true;
+  }
+  return alive_.Test(compressed_ ? base_->reach().compressed().pos(v) : v);
 }
 
 NodeId SplitWeightIndex::Target() const {
@@ -160,6 +179,9 @@ NodeId SplitWeightIndex::Target() const {
   if (!materialized_) {
     return base_->hierarchy().root();  // n == 1
   }
+  if (compressed_) {
+    return base_->reach().compressed().node_at_pos(alive_.FindFirst());
+  }
   return static_cast<NodeId>(alive_.FindFirst());
 }
 
@@ -175,6 +197,12 @@ Weight SplitWeightIndex::ReachWeight(NodeId v) const {
   }
   if (!materialized_) {
     return base_->FullReachWeight(v);
+  }
+  if (compressed_) {
+    return base_->reach()
+        .compressed()
+        .IntersectCountAndWeight(v, alive_, base_->pos_blocked_weights())
+        .weight;
   }
   return alive_.MaskedWeightedSum(base_->reach().ClosureRow(v),
                                   base_->blocked_weights());
@@ -192,6 +220,9 @@ std::size_t SplitWeightIndex::ReachCount(NodeId v) const {
   }
   if (!materialized_) {
     return base_->reach().ReachableCount(v);
+  }
+  if (compressed_) {
+    return base_->reach().compressed().IntersectCount(v, alive_);
   }
   return alive_.IntersectionCount(base_->reach().ClosureRow(v));
 }
@@ -248,6 +279,30 @@ void SplitWeightIndex::ApplyYes(NodeId q) {
     alive_count_ = (b - a) - RemovedCountWithin(a, b);
     return;
   }
+  if (compressed_) {
+    const CompressedClosure& cc = base_->reach().compressed();
+    if (!materialized_) {
+      if (alive_.size() != cc.num_nodes()) {
+        alive_.Resize(cc.num_nodes());
+      } else {
+        alive_.ClearAll();
+      }
+      cc.ExpandRowInto(q, alive_);
+      materialized_ = true;
+      total_alive_ = base_->FullReachWeight(q);
+      alive_count_ = base_->reach().ReachableCount(q);
+    } else {
+      const DynamicBitset::CountAndWeight cw =
+          cc.IntersectCountAndWeight(q, alive_, base_->pos_blocked_weights());
+      total_alive_ = cw.weight;
+      alive_count_ = cw.count;
+      cc.IntersectInto(q, alive_);
+    }
+    if (moves_down) {
+      root_ = q;
+    }
+    return;
+  }
   const DynamicBitset& row = base_->reach().ClosureRow(q);
   if (!materialized_) {
     alive_ = row;
@@ -289,10 +344,19 @@ void SplitWeightIndex::ApplyNo(NodeId q) {
     alive_count_ -= dead_count;
     return;
   }
-  const DynamicBitset& row = base_->reach().ClosureRow(q);
   if (!materialized_) {
     MaterializeAllAlive();
   }
+  if (compressed_) {
+    const CompressedClosure& cc = base_->reach().compressed();
+    const DynamicBitset::CountAndWeight cw =
+        cc.IntersectCountAndWeight(q, alive_, base_->pos_blocked_weights());
+    total_alive_ -= cw.weight;
+    alive_count_ -= cw.count;
+    cc.SubtractFrom(q, alive_);
+    return;
+  }
+  const DynamicBitset& row = base_->reach().ClosureRow(q);
   total_alive_ -= alive_.MaskedWeightedSum(row, base_->blocked_weights());
   alive_count_ -= alive_.IntersectionCount(row);
   alive_.AndNotWith(row);
@@ -455,14 +519,17 @@ MiddlePoint SplitWeightIndex::FindSplittingMiddlePoint() const {
   const bool closure_fused = materialized_;
   ForEachAlive([&](NodeId v) {
     // The count gates the "splits the set" requirement, the weight feeds
-    // the diff. Materialized closure mode fuses both into one word scan;
-    // the other modes check the (cheap) count first and skip the weight
-    // sum for covering nodes.
+    // the diff. Materialized closure mode fuses both into one word scan
+    // (per-chunk over compressed rows); the other modes check the (cheap)
+    // count first and skip the weight sum for covering nodes.
     Weight w;
     if (closure_fused) {
       const DynamicBitset::CountAndWeight cw =
-          alive_.MaskedCountAndWeightedSum(base_->reach().ClosureRow(v),
-                                           base_->blocked_weights());
+          compressed_
+              ? base_->reach().compressed().IntersectCountAndWeight(
+                    v, alive_, base_->pos_blocked_weights())
+              : alive_.MaskedCountAndWeightedSum(base_->reach().ClosureRow(v),
+                                                base_->blocked_weights());
       if (cw.count == count) {
         return;  // "yes" is certain; the question is wasted
       }

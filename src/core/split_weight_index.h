@@ -26,7 +26,13 @@
 //    weights; the first answer materializes the alive bitset (one O(n/64)
 //    word-parallel copy), after which w(R(v) ∩ C) is a blocked weighted
 //    popcount of closure[v] & alive (util/bitset BlockedWeights kernel) and
-//    each answer is one bitset intersection.
+//    each answer is one bitset intersection. When the reachability index
+//    stores compressed rows, the same overlay runs directly on them: the
+//    alive bitset and the blocked weight table live in the compressed
+//    closure's DFS-preorder *position* space, and every kernel
+//    (fused count+weight, AND, ANDNOT) consumes the interval / chunked
+//    encodings without materializing a dense row — cost proportional to the
+//    compressed row size instead of n/64.
 //
 // Selection entry points:
 //  * FindMiddlePoint(): minimizes |2·w(R(v) ∩ C) − w(C)| over alive v ≠
@@ -78,6 +84,8 @@ class SplitWeightBase {
   const ReachabilityIndex& reach() const { return *reach_; }
   const std::vector<Weight>& weights() const { return *node_weights_; }
   bool euler_mode() const { return euler_; }
+  /// True when closure mode runs on compressed rows (position space).
+  bool compressed_mode() const { return compressed_; }
   /// Σ w over all nodes.
   Weight Total() const { return total_; }
 
@@ -92,14 +100,17 @@ class SplitWeightBase {
 
   /// w(R(v)) over the full hierarchy (the pristine session's ReachWeight).
   Weight FullReachWeight(NodeId v) const { return full_reach_weight_[v]; }
-  /// Block-sum table over `weights` for the popcount kernels.
+  /// Block-sum table over `weights` for the popcount kernels (dense mode).
   const BlockedWeights& blocked_weights() const { return blocked_; }
+  /// Block-sum table over the position-permuted weights (compressed mode).
+  const BlockedWeights& pos_blocked_weights() const { return pos_blocked_; }
 
  private:
   const Hierarchy* hierarchy_;
   const ReachabilityIndex* reach_;
   const std::vector<Weight>* node_weights_;
   bool euler_;
+  bool compressed_ = false;
   Weight total_ = 0;
 
   // Euler mode: prefix sums of weights permuted to Euler order (size n+1).
@@ -108,6 +119,11 @@ class SplitWeightBase {
   // Closure mode: full reachable-set weights and the blocked weight table.
   std::vector<Weight> full_reach_weight_;
   BlockedWeights blocked_;
+
+  // Compressed closure mode: weights permuted into position space and their
+  // block sums (sessions' alive bitsets live in position space too).
+  std::vector<Weight> pos_weights_;
+  BlockedWeights pos_blocked_;
 };
 
 /// One search session's view of (candidate set, split weights): an overlay
@@ -145,8 +161,9 @@ class SplitWeightIndex {
   std::size_t ReachCount(NodeId v) const;
 
   /// Invokes fn(NodeId) for every alive candidate. Euler mode iterates in
-  /// Euler order, closure mode in node-id order — callers that care about
-  /// order must impose their own tie-breaks.
+  /// Euler order, dense closure mode in node-id order, compressed closure
+  /// mode in DFS-preorder position order — callers that care about order
+  /// must impose their own tie-breaks.
   template <typename Fn>
   void ForEachAlive(Fn&& fn) const {
     if (euler_) {
@@ -165,6 +182,10 @@ class SplitWeightIndex {
       for (std::size_t v = 0; v < n; ++v) {
         fn(static_cast<NodeId>(v));
       }
+    } else if (compressed_) {
+      const CompressedClosure& cc = base_->reach().compressed();
+      alive_.ForEachSetBit(
+          [&](std::size_t p) { fn(cc.node_at_pos(p)); });
     } else {
       alive_.ForEachSetBit(
           [&](std::size_t v) { fn(static_cast<NodeId>(v)); });
@@ -243,6 +264,7 @@ class SplitWeightIndex {
 
   const SplitWeightBase* base_;
   bool euler_;
+  bool compressed_;
 
   NodeId root_;
   std::size_t alive_count_ = 0;
@@ -257,8 +279,9 @@ class SplitWeightIndex {
   std::vector<Weight> removed_prefix_weight_;   // size removed_.size() + 1
   std::vector<std::uint32_t> removed_prefix_count_;
 
-  // Closure mode: bit v = node v alive. Empty until the first answer
-  // (pristine sessions answer from the base).
+  // Closure mode: bit v = node v alive (dense) or bit p = the node at
+  // position p alive (compressed). Empty until the first answer (pristine
+  // sessions answer from the base).
   bool materialized_ = false;
   DynamicBitset alive_;
 

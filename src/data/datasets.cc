@@ -34,11 +34,11 @@ std::uint64_t ScaleObjects(std::uint64_t objects, double scale,
 
 }  // namespace
 
-Dataset MakeAmazonDataset(double scale) {
+Dataset MakeAmazonDataset(double scale, const ReachabilityOptions& reach) {
   const CatalogParams params = ScaleParams(AmazonParams(), scale);
   const std::uint64_t objects =
       ScaleObjects(kAmazonNumObjects, scale, params.num_nodes);
-  auto h = Hierarchy::Build(GenerateCatalogTree(params));
+  auto h = Hierarchy::Build(GenerateCatalogTree(params), reach);
   AIGS_CHECK(h.ok());
   Dataset d{.name = "Amazon",
             .hierarchy = *std::move(h),
@@ -48,11 +48,11 @@ Dataset MakeAmazonDataset(double scale) {
   return d;
 }
 
-Dataset MakeImageNetDataset(double scale) {
+Dataset MakeImageNetDataset(double scale, const ReachabilityOptions& reach) {
   const CatalogParams params = ScaleParams(ImageNetParams(), scale);
   const std::uint64_t objects =
       ScaleObjects(kImageNetNumObjects, scale, params.num_nodes);
-  auto h = Hierarchy::Build(GenerateCatalogDag(params));
+  auto h = Hierarchy::Build(GenerateCatalogDag(params), reach);
   AIGS_CHECK(h.ok());
   Dataset d{.name = "ImageNet",
             .hierarchy = *std::move(h),

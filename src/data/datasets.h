@@ -23,11 +23,15 @@ struct Dataset {
 
 /// Amazon-like tree at the paper's scale, or shrunk by `scale` (node count,
 /// object count and max degree scaled down; height preserved) for fast
-/// default bench runs. scale = 1.0 reproduces Table II exactly.
-Dataset MakeAmazonDataset(double scale = 1.0);
+/// default bench runs. scale = 1.0 reproduces Table II exactly. `reach`
+/// selects the hierarchy's reachability storage (dense vs compressed
+/// closure rows; the default auto-picks by size).
+Dataset MakeAmazonDataset(double scale = 1.0,
+                          const ReachabilityOptions& reach = {});
 
 /// ImageNet-like DAG, same contract.
-Dataset MakeImageNetDataset(double scale = 1.0);
+Dataset MakeImageNetDataset(double scale = 1.0,
+                            const ReachabilityOptions& reach = {});
 
 /// Renders the Table II statistics row for a dataset.
 std::string DescribeDataset(const Dataset& dataset);

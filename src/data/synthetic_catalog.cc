@@ -108,6 +108,20 @@ CatalogParams ImageNetParams() {
   return p;
 }
 
+CatalogParams BigCatalogParams(std::size_t num_nodes) {
+  CatalogParams p;
+  p.num_nodes = num_nodes;
+  p.height = 20;
+  p.max_out_degree = 256;
+  // Each extra parent makes every ancestor of its endpoint closure-impure
+  // (a chunked row instead of a 12-byte interval), so the fraction is kept
+  // an order of magnitude below ImageNet's to pin closure density at
+  // million-node scale.
+  p.extra_parent_frac = 0.005;
+  p.seed = 2024;
+  return p;
+}
+
 Digraph GenerateCatalogTree(const CatalogParams& params) {
   Rng rng(params.seed);
   const TreeSkeleton s = BuildSkeleton(params, rng);

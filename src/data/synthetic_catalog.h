@@ -31,6 +31,13 @@ CatalogParams AmazonParams();
 /// Table II row "ImageNet": DAG, 27,714 nodes, height 13, max degree 402.
 CatalogParams ImageNetParams();
 
+/// Million-node bench catalog: the same preferential-attachment shape at
+/// `num_nodes` nodes, with the extra-parent fraction bounded low enough that
+/// the transitive closure stays compressible (mostly tree-pure rows — the
+/// bigcatalog suite's memory gate depends on it). Requires num_nodes large
+/// enough for the height/degree pins (≥ ~300).
+CatalogParams BigCatalogParams(std::size_t num_nodes);
+
 /// Number of labeled objects in the paper's datasets.
 inline constexpr std::uint64_t kAmazonNumObjects = 13'886'889;
 inline constexpr std::uint64_t kImageNetNumObjects = 12'656'970;

@@ -1,0 +1,580 @@
+#include "graph/compressed_closure.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace aigs {
+
+namespace {
+
+// Number of 0→1 transitions across the chunk's words (runs of set bits).
+// `carry` threads bit 63 of the previous word so a run spanning a word
+// boundary counts once.
+std::size_t CountRuns(std::span<const std::uint64_t> chunk_words) {
+  std::size_t runs = 0;
+  std::uint64_t carry = 0;
+  for (const std::uint64_t word : chunk_words) {
+    const std::uint64_t starts = word & ~((word << 1) | carry);
+    runs += static_cast<std::size_t>(std::popcount(starts));
+    carry = word >> 63;
+  }
+  return runs;
+}
+
+}  // namespace
+
+CompressedClosure::CompressedClosure(const Digraph& g) {
+  AIGS_CHECK(g.finalized());
+  BuildFromGraph(g);
+}
+
+CompressedClosure::CompressedClosure(const std::vector<DynamicBitset>& rows) {
+  AIGS_CHECK(!rows.empty());
+  n_ = rows[0].size();
+  AIGS_CHECK(n_ > 0 && n_ <= kMaxNodes);
+  words_ = (n_ + 63) / 64;
+  pos_.resize(n_);
+  node_at_pos_.resize(n_);
+  for (std::size_t v = 0; v < n_; ++v) {
+    pos_[v] = static_cast<std::uint32_t>(v);
+    node_at_pos_[v] = static_cast<NodeId>(v);
+  }
+  rows_.resize(rows.size());
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    AIGS_CHECK(rows[v].size() == n_);
+    const std::size_t lo = rows[v].FindFirst();
+    if (lo == n_) {
+      rows_[v] = RowRef{0, 0, 0};  // empty chunked row
+      continue;
+    }
+    std::size_t hi = lo;
+    rows[v].ForEachSetBit([&hi](std::size_t p) { hi = p; });
+    EncodeRow(static_cast<NodeId>(v), rows[v], lo, hi,
+              rows[v].CountInRange(lo, hi + 1));
+  }
+}
+
+void CompressedClosure::BuildFromGraph(const Digraph& g) {
+  n_ = g.NumNodes();
+  AIGS_CHECK(n_ > 0 && n_ <= kMaxNodes);
+  words_ = (n_ + 63) / 64;
+
+  // 1. DFS-preorder positions over the first-visit spanning tree. The
+  // permutation makes every DFS subtree one contiguous position range.
+  pos_.assign(n_, 0);
+  node_at_pos_.assign(n_, kInvalidNode);
+  std::vector<NodeId> tree_parent(n_, kInvalidNode);
+  std::vector<std::uint32_t> subtree_end(n_, 0);
+  std::vector<bool> visited(n_, false);
+  std::uint32_t clock = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, child index)
+  const NodeId root = g.root();
+  visited[root] = true;
+  pos_[root] = clock;
+  node_at_pos_[clock++] = root;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto& [u, next_child] = stack.back();
+    const auto children = g.Children(u);
+    if (next_child < children.size()) {
+      const NodeId c = children[next_child++];
+      if (visited[c]) {
+        continue;  // non-tree edge
+      }
+      visited[c] = true;
+      tree_parent[c] = u;
+      pos_[c] = clock;
+      node_at_pos_[clock++] = c;
+      stack.emplace_back(c, 0);
+    } else {
+      subtree_end[u] = clock;
+      stack.pop_back();
+    }
+  }
+  AIGS_CHECK(clock == n_);  // finalized graphs: root reaches every node
+
+  // 2. Pure-tree marking, children before parents: R(v) is exactly v's DFS
+  // subtree interval iff every out-edge of v is a spanning-tree edge and
+  // every child is itself pure.
+  const std::vector<NodeId>& topo = g.TopologicalOrder();
+  std::vector<bool> pure(n_, false);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    bool p = true;
+    for (const NodeId c : g.Children(u)) {
+      if (tree_parent[c] != u || !pure[c]) {
+        p = false;
+        break;
+      }
+    }
+    pure[u] = p;
+  }
+
+  // 3. Streaming reverse-topological encode: pure rows become intervals with
+  // no materialization at all; each impure row is unioned into ONE dense
+  // scratch row (children's rows expand from their already-compressed
+  // form), encoded, and cleared again — peak memory is the compressed
+  // output plus a single O(n/8) scratch row.
+  rows_.resize(n_);
+  // Build-time touched range [lo, hi] of each finished row, so parents know
+  // how far their union reaches without scanning.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bounds(n_);
+  DynamicBitset scratch(n_);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    if (pure[u]) {
+      const std::uint32_t len = subtree_end[u] - pos_[u];
+      rows_[u] = RowRef{pos_[u], len | kIntervalFlag, len};
+      bounds[u] = {pos_[u], subtree_end[u] - 1};
+      continue;
+    }
+    std::size_t lo = pos_[u];
+    std::size_t hi = pos_[u];
+    scratch.Set(pos_[u]);
+    for (const NodeId c : g.Children(u)) {
+      ExpandRowInto(c, scratch);
+      lo = std::min<std::size_t>(lo, bounds[c].first);
+      hi = std::max<std::size_t>(hi, bounds[c].second);
+    }
+    EncodeRow(u, scratch, lo, hi, scratch.CountInRange(lo, hi + 1));
+    bounds[u] = {static_cast<std::uint32_t>(lo),
+                 static_cast<std::uint32_t>(hi)};
+    scratch.ClearRange(lo, hi + 1);
+  }
+}
+
+void CompressedClosure::EncodeRow(NodeId u, const DynamicBitset& scratch,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t count) {
+  AIGS_DCHECK(count > 0 && lo <= hi && hi < n_);
+  if (count == hi - lo + 1) {
+    // Contiguous — store as an interval even when u is not tree-pure (the
+    // root of a DAG, for instance, always reaches [0, n)).
+    rows_[u] = RowRef{static_cast<std::uint32_t>(lo),
+                      static_cast<std::uint32_t>(count) | kIntervalFlag,
+                      static_cast<std::uint32_t>(count)};
+    return;
+  }
+  const std::size_t first_ref = chunk_refs_.size();
+  const std::span<const std::uint64_t> all_words(scratch.words());
+  for (std::size_t ck = lo / kChunkBits; ck <= hi / kChunkBits; ++ck) {
+    const std::size_t wbegin = ck * kChunkWords;
+    const std::size_t wend = std::min(wbegin + kChunkWords, words_);
+    const std::span<const std::uint64_t> chunk_words =
+        all_words.subspan(wbegin, wend - wbegin);
+    std::size_t bits = 0;
+    for (const std::uint64_t word : chunk_words) {
+      bits += static_cast<std::size_t>(std::popcount(word));
+    }
+    if (bits == 0) {
+      continue;
+    }
+    const std::size_t runs = CountRuns(chunk_words);
+    const std::size_t dense_cost = chunk_words.size() * 8;
+    const std::size_t delta_cost = 2 * bits;
+    const std::size_t run_cost = 4 * runs;
+
+    ChunkRef ref;
+    ref.chunk = static_cast<std::uint16_t>(ck);
+    if (run_cost <= delta_cost && run_cost <= dense_cost) {
+      AIGS_CHECK(u16_pool_.size() <= 0xFFFFFFFFu);
+      ref.payload = static_cast<std::uint32_t>(u16_pool_.size());
+      ref.meta = static_cast<std::uint16_t>(kRunChunk | (runs << 2));
+      // Extract maximal runs of set bits, merging across word boundaries.
+      std::size_t run_start = 0;
+      std::size_t run_len = 0;
+      std::size_t emitted = 0;
+      for (std::size_t w = 0; w < chunk_words.size(); ++w) {
+        std::uint64_t word = chunk_words[w];
+        while (word != 0) {
+          const std::size_t start =
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+          const std::uint64_t shifted = word >> (start & 63);
+          const std::size_t len =
+              static_cast<std::size_t>(std::countr_one(shifted));
+          if (run_len > 0 && run_start + run_len == start) {
+            run_len += len;  // continues the previous word's trailing run
+          } else {
+            if (run_len > 0) {
+              u16_pool_.push_back(static_cast<std::uint16_t>(run_start));
+              u16_pool_.push_back(static_cast<std::uint16_t>(run_len));
+              ++emitted;
+            }
+            run_start = start;
+            run_len = len;
+          }
+          if ((start & 63) + len >= 64) {
+            word = 0;
+          } else {
+            word &= ~std::uint64_t{0} << ((start & 63) + len);
+          }
+        }
+      }
+      if (run_len > 0) {
+        u16_pool_.push_back(static_cast<std::uint16_t>(run_start));
+        u16_pool_.push_back(static_cast<std::uint16_t>(run_len));
+        ++emitted;
+      }
+      AIGS_DCHECK(emitted == runs);
+    } else if (delta_cost <= dense_cost) {
+      AIGS_CHECK(u16_pool_.size() <= 0xFFFFFFFFu);
+      ref.payload = static_cast<std::uint32_t>(u16_pool_.size());
+      ref.meta = static_cast<std::uint16_t>(kDeltaChunk | (bits << 2));
+      for (std::size_t w = 0; w < chunk_words.size(); ++w) {
+        std::uint64_t word = chunk_words[w];
+        while (word != 0) {
+          u16_pool_.push_back(static_cast<std::uint16_t>(
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+    } else {
+      AIGS_CHECK(word_pool_.size() <= 0xFFFFFFFFu);
+      ref.payload = static_cast<std::uint32_t>(word_pool_.size());
+      ref.meta =
+          static_cast<std::uint16_t>(kDenseChunk | (chunk_words.size() << 2));
+      word_pool_.insert(word_pool_.end(), chunk_words.begin(),
+                        chunk_words.end());
+    }
+    chunk_refs_.push_back(ref);
+  }
+  AIGS_CHECK(chunk_refs_.size() - first_ref <= 0xFFFFFFFFu);
+  rows_[u] = RowRef{static_cast<std::uint32_t>(first_ref),
+                    static_cast<std::uint32_t>(chunk_refs_.size() - first_ref),
+                    static_cast<std::uint32_t>(count)};
+}
+
+bool CompressedClosure::TestPos(NodeId u, std::size_t p) const {
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    return p >= row.first && p < row.first + (row.extent & ~kIntervalFlag);
+  }
+  const std::uint16_t ck = static_cast<std::uint16_t>(p / kChunkBits);
+  const auto begin = chunk_refs_.begin() + row.first;
+  const auto end = begin + row.extent;
+  const auto it = std::lower_bound(
+      begin, end, ck,
+      [](const ChunkRef& ref, std::uint16_t c) { return ref.chunk < c; });
+  if (it == end || it->chunk != ck) {
+    return false;
+  }
+  const std::uint16_t off = static_cast<std::uint16_t>(p % kChunkBits);
+  const std::uint16_t items = ChunkItems(*it);
+  switch (ChunkKindOf(*it)) {
+    case kDenseChunk: {
+      const std::uint16_t w = off >> 6;
+      if (w >= items) {
+        return false;
+      }
+      return (word_pool_[it->payload + w] >> (off & 63)) & 1;
+    }
+    case kDeltaChunk: {
+      const std::uint16_t* base = u16_pool_.data() + it->payload;
+      return std::binary_search(base, base + items, off);
+    }
+    case kRunChunk:
+      for (std::uint16_t i = 0; i < items; ++i) {
+        const std::uint16_t start = u16_pool_[it->payload + 2 * i];
+        if (off < start) {
+          return false;  // runs are ascending
+        }
+        if (off < start + u16_pool_[it->payload + 2 * i + 1]) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+DynamicBitset::CountAndWeight CompressedClosure::IntersectCountAndWeight(
+    NodeId u, const DynamicBitset& alive,
+    const BlockedWeights& pos_weights) const {
+  AIGS_DCHECK(alive.size() == n_);
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    return alive.RangeCountAndWeightedSum(
+        row.first, row.first + (row.extent & ~kIntervalFlag), pos_weights);
+  }
+  DynamicBitset::CountAndWeight out;
+  const std::vector<Weight>& values = pos_weights.weights();
+  for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
+    const ChunkRef& ref = chunk_refs_[r];
+    const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
+    const std::uint16_t items = ChunkItems(ref);
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk: {
+        const auto part = alive.MaskedWordsCountAndWeightedSum(
+            static_cast<std::size_t>(ref.chunk) * kChunkWords,
+            std::span<const std::uint64_t>(word_pool_.data() + ref.payload,
+                                           items),
+            pos_weights);
+        out.count += part.count;
+        out.weight += part.weight;
+        break;
+      }
+      case kDeltaChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t p = base + u16_pool_[ref.payload + i];
+          if (alive.Test(p)) {
+            ++out.count;
+            out.weight += values[p];
+          }
+        }
+        break;
+      case kRunChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
+          const std::size_t len = u16_pool_[ref.payload + 2 * i + 1];
+          const auto part =
+              alive.RangeCountAndWeightedSum(start, start + len, pos_weights);
+          out.count += part.count;
+          out.weight += part.weight;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t CompressedClosure::IntersectCount(NodeId u,
+                                              const DynamicBitset& alive) const {
+  AIGS_DCHECK(alive.size() == n_);
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    return alive.CountInRange(row.first,
+                              row.first + (row.extent & ~kIntervalFlag));
+  }
+  std::size_t total = 0;
+  const std::vector<std::uint64_t>& alive_words = alive.words();
+  for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
+    const ChunkRef& ref = chunk_refs_[r];
+    const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
+    const std::uint16_t items = ChunkItems(ref);
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk: {
+        const std::size_t wbegin =
+            static_cast<std::size_t>(ref.chunk) * kChunkWords;
+        for (std::uint16_t w = 0; w < items; ++w) {
+          total += static_cast<std::size_t>(std::popcount(
+              alive_words[wbegin + w] & word_pool_[ref.payload + w]));
+        }
+        break;
+      }
+      case kDeltaChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          total += alive.Test(base + u16_pool_[ref.payload + i]) ? 1 : 0;
+        }
+        break;
+      case kRunChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
+          const std::size_t len = u16_pool_[ref.payload + 2 * i + 1];
+          total += alive.CountInRange(start, start + len);
+        }
+        break;
+    }
+  }
+  return total;
+}
+
+void CompressedClosure::IntersectInto(NodeId u, DynamicBitset& alive) const {
+  AIGS_DCHECK(alive.size() == n_);
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    alive.KeepOnlyRange(row.first, row.first + (row.extent & ~kIntervalFlag));
+    return;
+  }
+  std::size_t prev = 0;  // first position not yet masked
+  for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
+    const ChunkRef& ref = chunk_refs_[r];
+    const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
+    const std::size_t chunk_end = std::min(base + kChunkBits, n_);
+    alive.ClearRange(prev, base);
+    const std::uint16_t items = ChunkItems(ref);
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk: {
+        alive.AndWordsAt(
+            static_cast<std::size_t>(ref.chunk) * kChunkWords,
+            std::span<const std::uint64_t>(word_pool_.data() + ref.payload,
+                                           items));
+        // A dense payload always spans the whole (possibly tail-short)
+        // chunk, so nothing past its words needs clearing.
+        break;
+      }
+      case kDeltaChunk: {
+        std::uint64_t decoded[kChunkWords] = {};
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::uint16_t off = u16_pool_[ref.payload + i];
+          decoded[off >> 6] |= std::uint64_t{1} << (off & 63);
+        }
+        const std::size_t wbegin =
+            static_cast<std::size_t>(ref.chunk) * kChunkWords;
+        alive.AndWordsAt(wbegin, std::span<const std::uint64_t>(
+                                     decoded, std::min(kChunkWords,
+                                                       words_ - wbegin)));
+        break;
+      }
+      case kRunChunk: {
+        std::size_t keep_from = base;
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
+          const std::size_t len = u16_pool_[ref.payload + 2 * i + 1];
+          alive.ClearRange(keep_from, start);
+          keep_from = start + len;
+        }
+        alive.ClearRange(keep_from, chunk_end);
+        break;
+      }
+    }
+    prev = chunk_end;
+  }
+  alive.ClearRange(prev, n_);
+}
+
+void CompressedClosure::SubtractFrom(NodeId u, DynamicBitset& alive) const {
+  AIGS_DCHECK(alive.size() == n_);
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    alive.ClearRange(row.first, row.first + (row.extent & ~kIntervalFlag));
+    return;
+  }
+  for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
+    const ChunkRef& ref = chunk_refs_[r];
+    const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
+    const std::uint16_t items = ChunkItems(ref);
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk:
+        alive.AndNotWordsAt(
+            static_cast<std::size_t>(ref.chunk) * kChunkWords,
+            std::span<const std::uint64_t>(word_pool_.data() + ref.payload,
+                                           items));
+        break;
+      case kDeltaChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          alive.Reset(base + u16_pool_[ref.payload + i]);
+        }
+        break;
+      case kRunChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
+          alive.ClearRange(start, start + u16_pool_[ref.payload + 2 * i + 1]);
+        }
+        break;
+    }
+  }
+}
+
+void CompressedClosure::ExpandRowInto(NodeId u, DynamicBitset& out) const {
+  AIGS_DCHECK(out.size() == n_);
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    out.SetRange(row.first, row.first + (row.extent & ~kIntervalFlag));
+    return;
+  }
+  for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
+    const ChunkRef& ref = chunk_refs_[r];
+    const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
+    const std::uint16_t items = ChunkItems(ref);
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk:
+        out.OrWordsAt(
+            static_cast<std::size_t>(ref.chunk) * kChunkWords,
+            std::span<const std::uint64_t>(word_pool_.data() + ref.payload,
+                                           items));
+        break;
+      case kDeltaChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          out.Set(base + u16_pool_[ref.payload + i]);
+        }
+        break;
+      case kRunChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
+          out.SetRange(start, start + u16_pool_[ref.payload + 2 * i + 1]);
+        }
+        break;
+    }
+  }
+}
+
+Weight CompressedClosure::RowWeightFromPrefix(
+    NodeId u, std::span<const Weight> prefix) const {
+  AIGS_DCHECK(prefix.size() == n_ + 1);
+  const RowRef& row = rows_[u];
+  if (row.extent & kIntervalFlag) {
+    const std::size_t end = row.first + (row.extent & ~kIntervalFlag);
+    return prefix[end] - prefix[row.first];
+  }
+  Weight total = 0;
+  for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
+    const ChunkRef& ref = chunk_refs_[r];
+    const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
+    const std::uint16_t items = ChunkItems(ref);
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk:
+        for (std::uint16_t w = 0; w < items; ++w) {
+          std::uint64_t word = word_pool_[ref.payload + w];
+          while (word != 0) {
+            const std::size_t p = base + (static_cast<std::size_t>(w) << 6) +
+                                  static_cast<std::size_t>(
+                                      std::countr_zero(word));
+            total += prefix[p + 1] - prefix[p];
+            word &= word - 1;
+          }
+        }
+        break;
+      case kDeltaChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t p = base + u16_pool_[ref.payload + i];
+          total += prefix[p + 1] - prefix[p];
+        }
+        break;
+      case kRunChunk:
+        for (std::uint16_t i = 0; i < items; ++i) {
+          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
+          const std::size_t len = u16_pool_[ref.payload + 2 * i + 1];
+          total += prefix[start + len] - prefix[start];
+        }
+        break;
+    }
+  }
+  return total;
+}
+
+CompressedClosure::Stats CompressedClosure::stats() const {
+  Stats s;
+  for (const RowRef& row : rows_) {
+    if (row.extent & kIntervalFlag) {
+      ++s.interval_rows;
+    } else {
+      ++s.chunked_rows;
+    }
+  }
+  for (const ChunkRef& ref : chunk_refs_) {
+    switch (ChunkKindOf(ref)) {
+      case kDenseChunk:
+        ++s.dense_chunks;
+        break;
+      case kDeltaChunk:
+        ++s.delta_chunks;
+        break;
+      case kRunChunk:
+        ++s.run_chunks;
+        break;
+    }
+  }
+  return s;
+}
+
+std::size_t CompressedClosure::MemoryBytes() const {
+  return rows_.size() * sizeof(RowRef) +
+         chunk_refs_.size() * sizeof(ChunkRef) +
+         word_pool_.size() * sizeof(std::uint64_t) +
+         u16_pool_.size() * sizeof(std::uint16_t) +
+         pos_.size() * sizeof(std::uint32_t) +
+         node_at_pos_.size() * sizeof(NodeId);
+}
+
+}  // namespace aigs

@@ -1,15 +1,34 @@
 #include "graph/reachability.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace aigs {
 
-ReachabilityIndex::ReachabilityIndex(const Digraph& g)
-    : graph_(&g), euler_mode_(g.IsTree()) {
+ReachabilityIndex::ReachabilityIndex(const Digraph& g,
+                                     ReachabilityOptions options)
+    : graph_(&g) {
   AIGS_CHECK(g.finalized());
-  if (euler_mode_) {
+  if (g.IsTree() && !options.force_closure_on_trees) {
+    storage_ = Storage::kEuler;
     BuildEuler();
+    return;
+  }
+  bool compressed = options.closure == ReachabilityOptions::Closure::kCompressed;
+  if (options.closure == ReachabilityOptions::Closure::kAuto) {
+    compressed = DenseClosureBytes(g.NumNodes()) >
+                 static_cast<U128>(options.compress_threshold_bytes);
+  }
+  if (compressed) {
+    storage_ = Storage::kCompressedClosure;
+    compressed_ = std::make_unique<CompressedClosure>(g);
+    const std::size_t n = g.NumNodes();
+    reach_count_.assign(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      reach_count_[u] = compressed_->RowCount(u);
+    }
   } else {
+    storage_ = Storage::kDenseClosure;
     BuildClosure();
   }
 }
@@ -48,6 +67,11 @@ void ReachabilityIndex::BuildEuler() {
 void ReachabilityIndex::BuildClosure() {
   const Digraph& g = *graph_;
   const std::size_t n = g.NumNodes();
+  // Guard the n² size math before touching the allocator: a million-node
+  // catalog must be routed to compressed storage, not die in a 125 GB (or,
+  // on 32-bit size_t, silently wrapped) allocation.
+  AIGS_CHECK(DenseClosureBytes(n) <=
+             static_cast<U128>(std::numeric_limits<std::size_t>::max()));
   closure_.resize(n);
   reach_count_.assign(n, 0);
 
@@ -79,22 +103,58 @@ std::vector<Weight> ReachabilityIndex::AllReachableSetWeights(
   const std::size_t n = g.NumNodes();
   AIGS_CHECK(weights.size() == n);
   std::vector<Weight> out(n, 0);
-  if (euler_mode_) {
-    // Subtree sums over the Euler order: prefix sums of weights in Euler
-    // positions give each subtree weight in O(n).
-    std::vector<Weight> prefix(n + 1, 0);
-    for (std::size_t t = 0; t < n; ++t) {
-      prefix[t + 1] = prefix[t] + weights[euler_to_node_[t]];
+  switch (storage_) {
+    case Storage::kEuler: {
+      // Subtree sums over the Euler order: prefix sums of weights in Euler
+      // positions give each subtree weight in O(n).
+      std::vector<Weight> prefix(n + 1, 0);
+      for (std::size_t t = 0; t < n; ++t) {
+        prefix[t + 1] = prefix[t] + weights[euler_to_node_[t]];
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        out[v] = prefix[tout_[v]] - prefix[tin_[v]];
+      }
+      break;
     }
-    for (NodeId v = 0; v < n; ++v) {
-      out[v] = prefix[tout_[v]] - prefix[tin_[v]];
-    }
-  } else {
-    for (NodeId v = 0; v < n; ++v) {
-      out[v] = WeightOfReachableSet(v, weights);
+    case Storage::kDenseClosure:
+      for (NodeId v = 0; v < n; ++v) {
+        out[v] = WeightOfReachableSet(v, weights);
+      }
+      break;
+    case Storage::kCompressedClosure: {
+      // Same prefix-sum trick in position space: interval rows and runs
+      // settle in O(1) each.
+      std::vector<Weight> prefix(n + 1, 0);
+      for (std::size_t p = 0; p < n; ++p) {
+        prefix[p + 1] = prefix[p] + weights[compressed_->node_at_pos(p)];
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        out[v] = compressed_->RowWeightFromPrefix(v, prefix);
+      }
+      break;
     }
   }
   return out;
+}
+
+std::size_t ReachabilityIndex::MemoryBytes() const {
+  std::size_t total = reach_count_.size() * sizeof(std::size_t);
+  switch (storage_) {
+    case Storage::kEuler:
+      total += tin_.size() * sizeof(std::uint32_t) +
+               tout_.size() * sizeof(std::uint32_t) +
+               euler_to_node_.size() * sizeof(NodeId);
+      break;
+    case Storage::kDenseClosure:
+      for (const DynamicBitset& row : closure_) {
+        total += row.words().size() * sizeof(std::uint64_t);
+      }
+      break;
+    case Storage::kCompressedClosure:
+      total += compressed_->MemoryBytes();
+      break;
+  }
+  return total;
 }
 
 }  // namespace aigs

@@ -36,22 +36,40 @@ ShardRouter::ShardRouter(std::vector<Endpoint> endpoints,
                          ShardRouterOptions options)
     : endpoints_(std::move(endpoints)),
       options_(options),
-      ring_(endpoints_, options.vnodes),
-      clients_(endpoints_.size()) {}
-
-void ShardRouter::DisconnectAll() {
-  for (AigsClient& client : clients_) {
-    client.Disconnect();
+      ring_(endpoints_, options.vnodes) {
+  shards_.reserve(endpoints_.size());
+  for (std::size_t shard = 0; shard < endpoints_.size(); ++shard) {
+    shards_.push_back(std::make_unique<Shard>());
   }
 }
 
-StatusOr<AigsClient*> ShardRouter::ClientFor(std::size_t shard) {
-  AIGS_DCHECK(shard < clients_.size());
-  AigsClient& client = clients_[shard];
-  if (!client.connected()) {
-    AIGS_RETURN_NOT_OK(client.Connect(endpoints_[shard], options_.client));
+void ShardRouter::DisconnectAll() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<std::unique_ptr<AigsClient>> drop;
+    {
+      const std::lock_guard<std::mutex> lock(shard->mu);
+      drop.swap(shard->idle);
+    }
+    // Destroyed outside the lock: each dtor closes a socket.
   }
-  return &client;
+}
+
+StatusOr<ShardRouter::Lease> ShardRouter::LeaseFor(std::size_t shard) {
+  AIGS_DCHECK(shard < shards_.size());
+  Shard& pool = *shards_[shard];
+  {
+    const std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.idle.empty()) {
+      std::unique_ptr<AigsClient> client = std::move(pool.idle.back());
+      pool.idle.pop_back();
+      return Lease(pool, std::move(client));
+    }
+  }
+  // Pool empty: dial a fresh connection, outside the lock, so a slow or
+  // unreachable shard never stalls callers headed elsewhere.
+  auto client = std::make_unique<AigsClient>();
+  AIGS_RETURN_NOT_OK(client->Connect(endpoints_[shard], options_.client));
+  return Lease(pool, std::move(client));
 }
 
 template <typename Place>
@@ -60,13 +78,14 @@ auto ShardRouter::PlaceWithFreshId(Place place)
   Status last = Status::Internal("no placement attempt ran");
   for (std::size_t attempt = 0; attempt < options_.max_id_attempts;
        ++attempt) {
-    SessionId id = Mix64(options_.salt ^ ++id_counter_);
+    SessionId id = Mix64(
+        options_.salt ^
+        (id_counter_.fetch_add(1, std::memory_order_relaxed) + 1));
     if (id == 0) {
       id = 1;  // 0 means "server assigns" on the wire
     }
-    AIGS_ASSIGN_OR_RETURN(AigsClient * client,
-                          ClientFor(ring_.ShardFor(id)));
-    auto result = place(client, id);
+    AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(ring_.ShardFor(id)));
+    auto result = place(lease.operator->(), id);
     if (result.ok() ||
         result.status().code() != StatusCode::kFailedPrecondition) {
       return result;
@@ -87,18 +106,18 @@ StatusOr<SessionId> ShardRouter::Open(const std::string& policy_spec) {
 }
 
 StatusOr<Query> ShardRouter::Ask(SessionId id) {
-  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
-  return client->Ask(id);
+  AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(ring_.ShardFor(id)));
+  return lease->Ask(id);
 }
 
 Status ShardRouter::Answer(SessionId id, const SessionAnswer& answer) {
-  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
-  return client->Answer(id, answer);
+  AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(ring_.ShardFor(id)));
+  return lease->Answer(id, answer);
 }
 
 StatusOr<std::string> ShardRouter::Save(SessionId id) {
-  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
-  return client->Save(id);
+  AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(ring_.ShardFor(id)));
+  return lease->Save(id);
 }
 
 StatusOr<SessionId> ShardRouter::Resume(const std::string& blob) {
@@ -108,8 +127,8 @@ StatusOr<SessionId> ShardRouter::Resume(const std::string& blob) {
 }
 
 StatusOr<MigrateResult> ShardRouter::Migrate(SessionId id) {
-  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
-  return client->Migrate(id);
+  AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(ring_.ShardFor(id)));
+  return lease->Migrate(id);
 }
 
 StatusOr<MigrateResult> ShardRouter::MigrateBlob(const std::string& blob) {
@@ -119,15 +138,15 @@ StatusOr<MigrateResult> ShardRouter::MigrateBlob(const std::string& blob) {
 }
 
 Status ShardRouter::Close(SessionId id) {
-  AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(ring_.ShardFor(id)));
-  return client->Close(id);
+  AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(ring_.ShardFor(id)));
+  return lease->Close(id);
 }
 
 StatusOr<WireStats> ShardRouter::Stats() {
   WireStats total;
-  for (std::size_t shard = 0; shard < clients_.size(); ++shard) {
-    AIGS_ASSIGN_OR_RETURN(AigsClient * client, ClientFor(shard));
-    AIGS_ASSIGN_OR_RETURN(const WireStats stats, client->Stats());
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    AIGS_ASSIGN_OR_RETURN(Lease lease, LeaseFor(shard));
+    AIGS_ASSIGN_OR_RETURN(const WireStats stats, lease->Stats());
     total.epoch = std::max(total.epoch, stats.epoch);
     total.live_sessions += stats.live_sessions;
     total.ops.opens += stats.ops.opens;
@@ -146,3 +165,4 @@ StatusOr<WireStats> ShardRouter::Stats() {
 }
 
 }  // namespace aigs::net
+

@@ -17,12 +17,22 @@
 // arc — the classic consistent-hashing stability property, asserted by
 // tests/test_net.cc.
 //
-// Not thread-safe (a router owns one blocking connection per shard);
-// give each thread its own router.
+// Thread-safe: concurrent callers share one router. Each shard keeps a
+// mutex-guarded pool of connected clients; an op leases one (dialing a new
+// connection when the pool is empty), runs its blocking request/response
+// exchange OUTSIDE any lock, and returns the client to the pool — so the
+// number of live connections per shard equals the peak concurrency that
+// shard has seen, and no caller ever blocks on another caller's I/O. A
+// client whose transport failed mid-op (AigsClient disconnects itself on
+// any framing or socket error) is dropped instead of pooled; the next
+// lease redials.
 #ifndef AIGS_NET_SHARD_ROUTER_H_
 #define AIGS_NET_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -71,7 +81,9 @@ class ShardRouter {
   const std::vector<Endpoint>& endpoints() const { return endpoints_; }
   const ShardRing& ring() const { return ring_; }
 
-  /// Drops any open connections; the next op per shard redials.
+  /// Drops every idle pooled connection; the next op per shard redials.
+  /// Clients currently leased by in-flight ops are untouched (they rejoin
+  /// their pool, still connected, when those ops finish).
   void DisconnectAll();
 
   // ---- the Engine session API, routed ---------------------------------------
@@ -88,8 +100,41 @@ class ShardRouter {
   StatusOr<WireStats> Stats();
 
  private:
-  /// The connected client for `shard`, dialing lazily.
-  StatusOr<AigsClient*> ClientFor(std::size_t shard);
+  /// One shard's connection pool. The mutex only guards the `idle` vector —
+  /// never a socket operation.
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::unique_ptr<AigsClient>> idle;
+  };
+
+  /// RAII client lease: holds a connected client exclusively for one op and
+  /// returns it to its shard's pool on destruction — unless the transport
+  /// died mid-op (the client disconnects itself on socket/framing errors),
+  /// in which case the client is simply dropped.
+  class Lease {
+   public:
+    Lease(Shard& shard, std::unique_ptr<AigsClient> client)
+        : shard_(&shard), client_(std::move(client)) {}
+    Lease(Lease&& other) noexcept = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (client_ != nullptr && client_->connected()) {
+        const std::lock_guard<std::mutex> lock(shard_->mu);
+        shard_->idle.push_back(std::move(client_));
+      }
+    }
+    AigsClient* operator->() const { return client_.get(); }
+
+   private:
+    Shard* shard_;
+    std::unique_ptr<AigsClient> client_;
+  };
+
+  /// Leases a connected client for `shard`: pops the pool, or dials a new
+  /// connection (outside the pool lock) when it is empty.
+  StatusOr<Lease> LeaseFor(std::size_t shard);
 
   /// Draws a fresh nonzero id and runs `place(client, id)` on its owning
   /// shard, redrawing on FailedPrecondition (id collision) up to the
@@ -101,8 +146,8 @@ class ShardRouter {
   std::vector<Endpoint> endpoints_;
   ShardRouterOptions options_;
   ShardRing ring_;
-  std::vector<AigsClient> clients_;  // one per shard, lazily connected
-  std::uint64_t id_counter_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;  // one pool per shard
+  std::atomic<std::uint64_t> id_counter_{0};
 };
 
 }  // namespace aigs::net

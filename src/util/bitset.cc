@@ -256,6 +256,104 @@ std::size_t DynamicBitset::CountInRange(std::size_t begin,
   return total;
 }
 
+void DynamicBitset::SetRange(std::size_t begin, std::size_t end) {
+  AIGS_DCHECK(begin <= end && end <= size_);
+  for (std::size_t w = begin >> 6; w < words_.size() && (w << 6) < end; ++w) {
+    words_[w] |= RangeMaskForWord(w, begin, end);
+  }
+}
+
+void DynamicBitset::AndWordsAt(std::size_t word_offset,
+                               std::span<const std::uint64_t> mask) {
+  AIGS_DCHECK(word_offset + mask.size() <= words_.size());
+  std::uint64_t* out = words_.data() + word_offset;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out[i] &= mask[i];
+  }
+}
+
+void DynamicBitset::AndNotWordsAt(std::size_t word_offset,
+                                  std::span<const std::uint64_t> mask) {
+  AIGS_DCHECK(word_offset + mask.size() <= words_.size());
+  std::uint64_t* out = words_.data() + word_offset;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out[i] &= ~mask[i];
+  }
+}
+
+void DynamicBitset::OrWordsAt(std::size_t word_offset,
+                              std::span<const std::uint64_t> mask) {
+  AIGS_DCHECK(word_offset + mask.size() <= words_.size());
+  std::uint64_t* out = words_.data() + word_offset;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out[i] |= mask[i];
+  }
+}
+
+DynamicBitset::CountAndWeight DynamicBitset::RangeCountAndWeightedSum(
+    std::size_t begin, std::size_t end, const BlockedWeights& weights) const {
+  AIGS_DCHECK(begin <= end && end <= size_);
+  AIGS_DCHECK(weights.weights().size() == size_);
+  CountAndWeight out;
+  if (begin >= end) {
+    return out;
+  }
+  const Weight* values = weights.weights().data();
+  const std::size_t first_word = begin >> 6;
+  const std::size_t last_word = (end - 1) >> 6;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    const std::uint64_t range_mask = RangeMaskForWord(w, begin, end);
+    const std::uint64_t word = words_[w] & range_mask;
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    // `valid` = the bit positions whose weights the block sum covers. The
+    // block sum settles a word only when the range covers all of them;
+    // boundary words gather per bit inside BlockedWordSum's sparse branch
+    // (their intersection word is never equal to `valid`).
+    const std::uint64_t valid =
+        (w == words_.size() - 1 && (size_ & 63) != 0)
+            ? (std::uint64_t{1} << (size_ & 63)) - 1
+            : ~std::uint64_t{0};
+    if (range_mask == valid) {
+      out.weight +=
+          BlockedWordSum(word, valid, values + (w << 6), weights.BlockSum(w));
+    } else {
+      std::uint64_t bits = word;
+      while (bits != 0) {
+        out.weight += values[(w << 6) + std::countr_zero(bits)];
+        bits &= bits - 1;
+      }
+    }
+  }
+  return out;
+}
+
+DynamicBitset::CountAndWeight DynamicBitset::MaskedWordsCountAndWeightedSum(
+    std::size_t word_offset, std::span<const std::uint64_t> mask,
+    const BlockedWeights& weights) const {
+  AIGS_DCHECK(word_offset + mask.size() <= words_.size());
+  AIGS_DCHECK(weights.weights().size() == size_);
+  const Weight* values = weights.weights().data();
+  CountAndWeight out;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    const std::size_t w = word_offset + i;
+    const std::uint64_t word = words_[w] & mask[i];
+    if (word == 0) {
+      continue;
+    }
+    const std::uint64_t valid =
+        (w == words_.size() - 1 && (size_ & 63) != 0)
+            ? (std::uint64_t{1} << (size_ & 63)) - 1
+            : ~std::uint64_t{0};
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight +=
+        BlockedWordSum(word, valid, values + (w << 6), weights.BlockSum(w));
+  }
+  return out;
+}
+
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   AIGS_CHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/common.h"
@@ -125,6 +126,36 @@ class DynamicBitset {
                            const BlockedWeights& weights) const;
   CountAndWeight MaskedCountAndWeightedSum(
       const DynamicBitset& mask, const BlockedWeights& weights) const;
+
+  /// Sets every bit in [begin, end).
+  void SetRange(std::size_t begin, std::size_t end);
+
+  /// this.words[word_offset + i] &= mask[i] for each word of `mask`. The
+  /// window must lie inside the bitset. Compressed-closure rows use the
+  /// *WordsAt kernels to apply one decoded chunk without materializing a
+  /// full-width mask bitset.
+  void AndWordsAt(std::size_t word_offset, std::span<const std::uint64_t> mask);
+  /// this.words[word_offset + i] &= ~mask[i].
+  void AndNotWordsAt(std::size_t word_offset,
+                     std::span<const std::uint64_t> mask);
+  /// this.words[word_offset + i] |= mask[i]. Mask bits past size() must be 0.
+  void OrWordsAt(std::size_t word_offset, std::span<const std::uint64_t> mask);
+
+  /// Count and Σ weights[i] over set bits of `this` within [begin, end) in
+  /// one scan — the interval/run fast path of compressed closure rows:
+  /// |R(v) ∩ C| and w(R(v) ∩ C) when R(v) is a position range. Words fully
+  /// inside the range settle against the block sums; the two boundary words
+  /// gather per bit (their block sums cover bits outside the range).
+  CountAndWeight RangeCountAndWeightedSum(std::size_t begin, std::size_t end,
+                                          const BlockedWeights& weights) const;
+
+  /// Count and Σ weights over set bits of (this & mask) where `mask` is a
+  /// word window starting at `word_offset` — the dense-chunk kernel of
+  /// compressed closure rows. Block sums settle dense intersection words
+  /// exactly as in MaskedCountAndWeightedSum.
+  CountAndWeight MaskedWordsCountAndWeightedSum(
+      std::size_t word_offset, std::span<const std::uint64_t> mask,
+      const BlockedWeights& weights) const;
 
   /// Clears every bit in [begin, end).
   void ClearRange(std::size_t begin, std::size_t end);

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -814,6 +815,79 @@ TEST(ShardRouter, RedrawsOnProposedIdCollision) {
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   EXPECT_NE(*id, first);
   EXPECT_TRUE(backend.engine.Ask(*id).ok());
+}
+
+TEST(ShardRouter, ConcurrentCallersShareOneRouter) {
+  // 4 threads drive full sessions through ONE shared router against a
+  // 3-shard fleet: every op leases a pooled connection, so callers never
+  // serialize on each other's socket I/O and never corrupt each other's
+  // framing. All ids must stay distinct, every search must find its
+  // target, and the fleet must see exactly the expected op counts.
+  const Hierarchy h = TestHierarchy();
+  Backend s0(h), s1(h), s2(h);
+  ShardRouter router({s0.server.endpoint(), s1.server.endpoint(),
+                      s2.server.endpoint()});
+
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::vector<SessionId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kSessionsPerThread; ++i) {
+        auto id = router.Open("greedy");
+        if (!id.ok()) {
+          ++failures;
+          return;
+        }
+        ids[t].push_back(*id);
+        const NodeId target =
+            static_cast<NodeId>(rng.UniformInt(h.NumNodes()));
+        if (DriveToDone(router, h, *id, target) != target) {
+          ++failures;
+          return;
+        }
+        // Half the sessions also exercise Save + Close concurrently.
+        if (i % 2 == 0) {
+          if (!router.Save(*id).ok() || !router.Close(*id).ok()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+
+  std::set<SessionId> distinct;
+  for (const std::vector<SessionId>& per_thread : ids) {
+    ASSERT_EQ(per_thread.size(),
+              static_cast<std::size_t>(kSessionsPerThread));
+    distinct.insert(per_thread.begin(), per_thread.end());
+  }
+  EXPECT_EQ(distinct.size(),
+            static_cast<std::size_t>(kThreads * kSessionsPerThread));
+
+  auto stats = router.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->ops.opens,
+            static_cast<std::uint64_t>(kThreads * kSessionsPerThread));
+  EXPECT_EQ(stats->ops.saves,
+            static_cast<std::uint64_t>(kThreads * kSessionsPerThread / 2));
+  EXPECT_EQ(stats->ops.closes,
+            static_cast<std::uint64_t>(kThreads * kSessionsPerThread / 2));
+
+  // DisconnectAll only drops idle pooled connections; traffic after it
+  // simply redials.
+  router.DisconnectAll();
+  auto id = router.Open("greedy");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(DriveToDone(router, h, *id, h.root()), h.root());
 }
 
 // ---- loadgen ---------------------------------------------------------------
