@@ -135,9 +135,11 @@ StatusOr<OracleSpec> ParseOracleSpec(const std::string& spec) {
 
 StatusOr<const Dataset*> DatasetCache::Get(const std::string& name,
                                            double scale,
-                                           const std::string& reach) {
-  AIGS_ASSIGN_OR_RETURN(const ReachabilityOptions reach_options,
+                                           const std::string& reach,
+                                           int build_threads) {
+  AIGS_ASSIGN_OR_RETURN(ReachabilityOptions reach_options,
                         ParseReachMode(reach));
+  reach_options.build_threads = build_threads;
   const bool scaled = name == "amazon" || name == "imagenet";
   const auto key =
       std::make_tuple(name, scaled ? QuantizeScale(scale) : 0, reach);
@@ -312,8 +314,9 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
   }
   AIGS_ASSIGN_OR_RETURN(const OracleSpec oracle_spec,
                         ParseOracleSpec(spec.oracle));
-  AIGS_ASSIGN_OR_RETURN(const Dataset* dataset,
-                        cache.Get(spec.dataset, spec.scale, spec.reach));
+  AIGS_ASSIGN_OR_RETURN(
+      const Dataset* dataset,
+      cache.Get(spec.dataset, spec.scale, spec.reach, spec.build_threads));
   const Hierarchy& h = dataset->hierarchy;
 
   ScenarioResult result;
@@ -392,6 +395,9 @@ StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
       config.distribution = dist;
       config.cost_model = costs;
       config.policy_specs = {spec.policy};
+      // Snapshot policy builds shard on the scenario's own pool (when it
+      // has one) instead of Publish's default.
+      config.build_pool = pool.get();
       AIGS_RETURN_NOT_OK(engine.Publish(std::move(config)).status());
       AIGS_ASSIGN_OR_RETURN(const Policy* published,
                             engine.snapshot()->PolicyFor(spec.policy));
@@ -484,6 +490,12 @@ StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
         return Status::InvalidArgument("threads must be >= 0");
       }
       spec.threads = static_cast<int>(threads);
+    } else if (key == "build_threads") {
+      AIGS_ASSIGN_OR_RETURN(const std::int64_t threads, ParseInt64(value));
+      if (threads < 0) {
+        return Status::InvalidArgument("build_threads must be >= 0");
+      }
+      spec.build_threads = static_cast<int>(threads);
     } else if (key == "service") {
       if (value == "engine") {
         spec.service = true;

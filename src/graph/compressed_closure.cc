@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <thread>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace aigs {
 
@@ -24,9 +27,10 @@ std::size_t CountRuns(std::span<const std::uint64_t> chunk_words) {
 
 }  // namespace
 
-CompressedClosure::CompressedClosure(const Digraph& g) {
+CompressedClosure::CompressedClosure(const Digraph& g,
+                                     const BuildOptions& options) {
   AIGS_CHECK(g.finalized());
-  BuildFromGraph(g);
+  BuildFromGraph(g, options);
 }
 
 CompressedClosure::CompressedClosure(const std::vector<DynamicBitset>& rows) {
@@ -50,12 +54,13 @@ CompressedClosure::CompressedClosure(const std::vector<DynamicBitset>& rows) {
     }
     std::size_t hi = lo;
     rows[v].ForEachSetBit([&hi](std::size_t p) { hi = p; });
-    EncodeRow(static_cast<NodeId>(v), rows[v], lo, hi,
-              rows[v].CountInRange(lo, hi + 1));
+    rows_[v] = EncodeRowTo(RowSink{&chunk_refs_, &word_pool_, &u16_pool_},
+                           rows[v], lo, hi, rows[v].CountInRange(lo, hi + 1));
   }
 }
 
-void CompressedClosure::BuildFromGraph(const Digraph& g) {
+void CompressedClosure::BuildFromGraph(const Digraph& g,
+                                       const BuildOptions& options) {
   n_ = g.NumNodes();
   AIGS_CHECK(n_ > 0 && n_ <= kMaxNodes);
   words_ = (n_ + 63) / 64;
@@ -111,15 +116,46 @@ void CompressedClosure::BuildFromGraph(const Digraph& g) {
     pure[u] = p;
   }
 
-  // 3. Streaming reverse-topological encode: pure rows become intervals with
-  // no materialization at all; each impure row is unioned into ONE dense
-  // scratch row (children's rows expand from their already-compressed
-  // form), encoded, and cleared again — peak memory is the compressed
-  // output plus a single O(n/8) scratch row.
+  // 3. Reverse-topological encode. Pure rows become intervals with no
+  // materialization at all either way; the serial path unions each impure
+  // row into ONE dense scratch row (children's rows expand from their
+  // already-compressed form), encodes, and clears again — peak memory is
+  // the compressed output plus a single O(n/8) scratch row. The parallel
+  // path shards dependency levels of impure rows across workers and
+  // concatenates afterwards (see BuildImpureRowsParallel); its encoded
+  // bytes are identical, for one scratch row per shard extra.
   rows_.resize(n_);
   // Build-time touched range [lo, hi] of each finished row, so parents know
   // how far their union reaches without scanning.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> bounds(n_);
+
+  std::size_t workers = 1;
+  if (options.pool != nullptr) {
+    workers = options.pool->num_threads();
+  } else if (options.threads > 0) {
+    workers = static_cast<std::size_t>(options.threads);
+  } else {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Small catalogs stay serial: the streaming loop is sub-millisecond there
+  // and per-shard scratch rows plus the level barriers would cost more than
+  // they save.
+  constexpr std::size_t kParallelMinNodes = std::size_t{1} << 13;
+  if (workers > 1 && n_ >= kParallelMinNodes) {
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId u = *it;
+      if (pure[u]) {
+        const std::uint32_t len = subtree_end[u] - pos_[u];
+        rows_[u] = RowRef{pos_[u], len | kIntervalFlag, len};
+        bounds[u] = {pos_[u], subtree_end[u] - 1};
+      }
+    }
+    ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : ThreadPool::Default();
+    BuildImpureRowsParallel(g, pure, bounds, pool, workers);
+    return;
+  }
+
   DynamicBitset scratch(n_);
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId u = *it;
@@ -137,26 +173,158 @@ void CompressedClosure::BuildFromGraph(const Digraph& g) {
       lo = std::min<std::size_t>(lo, bounds[c].first);
       hi = std::max<std::size_t>(hi, bounds[c].second);
     }
-    EncodeRow(u, scratch, lo, hi, scratch.CountInRange(lo, hi + 1));
+    rows_[u] = EncodeRowTo(RowSink{&chunk_refs_, &word_pool_, &u16_pool_},
+                           scratch, lo, hi, scratch.CountInRange(lo, hi + 1));
     bounds[u] = {static_cast<std::uint32_t>(lo),
                  static_cast<std::uint32_t>(hi)};
     scratch.ClearRange(lo, hi + 1);
   }
 }
 
-void CompressedClosure::EncodeRow(NodeId u, const DynamicBitset& scratch,
-                                  std::size_t lo, std::size_t hi,
-                                  std::size_t count) {
+void CompressedClosure::BuildImpureRowsParallel(
+    const Digraph& g, const std::vector<bool>& pure,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& bounds,
+    ThreadPool& pool, std::size_t workers) {
+  const std::vector<NodeId>& topo = g.TopologicalOrder();
+  constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> slot(n_, kNoSlot);
+  std::vector<NodeId> impure;  // reverse-topo: children before parents
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if (!pure[*it]) {
+      slot[*it] = static_cast<std::uint32_t>(impure.size());
+      impure.push_back(*it);
+    }
+  }
+  if (impure.empty()) {
+    return;
+  }
+
+  // Dependency levels among impure rows only: pure children expand straight
+  // from their interval RowRef, so only impure children order the build.
+  // Rows within one level have no edges between them and build in parallel.
+  std::vector<std::uint32_t> level(impure.size(), 0);
+  std::uint32_t num_levels = 1;
+  for (const NodeId u : impure) {
+    std::uint32_t lv = 0;
+    for (const NodeId c : g.Children(u)) {
+      if (slot[c] != kNoSlot) {
+        lv = std::max(lv, level[slot[c]] + 1);
+      }
+    }
+    level[slot[u]] = lv;
+    num_levels = std::max(num_levels, lv + 1);
+  }
+  // Bucket by level, preserving reverse-topo order inside each level.
+  std::vector<std::uint32_t> level_begin(num_levels + 1, 0);
+  for (const std::uint32_t lv : level) {
+    ++level_begin[lv + 1];
+  }
+  for (std::uint32_t lv = 0; lv < num_levels; ++lv) {
+    level_begin[lv + 1] += level_begin[lv];
+  }
+  std::vector<NodeId> by_level(impure.size());
+  {
+    std::vector<std::uint32_t> cursor(level_begin.begin(),
+                                      level_begin.end() - 1);
+    for (const NodeId u : impure) {
+      by_level[cursor[level[slot[u]]]++] = u;
+    }
+  }
+
+  // Each impure row encodes into its own detached pools; each shard reuses
+  // one dense scratch row across its slice of a level.
+  std::vector<RowEncoding> enc(impure.size());
+  const std::size_t shard_cap = std::min<std::size_t>(workers, 64);
+  std::vector<DynamicBitset> scratches(shard_cap, DynamicBitset(n_));
+
+  for (std::uint32_t lv = 0; lv < num_levels; ++lv) {
+    const std::size_t begin = level_begin[lv];
+    const std::size_t len = level_begin[lv + 1] - begin;
+    if (len == 0) {
+      continue;
+    }
+    const std::size_t shards = std::min(shard_cap, len);
+    const std::size_t per_shard = (len + shards - 1) / shards;
+    pool.RunShards(shards, [&](std::size_t s) {
+      DynamicBitset& scratch = scratches[s];
+      const std::size_t sb = begin + s * per_shard;
+      const std::size_t se = std::min(begin + len, sb + per_shard);
+      for (std::size_t i = sb; i < se; ++i) {
+        const NodeId u = by_level[i];
+        std::size_t lo = pos_[u];
+        std::size_t hi = pos_[u];
+        scratch.Set(pos_[u]);
+        for (const NodeId c : g.Children(u)) {
+          if (slot[c] == kNoSlot) {
+            // Pure child: interval row, no pools involved.
+            ExpandEncodedInto(rows_[c], nullptr, nullptr, nullptr, scratch);
+          } else {
+            const RowEncoding& ce = enc[slot[c]];
+            ExpandEncodedInto(ce.row, ce.refs.data(), ce.words.data(),
+                              ce.u16.data(), scratch);
+          }
+          lo = std::min<std::size_t>(lo, bounds[c].first);
+          hi = std::max<std::size_t>(hi, bounds[c].second);
+        }
+        RowEncoding& mine = enc[slot[u]];
+        mine.row =
+            EncodeRowTo(RowSink{&mine.refs, &mine.words, &mine.u16}, scratch,
+                        lo, hi, scratch.CountInRange(lo, hi + 1));
+        bounds[u] = {static_cast<std::uint32_t>(lo),
+                     static_cast<std::uint32_t>(hi)};
+        scratch.ClearRange(lo, hi + 1);
+      }
+    });
+  }
+
+  // Assembly: rebase every per-row encoding into the shared pools in
+  // reverse-topological order — exactly the serial append order, so the
+  // pools and payload offsets come out byte-identical to a serial build.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId u = *it;
+    if (slot[u] == kNoSlot) {
+      continue;
+    }
+    RowEncoding& e = enc[slot[u]];
+    if (e.row.extent & kIntervalFlag) {
+      rows_[u] = e.row;
+      e = RowEncoding{};
+      continue;
+    }
+    AIGS_CHECK(chunk_refs_.size() <= 0xFFFFFFFFu);
+    // Every payload offset this row lands at must fit the u32 ChunkRef
+    // field — the same bound the serial build checks per chunk.
+    AIGS_CHECK(word_pool_.size() + e.words.size() <= 0x100000000ull);
+    AIGS_CHECK(u16_pool_.size() + e.u16.size() <= 0x100000000ull);
+    const std::uint32_t word_base = static_cast<std::uint32_t>(word_pool_.size());
+    const std::uint32_t u16_base = static_cast<std::uint32_t>(u16_pool_.size());
+    rows_[u] = RowRef{static_cast<std::uint32_t>(chunk_refs_.size()),
+                      e.row.extent, e.row.count};
+    for (ChunkRef ref : e.refs) {
+      ref.payload += ChunkKindOf(ref) == kDenseChunk ? word_base : u16_base;
+      chunk_refs_.push_back(ref);
+    }
+    word_pool_.insert(word_pool_.end(), e.words.begin(), e.words.end());
+    u16_pool_.insert(u16_pool_.end(), e.u16.begin(), e.u16.end());
+    e = RowEncoding{};  // release the per-row buffers eagerly
+  }
+}
+
+CompressedClosure::RowRef CompressedClosure::EncodeRowTo(
+    const RowSink& sink, const DynamicBitset& scratch, std::size_t lo,
+    std::size_t hi, std::size_t count) const {
   AIGS_DCHECK(count > 0 && lo <= hi && hi < n_);
+  std::vector<ChunkRef>& chunk_refs = *sink.refs;
+  std::vector<std::uint64_t>& word_pool = *sink.words;
+  std::vector<std::uint16_t>& u16_pool = *sink.u16;
   if (count == hi - lo + 1) {
     // Contiguous — store as an interval even when u is not tree-pure (the
     // root of a DAG, for instance, always reaches [0, n)).
-    rows_[u] = RowRef{static_cast<std::uint32_t>(lo),
-                      static_cast<std::uint32_t>(count) | kIntervalFlag,
-                      static_cast<std::uint32_t>(count)};
-    return;
+    return RowRef{static_cast<std::uint32_t>(lo),
+                  static_cast<std::uint32_t>(count) | kIntervalFlag,
+                  static_cast<std::uint32_t>(count)};
   }
-  const std::size_t first_ref = chunk_refs_.size();
+  const std::size_t first_ref = chunk_refs.size();
   const std::span<const std::uint64_t> all_words(scratch.words());
   for (std::size_t ck = lo / kChunkBits; ck <= hi / kChunkBits; ++ck) {
     const std::size_t wbegin = ck * kChunkWords;
@@ -178,8 +346,8 @@ void CompressedClosure::EncodeRow(NodeId u, const DynamicBitset& scratch,
     ChunkRef ref;
     ref.chunk = static_cast<std::uint16_t>(ck);
     if (run_cost <= delta_cost && run_cost <= dense_cost) {
-      AIGS_CHECK(u16_pool_.size() <= 0xFFFFFFFFu);
-      ref.payload = static_cast<std::uint32_t>(u16_pool_.size());
+      AIGS_CHECK(u16_pool.size() <= 0xFFFFFFFFu);
+      ref.payload = static_cast<std::uint32_t>(u16_pool.size());
       ref.meta = static_cast<std::uint16_t>(kRunChunk | (runs << 2));
       // Extract maximal runs of set bits, merging across word boundaries.
       std::size_t run_start = 0;
@@ -197,8 +365,8 @@ void CompressedClosure::EncodeRow(NodeId u, const DynamicBitset& scratch,
             run_len += len;  // continues the previous word's trailing run
           } else {
             if (run_len > 0) {
-              u16_pool_.push_back(static_cast<std::uint16_t>(run_start));
-              u16_pool_.push_back(static_cast<std::uint16_t>(run_len));
+              u16_pool.push_back(static_cast<std::uint16_t>(run_start));
+              u16_pool.push_back(static_cast<std::uint16_t>(run_len));
               ++emitted;
             }
             run_start = start;
@@ -212,37 +380,36 @@ void CompressedClosure::EncodeRow(NodeId u, const DynamicBitset& scratch,
         }
       }
       if (run_len > 0) {
-        u16_pool_.push_back(static_cast<std::uint16_t>(run_start));
-        u16_pool_.push_back(static_cast<std::uint16_t>(run_len));
+        u16_pool.push_back(static_cast<std::uint16_t>(run_start));
+        u16_pool.push_back(static_cast<std::uint16_t>(run_len));
         ++emitted;
       }
       AIGS_DCHECK(emitted == runs);
     } else if (delta_cost <= dense_cost) {
-      AIGS_CHECK(u16_pool_.size() <= 0xFFFFFFFFu);
-      ref.payload = static_cast<std::uint32_t>(u16_pool_.size());
+      AIGS_CHECK(u16_pool.size() <= 0xFFFFFFFFu);
+      ref.payload = static_cast<std::uint32_t>(u16_pool.size());
       ref.meta = static_cast<std::uint16_t>(kDeltaChunk | (bits << 2));
       for (std::size_t w = 0; w < chunk_words.size(); ++w) {
         std::uint64_t word = chunk_words[w];
         while (word != 0) {
-          u16_pool_.push_back(static_cast<std::uint16_t>(
+          u16_pool.push_back(static_cast<std::uint16_t>(
               (w << 6) + static_cast<std::size_t>(std::countr_zero(word))));
           word &= word - 1;
         }
       }
     } else {
-      AIGS_CHECK(word_pool_.size() <= 0xFFFFFFFFu);
-      ref.payload = static_cast<std::uint32_t>(word_pool_.size());
+      AIGS_CHECK(word_pool.size() <= 0xFFFFFFFFu);
+      ref.payload = static_cast<std::uint32_t>(word_pool.size());
       ref.meta =
           static_cast<std::uint16_t>(kDenseChunk | (chunk_words.size() << 2));
-      word_pool_.insert(word_pool_.end(), chunk_words.begin(),
-                        chunk_words.end());
+      word_pool.insert(word_pool.end(), chunk_words.begin(), chunk_words.end());
     }
-    chunk_refs_.push_back(ref);
+    chunk_refs.push_back(ref);
   }
-  AIGS_CHECK(chunk_refs_.size() - first_ref <= 0xFFFFFFFFu);
-  rows_[u] = RowRef{static_cast<std::uint32_t>(first_ref),
-                    static_cast<std::uint32_t>(chunk_refs_.size() - first_ref),
-                    static_cast<std::uint32_t>(count)};
+  AIGS_CHECK(chunk_refs.size() - first_ref <= 0xFFFFFFFFu);
+  return RowRef{static_cast<std::uint32_t>(first_ref),
+                static_cast<std::uint32_t>(chunk_refs.size() - first_ref),
+                static_cast<std::uint32_t>(count)};
 }
 
 bool CompressedClosure::TestPos(NodeId u, std::size_t p) const {
@@ -468,31 +635,38 @@ void CompressedClosure::SubtractFrom(NodeId u, DynamicBitset& alive) const {
 
 void CompressedClosure::ExpandRowInto(NodeId u, DynamicBitset& out) const {
   AIGS_DCHECK(out.size() == n_);
-  const RowRef& row = rows_[u];
+  ExpandEncodedInto(rows_[u], chunk_refs_.data(), word_pool_.data(),
+                    u16_pool_.data(), out);
+}
+
+void CompressedClosure::ExpandEncodedInto(const RowRef& row,
+                                          const ChunkRef* refs,
+                                          const std::uint64_t* word_pool,
+                                          const std::uint16_t* u16_pool,
+                                          DynamicBitset& out) {
   if (row.extent & kIntervalFlag) {
     out.SetRange(row.first, row.first + (row.extent & ~kIntervalFlag));
     return;
   }
   for (std::uint32_t r = row.first; r < row.first + row.extent; ++r) {
-    const ChunkRef& ref = chunk_refs_[r];
+    const ChunkRef& ref = refs[r];
     const std::size_t base = static_cast<std::size_t>(ref.chunk) * kChunkBits;
     const std::uint16_t items = ChunkItems(ref);
     switch (ChunkKindOf(ref)) {
       case kDenseChunk:
         out.OrWordsAt(
             static_cast<std::size_t>(ref.chunk) * kChunkWords,
-            std::span<const std::uint64_t>(word_pool_.data() + ref.payload,
-                                           items));
+            std::span<const std::uint64_t>(word_pool + ref.payload, items));
         break;
       case kDeltaChunk:
         for (std::uint16_t i = 0; i < items; ++i) {
-          out.Set(base + u16_pool_[ref.payload + i]);
+          out.Set(base + u16_pool[ref.payload + i]);
         }
         break;
       case kRunChunk:
         for (std::uint16_t i = 0; i < items; ++i) {
-          const std::size_t start = base + u16_pool_[ref.payload + 2 * i];
-          out.SetRange(start, start + u16_pool_[ref.payload + 2 * i + 1]);
+          const std::size_t start = base + u16_pool[ref.payload + 2 * i];
+          out.SetRange(start, start + u16_pool[ref.payload + 2 * i + 1]);
         }
         break;
     }
@@ -566,6 +740,13 @@ CompressedClosure::Stats CompressedClosure::stats() const {
     }
   }
   return s;
+}
+
+bool CompressedClosure::IdenticalEncoding(const CompressedClosure& other) const {
+  return n_ == other.n_ && pos_ == other.pos_ &&
+         node_at_pos_ == other.node_at_pos_ && rows_ == other.rows_ &&
+         chunk_refs_ == other.chunk_refs_ && word_pool_ == other.word_pool_ &&
+         u16_pool_ == other.u16_pool_;
 }
 
 std::size_t CompressedClosure::MemoryBytes() const {

@@ -34,14 +34,35 @@
 
 namespace aigs {
 
+class ThreadPool;
+
 /// Chunked hybrid-encoded closure rows over a DFS-preorder position
-/// permutation. Build is streaming: one dense scratch row lives at a time,
-/// so peak construction memory is the compressed output plus O(n/8) bytes.
+/// permutation. The serial build is streaming: one dense scratch row lives
+/// at a time, so peak construction memory is the compressed output plus
+/// O(n/8) bytes. The parallel build levelizes the impure rows by dependency
+/// depth and shards each level across workers (one scratch row and one
+/// local chunk pool per shard), then concatenates the per-row encodings in
+/// reverse-topological order — exactly the serial append order, so the
+/// encoded bytes are IDENTICAL to the serial build's.
 class CompressedClosure {
  public:
+  /// Build concurrency. The default builds on every hardware thread via the
+  /// shared default pool.
+  struct BuildOptions {
+    /// Worker count: 0 = hardware concurrency, 1 = serial streaming build.
+    int threads = 0;
+    /// Caller-owned pool to shard on (overrides `threads`); lets an
+    /// evaluator building many datasets reuse one pool instead of
+    /// oversubscribing cores with nested ones. Must not be one of the
+    /// pool's own worker threads calling in.
+    ThreadPool* pool = nullptr;
+  };
+
   /// Builds compressed rows for every node of a finalized digraph whose
   /// root reaches all nodes.
-  explicit CompressedClosure(const Digraph& g);
+  explicit CompressedClosure(const Digraph& g)
+      : CompressedClosure(g, BuildOptions{}) {}
+  CompressedClosure(const Digraph& g, const BuildOptions& options);
 
   /// Test seam: encodes the given dense rows verbatim under the *identity*
   /// position mapping (pos(v) = v). Exercises the chunk codec without a
@@ -150,6 +171,12 @@ class CompressedClosure {
   /// against the dense n²/8 footprint.
   std::size_t MemoryBytes() const;
 
+  /// True iff the two indexes hold byte-identical encodings: same
+  /// permutation, row table, chunk refs, and payload pools. The
+  /// parallel-build tests and the kernels suite gate on this against a
+  /// serial build.
+  bool IdenticalEncoding(const CompressedClosure& other) const;
+
  private:
   // Chunk geometry: 4096 bits = 64 words per chunk; chunk indices fit u16.
   static constexpr std::size_t kChunkBits = 4096;
@@ -170,6 +197,7 @@ class CompressedClosure {
     std::uint32_t first = 0;
     std::uint32_t extent = 0;
     std::uint32_t count = 0;
+    bool operator==(const RowRef&) const = default;
   };
 
   // 8 bytes per non-empty chunk. meta packs kind (2 bits) | items (14 bits).
@@ -177,6 +205,7 @@ class CompressedClosure {
     std::uint32_t payload = 0;
     std::uint16_t chunk = 0;
     std::uint16_t meta = 0;
+    bool operator==(const ChunkRef&) const = default;
   };
 
   static ChunkKind ChunkKindOf(const ChunkRef& ref) {
@@ -186,12 +215,44 @@ class CompressedClosure {
     return static_cast<std::uint16_t>(ref.meta >> 2);
   }
 
-  void BuildFromGraph(const Digraph& g);
-  // Encodes the bits of `scratch` (position space) in [lo, hi] into
-  // rows_[u], choosing interval or per-chunk hybrid encodings. `count` is
-  // the number of set bits in the range.
-  void EncodeRow(NodeId u, const DynamicBitset& scratch, std::size_t lo,
-                 std::size_t hi, std::size_t count);
+  // Destination pools for one row's encoding: the members for the serial
+  // streaming build, or a per-row scratch triple during the parallel build
+  // (rebased into the members at assembly).
+  struct RowSink {
+    std::vector<ChunkRef>* refs;
+    std::vector<std::uint64_t>* words;
+    std::vector<std::uint16_t>* u16;
+  };
+  // A row encoded into detached pools, plus its build-time touched range —
+  // what the parallel build produces per impure row before assembly.
+  struct RowEncoding {
+    RowRef row;
+    std::vector<ChunkRef> refs;
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint16_t> u16;
+  };
+
+  void BuildFromGraph(const Digraph& g, const BuildOptions& options);
+  // The parallel level-sharded encode of the impure rows; `pure` marks rows
+  // already stored as intervals, `bounds` carries touched ranges across
+  // levels. Produces bytes identical to the serial streaming loop.
+  void BuildImpureRowsParallel(
+      const Digraph& g, const std::vector<bool>& pure,
+      std::vector<std::pair<std::uint32_t, std::uint32_t>>& bounds,
+      ThreadPool& pool, std::size_t workers);
+  // Encodes the bits of `scratch` (position space) in [lo, hi] into `sink`,
+  // choosing interval or per-chunk hybrid encodings. `count` is the number
+  // of set bits in the range. The returned RowRef's `first` indexes
+  // sink.refs AS OF THE CALL (so it is final when the sink is the member
+  // pools, and 0-based when the sink is a fresh per-row triple). Interval
+  // rows touch no pools.
+  RowRef EncodeRowTo(const RowSink& sink, const DynamicBitset& scratch,
+                     std::size_t lo, std::size_t hi, std::size_t count) const;
+  // Expands one encoded row (wherever its pools live) into `out`.
+  static void ExpandEncodedInto(const RowRef& row, const ChunkRef* refs,
+                                const std::uint64_t* word_pool,
+                                const std::uint16_t* u16_pool,
+                                DynamicBitset& out);
 
   std::size_t n_ = 0;
   std::size_t words_ = 0;  // words per full-width position-space row

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
+
+#include "util/thread_pool.h"
 
 namespace aigs {
 
@@ -21,7 +24,9 @@ ReachabilityIndex::ReachabilityIndex(const Digraph& g,
   }
   if (compressed) {
     storage_ = Storage::kCompressedClosure;
-    compressed_ = std::make_unique<CompressedClosure>(g);
+    compressed_ = std::make_unique<CompressedClosure>(
+        g, CompressedClosure::BuildOptions{options.build_threads,
+                                           options.build_pool});
     const std::size_t n = g.NumNodes();
     reach_count_.assign(n, 0);
     for (NodeId u = 0; u < n; ++u) {
@@ -29,7 +34,7 @@ ReachabilityIndex::ReachabilityIndex(const Digraph& g,
     }
   } else {
     storage_ = Storage::kDenseClosure;
-    BuildClosure();
+    BuildClosure(options);
   }
 }
 
@@ -64,7 +69,7 @@ void ReachabilityIndex::BuildEuler() {
   AIGS_CHECK(clock == n);
 }
 
-void ReachabilityIndex::BuildClosure() {
+void ReachabilityIndex::BuildClosure(const ReachabilityOptions& options) {
   const Digraph& g = *graph_;
   const std::size_t n = g.NumNodes();
   // Guard the n² size math before touching the allocator: a million-node
@@ -75,17 +80,92 @@ void ReachabilityIndex::BuildClosure() {
   closure_.resize(n);
   reach_count_.assign(n, 0);
 
-  // Reverse topological order: children first, then union into parents.
   const std::vector<NodeId>& topo = g.TopologicalOrder();
+
+  std::size_t workers = 1;
+  if (options.build_pool != nullptr) {
+    workers = options.build_pool->num_threads();
+  } else if (options.build_threads > 0) {
+    workers = static_cast<std::size_t>(options.build_threads);
+  } else {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Below a couple thousand rows the serial loop finishes in well under a
+  // millisecond; level barriers would dominate.
+  constexpr std::size_t kParallelMinNodes = 2048;
+
+  if (workers <= 1 || n < kParallelMinNodes) {
+    // Reverse topological order: children first, then union into parents.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId u = *it;
+      DynamicBitset& row = closure_[u];
+      row.Resize(n);
+      row.Set(u);
+      for (const NodeId c : g.Children(u)) {
+        row.OrWith(closure_[c]);
+      }
+      reach_count_[u] = row.Count();
+    }
+    return;
+  }
+
+  // Parallel build: rows grouped into dependency levels (level(u) =
+  // 1 + max level over children, leaves at 0); rows within a level have no
+  // edges between them, so they OR their children concurrently. OR is
+  // commutative word-wise, so the resulting rows are bit-identical to the
+  // serial build's.
+  std::vector<std::uint32_t> level(n, 0);
+  std::uint32_t num_levels = 1;
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId u = *it;
-    DynamicBitset& row = closure_[u];
-    row.Resize(n);
-    row.Set(u);
+    std::uint32_t lv = 0;
     for (const NodeId c : g.Children(u)) {
-      row.OrWith(closure_[c]);
+      lv = std::max(lv, level[c] + 1);
     }
-    reach_count_[u] = row.Count();
+    level[u] = lv;
+    num_levels = std::max(num_levels, lv + 1);
+  }
+  std::vector<std::uint32_t> level_begin(num_levels + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    ++level_begin[level[u] + 1];
+  }
+  for (std::uint32_t lv = 0; lv < num_levels; ++lv) {
+    level_begin[lv + 1] += level_begin[lv];
+  }
+  std::vector<NodeId> by_level(n);
+  {
+    std::vector<std::uint32_t> cursor(level_begin.begin(),
+                                      level_begin.end() - 1);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      by_level[cursor[level[*it]]++] = *it;
+    }
+  }
+
+  ThreadPool& pool =
+      options.build_pool != nullptr ? *options.build_pool : ThreadPool::Default();
+  const std::size_t shard_cap = std::min<std::size_t>(workers, 64);
+  for (std::uint32_t lv = 0; lv < num_levels; ++lv) {
+    const std::size_t begin = level_begin[lv];
+    const std::size_t len = level_begin[lv + 1] - begin;
+    if (len == 0) {
+      continue;
+    }
+    const std::size_t shards = std::min(shard_cap, len);
+    const std::size_t per_shard = (len + shards - 1) / shards;
+    pool.RunShards(shards, [&](std::size_t s) {
+      const std::size_t sb = begin + s * per_shard;
+      const std::size_t se = std::min(begin + len, sb + per_shard);
+      for (std::size_t i = sb; i < se; ++i) {
+        const NodeId u = by_level[i];
+        DynamicBitset& row = closure_[u];
+        row.Resize(n);
+        row.Set(u);
+        for (const NodeId c : g.Children(u)) {
+          row.OrWith(closure_[c]);
+        }
+        reach_count_[u] = row.Count();
+      }
+    });
   }
 }
 

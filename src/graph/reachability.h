@@ -28,6 +28,8 @@
 
 namespace aigs {
 
+class ThreadPool;
+
 /// Storage selection for ReachabilityIndex.
 struct ReachabilityOptions {
   enum class Closure {
@@ -46,6 +48,18 @@ struct ReachabilityOptions {
   /// n·⌈n/64⌉·8 bytes exceeds this (default 256 MB — every paper-scale
   /// dataset stays dense, million-node catalogs go compressed).
   std::size_t compress_threshold_bytes = std::size_t{256} << 20;
+
+  /// Closure build concurrency: 0 = hardware concurrency, 1 = serial.
+  /// Parallel builds levelize rows by dependency depth and shard each
+  /// level; the resulting index is bit-identical to a serial build (and,
+  /// for compressed storage, byte-identical in its encoded pools). Euler
+  /// (tree) builds are always serial — they are O(n) already.
+  int build_threads = 0;
+
+  /// Caller-owned pool to shard the closure build on (overrides
+  /// `build_threads`). Must not be one of the pool's own workers calling
+  /// in.
+  ThreadPool* build_pool = nullptr;
 };
 
 /// O(1) reachability oracle over a finalized Digraph.
@@ -162,7 +176,7 @@ class ReachabilityIndex {
 
  private:
   void BuildEuler();
-  void BuildClosure();
+  void BuildClosure(const ReachabilityOptions& options);
 
   const Digraph* graph_;
   Storage storage_;

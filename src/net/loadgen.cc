@@ -13,6 +13,7 @@
 #include "net/shard_router.h"
 #include "net/wire.h"
 #include "oracle/oracle.h"
+#include "util/percentile.h"
 #include "util/rng.h"
 
 namespace aigs::net {
@@ -39,17 +40,11 @@ struct Conn {
   Clock::time_point sent_at;
 };
 
-std::uint64_t NearestRankUs(std::vector<std::uint64_t>& sorted_ns,
+std::uint64_t NearestRankUs(const std::vector<std::uint64_t>& sorted_ns,
                             double quantile) {
-  if (sorted_ns.empty()) {
-    return 0;
-  }
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(quantile * static_cast<double>(sorted_ns.size())));
-  const std::size_t index = std::min(sorted_ns.size(), std::max<std::size_t>(
-                                                           rank, 1)) -
-                            1;
-  return sorted_ns[index] / 1000;
+  return NearestRankSorted(std::span<const std::uint64_t>(sorted_ns),
+                           quantile) /
+         1000;
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include "service/catalog_snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/policy_registry.h"
+#include "util/thread_pool.h"
 
 namespace aigs {
 namespace {
@@ -75,16 +77,47 @@ StatusOr<std::shared_ptr<const CatalogSnapshot>> CatalogSnapshot::Build(
   context.hierarchy = snapshot->config_.hierarchy.get();
   context.distribution = &snapshot->config_.distribution;
   context.cost_model = snapshot->config_.cost_model.get();
+
+  // Dedup in config order; duplicate specs build once.
+  std::vector<const std::string*> unique_specs;
   for (const std::string& spec : snapshot->config_.policy_specs) {
-    if (snapshot->policies_.count(spec) != 0) {
-      continue;  // duplicate spec in the config; one build suffices
+    const bool seen =
+        std::any_of(unique_specs.begin(), unique_specs.end(),
+                    [&spec](const std::string* s) { return *s == spec; });
+    if (!seen) {
+      unique_specs.push_back(&spec);
     }
-    auto policy = PolicyRegistry::Global().Create(spec, context);
-    if (!policy.ok()) {
-      return Status(policy.status().code(),
-                    "policy spec '" + spec + "': " + policy.status().message());
+  }
+
+  ThreadPool* pool = snapshot->config_.build_pool;
+  snapshot->config_.build_pool = nullptr;  // borrowed for Build() only
+  std::vector<StatusOr<std::unique_ptr<Policy>>> built;
+  built.reserve(unique_specs.size());
+  for (std::size_t i = 0; i < unique_specs.size(); ++i) {
+    built.emplace_back(Status::Internal("policy not built"));
+  }
+  if (pool != nullptr && unique_specs.size() > 1) {
+    // Each policy's O(n) base precomputation is independent of the others;
+    // one spec per shard. Registry Create is read-only on the registry and
+    // on the shared context.
+    pool->RunShards(unique_specs.size(), [&](std::size_t i) {
+      built[i] = PolicyRegistry::Global().Create(*unique_specs[i], context);
+    });
+  } else {
+    for (std::size_t i = 0; i < unique_specs.size(); ++i) {
+      built[i] = PolicyRegistry::Global().Create(*unique_specs[i], context);
     }
-    snapshot->policies_.emplace(spec, *std::move(policy));
+  }
+  // First failure in config order wins, matching the serial error surface.
+  for (std::size_t i = 0; i < unique_specs.size(); ++i) {
+    if (!built[i].ok()) {
+      return Status(built[i].status().code(), "policy spec '" +
+                                                  *unique_specs[i] + "': " +
+                                                  built[i].status().message());
+    }
+  }
+  for (std::size_t i = 0; i < unique_specs.size(); ++i) {
+    snapshot->policies_.emplace(*unique_specs[i], *std::move(built[i]));
   }
   return std::shared_ptr<const CatalogSnapshot>(std::move(snapshot));
 }

@@ -30,6 +30,8 @@
 
 namespace aigs {
 
+class ThreadPool;
+
 /// Everything needed to build a snapshot. `hierarchy` is required;
 /// `cost_model` only when a policy spec needs one (cost_sensitive).
 struct CatalogConfig {
@@ -41,6 +43,11 @@ struct CatalogConfig {
   /// construction would reintroduce the O(n) setup the snapshot exists to
   /// amortize.
   std::vector<std::string> policy_specs;
+  /// Optional pool to build the per-spec policies on concurrently (each
+  /// policy's O(n) base precomputation is independent). Borrowed for the
+  /// duration of Build() only; null builds serially. Engine::Publish fills
+  /// this with its own session pool when the caller left it null.
+  ThreadPool* build_pool = nullptr;
 };
 
 /// Wraps a borrowed hierarchy in a non-owning shared_ptr for CatalogConfig.

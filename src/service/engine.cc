@@ -468,6 +468,11 @@ StatusOr<std::shared_ptr<const CatalogSnapshot>> Engine::Publish(
   std::shared_ptr<PlanCache> cache;
   std::shared_ptr<const CatalogSnapshot> old_snapshot;
   std::shared_ptr<PlanCache> old_cache;
+  if (config.build_pool == nullptr) {
+    // Publish runs on a caller thread, never on a shared-pool worker, so
+    // sharding the per-spec policy builds on the default pool is safe.
+    config.build_pool = &ThreadPool::Default();
+  }
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     AIGS_ASSIGN_OR_RETURN(

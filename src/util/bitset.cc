@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/kernels.h"
+
 namespace aigs {
 
 BlockedWeights::BlockedWeights(const std::vector<Weight>& weights)
@@ -39,40 +41,31 @@ void DynamicBitset::SetAll() {
 
 void DynamicBitset::AndWith(const DynamicBitset& other) {
   AIGS_CHECK(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
+  kernels::Active().and_words(words_.data(), other.words_.data(),
+                              words_.size());
 }
 
 void DynamicBitset::OrWith(const DynamicBitset& other) {
   AIGS_CHECK(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  kernels::Active().or_words(words_.data(), other.words_.data(),
+                             words_.size());
 }
 
 void DynamicBitset::AndNotWith(const DynamicBitset& other) {
   AIGS_CHECK(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= ~other.words_[i];
-  }
+  kernels::Active().andnot_words(words_.data(), other.words_.data(),
+                                 words_.size());
 }
 
 std::size_t DynamicBitset::Count() const {
-  std::size_t total = 0;
-  for (const std::uint64_t word : words_) {
-    total += static_cast<std::size_t>(std::popcount(word));
-  }
-  return total;
+  return kernels::Active().popcount_words(words_.data(), words_.size());
 }
 
 std::size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
   AIGS_CHECK(size_ == other.size_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return kernels::Active().and_popcount_words(words_.data(),
+                                              other.words_.data(),
+                                              words_.size());
 }
 
 Weight DynamicBitset::MaskedWeightedSum(
@@ -108,62 +101,9 @@ DynamicBitset::CountAndWeight DynamicBitset::MaskedCountAndWeightedSum(
   return out;
 }
 
-namespace {
-
-/// Σ weights over the set bits of one intersection word, settled against the
-/// word's precomputed block sum. `valid` masks the bit positions that exist
-/// (the last word of a bitset may be partial); `word` never has bits outside
-/// `valid` set.
-inline Weight BlockedWordSum(std::uint64_t word, std::uint64_t valid,
-                             const Weight* weights, Weight block_sum) {
-  if (word == valid) {
-    return block_sum;
-  }
-  if (std::popcount(word) > 32) {
-    // Majority set: gather the complement and subtract.
-    Weight off = 0;
-    std::uint64_t inv = ~word & valid;
-    while (inv != 0) {
-      off += weights[std::countr_zero(inv)];
-      inv &= inv - 1;
-    }
-    return block_sum - off;
-  }
-  Weight on = 0;
-  while (word != 0) {
-    on += weights[std::countr_zero(word)];
-    word &= word - 1;
-  }
-  return on;
-}
-
-}  // namespace
-
 Weight DynamicBitset::MaskedWeightedSum(const DynamicBitset& mask,
                                         const BlockedWeights& weights) const {
-  AIGS_CHECK(size_ == mask.size_);
-  AIGS_DCHECK(weights.weights().size() == size_);
-  const Weight* values = weights.weights().data();
-  Weight total = 0;
-  // The partial tail word (if any) is settled after the loop so the hot
-  // loop needs no per-word valid-mask bookkeeping.
-  const std::size_t tail = (size_ & 63) != 0 ? words_.size() - 1 : words_.size();
-  for (std::size_t w = 0; w < tail; ++w) {
-    const std::uint64_t word = words_[w] & mask.words_[w];
-    if (word == 0) {
-      continue;
-    }
-    total += BlockedWordSum(word, ~std::uint64_t{0}, values + (w << 6),
-                            weights.BlockSum(w));
-  }
-  if (tail < words_.size()) {
-    const std::uint64_t word = words_[tail] & mask.words_[tail];
-    if (word != 0) {
-      total += BlockedWordSum(word, (std::uint64_t{1} << (size_ & 63)) - 1,
-                              values + (tail << 6), weights.BlockSum(tail));
-    }
-  }
-  return total;
+  return MaskedCountAndWeightedSum(mask, weights).weight;
 }
 
 DynamicBitset::CountAndWeight DynamicBitset::MaskedCountAndWeightedSum(
@@ -172,24 +112,22 @@ DynamicBitset::CountAndWeight DynamicBitset::MaskedCountAndWeightedSum(
   AIGS_DCHECK(weights.weights().size() == size_);
   const Weight* values = weights.weights().data();
   CountAndWeight out;
+  // The dispatched kernel covers the full words; the partial tail word (if
+  // any) is settled after, so the hot loop needs no per-word valid-mask
+  // bookkeeping.
   const std::size_t tail = (size_ & 63) != 0 ? words_.size() - 1 : words_.size();
-  for (std::size_t w = 0; w < tail; ++w) {
-    const std::uint64_t word = words_[w] & mask.words_[w];
-    if (word == 0) {
-      continue;
-    }
-    out.count += static_cast<std::size_t>(std::popcount(word));
-    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, values + (w << 6),
-                                 weights.BlockSum(w));
-  }
+  const kernels::CountAndWeight full = kernels::Active().masked_count_weight(
+      words_.data(), mask.words_.data(), tail, values,
+      weights.block_sums().data());
+  out.count = full.count;
+  out.weight = full.weight;
   if (tail < words_.size()) {
     const std::uint64_t word = words_[tail] & mask.words_[tail];
     if (word != 0) {
       out.count += static_cast<std::size_t>(std::popcount(word));
-      out.weight += BlockedWordSum(word,
-                                   (std::uint64_t{1} << (size_ & 63)) - 1,
-                                   values + (tail << 6),
-                                   weights.BlockSum(tail));
+      out.weight += kernels::BlockedWordSum(
+          word, (std::uint64_t{1} << (size_ & 63)) - 1, values + (tail << 6),
+          weights.BlockSum(tail));
     }
   }
   return out;
@@ -266,28 +204,22 @@ void DynamicBitset::SetRange(std::size_t begin, std::size_t end) {
 void DynamicBitset::AndWordsAt(std::size_t word_offset,
                                std::span<const std::uint64_t> mask) {
   AIGS_DCHECK(word_offset + mask.size() <= words_.size());
-  std::uint64_t* out = words_.data() + word_offset;
-  for (std::size_t i = 0; i < mask.size(); ++i) {
-    out[i] &= mask[i];
-  }
+  kernels::Active().and_words(words_.data() + word_offset, mask.data(),
+                              mask.size());
 }
 
 void DynamicBitset::AndNotWordsAt(std::size_t word_offset,
                                   std::span<const std::uint64_t> mask) {
   AIGS_DCHECK(word_offset + mask.size() <= words_.size());
-  std::uint64_t* out = words_.data() + word_offset;
-  for (std::size_t i = 0; i < mask.size(); ++i) {
-    out[i] &= ~mask[i];
-  }
+  kernels::Active().andnot_words(words_.data() + word_offset, mask.data(),
+                                 mask.size());
 }
 
 void DynamicBitset::OrWordsAt(std::size_t word_offset,
                               std::span<const std::uint64_t> mask) {
   AIGS_DCHECK(word_offset + mask.size() <= words_.size());
-  std::uint64_t* out = words_.data() + word_offset;
-  for (std::size_t i = 0; i < mask.size(); ++i) {
-    out[i] |= mask[i];
-  }
+  kernels::Active().or_words(words_.data() + word_offset, mask.data(),
+                             mask.size());
 }
 
 DynamicBitset::CountAndWeight DynamicBitset::RangeCountAndWeightedSum(
@@ -301,24 +233,25 @@ DynamicBitset::CountAndWeight DynamicBitset::RangeCountAndWeightedSum(
   const Weight* values = weights.weights().data();
   const std::size_t first_word = begin >> 6;
   const std::size_t last_word = (end - 1) >> 6;
-  for (std::size_t w = first_word; w <= last_word; ++w) {
+  // Settles one boundary word. `valid` = the bit positions whose weights the
+  // block sum covers. The block sum settles a word only when the range
+  // covers all of them; true boundary words gather per bit inside
+  // BlockedWordSum's sparse branch (their intersection word is never equal
+  // to `valid`).
+  const auto boundary = [&](std::size_t w) {
     const std::uint64_t range_mask = RangeMaskForWord(w, begin, end);
     const std::uint64_t word = words_[w] & range_mask;
     if (word == 0) {
-      continue;
+      return;
     }
     out.count += static_cast<std::size_t>(std::popcount(word));
-    // `valid` = the bit positions whose weights the block sum covers. The
-    // block sum settles a word only when the range covers all of them;
-    // boundary words gather per bit inside BlockedWordSum's sparse branch
-    // (their intersection word is never equal to `valid`).
     const std::uint64_t valid =
         (w == words_.size() - 1 && (size_ & 63) != 0)
             ? (std::uint64_t{1} << (size_ & 63)) - 1
             : ~std::uint64_t{0};
     if (range_mask == valid) {
-      out.weight +=
-          BlockedWordSum(word, valid, values + (w << 6), weights.BlockSum(w));
+      out.weight += kernels::BlockedWordSum(word, valid, values + (w << 6),
+                                            weights.BlockSum(w));
     } else {
       std::uint64_t bits = word;
       while (bits != 0) {
@@ -326,6 +259,29 @@ DynamicBitset::CountAndWeight DynamicBitset::RangeCountAndWeightedSum(
         bits &= bits - 1;
       }
     }
+  };
+  // Words fully covered by the range are also fully valid (a full 64-bit
+  // span inside [0, size) can't be the partial tail word), so they run
+  // through the dispatched kernel; at most one word on each side is a true
+  // boundary.
+  const std::size_t ib = (begin + 63) >> 6;  // first word fully inside
+  const std::size_t ie = end >> 6;           // one past the last full word
+  if (ib >= ie) {
+    for (std::size_t w = first_word; w <= last_word; ++w) {
+      boundary(w);
+    }
+    return out;
+  }
+  for (std::size_t w = first_word; w < ib; ++w) {
+    boundary(w);
+  }
+  const kernels::CountAndWeight interior = kernels::Active().count_weight(
+      words_.data() + ib, ie - ib, values + (ib << 6),
+      weights.block_sums().data() + ib);
+  out.count += interior.count;
+  out.weight += interior.weight;
+  for (std::size_t w = ie; w <= last_word; ++w) {
+    boundary(w);
   }
   return out;
 }
@@ -336,20 +292,26 @@ DynamicBitset::CountAndWeight DynamicBitset::MaskedWordsCountAndWeightedSum(
   AIGS_DCHECK(word_offset + mask.size() <= words_.size());
   AIGS_DCHECK(weights.weights().size() == size_);
   const Weight* values = weights.weights().data();
-  CountAndWeight out;
-  for (std::size_t i = 0; i < mask.size(); ++i) {
-    const std::size_t w = word_offset + i;
-    const std::uint64_t word = words_[w] & mask[i];
-    if (word == 0) {
-      continue;
+  // Only the bitset's final partial word (when the window reaches it) needs
+  // a valid mask; everything before runs through the dispatched kernel.
+  std::size_t full = mask.size();
+  if (!mask.empty() && (size_ & 63) != 0 &&
+      word_offset + mask.size() == words_.size()) {
+    full = mask.size() - 1;
+  }
+  const kernels::CountAndWeight head = kernels::Active().masked_count_weight(
+      words_.data() + word_offset, mask.data(), full,
+      values + (word_offset << 6), weights.block_sums().data() + word_offset);
+  CountAndWeight out{head.count, head.weight};
+  if (full < mask.size()) {
+    const std::size_t w = word_offset + full;
+    const std::uint64_t word = words_[w] & mask[full];
+    if (word != 0) {
+      out.count += static_cast<std::size_t>(std::popcount(word));
+      out.weight += kernels::BlockedWordSum(
+          word, (std::uint64_t{1} << (size_ & 63)) - 1, values + (w << 6),
+          weights.BlockSum(w));
     }
-    const std::uint64_t valid =
-        (w == words_.size() - 1 && (size_ & 63) != 0)
-            ? (std::uint64_t{1} << (size_ & 63)) - 1
-            : ~std::uint64_t{0};
-    out.count += static_cast<std::size_t>(std::popcount(word));
-    out.weight +=
-        BlockedWordSum(word, valid, values + (w << 6), weights.BlockSum(w));
   }
   return out;
 }

@@ -31,6 +31,10 @@ class BlockedWeights {
   Weight BlockSum(std::size_t word) const { return block_sums_[word]; }
   std::size_t num_blocks() const { return block_sums_.size(); }
 
+  /// Contiguous block sums, one per word — the kernels layer consumes them
+  /// directly (util/kernels.h).
+  std::span<const Weight> block_sums() const { return block_sums_; }
+
  private:
   const std::vector<Weight>* weights_ = nullptr;
   std::vector<Weight> block_sums_;

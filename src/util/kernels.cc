@@ -1,0 +1,728 @@
+#include "util/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/common.h"
+
+// Every implementation is compiled into the binary via per-function target
+// attributes (the translation unit itself stays at the default arch), and
+// CPUID picks at runtime — so a binary built on a plain x86-64 box still
+// runs the AVX-512 path on capable hardware, and never faults on old
+// hardware.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define AIGS_KERNELS_X86 1
+#include <immintrin.h>
+// GCC's AVX-512 intrinsic wrappers pass _mm512_undefined_epi32() /
+// _mm256_undefined_si256() as the ignored merge source of masked builtins,
+// which -W(maybe-)uninitialized flags at -O2+ (GCC bug 105593). The values
+// never reach a result; silence the false positive for this file.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#else
+#define AIGS_KERNELS_X86 0
+#endif
+
+namespace aigs::kernels {
+namespace {
+
+// ---- scalar reference ------------------------------------------------------
+
+void AndWordsScalar(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] &= src[i];
+  }
+}
+
+void AndNotWordsScalar(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] &= ~src[i];
+  }
+}
+
+void OrWordsScalar(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+std::size_t PopcountWordsScalar(const std::uint64_t* words, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+std::size_t AndPopcountWordsScalar(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+CountAndWeight MaskedCountWeightScalar(const std::uint64_t* a,
+                                       const std::uint64_t* b, std::size_t n,
+                                       const Weight* weights,
+                                       const Weight* block_sums) {
+  CountAndWeight out;
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t word = a[w] & b[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, weights + (w << 6),
+                                 block_sums[w]);
+  }
+  return out;
+}
+
+CountAndWeight CountWeightScalar(const std::uint64_t* words, std::size_t n,
+                                 const Weight* weights,
+                                 const Weight* block_sums) {
+  CountAndWeight out;
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t word = words[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, weights + (w << 6),
+                                 block_sums[w]);
+  }
+  return out;
+}
+
+constexpr Ops kScalarOps = {
+    Mode::kScalar,       "scalar",
+    AndWordsScalar,      AndNotWordsScalar,      OrWordsScalar,
+    PopcountWordsScalar, AndPopcountWordsScalar, MaskedCountWeightScalar,
+    CountWeightScalar,
+};
+
+#if AIGS_KERNELS_X86
+
+// ---- AVX2 ------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline std::uint64_t HSum256(__m256i v) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+// Per-64-bit-lane popcounts via the classic nibble-LUT pshufb + psadbw.
+__attribute__((target("avx2"))) inline __m256i PopcntEpi64(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) void AndWordsAvx2(std::uint64_t* dst,
+                                                  const std::uint64_t* src,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(d, s));
+  }
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+  }
+}
+
+__attribute__((target("avx2"))) void AndNotWordsAvx2(std::uint64_t* dst,
+                                                     const std::uint64_t* src,
+                                                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // andnot(a, b) = ~a & b.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(s, d));
+  }
+  for (; i < n; ++i) {
+    dst[i] &= ~src[i];
+  }
+}
+
+__attribute__((target("avx2"))) void OrWordsAvx2(std::uint64_t* dst,
+                                                 const std::uint64_t* src,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+__attribute__((target("avx2"))) std::size_t PopcountWordsAvx2(
+    const std::uint64_t* words, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, PopcntEpi64(_mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(words + i))));
+  }
+  std::size_t total = HSum256(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) std::size_t AndPopcountWordsAvx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, PopcntEpi64(_mm256_and_si256(va, vb)));
+  }
+  std::size_t total = HSum256(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+// Weight sum over the set bits of one mixed word, vectorized: each nibble
+// of the word selects lanes of a 4-weight group via compare-against-bit
+// masks, so the whole 64-weight block is swept in 16 independent masked
+// adds instead of a popcount-long dependent scalar chain. Only worth it
+// when the word is genuinely mixed — BlockedWordSum's bit loop (or its
+// complement trick) wins on near-empty and near-full words.
+__attribute__((target("avx2"))) inline __m256i WordWeightSum256(
+    std::uint64_t word, const Weight* wp) {
+  const __m256i bitsel = _mm256_setr_epi64x(1, 2, 4, 8);
+  // Two accumulators halve the add dependency chain.
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  for (int j = 0; j < 16; j += 2) {
+    const __m256i nib0 = _mm256_set1_epi64x(
+        static_cast<long long>((word >> (4 * j)) & 0xF));
+    const __m256i nib1 = _mm256_set1_epi64x(
+        static_cast<long long>((word >> (4 * (j + 1))) & 0xF));
+    const __m256i m0 = _mm256_cmpeq_epi64(_mm256_and_si256(nib0, bitsel),
+                                          bitsel);
+    const __m256i m1 = _mm256_cmpeq_epi64(_mm256_and_si256(nib1, bitsel),
+                                          bitsel);
+    acc0 = _mm256_add_epi64(
+        acc0, _mm256_and_si256(
+                  m0, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(wp + 4 * j))));
+    acc1 = _mm256_add_epi64(
+        acc1,
+        _mm256_and_si256(
+            m1, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(wp + 4 * (j + 1)))));
+  }
+  return _mm256_add_epi64(acc0, acc1);
+}
+
+// True when the vectorized 64-weight sweep beats BlockedWordSum's
+// min(popcount, 64-popcount)-iteration scalar loop for this word.
+inline bool MixedWordWide(std::uint64_t word) {
+  const int pc = std::popcount(word);
+  return pc >= 8 && pc <= 56;
+}
+
+// The fused kernel's vector fast paths: a 4-word group that intersects to
+// zero costs one testz; a group of four fully-set words settles with one
+// vector add of the block sums. Mixed words take the vectorized
+// 64-weight sweep when dense enough, the shared BlockedWordSum otherwise.
+// Weight is uint64_t, so splitting the sum across vector lanes + a scalar
+// accumulator cannot change the result.
+__attribute__((target("avx2"))) CountAndWeight MaskedCountWeightAvx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+    const Weight* weights, const Weight* block_sums) {
+  CountAndWeight out;
+  __m256i cacc = _mm256_setzero_si256();
+  __m256i wacc = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i v = _mm256_and_si256(va, vb);
+    if (_mm256_testz_si256(v, v)) {
+      continue;
+    }
+    cacc = _mm256_add_epi64(cacc, PopcntEpi64(v));
+    if (_mm256_testc_si256(v, ones)) {
+      wacc = _mm256_add_epi64(
+          wacc, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(block_sums + w)));
+      continue;
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (lanes[k] == 0) {
+        continue;
+      }
+      if (MixedWordWide(lanes[k])) {
+        wacc = _mm256_add_epi64(
+            wacc, WordWeightSum256(lanes[k], weights + ((w + k) << 6)));
+      } else {
+        out.weight += BlockedWordSum(lanes[k], ~std::uint64_t{0},
+                                     weights + ((w + k) << 6),
+                                     block_sums[w + k]);
+      }
+    }
+  }
+  out.count += HSum256(cacc);
+  out.weight += HSum256(wacc);
+  for (; w < n; ++w) {
+    const std::uint64_t word = a[w] & b[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, weights + (w << 6),
+                                 block_sums[w]);
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) CountAndWeight CountWeightAvx2(
+    const std::uint64_t* words, std::size_t n, const Weight* weights,
+    const Weight* block_sums) {
+  CountAndWeight out;
+  __m256i cacc = _mm256_setzero_si256();
+  __m256i wacc = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    if (_mm256_testz_si256(v, v)) {
+      continue;
+    }
+    cacc = _mm256_add_epi64(cacc, PopcntEpi64(v));
+    if (_mm256_testc_si256(v, ones)) {
+      wacc = _mm256_add_epi64(
+          wacc, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(block_sums + w)));
+      continue;
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (lanes[k] == 0) {
+        continue;
+      }
+      if (MixedWordWide(lanes[k])) {
+        wacc = _mm256_add_epi64(
+            wacc, WordWeightSum256(lanes[k], weights + ((w + k) << 6)));
+      } else {
+        out.weight += BlockedWordSum(lanes[k], ~std::uint64_t{0},
+                                     weights + ((w + k) << 6),
+                                     block_sums[w + k]);
+      }
+    }
+  }
+  out.count += HSum256(cacc);
+  out.weight += HSum256(wacc);
+  for (; w < n; ++w) {
+    const std::uint64_t word = words[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, weights + (w << 6),
+                                 block_sums[w]);
+  }
+  return out;
+}
+
+constexpr Ops kAvx2Ops = {
+    Mode::kAvx2,       "avx2",
+    AndWordsAvx2,      AndNotWordsAvx2,      OrWordsAvx2,
+    PopcountWordsAvx2, AndPopcountWordsAvx2, MaskedCountWeightAvx2,
+    CountWeightAvx2,
+};
+
+// ---- AVX-512 ---------------------------------------------------------------
+// Requires avx512f + avx512vpopcntdq (Ice Lake / Zen 4 and newer) — the
+// native per-lane popcount is the whole point; without it the AVX2 table
+// wins anyway.
+
+#define AIGS_T512 __attribute__((target("avx512f,avx512vpopcntdq")))
+
+// Manual horizontal sum: _mm512_reduce_add_epi64 trips GCC 12's
+// -Werror=uninitialized through _mm256_undefined_si256 in its expansion.
+AIGS_T512 inline std::uint64_t HSum512(__m512i v) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+AIGS_T512 void AndWordsAvx512(std::uint64_t* dst, const std::uint64_t* src,
+                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(d, s));
+  }
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+  }
+}
+
+AIGS_T512 void AndNotWordsAvx512(std::uint64_t* dst, const std::uint64_t* src,
+                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_andnot_si512(s, d));
+  }
+  for (; i < n; ++i) {
+    dst[i] &= ~src[i];
+  }
+}
+
+AIGS_T512 void OrWordsAvx512(std::uint64_t* dst, const std::uint64_t* src,
+                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+  }
+  for (; i < n; ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+AIGS_T512 std::size_t PopcountWordsAvx512(const std::uint64_t* words,
+                                          std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_loadu_si512(words + i)));
+  }
+  std::size_t total = HSum512(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+AIGS_T512 std::size_t AndPopcountWordsAvx512(const std::uint64_t* a,
+                                             const std::uint64_t* b,
+                                             std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::size_t total = HSum512(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+// Weight sum over the set bits of one mixed word: each byte of the word is
+// a lane mask for one 8-weight group, so the 64-weight block is swept in 8
+// independent masked adds — constant cost where the scalar bit loop pays
+// one dependent iteration per set bit.
+AIGS_T512 inline __m512i WordWeightSum512(std::uint64_t word,
+                                          const Weight* wp) {
+  // Two accumulators halve the masked-add dependency chain.
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  for (int j = 0; j < 8; j += 2) {
+    const __mmask8 m0 = static_cast<__mmask8>(word >> (8 * j));
+    const __mmask8 m1 = static_cast<__mmask8>(word >> (8 * (j + 1)));
+    acc0 =
+        _mm512_mask_add_epi64(acc0, m0, acc0, _mm512_loadu_si512(wp + 8 * j));
+    acc1 = _mm512_mask_add_epi64(acc1, m1, acc1,
+                                 _mm512_loadu_si512(wp + 8 * (j + 1)));
+  }
+  return _mm512_add_epi64(acc0, acc1);
+}
+
+AIGS_T512 CountAndWeight MaskedCountWeightAvx512(const std::uint64_t* a,
+                                                 const std::uint64_t* b,
+                                                 std::size_t n,
+                                                 const Weight* weights,
+                                                 const Weight* block_sums) {
+  CountAndWeight out;
+  __m512i cacc = _mm512_setzero_si512();
+  __m512i wacc = _mm512_setzero_si512();
+  const __m512i ones = _mm512_set1_epi64(-1);
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + w), _mm512_loadu_si512(b + w));
+    const __mmask8 nz = _mm512_test_epi64_mask(v, v);
+    if (nz == 0) {
+      continue;
+    }
+    cacc = _mm512_add_epi64(cacc, _mm512_popcnt_epi64(v));
+    const __mmask8 dense = _mm512_cmpeq_epi64_mask(v, ones);
+    wacc = _mm512_mask_add_epi64(wacc, dense, wacc,
+                                 _mm512_loadu_si512(block_sums + w));
+    std::uint32_t mixed = static_cast<std::uint32_t>(nz & ~dense) & 0xFFu;
+    if (mixed != 0) {
+      alignas(64) std::uint64_t lanes[8];
+      _mm512_store_si512(lanes, v);
+      while (mixed != 0) {
+        const std::uint32_t k =
+            static_cast<std::uint32_t>(std::countr_zero(mixed));
+        if (MixedWordWide(lanes[k])) {
+          wacc = _mm512_add_epi64(
+              wacc, WordWeightSum512(lanes[k], weights + ((w + k) << 6)));
+        } else {
+          out.weight += BlockedWordSum(lanes[k], ~std::uint64_t{0},
+                                       weights + ((w + k) << 6),
+                                       block_sums[w + k]);
+        }
+        mixed &= mixed - 1;
+      }
+    }
+  }
+  out.count += HSum512(cacc);
+  out.weight += HSum512(wacc);
+  for (; w < n; ++w) {
+    const std::uint64_t word = a[w] & b[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, weights + (w << 6),
+                                 block_sums[w]);
+  }
+  return out;
+}
+
+AIGS_T512 CountAndWeight CountWeightAvx512(const std::uint64_t* words,
+                                           std::size_t n,
+                                           const Weight* weights,
+                                           const Weight* block_sums) {
+  CountAndWeight out;
+  __m512i cacc = _mm512_setzero_si512();
+  __m512i wacc = _mm512_setzero_si512();
+  const __m512i ones = _mm512_set1_epi64(-1);
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    const __m512i v = _mm512_loadu_si512(words + w);
+    const __mmask8 nz = _mm512_test_epi64_mask(v, v);
+    if (nz == 0) {
+      continue;
+    }
+    cacc = _mm512_add_epi64(cacc, _mm512_popcnt_epi64(v));
+    const __mmask8 dense = _mm512_cmpeq_epi64_mask(v, ones);
+    wacc = _mm512_mask_add_epi64(wacc, dense, wacc,
+                                 _mm512_loadu_si512(block_sums + w));
+    std::uint32_t mixed = static_cast<std::uint32_t>(nz & ~dense) & 0xFFu;
+    if (mixed != 0) {
+      alignas(64) std::uint64_t lanes[8];
+      _mm512_store_si512(lanes, v);
+      while (mixed != 0) {
+        const std::uint32_t k =
+            static_cast<std::uint32_t>(std::countr_zero(mixed));
+        if (MixedWordWide(lanes[k])) {
+          wacc = _mm512_add_epi64(
+              wacc, WordWeightSum512(lanes[k], weights + ((w + k) << 6)));
+        } else {
+          out.weight += BlockedWordSum(lanes[k], ~std::uint64_t{0},
+                                       weights + ((w + k) << 6),
+                                       block_sums[w + k]);
+        }
+        mixed &= mixed - 1;
+      }
+    }
+  }
+  out.count += HSum512(cacc);
+  out.weight += HSum512(wacc);
+  for (; w < n; ++w) {
+    const std::uint64_t word = words[w];
+    if (word == 0) {
+      continue;
+    }
+    out.count += static_cast<std::size_t>(std::popcount(word));
+    out.weight += BlockedWordSum(word, ~std::uint64_t{0}, weights + (w << 6),
+                                 block_sums[w]);
+  }
+  return out;
+}
+
+#undef AIGS_T512
+
+constexpr Ops kAvx512Ops = {
+    Mode::kAvx512,       "avx512",
+    AndWordsAvx512,      AndNotWordsAvx512,      OrWordsAvx512,
+    PopcountWordsAvx512, AndPopcountWordsAvx512, MaskedCountWeightAvx512,
+    CountWeightAvx512,
+};
+
+#endif  // AIGS_KERNELS_X86
+
+// ---- dispatch --------------------------------------------------------------
+
+const Ops& ResolveDefault() {
+  Mode mode = Mode::kAuto;
+  if (const char* env = std::getenv("AIGS_KERNELS")) {
+    if (!ParseMode(env, &mode)) {
+      std::fprintf(stderr,
+                   "aigs: AIGS_KERNELS='%s' is not scalar|avx2|avx512|auto; "
+                   "using auto\n",
+                   env);
+      mode = Mode::kAuto;
+    } else if (mode != Mode::kAuto && !CpuSupports(mode)) {
+      std::fprintf(stderr,
+                   "aigs: AIGS_KERNELS=%s not supported by this CPU; "
+                   "using %s\n",
+                   ModeName(mode), ModeName(BestSupported()));
+      mode = Mode::kAuto;
+    }
+  }
+  return OpsFor(mode);
+}
+
+std::atomic<const Ops*> g_active{nullptr};
+
+}  // namespace
+
+bool CpuSupports(Mode mode) {
+  switch (mode) {
+    case Mode::kScalar:
+    case Mode::kAuto:
+      return true;
+#if AIGS_KERNELS_X86
+    case Mode::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Mode::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+    case Mode::kAvx2:
+    case Mode::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+Mode BestSupported() {
+  if (CpuSupports(Mode::kAvx512)) {
+    return Mode::kAvx512;
+  }
+  if (CpuSupports(Mode::kAvx2)) {
+    return Mode::kAvx2;
+  }
+  return Mode::kScalar;
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kScalar:
+      return "scalar";
+    case Mode::kAvx2:
+      return "avx2";
+    case Mode::kAvx512:
+      return "avx512";
+    case Mode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool ParseMode(std::string_view text, Mode* out) {
+  if (text == "scalar") {
+    *out = Mode::kScalar;
+  } else if (text == "avx2") {
+    *out = Mode::kAvx2;
+  } else if (text == "avx512") {
+    *out = Mode::kAvx512;
+  } else if (text == "auto") {
+    *out = Mode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const Ops& OpsFor(Mode mode) {
+  if (mode == Mode::kAuto) {
+    mode = BestSupported();
+  }
+  AIGS_CHECK(CpuSupports(mode));
+  switch (mode) {
+#if AIGS_KERNELS_X86
+    case Mode::kAvx2:
+      return kAvx2Ops;
+    case Mode::kAvx512:
+      return kAvx512Ops;
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+const Ops& Active() {
+  const Ops* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    ops = &ResolveDefault();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+Mode ActiveMode() { return Active().mode; }
+
+void SetMode(Mode mode) {
+  if (mode == Mode::kAuto) {
+    g_active.store(&ResolveDefault(), std::memory_order_release);
+    return;
+  }
+  AIGS_CHECK(CpuSupports(mode));
+  g_active.store(&OpsFor(mode), std::memory_order_release);
+}
+
+}  // namespace aigs::kernels

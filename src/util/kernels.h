@@ -1,0 +1,138 @@
+// Runtime-dispatched SIMD kernels for the word-parallel primitives every
+// Ask bottoms out in: AND/ANDNOT/OR over word spans, popcount, and the fused
+// masked count-and-weighted-sum behind SplitWeightIndex closure mode.
+//
+// One implementation table per instruction set (scalar, AVX2, AVX-512) is
+// compiled into every binary via per-function target attributes; the active
+// table is picked once per process from CPUID, overridable by the
+// AIGS_KERNELS environment variable or SetMode(). All implementations are
+// BIT-IDENTICAL: Weight is uint64_t, so summation order is irrelevant
+// (wraparound addition is associative), and counts are exact — pinning
+// AIGS_KERNELS=scalar must reproduce every transcript and cost aggregate
+// byte for byte.
+//
+// Kernels operate on FULL 64-bit words only; callers settle a bitset's
+// partial tail word themselves (see util/bitset.cc), which keeps the hot
+// loops free of per-word valid-mask bookkeeping.
+#ifndef AIGS_UTIL_KERNELS_H_
+#define AIGS_UTIL_KERNELS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/common.h"
+
+namespace aigs::kernels {
+
+/// Instruction-set selection. kAuto resolves to the best CPU-supported set.
+enum class Mode {
+  kScalar,
+  kAvx2,
+  kAvx512,
+  kAuto,
+};
+
+/// Fused result of a count + weighted-sum kernel.
+struct CountAndWeight {
+  std::size_t count = 0;
+  Weight weight = 0;
+};
+
+/// One implementation table. All spans are `n` full 64-bit words; `weights`
+/// has 64 entries per word and `block_sums` one per word (see
+/// BlockedWeights in util/bitset.h).
+struct Ops {
+  Mode mode;
+  const char* name;
+
+  /// dst[i] &= src[i].
+  void (*and_words)(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n);
+  /// dst[i] &= ~src[i].
+  void (*andnot_words)(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t n);
+  /// dst[i] |= src[i].
+  void (*or_words)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+  /// Σ popcount(words[i]).
+  std::size_t (*popcount_words)(const std::uint64_t* words, std::size_t n);
+  /// Σ popcount(a[i] & b[i]).
+  std::size_t (*and_popcount_words)(const std::uint64_t* a,
+                                    const std::uint64_t* b, std::size_t n);
+  /// |a & b| and Σ weights over the set bits of (a & b), with fully-set
+  /// intersection words settled against `block_sums` in one add.
+  CountAndWeight (*masked_count_weight)(const std::uint64_t* a,
+                                        const std::uint64_t* b, std::size_t n,
+                                        const Weight* weights,
+                                        const Weight* block_sums);
+  /// Single-operand variant: |words| and Σ weights over its set bits — the
+  /// interior-word kernel of RangeCountAndWeightedSum.
+  CountAndWeight (*count_weight)(const std::uint64_t* words, std::size_t n,
+                                 const Weight* weights,
+                                 const Weight* block_sums);
+};
+
+/// Σ weights over the set bits of one intersection word, settled against the
+/// word's precomputed block sum. `valid` masks the bit positions that exist
+/// (the last word of a bitset may be partial); `word` never has bits outside
+/// `valid` set. Shared by every implementation (it IS the scalar reference
+/// for mixed words), and by util/bitset.cc for boundary/tail words.
+inline Weight BlockedWordSum(std::uint64_t word, std::uint64_t valid,
+                             const Weight* weights, Weight block_sum) {
+  if (word == valid) {
+    return block_sum;
+  }
+  if (std::popcount(word) > 32) {
+    // Majority set: gather the complement and subtract.
+    Weight off = 0;
+    std::uint64_t inv = ~word & valid;
+    while (inv != 0) {
+      off += weights[std::countr_zero(inv)];
+      inv &= inv - 1;
+    }
+    return block_sum - off;
+  }
+  Weight on = 0;
+  while (word != 0) {
+    on += weights[std::countr_zero(word)];
+    word &= word - 1;
+  }
+  return on;
+}
+
+/// True when the running CPU can execute `mode` (kScalar/kAuto: always).
+bool CpuSupports(Mode mode);
+
+/// The best CPU-supported mode (kAvx512 ≥ kAvx2 ≥ kScalar).
+Mode BestSupported();
+
+/// "scalar" / "avx2" / "avx512" / "auto".
+const char* ModeName(Mode mode);
+
+/// Parses "scalar|avx2|avx512|auto" (the AIGS_KERNELS grammar). Returns
+/// false on anything else.
+bool ParseMode(std::string_view text, Mode* out);
+
+/// Implementation table for an explicit mode (kAuto → BestSupported()).
+/// The mode must be CPU-supported — test seam for comparing implementations
+/// side by side without flipping the process-wide pin.
+const Ops& OpsFor(Mode mode);
+
+/// The process-wide active table. First use resolves AIGS_KERNELS
+/// (unset/invalid → auto; a set mode the CPU lacks falls back to the best
+/// supported one); SetMode() overrides later.
+const Ops& Active();
+
+/// Mode of the active table (never kAuto).
+Mode ActiveMode();
+
+/// Re-pins the process-wide table. kAuto restores the env/CPU default.
+/// Not synchronized against concurrent kernel calls — pin at startup or in
+/// single-threaded test sections.
+void SetMode(Mode mode);
+
+}  // namespace aigs::kernels
+
+#endif  // AIGS_UTIL_KERNELS_H_

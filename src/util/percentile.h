@@ -1,0 +1,41 @@
+// Nearest-rank percentile, shared by the loadgen latency report and the
+// bench suites' wall-time rows.
+//
+// Semantics (the classic nearest-rank definition): for a quantile q over n
+// samples, rank = clamp(⌈q·n⌉, 1, n) and the result is the rank-th smallest
+// sample — always an actual sample, never an interpolation, so p50/p99 rows
+// are reproducible integers when the inputs are.
+#ifndef AIGS_UTIL_PERCENTILE_H_
+#define AIGS_UTIL_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aigs {
+
+/// Nearest-rank quantile of an ascending-sorted sample span. Returns T{}
+/// when empty.
+template <typename T>
+T NearestRankSorted(std::span<const T> sorted, double quantile) {
+  if (sorted.empty()) {
+    return T{};
+  }
+  const double scaled = quantile * static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(scaled));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+/// Nearest-rank quantile of an unsorted sample set (sorts a copy).
+template <typename T>
+T NearestRank(std::vector<T> samples, double quantile) {
+  std::sort(samples.begin(), samples.end());
+  return NearestRankSorted(std::span<const T>(samples), quantile);
+}
+
+}  // namespace aigs
+
+#endif  // AIGS_UTIL_PERCENTILE_H_

@@ -62,6 +62,33 @@ void ThreadPool::ParallelFor(std::size_t n,
   Wait();
 }
 
+void ThreadPool::RunShards(std::size_t shards,
+                           const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) {
+    return;
+  }
+  if (shards == 1) {
+    fn(0);
+    return;
+  }
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    Submit([&, s] {
+      fn(s);
+      // Notify under the lock: the waiter owns done_cv's storage and may
+      // destroy it the moment remaining hits 0 and the lock is released.
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) {
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
 ThreadPool& ThreadPool::Default() {
   static ThreadPool* pool = new ThreadPool(
       std::max<std::size_t>(1, std::thread::hardware_concurrency()));

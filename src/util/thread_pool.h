@@ -40,6 +40,15 @@ class ThreadPool {
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                    std::size_t min_chunk = 1);
 
+  /// Runs fn(s) for s in [0, shards) on the pool and blocks until all of
+  /// THESE tasks complete. Unlike Wait(), completion is tracked per call —
+  /// concurrent RunShards callers sharing one pool don't entangle, which is
+  /// what lets the parallel index builders run on a caller's (or the
+  /// default) pool instead of spawning nested ones. shards == 1 runs inline.
+  /// Must not be called from one of the pool's own worker threads: the
+  /// blocking wait would eat a worker the shards may need.
+  void RunShards(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
   /// Hardware-concurrency-sized default pool shared by evaluators.
   static ThreadPool& Default();
 

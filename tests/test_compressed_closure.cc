@@ -16,15 +16,6 @@
 namespace aigs {
 namespace {
 
-/// Builds one dense row of `n` bits from explicit positions.
-DynamicBitset RowOf(std::size_t n, const std::vector<std::size_t>& bits) {
-  DynamicBitset row(n);
-  for (const std::size_t p : bits) {
-    row.Set(p);
-  }
-  return row;
-}
-
 /// Expands a compressed row back to a dense bitset via ForEachPosInRow.
 DynamicBitset Decode(const CompressedClosure& cc, NodeId u) {
   DynamicBitset out(cc.num_nodes());

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/ascii_table.h"
@@ -12,6 +14,7 @@
 #include "util/env.h"
 #include "util/epoch_marker.h"
 #include "util/node_map.h"
+#include "util/percentile.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -241,6 +244,71 @@ TEST(ThreadPool, WaitIsReusable) {
   pool.Submit([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, RunShardsCoversEveryShardOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(17);
+  pool.RunShards(hits.size(), [&hits](std::size_t s) {
+    hits[s].fetch_add(1);
+  });
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+  }
+}
+
+TEST(ThreadPool, RunShardsConcurrentCallersDoNotEntangle) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::thread other([&pool, &total] {
+    pool.RunShards(8, [&total](std::size_t) { total.fetch_add(1); });
+  });
+  pool.RunShards(8, [&total](std::size_t) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, RunShardsSingleShardRunsInline) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.RunShards(1, [&seen](std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+  pool.RunShards(0, [](std::size_t) { FAIL() << "no shards to run"; });
+}
+
+// ---- NearestRank percentile ------------------------------------------------
+
+TEST(Percentile, NearestRankMatchesDefinition) {
+  const std::vector<std::uint64_t> sorted = {10, 20, 30, 40};
+  const std::span<const std::uint64_t> s(sorted);
+  // rank = clamp(ceil(q * 4), 1, 4), 1-indexed.
+  EXPECT_EQ(NearestRankSorted(s, 0.25), 10u);
+  EXPECT_EQ(NearestRankSorted(s, 0.50), 20u);
+  EXPECT_EQ(NearestRankSorted(s, 0.51), 30u);
+  EXPECT_EQ(NearestRankSorted(s, 0.75), 30u);
+  EXPECT_EQ(NearestRankSorted(s, 0.99), 40u);
+  EXPECT_EQ(NearestRankSorted(s, 1.0), 40u);
+  // q so small the rank clamps up to 1.
+  EXPECT_EQ(NearestRankSorted(s, 0.0), 10u);
+}
+
+TEST(Percentile, SingleSampleAndEmpty) {
+  const std::vector<double> one = {3.5};
+  EXPECT_EQ(NearestRankSorted(std::span<const double>(one), 0.5), 3.5);
+  EXPECT_EQ(NearestRankSorted(std::span<const double>(one), 0.99), 3.5);
+  const std::vector<double> none;
+  EXPECT_EQ(NearestRankSorted(std::span<const double>(none), 0.5), 0.0);
+}
+
+TEST(Percentile, UnsortedOverloadSortsACopy) {
+  std::vector<int> samples = {9, 1, 5, 7, 3};
+  EXPECT_EQ(NearestRank(samples, 0.5), 5);
+  EXPECT_EQ(NearestRank(samples, 1.0), 9);
+  // The caller's vector is untouched (passed by value).
+  EXPECT_EQ(samples[0], 9);
 }
 
 // ---- Timer -----------------------------------------------------------------
